@@ -1,0 +1,47 @@
+//! Criterion bench behind the memory-planning study: pooled vs unpooled
+//! allocation cost in the VM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimble_core::{compile, CompileOptions};
+use nimble_device::DeviceSet;
+use nimble_models::{BertConfig, BertModel};
+use nimble_vm::{Object, VirtualMachine};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn bench(c: &mut Criterion) {
+    let model = BertModel::new(BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        ffn: 256,
+        vocab: 500,
+        max_pos: 128,
+        seed: 42,
+    });
+    let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+    let ids = model.random_tokens(&mut rng, 26);
+    let (tok, pos) = model.inputs(&ids);
+    let mut group = c.benchmark_group("memplan");
+    group.sample_size(10);
+    for pooling in [true, false] {
+        let devices = Arc::new(DeviceSet::cpu_only());
+        devices.set_pooling(pooling);
+        let mut vm = VirtualMachine::new(exe.clone(), devices).unwrap();
+        let name = if pooling { "pooled" } else { "unpooled" };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                vm.run(
+                    "main",
+                    vec![Object::tensor(tok.clone()), Object::tensor(pos.clone())],
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Table 1: per-sentence LSTM latency per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimble_bench::systems;
+use nimble_frameworks::eager;
+use nimble_models::{LstmConfig, LstmModel};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let model = LstmModel::new(LstmConfig {
+        input: 64,
+        hidden: 128,
+        layers: 1,
+        seed: 42,
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let tokens = model.random_tokens(&mut rng, 26);
+    let mut group = c.benchmark_group("table1_lstm");
+    group.sample_size(10);
+    let mut nimble = systems::NimbleLstm::new(&model, false);
+    group.bench_function("nimble", |b| b.iter(|| nimble.run(&tokens)));
+    group.bench_function("pytorch", |b| {
+        b.iter(|| eager::lstm_forward(&model, &tokens))
+    });
+    let mx = systems::mxnet_lstm_session(&model);
+    group.bench_function("mxnet", |b| b.iter(|| mx.run(&tokens)));
+    let tf = systems::tensorflow_lstm_session(&model);
+    group.bench_function("tensorflow", |b| b.iter(|| tf.run(&tokens)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion bench behind Table 2: per-tree Tree-LSTM latency per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimble_bench::systems;
+use nimble_frameworks::eager;
+use nimble_models::{TreeLstmConfig, TreeLstmModel};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let model = TreeLstmModel::new(TreeLstmConfig {
+        input: 64,
+        hidden: 64,
+        classes: 5,
+        seed: 42,
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let tree = model.random_tree(&mut rng, 19);
+    let mut group = c.benchmark_group("table2_tree_lstm");
+    group.sample_size(10);
+    let mut nimble = systems::NimbleTreeLstm::new(&model, false);
+    group.bench_function("nimble", |b| b.iter(|| nimble.run(&tree)));
+    group.bench_function("pytorch", |b| {
+        b.iter(|| eager::tree_lstm_forward(&model, &tree))
+    });
+    group.bench_function("tf_fold", |b| {
+        b.iter(|| systems::fold_tree_lstm(&model, &tree, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

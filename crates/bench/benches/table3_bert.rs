@@ -1,0 +1,40 @@
+//! Criterion bench behind Table 3: per-sentence BERT latency per system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimble_bench::systems;
+use nimble_frameworks::eager;
+use nimble_frameworks::graphflow::BertSession;
+use nimble_models::{BertConfig, BertModel};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let model = BertModel::new(BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        ffn: 256,
+        vocab: 500,
+        max_pos: 128,
+        seed: 42,
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(29);
+    let ids = model.random_tokens(&mut rng, 26);
+    let mut group = c.benchmark_group("table3_bert");
+    group.sample_size(10);
+    let mut nimble = systems::NimbleBert::new(&model, false);
+    group.bench_function("nimble", |b| b.iter(|| nimble.run(&model, &ids)));
+    group.bench_function("pytorch", |b| b.iter(|| eager::bert_forward(&model, &ids)));
+    let tf = BertSession::build(&model);
+    let (tok, pos) = model.inputs(&ids);
+    group.bench_function("tensorflow", |b| b.iter(|| tf.run(&tok, &pos)));
+    group.bench_function("mxnet_rebind", |b| {
+        b.iter(|| {
+            let mut mx = systems::MxNetBert::new(&model);
+            mx.run(&ids, None)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

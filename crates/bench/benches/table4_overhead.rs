@@ -1,0 +1,36 @@
+//! Criterion bench behind Table 4: Nimble VM vs static executor on a
+//! fixed-length BERT.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nimble_bench::systems;
+use nimble_core::StaticGraph;
+use nimble_models::{BertConfig, BertModel};
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let model = BertModel::new(BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        ffn: 256,
+        vocab: 500,
+        max_pos: 128,
+        seed: 42,
+    });
+    let seq = 32;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+    let ids = model.random_tokens(&mut rng, seq);
+    let (tok, pos) = model.inputs(&ids);
+    let mut group = c.benchmark_group("table4_overhead");
+    group.sample_size(10);
+    let static_graph = StaticGraph::compile(&model.module_static(seq), true).unwrap();
+    group.bench_function("tvm_static", |b| {
+        b.iter(|| static_graph.run(&[tok.clone(), pos.clone()]).unwrap())
+    });
+    let mut nimble = systems::NimbleBert::new(&model, false);
+    group.bench_function("nimble_vm", |b| b.iter(|| nimble.run(&model, &ids)));
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Runs every experiment in sequence and prints all tables — the one-shot
+//! reproduction driver behind EXPERIMENTS.md. Pass `--full` for
+//! reporting-quality effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    println!("# Nimble reproduction — all experiments\n");
+    for table in tables::timed("table1", || tables::table1_lstm(effort)) {
+        println!("{}", table.render());
+    }
+    println!(
+        "{}",
+        tables::timed("table2", || tables::table2_tree_lstm(effort)).render()
+    );
+    println!(
+        "{}",
+        tables::timed("table3", || tables::table3_bert(effort)).render()
+    );
+    println!(
+        "{}",
+        tables::timed("table4", || tables::table4_overhead(effort, 32)).render()
+    );
+    println!(
+        "{}",
+        tables::timed("figure3", || tables::figure3_symbolic(effort)).render()
+    );
+    for table in tables::timed("memplan", || tables::memplan_study(effort)) {
+        println!("{}", table.render());
+    }
+}

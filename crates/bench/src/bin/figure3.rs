@@ -1,0 +1,11 @@
+//! Regenerates Figure 3 (symbolic vs static dense codegen across dispatch
+//! levels). Pass `--full` for reporting-quality effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = tables::timed("figure3", || tables::figure3_symbolic(effort));
+    println!("{}", table.render());
+}

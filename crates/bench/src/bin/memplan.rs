@@ -1,0 +1,12 @@
+//! Regenerates the Section 6.3 memory-planning study (allocation counts,
+//! allocation latency, footprint vs the static planner).
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    for table in tables::timed("memplan", || tables::memplan_study(effort)) {
+        println!("{}", table.render());
+    }
+}

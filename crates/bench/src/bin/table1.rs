@@ -1,0 +1,12 @@
+//! Regenerates Table 1 (LSTM latency across systems and platforms).
+//! Pass `--full` for reporting-quality effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    for table in tables::timed("table1", || tables::table1_lstm(effort)) {
+        println!("{}", table.render());
+    }
+}

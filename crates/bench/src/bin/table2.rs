@@ -1,0 +1,11 @@
+//! Regenerates Table 2 (Tree-LSTM latency). Pass `--full` for
+//! reporting-quality effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = tables::timed("table2", || tables::table2_tree_lstm(effort));
+    println!("{}", table.render());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table 3 (BERT latency). Pass `--full` for reporting-quality
+//! effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = tables::timed("table3", || tables::table3_bert(effort));
+    println!("{}", table.render());
+}

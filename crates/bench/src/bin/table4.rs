@@ -1,0 +1,11 @@
+//! Regenerates Table 4 (Nimble vs TVM-static overhead with the
+//! kernel/others breakdown). Pass `--full` for reporting-quality effort.
+
+use nimble_bench::harness::Effort;
+use nimble_bench::tables;
+
+fn main() {
+    let effort = Effort::from_args();
+    let table = tables::timed("table4", || tables::table4_overhead(effort, 32));
+    println!("{}", table.render());
+}

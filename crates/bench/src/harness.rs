@@ -1,0 +1,183 @@
+//! Timing and table-formatting helpers shared by the experiment
+//! harnesses.
+
+use nimble_tensor::pool::{set_default_profile, ExecProfile};
+use std::time::{Duration, Instant};
+
+/// The evaluation platforms of Section 6.1 and their stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Platform {
+    /// Intel CPU → host CPU, Server profile.
+    Intel,
+    /// Nvidia GPU → simulated GPU stream.
+    Nvidia,
+    /// ARM CPU → host CPU, Edge profile.
+    Arm,
+}
+
+impl Platform {
+    /// Column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::Intel => "Intel",
+            Platform::Nvidia => "NV",
+            Platform::Arm => "ARM",
+        }
+    }
+
+    /// Apply the platform's kernel execution profile process-wide.
+    pub fn apply(self) {
+        match self {
+            Platform::Arm => set_default_profile(ExecProfile::Edge),
+            _ => set_default_profile(ExecProfile::Server),
+        }
+    }
+
+    /// Whether the simulated GPU is the compute target.
+    pub fn uses_gpu(self) -> bool {
+        self == Platform::Nvidia
+    }
+}
+
+/// Median-of-runs measurement: warm up, then time `iters` executions and
+/// return the median single-run latency.
+pub fn measure(warmup: usize, iters: usize, mut f: impl FnMut()) -> Duration {
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(iters.max(1));
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        f();
+        samples.push(start.elapsed());
+    }
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Latency in µs/token given a total duration over `tokens` tokens.
+pub fn us_per_token(total: Duration, tokens: usize) -> f64 {
+    total.as_secs_f64() * 1e6 / tokens.max(1) as f64
+}
+
+/// Render a paper-style table: header row + system rows.
+pub fn render_table(title: &str, header: &[String], rows: &[(String, Vec<f64>)]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len().max(9)).collect();
+    for (name, _) in rows {
+        widths[0] = widths[0].max(name.len());
+    }
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths.iter())
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push_str(&fmt_row(
+        widths.iter().map(|w| "-".repeat(*w)).collect(),
+        &widths,
+    ));
+    for (name, values) in rows {
+        let mut cells = vec![name.clone()];
+        cells.extend(values.iter().map(|v| {
+            if v.is_nan() {
+                "–".to_string()
+            } else if *v >= 100.0 {
+                format!("{v:.0}")
+            } else {
+                format!("{v:.1}")
+            }
+        }));
+        out.push_str(&fmt_row(cells, &widths));
+    }
+    out
+}
+
+/// Benchmark effort level, switchable from the command line so the
+/// binaries run quickly by default and thoroughly with `--full`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Effort {
+    /// Number of workload samples (sentences/trees).
+    pub samples: usize,
+    /// Timed iterations per measurement.
+    pub iters: usize,
+    /// Warm-up iterations.
+    pub warmup: usize,
+}
+
+impl Effort {
+    /// Quick smoke-level effort (CI-friendly).
+    pub fn quick() -> Effort {
+        Effort {
+            samples: 4,
+            iters: 3,
+            warmup: 1,
+        }
+    }
+
+    /// Full effort for reported numbers.
+    pub fn full() -> Effort {
+        Effort {
+            samples: 16,
+            iters: 7,
+            warmup: 2,
+        }
+    }
+
+    /// Parse from process args: `--full` selects full effort.
+    pub fn from_args() -> Effort {
+        if std::env::args().any(|a| a == "--full") {
+            Effort::full()
+        } else {
+            Effort::quick()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_median() {
+        let d = measure(1, 5, || {
+            std::hint::black_box((0..1000u64).sum::<u64>());
+        });
+        assert!(d.as_nanos() > 0);
+    }
+
+    #[test]
+    fn us_per_token_math() {
+        let d = Duration::from_micros(260);
+        assert!((us_per_token(d, 26) - 10.0).abs() < 1e-9);
+        // Zero tokens does not divide by zero.
+        assert!(us_per_token(d, 0) > 0.0);
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = render_table(
+            "Demo",
+            &["unit".into(), "A".into(), "B".into()],
+            &[
+                ("x".into(), vec![1.5, 200.0]),
+                ("y".into(), vec![f64::NAN, 3.0]),
+            ],
+        );
+        assert!(t.contains("Demo"));
+        assert!(t.contains("200"));
+        assert!(t.contains('–'));
+        assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn platform_labels() {
+        assert_eq!(Platform::Intel.label(), "Intel");
+        assert!(Platform::Nvidia.uses_gpu());
+        assert!(!Platform::Arm.uses_gpu());
+    }
+}

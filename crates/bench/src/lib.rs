@@ -1,0 +1,23 @@
+//! # nimble-bench
+//!
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! evaluation (Section 6). Each experiment is a library function returning
+//! structured rows, shared by the `table*`/`figure*` binaries (pretty
+//! printers) and the Criterion benches.
+//!
+//! | Paper artifact | Function | Binary |
+//! |---|---|---|
+//! | Table 1 (LSTM) | [`tables::table1_lstm`] | `table1` |
+//! | Table 2 (Tree-LSTM) | [`tables::table2_tree_lstm`] | `table2` |
+//! | Table 3 (BERT) | [`tables::table3_bert`] | `table3` |
+//! | Table 4 (VM overhead) | [`tables::table4_overhead`] | `table4` |
+//! | Figure 3 (symbolic codegen) | [`tables::figure3_symbolic`] | `figure3` |
+//! | §6.3 memory planning | [`tables::memplan_study`] | `memplan` |
+//!
+//! Platform mapping (see DESIGN.md): `intel` → host CPU with the Server
+//! profile, `nvidia` → the simulated GPU, `arm` → the Edge profile.
+
+pub mod harness;
+pub mod systems;
+pub mod tables;
+pub mod workload;

@@ -1,0 +1,284 @@
+//! Measured-system wrappers: one constructor + `run` per (system, model)
+//! pair, so the table harnesses stay declarative.
+
+use nimble_core::{compile, CompileOptions};
+use nimble_device::{DeviceSet, GpuStream};
+use nimble_frameworks::graphflow::{BertSession, Flavor, LstmSession};
+use nimble_frameworks::{eager, fold};
+use nimble_models::data::TreeNode;
+use nimble_models::{BertModel, LstmModel, TreeLstmModel};
+use nimble_tensor::Tensor;
+use nimble_vm::{Object, VirtualMachine};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Compile a model module into a ready VM for the given target.
+///
+/// # Panics
+/// Panics on compilation failure (model builders emit valid IR).
+pub fn build_vm(module: &nimble_ir::Module, gpu: bool) -> VirtualMachine {
+    let opts = if gpu {
+        CompileOptions::gpu()
+    } else {
+        CompileOptions::default()
+    };
+    let (exe, _) = compile(module, &opts).expect("compile");
+    let devices = if gpu {
+        Arc::new(DeviceSet::with_gpu())
+    } else {
+        Arc::new(DeviceSet::cpu_only())
+    };
+    VirtualMachine::new(exe, devices).expect("load")
+}
+
+/// Nimble running an LSTM.
+pub struct NimbleLstm {
+    vm: VirtualMachine,
+}
+
+impl NimbleLstm {
+    /// Compile for CPU or the simulated GPU.
+    pub fn new(model: &LstmModel, gpu: bool) -> NimbleLstm {
+        NimbleLstm {
+            vm: build_vm(&model.module(), gpu),
+        }
+    }
+
+    /// One inference.
+    pub fn run(&mut self, tokens: &[Tensor]) -> Tensor {
+        self.vm
+            .run("main", vec![nimble_models::data::list_object(tokens)])
+            .expect("lstm run")
+            .wait_tensor()
+            .expect("lstm tensor")
+    }
+}
+
+/// Nimble running a Tree-LSTM.
+pub struct NimbleTreeLstm {
+    vm: VirtualMachine,
+}
+
+impl NimbleTreeLstm {
+    /// Compile for CPU or the simulated GPU.
+    pub fn new(model: &TreeLstmModel, gpu: bool) -> NimbleTreeLstm {
+        NimbleTreeLstm {
+            vm: build_vm(&model.module(), gpu),
+        }
+    }
+
+    /// One inference.
+    pub fn run(&mut self, tree: &TreeNode) -> Tensor {
+        self.vm
+            .run("main", vec![tree.to_object()])
+            .expect("tree run")
+            .wait_tensor()
+            .expect("tree tensor")
+    }
+}
+
+/// Nimble running BERT.
+pub struct NimbleBert {
+    vm: VirtualMachine,
+}
+
+impl NimbleBert {
+    /// Compile for CPU or the simulated GPU.
+    pub fn new(model: &BertModel, gpu: bool) -> NimbleBert {
+        NimbleBert {
+            vm: build_vm(&model.module(), gpu),
+        }
+    }
+
+    /// One inference.
+    pub fn run(&mut self, model: &BertModel, ids: &[i64]) -> Tensor {
+        let (tok, pos) = model.inputs(ids);
+        self.vm
+            .run("main", vec![Object::tensor(tok), Object::tensor(pos)])
+            .expect("bert run")
+            .wait_tensor()
+            .expect("bert tensor")
+    }
+
+    /// Access the VM (profiling studies).
+    pub fn vm_mut(&mut self) -> &mut VirtualMachine {
+        &mut self.vm
+    }
+}
+
+/// An optional device stream shared by baseline systems on the GPU
+/// platform.
+pub fn baseline_stream(gpu: bool) -> Option<Arc<GpuStream>> {
+    gpu.then(|| Arc::new(GpuStream::spawn()))
+}
+
+/// PyTorch-stand-in LSTM.
+pub fn pytorch_lstm(
+    model: &LstmModel,
+    tokens: &[Tensor],
+    stream: Option<Arc<GpuStream>>,
+) -> Tensor {
+    eager::lstm_forward_with(model, tokens, stream)
+}
+
+/// MXNet-stand-in LSTM session (foreach encoding).
+pub fn mxnet_lstm_session(model: &LstmModel) -> LstmSession {
+    LstmSession::build(model, Flavor::MxNet)
+}
+
+/// TensorFlow-stand-in LSTM session (while_loop + gather encoding).
+pub fn tensorflow_lstm_session(model: &LstmModel) -> LstmSession {
+    LstmSession::build(model, Flavor::TensorFlow)
+}
+
+/// MXNet-stand-in BERT: bucketing executor — one bound graph per distinct
+/// sequence length, built (bound) on first occurrence, as MXNet's bucketing
+/// module does for variable-length inputs.
+pub struct MxNetBert<'m> {
+    model: &'m BertModel,
+    buckets: HashMap<usize, BertSession>,
+}
+
+impl<'m> MxNetBert<'m> {
+    /// Fresh bucketing executor.
+    pub fn new(model: &'m BertModel) -> MxNetBert<'m> {
+        MxNetBert {
+            model,
+            buckets: HashMap::new(),
+        }
+    }
+
+    /// One inference: binds a new executor when the length is new.
+    pub fn run(&mut self, ids: &[i64], stream: Option<&GpuStream>) -> Tensor {
+        let len = ids.len();
+        let session = self
+            .buckets
+            .entry(len)
+            .or_insert_with(|| BertSession::build(self.model));
+        let (tok, pos) = self.model.inputs(ids);
+        session.run_with(&tok, &pos, stream)
+    }
+
+    /// Number of bound buckets (diagnostics).
+    pub fn buckets_bound(&self) -> usize {
+        self.buckets.len()
+    }
+}
+
+/// TensorFlow Fold-stand-in Tree-LSTM (recompiles per input).
+pub fn fold_tree_lstm(
+    model: &TreeLstmModel,
+    tree: &TreeNode,
+    stream: Option<&GpuStream>,
+) -> Tensor {
+    fold::compile(model, tree).run_with(stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_models::{BertConfig, LstmConfig, TreeLstmConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_lstm_systems_agree() {
+        let model = LstmModel::new(LstmConfig {
+            input: 4,
+            hidden: 6,
+            layers: 1,
+            seed: 1,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let tokens = model.random_tokens(&mut rng, 5);
+        let want = model.reference(&tokens);
+        let mut nimble = NimbleLstm::new(&model, false);
+        let got_n = nimble.run(&tokens);
+        let got_pt = pytorch_lstm(&model, &tokens, None);
+        let got_mx = mxnet_lstm_session(&model).run(&tokens);
+        let got_tf = tensorflow_lstm_session(&model).run(&tokens);
+        for got in [got_n, got_pt, got_mx, got_tf] {
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn all_tree_systems_agree() {
+        let model = TreeLstmModel::new(TreeLstmConfig {
+            input: 4,
+            hidden: 5,
+            classes: 3,
+            seed: 2,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let tree = model.random_tree(&mut rng, 6);
+        let want = model.reference(&tree);
+        let mut nimble = NimbleTreeLstm::new(&model, false);
+        let got_n = nimble.run(&tree);
+        let got_pt = eager::tree_lstm_forward(&model, &tree);
+        let got_fold = fold_tree_lstm(&model, &tree, None);
+        for got in [got_n, got_pt, got_fold] {
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn all_bert_systems_agree_and_buckets_bind() {
+        let model = BertModel::new(BertConfig {
+            layers: 1,
+            hidden: 8,
+            heads: 2,
+            ffn: 16,
+            vocab: 30,
+            max_pos: 64,
+            seed: 5,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let ids = model.random_tokens(&mut rng, 6);
+        let want = model.reference(&ids);
+        let mut nimble = NimbleBert::new(&model, false);
+        let got_n = nimble.run(&model, &ids);
+        let got_pt = eager::bert_forward(&model, &ids);
+        let tf = BertSession::build(&model);
+        let (tok, pos) = model.inputs(&ids);
+        let got_tf = tf.run(&tok, &pos);
+        let mut mx = MxNetBert::new(&model);
+        let got_mx = mx.run(&ids, None);
+        assert_eq!(mx.buckets_bound(), 1);
+        // A second, different length binds another bucket.
+        let ids2 = model.random_tokens(&mut rng, 9);
+        let _ = mx.run(&ids2, None);
+        assert_eq!(mx.buckets_bound(), 2);
+        for got in [got_n, got_pt, got_tf, got_mx] {
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_systems_run() {
+        let model = LstmModel::new(LstmConfig {
+            input: 4,
+            hidden: 6,
+            layers: 1,
+            seed: 1,
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let tokens = model.random_tokens(&mut rng, 3);
+        let want = model.reference(&tokens);
+        let mut nimble = NimbleLstm::new(&model, true);
+        let got = nimble.run(&tokens);
+        for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+        let stream = baseline_stream(true);
+        let got_pt = pytorch_lstm(&model, &tokens, stream);
+        for (a, b) in got_pt.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Synthetic workload generators standing in for MRPC and SST (see the
+//! substitution table in DESIGN.md: only length/structure distributions
+//! affect the measured systems).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// MRPC-like sentence lengths: roughly normal around 26 tokens, clamped to
+/// `[5, 64]` (the corpus' paraphrase sentences are 5–40 words plus
+/// subword inflation).
+pub fn mrpc_lengths(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            // Sum of uniforms ≈ normal(26, ~7).
+            let s: f64 = (0..4).map(|_| rng.gen_range(0.0..13.0)).sum();
+            (s as usize).clamp(5, 64)
+        })
+        .collect()
+}
+
+/// SST-like tree sizes (leaf counts): skewed toward short sentences,
+/// clamped to `[2, 50]`.
+pub fn sst_leaf_counts(n: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let s: f64 = (0..3).map(|_| rng.gen_range(0.0..13.0)).sum();
+            (s as usize).clamp(2, 50)
+        })
+        .collect()
+}
+
+/// Total tokens across a length set (for µs/token normalization).
+pub fn total_tokens(lengths: &[usize]) -> usize {
+    lengths.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mrpc_distribution_in_range() {
+        let lens = mrpc_lengths(200, 1);
+        assert_eq!(lens.len(), 200);
+        assert!(lens.iter().all(|&l| (5..=64).contains(&l)));
+        let mean: f64 = lens.iter().sum::<usize>() as f64 / 200.0;
+        assert!((18.0..34.0).contains(&mean), "mean {mean}");
+    }
+
+    #[test]
+    fn sst_distribution_in_range() {
+        let sizes = sst_leaf_counts(200, 2);
+        assert!(sizes.iter().all(|&l| (2..=50).contains(&l)));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        assert_eq!(mrpc_lengths(10, 7), mrpc_lengths(10, 7));
+        assert_ne!(mrpc_lengths(10, 7), mrpc_lengths(10, 8));
+    }
+}

@@ -1,0 +1,670 @@
+//! Compiled kernels: the executable payload behind `InvokePacked`.
+//!
+//! A [`Kernel`] is a named closure from input tensors to output tensors.
+//! Three kinds are produced:
+//!
+//! * **plain operator kernels** — a thin closure over the registry's
+//!   reference implementation;
+//! * **symbolic operator kernels** — for dense ops with a dynamic row
+//!   dimension, the residue-dispatch kernel set of [`crate::symbolic`]
+//!   (Section 4.5);
+//! * **fused primitive kernels** — compiled from the fused function bodies
+//!   produced by the fusion pass; a fast path applies trailing unary
+//!   elementwise ops in place, in a single pass, so fusion eliminates both
+//!   intermediate allocations *and* memory traffic.
+
+use crate::symbolic::{DispatchLevel, SymbolicDense};
+use nimble_ir::attrs::Attrs;
+use nimble_ir::expr::{Expr, ExprKind, Function};
+use nimble_ir::op;
+use nimble_tensor::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Kernel execution failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KernelError(pub String);
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel error: {}", self.0)
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+impl From<nimble_tensor::TensorError> for KernelError {
+    fn from(e: nimble_tensor::TensorError) -> Self {
+        KernelError(e.to_string())
+    }
+}
+
+impl From<nimble_ir::IrError> for KernelError {
+    fn from(e: nimble_ir::IrError) -> Self {
+        KernelError(e.to_string())
+    }
+}
+
+type KernelFn = dyn Fn(&[Tensor]) -> Result<Vec<Tensor>, KernelError> + Send + Sync;
+
+/// A compiled, invocable kernel.
+#[derive(Clone)]
+pub struct Kernel {
+    name: Arc<str>,
+    f: Arc<KernelFn>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Kernel({})", self.name)
+    }
+}
+
+impl Kernel {
+    /// Wrap a closure as a kernel.
+    pub fn new(
+        name: &str,
+        f: impl Fn(&[Tensor]) -> Result<Vec<Tensor>, KernelError> + Send + Sync + 'static,
+    ) -> Kernel {
+        Kernel {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    /// The kernel's diagnostic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Execute the kernel.
+    ///
+    /// # Errors
+    /// Propagates shape/dtype failures from the underlying computation —
+    /// these are the run-time residue of the gradual type checks deferred
+    /// by Section 4.1.
+    pub fn invoke(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, KernelError> {
+        (self.f)(inputs)
+    }
+
+    /// Compile a plain operator call into a kernel.
+    ///
+    /// When `symbolic` is set and the operator is `dense`, the
+    /// residue-dispatch symbolic kernel set is used instead of the static
+    /// reference kernel.
+    ///
+    /// # Errors
+    /// Fails for unknown operators.
+    pub fn from_op(name: &str, attrs: &Attrs, symbolic: bool) -> Result<Kernel, KernelError> {
+        if symbolic && name == "dense" {
+            return Ok(Kernel::dense_symbolic(DispatchLevel::Dispatch8));
+        }
+        let def = op::lookup(name)?;
+        let attrs = attrs.clone();
+        let exec = def.execute;
+        Ok(Kernel::new(name, move |inputs| {
+            exec(inputs, &attrs).map_err(KernelError::from)
+        }))
+    }
+
+    /// The symbolic dense kernel set with its runtime dispatch function.
+    pub fn dense_symbolic(level: DispatchLevel) -> Kernel {
+        Kernel::new(&format!("dense.symbolic[{}]", level.label()), move |inputs| {
+            let x = inputs
+                .first()
+                .ok_or_else(|| KernelError("dense: missing input".into()))?;
+            let w = inputs
+                .get(1)
+                .ok_or_else(|| KernelError("dense: missing weight".into()))?;
+            let d = SymbolicDense::new(w.clone(), inputs.get(2).cloned(), level)?;
+            Ok(vec![d.run(x)?])
+        })
+    }
+
+    /// Compile a fused primitive function into a single kernel.
+    ///
+    /// The body is compiled once into a positional step list — per-call
+    /// execution is a flat loop over function pointers with a `Vec` value
+    /// environment, no name lookups.
+    ///
+    /// # Errors
+    /// Fails when the body is not a let-chain of operator calls over
+    /// parameters, constants, and prior members.
+    pub fn from_primitive(func: &Function) -> Result<Kernel, KernelError> {
+        // Try the fast path: anchor op followed by pure unary elementwise
+        // f32 ops on the running value.
+        if let Some(k) = compile_unary_chain(func)? {
+            return Ok(k);
+        }
+        // General path: precompile to positional steps.
+        #[derive(Clone)]
+        enum Src {
+            Param(usize),
+            Member(usize),
+            Const(Tensor),
+        }
+        /// Scalar operation codes for the single-pass fused-elementwise
+        /// evaluator.
+        #[derive(Clone, Copy)]
+        enum EwOp {
+            Add,
+            Sub,
+            Mul,
+            Div,
+            Maximum,
+            Minimum,
+            Tanh,
+            Sigmoid,
+            Relu,
+            Gelu,
+            Neg,
+            Sqrt,
+        }
+        impl EwOp {
+            fn of(name: &str) -> Option<(EwOp, usize)> {
+                Some(match name {
+                    "add" => (EwOp::Add, 2),
+                    "sub" => (EwOp::Sub, 2),
+                    "mul" => (EwOp::Mul, 2),
+                    "div" => (EwOp::Div, 2),
+                    "maximum" => (EwOp::Maximum, 2),
+                    "minimum" => (EwOp::Minimum, 2),
+                    "tanh" => (EwOp::Tanh, 1),
+                    "sigmoid" => (EwOp::Sigmoid, 1),
+                    "relu" => (EwOp::Relu, 1),
+                    "gelu" => (EwOp::Gelu, 1),
+                    "neg" => (EwOp::Neg, 1),
+                    "sqrt" => (EwOp::Sqrt, 1),
+                    _ => return None,
+                })
+            }
+            #[inline]
+            fn apply(self, a: f32, b: f32) -> f32 {
+                match self {
+                    EwOp::Add => a + b,
+                    EwOp::Sub => a - b,
+                    EwOp::Mul => a * b,
+                    EwOp::Div => a / b,
+                    EwOp::Maximum => a.max(b),
+                    EwOp::Minimum => a.min(b),
+                    EwOp::Tanh => a.tanh(),
+                    EwOp::Sigmoid => 1.0 / (1.0 + (-a).exp()),
+                    EwOp::Relu => a.max(0.0),
+                    EwOp::Gelu => {
+                        0.5 * a * (1.0 + (0.797_884_6 * (a + 0.044_715 * a * a * a)).tanh())
+                    }
+                    EwOp::Neg => -a,
+                    EwOp::Sqrt => a.sqrt(),
+                }
+            }
+        }
+        struct Step {
+            exec: nimble_ir::op::ExecFn,
+            attrs: Attrs,
+            args: Vec<Src>,
+            name: &'static str,
+            /// Set when the member is a pure elementwise op (enables the
+            /// single-pass evaluator when the whole group qualifies).
+            ew: Option<(EwOp, usize)>,
+        }
+        let mut pos_of_param: HashMap<u32, usize> = HashMap::new();
+        for (i, p) in func.params.iter().enumerate() {
+            pos_of_param.insert(p.id, i);
+        }
+        let mut pos_of_member: HashMap<u32, usize> = HashMap::new();
+        let mut steps: Vec<Step> = Vec::new();
+        let mut cur = func.body.clone();
+        loop {
+            match cur.kind() {
+                ExprKind::Let { var, value, body } => {
+                    let (name, args, attrs) = value.as_op_call().ok_or_else(|| {
+                        KernelError("primitive body must contain only op calls".into())
+                    })?;
+                    let def = op::lookup(name)?;
+                    let srcs = args
+                        .iter()
+                        .map(|a| match a.kind() {
+                            ExprKind::Var(v) => pos_of_param
+                                .get(&v.id)
+                                .map(|&i| Src::Param(i))
+                                .or_else(|| pos_of_member.get(&v.id).map(|&i| Src::Member(i)))
+                                .ok_or_else(|| {
+                                    KernelError(format!("unbound {v} in primitive"))
+                                }),
+                            ExprKind::Constant(t) => Ok(Src::Const(t.clone())),
+                            other => Err(KernelError(format!(
+                                "unsupported primitive argument {other:?}"
+                            ))),
+                        })
+                        .collect::<Result<Vec<_>, _>>()?;
+                    pos_of_member.insert(var.id, steps.len());
+                    steps.push(Step {
+                        exec: def.execute,
+                        attrs: attrs.clone(),
+                        args: srcs,
+                        name: def.name,
+                        ew: EwOp::of(name),
+                    });
+                    cur = body.clone();
+                }
+                ExprKind::Var(v) => {
+                    let result_pos = *pos_of_member.get(&v.id).ok_or_else(|| {
+                        KernelError(format!("unbound result {v} in primitive"))
+                    })?;
+                    if result_pos != steps.len() - 1 {
+                        return Err(KernelError(
+                            "primitive result must be the last member".into(),
+                        ));
+                    }
+                    break;
+                }
+                other => {
+                    return Err(KernelError(format!(
+                        "unsupported primitive result {other:?}"
+                    )))
+                }
+            }
+        }
+        let name = format!(
+            "fused({})",
+            steps
+                .iter()
+                .map(|s| s.name)
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        let num_params = func.params.len();
+        // The whole group is elementwise when every member is, and no
+        // member has more than two operands.
+        let all_elementwise =
+            steps.iter().all(|s| s.ew.is_some() && s.args.len() <= 2) && steps.len() <= 32;
+        Ok(Kernel::new(&name, move |inputs| {
+            if inputs.len() != num_params {
+                return Err(KernelError(format!(
+                    "primitive arity mismatch: {} vs {num_params}",
+                    inputs.len()
+                )));
+            }
+            // Single-pass fused evaluation: legal when every non-scalar
+            // operand shares one shape (scalars broadcast). This is the
+            // loop fusion a compiled kernel performs — one sweep, zero
+            // intermediate buffers.
+            if all_elementwise {
+                let mut common: Option<&[usize]> = None;
+                let mut uniform = true;
+                'check: for step in &steps {
+                    for src in &step.args {
+                        let dims = match src {
+                            Src::Param(i) => match inputs[*i].as_f32() {
+                                Ok(_) => inputs[*i].dims(),
+                                Err(_) => {
+                                    uniform = false;
+                                    break 'check;
+                                }
+                            },
+                            Src::Const(t) => t.dims(),
+                            Src::Member(_) => continue,
+                        };
+                        let volume: usize = dims.iter().product();
+                        if volume == 1 {
+                            continue;
+                        }
+                        match common {
+                            None => common = Some(dims),
+                            Some(c) if c == dims => {}
+                            Some(_) => {
+                                uniform = false;
+                                break 'check;
+                            }
+                        }
+                    }
+                }
+                if uniform {
+                    let out_dims: Vec<usize> =
+                        common.map(|c| c.to_vec()).unwrap_or_default();
+                    let len: usize = out_dims.iter().product();
+                    let mut out = vec![0.0f32; len];
+                    // Resolve operand buffers once.
+                    enum Buf<'a> {
+                        Slice(&'a [f32]),
+                        Scalar(f32),
+                        Member(usize),
+                    }
+                    let mut bufs: Vec<[Option<Buf>; 2]> = Vec::with_capacity(steps.len());
+                    for step in &steps {
+                        let mut pair: [Option<Buf>; 2] = [None, None];
+                        for (slot, src) in step.args.iter().enumerate() {
+                            pair[slot] = Some(match src {
+                                Src::Param(i) => {
+                                    let v = inputs[*i].as_f32()?;
+                                    if v.len() == 1 {
+                                        Buf::Scalar(v[0])
+                                    } else {
+                                        Buf::Slice(v)
+                                    }
+                                }
+                                Src::Const(t) => {
+                                    let v = t.as_f32()?;
+                                    if v.len() == 1 {
+                                        Buf::Scalar(v[0])
+                                    } else {
+                                        Buf::Slice(v)
+                                    }
+                                }
+                                Src::Member(m) => Buf::Member(*m),
+                            });
+                        }
+                        bufs.push(pair);
+                    }
+                    let mut vals = [0.0f32; 32];
+                    for (i, o) in out.iter_mut().enumerate() {
+                        for (si, step) in steps.iter().enumerate() {
+                            let (op, arity) = step.ew.expect("checked elementwise");
+                            let fetch = |b: &Option<Buf>| -> f32 {
+                                match b {
+                                    Some(Buf::Slice(s)) => s[i],
+                                    Some(Buf::Scalar(c)) => *c,
+                                    Some(Buf::Member(m)) => vals[*m],
+                                    None => 0.0,
+                                }
+                            };
+                            let a = fetch(&bufs[si][0]);
+                            let b = if arity == 2 { fetch(&bufs[si][1]) } else { 0.0 };
+                            vals[si] = op.apply(a, b);
+                        }
+                        *o = vals[steps.len() - 1];
+                    }
+                    return Ok(vec![Tensor::from_vec_f32(out, &out_dims)?]);
+                }
+            }
+            // Fallback: member-at-a-time interpretation.
+            let mut members: Vec<Tensor> = Vec::with_capacity(steps.len());
+            let mut scratch: Vec<Tensor> = Vec::new();
+            for step in &steps {
+                scratch.clear();
+                for src in &step.args {
+                    scratch.push(match src {
+                        Src::Param(i) => inputs[*i].clone(),
+                        Src::Member(i) => members[*i].clone(),
+                        Src::Const(t) => t.clone(),
+                    });
+                }
+                let outs = (step.exec)(&scratch, &step.attrs)?;
+                let out = outs
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| KernelError(format!("{} produced no output", step.name)))?;
+                members.push(out);
+            }
+            Ok(vec![members.pop().expect("at least one member")])
+        }))
+    }
+}
+
+/// Interpret a flat ANF body (op calls only) over a tensor environment.
+pub fn eval_flat_body(
+    body: &Expr,
+    env: &mut HashMap<u32, Tensor>,
+) -> Result<Vec<Tensor>, KernelError> {
+    let mut cur = body.clone();
+    loop {
+        match cur.kind() {
+            ExprKind::Let { var, value, body } => {
+                let (name, args, attrs) = value.as_op_call().ok_or_else(|| {
+                    KernelError("primitive body must contain only op calls".into())
+                })?;
+                let def = op::lookup(name)?;
+                let inputs: Vec<Tensor> = args
+                    .iter()
+                    .map(|a| match a.kind() {
+                        ExprKind::Var(v) => env
+                            .get(&v.id)
+                            .cloned()
+                            .ok_or_else(|| KernelError(format!("unbound {v} in primitive"))),
+                        ExprKind::Constant(t) => Ok(t.clone()),
+                        other => Err(KernelError(format!(
+                            "unsupported primitive argument {other:?}"
+                        ))),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let outs = (def.execute)(&inputs, attrs)?;
+                // Multi-output members not supported inside primitives (the
+                // fusion pass never creates them).
+                let out = outs
+                    .into_iter()
+                    .next()
+                    .ok_or_else(|| KernelError(format!("{name} produced no output")))?;
+                env.insert(var.id, out);
+                cur = body.clone();
+            }
+            ExprKind::Var(v) => {
+                return Ok(vec![env
+                    .get(&v.id)
+                    .cloned()
+                    .ok_or_else(|| KernelError(format!("unbound result {v}")))?]);
+            }
+            other => {
+                return Err(KernelError(format!(
+                    "unsupported primitive result {other:?}"
+                )))
+            }
+        }
+    }
+}
+
+/// Unary elementwise f32 ops that can be applied in place.
+fn unary_inplace(name: &str) -> Option<fn(f32) -> f32> {
+    Some(match name {
+        "tanh" => f32::tanh,
+        "sigmoid" => |x: f32| 1.0 / (1.0 + (-x).exp()),
+        "relu" => |x: f32| x.max(0.0),
+        "sqrt" => f32::sqrt,
+        "neg" => |x: f32| -x,
+        "gelu" => |x: f32| 0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh()),
+        _ => return None,
+    })
+}
+
+/// Fast path: `anchor(args…)` followed only by unary elementwise members
+/// on the running value → run the anchor once, then one in-place sweep
+/// applying the composed scalar function.
+fn compile_unary_chain(func: &Function) -> Result<Option<Kernel>, KernelError> {
+    let mut cur = func.body.clone();
+    let mut members: Vec<(String, Vec<Expr>, Attrs)> = Vec::new();
+    let mut member_vars: Vec<u32> = Vec::new();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        let Some((name, args, attrs)) = value.as_op_call() else {
+            return Ok(None);
+        };
+        members.push((name.to_string(), args.to_vec(), attrs.clone()));
+        member_vars.push(var.id);
+        cur = body.clone();
+    }
+    // Result must be the last member.
+    let ExprKind::Var(res) = cur.kind() else {
+        return Ok(None);
+    };
+    if member_vars.last() != Some(&res.id) || members.len() < 2 {
+        return Ok(None);
+    }
+    // Members after the first must be unary-inplace on the previous value.
+    let mut fns: Vec<fn(f32) -> f32> = Vec::new();
+    for (i, (name, args, _)) in members.iter().enumerate().skip(1) {
+        let Some(f) = unary_inplace(name) else {
+            return Ok(None);
+        };
+        let ok = args.len() == 1
+            && matches!(args[0].kind(), ExprKind::Var(v) if v.id == member_vars[i - 1]);
+        if !ok {
+            return Ok(None);
+        }
+        fns.push(f);
+    }
+    // Anchor executes through the registry; its args may reference params
+    // and constants only.
+    let (anchor_name, anchor_args, anchor_attrs) = members[0].clone();
+    let def = op::lookup(&anchor_name)?;
+    let param_ids: Vec<u32> = func.params.iter().map(|p| p.id).collect();
+    let mut arg_sources: Vec<Result<usize, Tensor>> = Vec::new(); // Ok(param idx) | Err(constant)
+    for a in &anchor_args {
+        match a.kind() {
+            ExprKind::Var(v) => match param_ids.iter().position(|&id| id == v.id) {
+                Some(idx) => arg_sources.push(Ok(idx)),
+                None => return Ok(None),
+            },
+            ExprKind::Constant(t) => arg_sources.push(Err(t.clone())),
+            _ => return Ok(None),
+        }
+    }
+    let exec = def.execute;
+    let name = format!(
+        "fused({}+{} inplace)",
+        anchor_name,
+        members[1..]
+            .iter()
+            .map(|(n, _, _)| n.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+    Ok(Some(Kernel::new(&name, move |inputs| {
+        let gathered: Vec<Tensor> = arg_sources
+            .iter()
+            .map(|src| match src {
+                Ok(i) => inputs
+                    .get(*i)
+                    .cloned()
+                    .ok_or_else(|| KernelError("missing primitive input".into())),
+                Err(c) => Ok(c.clone()),
+            })
+            .collect::<Result<_, _>>()?;
+        let outs = exec(&gathered, &anchor_attrs)?;
+        let mut out = outs
+            .into_iter()
+            .next()
+            .ok_or_else(|| KernelError("anchor produced no output".into()))?;
+        // One in-place sweep applying the whole unary chain per element.
+        let buf = out.as_f32_mut()?;
+        for v in buf.iter_mut() {
+            let mut x = *v;
+            for f in &fns {
+                x = f(x);
+            }
+            *v = x;
+        }
+        Ok(vec![out])
+    })))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_ir::attrs::AttrValue;
+    use nimble_ir::types::Type;
+    use nimble_ir::Var;
+
+    #[test]
+    fn op_kernel_roundtrip() {
+        let k = Kernel::from_op("add", &Attrs::new(), false).unwrap();
+        let a = Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![3.0, 4.0], &[2]).unwrap();
+        let out = k.invoke(&[a, b]).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[4.0, 6.0]);
+        assert!(Kernel::from_op("not_an_op", &Attrs::new(), false).is_err());
+    }
+
+    #[test]
+    fn op_kernel_attrs_captured() {
+        let attrs = Attrs::new().with("axis", AttrValue::Int(1));
+        let k = Kernel::from_op("sum", &attrs, false).unwrap();
+        let a = Tensor::from_vec_f32(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        let out = k.invoke(&[a]).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn symbolic_dense_selected_for_dynamic() {
+        let k = Kernel::from_op("dense", &Attrs::new(), true).unwrap();
+        assert!(k.name().starts_with("dense.symbolic"));
+        let x = Tensor::ones_f32(&[3, 4]);
+        let w = Tensor::ones_f32(&[2, 4]);
+        let out = k.invoke(&[x, w]).unwrap();
+        assert_eq!(out[0].dims(), &[3, 2]);
+        assert!(out[0].as_f32().unwrap().iter().all(|&v| v == 4.0));
+    }
+
+    fn chain_func() -> Function {
+        // fn(x, w) { let d = dense(x, w); let t = tanh(d); let s =
+        // sigmoid(t); s }
+        let x = Var::fresh("x", Type::Unknown);
+        let w = Var::fresh("w", Type::Unknown);
+        let d = Var::fresh("d", Type::Unknown);
+        let t = Var::fresh("t", Type::Unknown);
+        let s = Var::fresh("s", Type::Unknown);
+        let body = Expr::let_(
+            d.clone(),
+            Expr::call_op("dense", vec![x.to_expr(), w.to_expr()], Attrs::new()),
+            Expr::let_(
+                t.clone(),
+                Expr::call_op("tanh", vec![d.to_expr()], Attrs::new()),
+                Expr::let_(
+                    s.clone(),
+                    Expr::call_op("sigmoid", vec![t.to_expr()], Attrs::new()),
+                    s.to_expr(),
+                ),
+            ),
+        );
+        Function::new(vec![x, w], body, Type::Unknown)
+    }
+
+    #[test]
+    fn fused_chain_uses_fast_path_and_matches_reference() {
+        let f = chain_func();
+        let k = Kernel::from_primitive(&f).unwrap();
+        assert!(k.name().contains("inplace"), "name: {}", k.name());
+        let x = Tensor::from_vec_f32(vec![0.5, -0.5, 1.0, 2.0], &[2, 2]).unwrap();
+        let w = Tensor::from_vec_f32(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let out = k.invoke(&[x.clone(), w.clone()]).unwrap();
+        // Reference: sigmoid(tanh(dense(x, w)))
+        let d = nimble_tensor::kernels::dense(&x, &w, None).unwrap();
+        let t = nimble_tensor::kernels::tanh(&d).unwrap();
+        let s = nimble_tensor::kernels::sigmoid(&t).unwrap();
+        for (a, b) in out[0].as_f32().unwrap().iter().zip(s.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn general_primitive_interpretation() {
+        // A fused group the fast path rejects (binary second member):
+        // fn(a, b) { let s = add(a, b); let m = mul(s, b); m }
+        let a = Var::fresh("a", Type::Unknown);
+        let b = Var::fresh("b", Type::Unknown);
+        let s = Var::fresh("s", Type::Unknown);
+        let m = Var::fresh("m", Type::Unknown);
+        let body = Expr::let_(
+            s.clone(),
+            Expr::call_op("add", vec![a.to_expr(), b.to_expr()], Attrs::new()),
+            Expr::let_(
+                m.clone(),
+                Expr::call_op("mul", vec![s.to_expr(), b.to_expr()], Attrs::new()),
+                m.to_expr(),
+            ),
+        );
+        let f = Function::new(vec![a, b], body, Type::Unknown);
+        let k = Kernel::from_primitive(&f).unwrap();
+        assert!(k.name().starts_with("fused("));
+        let av = Tensor::from_vec_f32(vec![1.0, 2.0], &[2]).unwrap();
+        let bv = Tensor::from_vec_f32(vec![3.0, 4.0], &[2]).unwrap();
+        let out = k.invoke(&[av, bv]).unwrap();
+        assert_eq!(out[0].as_f32().unwrap(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn primitive_arity_checked() {
+        let f = chain_func();
+        let k = Kernel::from_primitive(&f).unwrap();
+        // Fast-path kernels check indices at gather time.
+        assert!(k.invoke(&[Tensor::ones_f32(&[2, 2])]).is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Symbolic codegen with residue-modulo kernel dispatch (Section 4.5).
+//!
+//! The problem: a dense kernel over a *symbolic* row count `m` (the dynamic
+//! sequence length) cannot prove that its row-tiling loop bounds divide
+//! evenly, so boundary checks survive in the hot loop and block unrolling.
+//!
+//! The paper's solution, reproduced here: pick a tiling factor (8), then
+//! *duplicate* the kernel for each residue `r = m mod 8`, substituting
+//! `m = 8·q + r` so the tail length is a compile-time constant in each
+//! copy, and emit a **dispatch function** that selects the right copy from
+//! the runtime shape. Rust's const generics play the role of TVM's
+//! specialized codegen: `panel_const::<R>` has a compile-time trip count
+//! (fully unrolled, no per-row branch) while the unspecialized
+//! `panel_masked` keeps an `if row < m` predicate in the innermost loop.
+//!
+//! Generating fewer than 8 copies (`dispatch/4`, `dispatch/2`) leaves some
+//! tail length dynamic and re-introduces branches; generating one copy
+//! (`no dispatch`) predicates *every* row block. Figure 3 measures exactly
+//! this spectrum.
+
+use nimble_tensor::{Result as TResult, Tensor, TensorError};
+
+/// How many residue-specialized kernel copies the dispatcher may select
+/// from (the `dispatch/k` axis of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchLevel {
+    /// Shape fully known at compile time (baseline).
+    Static,
+    /// 8 copies — one per residue; tails are compile-time constants.
+    Dispatch8,
+    /// 4 copies — residue known up to a pair; one dynamic branch remains.
+    Dispatch4,
+    /// 2 copies — residue known up to a quad; two dynamic branches remain.
+    Dispatch2,
+    /// 1 copy — nothing known; every row block is predicated.
+    NoDispatch,
+}
+
+impl DispatchLevel {
+    /// Number of kernel copies this level generates.
+    pub fn copies(self) -> usize {
+        match self {
+            DispatchLevel::Static => 1,
+            DispatchLevel::Dispatch8 => 8,
+            DispatchLevel::Dispatch4 => 4,
+            DispatchLevel::Dispatch2 => 2,
+            DispatchLevel::NoDispatch => 1,
+        }
+    }
+
+    /// Label used in Figure 3.
+    pub fn label(self) -> &'static str {
+        match self {
+            DispatchLevel::Static => "static",
+            DispatchLevel::Dispatch8 => "dispatch/8",
+            DispatchLevel::Dispatch4 => "dispatch/4",
+            DispatchLevel::Dispatch2 => "dispatch/2",
+            DispatchLevel::NoDispatch => "no dispatch",
+        }
+    }
+}
+
+/// Row-tiling factor chosen by the tuner for the BERT dense layers ("the
+/// auto-tuning algorithm chooses to tile the symbolic dimension … by a
+/// factor of 8 in all three kernels").
+pub const TILE: usize = 8;
+
+/// Compute `ROWS` output rows against the whole weight panel with
+/// compile-time `ROWS`: the loop fully unrolls and each weight element
+/// loaded once feeds `ROWS` accumulators.
+#[inline]
+fn panel_const<const ROWS: usize>(
+    x: &[f32],
+    wt: &[f32],
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    row0: usize,
+) {
+    if ROWS == 0 {
+        return;
+    }
+    for col in 0..n {
+        let w_row = &wt[col * k..(col + 1) * k];
+        let mut acc = [0.0f32; TILE];
+        for (p, &wv) in w_row.iter().enumerate() {
+            for r in 0..ROWS {
+                acc[r] += x[(row0 + r) * k + p] * wv;
+            }
+        }
+        for r in 0..ROWS {
+            out[(row0 + r) * n + col] = acc[r];
+        }
+    }
+}
+
+/// The unspecialized panel: identical structure, but the row count is a
+/// runtime value so a boundary predicate survives in the innermost loop —
+/// the "boundary condition checks … leading to poor performance" of
+/// Section 4.5.
+#[inline]
+fn panel_masked(
+    x: &[f32],
+    wt: &[f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut [f32],
+    row0: usize,
+) {
+    for col in 0..n {
+        let w_row = &wt[col * k..(col + 1) * k];
+        let mut acc = [0.0f32; TILE];
+        for (p, &wv) in w_row.iter().enumerate() {
+            for r in 0..TILE {
+                // The check the specialized copies eliminate:
+                if row0 + r < m {
+                    acc[r] += x[(row0 + r) * k + p] * wv;
+                }
+            }
+        }
+        for r in 0..TILE {
+            if row0 + r < m {
+                out[(row0 + r) * n + col] = acc[r];
+            }
+        }
+    }
+}
+
+/// Run the compile-time tail for a constant residue.
+fn tail_const(x: &[f32], wt: &[f32], k: usize, n: usize, out: &mut [f32], row0: usize, r: usize) {
+    match r {
+        0 => {}
+        1 => panel_const::<1>(x, wt, k, n, out, row0),
+        2 => panel_const::<2>(x, wt, k, n, out, row0),
+        3 => panel_const::<3>(x, wt, k, n, out, row0),
+        4 => panel_const::<4>(x, wt, k, n, out, row0),
+        5 => panel_const::<5>(x, wt, k, n, out, row0),
+        6 => panel_const::<6>(x, wt, k, n, out, row0),
+        7 => panel_const::<7>(x, wt, k, n, out, row0),
+        _ => unreachable!("residue < 8"),
+    }
+}
+
+/// Dense `out[m,n] = x[m,k] · wtᵀ[n,k]` with the given dispatch level. The
+/// dispatch itself (the `match` on `m % 8`) is what the paper's generated
+/// dispatch function performs before jumping to the selected kernel copy.
+pub fn dense_symbolic(
+    x: &[f32],
+    wt: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+    level: DispatchLevel,
+) {
+    debug_assert_eq!(x.len(), m * k);
+    debug_assert_eq!(wt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    let q = m / TILE;
+    let r = m % TILE;
+    match level {
+        DispatchLevel::Static | DispatchLevel::Dispatch8 => {
+            // Kernel copy for exact residue r: unrolled main blocks plus a
+            // fully-unrolled constant tail. No boundary checks anywhere.
+            for b in 0..q {
+                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
+            }
+            tail_const(x, wt, k, n, out, q * TILE, r);
+        }
+        DispatchLevel::Dispatch4 => {
+            // Copy selected by r / 2: the even part of the tail is a
+            // compile-time constant, parity costs one dynamic branch.
+            for b in 0..q {
+                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
+            }
+            let even = r & !1;
+            tail_const(x, wt, k, n, out, q * TILE, even);
+            if r & 1 == 1 {
+                panel_const::<1>(x, wt, k, n, out, q * TILE + even);
+            }
+        }
+        DispatchLevel::Dispatch2 => {
+            // Copy selected by r / 4: two dynamic branches remain.
+            for b in 0..q {
+                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
+            }
+            let quad = r & !3;
+            tail_const(x, wt, k, n, out, q * TILE, quad);
+            let mut row = q * TILE + quad;
+            if r & 2 == 2 {
+                panel_const::<2>(x, wt, k, n, out, row);
+                row += 2;
+            }
+            if r & 1 == 1 {
+                panel_const::<1>(x, wt, k, n, out, row);
+            }
+        }
+        DispatchLevel::NoDispatch => {
+            // The single symbolic kernel: the compiler cannot prove any
+            // block is full, so every block runs predicated.
+            let blocks = m.div_ceil(TILE);
+            for b in 0..blocks {
+                panel_masked(x, wt, m, k, n, out, b * TILE);
+            }
+        }
+    }
+}
+
+/// A symbolic dense operator: weights captured at compile time, rows
+/// dynamic, dispatch level fixed by codegen configuration.
+#[derive(Debug, Clone)]
+pub struct SymbolicDense {
+    /// Weight matrix stored `[n, k]` (pre-transposed).
+    weight: Tensor,
+    /// Optional bias `[n]`.
+    bias: Option<Tensor>,
+    level: DispatchLevel,
+}
+
+impl SymbolicDense {
+    /// Build from weights (shape `[n, k]`) and optional bias.
+    ///
+    /// # Errors
+    /// Fails when the weight is not a rank-2 f32 tensor or the bias does
+    /// not match.
+    pub fn new(weight: Tensor, bias: Option<Tensor>, level: DispatchLevel) -> TResult<Self> {
+        if weight.rank() != 2 {
+            return Err(TensorError::invalid("SymbolicDense: weight must be [n, k]"));
+        }
+        weight.as_f32()?;
+        if let Some(b) = &bias {
+            if b.dims() != [weight.dims()[0]] {
+                return Err(TensorError::shape(
+                    "SymbolicDense bias",
+                    &[weight.dims()[0]],
+                    b.dims(),
+                ));
+            }
+        }
+        Ok(SymbolicDense {
+            weight,
+            bias,
+            level,
+        })
+    }
+
+    /// The dispatch level this kernel set was generated with.
+    pub fn level(&self) -> DispatchLevel {
+        self.level
+    }
+
+    /// Execute on an input `[m, k]` (or `[…, k]`) with dynamic `m`.
+    ///
+    /// # Errors
+    /// Fails on rank-0 input or contraction mismatch.
+    pub fn run(&self, x: &Tensor) -> TResult<Tensor> {
+        if x.rank() == 0 {
+            return Err(TensorError::invalid("SymbolicDense: rank >= 1 required"));
+        }
+        let k = *x.dims().last().expect("rank >= 1");
+        let (n, wk) = (self.weight.dims()[0], self.weight.dims()[1]);
+        if k != wk {
+            return Err(TensorError::shape("SymbolicDense", x.dims(), self.weight.dims()));
+        }
+        let m: usize = x.dims()[..x.rank() - 1].iter().product();
+        let mut out = vec![0.0f32; m * n];
+        dense_symbolic(
+            x.as_f32()?,
+            self.weight.as_f32()?,
+            m,
+            n,
+            k,
+            &mut out,
+            self.level,
+        );
+        if let Some(b) = &self.bias {
+            let bb = b.as_f32()?;
+            for row in out.chunks_mut(n) {
+                for (o, &bv) in row.iter_mut().zip(bb.iter()) {
+                    *o += bv;
+                }
+            }
+        }
+        let mut shape = x.dims()[..x.rank() - 1].to_vec();
+        shape.push(n);
+        Tensor::from_vec_f32(out, &shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::{Rng, SeedableRng};
+
+    fn reference(x: &[f32], wt: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += x[i * k + p] * wt[j * k + p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    const ALL_LEVELS: [DispatchLevel; 5] = [
+        DispatchLevel::Static,
+        DispatchLevel::Dispatch8,
+        DispatchLevel::Dispatch4,
+        DispatchLevel::Dispatch2,
+        DispatchLevel::NoDispatch,
+    ];
+
+    #[test]
+    fn all_levels_agree_on_every_residue() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let (n, k) = (6, 10);
+        let wt: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for m in 1..=17 {
+            let x: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let want = reference(&x, &wt, m, n, k);
+            for level in ALL_LEVELS {
+                let mut out = vec![0.0f32; m * n];
+                dense_symbolic(&x, &wt, m, n, k, &mut out, level);
+                for (got, expect) in out.iter().zip(want.iter()) {
+                    assert!(
+                        (got - expect).abs() < 1e-4,
+                        "level {level:?} m={m} mismatch"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copies_counts() {
+        assert_eq!(DispatchLevel::Dispatch8.copies(), 8);
+        assert_eq!(DispatchLevel::Dispatch4.copies(), 4);
+        assert_eq!(DispatchLevel::Dispatch2.copies(), 2);
+        assert_eq!(DispatchLevel::NoDispatch.copies(), 1);
+        assert_eq!(DispatchLevel::Dispatch8.label(), "dispatch/8");
+    }
+
+    #[test]
+    fn symbolic_dense_with_bias() {
+        let w = Tensor::from_vec_f32(vec![1., 0., 0., 1.], &[2, 2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![10., 20.], &[2]).unwrap();
+        let d = SymbolicDense::new(w, Some(b), DispatchLevel::Dispatch8).unwrap();
+        let x = Tensor::from_vec_f32(vec![1., 2., 3., 4., 5., 6.], &[3, 2]).unwrap();
+        let y = d.run(&x).unwrap();
+        assert_eq!(y.dims(), &[3, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[11., 22., 13., 24., 15., 26.]);
+    }
+
+    #[test]
+    fn symbolic_dense_validates() {
+        let w = Tensor::ones_f32(&[2, 2]);
+        let bad_bias = Tensor::ones_f32(&[3]);
+        assert!(SymbolicDense::new(w.clone(), Some(bad_bias), DispatchLevel::Dispatch8).is_err());
+        let d = SymbolicDense::new(w, None, DispatchLevel::Dispatch8).unwrap();
+        let bad_x = Tensor::ones_f32(&[3, 5]);
+        assert!(d.run(&bad_x).is_err());
+    }
+
+    #[test]
+    fn handles_leading_batch_dims() {
+        let w = Tensor::ones_f32(&[4, 3]);
+        let d = SymbolicDense::new(w, None, DispatchLevel::Dispatch4).unwrap();
+        let x = Tensor::ones_f32(&[2, 5, 3]);
+        let y = d.run(&x).unwrap();
+        assert_eq!(y.dims(), &[2, 5, 4]);
+        assert!(y.as_f32().unwrap().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn dispatch_levels_equivalent(
+            m in 1usize..33, n in 1usize..8, k in 1usize..12, seed in 0u64..64,
+        ) {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let x: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let wt: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut base = vec![0.0f32; m * n];
+            dense_symbolic(&x, &wt, m, n, k, &mut base, DispatchLevel::Static);
+            for level in [DispatchLevel::Dispatch4, DispatchLevel::Dispatch2, DispatchLevel::NoDispatch] {
+                let mut out = vec![0.0f32; m * n];
+                dense_symbolic(&x, &wt, m, n, k, &mut out, level);
+                for (a, b) in base.iter().zip(out.iter()) {
+                    prop_assert!((a - b).abs() < 1e-4);
+                }
+            }
+        }
+    }
+}

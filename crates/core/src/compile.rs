@@ -1,0 +1,346 @@
+//! The end-to-end compile driver.
+
+use crate::lower::lower_module;
+use crate::Result;
+use nimble_ir::Module;
+use nimble_passes::device_place::{place_function, DeviceKind, PlacementReport};
+use nimble_passes::memory_plan::{plan_function, MemPlanReport};
+use nimble_passes::type_infer::infer_function;
+use nimble_passes::{anf, fusion, opt};
+use nimble_vm::Executable;
+
+/// Compilation options (the ablation axes of Section 6.3).
+#[derive(Debug, Clone)]
+pub struct CompileOptions {
+    /// Compute-kernel target device.
+    pub target: DeviceKind,
+    /// Enable operator fusion.
+    pub fuse: bool,
+    /// Enable storage coalescing in memory planning.
+    pub coalesce: bool,
+    /// Enable constant folding / CSE / DCE.
+    pub optimize: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            target: DeviceKind::Cpu,
+            fuse: true,
+            coalesce: true,
+            optimize: true,
+        }
+    }
+}
+
+impl CompileOptions {
+    /// Options targeting the simulated GPU.
+    pub fn gpu() -> CompileOptions {
+        CompileOptions {
+            target: DeviceKind::Gpu,
+            ..CompileOptions::default()
+        }
+    }
+}
+
+/// Aggregate statistics from compilation (consumed by the microbenchmark
+/// harnesses).
+#[derive(Debug, Clone, Default)]
+pub struct CompileReport {
+    /// Memory-planning totals summed over all functions.
+    pub memplan: MemPlanReport,
+    /// Device-placement totals.
+    pub placement: PlacementReport,
+    /// Sizes of fused groups across functions.
+    pub fusion_groups: Vec<usize>,
+    /// Total bytecode instructions emitted.
+    pub instructions: usize,
+    /// Kernel-table entries.
+    pub kernels: usize,
+}
+
+fn merge_memplan(total: &mut MemPlanReport, part: MemPlanReport) {
+    total.tensors += part.tensors;
+    total.storages += part.storages;
+    total.storages_uncoalesced += part.storages_uncoalesced;
+    total.planned_bytes += part.planned_bytes;
+    total.unplanned_bytes += part.unplanned_bytes;
+    total.dynamic_allocs += part.dynamic_allocs;
+    total.shape_funcs += part.shape_funcs;
+}
+
+/// Compile a module through the full pipeline into a VM executable.
+///
+/// # Errors
+/// Propagates type-inference failures (static type errors), planning
+/// failures, and lowering failures.
+pub fn compile(module: &Module, opts: &CompileOptions) -> Result<(Executable, CompileReport)> {
+    let mut report = CompileReport::default();
+    let mut planned = Module::new();
+    for adt in module.adts() {
+        planned.add_adt(adt.clone());
+    }
+    for (name, func) in module.functions() {
+        // 1. Normalize.
+        let mut f = anf::to_anf(func);
+        // 2. Generic optimizations.
+        if opts.optimize {
+            f = opt::fold_constants(&f);
+            f = anf::to_anf(&f);
+            f = opt::eliminate_common_subexpr(&f);
+            f = opt::eliminate_dead_code(&f);
+        }
+        // 3. Fusion (with the dynamic-aware policy).
+        if opts.fuse {
+            f = fusion::fuse_function(&f);
+            report.fusion_groups.extend(fusion::fusion_stats(&f));
+        }
+        // 4. Type inference with Any propagation and sub-shaping.
+        let (types, _ret) = infer_function(module, &f)?;
+        // 5. Memory planning: explicit allocation + shape functions.
+        let (f, mem) = plan_function(&f, &types, opts.coalesce)?;
+        merge_memplan(&mut report.memplan, mem);
+        // 6. Device placement.
+        let (f, place) = place_function(&f, opts.target)?;
+        report.placement.copies_inserted += place.copies_inserted;
+        report.placement.cpu_values += place.cpu_values;
+        report.placement.device_values += place.device_values;
+        planned.add_function(&name.0, f);
+    }
+    // 7. Lower to bytecode.
+    let exe = lower_module(&planned)?;
+    report.instructions = exe.num_instructions();
+    report.kernels = exe.kernels.len();
+    Ok((exe, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_device::DeviceSet;
+    use nimble_ir::attrs::{AttrValue, Attrs};
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_tensor::{DType, Tensor};
+    use nimble_vm::{Object, VirtualMachine};
+    use std::sync::Arc;
+
+    fn run_main(exe: Executable, args: Vec<Object>) -> Tensor {
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        vm.run("main", args).unwrap().wait_tensor().unwrap()
+    }
+
+    #[test]
+    fn compile_and_run_static_chain() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[4], DType::F32));
+        let a = fb.call("relu", vec![x], Attrs::new());
+        let b = fb.call("tanh", vec![a], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(b));
+        let (exe, report) = compile(&m, &CompileOptions::default()).unwrap();
+        assert!(report.instructions > 0);
+        let out = run_main(
+            exe,
+            vec![Object::tensor(
+                Tensor::from_vec_f32(vec![-1.0, 0.0, 1.0, 2.0], &[4]).unwrap(),
+            )],
+        );
+        let v = out.as_f32().unwrap();
+        assert_eq!(v[0], 0.0);
+        assert!((v[3] - 2.0f32.tanh()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn compile_and_run_dynamic_concat() {
+        // Dynamic rows exercise shape functions + AllocTensorReg end to
+        // end.
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+        let y = fb.param("y", TensorType::new(&[1, 2], DType::F32));
+        let c = fb.call(
+            "concat",
+            vec![x, y],
+            Attrs::new().with("axis", AttrValue::Int(0)),
+        );
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(c));
+        let (exe, report) = compile(&m, &CompileOptions::default()).unwrap();
+        assert!(report.memplan.dynamic_allocs >= 1);
+        let out = run_main(
+            exe,
+            vec![
+                Object::tensor(Tensor::ones_f32(&[3, 2])),
+                Object::tensor(Tensor::from_vec_f32(vec![9.0, 9.0], &[1, 2]).unwrap()),
+            ],
+        );
+        assert_eq!(out.dims(), &[4, 2]);
+        assert_eq!(&out.as_f32().unwrap()[6..], &[9.0, 9.0]);
+    }
+
+    #[test]
+    fn compile_and_run_fused_dense() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let w = Tensor::rand_f32(&mut rng, &[8, 4], 0.5);
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+        let wc = fb.constant(w.clone());
+        let d = fb.call("dense", vec![x, wc], Attrs::new());
+        let t = fb.call("sigmoid", vec![d], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(t));
+        let (exe, report) = compile(&m, &CompileOptions::default()).unwrap();
+        assert_eq!(report.fusion_groups, vec![2], "dense+sigmoid fused");
+        let input = Tensor::rand_f32(&mut rng, &[5, 4], 1.0);
+        let out = run_main(exe, vec![Object::tensor(input.clone())]);
+        // Reference.
+        let want = nimble_tensor::kernels::sigmoid(
+            &nimble_tensor::kernels::dense(&input, &w, None).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(out.dims(), want.dims());
+        for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn compile_control_flow() {
+        // main(x, flag) = if flag { relu(x) } else { neg(x) }
+        use nimble_ir::expr::{Expr, Function, Var};
+        use nimble_ir::types::Type;
+        let x = Var::fresh("x", Type::Tensor(TensorType::new(&[2], DType::F32)));
+        let flag = Var::fresh("flag", Type::Tensor(TensorType::scalar(DType::Bool)));
+        let body = Expr::if_(
+            flag.to_expr(),
+            Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+            Expr::call_op("neg", vec![x.to_expr()], Attrs::new()),
+        );
+        let mut m = Module::new();
+        m.add_function(
+            "main",
+            Function::new(vec![x, flag], body, Type::Unknown),
+        );
+        let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
+        let t = Tensor::from_vec_f32(vec![-3.0, 4.0], &[2]).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let r_true = vm
+            .run(
+                "main",
+                vec![
+                    Object::tensor(t.clone()),
+                    Object::tensor(Tensor::scalar_bool(true)),
+                ],
+            )
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(r_true.as_f32().unwrap(), &[0.0, 4.0]);
+        let r_false = vm
+            .run(
+                "main",
+                vec![Object::tensor(t), Object::tensor(Tensor::scalar_bool(false))],
+            )
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(r_false.as_f32().unwrap(), &[3.0, -4.0]);
+    }
+
+    #[test]
+    fn compile_for_gpu_inserts_copies_and_runs() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+        let y = fb.param("y", TensorType::new(&[1, 2], DType::F32));
+        let c = fb.call(
+            "concat",
+            vec![x, y],
+            Attrs::new().with("axis", AttrValue::Int(0)),
+        );
+        let t = fb.call("tanh", vec![c], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(t));
+        let (exe, report) = compile(&m, &CompileOptions::gpu()).unwrap();
+        assert!(report.placement.copies_inserted > 0);
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
+        let out = vm
+            .run(
+                "main",
+                vec![
+                    Object::tensor(Tensor::ones_f32(&[2, 2])),
+                    Object::tensor(Tensor::ones_f32(&[1, 2])),
+                ],
+            )
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(out.dims(), &[3, 2]);
+        let expect = 1.0f32.tanh();
+        assert!(out.as_f32().unwrap().iter().all(|&v| (v - expect).abs() < 1e-6));
+        assert!(vm.devices().gpu().launch_count() >= 1);
+    }
+
+    #[test]
+    fn executable_serialization_end_to_end() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[3], DType::F32));
+        let w = fb.constant(Tensor::from_vec_f32(vec![2.0, 2.0, 2.0], &[3]).unwrap());
+        let p = fb.call("mul", vec![x, w], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(p));
+        let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
+        let bytes = exe.save();
+        let loaded = Executable::load(&bytes).unwrap();
+        let out = run_main(
+            loaded,
+            vec![Object::tensor(
+                Tensor::from_vec_f32(vec![1.0, 2.0, 3.0], &[3]).unwrap(),
+            )],
+        );
+        assert_eq!(out.as_f32().unwrap(), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn static_type_errors_rejected_at_compile_time() {
+        let mut fb = FunctionBuilder::new("main");
+        let a = fb.param("a", TensorType::new(&[2], DType::F32));
+        let b = fb.param("b", TensorType::new(&[3], DType::F32));
+        let s = fb.call("add", vec![a, b], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(s));
+        assert!(compile(&m, &CompileOptions::default()).is_err());
+    }
+
+    #[test]
+    fn deferred_dynamic_check_fails_at_runtime() {
+        // add(x: (Any,), y: (3,)) type-checks statically (gradual typing);
+        // feeding an incompatible runtime shape must fail in the VM, not
+        // crash.
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+        let y = fb.param("y", TensorType::new(&[3], DType::F32));
+        let s = fb.call("add", vec![x, y], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(s));
+        let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        // Compatible: broadcast of (1,) against (3,).
+        let ok = vm.run(
+            "main",
+            vec![
+                Object::tensor(Tensor::ones_f32(&[1])),
+                Object::tensor(Tensor::ones_f32(&[3])),
+            ],
+        );
+        assert!(ok.is_ok());
+        // Incompatible: (2,) against (3,).
+        let err = vm.run(
+            "main",
+            vec![
+                Object::tensor(Tensor::ones_f32(&[2])),
+                Object::tensor(Tensor::ones_f32(&[3])),
+            ],
+        );
+        assert!(err.is_err());
+    }
+}

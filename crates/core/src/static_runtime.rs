@@ -1,0 +1,338 @@
+//! The static baseline runtime (the "TVM" rows of Table 4 and the
+//! footprint comparison of Section 6.3).
+//!
+//! For fully static models, a deep-learning compiler needs none of
+//! Nimble's machinery: shapes are known, so memory is pre-planned with a
+//! liveness-based arena, kernels are specialized to exact shapes, and the
+//! runtime is a sequential executor that "traverses the input data flow
+//! graph in topological order and invokes operators sequentially"
+//! (Section 5). This module implements that baseline over the *same*
+//! kernels the VM uses, so Nimble-vs-static differences isolate the cost
+//! of dynamism (symbolic kernels, shape functions, VM dispatch, dynamic
+//! allocation).
+
+use crate::{CompileError, Result};
+use nimble_codegen::kernel::Kernel;
+use nimble_ir::expr::{Expr, ExprKind, Function};
+use nimble_ir::Module;
+use nimble_passes::type_infer::infer_function;
+use nimble_passes::{anf, fusion, opt};
+use nimble_tensor::Tensor;
+use std::collections::HashMap;
+
+/// Where a step reads a value from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ValueRef {
+    /// Model input by position.
+    Param(usize),
+    /// Constant-pool entry.
+    Const(usize),
+    /// Output slot of an earlier step.
+    Slot(usize),
+}
+
+#[derive(Debug)]
+struct Step {
+    kernel: Kernel,
+    inputs: Vec<ValueRef>,
+    output: usize,
+}
+
+/// A compiled static graph: pre-planned slots, sequential execution.
+#[derive(Debug)]
+pub struct StaticGraph {
+    steps: Vec<Step>,
+    constants: Vec<Tensor>,
+    num_params: usize,
+    num_slots: usize,
+    result: ValueRef,
+    arena_bytes: u64,
+    unshared_bytes: u64,
+}
+
+impl StaticGraph {
+    /// Compile the `main` function of a fully static module.
+    ///
+    /// # Errors
+    /// Fails when the model contains control flow, ADTs, or any dynamic
+    /// shape — exactly the cases the static baseline cannot express.
+    pub fn compile(module: &Module, fuse: bool) -> Result<StaticGraph> {
+        let func = module.function("main")?;
+        let mut f = anf::to_anf(func);
+        f = opt::fold_constants(&f);
+        f = anf::to_anf(&f);
+        f = opt::eliminate_dead_code(&f);
+        if fuse {
+            f = fusion::fuse_function(&f);
+        }
+        let (types, ret) = infer_function(module, &f)?;
+        let ret_tt = ret.as_tensor()?;
+        if !ret_tt.is_static() {
+            return Err(CompileError::msg(
+                "static runtime requires fully static shapes",
+            ));
+        }
+        build_graph(&f, &types)
+    }
+
+    /// Execute on a set of input tensors.
+    ///
+    /// # Errors
+    /// Propagates kernel failures and input-count mismatches.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<Tensor> {
+        if inputs.len() != self.num_params {
+            return Err(CompileError::msg(format!(
+                "static graph expects {} inputs, got {}",
+                self.num_params,
+                inputs.len()
+            )));
+        }
+        let mut slots: Vec<Option<Tensor>> = vec![None; self.num_slots];
+        let fetch = |slots: &[Option<Tensor>], r: ValueRef| -> Result<Tensor> {
+            Ok(match r {
+                ValueRef::Param(i) => inputs[i].clone(),
+                ValueRef::Const(i) => self.constants[i].clone(),
+                ValueRef::Slot(i) => slots[i]
+                    .clone()
+                    .ok_or_else(|| CompileError::msg("slot read before write"))?,
+            })
+        };
+        for step in &self.steps {
+            let ins: Vec<Tensor> = step
+                .inputs
+                .iter()
+                .map(|&r| fetch(&slots, r))
+                .collect::<Result<_>>()?;
+            let outs = step
+                .kernel
+                .invoke(&ins)
+                .map_err(|e| CompileError::msg(e.to_string()))?;
+            slots[step.output] = Some(
+                outs.into_iter()
+                    .next()
+                    .ok_or_else(|| CompileError::msg("kernel produced no output"))?,
+            );
+        }
+        fetch(&slots, self.result)
+    }
+
+    /// Bytes of intermediate memory after static planning (liveness-based
+    /// arena reuse) — the "TVM statically analyze and pre-allocate memory"
+    /// number of the footprint study.
+    pub fn arena_bytes(&self) -> u64 {
+        self.arena_bytes
+    }
+
+    /// Bytes the same intermediates would need without reuse.
+    pub fn unshared_bytes(&self) -> u64 {
+        self.unshared_bytes
+    }
+
+    /// Number of kernel invocations per run.
+    pub fn num_steps(&self) -> usize {
+        self.steps.len()
+    }
+}
+
+fn build_graph(
+    f: &Function,
+    types: &nimble_passes::type_infer::TypeMap,
+) -> Result<StaticGraph> {
+    let mut param_pos: HashMap<u32, usize> = HashMap::new();
+    for (i, p) in f.params.iter().enumerate() {
+        param_pos.insert(p.id, i);
+    }
+    let mut constants: Vec<Tensor> = Vec::new();
+    let mut const_memo: HashMap<usize, usize> = HashMap::new();
+    let mut slot_of: HashMap<u32, usize> = HashMap::new();
+    let mut slot_bytes: Vec<u64> = Vec::new();
+    let mut steps: Vec<Step> = Vec::new();
+
+    let value_ref = |a: &Expr,
+                         constants: &mut Vec<Tensor>,
+                         const_memo: &mut HashMap<usize, usize>,
+                         slot_of: &HashMap<u32, usize>,
+                         param_pos: &HashMap<u32, usize>|
+     -> Result<ValueRef> {
+        match a.kind() {
+            ExprKind::Var(v) => {
+                if let Some(&p) = param_pos.get(&v.id) {
+                    Ok(ValueRef::Param(p))
+                } else if let Some(&s) = slot_of.get(&v.id) {
+                    Ok(ValueRef::Slot(s))
+                } else {
+                    Err(CompileError::msg(format!("unbound {v} in static graph")))
+                }
+            }
+            ExprKind::Constant(t) => {
+                let idx = *const_memo.entry(a.ref_id()).or_insert_with(|| {
+                    constants.push(t.clone());
+                    constants.len() - 1
+                });
+                Ok(ValueRef::Const(idx))
+            }
+            other => Err(CompileError::msg(format!(
+                "static graph arguments must be atoms, got {other:?}"
+            ))),
+        }
+    };
+
+    let mut cur = f.body.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        let (kernel, args) = match value.kind() {
+            ExprKind::Call {
+                callee,
+                args,
+                attrs,
+            } => match callee.kind() {
+                ExprKind::Op(name) => (
+                    Kernel::from_op(name, attrs, false)
+                        .map_err(|e| CompileError::msg(e.to_string()))?,
+                    args.clone(),
+                ),
+                ExprKind::Func(pf) if fusion::is_primitive_call(value) => (
+                    Kernel::from_primitive(pf)
+                        .map_err(|e| CompileError::msg(e.to_string()))?,
+                    args.clone(),
+                ),
+                other => {
+                    return Err(CompileError::msg(format!(
+                        "static graph supports only operator calls, got {other:?}"
+                    )))
+                }
+            },
+            other => {
+                return Err(CompileError::msg(format!(
+                    "static graph supports only kernel bindings, got {other:?}"
+                )))
+            }
+        };
+        let inputs = args
+            .iter()
+            .map(|a| value_ref(a, &mut constants, &mut const_memo, &slot_of, &param_pos))
+            .collect::<Result<Vec<_>>>()?;
+        // Output size from the inferred type.
+        let tt = types
+            .var(var)
+            .ok_or_else(|| CompileError::msg("missing type in static graph"))?
+            .as_tensor()?;
+        if !tt.is_static() {
+            return Err(CompileError::msg(
+                "static runtime requires fully static shapes",
+            ));
+        }
+        let out_slot = slot_bytes.len();
+        slot_bytes.push(tt.max_nbytes(1));
+        slot_of.insert(var.id, out_slot);
+        steps.push(Step {
+            kernel,
+            inputs,
+            output: out_slot,
+        });
+        cur = body.clone();
+    }
+    let result = value_ref(&cur, &mut constants, &mut const_memo, &slot_of, &param_pos)?;
+
+    // Liveness-based arena plan: last read position per slot, greedy reuse.
+    let mut last_use: Vec<usize> = (0..slot_bytes.len()).collect();
+    for (pos, step) in steps.iter().enumerate() {
+        for r in &step.inputs {
+            if let ValueRef::Slot(s) = r {
+                last_use[*s] = pos;
+            }
+        }
+    }
+    if let ValueRef::Slot(s) = result {
+        last_use[s] = usize::MAX;
+    }
+    let mut arena: Vec<(u64, usize)> = Vec::new(); // (size, free_after)
+    let mut arena_bytes = 0u64;
+    for (pos, step) in steps.iter().enumerate() {
+        let size = slot_bytes[step.output];
+        let end = last_use[step.output];
+        if let Some(block) = arena
+            .iter_mut()
+            .find(|(bsize, free_after)| *free_after < pos && *bsize >= size)
+        {
+            block.1 = end;
+        } else {
+            arena.push((size, end));
+            arena_bytes += size;
+        }
+    }
+    let unshared_bytes = slot_bytes.iter().sum();
+
+    Ok(StaticGraph {
+        steps,
+        constants,
+        num_params: f.params.len(),
+        num_slots: slot_bytes.len(),
+        result,
+        arena_bytes,
+        unshared_bytes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_ir::attrs::Attrs;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_tensor::DType;
+
+    #[test]
+    fn runs_static_chain() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[4], DType::F32));
+        let a = fb.call("relu", vec![x], Attrs::new());
+        let b = fb.call("tanh", vec![a], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(b));
+        let g = StaticGraph::compile(&m, true).unwrap();
+        let out = g
+            .run(&[Tensor::from_vec_f32(vec![-1.0, 0.0, 1.0, 2.0], &[4]).unwrap()])
+            .unwrap();
+        assert_eq!(out.as_f32().unwrap()[0], 0.0);
+        assert!((out.as_f32().unwrap()[3] - 2.0f32.tanh()).abs() < 1e-6);
+        // Fusion compressed the two ops into one step.
+        assert_eq!(g.num_steps(), 1);
+    }
+
+    #[test]
+    fn rejects_dynamic_shapes() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+        let a = fb.call("relu", vec![x], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(a));
+        assert!(StaticGraph::compile(&m, true).is_err());
+    }
+
+    #[test]
+    fn arena_reuses_disjoint_lifetimes() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[64], DType::F32));
+        let mut h = x;
+        for _ in 0..4 {
+            h = fb.call("tanh", vec![h], Attrs::new());
+        }
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(h));
+        // Disable fusion so the chain stays 4 steps.
+        let g = StaticGraph::compile(&m, false).unwrap();
+        assert_eq!(g.num_steps(), 4);
+        assert!(g.arena_bytes() < g.unshared_bytes());
+    }
+
+    #[test]
+    fn input_count_checked() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[2], DType::F32));
+        let a = fb.call("relu", vec![x], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(a));
+        let g = StaticGraph::compile(&m, true).unwrap();
+        assert!(g.run(&[]).is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! Futures for asynchronously produced tensors.
+//!
+//! A GPU kernel launch returns immediately; its outputs become
+//! [`TensorFuture`]s that materialize when the stream thread retires the
+//! job. Reading a future from the host blocks, which is exactly the
+//! "synchronization" cost the paper's device placement minimizes.
+
+use nimble_tensor::Tensor;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+#[derive(Debug)]
+enum State {
+    Pending,
+    Ready(Vec<Tensor>),
+    Failed(String),
+}
+
+/// A handle to the (future) outputs of an asynchronous kernel launch.
+#[derive(Debug, Clone)]
+pub struct TensorFuture {
+    inner: Arc<(Mutex<State>, Condvar)>,
+}
+
+impl TensorFuture {
+    /// Create an unresolved future.
+    pub fn pending() -> TensorFuture {
+        TensorFuture {
+            inner: Arc::new((Mutex::new(State::Pending), Condvar::new())),
+        }
+    }
+
+    /// Create an already-resolved future (CPU kernels use this so callers
+    /// have a uniform interface).
+    pub fn ready(outputs: Vec<Tensor>) -> TensorFuture {
+        TensorFuture {
+            inner: Arc::new((Mutex::new(State::Ready(outputs)), Condvar::new())),
+        }
+    }
+
+    /// Resolve the future with kernel outputs (called by the stream
+    /// thread).
+    pub fn fulfill(&self, outputs: Vec<Tensor>) {
+        let (lock, cond) = &*self.inner;
+        *lock.lock() = State::Ready(outputs);
+        cond.notify_all();
+    }
+
+    /// Resolve the future with an error.
+    pub fn fail(&self, msg: String) {
+        let (lock, cond) = &*self.inner;
+        *lock.lock() = State::Failed(msg);
+        cond.notify_all();
+    }
+
+    /// Whether the future has resolved (without blocking).
+    pub fn is_ready(&self) -> bool {
+        !matches!(*self.inner.0.lock(), State::Pending)
+    }
+
+    /// Block until resolved and return the outputs.
+    ///
+    /// # Errors
+    /// Propagates the kernel's failure message.
+    pub fn wait(&self) -> Result<Vec<Tensor>, String> {
+        let (lock, cond) = &*self.inner;
+        let mut state = lock.lock();
+        while matches!(*state, State::Pending) {
+            cond.wait(&mut state);
+        }
+        match &*state {
+            State::Ready(v) => Ok(v.clone()),
+            State::Failed(m) => Err(m.clone()),
+            State::Pending => unreachable!("loop exits only when resolved"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ready_future_returns_immediately() {
+        let f = TensorFuture::ready(vec![Tensor::scalar_f32(1.0)]);
+        assert!(f.is_ready());
+        assert_eq!(f.wait().unwrap()[0].scalar_value_f32().unwrap(), 1.0);
+    }
+
+    #[test]
+    fn pending_future_blocks_until_fulfilled() {
+        let f = TensorFuture::pending();
+        assert!(!f.is_ready());
+        let f2 = f.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            f2.fulfill(vec![Tensor::scalar_f32(7.0)]);
+        });
+        let out = f.wait().unwrap();
+        assert_eq!(out[0].scalar_value_f32().unwrap(), 7.0);
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn failed_future_propagates_error() {
+        let f = TensorFuture::pending();
+        f.fail("kernel exploded".into());
+        assert!(f.is_ready());
+        assert_eq!(f.wait().unwrap_err(), "kernel exploded");
+    }
+}

@@ -1,0 +1,301 @@
+//! The dynamic-batching baseline (TensorFlow Fold-like).
+//!
+//! Fold's approach (Section 7): analyze the user's per-input computation,
+//! identify operations that can be batched together, transform them into a
+//! graph the framework can evaluate. The benefit is large batched kernels;
+//! the cost is that *every input* has a different structure, so the
+//! analysis + graph construction — the "compile" step — runs per input
+//! ("TensorFlow Fold is 5.2× slower than Nimble on Intel CPU because it
+//! has to re-compile upon every input", Section 6.2).
+//!
+//! For the child-sum Tree-LSTM, batching groups tree nodes by height:
+//! every node whose children are complete at level `d` computes in one
+//! batched dense call at level `d`.
+
+use crate::graphflow::{Graph, GraphOp, Port};
+use nimble_models::data::TreeNode;
+use nimble_models::TreeLstmModel;
+use nimble_tensor::{kernels, Tensor};
+use std::collections::HashMap;
+
+/// Statistics from one fold compilation (used by tests and benches).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FoldStats {
+    /// Depth levels (batched super-steps).
+    pub levels: usize,
+    /// Graph nodes constructed for this input.
+    pub graph_nodes: usize,
+    /// Total tree nodes batched.
+    pub tree_nodes: usize,
+}
+
+/// Per-level batching plan (intermediate analysis result).
+struct LevelPlan {
+    /// Leaf embeddings concatenated at level 0.
+    leaf_inputs: Vec<Tensor>,
+    /// For internal levels: (left child ref, right child ref) where a ref
+    /// is (level, row) of the child's output.
+    pairs: Vec<((usize, usize), (usize, usize))>,
+}
+
+/// Analyze a tree into depth levels (the Fold "blocks compiler" front
+/// end). Returns the plan plus each node's (level, row) coordinate.
+fn analyze(tree: &TreeNode, levels: &mut Vec<LevelPlan>) -> (usize, usize) {
+    match tree {
+        TreeNode::Leaf(x) => {
+            if levels.is_empty() {
+                levels.push(LevelPlan {
+                    leaf_inputs: Vec::new(),
+                    pairs: Vec::new(),
+                });
+            }
+            levels[0].leaf_inputs.push(x.clone());
+            (0, levels[0].leaf_inputs.len() - 1)
+        }
+        TreeNode::Node(l, r) => {
+            let lref = analyze(l, levels);
+            let rref = analyze(r, levels);
+            let level = lref.0.max(rref.0) + 1;
+            while levels.len() <= level {
+                levels.push(LevelPlan {
+                    leaf_inputs: Vec::new(),
+                    pairs: Vec::new(),
+                });
+            }
+            levels[level].pairs.push((lref, rref));
+            (level, levels[level].pairs.len() - 1)
+        }
+    }
+}
+
+/// A per-input compiled fold program: a dataflow graph whose nodes are
+/// batched level steps.
+pub struct FoldProgram {
+    graph: Graph,
+    /// Statistics from compilation.
+    pub stats: FoldStats,
+}
+
+/// Compile a tree into a batched program (runs per input).
+pub fn compile(model: &TreeLstmModel, tree: &TreeNode) -> FoldProgram {
+    let mut levels: Vec<LevelPlan> = Vec::new();
+    let root = analyze(tree, &mut levels);
+    let tree_nodes = tree.num_nodes();
+
+    // Build the dataflow graph: one batched (h, c) pair of nodes per
+    // level. Outputs of level d are [rows_d, H] matrices; child gathers
+    // are row slices.
+    let mut g = Graph::new(0);
+    // (level -> (h node, c node))
+    let mut level_nodes: HashMap<usize, (usize, usize)> = HashMap::new();
+
+    // Level 0: batched leaf transform.
+    let leaf_batch = {
+        let rows: Vec<&Tensor> = levels[0].leaf_inputs.iter().collect();
+        kernels::concat(&rows, 0).expect("leaf batch")
+    };
+    let leaves = g.add(GraphOp::Const(leaf_batch), vec![]);
+    let (w_iou, b_iou) = (model.w_iou.clone(), model.b_iou.clone());
+    let leaf_hc = g.kernel("leaf_batch", vec![Port::of(leaves)], move |ins| {
+        let iou = kernels::add(
+            &kernels::dense(&ins[0], &w_iou, None).expect("dense"),
+            &b_iou,
+        )
+        .expect("bias");
+        let parts = kernels::split(&iou, 3, 1).expect("split");
+        let i = kernels::sigmoid(&parts[0]).expect("i");
+        let o = kernels::sigmoid(&parts[1]).expect("o");
+        let u = kernels::tanh(&parts[2]).expect("u");
+        let c = kernels::mul(&i, &u).expect("c");
+        let h = kernels::mul(&o, &kernels::tanh(&c).expect("tc")).expect("h");
+        // Stack h and c as [2, rows, H] so one node carries both.
+        let rows = h.dims()[0];
+        let cols = h.dims()[1];
+        let mut data = h.as_f32().expect("h").to_vec();
+        data.extend_from_slice(c.as_f32().expect("c"));
+        Tensor::from_vec_f32(data, &[2, rows, cols]).expect("stack")
+    });
+    level_nodes.insert(0, (leaf_hc, leaf_hc));
+
+    for (level, plan) in levels.iter().enumerate().skip(1) {
+        // Gather child rows from earlier level outputs.
+        let pairs = plan.pairs.clone();
+        let inputs: Vec<Port> = {
+            // Depend on every level referenced by this one.
+            let mut deps: Vec<usize> = pairs
+                .iter()
+                .flat_map(|(l, r)| [l.0, r.0])
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            deps.iter()
+                .map(|d| Port::of(level_nodes[d].0))
+                .collect()
+        };
+        let dep_levels: Vec<usize> = {
+            let mut deps: Vec<usize> = pairs
+                .iter()
+                .flat_map(|(l, r)| [l.0, r.0])
+                .collect();
+            deps.sort_unstable();
+            deps.dedup();
+            deps
+        };
+        let (u_iou, b_iou) = (model.u_iou.clone(), model.b_iou.clone());
+        let (u_f, b_f) = (model.u_f.clone(), model.b_f.clone());
+        let node = g.kernel("level_batch", inputs, move |ins| {
+            // Map level -> its [2, rows, H] stack.
+            let by_level: HashMap<usize, &Tensor> =
+                dep_levels.iter().copied().zip(ins.iter()).collect();
+            let pick = |(lvl, row): (usize, usize), which: usize| -> Tensor {
+                let stack = by_level[&lvl];
+                let h = stack.dims()[2];
+                kernels::slice(stack, &[which, row, 0], &[which + 1, row + 1, h])
+                    .expect("slice")
+                    .reshaped(&[1, h])
+                    .expect("row")
+            };
+            // Batch children.
+            let hl: Vec<Tensor> = pairs.iter().map(|&(l, _)| pick(l, 0)).collect();
+            let hr: Vec<Tensor> = pairs.iter().map(|&(_, r)| pick(r, 0)).collect();
+            let cl: Vec<Tensor> = pairs.iter().map(|&(l, _)| pick(l, 1)).collect();
+            let cr: Vec<Tensor> = pairs.iter().map(|&(_, r)| pick(r, 1)).collect();
+            let cat = |rows: &[Tensor]| {
+                let refs: Vec<&Tensor> = rows.iter().collect();
+                kernels::concat(&refs, 0).expect("cat")
+            };
+            let (hl, hr, cl, cr) = (cat(&hl), cat(&hr), cat(&cl), cat(&cr));
+            let hs = kernels::add(&hl, &hr).expect("hs");
+            let iou = kernels::add(
+                &kernels::dense(&hs, &u_iou, None).expect("dense"),
+                &b_iou,
+            )
+            .expect("bias");
+            let parts = kernels::split(&iou, 3, 1).expect("split");
+            let i = kernels::sigmoid(&parts[0]).expect("i");
+            let o = kernels::sigmoid(&parts[1]).expect("o");
+            let u = kernels::tanh(&parts[2]).expect("u");
+            let f = |h: &Tensor| {
+                kernels::sigmoid(
+                    &kernels::add(&kernels::dense(h, &u_f, None).expect("uf"), &b_f)
+                        .expect("bf"),
+                )
+                .expect("sig")
+            };
+            let c = kernels::add(
+                &kernels::mul(&i, &u).expect("iu"),
+                &kernels::add(
+                    &kernels::mul(&f(&hl), &cl).expect("fl"),
+                    &kernels::mul(&f(&hr), &cr).expect("fr"),
+                )
+                .expect("fsum"),
+            )
+            .expect("c");
+            let h = kernels::mul(&o, &kernels::tanh(&c).expect("tc")).expect("h");
+            let rows = h.dims()[0];
+            let cols = h.dims()[1];
+            let mut data = h.as_f32().expect("h").to_vec();
+            data.extend_from_slice(c.as_f32().expect("c"));
+            Tensor::from_vec_f32(data, &[2, rows, cols]).expect("stack")
+        });
+        level_nodes.insert(level, (node, node));
+    }
+
+    // Classifier on the root's h row.
+    let (root_level, root_row) = root;
+    let w_cls = model.w_cls.clone();
+    let hidden = model.config.hidden;
+    let cls = g.kernel(
+        "classifier",
+        vec![Port::of(level_nodes[&root_level].0)],
+        move |ins| {
+            let h = kernels::slice(
+                &ins[0],
+                &[0, root_row, 0],
+                &[1, root_row + 1, hidden],
+            )
+            .expect("root slice")
+            .reshaped(&[1, hidden])
+            .expect("root row");
+            kernels::dense(&h, &w_cls, None).expect("classifier")
+        },
+    );
+    g.set_outputs(vec![Port::of(cls)]);
+    let stats = FoldStats {
+        levels: levels.len(),
+        graph_nodes: g.num_nodes(),
+        tree_nodes,
+    };
+    FoldProgram { graph: g, stats }
+}
+
+impl FoldProgram {
+    /// Execute the batched program.
+    pub fn run(&self) -> Tensor {
+        self.graph.run(&[]).remove(0)
+    }
+
+    /// Execute with an optional device stream.
+    pub fn run_with(&self, stream: Option<&nimble_device::GpuStream>) -> Tensor {
+        self.graph.run_with(&[], stream).remove(0)
+    }
+}
+
+/// End-to-end Fold inference: compile (per input!) then run.
+pub fn tree_lstm_forward(model: &TreeLstmModel, tree: &TreeNode) -> Tensor {
+    compile(model, tree).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_models::TreeLstmConfig;
+    use rand::SeedableRng;
+
+    fn tiny_model() -> TreeLstmModel {
+        TreeLstmModel::new(TreeLstmConfig {
+            input: 4,
+            hidden: 5,
+            classes: 3,
+            seed: 2,
+        })
+    }
+
+    #[test]
+    fn fold_matches_reference() {
+        let model = tiny_model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for leaves in [1usize, 2, 5, 11] {
+            let tree = model.random_tree(&mut rng, leaves);
+            let got = tree_lstm_forward(&model, &tree);
+            let want = model.reference(&tree);
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-4, "leaves {leaves}");
+            }
+        }
+    }
+
+    #[test]
+    fn batching_reduces_kernel_steps() {
+        // A balanced 8-leaf tree has 15 nodes but only 4 levels → the fold
+        // graph is much smaller than per-node execution.
+        let model = tiny_model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let tree = model.random_tree(&mut rng, 8);
+        let prog = compile(&model, &tree);
+        assert!(prog.stats.levels < prog.stats.tree_nodes);
+        assert_eq!(prog.stats.tree_nodes, 15);
+        assert!(prog.stats.graph_nodes <= prog.stats.tree_nodes);
+    }
+
+    #[test]
+    fn recompilation_needed_per_structure() {
+        // Different structures give different programs — the cost Fold pays
+        // per input.
+        let model = tiny_model();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let a = compile(&model, &model.random_tree(&mut rng, 4));
+        let b = compile(&model, &model.random_tree(&mut rng, 12));
+        assert_ne!(a.stats, b.stats);
+    }
+}

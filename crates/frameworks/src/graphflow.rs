@@ -1,0 +1,776 @@
+//! The define-then-run dataflow baseline (TensorFlow / MXNet-like).
+//!
+//! A model is a [`Graph`] built once and executed many times by a
+//! ready-queue dataflow scheduler: per run, the executor allocates
+//! node-state vectors, counts down input dependencies, and fires nodes as
+//! they become ready — the scheduling machinery whose overhead the paper
+//! attributes to frameworks on control-flow-heavy models.
+//!
+//! Dynamic control flow is available in both styles the paper describes:
+//!
+//! * TF1-style **`Switch`/`Merge`** primitives (dead branches simply never
+//!   fire);
+//! * functional **`WhileLoop`** (TF2/MXNet `while_loop`): condition and
+//!   body subgraphs re-scheduled on every iteration;
+//! * **`Foreach`** (MXNet): the body subgraph mapped over axis-0 slices.
+
+use nimble_device::{GpuStream, TensorFuture};
+use nimble_models::{BertModel, LstmModel};
+use nimble_tensor::{kernels, Tensor};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Node id within a graph.
+pub type NodeId = usize;
+
+/// An edge source: producing node plus output port (Switch has two ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Port {
+    /// Producing node.
+    pub node: NodeId,
+    /// Output port index.
+    pub port: usize,
+}
+
+impl Port {
+    /// Port 0 of a node.
+    pub fn of(node: NodeId) -> Port {
+        Port { node, port: 0 }
+    }
+}
+
+type KernelFn = Arc<dyn Fn(&[Tensor]) -> Tensor + Send + Sync>;
+
+/// Node operation.
+#[derive(Clone)]
+pub enum GraphOp {
+    /// Model input by position.
+    Placeholder(usize),
+    /// Embedded constant (weights).
+    Const(Tensor),
+    /// Kernel invocation.
+    Kernel {
+        /// Diagnostic name.
+        name: &'static str,
+        /// The kernel closure.
+        f: KernelFn,
+    },
+    /// TF1-style Switch: inputs `(data, pred)`; emits `data` on port 1
+    /// when the predicate is true, port 0 otherwise.
+    Switch,
+    /// TF1-style Merge: fires with whichever input arrives (exactly one
+    /// must).
+    Merge,
+    /// Functional while loop: `state' = body(state…, extras…)` while
+    /// `cond(state…, extras…)`.
+    WhileLoop {
+        /// Condition subgraph (outputs one bool scalar).
+        cond: Arc<Graph>,
+        /// Body subgraph (outputs `state_arity` tensors).
+        body: Arc<Graph>,
+        /// Number of loop-carried state values.
+        state_arity: usize,
+    },
+    /// MXNet-style foreach: maps `body(slice, state…)` over axis-0 slices
+    /// of the first input.
+    Foreach {
+        /// Body subgraph: inputs `(slice, state…)`, outputs new state.
+        body: Arc<Graph>,
+        /// Number of loop-carried state values.
+        state_arity: usize,
+    },
+}
+
+impl std::fmt::Debug for GraphOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphOp::Placeholder(i) => write!(f, "Placeholder({i})"),
+            GraphOp::Const(t) => write!(f, "Const{:?}", t.dims()),
+            GraphOp::Kernel { name, .. } => write!(f, "Kernel({name})"),
+            GraphOp::Switch => write!(f, "Switch"),
+            GraphOp::Merge => write!(f, "Merge"),
+            GraphOp::WhileLoop { .. } => write!(f, "WhileLoop"),
+            GraphOp::Foreach { .. } => write!(f, "Foreach"),
+        }
+    }
+}
+
+/// A dataflow node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// Operation.
+    pub op: GraphOp,
+    /// Input edges.
+    pub inputs: Vec<Port>,
+}
+
+/// A dataflow graph (also used as loop subgraphs).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+    outputs: Vec<Port>,
+    num_inputs: usize,
+}
+
+impl Graph {
+    /// Empty graph expecting `num_inputs` feed values.
+    pub fn new(num_inputs: usize) -> Graph {
+        Graph {
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+            num_inputs,
+        }
+    }
+
+    /// Add a node, returning its id.
+    pub fn add(&mut self, op: GraphOp, inputs: Vec<Port>) -> NodeId {
+        self.nodes.push(Node { op, inputs });
+        self.nodes.len() - 1
+    }
+
+    /// Add a kernel node from a closure.
+    pub fn kernel(
+        &mut self,
+        name: &'static str,
+        inputs: Vec<Port>,
+        f: impl Fn(&[Tensor]) -> Tensor + Send + Sync + 'static,
+    ) -> NodeId {
+        self.add(
+            GraphOp::Kernel {
+                name,
+                f: Arc::new(f),
+            },
+            inputs,
+        )
+    }
+
+    /// Mark graph outputs.
+    pub fn set_outputs(&mut self, outputs: Vec<Port>) {
+        self.outputs = outputs;
+    }
+
+    /// Number of nodes (diagnostics).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Execute with the ready-queue scheduler on the host CPU.
+    ///
+    /// # Panics
+    /// Panics on malformed graphs (cycles outside loop bodies, missing
+    /// outputs) — graphs are constructed by the model builders below.
+    pub fn run(&self, feeds: &[Tensor]) -> Vec<Tensor> {
+        self.run_with(feeds, None)
+    }
+
+    /// Execute, optionally launching each kernel node on a device stream
+    /// and synchronizing per node — the per-op launch/sync cost structure
+    /// of frameworks driving an accelerator with dynamic models.
+    ///
+    /// # Panics
+    /// Same conditions as [`Graph::run`].
+    pub fn run_with(&self, feeds: &[Tensor], stream: Option<&GpuStream>) -> Vec<Tensor> {
+        assert_eq!(feeds.len(), self.num_inputs, "feed count mismatch");
+        let n = self.nodes.len();
+        // Per-run executor state: the allocation the paper counts against
+        // graph runtimes.
+        let mut values: Vec<Vec<Option<Tensor>>> = self
+            .nodes
+            .iter()
+            .map(|node| match &node.op {
+                GraphOp::Switch => vec![None, None],
+                GraphOp::WhileLoop { state_arity, .. }
+                | GraphOp::Foreach { state_arity, .. } => vec![None; *state_arity],
+                _ => vec![None],
+            })
+            .collect();
+        let mut pending: Vec<usize> = self
+            .nodes
+            .iter()
+            .map(|node| match node.op {
+                GraphOp::Merge => 1,
+                _ => node.inputs.len(),
+            })
+            .collect();
+        // Consumer lists for countdown.
+        let mut consumers: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        for (id, node) in self.nodes.iter().enumerate() {
+            for p in &node.inputs {
+                consumers[p.node].push(id);
+            }
+        }
+        let mut queue: VecDeque<NodeId> = (0..n).filter(|&i| pending[i] == 0).collect();
+        let mut fired = vec![false; n];
+        while let Some(id) = queue.pop_front() {
+            if fired[id] {
+                continue;
+            }
+            fired[id] = true;
+            let node = &self.nodes[id];
+            let gather = |values: &[Vec<Option<Tensor>>]| -> Vec<Tensor> {
+                node.inputs
+                    .iter()
+                    .map(|p| {
+                        values[p.node][p.port]
+                            .clone()
+                            .expect("dataflow input not ready")
+                    })
+                    .collect()
+            };
+            match &node.op {
+                GraphOp::Placeholder(i) => {
+                    values[id][0] = Some(feeds[*i].clone());
+                }
+                GraphOp::Const(t) => {
+                    values[id][0] = Some(t.clone());
+                }
+                GraphOp::Kernel { f, .. } => {
+                    let ins = gather(&values);
+                    values[id][0] = Some(exec_kernel(stream, f, ins));
+                }
+                GraphOp::Switch => {
+                    let ins = gather(&values);
+                    let pred = ins[1].scalar_value_bool().expect("switch predicate");
+                    let port = pred as usize;
+                    values[id] = vec![None, None];
+                    values[id][port] = Some(ins[0].clone());
+                }
+                GraphOp::Merge => {
+                    // First available input wins.
+                    let v = node
+                        .inputs
+                        .iter()
+                        .find_map(|p| values[p.node][p.port].clone())
+                        .expect("merge with no ready input");
+                    values[id][0] = Some(v);
+                }
+                GraphOp::WhileLoop {
+                    cond,
+                    body,
+                    state_arity,
+                } => {
+                    let ins = gather(&values);
+                    let (state, extras) = ins.split_at(*state_arity);
+                    let mut state = state.to_vec();
+                    loop {
+                        let mut feed = state.clone();
+                        feed.extend(extras.iter().cloned());
+                        let c = cond.run_with(&feed, stream);
+                        if !c[0].scalar_value_bool().expect("loop condition") {
+                            break;
+                        }
+                        let mut feed = state.clone();
+                        feed.extend(extras.iter().cloned());
+                        state = body.run_with(&feed, stream);
+                    }
+                    // Final loop state: one output port per state value.
+                    values[id] = state.into_iter().map(Some).collect();
+                }
+                GraphOp::Foreach {
+                    body,
+                    state_arity,
+                } => {
+                    let ins = gather(&values);
+                    let stacked = &ins[0];
+                    let mut state = ins[1..1 + state_arity].to_vec();
+                    let steps = stacked.dims()[0];
+                    for i in 0..steps {
+                        let slice =
+                            kernels::slice_axis(stacked, 0, i, i + 1).expect("foreach slice");
+                        let mut feed = vec![slice];
+                        feed.extend(state.iter().cloned());
+                        state = body.run_with(&feed, stream);
+                    }
+                    values[id] = state.into_iter().map(Some).collect();
+                }
+            }
+            // Count down consumers (Merge becomes ready on its first
+            // arrival; Switch consumers only when their port filled).
+            for &c in &consumers[id] {
+                if fired[c] {
+                    continue;
+                }
+                let ready = match self.nodes[c].op {
+                    GraphOp::Merge => self.nodes[c]
+                        .inputs
+                        .iter()
+                        .any(|p| values[p.node][p.port].is_some()),
+                    _ => {
+                        pending[c] = pending[c].saturating_sub(1);
+                        pending[c] == 0
+                            && self.nodes[c]
+                                .inputs
+                                .iter()
+                                .all(|p| values[p.node][p.port].is_some())
+                    }
+                };
+                if ready {
+                    queue.push_back(c);
+                }
+            }
+        }
+        self.outputs
+            .iter()
+            .map(|p| {
+                values[p.node][p.port]
+                    .clone()
+                    .expect("graph output not produced")
+            })
+            .collect()
+    }
+}
+
+/// Run one kernel either inline (CPU) or as a launch + wait on the device
+/// stream.
+pub(crate) fn exec_kernel(
+    stream: Option<&GpuStream>,
+    f: &KernelFn,
+    inputs: Vec<Tensor>,
+) -> Tensor {
+    match stream {
+        None => f(&inputs),
+        Some(s) => {
+            let fut = TensorFuture::pending();
+            let fut2 = fut.clone();
+            let f2 = Arc::clone(f);
+            s.launch(move || fut2.fulfill(vec![f2(&inputs)]));
+            fut.wait().expect("kernel on stream").remove(0)
+        }
+    }
+}
+
+/// Which control-flow encoding a model builder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flavor {
+    /// TensorFlow-style: `while_loop` + index + gather.
+    TensorFlow,
+    /// MXNet-style: `foreach` over stacked slices.
+    MxNet,
+}
+
+/// A compiled LSTM session: graph built once, run per input.
+#[derive(Debug)]
+pub struct LstmSession {
+    graph: Graph,
+    hidden: usize,
+    layers: usize,
+}
+
+impl LstmSession {
+    /// Build the dataflow graph for an LSTM model.
+    pub fn build(model: &LstmModel, flavor: Flavor) -> LstmSession {
+        let n_layers = model.config.layers;
+        let state_arity = 2 * n_layers;
+        // ---- cell body subgraph ----
+        // TF inputs: (i, h0, c0, …, stacked [T, I], len) — state (i, h, c…).
+        // MX inputs: (slice [1, I], h0, c0, …).
+        let body = {
+            let extra = match flavor {
+                Flavor::TensorFlow => 2,
+                Flavor::MxNet => 0,
+            };
+            let state_in = match flavor {
+                Flavor::TensorFlow => state_arity + 1, // + loop index
+                Flavor::MxNet => state_arity,
+            };
+            let num_inputs = state_in
+                + extra
+                + match flavor {
+                    Flavor::MxNet => 1, // the slice
+                    Flavor::TensorFlow => 0,
+                };
+            let mut g = Graph::new(num_inputs);
+            let ph: Vec<NodeId> = (0..num_inputs)
+                .map(|i| g.add(GraphOp::Placeholder(i), vec![]))
+                .collect();
+            // Resolve x (the current token) per flavor.
+            let (x_port, state_base, mut out_ports): (Port, usize, Vec<Port>) = match flavor {
+                Flavor::TensorFlow => {
+                    // inputs: 0 = i, 1..=2L = states, then stacked, len.
+                    let i_ph = Port::of(ph[0]);
+                    let stacked = Port::of(ph[state_arity + 1]);
+                    let x = g.kernel("gather_row", vec![stacked, i_ph], |ins| {
+                        let idx = ins[1].as_i64().expect("index")[0] as usize;
+                        kernels::slice_axis(&ins[0], 0, idx, idx + 1).expect("gather")
+                    });
+                    // i + 1 carried as first state output.
+                    let inext = g.kernel("incr", vec![i_ph], |ins| {
+                        Tensor::from_vec_i64(
+                            vec![ins[0].as_i64().expect("i")[0] + 1],
+                            &[1],
+                        )
+                        .expect("i+1")
+                    });
+                    (Port::of(x), 1, vec![Port::of(inext)])
+                }
+                Flavor::MxNet => (Port::of(ph[0]), 1, vec![]),
+            };
+            let mut x = x_port;
+            for l in 0..n_layers {
+                let p = &model.layers[l];
+                let h = Port::of(ph[state_base + 2 * l]);
+                let c = Port::of(ph[state_base + 2 * l + 1]);
+                let w_ih = p.w_ih.clone();
+                let w_hh = p.w_hh.clone();
+                let bias = p.bias.clone();
+                let gates = g.kernel("lstm_gates", vec![x, h], move |ins| {
+                    kernels::add(
+                        &kernels::add(
+                            &kernels::dense(&ins[0], &w_ih, None).expect("wih"),
+                            &kernels::dense(&ins[1], &w_hh, None).expect("whh"),
+                        )
+                        .expect("sum"),
+                        &bias,
+                    )
+                    .expect("bias")
+                });
+                let c_new = g.kernel("cell_c", vec![Port::of(gates), c], |ins| {
+                    let parts = kernels::split(&ins[0], 4, 1).expect("split");
+                    let i = kernels::sigmoid(&parts[0]).expect("i");
+                    let f = kernels::sigmoid(&parts[1]).expect("f");
+                    let gg = kernels::tanh(&parts[2]).expect("g");
+                    kernels::add(
+                        &kernels::mul(&f, &ins[1]).expect("fc"),
+                        &kernels::mul(&i, &gg).expect("ig"),
+                    )
+                    .expect("c")
+                });
+                let h_new = g.kernel("cell_h", vec![Port::of(gates), Port::of(c_new)], |ins| {
+                    let parts = kernels::split(&ins[0], 4, 1).expect("split");
+                    let o = kernels::sigmoid(&parts[3]).expect("o");
+                    kernels::mul(&o, &kernels::tanh(&ins[1]).expect("tanh")).expect("h")
+                });
+                out_ports.push(Port::of(h_new));
+                out_ports.push(Port::of(c_new));
+                x = Port::of(h_new);
+            }
+            let mut g2 = g;
+            g2.set_outputs(out_ports);
+            Arc::new(g2)
+        };
+
+        // ---- top-level graph ----
+        let mut g = Graph::new(1); // feed: stacked tokens [T, I]
+        let stacked = g.add(GraphOp::Placeholder(0), vec![]);
+        let zero = Tensor::zeros(nimble_tensor::DType::F32, &[1, model.config.hidden]);
+        match flavor {
+            Flavor::TensorFlow => {
+                // cond: i < len
+                let cond = {
+                    let mut c = Graph::new(state_arity + 3);
+                    let i = c.add(GraphOp::Placeholder(0), vec![]);
+                    let len = c.add(GraphOp::Placeholder(state_arity + 2), vec![]);
+                    let lt = c.kernel("less", vec![Port::of(i), Port::of(len)], |ins| {
+                        kernels::less(&ins[0], &ins[1]).expect("less")
+                    });
+                    // Condition must be a scalar bool.
+                    let sq = c.kernel("squeeze", vec![Port::of(lt)], |ins| {
+                        ins[0].reshaped(&[]).expect("scalar")
+                    });
+                    c.set_outputs(vec![Port::of(sq)]);
+                    Arc::new(c)
+                };
+                let i0 = g.add(
+                    GraphOp::Const(Tensor::from_vec_i64(vec![0], &[1]).expect("i0")),
+                    vec![],
+                );
+                let len = g.kernel("length", vec![Port::of(stacked)], |ins| {
+                    Tensor::from_vec_i64(vec![ins[0].dims()[0] as i64], &[1]).expect("len")
+                });
+                let mut loop_inputs = vec![Port::of(i0)];
+                let zeros: Vec<NodeId> = (0..state_arity)
+                    .map(|_| g.add(GraphOp::Const(zero.clone()), vec![]))
+                    .collect();
+                loop_inputs.extend(zeros.iter().map(|&z| Port::of(z)));
+                loop_inputs.push(Port::of(stacked));
+                loop_inputs.push(Port::of(len));
+                let wl = g.add(
+                    GraphOp::WhileLoop {
+                        cond,
+                        body: Arc::clone(&body),
+                        state_arity: state_arity + 1,
+                    },
+                    loop_inputs,
+                );
+                // Output: final hidden state of the top layer (state
+                // layout is [i, h0, c0, h1, c1, …]).
+                g.set_outputs(vec![Port {
+                    node: wl,
+                    port: 2 * n_layers - 1,
+                }]);
+            }
+            Flavor::MxNet => {
+                let mut inputs = vec![Port::of(stacked)];
+                let zeros: Vec<NodeId> = (0..state_arity)
+                    .map(|_| g.add(GraphOp::Const(zero.clone()), vec![]))
+                    .collect();
+                inputs.extend(zeros.iter().map(|&z| Port::of(z)));
+                let fe = g.add(
+                    GraphOp::Foreach {
+                        body: Arc::clone(&body),
+                        state_arity,
+                    },
+                    inputs,
+                );
+                // Output: final hidden state of the top layer (state
+                // layout is [h0, c0, h1, c1, …]).
+                g.set_outputs(vec![Port {
+                    node: fe,
+                    port: 2 * (n_layers - 1),
+                }]);
+            }
+        }
+        LstmSession {
+            graph: g,
+            hidden: model.config.hidden,
+            layers: n_layers,
+        }
+    }
+
+    /// Run on a token sequence (tokens stacked to `[T, input]`).
+    pub fn run(&self, tokens: &[Tensor]) -> Tensor {
+        self.run_with(tokens, None)
+    }
+
+    /// Run with an optional device stream (see [`Graph::run_with`]).
+    pub fn run_with(&self, tokens: &[Tensor], stream: Option<&GpuStream>) -> Tensor {
+        let stacked = if tokens.is_empty() {
+            Tensor::zeros(nimble_tensor::DType::F32, &[0, 1])
+        } else {
+            let rows: Vec<&Tensor> = tokens.iter().collect();
+            kernels::concat(&rows, 0).expect("stack tokens")
+        };
+        let out = self.graph.run_with(&[stacked], stream);
+        let _ = (self.hidden, self.layers);
+        out[0].clone()
+    }
+}
+
+/// A compiled BERT session (straight-line graph, shape-polymorphic
+/// kernels).
+#[derive(Debug)]
+pub struct BertSession {
+    graph: Graph,
+}
+
+impl BertSession {
+    /// Build the dataflow graph for a BERT model.
+    pub fn build(model: &BertModel) -> BertSession {
+        let cfg = model.config;
+        let (heads, dh, h) = (cfg.heads, cfg.head_dim(), cfg.hidden);
+        let mut g = Graph::new(2);
+        let tok = g.add(GraphOp::Placeholder(0), vec![]);
+        let pos = g.add(GraphOp::Placeholder(1), vec![]);
+        let embed = model.embed.clone();
+        let te = g.kernel("tok_embed", vec![Port::of(tok)], move |ins| {
+            kernels::take(&embed, &ins[0]).expect("take")
+        });
+        let pembed = model.pos_embed.clone();
+        let pe = g.kernel("pos_embed", vec![Port::of(pos)], move |ins| {
+            kernels::take(&pembed, &ins[0]).expect("take")
+        });
+        let mut x = g.kernel("embed_sum", vec![Port::of(te), Port::of(pe)], |ins| {
+            kernels::add(&ins[0], &ins[1]).expect("add")
+        });
+        for p in &model.layers {
+            let (wq, bq) = (p.wq.clone(), p.bq.clone());
+            let (wk, bk) = (p.wk.clone(), p.bk.clone());
+            let (wv, bv) = (p.wv.clone(), p.bv.clone());
+            let q = g.kernel("q", vec![Port::of(x)], move |ins| {
+                kernels::dense(&ins[0], &wq, Some(&bq)).expect("q")
+            });
+            let k = g.kernel("k", vec![Port::of(x)], move |ins| {
+                kernels::dense(&ins[0], &wk, Some(&bk)).expect("k")
+            });
+            let v = g.kernel("v", vec![Port::of(x)], move |ins| {
+                kernels::dense(&ins[0], &wv, Some(&bv)).expect("v")
+            });
+            let attn = g.kernel(
+                "attention",
+                vec![Port::of(q), Port::of(k), Port::of(v)],
+                move |ins| {
+                    let s = ins[0].dims()[0];
+                    let split = |t: &Tensor, perm: &[usize]| {
+                        kernels::transpose(&t.reshaped(&[s, heads, dh]).expect("r"), perm)
+                            .expect("t")
+                    };
+                    let qh = split(&ins[0], &[1, 0, 2]);
+                    let kh = split(&ins[1], &[1, 2, 0]);
+                    let vh = split(&ins[2], &[1, 0, 2]);
+                    let scores = kernels::mul(
+                        &kernels::batch_matmul(&qh, &kh).expect("qk"),
+                        &Tensor::scalar_f32(1.0 / (dh as f32).sqrt()),
+                    )
+                    .expect("scale");
+                    let probs = kernels::softmax(&scores).expect("softmax");
+                    let ctx = kernels::batch_matmul(&probs, &vh).expect("pv");
+                    kernels::transpose(&ctx, &[1, 0, 2])
+                        .expect("merge")
+                        .reshaped(&[s, h])
+                        .expect("merge reshape")
+                },
+            );
+            let (wo, bo) = (p.wo.clone(), p.bo.clone());
+            let proj = g.kernel("o_proj", vec![Port::of(attn)], move |ins| {
+                kernels::dense(&ins[0], &wo, Some(&bo)).expect("wo")
+            });
+            let ln1 = p.ln1.clone();
+            let x1 = g.kernel("ln1", vec![Port::of(x), Port::of(proj)], move |ins| {
+                kernels::layer_norm(
+                    &kernels::add(&ins[0], &ins[1]).expect("res"),
+                    &ln1.0,
+                    &ln1.1,
+                    1e-5,
+                )
+                .expect("ln")
+            });
+            let (w1, b1) = (p.w1.clone(), p.b1.clone());
+            let f1 = g.kernel("ffn1", vec![Port::of(x1)], move |ins| {
+                kernels::gelu(&kernels::dense(&ins[0], &w1, Some(&b1)).expect("w1"))
+                    .expect("gelu")
+            });
+            let (w2, b2) = (p.w2.clone(), p.b2.clone());
+            let f2 = g.kernel("ffn2", vec![Port::of(f1)], move |ins| {
+                kernels::dense(&ins[0], &w2, Some(&b2)).expect("w2")
+            });
+            let ln2 = p.ln2.clone();
+            x = g.kernel("ln2", vec![Port::of(x1), Port::of(f2)], move |ins| {
+                kernels::layer_norm(
+                    &kernels::add(&ins[0], &ins[1]).expect("res"),
+                    &ln2.0,
+                    &ln2.1,
+                    1e-5,
+                )
+                .expect("ln")
+            });
+        }
+        g.set_outputs(vec![Port::of(x)]);
+        BertSession { graph: g }
+    }
+
+    /// Run on token ids.
+    pub fn run(&self, tokens: &Tensor, positions: &Tensor) -> Tensor {
+        self.run_with(tokens, positions, None)
+    }
+
+    /// Run with an optional device stream (see [`Graph::run_with`]).
+    pub fn run_with(
+        &self,
+        tokens: &Tensor,
+        positions: &Tensor,
+        stream: Option<&GpuStream>,
+    ) -> Tensor {
+        self.graph
+            .run_with(&[tokens.clone(), positions.clone()], stream)
+            .remove(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_models::{BertConfig, LstmConfig};
+    use rand::SeedableRng;
+
+    #[test]
+    fn switch_merge_conditional() {
+        // if pred { x * 2 } else { x + 10 }
+        let mut g = Graph::new(2);
+        let x = g.add(GraphOp::Placeholder(0), vec![]);
+        let pred = g.add(GraphOp::Placeholder(1), vec![]);
+        let sw = g.add(GraphOp::Switch, vec![Port::of(x), Port::of(pred)]);
+        let double = g.kernel("double", vec![Port { node: sw, port: 1 }], |ins| {
+            kernels::mul(&ins[0], &Tensor::scalar_f32(2.0)).expect("mul")
+        });
+        let plus = g.kernel("plus10", vec![Port { node: sw, port: 0 }], |ins| {
+            kernels::add(&ins[0], &Tensor::scalar_f32(10.0)).expect("add")
+        });
+        let merge = g.add(GraphOp::Merge, vec![Port::of(double), Port::of(plus)]);
+        g.set_outputs(vec![Port::of(merge)]);
+        let t = Tensor::scalar_f32(5.0);
+        let out_true = g.run(&[t.clone(), Tensor::scalar_bool(true)]);
+        assert_eq!(out_true[0].scalar_value_f32().unwrap(), 10.0);
+        let out_false = g.run(&[t, Tensor::scalar_bool(false)]);
+        assert_eq!(out_false[0].scalar_value_f32().unwrap(), 15.0);
+    }
+
+    #[test]
+    fn foreach_lstm_matches_reference() {
+        let model = LstmModel::new(LstmConfig {
+            input: 4,
+            hidden: 5,
+            layers: 1,
+            seed: 1,
+        });
+        let session = LstmSession::build(&model, Flavor::MxNet);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let tokens = model.random_tokens(&mut rng, 6);
+        let got = session.run(&tokens);
+        let want = model.reference(&tokens);
+        for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn foreach_two_layer_lstm() {
+        let model = LstmModel::new(LstmConfig {
+            input: 3,
+            hidden: 4,
+            layers: 2,
+            seed: 3,
+        });
+        let session = LstmSession::build(&model, Flavor::MxNet);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let tokens = model.random_tokens(&mut rng, 5);
+        let got = session.run(&tokens);
+        let want = model.reference(&tokens);
+        for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn bert_session_matches_reference() {
+        let model = BertModel::new(BertConfig {
+            layers: 2,
+            hidden: 8,
+            heads: 2,
+            ffn: 16,
+            vocab: 30,
+            max_pos: 64,
+            seed: 5,
+        });
+        let session = BertSession::build(&model);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let ids = model.random_tokens(&mut rng, 7);
+        let (tok, pos) = model.inputs(&ids);
+        let got = session.run(&tok, &pos);
+        let want = model.reference(&ids);
+        for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn graph_reuse_across_lengths() {
+        // Define-then-run: one graph, many shapes.
+        let model = BertModel::new(BertConfig {
+            layers: 1,
+            hidden: 8,
+            heads: 2,
+            ffn: 16,
+            vocab: 30,
+            max_pos: 64,
+            seed: 5,
+        });
+        let session = BertSession::build(&model);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for len in [1usize, 4, 9] {
+            let ids = model.random_tokens(&mut rng, len);
+            let (tok, pos) = model.inputs(&ids);
+            let out = session.run(&tok, &pos);
+            assert_eq!(out.dims(), &[len, 8]);
+        }
+    }
+}

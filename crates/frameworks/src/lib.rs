@@ -1,0 +1,27 @@
+//! # nimble-frameworks
+//!
+//! The baseline systems Nimble is compared against in Section 6.2,
+//! reproduced with the *same kernel library* so that end-to-end gaps
+//! measure system overhead (graph construction, dispatch, allocation,
+//! scheduling), not kernel quality:
+//!
+//! * [`eager`] — a define-by-run framework (PyTorch-like): host-language
+//!   control flow, per-op dynamic dispatch through a registry, a fresh
+//!   autograd-style trace per run, unpooled per-op output allocation, no
+//!   fusion;
+//! * [`graphflow`] — a define-then-run dataflow framework (TensorFlow /
+//!   MXNet-like): a graph built once, executed by a ready-queue dataflow
+//!   scheduler with reference-counted edges; dynamic control flow via
+//!   `while_loop` / `foreach` functional primitives plus TF1-style
+//!   `Switch`/`Merge`;
+//! * [`fold`] — dynamic batching (TensorFlow Fold-like): per input, the
+//!   tree is analyzed, a depth-batched graph is **re-compiled**, then
+//!   executed — the recompilation-per-input cost structure the paper
+//!   measures ("it has to re-compile upon every input").
+//!
+//! None of these are caricatures: each implements the architecture its
+//! original uses, and each gets the same hand-written kernels as Nimble.
+
+pub mod eager;
+pub mod fold;
+pub mod graphflow;

@@ -1,0 +1,108 @@
+//! Algebraic data types for dynamic data structures.
+//!
+//! The paper's Tree-LSTM workload requires "dynamic data structures"
+//! (Section 2); following Relay, these are expressed as ADTs with
+//! constructors and consumed with `match`. Two built-in families cover the
+//! evaluation models: recursive lists (LSTM unrolling without static
+//! lengths) and binary trees (Tree-LSTM).
+
+use crate::types::Type;
+
+/// A constructor of an ADT, e.g. `Cons(Tensor, List)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstructorDef {
+    /// Constructor name, unique within the module.
+    pub name: String,
+    /// Field types. [`Type::Adt`] fields make the type recursive.
+    pub fields: Vec<Type>,
+    /// The ADT this constructor belongs to.
+    pub adt: String,
+    /// Runtime tag stored in allocated ADT objects (checked by the VM's
+    /// `GetTag` instruction).
+    pub tag: u32,
+}
+
+/// An algebraic data type definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Type name, e.g. `"Tree"`.
+    pub name: String,
+    /// Constructors in tag order.
+    pub constructors: Vec<ConstructorDef>,
+}
+
+impl TypeDef {
+    /// Define an ADT; constructor tags are assigned in declaration order.
+    pub fn new(name: &str, constructors: Vec<(&str, Vec<Type>)>) -> TypeDef {
+        TypeDef {
+            name: name.to_string(),
+            constructors: constructors
+                .into_iter()
+                .enumerate()
+                .map(|(tag, (cname, fields))| ConstructorDef {
+                    name: cname.to_string(),
+                    fields,
+                    adt: name.to_string(),
+                    tag: tag as u32,
+                })
+                .collect(),
+        }
+    }
+
+    /// Look up a constructor by name.
+    pub fn constructor(&self, name: &str) -> Option<&ConstructorDef> {
+        self.constructors.iter().find(|c| c.name == name)
+    }
+
+    /// A `List` of tensors of type `elem`: `Nil | Cons(elem, List)`.
+    pub fn list(elem: Type) -> TypeDef {
+        TypeDef::new(
+            "List",
+            vec![
+                ("Nil", vec![]),
+                ("Cons", vec![elem, Type::Adt("List".into())]),
+            ],
+        )
+    }
+
+    /// A binary `Tree` with tensor payloads at the leaves:
+    /// `Leaf(elem) | Node(Tree, Tree)`.
+    pub fn tree(elem: Type) -> TypeDef {
+        TypeDef::new(
+            "Tree",
+            vec![
+                ("Leaf", vec![elem]),
+                (
+                    "Node",
+                    vec![Type::Adt("Tree".into()), Type::Adt("Tree".into())],
+                ),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TensorType;
+    use nimble_tensor::DType;
+
+    #[test]
+    fn tags_in_declaration_order() {
+        let elem = Type::Tensor(TensorType::with_any(&[None, Some(4)], DType::F32));
+        let list = TypeDef::list(elem.clone());
+        assert_eq!(list.constructor("Nil").unwrap().tag, 0);
+        assert_eq!(list.constructor("Cons").unwrap().tag, 1);
+        assert_eq!(list.constructor("Cons").unwrap().fields.len(), 2);
+        assert!(list.constructor("Missing").is_none());
+    }
+
+    #[test]
+    fn tree_is_recursive() {
+        let elem = Type::Tensor(TensorType::scalar(DType::F32));
+        let tree = TypeDef::tree(elem);
+        let node = tree.constructor("Node").unwrap();
+        assert_eq!(node.fields, vec![Type::Adt("Tree".into()); 2]);
+        assert_eq!(node.adt, "Tree");
+    }
+}

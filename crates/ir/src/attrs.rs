@@ -1,0 +1,167 @@
+//! Operator attribute maps (static call-site parameters such as axes,
+//! strides, or target dtypes).
+
+use nimble_tensor::DType;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrValue {
+    /// Integer attribute (axis, units, stride, …).
+    Int(i64),
+    /// Integer list attribute (permutation, new shape, …).
+    IntVec(Vec<i64>),
+    /// Floating-point attribute (epsilon, threshold, …).
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// String attribute.
+    Str(String),
+    /// Data-type attribute (cast target).
+    DType(DType),
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(v) => write!(f, "{v}"),
+            AttrValue::IntVec(v) => write!(f, "{v:?}"),
+            AttrValue::Float(v) => write!(f, "{v}"),
+            AttrValue::Bool(v) => write!(f, "{v}"),
+            AttrValue::Str(v) => write!(f, "{v:?}"),
+            AttrValue::DType(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// An ordered attribute map attached to operator calls. Ordering makes
+/// printing and hashing deterministic.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Attrs(pub BTreeMap<String, AttrValue>);
+
+impl Attrs {
+    /// Empty attribute map.
+    pub fn new() -> Attrs {
+        Attrs::default()
+    }
+
+    /// Builder-style insertion.
+    ///
+    /// ```
+    /// use nimble_ir::{Attrs, AttrValue};
+    /// let a = Attrs::new().with("axis", AttrValue::Int(1));
+    /// assert_eq!(a.int("axis"), Some(1));
+    /// ```
+    pub fn with(mut self, key: &str, value: AttrValue) -> Attrs {
+        self.0.insert(key.to_string(), value);
+        self
+    }
+
+    /// Look up an integer attribute.
+    pub fn int(&self, key: &str) -> Option<i64> {
+        match self.0.get(key) {
+            Some(AttrValue::Int(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up an integer attribute with a default.
+    pub fn int_or(&self, key: &str, default: i64) -> i64 {
+        self.int(key).unwrap_or(default)
+    }
+
+    /// Look up an integer-vector attribute.
+    pub fn int_vec(&self, key: &str) -> Option<&[i64]> {
+        match self.0.get(key) {
+            Some(AttrValue::IntVec(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up a float attribute.
+    pub fn float(&self, key: &str) -> Option<f64> {
+        match self.0.get(key) {
+            Some(AttrValue::Float(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a bool attribute.
+    pub fn boolean(&self, key: &str) -> Option<bool> {
+        match self.0.get(key) {
+            Some(AttrValue::Bool(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Look up a string attribute.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        match self.0.get(key) {
+            Some(AttrValue::Str(v)) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up a dtype attribute.
+    pub fn dtype(&self, key: &str) -> Option<DType> {
+        match self.0.get(key) {
+            Some(AttrValue::DType(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Attrs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (k, v) in &self.0 {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}={v}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_lookups() {
+        let a = Attrs::new()
+            .with("axis", AttrValue::Int(2))
+            .with("perm", AttrValue::IntVec(vec![1, 0]))
+            .with("eps", AttrValue::Float(1e-5))
+            .with("keep", AttrValue::Bool(true))
+            .with("mode", AttrValue::Str("fast".into()))
+            .with("to", AttrValue::DType(DType::I64));
+        assert_eq!(a.int("axis"), Some(2));
+        assert_eq!(a.int_vec("perm"), Some(&[1i64, 0][..]));
+        assert_eq!(a.float("eps"), Some(1e-5));
+        assert_eq!(a.boolean("keep"), Some(true));
+        assert_eq!(a.str("mode"), Some("fast"));
+        assert_eq!(a.dtype("to"), Some(DType::I64));
+        // Wrong-typed lookups return None rather than panicking.
+        assert_eq!(a.int("perm"), None);
+        assert_eq!(a.float("axis"), None);
+        assert_eq!(a.int("missing"), None);
+        assert_eq!(a.int_or("missing", 7), 7);
+    }
+
+    #[test]
+    fn display_deterministic() {
+        let a = Attrs::new()
+            .with("b", AttrValue::Int(2))
+            .with("a", AttrValue::Int(1));
+        assert_eq!(a.to_string(), "a=1, b=2");
+    }
+}

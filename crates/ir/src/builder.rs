@@ -1,0 +1,127 @@
+//! Ergonomic builders for constructing IR functions.
+//!
+//! Model definitions in `nimble-models` are hundreds of operator calls; the
+//! [`FunctionBuilder`] keeps them readable by handling let-insertion and
+//! variable management.
+
+use crate::attrs::Attrs;
+use crate::expr::{Expr, Function, Var};
+use crate::types::{TensorType, Type};
+use nimble_tensor::Tensor;
+
+/// Builder for a single IR function in A-normal-ish style: every
+/// intermediate call is let-bound to a fresh variable.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<Var>,
+    bindings: Vec<(Var, Expr)>,
+    counter: u32,
+}
+
+impl FunctionBuilder {
+    /// Start building a function with the given (informational) name.
+    pub fn new(name: &str) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.to_string(),
+            params: Vec::new(),
+            bindings: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    /// The function name this builder was created with.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Add a tensor-typed parameter and return it as an expression.
+    pub fn param(&mut self, name: &str, ty: TensorType) -> Expr {
+        self.param_typed(name, Type::Tensor(ty))
+    }
+
+    /// Add a parameter of any type.
+    pub fn param_typed(&mut self, name: &str, ty: Type) -> Expr {
+        let v = Var::fresh(name, ty);
+        self.params.push(v.clone());
+        v.to_expr()
+    }
+
+    /// Bind an arbitrary expression to a fresh variable and return the
+    /// variable reference.
+    pub fn bind(&mut self, name: &str, value: Expr) -> Expr {
+        let v = Var::fresh(name, Type::Unknown);
+        self.bindings.push((v.clone(), value));
+        self.counter += 1;
+        v.to_expr()
+    }
+
+    /// Call a primitive operator, let-bind the result.
+    pub fn call(&mut self, op: &str, args: Vec<Expr>, attrs: Attrs) -> Expr {
+        let value = Expr::call_op(op, args, attrs);
+        self.bind(&format!("t{}", self.counter), value)
+    }
+
+    /// Embed a constant tensor.
+    pub fn constant(&mut self, t: Tensor) -> Expr {
+        Expr::constant(t)
+    }
+
+    /// Finish the function with `result` as its body, nesting all recorded
+    /// let-bindings around it.
+    pub fn finish(self, result: Expr) -> Function {
+        self.finish_with_ret(result, Type::Unknown)
+    }
+
+    /// Finish with an explicit return type annotation.
+    pub fn finish_with_ret(self, result: Expr, ret_type: Type) -> Function {
+        let mut body = result;
+        for (var, value) in self.bindings.into_iter().rev() {
+            body = Expr::let_(var, value, body);
+        }
+        Function::new(self.params, body, ret_type)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ExprKind;
+    use crate::visit::count_nodes;
+    use nimble_tensor::DType;
+
+    #[test]
+    fn builds_nested_lets_in_order() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+        let a = fb.call("relu", vec![x.clone()], Attrs::new());
+        let b = fb.call("tanh", vec![a.clone()], Attrs::new());
+        let f = fb.finish(b.clone());
+        assert_eq!(f.params.len(), 1);
+        // Body is let a = relu(x) in let b = tanh(a) in b
+        match f.body.kind() {
+            ExprKind::Let { value, body, .. } => {
+                assert_eq!(value.as_op_call().unwrap().0, "relu");
+                match body.kind() {
+                    ExprKind::Let { value, body, .. } => {
+                        assert_eq!(value.as_op_call().unwrap().0, "tanh");
+                        assert!(matches!(body.kind(), ExprKind::Var(_)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(count_nodes(&f.body) >= 5);
+    }
+
+    #[test]
+    fn constants_and_name() {
+        let mut fb = FunctionBuilder::new("g");
+        assert_eq!(fb.name(), "g");
+        let c = fb.constant(Tensor::scalar_f32(3.0));
+        let f = fb.finish(c);
+        assert!(matches!(f.body.kind(), ExprKind::Constant(_)));
+        assert!(f.params.is_empty());
+    }
+}

@@ -1,0 +1,411 @@
+//! IR expressions: a Relay-style functional language with tensors, tuples,
+//! let-binding, control flow, closures, and algebraic data types.
+//!
+//! Expressions are persistent (immutable, `Arc`-shared) trees. Analysis
+//! results such as inferred types live in side tables keyed by
+//! [`Expr::ref_id`] pointer identity, so passes never mutate shared IR.
+
+use crate::attrs::Attrs;
+use crate::types::Type;
+use nimble_tensor::Tensor;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+
+/// A local variable. Identity (equality, hashing) is the numeric `id`; the
+/// name is for printing only.
+#[derive(Debug, Clone)]
+pub struct Var {
+    /// Process-unique identity.
+    pub id: u32,
+    /// Human-readable name hint.
+    pub name: Arc<str>,
+    /// Declared (or inferred) type annotation.
+    pub ty: Type,
+}
+
+static NEXT_VAR: AtomicU32 = AtomicU32::new(0);
+
+impl Var {
+    /// Create a fresh variable with a unique id.
+    pub fn fresh(name: &str, ty: Type) -> Var {
+        Var {
+            id: NEXT_VAR.fetch_add(1, Ordering::Relaxed),
+            name: name.into(),
+            ty,
+        }
+    }
+
+    /// The variable as an expression.
+    pub fn to_expr(&self) -> Expr {
+        Expr::new(ExprKind::Var(self.clone()))
+    }
+}
+
+impl PartialEq for Var {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for Var {}
+impl std::hash::Hash for Var {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}_{}", self.name, self.id)
+    }
+}
+
+/// Reference to a module-level function by name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GlobalVar(pub String);
+
+impl GlobalVar {
+    /// Create from a name.
+    pub fn new(name: &str) -> GlobalVar {
+        GlobalVar(name.to_string())
+    }
+}
+
+impl fmt::Display for GlobalVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A function definition (module-level or closure).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Function {
+    /// Formal parameters.
+    pub params: Vec<Var>,
+    /// Function body.
+    pub body: Expr,
+    /// Declared return type ([`Type::Unknown`] until inferred).
+    pub ret_type: Type,
+}
+
+impl Function {
+    /// Construct a function.
+    pub fn new(params: Vec<Var>, body: Expr, ret_type: Type) -> Function {
+        Function {
+            params,
+            body,
+            ret_type,
+        }
+    }
+
+    /// The function's type, from parameter annotations and return type.
+    pub fn func_type(&self) -> Type {
+        Type::Func(
+            self.params.iter().map(|p| p.ty.clone()).collect(),
+            Box::new(self.ret_type.clone()),
+        )
+    }
+}
+
+/// A pattern in a `match` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Matches anything, binds nothing.
+    Wildcard,
+    /// Matches anything, binds it to a variable.
+    Bind(Var),
+    /// Matches a specific ADT constructor and destructures its fields.
+    Constructor {
+        /// Constructor name (e.g. `"Cons"`, `"Node"`).
+        name: String,
+        /// Sub-patterns for the constructor fields.
+        fields: Vec<Pattern>,
+    },
+}
+
+impl Pattern {
+    /// All variables bound by this pattern, in field order.
+    pub fn bound_vars(&self) -> Vec<Var> {
+        match self {
+            Pattern::Wildcard => Vec::new(),
+            Pattern::Bind(v) => vec![v.clone()],
+            Pattern::Constructor { fields, .. } => {
+                fields.iter().flat_map(|p| p.bound_vars()).collect()
+            }
+        }
+    }
+}
+
+/// One arm of a `match` expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clause {
+    /// Pattern to match against the scrutinee.
+    pub pattern: Pattern,
+    /// Body evaluated when the pattern matches.
+    pub body: Expr,
+}
+
+/// The expression node variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Local variable reference.
+    Var(Var),
+    /// Embedded constant tensor (weights, scalars).
+    Constant(Tensor),
+    /// Module-level function reference.
+    Global(GlobalVar),
+    /// Primitive-operator reference (callee position of a `Call`).
+    Op(String),
+    /// ADT constructor reference (callee position of a `Call`).
+    Constructor(String),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Tuple projection.
+    TupleGet(Expr, usize),
+    /// Application of an operator, global, closure, or constructor.
+    Call {
+        /// Callee expression ([`ExprKind::Op`], [`ExprKind::Global`],
+        /// [`ExprKind::Constructor`], a variable, or a function literal).
+        callee: Expr,
+        /// Argument expressions.
+        args: Vec<Expr>,
+        /// Static attributes (axes, strides, …).
+        attrs: Attrs,
+    },
+    /// Sequential binding: `let var = value; body`.
+    Let {
+        /// Bound variable.
+        var: Var,
+        /// Bound value.
+        value: Expr,
+        /// Continuation.
+        body: Expr,
+    },
+    /// Conditional on a scalar-bool tensor.
+    If {
+        /// Condition (scalar bool).
+        cond: Expr,
+        /// Then-branch.
+        then: Expr,
+        /// Else-branch.
+        els: Expr,
+    },
+    /// Function literal (closure when it captures free variables).
+    Func(Arc<Function>),
+    /// ADT pattern match.
+    Match {
+        /// Scrutinee.
+        value: Expr,
+        /// Ordered clauses; first match wins.
+        clauses: Vec<Clause>,
+    },
+}
+
+/// A reference-counted IR expression.
+#[derive(Debug, Clone)]
+pub struct Expr(Arc<ExprKind>);
+
+impl Expr {
+    /// Wrap a kind.
+    pub fn new(kind: ExprKind) -> Expr {
+        Expr(Arc::new(kind))
+    }
+
+    /// The node variant.
+    pub fn kind(&self) -> &ExprKind {
+        &self.0
+    }
+
+    /// Stable pointer identity for side-table keys. Two clones of the same
+    /// node share an id; structurally equal but separately constructed nodes
+    /// do not.
+    pub fn ref_id(&self) -> usize {
+        Arc::as_ptr(&self.0) as usize
+    }
+
+    // ---- constructors ----
+
+    /// Constant tensor expression.
+    pub fn constant(t: Tensor) -> Expr {
+        Expr::new(ExprKind::Constant(t))
+    }
+
+    /// Scalar f32 constant.
+    pub fn const_f32(v: f32) -> Expr {
+        Expr::constant(Tensor::scalar_f32(v))
+    }
+
+    /// Operator reference.
+    pub fn op(name: &str) -> Expr {
+        Expr::new(ExprKind::Op(name.to_string()))
+    }
+
+    /// Global function reference.
+    pub fn global(name: &str) -> Expr {
+        Expr::new(ExprKind::Global(GlobalVar::new(name)))
+    }
+
+    /// Constructor reference.
+    pub fn constructor(name: &str) -> Expr {
+        Expr::new(ExprKind::Constructor(name.to_string()))
+    }
+
+    /// Call a primitive operator by name.
+    pub fn call_op(name: &str, args: Vec<Expr>, attrs: Attrs) -> Expr {
+        Expr::new(ExprKind::Call {
+            callee: Expr::op(name),
+            args,
+            attrs,
+        })
+    }
+
+    /// Call an arbitrary callee.
+    pub fn call(callee: Expr, args: Vec<Expr>) -> Expr {
+        Expr::new(ExprKind::Call {
+            callee,
+            args,
+            attrs: Attrs::new(),
+        })
+    }
+
+    /// Let-binding.
+    pub fn let_(var: Var, value: Expr, body: Expr) -> Expr {
+        Expr::new(ExprKind::Let { var, value, body })
+    }
+
+    /// Conditional.
+    pub fn if_(cond: Expr, then: Expr, els: Expr) -> Expr {
+        Expr::new(ExprKind::If { cond, then, els })
+    }
+
+    /// Tuple literal.
+    pub fn tuple(fields: Vec<Expr>) -> Expr {
+        Expr::new(ExprKind::Tuple(fields))
+    }
+
+    /// Tuple projection.
+    pub fn tuple_get(tuple: Expr, index: usize) -> Expr {
+        Expr::new(ExprKind::TupleGet(tuple, index))
+    }
+
+    /// Function literal.
+    pub fn func(f: Function) -> Expr {
+        Expr::new(ExprKind::Func(Arc::new(f)))
+    }
+
+    /// Match expression.
+    pub fn match_(value: Expr, clauses: Vec<Clause>) -> Expr {
+        Expr::new(ExprKind::Match { value, clauses })
+    }
+
+    /// If this expression is a call to a primitive op, its name.
+    pub fn as_op_call(&self) -> Option<(&str, &[Expr], &Attrs)> {
+        if let ExprKind::Call { callee, args, attrs } = self.kind() {
+            if let ExprKind::Op(name) = callee.kind() {
+                return Some((name, args, attrs));
+            }
+        }
+        None
+    }
+
+    /// If this expression is a variable, the variable.
+    pub fn as_var(&self) -> Option<&Var> {
+        match self.kind() {
+            ExprKind::Var(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Expr {
+    /// Structural equality (deep). For identity use [`Expr::ref_id`].
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl From<Var> for Expr {
+    fn from(v: Var) -> Expr {
+        v.to_expr()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::TensorType;
+    use nimble_tensor::DType;
+
+    fn f32_ty() -> Type {
+        Type::Tensor(TensorType::scalar(DType::F32))
+    }
+
+    #[test]
+    fn var_identity_not_name() {
+        let a = Var::fresh("x", f32_ty());
+        let b = Var::fresh("x", f32_ty());
+        assert_ne!(a, b);
+        assert_eq!(a, a.clone());
+    }
+
+    #[test]
+    fn ref_id_stable_across_clones() {
+        let e = Expr::const_f32(1.0);
+        let e2 = e.clone();
+        assert_eq!(e.ref_id(), e2.ref_id());
+        let e3 = Expr::const_f32(1.0);
+        assert_ne!(e.ref_id(), e3.ref_id());
+        // But structural equality still holds.
+        assert_eq!(e, e3);
+    }
+
+    #[test]
+    fn op_call_accessor() {
+        let c = Expr::call_op(
+            "add",
+            vec![Expr::const_f32(1.0), Expr::const_f32(2.0)],
+            Attrs::new(),
+        );
+        let (name, args, _) = c.as_op_call().unwrap();
+        assert_eq!(name, "add");
+        assert_eq!(args.len(), 2);
+        // A call through a variable is not an op call.
+        let v = Var::fresh("f", Type::Unknown);
+        let c2 = Expr::call(v.to_expr(), vec![]);
+        assert!(c2.as_op_call().is_none());
+    }
+
+    #[test]
+    fn pattern_bound_vars_in_order() {
+        let a = Var::fresh("a", f32_ty());
+        let b = Var::fresh("b", f32_ty());
+        let p = Pattern::Constructor {
+            name: "Node".into(),
+            fields: vec![
+                Pattern::Bind(a.clone()),
+                Pattern::Wildcard,
+                Pattern::Bind(b.clone()),
+            ],
+        };
+        assert_eq!(p.bound_vars(), vec![a, b]);
+    }
+
+    #[test]
+    fn function_type_from_params() {
+        let x = Var::fresh("x", f32_ty());
+        let f = Function::new(vec![x.clone()], x.to_expr(), f32_ty());
+        match f.func_type() {
+            Type::Func(ps, r) => {
+                assert_eq!(ps.len(), 1);
+                assert_eq!(*r, f32_ty());
+            }
+            other => panic!("expected func type, got {other}"),
+        }
+    }
+
+    #[test]
+    fn display_var() {
+        let v = Var::fresh("hidden", f32_ty());
+        assert!(v.to_string().starts_with("%hidden_"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # nimble-ir
+//!
+//! The typed functional intermediate representation at the heart of the
+//! Nimble reproduction — a Relay-style IR extended with the paper's dynamic
+//! features:
+//!
+//! * **`Any` dimensions** (Section 4.1): tensor types may leave dimensions
+//!   statically unknown, e.g. `Tensor[(1, 10, Any), float32]`.
+//! * **Symbolic dimensions**: the sub-shaping analysis assigns shared
+//!   symbolic ids to `Any` dimensions proven equal, enabling
+//!   shape-specialized code generation downstream.
+//! * **Type relations** (Section 4.1): per-operator bidirectional typing
+//!   rules that propagate `Any` (e.g. `broadcast_rel(Any, d) → d`).
+//! * **Shape functions** (Section 4.2) in three modes — data independent,
+//!   data dependent, and upper bound — compiled alongside the model and
+//!   executed at run time to size allocations.
+//! * **Explicit-allocation dialect** (Section 4.3): `alloc_storage`,
+//!   `alloc_tensor`, `invoke_mut`, `kill`, `shape_of`, and `device_copy`
+//!   appear as ordinary calls so that memory planning and device placement
+//!   are plain IR-to-IR passes.
+//! * **Algebraic data types** and `match` for dynamic data structures
+//!   (Tree-LSTM's trees, recursive lists).
+//!
+//! ```
+//! use nimble_ir::{builder::FunctionBuilder, types::TensorType, DType};
+//!
+//! // fn (x: Tensor[(Any, 4), f32]) { relu(x) }
+//! let mut fb = FunctionBuilder::new("main");
+//! let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+//! let y = fb.call("relu", vec![x], Default::default());
+//! let func = fb.finish(y);
+//! assert_eq!(func.params.len(), 1);
+//! ```
+
+pub mod adt;
+pub mod attrs;
+pub mod builder;
+pub mod expr;
+pub mod module;
+pub mod op;
+pub mod printer;
+pub mod types;
+pub mod visit;
+
+pub use attrs::{AttrValue, Attrs};
+pub use expr::{Expr, ExprKind, Function, GlobalVar, Pattern, Var};
+pub use module::Module;
+pub use nimble_tensor::{DType, Tensor};
+pub use types::{Dim, TensorType, Type};
+
+/// Errors produced while constructing or analyzing IR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrError(pub String);
+
+impl IrError {
+    /// Construct from anything printable.
+    pub fn msg(m: impl Into<String>) -> Self {
+        IrError(m.into())
+    }
+}
+
+impl std::fmt::Display for IrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ir error: {}", self.0)
+    }
+}
+
+impl std::error::Error for IrError {}
+
+impl From<nimble_tensor::TensorError> for IrError {
+    fn from(e: nimble_tensor::TensorError) -> Self {
+        IrError(e.to_string())
+    }
+}
+
+/// Result alias for IR operations.
+pub type Result<T> = std::result::Result<T, IrError>;

@@ -1,0 +1,135 @@
+//! IR modules: collections of global functions and ADT definitions.
+
+use crate::adt::{ConstructorDef, TypeDef};
+use crate::expr::{Function, GlobalVar};
+use crate::{IrError, Result};
+use std::collections::BTreeMap;
+
+/// A compilation unit: named functions plus ADT definitions.
+///
+/// The entry point is conventionally named `main`.
+#[derive(Debug, Clone, Default)]
+pub struct Module {
+    functions: BTreeMap<GlobalVar, Function>,
+    adts: BTreeMap<String, TypeDef>,
+}
+
+impl Module {
+    /// Empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Insert or replace a function.
+    pub fn add_function(&mut self, name: &str, func: Function) {
+        self.functions.insert(GlobalVar::new(name), func);
+    }
+
+    /// Insert an ADT definition.
+    pub fn add_adt(&mut self, def: TypeDef) {
+        self.adts.insert(def.name.clone(), def);
+    }
+
+    /// Look up a function.
+    ///
+    /// # Errors
+    /// Fails when the function is not defined.
+    pub fn function(&self, name: &str) -> Result<&Function> {
+        self.functions
+            .get(&GlobalVar::new(name))
+            .ok_or_else(|| IrError(format!("undefined function @{name}")))
+    }
+
+    /// Whether a function exists.
+    pub fn has_function(&self, name: &str) -> bool {
+        self.functions.contains_key(&GlobalVar::new(name))
+    }
+
+    /// Iterate functions in deterministic (name) order.
+    pub fn functions(&self) -> impl Iterator<Item = (&GlobalVar, &Function)> {
+        self.functions.iter()
+    }
+
+    /// Number of functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Look up an ADT definition.
+    ///
+    /// # Errors
+    /// Fails when the ADT is not defined.
+    pub fn adt(&self, name: &str) -> Result<&TypeDef> {
+        self.adts
+            .get(name)
+            .ok_or_else(|| IrError(format!("undefined ADT {name}")))
+    }
+
+    /// Find the constructor with the given name across all ADTs.
+    ///
+    /// # Errors
+    /// Fails when no ADT declares the constructor.
+    pub fn constructor(&self, name: &str) -> Result<&ConstructorDef> {
+        self.adts
+            .values()
+            .find_map(|def| def.constructor(name))
+            .ok_or_else(|| IrError(format!("undefined constructor {name}")))
+    }
+
+    /// Iterate ADTs in deterministic order.
+    pub fn adts(&self) -> impl Iterator<Item = &TypeDef> {
+        self.adts.values()
+    }
+
+    /// Replace `main` (or any function) returning the previous definition.
+    pub fn update_function(&mut self, name: &str, func: Function) -> Option<Function> {
+        self.functions.insert(GlobalVar::new(name), func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{Expr, Var};
+    use crate::types::{TensorType, Type};
+    use nimble_tensor::DType;
+
+    fn id_func() -> Function {
+        let x = Var::fresh("x", Type::Tensor(TensorType::scalar(DType::F32)));
+        Function::new(vec![x.clone()], x.to_expr(), x.ty.clone())
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let mut m = Module::new();
+        m.add_function("main", id_func());
+        assert!(m.has_function("main"));
+        assert!(m.function("main").is_ok());
+        assert!(m.function("missing").is_err());
+        assert_eq!(m.num_functions(), 1);
+    }
+
+    #[test]
+    fn constructor_lookup_across_adts() {
+        let mut m = Module::new();
+        let elem = Type::Tensor(TensorType::scalar(DType::F32));
+        m.add_adt(TypeDef::list(elem.clone()));
+        m.add_adt(TypeDef::tree(elem));
+        assert_eq!(m.constructor("Cons").unwrap().adt, "List");
+        assert_eq!(m.constructor("Leaf").unwrap().adt, "Tree");
+        assert!(m.constructor("Quux").is_err());
+        assert_eq!(m.adts().count(), 2);
+    }
+
+    #[test]
+    fn update_returns_previous() {
+        let mut m = Module::new();
+        m.add_function("f", id_func());
+        let prev = m.update_function("f", id_func());
+        assert!(prev.is_some());
+        // update of a missing function inserts it
+        let none = m.update_function("g", id_func());
+        assert!(none.is_none());
+        let _ = Expr::const_f32(0.0); // silence unused import in some cfgs
+    }
+}

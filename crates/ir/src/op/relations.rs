@@ -1,0 +1,805 @@
+//! Type relations: bidirectional typing rules for every operator,
+//! generalized to handle `Any` dimensions (paper Section 4.1).
+//!
+//! Each relation maps input types (plus static attributes) to the output
+//! type. When dynamic dimensions make a constraint unverifiable the
+//! relation *relaxes* it instead of rejecting — the gradual-typing approach
+//! of the paper — and the corresponding check is re-run at run time by the
+//! shape function ([`super::OpDef::infer_shapes`] with concrete shapes).
+
+use crate::attrs::Attrs;
+use crate::types::{Dim, TensorType, Type};
+use crate::{IrError, Result};
+use nimble_tensor::DType;
+
+fn tensor_at<'a>(types: &'a [Type], i: usize, op: &str) -> Result<&'a TensorType> {
+    types
+        .get(i)
+        .ok_or_else(|| IrError(format!("{op}: missing argument {i}")))?
+        .as_tensor()
+}
+
+fn expect_args(types: &[Type], n: usize, op: &str) -> Result<()> {
+    if types.len() != n {
+        return Err(IrError(format!(
+            "{op}: expected {n} arguments, got {}",
+            types.len()
+        )));
+    }
+    Ok(())
+}
+
+/// The paper's broadcast rules for one dimension pair:
+///
+/// ```text
+/// broadcast_rel(Any, 1)   → Any
+/// broadcast_rel(Any, d)   → d        (d > 1)
+/// broadcast_rel(Any, Any) → Any
+/// ```
+///
+/// plus the standard NumPy rules for static pairs, and symbolic-dim
+/// preservation when both sides carry the same [`Dim::Sym`].
+pub fn broadcast_dim(a: Dim, b: Dim) -> Result<Dim> {
+    match (a, b) {
+        (Dim::Static(x), Dim::Static(y)) => {
+            if x == y {
+                Ok(Dim::Static(x))
+            } else if x == 1 {
+                Ok(Dim::Static(y))
+            } else if y == 1 {
+                Ok(Dim::Static(x))
+            } else {
+                Err(IrError(format!("cannot broadcast dims {x} and {y}")))
+            }
+        }
+        // Any vs static d: if d > 1 the result must be d (or a runtime
+        // error); if d == 1 the result is whatever Any turns out to be.
+        (Dim::Static(d), _) | (_, Dim::Static(d)) => {
+            if d > 1 {
+                Ok(Dim::Static(d))
+            } else {
+                Ok(Dim::Any)
+            }
+        }
+        (Dim::Sym(x), Dim::Sym(y)) if x == y => Ok(Dim::Sym(x)),
+        _ => Ok(Dim::Any),
+    }
+}
+
+fn broadcast_dims(a: &[Dim], b: &[Dim], op: &str) -> Result<Vec<Dim>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![Dim::Any; rank];
+    for i in 0..rank {
+        let da = if i < a.len() { a[a.len() - 1 - i] } else { Dim::Static(1) };
+        let db = if i < b.len() { b[b.len() - 1 - i] } else { Dim::Static(1) };
+        out[rank - 1 - i] = broadcast_dim(da, db)
+            .map_err(|e| IrError(format!("{op}: {}", e.0)))?;
+    }
+    Ok(out)
+}
+
+/// Broadcasting binary op preserving the input dtype.
+pub fn broadcast(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "broadcast op")?;
+    let a = tensor_at(types, 0, "broadcast op")?;
+    let b = tensor_at(types, 1, "broadcast op")?;
+    if a.dtype != b.dtype {
+        return Err(IrError(format!(
+            "broadcast op: dtype mismatch {} vs {}",
+            a.dtype, b.dtype
+        )));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(
+        broadcast_dims(&a.dims, &b.dims, "broadcast op")?,
+        a.dtype,
+    )))
+}
+
+/// Broadcasting comparison producing bool.
+pub fn broadcast_bool(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    match broadcast(types, attrs)? {
+        Type::Tensor(t) => Ok(Type::Tensor(TensorType::from_dims(t.dims, DType::Bool))),
+        other => Ok(other),
+    }
+}
+
+/// Unary op whose output type equals its (first) input type.
+pub fn identity(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    let a = tensor_at(types, 0, "unary op")?;
+    Ok(Type::Tensor(a.clone()))
+}
+
+/// `where(cond, a, b)`: cond is bool, a/b broadcast.
+pub fn where_rel(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 3, "where")?;
+    let c = tensor_at(types, 0, "where")?;
+    if c.dtype != DType::Bool {
+        return Err(IrError(format!("where: condition must be bool, got {}", c.dtype)));
+    }
+    let a = tensor_at(types, 1, "where")?;
+    let b = tensor_at(types, 2, "where")?;
+    let ab = broadcast_dims(&a.dims, &b.dims, "where")?;
+    let dims = broadcast_dims(&c.dims, &ab, "where")?;
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `dense(x: […, k], w: [n, k](, bias: [n])) → […, n]`.
+pub fn dense(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    if types.len() != 2 && types.len() != 3 {
+        return Err(IrError("dense: expected 2 or 3 arguments".into()));
+    }
+    let x = tensor_at(types, 0, "dense")?;
+    let w = tensor_at(types, 1, "dense")?;
+    if x.rank() == 0 || w.rank() != 2 {
+        return Err(IrError("dense: x rank >= 1, w rank == 2 required".into()));
+    }
+    let k = x.dims[x.rank() - 1];
+    if !k.compatible(w.dims[1]) {
+        return Err(IrError(format!(
+            "dense: contraction dims {} vs {} incompatible",
+            k, w.dims[1]
+        )));
+    }
+    if types.len() == 3 {
+        let b = tensor_at(types, 2, "dense")?;
+        if b.rank() != 1 || !b.dims[0].compatible(w.dims[0]) {
+            return Err(IrError("dense: bias must be [units]".into()));
+        }
+    }
+    let mut dims = x.dims[..x.rank() - 1].to_vec();
+    dims.push(w.dims[0]);
+    Ok(Type::Tensor(TensorType::from_dims(dims, x.dtype)))
+}
+
+/// `matmul([m,k], [k,n]) → [m,n]`.
+pub fn matmul(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "matmul")?;
+    let a = tensor_at(types, 0, "matmul")?;
+    let b = tensor_at(types, 1, "matmul")?;
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(IrError("matmul: rank-2 inputs required".into()));
+    }
+    if !a.dims[1].compatible(b.dims[0]) {
+        return Err(IrError("matmul: contraction dims incompatible".into()));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![a.dims[0], b.dims[1]],
+        a.dtype,
+    )))
+}
+
+/// `batch_matmul([b,m,k], [b,k,n]) → [b,m,n]`.
+pub fn batch_matmul(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "batch_matmul")?;
+    let a = tensor_at(types, 0, "batch_matmul")?;
+    let b = tensor_at(types, 1, "batch_matmul")?;
+    if a.rank() != 3 || b.rank() != 3 {
+        return Err(IrError("batch_matmul: rank-3 inputs required".into()));
+    }
+    if !a.dims[0].compatible(b.dims[0]) || !a.dims[2].compatible(b.dims[1]) {
+        return Err(IrError("batch_matmul: incompatible dims".into()));
+    }
+    let batch = crate::types::unify_dims(a.dims[0], b.dims[0]).unwrap_or(Dim::Any);
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![batch, a.dims[1], b.dims[2]],
+        a.dtype,
+    )))
+}
+
+/// Variadic `concat(axis=…)`: non-axis dims unify, axis dim sums (or `Any`
+/// if any input is dynamic along the axis).
+pub fn concat(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    if types.is_empty() {
+        return Err(IrError("concat: at least one input required".into()));
+    }
+    let axis = attrs.int_or("axis", 0) as usize;
+    let first = tensor_at(types, 0, "concat")?;
+    if axis >= first.rank() {
+        return Err(IrError(format!("concat: axis {axis} out of range")));
+    }
+    let mut dims = first.dims.clone();
+    let mut axis_sum: Option<u64> = first.dims[axis].as_static();
+    for (i, t) in types.iter().enumerate().skip(1) {
+        let t = t.as_tensor()?;
+        if t.rank() != first.rank() || t.dtype != first.dtype {
+            return Err(IrError("concat: rank/dtype mismatch".into()));
+        }
+        for (d, dim) in dims.iter_mut().enumerate() {
+            if d == axis {
+                axis_sum = match (axis_sum, t.dims[d].as_static()) {
+                    (Some(a), Some(b)) => Some(a + b),
+                    _ => None,
+                };
+            } else {
+                *dim = crate::types::unify_dims(*dim, t.dims[d]).map_err(|e| {
+                    IrError(format!("concat: input {i} dim {d}: {}", e.0))
+                })?;
+            }
+        }
+    }
+    dims[axis] = axis_sum.map(Dim::Static).unwrap_or(Dim::Any);
+    Ok(Type::Tensor(TensorType::from_dims(dims, first.dtype)))
+}
+
+/// `split(parts=…, axis=…)` → tuple of equal slices.
+pub fn split(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "split")?;
+    let a = tensor_at(types, 0, "split")?;
+    let parts = attrs
+        .int("parts")
+        .ok_or_else(|| IrError("split: parts attr required".into()))? as u64;
+    let axis = attrs.int_or("axis", 0) as usize;
+    if parts == 0 || axis >= a.rank() {
+        return Err(IrError("split: bad parts/axis".into()));
+    }
+    let piece = match a.dims[axis] {
+        Dim::Static(d) => {
+            if d % parts != 0 {
+                return Err(IrError(format!("split: {d} not divisible by {parts}")));
+            }
+            Dim::Static(d / parts)
+        }
+        _ => Dim::Any,
+    };
+    let mut dims = a.dims.clone();
+    dims[axis] = piece;
+    let piece_ty = Type::Tensor(TensorType::from_dims(dims, a.dtype));
+    Ok(Type::Tuple(vec![piece_ty; parts as usize]))
+}
+
+/// `slice(begin=…, end=…)` with static attribute bounds.
+pub fn slice(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "slice")?;
+    let a = tensor_at(types, 0, "slice")?;
+    let begin = attrs
+        .int_vec("begin")
+        .ok_or_else(|| IrError("slice: begin attr required".into()))?;
+    let end = attrs
+        .int_vec("end")
+        .ok_or_else(|| IrError("slice: end attr required".into()))?;
+    if begin.len() != a.rank() || end.len() != a.rank() {
+        return Err(IrError("slice: begin/end rank mismatch".into()));
+    }
+    let mut dims = Vec::with_capacity(a.rank());
+    for (d, (&b, &e)) in begin.iter().zip(end.iter()).enumerate() {
+        if b < 0 || e < b {
+            return Err(IrError("slice: invalid range".into()));
+        }
+        if let Dim::Static(extent) = a.dims[d] {
+            if e as u64 > extent {
+                return Err(IrError(format!("slice: end {e} > extent {extent}")));
+            }
+        }
+        dims.push(Dim::Static((e - b) as u64));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `transpose(perm=…)`.
+pub fn transpose(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "transpose")?;
+    let a = tensor_at(types, 0, "transpose")?;
+    let perm = attrs
+        .int_vec("perm")
+        .ok_or_else(|| IrError("transpose: perm attr required".into()))?;
+    if perm.len() != a.rank() {
+        return Err(IrError("transpose: perm rank mismatch".into()));
+    }
+    let mut seen = vec![false; a.rank()];
+    let mut dims = Vec::with_capacity(a.rank());
+    for &p in perm {
+        let p = p as usize;
+        if p >= a.rank() || seen[p] {
+            return Err(IrError("transpose: invalid permutation".into()));
+        }
+        seen[p] = true;
+        dims.push(a.dims[p]);
+    }
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `reshape(newshape=…)` where `-1` infers one dimension and `-2` copies
+/// the corresponding input dimension (usable under dynamism).
+pub fn reshape(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "reshape")?;
+    let a = tensor_at(types, 0, "reshape")?;
+    let newshape = attrs
+        .int_vec("newshape")
+        .ok_or_else(|| IrError("reshape: newshape attr required".into()))?;
+    let mut dims: Vec<Dim> = Vec::with_capacity(newshape.len());
+    let mut infer_at: Option<usize> = None;
+    for (i, &d) in newshape.iter().enumerate() {
+        match d {
+            -1 => {
+                if infer_at.is_some() {
+                    return Err(IrError("reshape: multiple -1 dims".into()));
+                }
+                infer_at = Some(i);
+                dims.push(Dim::Any); // provisional
+            }
+            -2 => {
+                let src = a
+                    .dims
+                    .get(i)
+                    .ok_or_else(|| IrError("reshape: -2 has no matching input dim".into()))?;
+                dims.push(*src);
+            }
+            d if d >= 0 => dims.push(Dim::Static(d as u64)),
+            _ => return Err(IrError(format!("reshape: invalid dim {d}"))),
+        }
+    }
+    if let Some(i) = infer_at {
+        // Infer the -1 extent only when everything else is static.
+        let known: Option<u64> = dims
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, d)| d.as_static())
+            .product::<Option<u64>>();
+        let total: Option<u64> = a.dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
+        if let (Some(k), Some(t)) = (known, total) {
+            if k == 0 || t % k != 0 {
+                return Err(IrError("reshape: volume mismatch".into()));
+            }
+            dims[i] = Dim::Static(t / k);
+        }
+    } else {
+        // Fully static sanity check when both sides are static.
+        let out_total: Option<u64> = dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
+        let in_total: Option<u64> = a.dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
+        if let (Some(o), Some(i)) = (out_total, in_total) {
+            if o != i {
+                return Err(IrError(format!("reshape: volume {i} -> {o} mismatch")));
+            }
+        }
+    }
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `take(table, indices)` → `indices.shape ++ table.shape[1..]`.
+pub fn take(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "take")?;
+    let table = tensor_at(types, 0, "take")?;
+    let idx = tensor_at(types, 1, "take")?;
+    if table.rank() == 0 {
+        return Err(IrError("take: table rank >= 1 required".into()));
+    }
+    if !idx.dtype.is_int() {
+        return Err(IrError(format!("take: integer indices required, got {}", idx.dtype)));
+    }
+    let mut dims = idx.dims.clone();
+    dims.extend_from_slice(&table.dims[1..]);
+    Ok(Type::Tensor(TensorType::from_dims(dims, table.dtype)))
+}
+
+/// `expand_dims(axis=…)`.
+pub fn expand_dims(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "expand_dims")?;
+    let a = tensor_at(types, 0, "expand_dims")?;
+    let axis = attrs.int_or("axis", 0) as usize;
+    if axis > a.rank() {
+        return Err(IrError("expand_dims: axis out of range".into()));
+    }
+    let mut dims = a.dims.clone();
+    dims.insert(axis, Dim::Static(1));
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `squeeze(axis=…)` — the squeezed dim must be 1 (or dynamic, checked at
+/// run time).
+pub fn squeeze(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "squeeze")?;
+    let a = tensor_at(types, 0, "squeeze")?;
+    let axis = attrs.int_or("axis", 0) as usize;
+    if axis >= a.rank() {
+        return Err(IrError("squeeze: axis out of range".into()));
+    }
+    if let Dim::Static(d) = a.dims[axis] {
+        if d != 1 {
+            return Err(IrError(format!("squeeze: dim {d} != 1")));
+        }
+    }
+    let mut dims = a.dims.clone();
+    dims.remove(axis);
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `cast(to=…)`.
+pub fn cast(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "cast")?;
+    let a = tensor_at(types, 0, "cast")?;
+    let to = attrs
+        .dtype("to")
+        .ok_or_else(|| IrError("cast: to attr required".into()))?;
+    Ok(Type::Tensor(TensorType::from_dims(a.dims.clone(), to)))
+}
+
+/// `one_hot(depth=…)`.
+pub fn one_hot(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "one_hot")?;
+    let ids = tensor_at(types, 0, "one_hot")?;
+    let depth = attrs
+        .int("depth")
+        .ok_or_else(|| IrError("one_hot: depth attr required".into()))? as u64;
+    let mut dims = ids.dims.clone();
+    dims.push(Dim::Static(depth));
+    Ok(Type::Tensor(TensorType::from_dims(dims, DType::F32)))
+}
+
+/// `zeros(shape=…, dtype via attr)` — a source op.
+pub fn zeros(_types: &[Type], attrs: &Attrs) -> Result<Type> {
+    let shape = attrs
+        .int_vec("shape")
+        .ok_or_else(|| IrError("zeros: shape attr required".into()))?;
+    let dt = attrs.dtype("dtype").unwrap_or(DType::F32);
+    let dims = shape.iter().map(|&d| Dim::Static(d as u64)).collect();
+    Ok(Type::Tensor(TensorType::from_dims(dims, dt)))
+}
+
+/// `layer_norm(x, gamma, beta)` — same type as input.
+pub fn layer_norm(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 3, "layer_norm")?;
+    let a = tensor_at(types, 0, "layer_norm")?;
+    Ok(Type::Tensor(a.clone()))
+}
+
+/// Reductions `sum`/`max`/`mean` with `axis` and `keepdims` attrs.
+pub fn reduce(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "reduce")?;
+    let a = tensor_at(types, 0, "reduce")?;
+    let axis = attrs.int_or("axis", 0) as usize;
+    let keep = attrs.boolean("keepdims").unwrap_or(false);
+    if axis >= a.rank() {
+        return Err(IrError("reduce: axis out of range".into()));
+    }
+    let mut dims = a.dims.clone();
+    if keep {
+        dims[axis] = Dim::Static(1);
+    } else {
+        dims.remove(axis);
+    }
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `argmax(axis=…)` → i64 with the axis removed.
+pub fn argmax(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    match reduce(types, attrs)? {
+        Type::Tensor(t) => Ok(Type::Tensor(TensorType::from_dims(t.dims, DType::I64))),
+        other => Ok(other),
+    }
+}
+
+/// `arange(start, stop, step)` — the output length is *data dependent*, so
+/// the static type is `Tensor[(Any,), f32]` (Section 4.1).
+pub fn arange(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 3, "arange")?;
+    for i in 0..3 {
+        let t = tensor_at(types, i, "arange")?;
+        if t.rank() != 0 {
+            return Err(IrError("arange: scalar inputs required".into()));
+        }
+    }
+    Ok(Type::Tensor(TensorType::from_dims(vec![Dim::Any], DType::F32)))
+}
+
+/// `unique(x)` → `Tensor[(Any,), i64]`.
+pub fn unique(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "unique")?;
+    let a = tensor_at(types, 0, "unique")?;
+    if a.rank() != 1 {
+        return Err(IrError("unique: rank-1 input required".into()));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(vec![Dim::Any], a.dtype)))
+}
+
+/// `boolean_mask(x, mask)` → leading dim becomes `Any`.
+pub fn boolean_mask(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "boolean_mask")?;
+    let a = tensor_at(types, 0, "boolean_mask")?;
+    let m = tensor_at(types, 1, "boolean_mask")?;
+    if a.rank() == 0 || m.rank() != 1 || m.dtype != DType::Bool {
+        return Err(IrError("boolean_mask: bad inputs".into()));
+    }
+    let mut dims = vec![Dim::Any];
+    dims.extend_from_slice(&a.dims[1..]);
+    Ok(Type::Tensor(TensorType::from_dims(dims, a.dtype)))
+}
+
+/// `nms(boxes)` → `Tensor[(Any, 5), f32]` with an upper-bound shape
+/// function.
+pub fn nms(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "nms")?;
+    let a = tensor_at(types, 0, "nms")?;
+    if a.rank() != 2 || a.dims[1] != Dim::Static(5) {
+        return Err(IrError("nms: input must be [n, 5]".into()));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![Dim::Any, Dim::Static(5)],
+        a.dtype,
+    )))
+}
+
+fn conv_out(in_dim: Dim, k: u64, stride: u64, pad: u64) -> Dim {
+    match in_dim {
+        Dim::Static(d) => Dim::Static((d + 2 * pad - k) / stride + 1),
+        _ => Dim::Any,
+    }
+}
+
+/// `conv2d(x: [n,c,h,w], w: [oc,c,kh,kw], stride=…, padding=…)`.
+pub fn conv2d(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 2, "conv2d")?;
+    let x = tensor_at(types, 0, "conv2d")?;
+    let w = tensor_at(types, 1, "conv2d")?;
+    if x.rank() != 4 || w.rank() != 4 {
+        return Err(IrError("conv2d: rank-4 inputs required".into()));
+    }
+    if !x.dims[1].compatible(w.dims[1]) {
+        return Err(IrError("conv2d: channel mismatch".into()));
+    }
+    let stride = attrs.int_or("stride", 1) as u64;
+    let pad = attrs.int_or("padding", 0) as u64;
+    let (kh, kw) = match (w.dims[2].as_static(), w.dims[3].as_static()) {
+        (Some(a), Some(b)) => (a, b),
+        _ => return Err(IrError("conv2d: static kernel size required".into())),
+    };
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![
+            x.dims[0],
+            w.dims[0],
+            conv_out(x.dims[2], kh, stride, pad),
+            conv_out(x.dims[3], kw, stride, pad),
+        ],
+        x.dtype,
+    )))
+}
+
+/// `max_pool2d` / `avg_pool2d` with `kernel` and `stride` attrs.
+pub fn pool2d(types: &[Type], attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "pool2d")?;
+    let x = tensor_at(types, 0, "pool2d")?;
+    if x.rank() != 4 {
+        return Err(IrError("pool2d: rank-4 input required".into()));
+    }
+    let k = attrs.int_or("kernel", 2) as u64;
+    let s = attrs.int_or("stride", 2) as u64;
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![
+            x.dims[0],
+            x.dims[1],
+            conv_out(x.dims[2], k, s, 0),
+            conv_out(x.dims[3], k, s, 0),
+        ],
+        x.dtype,
+    )))
+}
+
+/// `global_avg_pool([n,c,h,w]) → [n,c]`.
+pub fn global_avg_pool(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "global_avg_pool")?;
+    let x = tensor_at(types, 0, "global_avg_pool")?;
+    if x.rank() != 4 {
+        return Err(IrError("global_avg_pool: rank-4 input required".into()));
+    }
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![x.dims[0], x.dims[1]],
+        x.dtype,
+    )))
+}
+
+/// `batch_norm(x, gamma, beta, mean, var)` — same type as input.
+pub fn batch_norm(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 5, "batch_norm")?;
+    let x = tensor_at(types, 0, "batch_norm")?;
+    Ok(Type::Tensor(x.clone()))
+}
+
+/// `shape_of(x)` → rank-1 i64 tensor of known length (Section 4.4).
+pub fn shape_of(types: &[Type], _attrs: &Attrs) -> Result<Type> {
+    expect_args(types, 1, "shape_of")?;
+    let a = tensor_at(types, 0, "shape_of")?;
+    Ok(Type::Tensor(TensorType::new(&[a.rank() as u64], DType::I64)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::AttrValue;
+    use crate::types::SymId;
+
+    fn t(dims: Vec<Dim>) -> Type {
+        Type::Tensor(TensorType::from_dims(dims, DType::F32))
+    }
+
+    #[test]
+    fn paper_broadcast_rules() {
+        // broadcast_rel(Any, 1) → Any
+        assert_eq!(broadcast_dim(Dim::Any, Dim::Static(1)).unwrap(), Dim::Any);
+        // broadcast_rel(Any, d) → d, d > 1
+        assert_eq!(
+            broadcast_dim(Dim::Any, Dim::Static(7)).unwrap(),
+            Dim::Static(7)
+        );
+        // broadcast_rel(Any, Any) → Any
+        assert_eq!(broadcast_dim(Dim::Any, Dim::Any).unwrap(), Dim::Any);
+        // Same symbolic dim is preserved.
+        let s = SymId::fresh();
+        assert_eq!(
+            broadcast_dim(Dim::Sym(s), Dim::Sym(s)).unwrap(),
+            Dim::Sym(s)
+        );
+        // Different symbolic dims fall back to Any.
+        assert_eq!(
+            broadcast_dim(Dim::Sym(s), Dim::Sym(SymId::fresh())).unwrap(),
+            Dim::Any
+        );
+        // Static conflict is rejected.
+        assert!(broadcast_dim(Dim::Static(2), Dim::Static(3)).is_err());
+    }
+
+    #[test]
+    fn paper_any_contamination_example() {
+        // arange result Tensor[(Any,)] broadcast_add Tensor[(5, 1)] gives
+        // Tensor[(5, Any)] — Section 4.1's contamination example.
+        let out = broadcast(
+            &[t(vec![Dim::Any]), t(vec![Dim::Static(5), Dim::Static(1)])],
+            &Attrs::new(),
+        )
+        .unwrap();
+        assert_eq!(
+            out,
+            t(vec![Dim::Static(5), Dim::Any]),
+        );
+    }
+
+    #[test]
+    fn dense_propagates_any_rows() {
+        let out = dense(
+            &[
+                t(vec![Dim::Any, Dim::Static(300)]),
+                t(vec![Dim::Static(512), Dim::Static(300)]),
+            ],
+            &Attrs::new(),
+        )
+        .unwrap();
+        assert_eq!(out, t(vec![Dim::Any, Dim::Static(512)]));
+        // Contraction mismatch rejected statically when both static.
+        assert!(dense(
+            &[
+                t(vec![Dim::Any, Dim::Static(300)]),
+                t(vec![Dim::Static(512), Dim::Static(301)]),
+            ],
+            &Attrs::new(),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn concat_sums_static_axis_or_any() {
+        let attrs = Attrs::new().with("axis", AttrValue::Int(0));
+        let out = concat(
+            &[
+                t(vec![Dim::Static(2), Dim::Static(4)]),
+                t(vec![Dim::Static(3), Dim::Static(4)]),
+            ],
+            &attrs,
+        )
+        .unwrap();
+        assert_eq!(out, t(vec![Dim::Static(5), Dim::Static(4)]));
+        // Dynamic input makes the axis dynamic — the paper's growing-tensor
+        // loop case.
+        let out = concat(
+            &[
+                t(vec![Dim::Any, Dim::Static(4)]),
+                t(vec![Dim::Static(1), Dim::Static(4)]),
+            ],
+            &attrs,
+        )
+        .unwrap();
+        assert_eq!(out, t(vec![Dim::Any, Dim::Static(4)]));
+    }
+
+    #[test]
+    fn reshape_infers_and_propagates() {
+        let attrs = Attrs::new().with("newshape", AttrValue::IntVec(vec![2, -1]));
+        let out = reshape(&[t(vec![Dim::Static(2), Dim::Static(6)])], &attrs).unwrap();
+        assert_eq!(out, t(vec![Dim::Static(2), Dim::Static(6)]));
+        // Dynamic input leaves -1 as Any.
+        let out = reshape(&[t(vec![Dim::Any, Dim::Static(6)])], &attrs).unwrap();
+        assert_eq!(out, t(vec![Dim::Static(2), Dim::Any]));
+        // -2 copies the input dim, preserving symbolic identity.
+        let s = Dim::Sym(SymId::fresh());
+        let attrs = Attrs::new().with("newshape", AttrValue::IntVec(vec![-2, 12]));
+        let out = reshape(&[t(vec![s, Dim::Static(12)])], &attrs).unwrap();
+        assert_eq!(out, t(vec![s, Dim::Static(12)]));
+    }
+
+    #[test]
+    fn dynamic_ops_produce_any() {
+        let scalar = t(vec![]);
+        let out = arange(&[scalar.clone(), scalar.clone(), scalar], &Attrs::new()).unwrap();
+        assert_eq!(out, t(vec![Dim::Any]));
+
+        let out = nms(&[t(vec![Dim::Static(10), Dim::Static(5)])], &Attrs::new()).unwrap();
+        assert_eq!(out, t(vec![Dim::Any, Dim::Static(5)]));
+    }
+
+    #[test]
+    fn split_produces_tuple() {
+        let attrs = Attrs::new()
+            .with("parts", AttrValue::Int(4))
+            .with("axis", AttrValue::Int(1));
+        let out = split(&[t(vec![Dim::Any, Dim::Static(8)])], &attrs).unwrap();
+        match out {
+            Type::Tuple(ts) => {
+                assert_eq!(ts.len(), 4);
+                assert_eq!(ts[0], t(vec![Dim::Any, Dim::Static(2)]));
+            }
+            other => panic!("expected tuple, got {other}"),
+        }
+    }
+
+    #[test]
+    fn conv_and_pool_shapes() {
+        let x = t(vec![
+            Dim::Static(1),
+            Dim::Static(3),
+            Dim::Static(32),
+            Dim::Static(32),
+        ]);
+        let w = t(vec![
+            Dim::Static(8),
+            Dim::Static(3),
+            Dim::Static(3),
+            Dim::Static(3),
+        ]);
+        let attrs = Attrs::new()
+            .with("stride", AttrValue::Int(1))
+            .with("padding", AttrValue::Int(1));
+        let out = conv2d(&[x.clone(), w], &attrs).unwrap();
+        assert_eq!(
+            out,
+            t(vec![
+                Dim::Static(1),
+                Dim::Static(8),
+                Dim::Static(32),
+                Dim::Static(32)
+            ])
+        );
+        let pool_attrs = Attrs::new()
+            .with("kernel", AttrValue::Int(2))
+            .with("stride", AttrValue::Int(2));
+        let out = pool2d(&[x], &pool_attrs).unwrap();
+        assert_eq!(
+            out,
+            t(vec![
+                Dim::Static(1),
+                Dim::Static(3),
+                Dim::Static(16),
+                Dim::Static(16)
+            ])
+        );
+    }
+
+    #[test]
+    fn shape_of_rank_known_statically() {
+        let out = shape_of(&[t(vec![Dim::Any, Dim::Any, Dim::Static(4)])], &Attrs::new()).unwrap();
+        match out {
+            Type::Tensor(tt) => {
+                assert_eq!(tt.dims, vec![Dim::Static(3)]);
+                assert_eq!(tt.dtype, DType::I64);
+            }
+            other => panic!("unexpected {other}"),
+        }
+    }
+
+    #[test]
+    fn take_requires_int_indices() {
+        let table = t(vec![Dim::Static(100), Dim::Static(16)]);
+        let bad_idx = t(vec![Dim::Any]); // f32 indices
+        assert!(take(&[table.clone(), bad_idx], &Attrs::new()).is_err());
+        let idx = Type::Tensor(TensorType::from_dims(vec![Dim::Any], DType::I64));
+        let out = take(&[table, idx], &Attrs::new()).unwrap();
+        assert_eq!(out, t(vec![Dim::Any, Dim::Static(16)]));
+    }
+}

@@ -1,0 +1,240 @@
+//! Text-format pretty printer for IR expressions and modules.
+//!
+//! The format is Relay-like and intended for debugging and golden tests,
+//! not round-tripping:
+//!
+//! ```text
+//! fn @main(%x_0: Tensor[(?, 4), float32]) {
+//!   let %t0_1 = relu(%x_0)
+//!   %t0_1
+//! }
+//! ```
+
+use crate::expr::{Expr, ExprKind, Function, Pattern};
+use crate::module::Module;
+use std::fmt::Write;
+
+/// Render a module as text.
+pub fn print_module(module: &Module) -> String {
+    let mut out = String::new();
+    for def in module.adts() {
+        let _ = write!(out, "type {} = ", def.name);
+        for (i, c) in def.constructors.iter().enumerate() {
+            if i > 0 {
+                let _ = write!(out, " | ");
+            }
+            let _ = write!(out, "{}", c.name);
+            if !c.fields.is_empty() {
+                let fields: Vec<String> = c.fields.iter().map(|f| f.to_string()).collect();
+                let _ = write!(out, "({})", fields.join(", "));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    for (name, func) in module.functions() {
+        let _ = writeln!(out, "{}", print_function(&name.0, func));
+    }
+    out
+}
+
+/// Render a single function.
+pub fn print_function(name: &str, func: &Function) -> String {
+    let mut out = String::new();
+    let params: Vec<String> = func
+        .params
+        .iter()
+        .map(|p| format!("{}: {}", p, p.ty))
+        .collect();
+    let _ = writeln!(out, "fn @{name}({}) {{", params.join(", "));
+    let mut body = String::new();
+    print_expr(&func.body, 1, &mut body);
+    out.push_str(&body);
+    out.push_str("\n}");
+    out
+}
+
+/// Render an expression (single line for atoms, indented for blocks).
+pub fn print_expr_string(expr: &Expr) -> String {
+    let mut s = String::new();
+    print_expr(expr, 0, &mut s);
+    s
+}
+
+fn indent(level: usize, out: &mut String) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn atom(expr: &Expr) -> String {
+    match expr.kind() {
+        ExprKind::Var(v) => v.to_string(),
+        ExprKind::Global(g) => g.to_string(),
+        ExprKind::Op(o) => o.clone(),
+        ExprKind::Constructor(c) => c.clone(),
+        ExprKind::Constant(t) => {
+            if t.volume() == 1 {
+                match t.dtype() {
+                    nimble_tensor::DType::F32 => {
+                        format!("{}f", t.as_f32().map(|v| v[0]).unwrap_or(f32::NAN))
+                    }
+                    nimble_tensor::DType::Bool => {
+                        format!("{}", t.as_bool().map(|v| v[0]).unwrap_or(false))
+                    }
+                    _ => format!("const<{}>", t.shape()),
+                }
+            } else {
+                format!("const<{}, {}>", t.shape(), t.dtype())
+            }
+        }
+        ExprKind::Tuple(fields) => {
+            let fs: Vec<String> = fields.iter().map(atom).collect();
+            format!("({})", fs.join(", "))
+        }
+        ExprKind::TupleGet(t, i) => format!("{}.{}", atom(t), i),
+        ExprKind::Call {
+            callee,
+            args,
+            attrs,
+        } => {
+            let argstrs: Vec<String> = args.iter().map(atom).collect();
+            if attrs.is_empty() {
+                format!("{}({})", atom(callee), argstrs.join(", "))
+            } else {
+                format!("{}({}; {})", atom(callee), argstrs.join(", "), attrs)
+            }
+        }
+        ExprKind::Func(_) => "<fn>".to_string(),
+        ExprKind::Let { .. } => "<let>".to_string(),
+        ExprKind::If { .. } => "<if>".to_string(),
+        ExprKind::Match { .. } => "<match>".to_string(),
+    }
+}
+
+fn print_pattern(p: &Pattern) -> String {
+    match p {
+        Pattern::Wildcard => "_".to_string(),
+        Pattern::Bind(v) => v.to_string(),
+        Pattern::Constructor { name, fields } => {
+            if fields.is_empty() {
+                name.clone()
+            } else {
+                let fs: Vec<String> = fields.iter().map(print_pattern).collect();
+                format!("{}({})", name, fs.join(", "))
+            }
+        }
+    }
+}
+
+fn print_expr(expr: &Expr, level: usize, out: &mut String) {
+    match expr.kind() {
+        ExprKind::Let { var, value, body } => {
+            indent(level, out);
+            let _ = write!(out, "let {} = ", var);
+            match value.kind() {
+                ExprKind::If { .. } | ExprKind::Match { .. } | ExprKind::Func(_) => {
+                    let _ = writeln!(out);
+                    print_expr(value, level + 1, out);
+                    let _ = writeln!(out);
+                }
+                _ => {
+                    let _ = writeln!(out, "{}", atom(value));
+                }
+            }
+            print_expr(body, level, out);
+        }
+        ExprKind::If { cond, then, els } => {
+            indent(level, out);
+            let _ = writeln!(out, "if ({}) {{", atom(cond));
+            print_expr(then, level + 1, out);
+            let _ = writeln!(out);
+            indent(level, out);
+            let _ = writeln!(out, "}} else {{");
+            print_expr(els, level + 1, out);
+            let _ = writeln!(out);
+            indent(level, out);
+            let _ = write!(out, "}}");
+        }
+        ExprKind::Match { value, clauses } => {
+            indent(level, out);
+            let _ = writeln!(out, "match ({}) {{", atom(value));
+            for c in clauses {
+                indent(level + 1, out);
+                let _ = writeln!(out, "{} => {{", print_pattern(&c.pattern));
+                print_expr(&c.body, level + 2, out);
+                let _ = writeln!(out);
+                indent(level + 1, out);
+                let _ = writeln!(out, "}}");
+            }
+            indent(level, out);
+            let _ = write!(out, "}}");
+        }
+        ExprKind::Func(f) => {
+            indent(level, out);
+            let params: Vec<String> = f.params.iter().map(|p| p.to_string()).collect();
+            let _ = writeln!(out, "fn({}) {{", params.join(", "));
+            print_expr(&f.body, level + 1, out);
+            let _ = writeln!(out);
+            indent(level, out);
+            let _ = write!(out, "}}");
+        }
+        _ => {
+            indent(level, out);
+            let _ = write!(out, "{}", atom(expr));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::{AttrValue, Attrs};
+    use crate::builder::FunctionBuilder;
+    use crate::types::TensorType;
+    use nimble_tensor::DType;
+
+    #[test]
+    fn prints_function_with_lets() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+        let y = fb.call("relu", vec![x], Attrs::new());
+        let f = fb.finish(y);
+        let text = print_function("main", &f);
+        assert!(text.contains("fn @main(%x_"));
+        assert!(text.contains("Tensor[(?, 4), float32]"));
+        assert!(text.contains("let %t0_"));
+        assert!(text.contains("relu("));
+    }
+
+    #[test]
+    fn prints_attrs_and_if() {
+        let cond = Expr::constant(nimble_tensor::Tensor::scalar_bool(true));
+        let e = Expr::if_(
+            cond,
+            Expr::call_op(
+                "sum",
+                vec![Expr::const_f32(1.0)],
+                Attrs::new().with("axis", AttrValue::Int(0)),
+            ),
+            Expr::const_f32(0.0),
+        );
+        let text = print_expr_string(&e);
+        assert!(text.contains("if (true)"));
+        assert!(text.contains("axis=0"));
+        assert!(text.contains("else"));
+    }
+
+    #[test]
+    fn prints_module_with_adt() {
+        use crate::adt::TypeDef;
+        use crate::expr::{Function, Var};
+        use crate::types::Type;
+        let mut m = Module::new();
+        m.add_adt(TypeDef::list(Type::Tensor(TensorType::scalar(DType::F32))));
+        let x = Var::fresh("x", Type::Adt("List".into()));
+        m.add_function("len", Function::new(vec![x.clone()], x.to_expr(), Type::Unknown));
+        let text = print_module(&m);
+        assert!(text.contains("type List = Nil | Cons("));
+        assert!(text.contains("fn @len"));
+    }
+}

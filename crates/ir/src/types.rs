@@ -1,0 +1,533 @@
+//! The dynamic type system: tensor types with `Any` and symbolic dimensions.
+//!
+//! Section 4.1 of the paper introduces a special dimension `Any` to
+//! "represent statically unknown dimensions", and a *sub-shaping* extension
+//! that lets values with more specific shape information flow into contexts
+//! requiring less specific shapes. Both are implemented here: [`Dim::Any`]
+//! is the fully unknown dimension, [`Dim::Sym`] is an unknown dimension
+//! carrying an identity so equal dynamic dimensions can be recognized, and
+//! [`TensorType::subshape_of`] implements the sub-shape relation.
+
+use crate::IrError;
+use nimble_tensor::DType;
+use std::fmt;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Identity of a symbolic dimension produced by the sub-shaping analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymId(pub u32);
+
+static NEXT_SYM: AtomicU32 = AtomicU32::new(0);
+
+impl SymId {
+    /// Allocate a fresh, process-unique symbolic dimension id.
+    pub fn fresh() -> SymId {
+        SymId(NEXT_SYM.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// One dimension of a tensor type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dim {
+    /// Statically known extent.
+    Static(u64),
+    /// Statically unknown extent (the paper's `Any`).
+    Any,
+    /// Statically unknown extent with an identity: two `Sym` dims with the
+    /// same id are guaranteed equal at run time. Produced by sub-shaping
+    /// analysis; consumed by shape-specialized codegen.
+    Sym(SymId),
+}
+
+impl Dim {
+    /// Whether the extent is known at compile time.
+    pub fn is_static(self) -> bool {
+        matches!(self, Dim::Static(_))
+    }
+
+    /// The static extent, if known.
+    pub fn as_static(self) -> Option<u64> {
+        match self {
+            Dim::Static(d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// Whether this dimension is dynamic (either `Any` or symbolic).
+    pub fn is_dynamic(self) -> bool {
+        !self.is_static()
+    }
+
+    /// `self` is at least as specific as `other`: every static dim refines
+    /// `Any`, a `Sym` refines `Any`, and everything refines itself.
+    pub fn refines(self, other: Dim) -> bool {
+        match (self, other) {
+            (a, b) if a == b => true,
+            (_, Dim::Any) => true,
+            (Dim::Static(_), Dim::Sym(_)) => true,
+            _ => false,
+        }
+    }
+
+    /// Can the two dimensions denote the same runtime extent?
+    pub fn compatible(self, other: Dim) -> bool {
+        match (self, other) {
+            (Dim::Static(a), Dim::Static(b)) => a == b,
+            // A dynamic dim may take any runtime value.
+            _ => true,
+        }
+    }
+}
+
+impl fmt::Display for Dim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Dim::Static(d) => write!(f, "{d}"),
+            Dim::Any => write!(f, "?"),
+            Dim::Sym(SymId(id)) => write!(f, "?s{id}"),
+        }
+    }
+}
+
+impl From<u64> for Dim {
+    fn from(d: u64) -> Dim {
+        Dim::Static(d)
+    }
+}
+
+impl From<usize> for Dim {
+    fn from(d: usize) -> Dim {
+        Dim::Static(d as u64)
+    }
+}
+
+/// The type of a tensor value: a shape (possibly containing dynamic
+/// dimensions) plus an element type, e.g. `Tensor[(1, 10, ?), float32]`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TensorType {
+    /// Per-dimension extents.
+    pub dims: Vec<Dim>,
+    /// Element type.
+    pub dtype: DType,
+}
+
+impl TensorType {
+    /// Fully static tensor type.
+    pub fn new(dims: &[u64], dtype: DType) -> TensorType {
+        TensorType {
+            dims: dims.iter().map(|&d| Dim::Static(d)).collect(),
+            dtype,
+        }
+    }
+
+    /// Tensor type mixing static (`Some(d)`) and `Any` (`None`) dims.
+    ///
+    /// ```
+    /// use nimble_ir::{types::TensorType, DType};
+    /// let t = TensorType::with_any(&[Some(1), None], DType::F32);
+    /// assert_eq!(t.to_string(), "Tensor[(1, ?), float32]");
+    /// ```
+    pub fn with_any(dims: &[Option<u64>], dtype: DType) -> TensorType {
+        TensorType {
+            dims: dims
+                .iter()
+                .map(|d| d.map(Dim::Static).unwrap_or(Dim::Any))
+                .collect(),
+            dtype,
+        }
+    }
+
+    /// Tensor type from explicit [`Dim`]s.
+    pub fn from_dims(dims: Vec<Dim>, dtype: DType) -> TensorType {
+        TensorType { dims, dtype }
+    }
+
+    /// Scalar tensor type.
+    pub fn scalar(dtype: DType) -> TensorType {
+        TensorType {
+            dims: Vec::new(),
+            dtype,
+        }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Whether every dimension is statically known.
+    pub fn is_static(&self) -> bool {
+        self.dims.iter().all(|d| d.is_static())
+    }
+
+    /// The concrete shape when fully static.
+    pub fn static_shape(&self) -> Option<Vec<usize>> {
+        self.dims
+            .iter()
+            .map(|d| d.as_static().map(|v| v as usize))
+            .collect()
+    }
+
+    /// Number of dynamic dimensions.
+    pub fn num_dynamic(&self) -> usize {
+        self.dims.iter().filter(|d| d.is_dynamic()).count()
+    }
+
+    /// Static upper bound on the byte size, treating each dynamic dim as
+    /// `bound`. Used by upper-bound allocation sizing.
+    pub fn max_nbytes(&self, bound: u64) -> u64 {
+        let volume: u64 = self
+            .dims
+            .iter()
+            .map(|d| d.as_static().unwrap_or(bound))
+            .product();
+        volume * self.dtype.size_of() as u64
+    }
+
+    /// Sub-shaping: `self` is usable where `other` is expected (Section 4.1
+    /// "our extension enables values with more specific shape information to
+    /// be passed in contexts which require less specific shapes").
+    pub fn subshape_of(&self, other: &TensorType) -> bool {
+        self.dtype == other.dtype
+            && self.dims.len() == other.dims.len()
+            && self
+                .dims
+                .iter()
+                .zip(other.dims.iter())
+                .all(|(a, b)| a.refines(*b))
+    }
+
+    /// Whether a concrete runtime shape is an instance of this type — the
+    /// deferred (gradual-typing) check from Section 4.1.
+    pub fn admits(&self, shape: &[usize], dtype: DType) -> bool {
+        self.dtype == dtype
+            && self.dims.len() == shape.len()
+            && self
+                .dims
+                .iter()
+                .zip(shape.iter())
+                .all(|(d, &s)| match d {
+                    Dim::Static(v) => *v == s as u64,
+                    _ => true,
+                })
+    }
+}
+
+impl fmt::Display for TensorType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor[(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "), {}]", self.dtype)
+    }
+}
+
+/// A type in the IR.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// Tensor with (possibly dynamic) shape.
+    Tensor(TensorType),
+    /// Fixed-arity product of types.
+    Tuple(Vec<Type>),
+    /// Function type `(params…) -> ret`.
+    Func(Vec<Type>, Box<Type>),
+    /// Reference to a named algebraic data type (e.g. `Tree`, `List`).
+    Adt(String),
+    /// Placeholder for a type yet to be inferred.
+    Unknown,
+}
+
+impl Type {
+    /// Shorthand for a tensor type.
+    pub fn tensor(tt: TensorType) -> Type {
+        Type::Tensor(tt)
+    }
+
+    /// View as a tensor type.
+    ///
+    /// # Errors
+    /// Fails when the type is not a tensor.
+    pub fn as_tensor(&self) -> crate::Result<&TensorType> {
+        match self {
+            Type::Tensor(t) => Ok(t),
+            other => Err(IrError(format!("expected tensor type, got {other}"))),
+        }
+    }
+
+    /// View as a tuple of types.
+    ///
+    /// # Errors
+    /// Fails when the type is not a tuple.
+    pub fn as_tuple(&self) -> crate::Result<&[Type]> {
+        match self {
+            Type::Tuple(ts) => Ok(ts),
+            other => Err(IrError(format!("expected tuple type, got {other}"))),
+        }
+    }
+
+    /// Sub-typing across compound types, extending
+    /// [`TensorType::subshape_of`] structurally.
+    pub fn subtype_of(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Tensor(a), Type::Tensor(b)) => a.subshape_of(b),
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| x.subtype_of(y))
+            }
+            (Type::Func(pa, ra), Type::Func(pb, rb)) => {
+                // Contravariant params, covariant return.
+                pa.len() == pb.len()
+                    && pb.iter().zip(pa.iter()).all(|(x, y)| x.subtype_of(y))
+                    && ra.subtype_of(rb)
+            }
+            (Type::Adt(a), Type::Adt(b)) => a == b,
+            (_, Type::Unknown) => true,
+            _ => false,
+        }
+    }
+}
+
+impl From<TensorType> for Type {
+    fn from(t: TensorType) -> Type {
+        Type::Tensor(t)
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Tensor(t) => write!(f, "{t}"),
+            Type::Tuple(ts) => {
+                write!(f, "(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")
+            }
+            Type::Func(ps, r) => {
+                write!(f, "fn(")?;
+                for (i, p) in ps.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, ") -> {r}")
+            }
+            Type::Adt(name) => write!(f, "{name}"),
+            Type::Unknown => write!(f, "?ty"),
+        }
+    }
+}
+
+/// Unify two dims, preferring the more specific one.
+///
+/// # Errors
+/// Fails when both are static and disagree.
+pub fn unify_dims(a: Dim, b: Dim) -> crate::Result<Dim> {
+    match (a, b) {
+        (Dim::Static(x), Dim::Static(y)) if x == y => Ok(a),
+        (Dim::Static(x), Dim::Static(y)) => {
+            Err(IrError(format!("cannot unify dims {x} and {y}")))
+        }
+        (Dim::Static(_), _) => Ok(a),
+        (_, Dim::Static(_)) => Ok(b),
+        (Dim::Sym(_), _) => Ok(a),
+        (_, Dim::Sym(_)) => Ok(b),
+        (Dim::Any, Dim::Any) => Ok(Dim::Any),
+    }
+}
+
+/// Unify two types structurally.
+///
+/// # Errors
+/// Fails on shape/dtype/arity conflicts.
+pub fn unify(a: &Type, b: &Type) -> crate::Result<Type> {
+    match (a, b) {
+        (Type::Unknown, t) | (t, Type::Unknown) => Ok(t.clone()),
+        (Type::Tensor(x), Type::Tensor(y)) => {
+            if x.dtype != y.dtype {
+                return Err(IrError(format!(
+                    "cannot unify dtypes {} and {}",
+                    x.dtype, y.dtype
+                )));
+            }
+            if x.rank() != y.rank() {
+                return Err(IrError(format!(
+                    "cannot unify ranks {} and {}",
+                    x.rank(),
+                    y.rank()
+                )));
+            }
+            let dims = x
+                .dims
+                .iter()
+                .zip(y.dims.iter())
+                .map(|(&p, &q)| unify_dims(p, q))
+                .collect::<crate::Result<Vec<_>>>()?;
+            Ok(Type::Tensor(TensorType::from_dims(dims, x.dtype)))
+        }
+        (Type::Tuple(x), Type::Tuple(y)) if x.len() == y.len() => {
+            let ts = x
+                .iter()
+                .zip(y.iter())
+                .map(|(p, q)| unify(p, q))
+                .collect::<crate::Result<Vec<_>>>()?;
+            Ok(Type::Tuple(ts))
+        }
+        (Type::Func(pa, ra), Type::Func(pb, rb)) if pa.len() == pb.len() => {
+            let ps = pa
+                .iter()
+                .zip(pb.iter())
+                .map(|(p, q)| unify(p, q))
+                .collect::<crate::Result<Vec<_>>>()?;
+            Ok(Type::Func(ps, Box::new(unify(ra, rb)?)))
+        }
+        (Type::Adt(x), Type::Adt(y)) if x == y => Ok(a.clone()),
+        _ => Err(IrError(format!("cannot unify {a} and {b}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn display() {
+        let t = TensorType::with_any(&[Some(1), Some(10), None], DType::F32);
+        assert_eq!(t.to_string(), "Tensor[(1, 10, ?), float32]");
+        assert_eq!(Type::Tuple(vec![]).to_string(), "()");
+        assert_eq!(Type::Adt("Tree".into()).to_string(), "Tree");
+    }
+
+    #[test]
+    fn static_queries() {
+        let s = TensorType::new(&[2, 3], DType::F32);
+        assert!(s.is_static());
+        assert_eq!(s.static_shape(), Some(vec![2, 3]));
+        let d = TensorType::with_any(&[None, Some(3)], DType::F32);
+        assert!(!d.is_static());
+        assert_eq!(d.static_shape(), None);
+        assert_eq!(d.num_dynamic(), 1);
+        assert_eq!(d.max_nbytes(64), 64 * 3 * 4);
+    }
+
+    #[test]
+    fn refinement() {
+        assert!(Dim::Static(5).refines(Dim::Any));
+        assert!(Dim::Sym(SymId(0)).refines(Dim::Any));
+        assert!(Dim::Static(5).refines(Dim::Sym(SymId(0))));
+        assert!(!Dim::Any.refines(Dim::Static(5)));
+        assert!(!Dim::Any.refines(Dim::Sym(SymId(0))));
+        assert!(Dim::Static(5).refines(Dim::Static(5)));
+        assert!(!Dim::Static(5).refines(Dim::Static(6)));
+    }
+
+    #[test]
+    fn subshaping() {
+        let specific = TensorType::new(&[5, 3], DType::F32);
+        let general = TensorType::with_any(&[None, Some(3)], DType::F32);
+        assert!(specific.subshape_of(&general));
+        assert!(!general.subshape_of(&specific));
+        // Rank and dtype must match.
+        assert!(!specific.subshape_of(&TensorType::with_any(&[None], DType::F32)));
+        assert!(!specific.subshape_of(&TensorType::with_any(&[None, Some(3)], DType::I64)));
+    }
+
+    #[test]
+    fn admits_runtime_shapes() {
+        let t = TensorType::with_any(&[None, Some(3)], DType::F32);
+        assert!(t.admits(&[99, 3], DType::F32));
+        assert!(!t.admits(&[99, 4], DType::F32));
+        assert!(!t.admits(&[99, 3], DType::I64));
+        assert!(!t.admits(&[99], DType::F32));
+    }
+
+    #[test]
+    fn unify_prefers_specific() {
+        let a = Type::Tensor(TensorType::with_any(&[None, Some(3)], DType::F32));
+        let b = Type::Tensor(TensorType::new(&[5, 3], DType::F32));
+        let u = unify(&a, &b).unwrap();
+        assert_eq!(u, b);
+        // Sym is preferred over Any.
+        let s = Dim::Sym(SymId::fresh());
+        assert_eq!(unify_dims(Dim::Any, s).unwrap(), s);
+        assert_eq!(unify_dims(s, Dim::Any).unwrap(), s);
+        assert!(unify_dims(Dim::Static(2), Dim::Static(3)).is_err());
+    }
+
+    #[test]
+    fn unify_errors() {
+        let a = Type::Tensor(TensorType::new(&[2], DType::F32));
+        let b = Type::Tensor(TensorType::new(&[3], DType::F32));
+        assert!(unify(&a, &b).is_err());
+        let c = Type::Tensor(TensorType::new(&[2], DType::I64));
+        assert!(unify(&a, &c).is_err());
+        assert!(unify(&a, &Type::Tuple(vec![])).is_err());
+        assert_eq!(unify(&a, &Type::Unknown).unwrap(), a);
+    }
+
+    #[test]
+    fn func_subtyping_variance() {
+        let any_in = Type::Tensor(TensorType::with_any(&[None], DType::F32));
+        let static_in = Type::Tensor(TensorType::new(&[4], DType::F32));
+        // fn(Any)->static <: fn(static)->Any  (contravariant params,
+        // covariant return)
+        let f1 = Type::Func(vec![any_in.clone()], Box::new(static_in.clone()));
+        let f2 = Type::Func(vec![static_in.clone()], Box::new(any_in.clone()));
+        assert!(f1.subtype_of(&f2));
+        assert!(!f2.subtype_of(&f1));
+    }
+
+    #[test]
+    fn sym_ids_are_unique() {
+        let a = SymId::fresh();
+        let b = SymId::fresh();
+        assert_ne!(a, b);
+    }
+
+    fn arb_dim() -> impl Strategy<Value = Dim> {
+        prop_oneof![
+            (1u64..10).prop_map(Dim::Static),
+            Just(Dim::Any),
+            (0u32..4).prop_map(|i| Dim::Sym(SymId(i))),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn refines_is_reflexive(d in arb_dim()) {
+            prop_assert!(d.refines(d));
+        }
+
+        #[test]
+        fn unify_dims_commutative_result_compatible(a in arb_dim(), b in arb_dim()) {
+            let ab = unify_dims(a, b);
+            let ba = unify_dims(b, a);
+            prop_assert_eq!(ab.is_ok(), ba.is_ok());
+            if let (Ok(x), Ok(y)) = (ab, ba) {
+                // Both results must be refinements of Any and compatible
+                // with each other.
+                prop_assert!(x.compatible(y));
+            }
+        }
+
+        #[test]
+        fn unified_dim_refines_any(a in arb_dim(), b in arb_dim()) {
+            if let Ok(u) = unify_dims(a, b) {
+                prop_assert!(u.refines(Dim::Any));
+                // Unifying with a static input must preserve it.
+                if let Dim::Static(x) = a {
+                    prop_assert_eq!(u, Dim::Static(x));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! Expression traversal utilities: post-order visiting, structural
+//! rewriting, and free-variable analysis.
+
+use crate::expr::{Clause, Expr, ExprKind, Function, Var};
+use std::collections::{HashMap, HashSet};
+
+/// Visit every sub-expression exactly once (DAG-aware, post-order).
+pub fn visit_post_order(expr: &Expr, f: &mut impl FnMut(&Expr)) {
+    let mut seen: HashSet<usize> = HashSet::new();
+    visit_inner(expr, f, &mut seen);
+}
+
+fn visit_inner(expr: &Expr, f: &mut impl FnMut(&Expr), seen: &mut HashSet<usize>) {
+    if !seen.insert(expr.ref_id()) {
+        return;
+    }
+    // Let chains can be thousands of bindings long (planned model bodies);
+    // walk them iteratively so recursion depth stays bounded by expression
+    // nesting, not program length.
+    if let ExprKind::Let { .. } = expr.kind() {
+        let mut lets: Vec<Expr> = Vec::new();
+        let mut cur = expr.clone();
+        loop {
+            match cur.kind() {
+                ExprKind::Let { value, body, .. } => {
+                    visit_inner(value, f, seen);
+                    lets.push(cur.clone());
+                    let next = body.clone();
+                    if seen.insert(next.ref_id()) {
+                        cur = next;
+                    } else {
+                        // Shared suffix already visited.
+                        for l in lets.iter().rev() {
+                            f(l);
+                        }
+                        return;
+                    }
+                }
+                _ => {
+                    // `cur` was marked seen above; visit its children and
+                    // itself without re-checking.
+                    visit_children(&cur, f, seen);
+                    f(&cur);
+                    break;
+                }
+            }
+        }
+        for l in lets.iter().rev() {
+            f(l);
+        }
+        return;
+    }
+    visit_children(expr, f, seen);
+    f(expr);
+}
+
+fn visit_children(expr: &Expr, f: &mut impl FnMut(&Expr), seen: &mut HashSet<usize>) {
+    match expr.kind() {
+        ExprKind::Var(_)
+        | ExprKind::Constant(_)
+        | ExprKind::Global(_)
+        | ExprKind::Op(_)
+        | ExprKind::Constructor(_) => {}
+        ExprKind::Tuple(fields) => {
+            for e in fields {
+                visit_inner(e, f, seen);
+            }
+        }
+        ExprKind::TupleGet(t, _) => visit_inner(t, f, seen),
+        ExprKind::Call { callee, args, .. } => {
+            visit_inner(callee, f, seen);
+            for a in args {
+                visit_inner(a, f, seen);
+            }
+        }
+        ExprKind::Let { value, body, .. } => {
+            visit_inner(value, f, seen);
+            visit_inner(body, f, seen);
+        }
+        ExprKind::If { cond, then, els } => {
+            visit_inner(cond, f, seen);
+            visit_inner(then, f, seen);
+            visit_inner(els, f, seen);
+        }
+        ExprKind::Func(func) => visit_inner(&func.body, f, seen),
+        ExprKind::Match { value, clauses } => {
+            visit_inner(value, f, seen);
+            for c in clauses {
+                visit_inner(&c.body, f, seen);
+            }
+        }
+    }
+}
+
+/// Node-replacement callback used by [`Rewriter`].
+type RewriteFn<'a> = Box<dyn FnMut(&Expr) -> Option<Expr> + 'a>;
+
+/// Rewrite an expression bottom-up. `f` receives each node *after* its
+/// children have been rewritten and may return a replacement. Shared
+/// sub-DAGs are rewritten once and the result reused.
+pub struct Rewriter<'a> {
+    memo: HashMap<usize, Expr>,
+    f: RewriteFn<'a>,
+}
+
+impl<'a> Rewriter<'a> {
+    /// Create a rewriter from a node-replacement callback.
+    pub fn new(f: impl FnMut(&Expr) -> Option<Expr> + 'a) -> Self {
+        Rewriter {
+            memo: HashMap::new(),
+            f: Box::new(f),
+        }
+    }
+
+    /// Rewrite `expr` bottom-up.
+    pub fn rewrite(&mut self, expr: &Expr) -> Expr {
+        if let Some(hit) = self.memo.get(&expr.ref_id()) {
+            return hit.clone();
+        }
+        // Iterative handling of long let chains (see visit_post_order).
+        if matches!(expr.kind(), ExprKind::Let { .. }) {
+            // (original let node, rewritten value)
+            let mut chain: Vec<(Expr, Expr)> = Vec::new();
+            let mut cur = expr.clone();
+            while let ExprKind::Let { value, body, .. } = cur.kind() {
+                let new_value = self.rewrite(value);
+                chain.push((cur.clone(), new_value));
+                let next = body.clone();
+                if self.memo.contains_key(&next.ref_id()) {
+                    cur = self.memo[&next.ref_id()].clone();
+                    break;
+                }
+                if !matches!(next.kind(), ExprKind::Let { .. }) {
+                    cur = self.rewrite(&next);
+                    break;
+                }
+                cur = next;
+            }
+            let mut out = cur;
+            for (orig, new_value) in chain.into_iter().rev() {
+                let ExprKind::Let { var, value, body } = orig.kind() else {
+                    unreachable!("chain holds only let nodes");
+                };
+                let unchanged = new_value.ref_id() == value.ref_id()
+                    && out.ref_id() == body.ref_id();
+                let rebuilt = if unchanged {
+                    orig.clone()
+                } else {
+                    Expr::let_(var.clone(), new_value, out)
+                };
+                let result = (self.f)(&rebuilt).unwrap_or(rebuilt);
+                self.memo.insert(orig.ref_id(), result.clone());
+                out = result;
+            }
+            return out;
+        }
+        let rebuilt = self.rebuild_children(expr);
+        let result = (self.f)(&rebuilt).unwrap_or(rebuilt);
+        self.memo.insert(expr.ref_id(), result.clone());
+        result
+    }
+
+    fn rebuild_children(&mut self, expr: &Expr) -> Expr {
+        match expr.kind() {
+            ExprKind::Var(_)
+            | ExprKind::Constant(_)
+            | ExprKind::Global(_)
+            | ExprKind::Op(_)
+            | ExprKind::Constructor(_) => expr.clone(),
+            ExprKind::Tuple(fields) => {
+                let new: Vec<Expr> = fields.iter().map(|e| self.rewrite(e)).collect();
+                if new.iter().zip(fields).all(|(a, b)| a.ref_id() == b.ref_id()) {
+                    expr.clone()
+                } else {
+                    Expr::tuple(new)
+                }
+            }
+            ExprKind::TupleGet(t, i) => {
+                let nt = self.rewrite(t);
+                if nt.ref_id() == t.ref_id() {
+                    expr.clone()
+                } else {
+                    Expr::tuple_get(nt, *i)
+                }
+            }
+            ExprKind::Call {
+                callee,
+                args,
+                attrs,
+            } => {
+                let nc = self.rewrite(callee);
+                let na: Vec<Expr> = args.iter().map(|a| self.rewrite(a)).collect();
+                if nc.ref_id() == callee.ref_id()
+                    && na.iter().zip(args).all(|(a, b)| a.ref_id() == b.ref_id())
+                {
+                    expr.clone()
+                } else {
+                    Expr::new(ExprKind::Call {
+                        callee: nc,
+                        args: na,
+                        attrs: attrs.clone(),
+                    })
+                }
+            }
+            ExprKind::Let { var, value, body } => {
+                let nv = self.rewrite(value);
+                let nb = self.rewrite(body);
+                if nv.ref_id() == value.ref_id() && nb.ref_id() == body.ref_id() {
+                    expr.clone()
+                } else {
+                    Expr::let_(var.clone(), nv, nb)
+                }
+            }
+            ExprKind::If { cond, then, els } => {
+                let nc = self.rewrite(cond);
+                let nt = self.rewrite(then);
+                let ne = self.rewrite(els);
+                if nc.ref_id() == cond.ref_id()
+                    && nt.ref_id() == then.ref_id()
+                    && ne.ref_id() == els.ref_id()
+                {
+                    expr.clone()
+                } else {
+                    Expr::if_(nc, nt, ne)
+                }
+            }
+            ExprKind::Func(func) => {
+                let nb = self.rewrite(&func.body);
+                if nb.ref_id() == func.body.ref_id() {
+                    expr.clone()
+                } else {
+                    Expr::func(Function::new(
+                        func.params.clone(),
+                        nb,
+                        func.ret_type.clone(),
+                    ))
+                }
+            }
+            ExprKind::Match { value, clauses } => {
+                let nv = self.rewrite(value);
+                let ncs: Vec<Clause> = clauses
+                    .iter()
+                    .map(|c| Clause {
+                        pattern: c.pattern.clone(),
+                        body: self.rewrite(&c.body),
+                    })
+                    .collect();
+                if nv.ref_id() == value.ref_id()
+                    && ncs
+                        .iter()
+                        .zip(clauses)
+                        .all(|(a, b)| a.body.ref_id() == b.body.ref_id())
+                {
+                    expr.clone()
+                } else {
+                    Expr::match_(nv, ncs)
+                }
+            }
+        }
+    }
+}
+
+/// Free variables of an expression (variables used but not bound within).
+pub fn free_vars(expr: &Expr) -> Vec<Var> {
+    let mut bound: HashSet<Var> = HashSet::new();
+    let mut free: Vec<Var> = Vec::new();
+    let mut free_set: HashSet<Var> = HashSet::new();
+    collect_free(expr, &mut bound, &mut free, &mut free_set);
+    free
+}
+
+fn collect_free(
+    expr: &Expr,
+    bound: &mut HashSet<Var>,
+    free: &mut Vec<Var>,
+    free_set: &mut HashSet<Var>,
+) {
+    match expr.kind() {
+        ExprKind::Var(v) => {
+            if !bound.contains(v) && free_set.insert(v.clone()) {
+                free.push(v.clone());
+            }
+        }
+        ExprKind::Constant(_)
+        | ExprKind::Global(_)
+        | ExprKind::Op(_)
+        | ExprKind::Constructor(_) => {}
+        ExprKind::Tuple(fields) => {
+            for e in fields {
+                collect_free(e, bound, free, free_set);
+            }
+        }
+        ExprKind::TupleGet(t, _) => collect_free(t, bound, free, free_set),
+        ExprKind::Call { callee, args, .. } => {
+            collect_free(callee, bound, free, free_set);
+            for a in args {
+                collect_free(a, bound, free, free_set);
+            }
+        }
+        ExprKind::Let { .. } => {
+            // Iterative over long chains.
+            let mut newly_bound: Vec<Var> = Vec::new();
+            let mut cur = expr.clone();
+            while let ExprKind::Let { var, value, body } = cur.kind() {
+                collect_free(value, bound, free, free_set);
+                if bound.insert(var.clone()) {
+                    newly_bound.push(var.clone());
+                }
+                cur = body.clone();
+            }
+            collect_free(&cur, bound, free, free_set);
+            for v in newly_bound {
+                bound.remove(&v);
+            }
+        }
+        ExprKind::If { cond, then, els } => {
+            collect_free(cond, bound, free, free_set);
+            collect_free(then, bound, free, free_set);
+            collect_free(els, bound, free, free_set);
+        }
+        ExprKind::Func(func) => {
+            let newly: Vec<Var> = func
+                .params
+                .iter()
+                .filter(|p| bound.insert((*p).clone()))
+                .cloned()
+                .collect();
+            collect_free(&func.body, bound, free, free_set);
+            for p in newly {
+                bound.remove(&p);
+            }
+        }
+        ExprKind::Match { value, clauses } => {
+            collect_free(value, bound, free, free_set);
+            for c in clauses {
+                let newly: Vec<Var> = c
+                    .pattern
+                    .bound_vars()
+                    .into_iter()
+                    .filter(|v| bound.insert(v.clone()))
+                    .collect();
+                collect_free(&c.body, bound, free, free_set);
+                for v in newly {
+                    bound.remove(&v);
+                }
+            }
+        }
+    }
+}
+
+/// Count the number of distinct expression nodes (DAG nodes, not tree
+/// nodes).
+pub fn count_nodes(expr: &Expr) -> usize {
+    let mut n = 0;
+    visit_post_order(expr, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attrs::Attrs;
+    use crate::types::{TensorType, Type};
+    use nimble_tensor::DType;
+
+    fn fty() -> Type {
+        Type::Tensor(TensorType::scalar(DType::F32))
+    }
+
+    #[test]
+    fn post_order_visits_once_per_dag_node() {
+        let shared = Expr::const_f32(1.0);
+        let sum = Expr::call_op("add", vec![shared.clone(), shared.clone()], Attrs::new());
+        let mut order = Vec::new();
+        visit_post_order(&sum, &mut |e| order.push(e.ref_id()));
+        // shared constant visited once, plus op callee, plus the call: 3.
+        assert_eq!(order.len(), 3);
+        assert_eq!(*order.last().unwrap(), sum.ref_id());
+    }
+
+    #[test]
+    fn free_vars_respects_binders() {
+        let x = Var::fresh("x", fty());
+        let y = Var::fresh("y", fty());
+        // let x = y; x + y  → free = {y}
+        let body = Expr::call_op("add", vec![x.to_expr(), y.to_expr()], Attrs::new());
+        let e = Expr::let_(x.clone(), y.to_expr(), body);
+        assert_eq!(free_vars(&e), vec![y.clone()]);
+        // A lambda binds its params.
+        let lam = Expr::func(Function::new(
+            vec![x.clone()],
+            Expr::call_op("add", vec![x.to_expr(), y.to_expr()], Attrs::new()),
+            fty(),
+        ));
+        assert_eq!(free_vars(&lam), vec![y]);
+    }
+
+    #[test]
+    fn free_vars_match_patterns_bind() {
+        use crate::expr::{Clause, Pattern};
+        let scrutinee = Var::fresh("t", Type::Adt("Tree".into()));
+        let l = Var::fresh("l", fty());
+        let outer = Var::fresh("o", fty());
+        let m = Expr::match_(
+            scrutinee.to_expr(),
+            vec![Clause {
+                pattern: Pattern::Constructor {
+                    name: "Leaf".into(),
+                    fields: vec![Pattern::Bind(l.clone())],
+                },
+                body: Expr::call_op("add", vec![l.to_expr(), outer.to_expr()], Attrs::new()),
+            }],
+        );
+        let fv = free_vars(&m);
+        assert!(fv.contains(&scrutinee));
+        assert!(fv.contains(&outer));
+        assert!(!fv.contains(&l));
+    }
+
+    #[test]
+    fn rewriter_replaces_and_memoizes() {
+        let shared = Expr::const_f32(2.0);
+        let e = Expr::call_op("add", vec![shared.clone(), shared.clone()], Attrs::new());
+        let mut replaced = 0;
+        let mut rw = Rewriter::new(|node| {
+            if matches!(node.kind(), ExprKind::Constant(_)) {
+                replaced += 1;
+                Some(Expr::const_f32(9.0))
+            } else {
+                None
+            }
+        });
+        let out = rw.rewrite(&e);
+        drop(rw);
+        // The shared node was rewritten once.
+        assert_eq!(replaced, 1);
+        let (_, args, _) = out.as_op_call().unwrap();
+        // Both arguments point at the same replacement.
+        assert_eq!(args[0].ref_id(), args[1].ref_id());
+        match args[0].kind() {
+            ExprKind::Constant(t) => assert_eq!(t.scalar_value_f32().unwrap(), 9.0),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rewriter_identity_preserves_nodes() {
+        let x = Var::fresh("x", fty());
+        let e = Expr::let_(
+            x.clone(),
+            Expr::const_f32(1.0),
+            Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+        );
+        let mut rw = Rewriter::new(|_| None);
+        let out = rw.rewrite(&e);
+        assert_eq!(out.ref_id(), e.ref_id());
+    }
+
+    #[test]
+    fn node_count() {
+        let x = Var::fresh("x", fty());
+        let e = Expr::call_op("relu", vec![x.to_expr()], Attrs::new());
+        // var + op + call
+        assert_eq!(count_nodes(&e), 3);
+    }
+}

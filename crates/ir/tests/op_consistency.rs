@@ -1,0 +1,266 @@
+//! Registry-wide consistency: for every data-independent operator, the
+//! shape function (derived from the type relation) must predict exactly
+//! the shape the kernel produces — the invariant that makes pre-allocation
+//! sound (paper Section 4.2: the shape function "compute[s] the output
+//! shape for storage allocation").
+
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::op::{self, ShapeFnKind};
+use nimble_tensor::{DType, Tensor};
+use rand::SeedableRng;
+
+struct Case {
+    op: &'static str,
+    inputs: Vec<Tensor>,
+    attrs: Attrs,
+}
+
+fn cases() -> Vec<Case> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let f = |shape: &[usize], rng: &mut rand::rngs::StdRng| Tensor::rand_f32(rng, shape, 1.0);
+    let mut cases = Vec::new();
+    let mut push = |op: &'static str, inputs: Vec<Tensor>, attrs: Attrs| {
+        cases.push(Case { op, inputs, attrs })
+    };
+
+    for bin in ["add", "sub", "mul", "div", "maximum", "minimum", "power"] {
+        push(
+            bin,
+            vec![f(&[2, 3], &mut rng), f(&[3], &mut rng)],
+            Attrs::new(),
+        );
+    }
+    for cmp in ["equal", "less", "greater"] {
+        push(
+            cmp,
+            vec![f(&[4], &mut rng), f(&[4], &mut rng)],
+            Attrs::new(),
+        );
+    }
+    push(
+        "logical_and",
+        vec![
+            Tensor::from_vec_bool(vec![true, false], &[2]).unwrap(),
+            Tensor::from_vec_bool(vec![true, true], &[2]).unwrap(),
+        ],
+        Attrs::new(),
+    );
+    push(
+        "logical_not",
+        vec![Tensor::from_vec_bool(vec![true, false], &[2]).unwrap()],
+        Attrs::new(),
+    );
+    for un in ["neg", "sqrt", "tanh", "sigmoid", "relu", "gelu", "softmax"] {
+        push(un, vec![f(&[2, 5], &mut rng)], Attrs::new());
+    }
+    push(
+        "where",
+        vec![
+            Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap(),
+            f(&[3], &mut rng),
+            f(&[3], &mut rng),
+        ],
+        Attrs::new(),
+    );
+    push(
+        "dense",
+        vec![f(&[3, 4], &mut rng), f(&[6, 4], &mut rng)],
+        Attrs::new(),
+    );
+    push(
+        "dense",
+        vec![f(&[3, 4], &mut rng), f(&[6, 4], &mut rng), f(&[6], &mut rng)],
+        Attrs::new(),
+    );
+    push(
+        "matmul",
+        vec![f(&[3, 4], &mut rng), f(&[4, 5], &mut rng)],
+        Attrs::new(),
+    );
+    push(
+        "batch_matmul",
+        vec![f(&[2, 3, 4], &mut rng), f(&[2, 4, 5], &mut rng)],
+        Attrs::new(),
+    );
+    push(
+        "concat",
+        vec![f(&[2, 3], &mut rng), f(&[4, 3], &mut rng)],
+        Attrs::new().with("axis", AttrValue::Int(0)),
+    );
+    push(
+        "split",
+        vec![f(&[4, 6], &mut rng)],
+        Attrs::new()
+            .with("parts", AttrValue::Int(3))
+            .with("axis", AttrValue::Int(1)),
+    );
+    push(
+        "slice",
+        vec![f(&[4, 6], &mut rng)],
+        Attrs::new()
+            .with("begin", AttrValue::IntVec(vec![1, 2]))
+            .with("end", AttrValue::IntVec(vec![3, 6])),
+    );
+    push(
+        "transpose",
+        vec![f(&[2, 3, 4], &mut rng)],
+        Attrs::new().with("perm", AttrValue::IntVec(vec![2, 0, 1])),
+    );
+    push(
+        "reshape",
+        vec![f(&[4, 6], &mut rng)],
+        Attrs::new().with("newshape", AttrValue::IntVec(vec![2, -1])),
+    );
+    push(
+        "take",
+        vec![
+            f(&[10, 4], &mut rng),
+            Tensor::from_vec_i64(vec![1, 3, 5], &[3]).unwrap(),
+        ],
+        Attrs::new(),
+    );
+    push(
+        "expand_dims",
+        vec![f(&[3, 4], &mut rng)],
+        Attrs::new().with("axis", AttrValue::Int(1)),
+    );
+    push(
+        "squeeze",
+        vec![f(&[3, 1, 4], &mut rng)],
+        Attrs::new().with("axis", AttrValue::Int(1)),
+    );
+    push(
+        "cast",
+        vec![f(&[2, 2], &mut rng)],
+        Attrs::new().with("to", AttrValue::DType(DType::I64)),
+    );
+    push(
+        "one_hot",
+        vec![Tensor::from_vec_i64(vec![0, 2, 1], &[3]).unwrap()],
+        Attrs::new().with("depth", AttrValue::Int(4)),
+    );
+    push(
+        "zeros",
+        vec![],
+        Attrs::new().with("shape", AttrValue::IntVec(vec![2, 7])),
+    );
+    push(
+        "layer_norm",
+        vec![f(&[3, 8], &mut rng), f(&[8], &mut rng), f(&[8], &mut rng)],
+        Attrs::new(),
+    );
+    for red in ["sum", "max", "mean"] {
+        push(
+            red,
+            vec![f(&[3, 5], &mut rng)],
+            Attrs::new().with("axis", AttrValue::Int(1)),
+        );
+        push(
+            red,
+            vec![f(&[3, 5], &mut rng)],
+            Attrs::new()
+                .with("axis", AttrValue::Int(0))
+                .with("keepdims", AttrValue::Bool(true)),
+        );
+    }
+    push(
+        "argmax",
+        vec![f(&[3, 5], &mut rng)],
+        Attrs::new().with("axis", AttrValue::Int(1)),
+    );
+    push(
+        "conv2d",
+        vec![f(&[1, 3, 8, 8], &mut rng), f(&[4, 3, 3, 3], &mut rng)],
+        Attrs::new()
+            .with("stride", AttrValue::Int(2))
+            .with("padding", AttrValue::Int(1)),
+    );
+    push(
+        "max_pool2d",
+        vec![f(&[1, 2, 8, 8], &mut rng)],
+        Attrs::new()
+            .with("kernel", AttrValue::Int(2))
+            .with("stride", AttrValue::Int(2)),
+    );
+    push(
+        "avg_pool2d",
+        vec![f(&[1, 2, 8, 8], &mut rng)],
+        Attrs::new()
+            .with("kernel", AttrValue::Int(3))
+            .with("stride", AttrValue::Int(1)),
+    );
+    push(
+        "global_avg_pool",
+        vec![f(&[2, 3, 4, 4], &mut rng)],
+        Attrs::new(),
+    );
+    push(
+        "batch_norm",
+        vec![
+            f(&[1, 3, 4, 4], &mut rng),
+            f(&[3], &mut rng),
+            f(&[3], &mut rng),
+            f(&[3], &mut rng),
+            Tensor::ones_f32(&[3]),
+        ],
+        Attrs::new(),
+    );
+    push("shape_of", vec![f(&[3, 7], &mut rng)], Attrs::new());
+    push("device_copy", vec![f(&[5], &mut rng)], Attrs::new());
+    cases
+}
+
+#[test]
+fn shape_functions_predict_kernel_output_shapes() {
+    let mut covered = std::collections::HashSet::new();
+    for case in cases() {
+        covered.insert(case.op);
+        let def = op::lookup(case.op).unwrap();
+        assert!(
+            matches!(def.shape_fn, ShapeFnKind::DataIndependent),
+            "{}: test only covers data-independent ops",
+            case.op
+        );
+        let in_shapes: Vec<Vec<usize>> = case.inputs.iter().map(|t| t.dims().to_vec()).collect();
+        let in_dtypes: Vec<DType> = case.inputs.iter().map(|t| t.dtype()).collect();
+        let predicted = def
+            .infer_shapes(&in_shapes, &in_dtypes, &case.attrs)
+            .unwrap_or_else(|e| panic!("{}: shape fn failed: {e}", case.op));
+        let outputs = (def.execute)(&case.inputs, &case.attrs)
+            .unwrap_or_else(|e| panic!("{}: kernel failed: {e}", case.op));
+        assert_eq!(
+            predicted.len(),
+            outputs.len(),
+            "{}: output-count mismatch",
+            case.op
+        );
+        for (p, o) in predicted.iter().zip(outputs.iter()) {
+            assert_eq!(p, &o.dims().to_vec(), "{}: shape mismatch", case.op);
+        }
+    }
+    // Every data-independent operator in the registry must appear above, so
+    // adding an op without a test fails here.
+    for (name, def) in op::registry() {
+        if matches!(def.shape_fn, ShapeFnKind::DataIndependent) {
+            assert!(covered.contains(name), "no consistency case for op {name}");
+        }
+    }
+}
+
+#[test]
+fn dynamic_ops_report_their_modes() {
+    for (name, mode) in [
+        ("arange", "data"),
+        ("unique", "data"),
+        ("boolean_mask", "data"),
+        ("nms", "bound"),
+    ] {
+        let def = op::lookup(name).unwrap();
+        match (mode, def.shape_fn) {
+            ("data", ShapeFnKind::DataDependent(_)) => {}
+            ("bound", ShapeFnKind::UpperBound(_)) => {}
+            other => panic!("{name}: unexpected mode {other:?}"),
+        }
+        assert!(def.is_fusion_barrier(), "{name} must be a fusion barrier");
+    }
+}

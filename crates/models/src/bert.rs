@@ -1,0 +1,459 @@
+//! BERT encoder with a dynamic sequence length — the paper's *dynamic
+//! shape* workload (Section 6.1).
+//!
+//! The model input is a token-id tensor of type `Tensor[(Any,), i64]`; the
+//! sequence length flows through embeddings, attention, and feed-forward
+//! layers as an `Any` dimension, exercising shape functions and symbolic
+//! dense codegen end to end.
+//!
+//! **Substitution note** (see DESIGN.md): the default configuration is a
+//! reduced encoder (4 layers, hidden 128) so that the naive-Rust kernel
+//! substrate keeps the paper's sweep tractable; `BertConfig::base()` gives
+//! the paper's BERT-base sizes.
+
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Expr, Function};
+use nimble_ir::types::{TensorType, Type};
+use nimble_ir::{Module, Var};
+use nimble_tensor::{kernels, DType, Tensor};
+use rand::SeedableRng;
+
+/// BERT encoder configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BertConfig {
+    /// Number of transformer layers.
+    pub layers: usize,
+    /// Hidden size (must divide evenly by `heads`).
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner size.
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Maximum position (positional-embedding table size).
+    pub max_pos: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for BertConfig {
+    /// Reduced configuration used by the benchmarks (documented
+    /// substitution for BERT-base).
+    fn default() -> Self {
+        BertConfig {
+            layers: 4,
+            hidden: 128,
+            heads: 4,
+            ffn: 512,
+            vocab: 1000,
+            max_pos: 512,
+            seed: 42,
+        }
+    }
+}
+
+impl BertConfig {
+    /// The paper's BERT-base sizes (slow on the naive substrate; provided
+    /// for completeness).
+    pub fn base() -> BertConfig {
+        BertConfig {
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 3072,
+            vocab: 30522,
+            max_pos: 512,
+            seed: 42,
+        }
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.hidden / self.heads
+    }
+}
+
+/// One transformer layer's weights.
+#[derive(Debug, Clone)]
+pub struct BertLayer {
+    /// Query projection `[H, H]` (+ bias `[H]`).
+    pub wq: Tensor,
+    /// Query bias.
+    pub bq: Tensor,
+    /// Key projection.
+    pub wk: Tensor,
+    /// Key bias.
+    pub bk: Tensor,
+    /// Value projection.
+    pub wv: Tensor,
+    /// Value bias.
+    pub bv: Tensor,
+    /// Output projection.
+    pub wo: Tensor,
+    /// Output bias.
+    pub bo: Tensor,
+    /// Post-attention layer-norm gamma/beta.
+    pub ln1: (Tensor, Tensor),
+    /// FFN first dense `[ffn, H]` + bias.
+    pub w1: Tensor,
+    /// FFN first bias.
+    pub b1: Tensor,
+    /// FFN second dense `[H, ffn]` + bias.
+    pub w2: Tensor,
+    /// FFN second bias.
+    pub b2: Tensor,
+    /// Post-FFN layer-norm gamma/beta.
+    pub ln2: (Tensor, Tensor),
+}
+
+/// An initialized BERT encoder.
+#[derive(Debug, Clone)]
+pub struct BertModel {
+    /// Configuration.
+    pub config: BertConfig,
+    /// Token-embedding table `[vocab, H]`.
+    pub embed: Tensor,
+    /// Positional-embedding table `[max_pos, H]`.
+    pub pos_embed: Tensor,
+    /// Transformer layers.
+    pub layers: Vec<BertLayer>,
+}
+
+impl BertModel {
+    /// Initialize with seeded uniform weights.
+    pub fn new(config: BertConfig) -> BertModel {
+        assert_eq!(
+            config.hidden % config.heads,
+            0,
+            "hidden must divide by heads"
+        );
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let scale = 1.0 / (h as f32).sqrt();
+        let mut mk = |r: usize, c: usize| Tensor::rand_f32(&mut rng, &[r, c], scale);
+        let embed = mk(config.vocab, h);
+        let pos_embed = mk(config.max_pos, h);
+        let mut layers = Vec::with_capacity(config.layers);
+        for _ in 0..config.layers {
+            layers.push(BertLayer {
+                wq: mk(h, h),
+                bq: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
+                wk: mk(h, h),
+                bk: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
+                wv: mk(h, h),
+                bv: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
+                wo: mk(h, h),
+                bo: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
+                ln1: (Tensor::ones_f32(&[h]), Tensor::zeros(DType::F32, &[h])),
+                w1: mk(config.ffn, h),
+                b1: mk(config.ffn, 1).reshaped(&[config.ffn]).expect("bias reshape"),
+                w2: mk(h, config.ffn),
+                b2: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
+                ln2: (Tensor::ones_f32(&[h]), Tensor::zeros(DType::F32, &[h])),
+            });
+        }
+        BertModel {
+            config,
+            embed,
+            pos_embed,
+            layers,
+        }
+    }
+
+    /// Attention + FFN block as IR over `x: Tensor[(Any, H)]`.
+    fn layer_ir(&self, l: usize, x: Expr) -> Expr {
+        let cfg = &self.config;
+        let p = &self.layers[l];
+        let heads = cfg.heads as i64;
+        let dh = cfg.head_dim() as i64;
+        let h = cfg.hidden as i64;
+        let dense = |input: Expr, w: &Tensor, b: &Tensor| {
+            Expr::call_op(
+                "dense",
+                vec![input, Expr::constant(w.clone()), Expr::constant(b.clone())],
+                Attrs::new(),
+            )
+        };
+        let reshape = |input: Expr, shape: Vec<i64>| {
+            Expr::call_op(
+                "reshape",
+                vec![input],
+                Attrs::new().with("newshape", AttrValue::IntVec(shape)),
+            )
+        };
+        let transpose = |input: Expr, perm: Vec<i64>| {
+            Expr::call_op(
+                "transpose",
+                vec![input],
+                Attrs::new().with("perm", AttrValue::IntVec(perm)),
+            )
+        };
+
+        let q = dense(x.clone(), &p.wq, &p.bq);
+        let k = dense(x.clone(), &p.wk, &p.bk);
+        let v = dense(x.clone(), &p.wv, &p.bv);
+        // [s, H] -> [heads, s, dh] (queries/values) and [heads, dh, s]
+        // (keys).
+        let qh = transpose(reshape(q, vec![-1, heads, dh]), vec![1, 0, 2]);
+        let kh = transpose(reshape(k, vec![-1, heads, dh]), vec![1, 2, 0]);
+        let vh = transpose(reshape(v, vec![-1, heads, dh]), vec![1, 0, 2]);
+        let scale = Expr::constant(Tensor::scalar_f32(1.0 / (dh as f32).sqrt()));
+        let scores = Expr::call_op(
+            "mul",
+            vec![
+                Expr::call_op("batch_matmul", vec![qh, kh], Attrs::new()),
+                scale,
+            ],
+            Attrs::new(),
+        );
+        let probs = Expr::call_op("softmax", vec![scores], Attrs::new());
+        let ctx = Expr::call_op("batch_matmul", vec![probs, vh], Attrs::new());
+        let merged = reshape(transpose(ctx, vec![1, 0, 2]), vec![-1, h]);
+        let attn = dense(merged, &p.wo, &p.bo);
+        let x1 = Expr::call_op(
+            "layer_norm",
+            vec![
+                Expr::call_op("add", vec![x, attn], Attrs::new()),
+                Expr::constant(p.ln1.0.clone()),
+                Expr::constant(p.ln1.1.clone()),
+            ],
+            Attrs::new().with("eps", AttrValue::Float(1e-5)),
+        );
+        let ffn = dense(
+            Expr::call_op(
+                "gelu",
+                vec![dense(x1.clone(), &p.w1, &p.b1)],
+                Attrs::new(),
+            ),
+            &p.w2,
+            &p.b2,
+        );
+        Expr::call_op(
+            "layer_norm",
+            vec![
+                Expr::call_op("add", vec![x1, ffn], Attrs::new()),
+                Expr::constant(p.ln2.0.clone()),
+                Expr::constant(p.ln2.1.clone()),
+            ],
+            Attrs::new().with("eps", AttrValue::Float(1e-5)),
+        )
+    }
+
+    /// Build the IR module: `main(tokens, positions) -> Tensor[(Any, H)]`.
+    ///
+    /// Positions are supplied by the host (`0..len`), standing in for an
+    /// in-graph `arange` on the sequence length.
+    pub fn module(&self) -> Module {
+        self.module_with(None)
+    }
+
+    /// Build a fully static module for a fixed sequence length — the input
+    /// to the TVM-style static baseline of Table 4.
+    pub fn module_static(&self, len: usize) -> Module {
+        self.module_with(Some(len))
+    }
+
+    fn module_with(&self, len: Option<usize>) -> Module {
+        let seq_dim = len.map(|l| l as u64);
+        let tokens = Var::fresh(
+            "tokens",
+            Type::Tensor(TensorType::with_any(&[seq_dim], DType::I64)),
+        );
+        let positions = Var::fresh(
+            "positions",
+            Type::Tensor(TensorType::with_any(&[seq_dim], DType::I64)),
+        );
+        let mut x = Expr::call_op(
+            "add",
+            vec![
+                Expr::call_op(
+                    "take",
+                    vec![Expr::constant(self.embed.clone()), tokens.to_expr()],
+                    Attrs::new(),
+                ),
+                Expr::call_op(
+                    "take",
+                    vec![Expr::constant(self.pos_embed.clone()), positions.to_expr()],
+                    Attrs::new(),
+                ),
+            ],
+            Attrs::new(),
+        );
+        for l in 0..self.config.layers {
+            x = self.layer_ir(l, x);
+        }
+        let mut m = Module::new();
+        m.add_function(
+            "main",
+            Function::new(vec![tokens, positions], x, Type::Unknown),
+        );
+        m
+    }
+
+    /// Reference forward pass with plain kernels.
+    ///
+    /// # Panics
+    /// Panics on out-of-vocabulary ids (inputs come from
+    /// [`BertModel::random_tokens`]).
+    pub fn reference(&self, token_ids: &[i64]) -> Tensor {
+        let s = token_ids.len();
+        let tok = Tensor::from_vec_i64(token_ids.to_vec(), &[s]).expect("token tensor");
+        let pos = Tensor::from_vec_i64((0..s as i64).collect(), &[s]).expect("pos tensor");
+        let mut x = kernels::add(
+            &kernels::take(&self.embed, &tok).expect("tok embed"),
+            &kernels::take(&self.pos_embed, &pos).expect("pos embed"),
+        )
+        .expect("embed sum");
+        for p in &self.layers {
+            x = self.layer_reference(p, &x);
+        }
+        x
+    }
+
+    fn layer_reference(&self, p: &BertLayer, x: &Tensor) -> Tensor {
+        let cfg = &self.config;
+        let s = x.dims()[0];
+        let (heads, dh, h) = (cfg.heads, cfg.head_dim(), cfg.hidden);
+        let proj = |w: &Tensor, b: &Tensor| kernels::dense(x, w, Some(b)).expect("proj");
+        let split_heads = |t: &Tensor, perm: &[usize]| {
+            kernels::transpose(&t.reshaped(&[s, heads, dh]).expect("reshape"), perm)
+                .expect("transpose")
+        };
+        let q = split_heads(&proj(&p.wq, &p.bq), &[1, 0, 2]);
+        let k = split_heads(&proj(&p.wk, &p.bk), &[1, 2, 0]);
+        let v = split_heads(&proj(&p.wv, &p.bv), &[1, 0, 2]);
+        let scores = kernels::mul(
+            &kernels::batch_matmul(&q, &k).expect("qk"),
+            &Tensor::scalar_f32(1.0 / (dh as f32).sqrt()),
+        )
+        .expect("scale");
+        let probs = kernels::softmax(&scores).expect("softmax");
+        let ctx = kernels::batch_matmul(&probs, &v).expect("pv");
+        let merged = kernels::transpose(&ctx, &[1, 0, 2])
+            .expect("merge transpose")
+            .reshaped(&[s, h])
+            .expect("merge reshape");
+        let attn = kernels::dense(&merged, &p.wo, Some(&p.bo)).expect("wo");
+        let x1 = kernels::layer_norm(
+            &kernels::add(x, &attn).expect("residual 1"),
+            &p.ln1.0,
+            &p.ln1.1,
+            1e-5,
+        )
+        .expect("ln1");
+        let ffn = kernels::dense(
+            &kernels::gelu(&kernels::dense(&x1, &p.w1, Some(&p.b1)).expect("w1")).expect("gelu"),
+            &p.w2,
+            Some(&p.b2),
+        )
+        .expect("w2");
+        kernels::layer_norm(
+            &kernels::add(&x1, &ffn).expect("residual 2"),
+            &p.ln2.0,
+            &p.ln2.1,
+            1e-5,
+        )
+        .expect("ln2")
+    }
+
+    /// Random token ids of a given length.
+    pub fn random_tokens<R: rand::Rng>(&self, rng: &mut R, len: usize) -> Vec<i64> {
+        (0..len)
+            .map(|_| rng.gen_range(0..self.config.vocab as i64))
+            .collect()
+    }
+
+    /// Host-side model inputs `(tokens, positions)` for a sequence.
+    pub fn inputs(&self, token_ids: &[i64]) -> (Tensor, Tensor) {
+        let s = token_ids.len();
+        (
+            Tensor::from_vec_i64(token_ids.to_vec(), &[s]).expect("tokens"),
+            Tensor::from_vec_i64((0..s as i64).collect(), &[s]).expect("positions"),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_core::{compile, CompileOptions};
+    use nimble_device::DeviceSet;
+    use nimble_vm::{Object, VirtualMachine};
+    use std::sync::Arc;
+
+    fn tiny() -> BertConfig {
+        BertConfig {
+            layers: 2,
+            hidden: 8,
+            heads: 2,
+            ffn: 16,
+            vocab: 30,
+            max_pos: 64,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn compiles_with_dynamic_sequence() {
+        let model = BertModel::new(tiny());
+        let (exe, report) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        assert!(exe.functions.len() == 1);
+        // Dynamic shapes forced shape functions to be manifested.
+        assert!(report.memplan.shape_funcs > 0);
+    }
+
+    #[test]
+    fn vm_matches_reference_across_lengths() {
+        let model = BertModel::new(tiny());
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+        for len in [1usize, 3, 8, 13] {
+            let ids = model.random_tokens(&mut rng, len);
+            let (tok, pos) = model.inputs(&ids);
+            let out = vm
+                .run("main", vec![Object::tensor(tok), Object::tensor(pos)])
+                .unwrap()
+                .wait_tensor()
+                .unwrap();
+            let want = model.reference(&ids);
+            assert_eq!(out.dims(), want.dims(), "len {len}");
+            for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-3, "len {len}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn output_rows_track_input_length() {
+        let model = BertModel::new(tiny());
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let ids = vec![1, 2, 3, 4, 5];
+        let (tok, pos) = model.inputs(&ids);
+        let out = vm
+            .run("main", vec![Object::tensor(tok), Object::tensor(pos)])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(out.dims(), &[5, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "hidden must divide by heads")]
+    fn bad_head_config_rejected() {
+        BertModel::new(BertConfig {
+            hidden: 10,
+            heads: 3,
+            ..tiny()
+        });
+    }
+
+    #[test]
+    fn base_config_shapes() {
+        let cfg = BertConfig::base();
+        assert_eq!(cfg.hidden, 768);
+        assert_eq!(cfg.head_dim(), 64);
+    }
+}

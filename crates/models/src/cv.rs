@@ -1,0 +1,243 @@
+//! Static computer-vision graphs for the memory-planning footprint study
+//! (Section 6.3: "we also compared the memory usage of Nimble with memory
+//! planning to TVM … on popular computer vision models such as ResNet,
+//! MobileNet, VGG and SqueezeNet").
+//!
+//! The graphs mirror each family's characteristic block structure
+//! (residual adds, pointwise-heavy stacks, deep plain convolutions, fire
+//! modules) at a reduced spatial resolution (32×32 input) so that the
+//! naive-Rust convolutions keep the study tractable. The *memory plan* —
+//! what the experiment measures — depends on the graph structure and
+//! channel widths, not on spatial scale.
+
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::{Expr, Module};
+use nimble_tensor::{DType, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Name + module pairs for all four CV graphs.
+pub fn all_models(seed: u64) -> Vec<(&'static str, Module)> {
+    vec![
+        ("resnet", resnet_like(seed)),
+        ("mobilenet", mobilenet_like(seed)),
+        ("vgg", vgg_like(seed)),
+        ("squeezenet", squeezenet_like(seed)),
+    ]
+}
+
+struct CvBuilder {
+    fb: FunctionBuilder,
+    rng: StdRng,
+}
+
+impl CvBuilder {
+    fn new(name: &str, seed: u64) -> (CvBuilder, Expr) {
+        let mut fb = FunctionBuilder::new(name);
+        let x = fb.param(
+            "image",
+            TensorType::new(&[1, 3, 32, 32], DType::F32),
+        );
+        (
+            CvBuilder {
+                fb,
+                rng: StdRng::seed_from_u64(seed),
+            },
+            x,
+        )
+    }
+
+    fn conv(&mut self, x: Expr, in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Expr {
+        let w = Tensor::rand_f32(&mut self.rng, &[out_c, in_c, k, k], 0.1);
+        let wc = self.fb.constant(w);
+        self.fb.call(
+            "conv2d",
+            vec![x, wc],
+            Attrs::new()
+                .with("stride", AttrValue::Int(stride as i64))
+                .with("padding", AttrValue::Int(pad as i64)),
+        )
+    }
+
+    fn relu(&mut self, x: Expr) -> Expr {
+        self.fb.call("relu", vec![x], Attrs::new())
+    }
+
+    fn add(&mut self, a: Expr, b: Expr) -> Expr {
+        self.fb.call("add", vec![a, b], Attrs::new())
+    }
+
+    fn max_pool(&mut self, x: Expr) -> Expr {
+        self.fb.call(
+            "max_pool2d",
+            vec![x],
+            Attrs::new()
+                .with("kernel", AttrValue::Int(2))
+                .with("stride", AttrValue::Int(2)),
+        )
+    }
+
+    fn head(&mut self, x: Expr, channels: usize, classes: usize) -> Expr {
+        let g = self.fb.call("global_avg_pool", vec![x], Attrs::new());
+        let w = Tensor::rand_f32(&mut self.rng, &[classes, channels], 0.1);
+        let wc = self.fb.constant(w);
+        self.fb.call("dense", vec![g, wc], Attrs::new())
+    }
+
+    fn finish(self, out: Expr) -> Module {
+        let mut m = Module::new();
+        m.add_function("main", self.fb.finish(out));
+        m
+    }
+}
+
+/// ResNet-style: stem conv then residual blocks with identity shortcuts.
+pub fn resnet_like(seed: u64) -> Module {
+    let (mut b, x) = CvBuilder::new("main", seed);
+    let mut c = 16;
+    let mut h = b.conv(x, 3, c, 3, 1, 1);
+    h = b.relu(h);
+    for stage in 0..3 {
+        if stage > 0 {
+            // Downsample + widen.
+            let next = c * 2;
+            h = b.conv(h, c, next, 3, 2, 1);
+            h = b.relu(h);
+            c = next;
+        }
+        // Two residual blocks.
+        for _ in 0..2 {
+            let shortcut = h.clone();
+            let mut y = b.conv(h, c, c, 3, 1, 1);
+            y = b.relu(y);
+            y = b.conv(y, c, c, 3, 1, 1);
+            let sum = b.add(y, shortcut);
+            h = b.relu(sum);
+        }
+    }
+    let out = b.head(h, c, 10);
+    b.finish(out)
+}
+
+/// MobileNet-style: alternating 3×3 (stand-in for depthwise) and pointwise
+/// 1×1 convolutions.
+pub fn mobilenet_like(seed: u64) -> Module {
+    let (mut b, x) = CvBuilder::new("main", seed);
+    let mut c = 16;
+    let mut h = b.conv(x, 3, c, 3, 1, 1);
+    h = b.relu(h);
+    for (stride, next) in [(1, 32), (2, 64), (1, 64), (2, 128), (1, 128)] {
+        // Spatial conv (depthwise stand-in: narrow 3x3).
+        h = b.conv(h, c, c, 3, stride, 1);
+        h = b.relu(h);
+        // Pointwise expansion.
+        h = b.conv(h, c, next, 1, 1, 0);
+        h = b.relu(h);
+        c = next;
+    }
+    let out = b.head(h, c, 10);
+    b.finish(out)
+}
+
+/// VGG-style: deep stacks of same-width 3×3 convolutions with pooling.
+pub fn vgg_like(seed: u64) -> Module {
+    let (mut b, x) = CvBuilder::new("main", seed);
+    let mut h = x;
+    let mut in_c = 3;
+    for &c in &[16usize, 32, 64] {
+        h = b.conv(h, in_c, c, 3, 1, 1);
+        h = b.relu(h);
+        h = b.conv(h, c, c, 3, 1, 1);
+        h = b.relu(h);
+        h = b.max_pool(h);
+        in_c = c;
+    }
+    let out = b.head(h, in_c, 10);
+    b.finish(out)
+}
+
+/// SqueezeNet-style: fire modules (1×1 squeeze, 1×1 + 3×3 expand, concat).
+pub fn squeezenet_like(seed: u64) -> Module {
+    let (mut b, x) = CvBuilder::new("main", seed);
+    let mut h = b.conv(x, 3, 24, 3, 1, 1);
+    h = b.relu(h);
+    let mut c = 24;
+    for (squeeze, expand) in [(8usize, 16usize), (8, 16), (16, 32)] {
+        // Squeeze.
+        let s = b.conv(h, c, squeeze, 1, 1, 0);
+        let s = b.relu(s);
+        // Expand 1x1 and 3x3, concatenated on channels.
+        let e1 = b.conv(s.clone(), squeeze, expand, 1, 1, 0);
+        let e1 = b.relu(e1);
+        let e3 = b.conv(s, squeeze, expand, 3, 1, 1);
+        let e3 = b.relu(e3);
+        h = b.fb.call(
+            "concat",
+            vec![e1, e3],
+            Attrs::new().with("axis", AttrValue::Int(1)),
+        );
+        c = expand * 2;
+    }
+    let out = b.head(h, c, 10);
+    b.finish(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_core::{compile, CompileOptions, StaticGraph};
+    use nimble_device::DeviceSet;
+    use nimble_vm::{Object, VirtualMachine};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_models_compile_and_type_check() {
+        for (name, module) in all_models(3) {
+            let (exe, report) = compile(&module, &CompileOptions::default())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(exe.num_instructions() > 0, "{name}");
+            // Static models need no shape functions at all.
+            assert_eq!(report.memplan.shape_funcs, 0, "{name}");
+            assert_eq!(report.memplan.dynamic_allocs, 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn resnet_runs_end_to_end() {
+        let module = resnet_like(1);
+        let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let img = Tensor::rand_f32(&mut rng, &[1, 3, 32, 32], 1.0);
+        let out = vm
+            .run("main", vec![Object::tensor(img)])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(out.dims(), &[1, 10]);
+        assert!(out.as_f32().unwrap().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn static_graph_agrees_with_vm() {
+        // The footprint comparison requires both runtimes on the same
+        // model; verify they compute the same thing.
+        let module = vgg_like(2);
+        let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let graph = StaticGraph::compile(&module, true).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let img = Tensor::rand_f32(&mut rng, &[1, 3, 32, 32], 1.0);
+        let a = vm
+            .run("main", vec![Object::tensor(img.clone())])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        let b = graph.run(&[img]).unwrap();
+        for (x, y) in a.as_f32().unwrap().iter().zip(b.as_f32().unwrap()) {
+            assert!((x - y).abs() < 1e-4);
+        }
+    }
+}

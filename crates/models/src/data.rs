@@ -1,0 +1,147 @@
+//! Host-side input encodings: token lists and binary trees as VM objects.
+
+use nimble_tensor::Tensor;
+use nimble_vm::object::{AdtObj, Object};
+use std::sync::Arc;
+
+/// Constructor tags for the built-in `List` ADT (declaration order in
+/// [`nimble_ir::adt::TypeDef::list`]).
+pub const NIL_TAG: u32 = 0;
+/// `Cons` tag.
+pub const CONS_TAG: u32 = 1;
+/// `Leaf` tag of the built-in `Tree` ADT.
+pub const LEAF_TAG: u32 = 0;
+/// `Node` tag.
+pub const NODE_TAG: u32 = 1;
+
+/// Encode a token sequence as a `List` object (`Cons(t0, Cons(t1, … Nil))`).
+pub fn list_object(tokens: &[Tensor]) -> Object {
+    let mut list = Object::Adt(Arc::new(AdtObj {
+        tag: NIL_TAG,
+        fields: vec![],
+    }));
+    for t in tokens.iter().rev() {
+        list = Object::Adt(Arc::new(AdtObj {
+            tag: CONS_TAG,
+            fields: vec![Object::tensor(t.clone()), list],
+        }));
+    }
+    list
+}
+
+/// A host-side binary tree with tensor payloads at the leaves.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Leaf with an input embedding.
+    Leaf(Tensor),
+    /// Internal node with two children.
+    Node(Box<TreeNode>, Box<TreeNode>),
+}
+
+impl TreeNode {
+    /// Number of leaves.
+    pub fn num_leaves(&self) -> usize {
+        match self {
+            TreeNode::Leaf(_) => 1,
+            TreeNode::Node(l, r) => l.num_leaves() + r.num_leaves(),
+        }
+    }
+
+    /// Total number of nodes (leaves + internal).
+    pub fn num_nodes(&self) -> usize {
+        match self {
+            TreeNode::Leaf(_) => 1,
+            TreeNode::Node(l, r) => 1 + l.num_nodes() + r.num_nodes(),
+        }
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            TreeNode::Leaf(_) => 1,
+            TreeNode::Node(l, r) => 1 + l.depth().max(r.depth()),
+        }
+    }
+
+    /// Encode as a `Tree` VM object.
+    pub fn to_object(&self) -> Object {
+        match self {
+            TreeNode::Leaf(t) => Object::Adt(Arc::new(AdtObj {
+                tag: LEAF_TAG,
+                fields: vec![Object::tensor(t.clone())],
+            })),
+            TreeNode::Node(l, r) => Object::Adt(Arc::new(AdtObj {
+                tag: NODE_TAG,
+                fields: vec![l.to_object(), r.to_object()],
+            })),
+        }
+    }
+}
+
+/// Build a random binary tree with `leaves` leaf tensors drawn from
+/// `make_leaf`, using `rng` for the split structure (SST-like random
+/// parses).
+pub fn random_tree<R: rand::Rng>(
+    rng: &mut R,
+    leaves: usize,
+    make_leaf: &mut impl FnMut(&mut R) -> Tensor,
+) -> TreeNode {
+    assert!(leaves >= 1, "a tree needs at least one leaf");
+    if leaves == 1 {
+        return TreeNode::Leaf(make_leaf(rng));
+    }
+    let left = rng.gen_range(1..leaves);
+    let l = random_tree(rng, left, make_leaf);
+    let r = random_tree(rng, leaves - left, make_leaf);
+    TreeNode::Node(Box::new(l), Box::new(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn list_encoding_structure() {
+        let toks = vec![Tensor::scalar_f32(1.0), Tensor::scalar_f32(2.0)];
+        let l = list_object(&toks);
+        let adt = l.as_adt().unwrap();
+        assert_eq!(adt.tag, CONS_TAG);
+        assert_eq!(
+            adt.fields[0].wait_tensor().unwrap().scalar_value_f32().unwrap(),
+            1.0
+        );
+        let tail = adt.fields[1].as_adt().unwrap();
+        assert_eq!(tail.tag, CONS_TAG);
+        let nil = tail.fields[1].as_adt().unwrap();
+        assert_eq!(nil.tag, NIL_TAG);
+        // Empty list is Nil.
+        assert_eq!(list_object(&[]).as_adt().unwrap().tag, NIL_TAG);
+    }
+
+    #[test]
+    fn tree_stats() {
+        let t = TreeNode::Node(
+            Box::new(TreeNode::Leaf(Tensor::scalar_f32(0.0))),
+            Box::new(TreeNode::Node(
+                Box::new(TreeNode::Leaf(Tensor::scalar_f32(1.0))),
+                Box::new(TreeNode::Leaf(Tensor::scalar_f32(2.0))),
+            )),
+        );
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.depth(), 3);
+        let obj = t.to_object();
+        assert_eq!(obj.as_adt().unwrap().tag, NODE_TAG);
+    }
+
+    #[test]
+    fn random_tree_has_requested_leaves() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        for leaves in 1..20 {
+            let t = random_tree(&mut rng, leaves, &mut |_| Tensor::scalar_f32(0.0));
+            assert_eq!(t.num_leaves(), leaves);
+            assert_eq!(t.num_nodes(), 2 * leaves - 1);
+        }
+    }
+}

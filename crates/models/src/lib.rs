@@ -1,0 +1,28 @@
+//! # nimble-models
+//!
+//! The dynamic models of the paper's evaluation (Section 6.1), expressed as
+//! Nimble IR modules, plus pure-kernel reference implementations used for
+//! correctness checks and by the baseline frameworks:
+//!
+//! * [`lstm`] — LSTM (1 or 2 layers) over a recursive list of tokens:
+//!   **dynamic control flow** (input size 300 / hidden 512 in the paper's
+//!   configuration);
+//! * [`tree_lstm`] — child-sum Tree-LSTM over a binary tree ADT: **dynamic
+//!   data structures** (input 300 / hidden 150);
+//! * [`bert`] — BERT encoder over a variable-length token sequence:
+//!   **dynamic shapes**;
+//! * [`cv`] — static computer-vision graphs (ResNet/MobileNet/VGG/
+//!   SqueezeNet style) for the memory-planning footprint study
+//!   (Section 6.3);
+//! * [`data`] — helpers that encode host data (token lists, trees) as VM
+//!   objects matching the modules' ADT layouts.
+
+pub mod bert;
+pub mod cv;
+pub mod data;
+pub mod lstm;
+pub mod tree_lstm;
+
+pub use bert::{BertConfig, BertModel};
+pub use lstm::{LstmConfig, LstmModel};
+pub use tree_lstm::{TreeLstmConfig, TreeLstmModel};

@@ -1,0 +1,411 @@
+//! LSTM over a recursive token list — the paper's *dynamic control flow*
+//! workload (Section 6.1: input size 300, hidden size 512, 1 or 2 layers).
+//!
+//! The model is expressed exactly as a dynamic model should be: a
+//! recursive IR function pattern-matching a `List` ADT, with the LSTM cell
+//! inlined at each step. No static unrolling, no padding — the execution
+//! path depends on the input length, which is what defeats static graph
+//! compilers (Section 2).
+
+use nimble_ir::adt::TypeDef;
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Clause, Expr, Function, Pattern};
+use nimble_ir::types::{TensorType, Type};
+use nimble_ir::{Module, Var};
+use nimble_tensor::{kernels, DType, Tensor};
+use rand::SeedableRng;
+
+/// LSTM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LstmConfig {
+    /// Input (embedding) size.
+    pub input: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Number of stacked layers (1 or 2 in the paper's tables).
+    pub layers: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for LstmConfig {
+    /// The paper's configuration: input 300, hidden 512, one layer.
+    fn default() -> Self {
+        LstmConfig {
+            input: 300,
+            hidden: 512,
+            layers: 1,
+            seed: 42,
+        }
+    }
+}
+
+/// Weights of one LSTM layer (gates packed `[i, f, g, o]` along the output
+/// dimension, framework-style).
+#[derive(Debug, Clone)]
+pub struct LstmLayer {
+    /// Input-to-hidden weights `[4H, in]`.
+    pub w_ih: Tensor,
+    /// Hidden-to-hidden weights `[4H, H]`.
+    pub w_hh: Tensor,
+    /// Gate bias `[4H]`.
+    pub bias: Tensor,
+}
+
+/// An initialized LSTM model.
+#[derive(Debug, Clone)]
+pub struct LstmModel {
+    /// Configuration.
+    pub config: LstmConfig,
+    /// Per-layer weights.
+    pub layers: Vec<LstmLayer>,
+}
+
+impl LstmModel {
+    /// Initialize with seeded uniform weights.
+    pub fn new(config: LstmConfig) -> LstmModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let scale = 1.0 / (config.hidden as f32).sqrt();
+        let mut layers = Vec::with_capacity(config.layers);
+        for l in 0..config.layers {
+            let in_size = if l == 0 { config.input } else { config.hidden };
+            layers.push(LstmLayer {
+                w_ih: Tensor::rand_f32(&mut rng, &[4 * config.hidden, in_size], scale),
+                w_hh: Tensor::rand_f32(&mut rng, &[4 * config.hidden, config.hidden], scale),
+                bias: Tensor::rand_f32(&mut rng, &[4 * config.hidden], scale),
+            });
+        }
+        LstmModel { config, layers }
+    }
+
+    /// The element type stored in the input list: `Tensor[(1, input)]`.
+    pub fn token_type(&self) -> Type {
+        Type::Tensor(TensorType::new(&[1, self.config.input as u64], DType::F32))
+    }
+
+    fn state_type(&self) -> Type {
+        Type::Tensor(TensorType::new(&[1, self.config.hidden as u64], DType::F32))
+    }
+
+    /// Build the IR module: a recursive `step` function over the list plus
+    /// `main` seeding zero states.
+    pub fn module(&self) -> Module {
+        let mut m = Module::new();
+        m.add_adt(TypeDef::list(self.token_type()));
+
+        let n = self.config.layers;
+        // step(xs, h_0, c_0, …, h_{n-1}, c_{n-1}) -> Tensor[(1, H)]
+        let xs = Var::fresh("xs", Type::Adt("List".into()));
+        let mut state_vars: Vec<Var> = Vec::new();
+        for l in 0..n {
+            state_vars.push(Var::fresh(&format!("h{l}"), self.state_type()));
+            state_vars.push(Var::fresh(&format!("c{l}"), self.state_type()));
+        }
+
+        // Cons clause: run each layer's cell, then recurse.
+        let x = Var::fresh("x", Type::Unknown);
+        let rest = Var::fresh("rest", Type::Adt("List".into()));
+        let mut bindings: Vec<(Var, Expr)> = Vec::new();
+        let mut layer_input = x.to_expr();
+        let mut new_states: Vec<Var> = Vec::new();
+        for l in 0..n {
+            let h = state_vars[2 * l].to_expr();
+            let c = state_vars[2 * l + 1].to_expr();
+            let (h_var, c_var, binds) = self.cell_bindings(l, layer_input.clone(), h, c);
+            bindings.extend(binds);
+            layer_input = h_var.to_expr();
+            new_states.push(h_var);
+            new_states.push(c_var);
+        }
+        let mut rec_args = vec![rest.to_expr()];
+        rec_args.extend(new_states.iter().map(|v| v.to_expr()));
+        let mut cons_body = Expr::call(Expr::global("step"), rec_args);
+        for (v, e) in bindings.into_iter().rev() {
+            cons_body = Expr::let_(v, e, cons_body);
+        }
+
+        let step_body = Expr::match_(
+            xs.to_expr(),
+            vec![
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Nil".into(),
+                        fields: vec![],
+                    },
+                    // Final top-layer hidden state.
+                    body: state_vars[2 * (n - 1)].to_expr(),
+                },
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Cons".into(),
+                        fields: vec![Pattern::Bind(x), Pattern::Bind(rest)],
+                    },
+                    body: cons_body,
+                },
+            ],
+        );
+        let mut step_params = vec![xs];
+        step_params.extend(state_vars);
+        m.add_function(
+            "step",
+            Function::new(step_params, step_body, self.state_type()),
+        );
+
+        // main(xs) = step(xs, zeros, zeros, …)
+        let main_xs = Var::fresh("xs", Type::Adt("List".into()));
+        let zero = Tensor::zeros(DType::F32, &[1, self.config.hidden]);
+        let mut args = vec![main_xs.to_expr()];
+        for _ in 0..2 * n {
+            args.push(Expr::constant(zero.clone()));
+        }
+        let main_body = Expr::call(Expr::global("step"), args);
+        m.add_function(
+            "main",
+            Function::new(vec![main_xs], main_body, self.state_type()),
+        );
+        m
+    }
+
+    /// Cell as explicit bindings, returning the new (h, c) variables.
+    fn cell_bindings(
+        &self,
+        layer: usize,
+        x: Expr,
+        h: Expr,
+        c: Expr,
+    ) -> (Var, Var, Vec<(Var, Expr)>) {
+        let p = &self.layers[layer];
+        let mut binds = Vec::new();
+        let gates_var = Var::fresh("gates", Type::Unknown);
+        binds.push((
+            gates_var.clone(),
+            Expr::call_op(
+                "add",
+                vec![
+                    Expr::call_op(
+                        "add",
+                        vec![
+                            Expr::call_op(
+                                "dense",
+                                vec![x, Expr::constant(p.w_ih.clone())],
+                                Attrs::new(),
+                            ),
+                            Expr::call_op(
+                                "dense",
+                                vec![h, Expr::constant(p.w_hh.clone())],
+                                Attrs::new(),
+                            ),
+                        ],
+                        Attrs::new(),
+                    ),
+                    Expr::constant(p.bias.clone()),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let split_var = Var::fresh("parts", Type::Unknown);
+        binds.push((
+            split_var.clone(),
+            Expr::call_op(
+                "split",
+                vec![gates_var.to_expr()],
+                Attrs::new()
+                    .with("parts", AttrValue::Int(4))
+                    .with("axis", AttrValue::Int(1)),
+            ),
+        ));
+        let gate = |i: usize, f: &str| {
+            Expr::call_op(
+                f,
+                vec![Expr::tuple_get(split_var.to_expr(), i)],
+                Attrs::new(),
+            )
+        };
+        let c_var = Var::fresh("c_new", Type::Unknown);
+        binds.push((
+            c_var.clone(),
+            Expr::call_op(
+                "add",
+                vec![
+                    Expr::call_op("mul", vec![gate(1, "sigmoid"), c], Attrs::new()),
+                    Expr::call_op(
+                        "mul",
+                        vec![gate(0, "sigmoid"), gate(2, "tanh")],
+                        Attrs::new(),
+                    ),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let h_var = Var::fresh("h_new", Type::Unknown);
+        binds.push((
+            h_var.clone(),
+            Expr::call_op(
+                "mul",
+                vec![
+                    gate(3, "sigmoid"),
+                    Expr::call_op("tanh", vec![c_var.to_expr()], Attrs::new()),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        (h_var, c_var, binds)
+    }
+
+    /// One cell step with plain kernels (reference semantics).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches — weights and inputs come from this
+    /// model, so mismatches are programming errors.
+    pub fn cell_reference(
+        &self,
+        layer: usize,
+        x: &Tensor,
+        h: &Tensor,
+        c: &Tensor,
+    ) -> (Tensor, Tensor) {
+        let p = &self.layers[layer];
+        let gates = kernels::add(
+            &kernels::add(
+                &kernels::dense(x, &p.w_ih, None).expect("dense x"),
+                &kernels::dense(h, &p.w_hh, None).expect("dense h"),
+            )
+            .expect("add"),
+            &p.bias,
+        )
+        .expect("bias");
+        let parts = kernels::split(&gates, 4, 1).expect("split");
+        let i = kernels::sigmoid(&parts[0]).expect("i");
+        let f = kernels::sigmoid(&parts[1]).expect("f");
+        let g = kernels::tanh(&parts[2]).expect("g");
+        let o = kernels::sigmoid(&parts[3]).expect("o");
+        let c_new = kernels::add(
+            &kernels::mul(&f, c).expect("f*c"),
+            &kernels::mul(&i, &g).expect("i*g"),
+        )
+        .expect("c'");
+        let h_new = kernels::mul(&o, &kernels::tanh(&c_new).expect("tanh c'")).expect("h'");
+        (h_new, c_new)
+    }
+
+    /// Full-sequence reference forward pass: returns the top layer's final
+    /// hidden state.
+    pub fn reference(&self, tokens: &[Tensor]) -> Tensor {
+        let zero = Tensor::zeros(DType::F32, &[1, self.config.hidden]);
+        let mut states: Vec<(Tensor, Tensor)> =
+            vec![(zero.clone(), zero); self.config.layers];
+        for t in tokens {
+            let mut input = t.clone();
+            for (l, state) in states.iter_mut().enumerate() {
+                let (h, c) = self.cell_reference(l, &input, &state.0, &state.1);
+                input = h.clone();
+                *state = (h, c);
+            }
+        }
+        states[self.config.layers - 1].0.clone()
+    }
+
+    /// Random token sequence for testing/benchmarks.
+    pub fn random_tokens<R: rand::Rng>(&self, rng: &mut R, len: usize) -> Vec<Tensor> {
+        (0..len)
+            .map(|_| Tensor::rand_f32(rng, &[1, self.config.input], 1.0))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::list_object;
+    use nimble_core::{compile, CompileOptions};
+    use nimble_device::DeviceSet;
+    use nimble_vm::VirtualMachine;
+    use std::sync::Arc;
+
+    fn tiny() -> LstmConfig {
+        LstmConfig {
+            input: 6,
+            hidden: 8,
+            layers: 1,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn module_type_checks_and_compiles() {
+        let model = LstmModel::new(tiny());
+        let module = model.module();
+        let (exe, report) = compile(&module, &CompileOptions::default()).unwrap();
+        assert!(exe.functions.len() >= 2);
+        assert!(!report.fusion_groups.is_empty(), "cells fuse");
+    }
+
+    #[test]
+    fn vm_matches_reference() {
+        let model = LstmModel::new(tiny());
+        let module = model.module();
+        let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for len in [1usize, 2, 5, 9] {
+            let tokens = model.random_tokens(&mut rng, len);
+            let out = vm
+                .run("main", vec![list_object(&tokens)])
+                .unwrap()
+                .wait_tensor()
+                .unwrap();
+            let want = model.reference(&tokens);
+            assert_eq!(out.dims(), want.dims());
+            for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-4, "len {len}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_sequence_returns_zero_state() {
+        let model = LstmModel::new(tiny());
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let out = vm
+            .run("main", vec![list_object(&[])])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert!(out.as_f32().unwrap().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn two_layer_matches_reference() {
+        let model = LstmModel::new(LstmConfig {
+            layers: 2,
+            ..tiny()
+        });
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let tokens = model.random_tokens(&mut rng, 4);
+        let out = vm
+            .run("main", vec![list_object(&tokens)])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        let want = model.reference(&tokens);
+        for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cell_gates_bounded() {
+        let model = LstmModel::new(tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = Tensor::rand_f32(&mut rng, &[1, 6], 1.0);
+        let h = Tensor::zeros(DType::F32, &[1, 8]);
+        let c = Tensor::zeros(DType::F32, &[1, 8]);
+        let (h2, c2) = model.cell_reference(0, &x, &h, &c);
+        // h = o * tanh(c) is bounded by 1 in magnitude.
+        assert!(h2.as_f32().unwrap().iter().all(|v| v.abs() <= 1.0));
+        assert_eq!(c2.dims(), &[1, 8]);
+    }
+}

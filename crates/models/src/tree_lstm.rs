@@ -1,0 +1,458 @@
+//! Child-sum Tree-LSTM over a binary tree ADT — the paper's *dynamic data
+//! structure* workload (Section 6.1: input 300, hidden 150, Stanford
+//! Sentiment Treebank structures).
+//!
+//! Every input sentence parses to a different tree, so the computation
+//! graph differs per input; the model is a recursive IR function
+//! pattern-matching `Leaf`/`Node` constructors, exactly the workload that
+//! defeats define-then-run frameworks and forces TensorFlow Fold to
+//! re-compile per input (Section 6.2).
+
+use nimble_ir::adt::TypeDef;
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Clause, Expr, Function, Pattern};
+use nimble_ir::types::{TensorType, Type};
+use nimble_ir::{Module, Var};
+use nimble_tensor::{kernels, DType, Tensor};
+use rand::SeedableRng;
+
+use crate::data::TreeNode;
+
+/// Tree-LSTM configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeLstmConfig {
+    /// Leaf embedding size.
+    pub input: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    /// Output classes (SST has 5 sentiment classes).
+    pub classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for TreeLstmConfig {
+    /// The paper's configuration: input 300, hidden 150.
+    fn default() -> Self {
+        TreeLstmConfig {
+            input: 300,
+            hidden: 150,
+            classes: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// An initialized child-sum Tree-LSTM.
+#[derive(Debug, Clone)]
+pub struct TreeLstmModel {
+    /// Configuration.
+    pub config: TreeLstmConfig,
+    /// Leaf input→(i,o,u) weights `[3H, input]`.
+    pub w_iou: Tensor,
+    /// Child-sum hidden→(i,o,u) weights `[3H, H]`.
+    pub u_iou: Tensor,
+    /// (i,o,u) bias `[3H]`.
+    pub b_iou: Tensor,
+    /// Per-child forget-gate weights `[H, H]`.
+    pub u_f: Tensor,
+    /// Forget-gate bias `[H]`.
+    pub b_f: Tensor,
+    /// Sentiment classifier `[classes, H]`.
+    pub w_cls: Tensor,
+}
+
+impl TreeLstmModel {
+    /// Initialize with seeded uniform weights.
+    pub fn new(config: TreeLstmConfig) -> TreeLstmModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let h = config.hidden;
+        let scale = 1.0 / (h as f32).sqrt();
+        TreeLstmModel {
+            config,
+            w_iou: Tensor::rand_f32(&mut rng, &[3 * h, config.input], scale),
+            u_iou: Tensor::rand_f32(&mut rng, &[3 * h, h], scale),
+            b_iou: Tensor::rand_f32(&mut rng, &[3 * h], scale),
+            u_f: Tensor::rand_f32(&mut rng, &[h, h], scale),
+            b_f: Tensor::rand_f32(&mut rng, &[h], scale),
+            w_cls: Tensor::rand_f32(&mut rng, &[config.classes, h], scale),
+        }
+    }
+
+    fn state_type(&self) -> Type {
+        Type::Tensor(TensorType::new(&[1, self.config.hidden as u64], DType::F32))
+    }
+
+    fn leaf_type(&self) -> Type {
+        Type::Tensor(TensorType::new(&[1, self.config.input as u64], DType::F32))
+    }
+
+    /// iou-split helper: `let iou = dense(input, w) + b; parts = split` and
+    /// the three gate expressions.
+    fn iou_bindings(
+        &self,
+        input: Expr,
+        w: &Tensor,
+    ) -> (Vec<(Var, Expr)>, Expr, Expr, Expr) {
+        let mut binds = Vec::new();
+        let iou = Var::fresh("iou", Type::Unknown);
+        binds.push((
+            iou.clone(),
+            Expr::call_op(
+                "add",
+                vec![
+                    Expr::call_op(
+                        "dense",
+                        vec![input, Expr::constant(w.clone())],
+                        Attrs::new(),
+                    ),
+                    Expr::constant(self.b_iou.clone()),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let parts = Var::fresh("parts", Type::Unknown);
+        binds.push((
+            parts.clone(),
+            Expr::call_op(
+                "split",
+                vec![iou.to_expr()],
+                Attrs::new()
+                    .with("parts", AttrValue::Int(3))
+                    .with("axis", AttrValue::Int(1)),
+            ),
+        ));
+        let gate = |idx: usize, f: &str| {
+            Expr::call_op(
+                f,
+                vec![Expr::tuple_get(parts.to_expr(), idx)],
+                Attrs::new(),
+            )
+        };
+        (
+            binds,
+            gate(0, "sigmoid"),
+            gate(1, "sigmoid"),
+            gate(2, "tanh"),
+        )
+    }
+
+    /// Build the IR module: recursive `node` function returning `(h, c)`
+    /// plus `main` classifying the root hidden state.
+    pub fn module(&self) -> Module {
+        let mut m = Module::new();
+        m.add_adt(TypeDef::tree(self.leaf_type()));
+        let pair_ty = Type::Tuple(vec![self.state_type(), self.state_type()]);
+
+        // ---- node(t: Tree) -> (h, c) ----
+        let t = Var::fresh("t", Type::Adt("Tree".into()));
+        // Leaf clause.
+        let x = Var::fresh("x", Type::Unknown);
+        let (mut leaf_binds, i_e, o_e, u_e) = self.iou_bindings(x.to_expr(), &self.w_iou);
+        let c_leaf = Var::fresh("c", Type::Unknown);
+        leaf_binds.push((
+            c_leaf.clone(),
+            Expr::call_op("mul", vec![i_e, u_e], Attrs::new()),
+        ));
+        let h_leaf = Var::fresh("h", Type::Unknown);
+        leaf_binds.push((
+            h_leaf.clone(),
+            Expr::call_op(
+                "mul",
+                vec![
+                    o_e,
+                    Expr::call_op("tanh", vec![c_leaf.to_expr()], Attrs::new()),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let mut leaf_body = Expr::tuple(vec![h_leaf.to_expr(), c_leaf.to_expr()]);
+        for (v, e) in leaf_binds.into_iter().rev() {
+            leaf_body = Expr::let_(v, e, leaf_body);
+        }
+
+        // Node clause.
+        let left = Var::fresh("left", Type::Adt("Tree".into()));
+        let right = Var::fresh("right", Type::Adt("Tree".into()));
+        let mut nb: Vec<(Var, Expr)> = Vec::new();
+        let lp = Var::fresh("lp", Type::Unknown);
+        nb.push((lp.clone(), Expr::call(Expr::global("node"), vec![left.to_expr()])));
+        let rp = Var::fresh("rp", Type::Unknown);
+        nb.push((rp.clone(), Expr::call(Expr::global("node"), vec![right.to_expr()])));
+        let hl = Var::fresh("hl", Type::Unknown);
+        nb.push((hl.clone(), Expr::tuple_get(lp.to_expr(), 0)));
+        let cl = Var::fresh("cl", Type::Unknown);
+        nb.push((cl.clone(), Expr::tuple_get(lp.to_expr(), 1)));
+        let hr = Var::fresh("hr", Type::Unknown);
+        nb.push((hr.clone(), Expr::tuple_get(rp.to_expr(), 0)));
+        let cr = Var::fresh("cr", Type::Unknown);
+        nb.push((cr.clone(), Expr::tuple_get(rp.to_expr(), 1)));
+        let hs = Var::fresh("hs", Type::Unknown);
+        nb.push((
+            hs.clone(),
+            Expr::call_op("add", vec![hl.to_expr(), hr.to_expr()], Attrs::new()),
+        ));
+        let (iou_binds, i_e, o_e, u_e) = self.iou_bindings(hs.to_expr(), &self.u_iou);
+        nb.extend(iou_binds);
+        let forget = |h: &Var| {
+            Expr::call_op(
+                "sigmoid",
+                vec![Expr::call_op(
+                    "add",
+                    vec![
+                        Expr::call_op(
+                            "dense",
+                            vec![h.to_expr(), Expr::constant(self.u_f.clone())],
+                            Attrs::new(),
+                        ),
+                        Expr::constant(self.b_f.clone()),
+                    ],
+                    Attrs::new(),
+                )],
+                Attrs::new(),
+            )
+        };
+        let c_node = Var::fresh("c", Type::Unknown);
+        nb.push((
+            c_node.clone(),
+            Expr::call_op(
+                "add",
+                vec![
+                    Expr::call_op("mul", vec![i_e, u_e], Attrs::new()),
+                    Expr::call_op(
+                        "add",
+                        vec![
+                            Expr::call_op(
+                                "mul",
+                                vec![forget(&hl), cl.to_expr()],
+                                Attrs::new(),
+                            ),
+                            Expr::call_op(
+                                "mul",
+                                vec![forget(&hr), cr.to_expr()],
+                                Attrs::new(),
+                            ),
+                        ],
+                        Attrs::new(),
+                    ),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let h_node = Var::fresh("h", Type::Unknown);
+        nb.push((
+            h_node.clone(),
+            Expr::call_op(
+                "mul",
+                vec![
+                    o_e,
+                    Expr::call_op("tanh", vec![c_node.to_expr()], Attrs::new()),
+                ],
+                Attrs::new(),
+            ),
+        ));
+        let mut node_body = Expr::tuple(vec![h_node.to_expr(), c_node.to_expr()]);
+        for (v, e) in nb.into_iter().rev() {
+            node_body = Expr::let_(v, e, node_body);
+        }
+
+        let body = Expr::match_(
+            t.to_expr(),
+            vec![
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Leaf".into(),
+                        fields: vec![Pattern::Bind(x)],
+                    },
+                    body: leaf_body,
+                },
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Node".into(),
+                        fields: vec![Pattern::Bind(left), Pattern::Bind(right)],
+                    },
+                    body: node_body,
+                },
+            ],
+        );
+        m.add_function("node", Function::new(vec![t], body, pair_ty));
+
+        // ---- main(t) = dense(h_root, w_cls) ----
+        let mt = Var::fresh("t", Type::Adt("Tree".into()));
+        let pair = Var::fresh("pair", Type::Unknown);
+        let h_root = Var::fresh("h_root", Type::Unknown);
+        let main_body = Expr::let_(
+            pair.clone(),
+            Expr::call(Expr::global("node"), vec![mt.to_expr()]),
+            Expr::let_(
+                h_root.clone(),
+                Expr::tuple_get(pair.to_expr(), 0),
+                Expr::call_op(
+                    "dense",
+                    vec![h_root.to_expr(), Expr::constant(self.w_cls.clone())],
+                    Attrs::new(),
+                ),
+            ),
+        );
+        m.add_function(
+            "main",
+            Function::new(
+                vec![mt],
+                main_body,
+                Type::Tensor(TensorType::new(
+                    &[1, self.config.classes as u64],
+                    DType::F32,
+                )),
+            ),
+        );
+        m
+    }
+
+    fn iou_reference(&self, input: &Tensor, w: &Tensor) -> (Tensor, Tensor, Tensor) {
+        let iou = kernels::add(
+            &kernels::dense(input, w, None).expect("dense"),
+            &self.b_iou,
+        )
+        .expect("bias");
+        let parts = kernels::split(&iou, 3, 1).expect("split");
+        (
+            kernels::sigmoid(&parts[0]).expect("i"),
+            kernels::sigmoid(&parts[1]).expect("o"),
+            kernels::tanh(&parts[2]).expect("u"),
+        )
+    }
+
+    /// Reference recursion with plain kernels: returns `(h, c)`.
+    pub fn node_reference(&self, tree: &TreeNode) -> (Tensor, Tensor) {
+        match tree {
+            TreeNode::Leaf(x) => {
+                let (i, o, u) = self.iou_reference(x, &self.w_iou);
+                let c = kernels::mul(&i, &u).expect("c");
+                let h = kernels::mul(&o, &kernels::tanh(&c).expect("tanh")).expect("h");
+                (h, c)
+            }
+            TreeNode::Node(l, r) => {
+                let (hl, cl) = self.node_reference(l);
+                let (hr, cr) = self.node_reference(r);
+                let hs = kernels::add(&hl, &hr).expect("hs");
+                let (i, o, u) = self.iou_reference(&hs, &self.u_iou);
+                let f = |h: &Tensor| {
+                    kernels::sigmoid(
+                        &kernels::add(
+                            &kernels::dense(h, &self.u_f, None).expect("dense f"),
+                            &self.b_f,
+                        )
+                        .expect("bias f"),
+                    )
+                    .expect("sigmoid f")
+                };
+                let c = kernels::add(
+                    &kernels::mul(&i, &u).expect("iu"),
+                    &kernels::add(
+                        &kernels::mul(&f(&hl), &cl).expect("fl"),
+                        &kernels::mul(&f(&hr), &cr).expect("fr"),
+                    )
+                    .expect("sum"),
+                )
+                .expect("c");
+                let h = kernels::mul(&o, &kernels::tanh(&c).expect("tanh")).expect("h");
+                (h, c)
+            }
+        }
+    }
+
+    /// Reference forward pass: class scores for a tree.
+    pub fn reference(&self, tree: &TreeNode) -> Tensor {
+        let (h, _) = self.node_reference(tree);
+        kernels::dense(&h, &self.w_cls, None).expect("classifier")
+    }
+
+    /// Random tree with the given number of leaves.
+    pub fn random_tree<R: rand::Rng>(&self, rng: &mut R, leaves: usize) -> TreeNode {
+        let input = self.config.input;
+        crate::data::random_tree(rng, leaves, &mut |r| {
+            Tensor::rand_f32(r, &[1, input], 1.0)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_core::{compile, CompileOptions};
+    use nimble_device::DeviceSet;
+    use nimble_vm::VirtualMachine;
+    use std::sync::Arc;
+
+    fn tiny() -> TreeLstmConfig {
+        TreeLstmConfig {
+            input: 5,
+            hidden: 6,
+            classes: 3,
+            seed: 2,
+        }
+    }
+
+    #[test]
+    fn compiles() {
+        let model = TreeLstmModel::new(tiny());
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        assert!(exe.functions.len() >= 2);
+    }
+
+    #[test]
+    fn vm_matches_reference_across_structures() {
+        let model = TreeLstmModel::new(tiny());
+        let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
+        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for leaves in [1usize, 2, 3, 7, 12] {
+            let tree = model.random_tree(&mut rng, leaves);
+            let out = vm
+                .run("main", vec![tree.to_object()])
+                .unwrap()
+                .wait_tensor()
+                .unwrap();
+            let want = model.reference(&tree);
+            assert_eq!(out.dims(), want.dims());
+            for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert!((a - b).abs() < 1e-4, "leaves {leaves}");
+            }
+        }
+    }
+
+    #[test]
+    fn different_structures_give_different_outputs() {
+        // Same leaves, different tree shapes → different results (the
+        // structure genuinely matters).
+        let model = TreeLstmModel::new(tiny());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let l1 = Tensor::rand_f32(&mut rng, &[1, 5], 1.0);
+        let l2 = Tensor::rand_f32(&mut rng, &[1, 5], 1.0);
+        let l3 = Tensor::rand_f32(&mut rng, &[1, 5], 1.0);
+        let left_deep = TreeNode::Node(
+            Box::new(TreeNode::Node(
+                Box::new(TreeNode::Leaf(l1.clone())),
+                Box::new(TreeNode::Leaf(l2.clone())),
+            )),
+            Box::new(TreeNode::Leaf(l3.clone())),
+        );
+        let right_deep = TreeNode::Node(
+            Box::new(TreeNode::Leaf(l1)),
+            Box::new(TreeNode::Node(
+                Box::new(TreeNode::Leaf(l2)),
+                Box::new(TreeNode::Leaf(l3)),
+            )),
+        );
+        let a = model.reference(&left_deep);
+        let b = model.reference(&right_deep);
+        let diff: f32 = a
+            .as_f32()
+            .unwrap()
+            .iter()
+            .zip(b.as_f32().unwrap())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-6);
+    }
+}

@@ -1,0 +1,281 @@
+//! A-normal form conversion.
+//!
+//! Memory planning and bytecode lowering require that every operator
+//! argument is *atomic* (a variable or constant) and that every
+//! intermediate value has a name. This pass converts arbitrary nested
+//! expressions into a chain of `let` bindings whose right-hand sides are
+//! "flat": calls with atomic arguments, tuples of atoms, projections of
+//! atoms, or control-flow constructs whose sub-blocks are themselves in
+//! ANF.
+
+use nimble_ir::expr::{Clause, Expr, ExprKind, Function};
+use nimble_ir::types::Type;
+use nimble_ir::Var;
+
+/// Convert a function to A-normal form.
+pub fn to_anf(func: &Function) -> Function {
+    Function::new(
+        func.params.clone(),
+        anf_block(&func.body),
+        func.ret_type.clone(),
+    )
+}
+
+/// Whether an expression is atomic (allowed as a call argument).
+pub fn is_atom(e: &Expr) -> bool {
+    matches!(
+        e.kind(),
+        ExprKind::Var(_)
+            | ExprKind::Constant(_)
+            | ExprKind::Global(_)
+            | ExprKind::Op(_)
+            | ExprKind::Constructor(_)
+    )
+}
+
+/// Whether a function body is in A-normal form.
+pub fn is_anf(e: &Expr) -> bool {
+    let mut cur = e.clone();
+    while let ExprKind::Let { value, body, .. } = cur.kind() {
+        if !flat_value(value) {
+            return false;
+        }
+        cur = body.clone();
+    }
+    is_atom(&cur)
+}
+
+fn flat_value(e: &Expr) -> bool {
+    match e.kind() {
+        ExprKind::Call { callee, args, .. } => {
+            // Fused primitive calls have a function literal callee whose
+            // body must itself be in ANF.
+            let callee_ok = is_atom(callee)
+                || matches!(callee.kind(), ExprKind::Func(f) if is_anf(&f.body));
+            callee_ok && args.iter().all(is_atom)
+        }
+        ExprKind::Tuple(fields) => fields.iter().all(is_atom),
+        ExprKind::TupleGet(t, _) => is_atom(t),
+        ExprKind::If { cond, then, els } => is_atom(cond) && is_anf(then) && is_anf(els),
+        ExprKind::Match { value, clauses } => {
+            is_atom(value) && clauses.iter().all(|c| is_anf(&c.body))
+        }
+        ExprKind::Func(f) => is_anf(&f.body),
+        _ => is_atom(e),
+    }
+}
+
+/// Normalize an expression into an ANF block (let-chain ending in an atom).
+pub fn anf_block(e: &Expr) -> Expr {
+    let mut bindings: Vec<(Var, Expr)> = Vec::new();
+    // Shared sub-DAGs (the same `Expr` node referenced from several
+    // consumers) must be bound exactly once, or the program's work
+    // duplicates — memoize by node identity within the block.
+    let mut memo: std::collections::HashMap<usize, Expr> = std::collections::HashMap::new();
+    let result = atomize(e, &mut bindings, &mut memo);
+    let mut out = result;
+    for (var, value) in bindings.into_iter().rev() {
+        out = Expr::let_(var, value, out);
+    }
+    out
+}
+
+/// Produce an atom for `e`, appending any necessary bindings.
+fn atomize(
+    e: &Expr,
+    bindings: &mut Vec<(Var, Expr)>,
+    memo: &mut std::collections::HashMap<usize, Expr>,
+) -> Expr {
+    if let Some(hit) = memo.get(&e.ref_id()) {
+        return hit.clone();
+    }
+    let atom = match e.kind() {
+        ExprKind::Var(_)
+        | ExprKind::Constant(_)
+        | ExprKind::Global(_)
+        | ExprKind::Op(_)
+        | ExprKind::Constructor(_) => e.clone(),
+        ExprKind::Let { .. } => {
+            // Iterative over long chains (planned bodies reach thousands
+            // of bindings).
+            let mut cur = e.clone();
+            while let ExprKind::Let { var, value, body } = cur.kind() {
+                let flat = flatten_value(value, bindings, memo);
+                bindings.push((var.clone(), flat));
+                memo.insert(cur.ref_id(), var.to_expr());
+                cur = body.clone();
+            }
+            atomize(&cur, bindings, memo)
+        }
+        _ => {
+            let flat = flatten_value(e, bindings, memo);
+            let v = Var::fresh("anf", Type::Unknown);
+            bindings.push((v.clone(), flat));
+            v.to_expr()
+        }
+    };
+    memo.insert(e.ref_id(), atom.clone());
+    atom
+}
+
+/// Produce a flat (ANF-legal) right-hand side for `e`.
+fn flatten_value(
+    e: &Expr,
+    bindings: &mut Vec<(Var, Expr)>,
+    memo: &mut std::collections::HashMap<usize, Expr>,
+) -> Expr {
+    match e.kind() {
+        ExprKind::Call {
+            callee,
+            args,
+            attrs,
+        } => {
+            let c = atomize(callee, bindings, memo);
+            let a: Vec<Expr> = args.iter().map(|x| atomize(x, bindings, memo)).collect();
+            Expr::new(ExprKind::Call {
+                callee: c,
+                args: a,
+                attrs: attrs.clone(),
+            })
+        }
+        ExprKind::Tuple(fields) => {
+            Expr::tuple(fields.iter().map(|x| atomize(x, bindings, memo)).collect())
+        }
+        ExprKind::TupleGet(t, i) => Expr::tuple_get(atomize(t, bindings, memo), *i),
+        ExprKind::If { cond, then, els } => {
+            let c = atomize(cond, bindings, memo);
+            Expr::if_(c, anf_block(then), anf_block(els))
+        }
+        ExprKind::Match { value, clauses } => {
+            let v = atomize(value, bindings, memo);
+            Expr::match_(
+                v,
+                clauses
+                    .iter()
+                    .map(|cl| Clause {
+                        pattern: cl.pattern.clone(),
+                        body: anf_block(&cl.body),
+                    })
+                    .collect(),
+            )
+        }
+        ExprKind::Func(f) => Expr::func(Function::new(
+            f.params.clone(),
+            anf_block(&f.body),
+            f.ret_type.clone(),
+        )),
+        ExprKind::Let { .. } => {
+            // A nested let in value position: inline its chain.
+            atomize(e, bindings, memo)
+        }
+        _ => e.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_ir::attrs::Attrs;
+    use nimble_ir::types::TensorType;
+    use nimble_tensor::DType;
+
+    fn f32_any() -> Type {
+        Type::Tensor(TensorType::with_any(&[None], DType::F32))
+    }
+
+    #[test]
+    fn nested_calls_flattened() {
+        // relu(tanh(x)) → let a = tanh(x); let b = relu(a); b
+        let x = Var::fresh("x", f32_any());
+        let nested = Expr::call_op(
+            "relu",
+            vec![Expr::call_op("tanh", vec![x.to_expr()], Attrs::new())],
+            Attrs::new(),
+        );
+        let f = Function::new(vec![x], nested, Type::Unknown);
+        assert!(!is_anf(&f.body));
+        let anf = to_anf(&f);
+        assert!(is_anf(&anf.body));
+        // Two bindings: tanh then relu.
+        let mut ops = Vec::new();
+        let mut cur = anf.body.clone();
+        while let ExprKind::Let { value, body, .. } = cur.kind() {
+            ops.push(value.as_op_call().unwrap().0.to_string());
+            let next = body.clone();
+            cur = next;
+        }
+        assert_eq!(ops, vec!["tanh", "relu"]);
+        assert!(is_atom(&cur));
+    }
+
+    #[test]
+    fn if_branches_normalized() {
+        let x = Var::fresh("x", f32_any());
+        let cond = Expr::call_op(
+            "greater",
+            vec![x.to_expr(), Expr::const_f32(0.0)],
+            Attrs::new(),
+        );
+        // Condition itself is compound — must be bound first; cond must be
+        // scalar for real execution but ANF is type-agnostic.
+        let e = Expr::if_(
+            cond,
+            Expr::call_op(
+                "relu",
+                vec![Expr::call_op("neg", vec![x.to_expr()], Attrs::new())],
+                Attrs::new(),
+            ),
+            x.to_expr(),
+        );
+        let f = Function::new(vec![x], e, Type::Unknown);
+        let anf = to_anf(&f);
+        assert!(is_anf(&anf.body));
+    }
+
+    #[test]
+    fn already_anf_stays_anf() {
+        let x = Var::fresh("x", f32_any());
+        let v = Var::fresh("v", Type::Unknown);
+        let body = Expr::let_(
+            v.clone(),
+            Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+            v.to_expr(),
+        );
+        let f = Function::new(vec![x], body, Type::Unknown);
+        assert!(is_anf(&f.body));
+        let anf = to_anf(&f);
+        assert!(is_anf(&anf.body));
+    }
+
+    #[test]
+    fn tuples_and_projections() {
+        let x = Var::fresh("x", f32_any());
+        let e = Expr::tuple_get(
+            Expr::tuple(vec![
+                Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+                x.to_expr(),
+            ]),
+            0,
+        );
+        let f = Function::new(vec![x], e, Type::Unknown);
+        let anf = to_anf(&f);
+        assert!(is_anf(&anf.body));
+    }
+
+    #[test]
+    fn closures_normalized() {
+        let x = Var::fresh("x", f32_any());
+        let inner = Function::new(
+            vec![x.clone()],
+            Expr::call_op(
+                "relu",
+                vec![Expr::call_op("neg", vec![x.to_expr()], Attrs::new())],
+                Attrs::new(),
+            ),
+            Type::Unknown,
+        );
+        let f = Function::new(vec![], Expr::func(inner), Type::Unknown);
+        let anf = to_anf(&f);
+        assert!(is_anf(&anf.body));
+    }
+}

@@ -1,0 +1,484 @@
+//! Heterogeneous device placement (Section 4.4).
+//!
+//! Shape functions "must execute on the CPU due to the host-interaction
+//! model of GPU-like devices", while compute kernels belong on the
+//! accelerator. This pass assigns a [`DeviceKind`] to every value in a
+//! memory-planned function and inserts explicit `device_copy` nodes where a
+//! value crosses domains, following the paper's rules:
+//!
+//! * `shape_of` outputs default to the CPU domain (the shape is accessible
+//!   regardless of where the tensor lives);
+//! * shape-function inputs and outputs live on the CPU;
+//! * `device_copy` is the only boundary between domains;
+//! * storage allocated by `alloc_storage` carries its device, propagated to
+//!   tensors carved from it via `alloc_tensor`;
+//! * all arguments of one `invoke_mut` share a domain.
+//!
+//! Equivalence classes (storage ↔ tensor, aliases) are maintained with a
+//! union-find over value ids — `union(s, t)` / `find(s)` exactly as the
+//! paper describes — then each class takes its producer-preferred device
+//! and consumer mismatches become copies.
+
+use crate::dialect;
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Clause, Expr, ExprKind, Function};
+use nimble_ir::types::Type;
+use nimble_ir::{Result, Var};
+use std::collections::HashMap;
+
+/// The device domains distinguished by placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU.
+    Cpu,
+    /// Accelerator (the simulated GPU in this reproduction).
+    Gpu,
+}
+
+impl DeviceKind {
+    /// Stable integer id used in `device` attributes and VM instructions.
+    pub fn index(self) -> i64 {
+        match self {
+            DeviceKind::Cpu => 0,
+            DeviceKind::Gpu => 1,
+        }
+    }
+
+    /// Inverse of [`DeviceKind::index`].
+    pub fn from_index(i: i64) -> DeviceKind {
+        if i == 1 {
+            DeviceKind::Gpu
+        } else {
+            DeviceKind::Cpu
+        }
+    }
+}
+
+/// Placement statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PlacementReport {
+    /// `device_copy` nodes inserted.
+    pub copies_inserted: usize,
+    /// Values placed on the CPU domain.
+    pub cpu_values: usize,
+    /// Values placed on the accelerator domain.
+    pub device_values: usize,
+}
+
+/// Union-find over value ids with an optional device label per class.
+struct DeviceDomains {
+    parent: HashMap<u32, u32>,
+    label: HashMap<u32, DeviceKind>,
+}
+
+impl DeviceDomains {
+    fn new() -> Self {
+        DeviceDomains {
+            parent: HashMap::new(),
+            label: HashMap::new(),
+        }
+    }
+
+    /// `find(s)`: representative of the domain `s` belongs to.
+    fn find(&mut self, v: u32) -> u32 {
+        let p = *self.parent.entry(v).or_insert(v);
+        if p == v {
+            return v;
+        }
+        let root = self.find(p);
+        self.parent.insert(v, root);
+        root
+    }
+
+    /// `union(s, t)`: merge the equivalence domains of `s` and `t`,
+    /// unioning labels (first label wins on conflict — the conflicting use
+    /// site receives a copy instead).
+    fn union(&mut self, a: u32, b: u32) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return;
+        }
+        let la = self.label.get(&ra).copied();
+        let lb = self.label.get(&rb).copied();
+        self.parent.insert(rb, ra);
+        if let (None, Some(d)) = (la, lb) {
+            self.label.insert(ra, d);
+        }
+    }
+
+    /// Attach a device label to `v`'s domain if it has none.
+    fn prefer(&mut self, v: u32, d: DeviceKind) {
+        let r = self.find(v);
+        self.label.entry(r).or_insert(d);
+    }
+
+    fn device_of(&mut self, v: u32, default: DeviceKind) -> DeviceKind {
+        let r = self.find(v);
+        self.label.get(&r).copied().unwrap_or(default)
+    }
+}
+
+/// Place a memory-planned function onto `target` (compute device), pinning
+/// shape computation to the CPU and inserting `device_copy` where domains
+/// meet.
+///
+/// # Errors
+/// Currently infallible in practice; the `Result` covers future rule
+/// violations.
+pub fn place_function(
+    func: &Function,
+    target: DeviceKind,
+) -> Result<(Function, PlacementReport)> {
+    let mut report = PlacementReport::default();
+    // Params arrive on the host.
+    let mut domains = DeviceDomains::new();
+    for p in &func.params {
+        domains.prefer(p.id, DeviceKind::Cpu);
+    }
+    let body = place_block(&func.body, target, &mut domains, &mut report)?;
+    Ok((
+        Function::new(func.params.clone(), body, func.ret_type.clone()),
+        report,
+    ))
+}
+
+fn tensor_args_of_invoke(args: &[Expr]) -> impl Iterator<Item = &Expr> {
+    args.iter().skip(1).filter(|a| {
+        !matches!(
+            a.kind(),
+            ExprKind::Op(_) | ExprKind::Global(_) | ExprKind::Constructor(_) | ExprKind::Func(_)
+        )
+    })
+}
+
+fn place_block(
+    block: &Expr,
+    target: DeviceKind,
+    domains: &mut DeviceDomains,
+    report: &mut PlacementReport,
+) -> Result<Expr> {
+    // Chain collection.
+    let mut chain: Vec<(Var, Expr)> = Vec::new();
+    let mut cur = block.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        chain.push((var.clone(), value.clone()));
+        cur = body.clone();
+    }
+    let result = cur;
+
+    // Phase 1: build domains (unions + producer labels).
+    for (var, value) in &chain {
+        match value.kind() {
+            ExprKind::Var(src) => domains.union(var.id, src.id),
+            ExprKind::Call { args, .. } => {
+                if let Some((op, _, _)) = value.as_op_call() {
+                    match op {
+                        "shape_of" => domains.prefer(var.id, DeviceKind::Cpu),
+                        d if d == dialect::INVOKE_SHAPE_FUNC => {
+                            domains.prefer(var.id, DeviceKind::Cpu);
+                            for a in tensor_args_of_invoke(args) {
+                                if let Some(v) = a.as_var() {
+                                    domains.prefer(v.id, DeviceKind::Cpu);
+                                }
+                            }
+                        }
+                        d if d == dialect::ALLOC_TENSOR => {
+                            if let Some(storage) = args.first().and_then(|a| a.as_var()) {
+                                domains.union(var.id, storage.id);
+                            }
+                            domains.prefer(var.id, target);
+                        }
+                        d if d == dialect::ALLOC_TENSOR_REG => {
+                            domains.prefer(var.id, target);
+                            // The shape input stays on CPU.
+                            if let Some(sh) = args.first().and_then(|a| a.as_var()) {
+                                domains.prefer(sh.id, DeviceKind::Cpu);
+                            }
+                        }
+                        d if d == dialect::ALLOC_STORAGE || d == dialect::KILL => {}
+                        d if d == dialect::INVOKE_MUT => {
+                            // All invoke_mut values share the kernel's
+                            // domain; the result aliases the output buffer.
+                            domains.prefer(var.id, target);
+                            for a in tensor_args_of_invoke(args) {
+                                if let Some(v) = a.as_var() {
+                                    domains.prefer(v.id, target);
+                                }
+                            }
+                        }
+                        _ => {
+                            // Plain op call (pre-memory-planning IR is also
+                            // accepted): kernel-domain producer.
+                            domains.prefer(var.id, target);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Phase 2: rewrite, inserting copies at mismatched uses.
+    let mut out: Vec<(Var, Expr)> = Vec::new();
+    // Cache: (var id, destination) -> copy var.
+    let mut copies: HashMap<(u32, DeviceKind), Var> = HashMap::new();
+
+    let ensure_on = |atom: &Expr,
+                         want: DeviceKind,
+                         domains: &mut DeviceDomains,
+                         out: &mut Vec<(Var, Expr)>,
+                         copies: &mut HashMap<(u32, DeviceKind), Var>,
+                         report: &mut PlacementReport|
+     -> Expr {
+        match atom.kind() {
+            ExprKind::Var(v) => {
+                let have = domains.device_of(v.id, want);
+                if have == want {
+                    return atom.clone();
+                }
+                if let Some(cv) = copies.get(&(v.id, want)) {
+                    return cv.to_expr();
+                }
+                let cv = Var::fresh(&format!("{}_on{}", v.name, want.index()), Type::Unknown);
+                out.push((
+                    cv.clone(),
+                    Expr::call_op(
+                        "device_copy",
+                        vec![atom.clone()],
+                        Attrs::new()
+                            .with("src_device", AttrValue::Int(have.index()))
+                            .with("dst_device", AttrValue::Int(want.index())),
+                    ),
+                ));
+                domains.prefer(cv.id, want);
+                copies.insert((v.id, want), cv.clone());
+                report.copies_inserted += 1;
+                cv.to_expr()
+            }
+            // Constants are pre-placed on the device that consumes them at
+            // executable-load time, so no runtime copy is needed.
+            _ => atom.clone(),
+        }
+    };
+
+    for (var, value) in &chain {
+        let new_value = match value.kind() {
+            ExprKind::If { cond, then, els } => Expr::if_(
+                cond.clone(),
+                place_block(then, target, domains, report)?,
+                place_block(els, target, domains, report)?,
+            ),
+            ExprKind::Match { value: v, clauses } => Expr::match_(
+                v.clone(),
+                clauses
+                    .iter()
+                    .map(|c| {
+                        Ok(Clause {
+                            pattern: c.pattern.clone(),
+                            body: place_block(&c.body, target, domains, report)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            ExprKind::Func(f) => Expr::func(Function::new(
+                f.params.clone(),
+                place_block(&f.body, target, domains, report)?,
+                f.ret_type.clone(),
+            )),
+            ExprKind::Call { callee, args, attrs } => {
+                if let Some((op, _, _)) = value.as_op_call() {
+                    match op {
+                        d if d == dialect::INVOKE_MUT => {
+                            let mut new_args = vec![args[0].clone()];
+                            for a in &args[1..] {
+                                new_args.push(ensure_on(
+                                    a, target, domains, &mut out, &mut copies, report,
+                                ));
+                            }
+                            Expr::new(ExprKind::Call {
+                                callee: callee.clone(),
+                                args: new_args,
+                                attrs: attrs
+                                    .clone()
+                                    .with("device", AttrValue::Int(target.index())),
+                            })
+                        }
+                        d if d == dialect::INVOKE_SHAPE_FUNC => {
+                            let mode = attrs.str("mode").unwrap_or("shapes").to_string();
+                            let mut new_args = vec![args[0].clone()];
+                            for a in &args[1..] {
+                                // Only "data" mode consumes tensor values;
+                                // shape tensors are CPU-born already.
+                                if mode == "data" {
+                                    new_args.push(ensure_on(
+                                        a,
+                                        DeviceKind::Cpu,
+                                        domains,
+                                        &mut out,
+                                        &mut copies,
+                                        report,
+                                    ));
+                                } else {
+                                    new_args.push(a.clone());
+                                }
+                            }
+                            Expr::new(ExprKind::Call {
+                                callee: callee.clone(),
+                                args: new_args,
+                                attrs: attrs
+                                    .clone()
+                                    .with("device", AttrValue::Int(DeviceKind::Cpu.index())),
+                            })
+                        }
+                        d if d == dialect::ALLOC_STORAGE => {
+                            // Storage device = its class's device.
+                            let dev = domains.device_of(var.id, target);
+                            Expr::new(ExprKind::Call {
+                                callee: callee.clone(),
+                                args: args.clone(),
+                                attrs: attrs.clone().with("device", AttrValue::Int(dev.index())),
+                            })
+                        }
+                        d if d == dialect::ALLOC_TENSOR || d == dialect::ALLOC_TENSOR_REG => {
+                            let dev = domains.device_of(var.id, target);
+                            Expr::new(ExprKind::Call {
+                                callee: callee.clone(),
+                                args: args.clone(),
+                                attrs: attrs.clone().with("device", AttrValue::Int(dev.index())),
+                            })
+                        }
+                        _ => value.clone(),
+                    }
+                } else {
+                    value.clone()
+                }
+            }
+            _ => value.clone(),
+        };
+        out.push((var.clone(), new_value));
+    }
+
+    // Tally placement.
+    for (var, _) in &out {
+        match domains.device_of(var.id, target) {
+            DeviceKind::Cpu => report.cpu_values += 1,
+            DeviceKind::Gpu => report.device_values += 1,
+        }
+    }
+
+    let mut body = result;
+    for (var, value) in out.into_iter().rev() {
+        body = Expr::let_(var, value, body);
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::to_anf;
+    use crate::memory_plan::plan_function;
+    use crate::type_infer::infer_function;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_ir::Module;
+    use nimble_tensor::DType;
+
+    fn planned_dynamic_dense() -> Function {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+        let y = fb.param("y", TensorType::new(&[1, 4], DType::F32));
+        let c = fb.call(
+            "concat",
+            vec![x, y],
+            Attrs::new().with("axis", AttrValue::Int(0)),
+        );
+        let t = fb.call("tanh", vec![c], Attrs::new());
+        let f = to_anf(&fb.finish(t));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        plan_function(&f, &types, true).unwrap().0
+    }
+
+    fn count_ops(f: &Function, name: &str) -> usize {
+        let mut n = 0;
+        nimble_ir::visit::visit_post_order(&f.body, &mut |e| {
+            if let Some((op, _, _)) = e.as_op_call() {
+                if op == name {
+                    n += 1;
+                }
+            }
+        });
+        n
+    }
+
+    #[test]
+    fn cpu_target_inserts_no_copies() {
+        let f = planned_dynamic_dense();
+        let (placed, report) = place_function(&f, DeviceKind::Cpu).unwrap();
+        assert_eq!(report.copies_inserted, 0);
+        assert_eq!(count_ops(&placed, "device_copy"), 0);
+    }
+
+    #[test]
+    fn gpu_target_copies_host_inputs_once() {
+        let f = planned_dynamic_dense();
+        let (placed, report) = place_function(&f, DeviceKind::Gpu).unwrap();
+        // x and y arrive on host and are consumed by the GPU kernel: 2
+        // copies, memoized (x feeds both shape_of — no copy needed — and
+        // the kernel).
+        assert_eq!(report.copies_inserted, 2);
+        assert_eq!(count_ops(&placed, "device_copy"), 2);
+        assert!(report.device_values > 0);
+        assert!(report.cpu_values > 0);
+    }
+
+    #[test]
+    fn shape_results_stay_on_cpu() {
+        let f = planned_dynamic_dense();
+        let (placed, _) = place_function(&f, DeviceKind::Gpu).unwrap();
+        // Every invoke_shape_func is annotated device=0 (CPU), every
+        // invoke_mut device=1 (GPU).
+        nimble_ir::visit::visit_post_order(&placed.body, &mut |e| {
+            if let Some((op, _, attrs)) = e.as_op_call() {
+                if op == crate::dialect::INVOKE_SHAPE_FUNC {
+                    assert_eq!(attrs.int("device"), Some(0));
+                }
+                if op == crate::dialect::INVOKE_MUT {
+                    assert_eq!(attrs.int("device"), Some(1));
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn alloc_devices_follow_consumers() {
+        let f = planned_dynamic_dense();
+        let (placed, _) = place_function(&f, DeviceKind::Gpu).unwrap();
+        // alloc_tensor_reg buffers feed GPU kernels → device 1.
+        let mut saw = 0;
+        nimble_ir::visit::visit_post_order(&placed.body, &mut |e| {
+            if let Some((op, _, attrs)) = e.as_op_call() {
+                if op == crate::dialect::ALLOC_TENSOR_REG {
+                    assert_eq!(attrs.int("device"), Some(1));
+                    saw += 1;
+                }
+            }
+        });
+        assert!(saw >= 1);
+    }
+
+    #[test]
+    fn union_find_basics() {
+        let mut d = DeviceDomains::new();
+        d.union(1, 2);
+        d.union(2, 3);
+        assert_eq!(d.find(1), d.find(3));
+        d.prefer(3, DeviceKind::Cpu);
+        assert_eq!(d.device_of(1, DeviceKind::Gpu), DeviceKind::Cpu);
+        // First label wins; later conflicting unions keep it.
+        d.prefer(10, DeviceKind::Gpu);
+        d.union(1, 10);
+        assert_eq!(d.device_of(10, DeviceKind::Gpu), DeviceKind::Cpu);
+    }
+}

@@ -1,0 +1,390 @@
+//! Operator fusion with the paper's dynamic-aware fusion policy.
+//!
+//! Fusion groups adjacent operators into *primitive functions* that the
+//! code generator compiles to a single kernel, eliminating intermediate
+//! allocations and VM dispatch. Grouping follows the standard
+//! anchor/follower discipline (a compute-heavy op absorbs trailing
+//! elementwise ops; injective ops chain together), with the paper's
+//! additional rule from Section 4.2: **an operator whose shape function is
+//! data dependent or upper bound is a fusion barrier**, because the
+//! composite shape function would need access to intermediate results.
+//!
+//! A fused group appears in the IR as
+//! `(fn(params…) { let …; out })(args…)` with the attribute
+//! `primitive = 1`, mirroring Relay's representation.
+
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Clause, Expr, ExprKind, Function};
+use nimble_ir::op::{self, FusePattern};
+use nimble_ir::types::Type;
+use nimble_ir::Var;
+use std::collections::HashMap;
+
+/// Attribute key marking a call to a fused primitive function.
+pub const PRIMITIVE_ATTR: &str = "primitive";
+
+/// Whether a call expression is a fused-primitive invocation.
+pub fn is_primitive_call(e: &Expr) -> bool {
+    if let ExprKind::Call { callee, attrs, .. } = e.kind() {
+        matches!(callee.kind(), ExprKind::Func(_)) && attrs.int(PRIMITIVE_ATTR) == Some(1)
+    } else {
+        false
+    }
+}
+
+/// Fuse operators in an ANF function.
+pub fn fuse_function(func: &Function) -> Function {
+    Function::new(
+        func.params.clone(),
+        fuse_block(&func.body),
+        func.ret_type.clone(),
+    )
+}
+
+struct Binding {
+    var: Var,
+    value: Expr,
+}
+
+fn fuse_block(block: &Expr) -> Expr {
+    // Collect the let chain.
+    let mut bindings: Vec<Binding> = Vec::new();
+    let mut cur = block.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        bindings.push(Binding {
+            var: var.clone(),
+            value: recurse_value(value),
+        });
+        cur = body.clone();
+    }
+    let result = cur;
+
+    // Count variable uses across binding values and the result.
+    let mut uses: HashMap<u32, usize> = HashMap::new();
+    let mut count_uses = |e: &Expr| {
+        nimble_ir::visit::visit_post_order(e, &mut |n| {
+            if let ExprKind::Var(v) = n.kind() {
+                *uses.entry(v.id).or_insert(0) += 1;
+            }
+        });
+    };
+    for b in &bindings {
+        count_uses(&b.value);
+    }
+    count_uses(&result);
+
+    // Map var id -> binding index for chain-local producers.
+    let producer: HashMap<u32, usize> = bindings
+        .iter()
+        .enumerate()
+        .map(|(i, b)| (b.var.id, i))
+        .collect();
+
+    // Group assignment.
+    #[derive(Debug)]
+    struct Group {
+        members: Vec<usize>,
+        all_injective: bool,
+        open: bool,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    let mut group_of: Vec<usize> = vec![usize::MAX; bindings.len()];
+
+    for (i, b) in bindings.iter().enumerate() {
+        let mut target: Option<usize> = None;
+        if let Some((name, args, _)) = b.value.as_op_call() {
+            if let Ok(def) = op::lookup(name) {
+                let p = def.pattern;
+                let fusable_here = !def.is_fusion_barrier()
+                    && !matches!(p, FusePattern::Opaque | FusePattern::Reduction);
+                if fusable_here {
+                    let is_follower = matches!(p, FusePattern::Elemwise | FusePattern::Broadcast);
+                    let is_injective = matches!(p, FusePattern::Injective);
+                    if is_follower || is_injective {
+                        // Try to join the group producing one of our args.
+                        for a in args {
+                            let Some(v) = a.as_var() else { continue };
+                            let Some(&pi) = producer.get(&v.id) else { continue };
+                            let g = group_of[pi];
+                            if g == usize::MAX {
+                                continue;
+                            }
+                            let grp = &groups[g];
+                            // The producer must be the group's current
+                            // output and used only here.
+                            if !grp.open || *grp.members.last().expect("non-empty") != pi {
+                                continue;
+                            }
+                            if uses.get(&v.id).copied().unwrap_or(0) != 1 {
+                                continue;
+                            }
+                            // Injective followers only extend all-injective
+                            // chains.
+                            if is_injective && !grp.all_injective {
+                                continue;
+                            }
+                            target = Some(g);
+                            break;
+                        }
+                    }
+                    match target {
+                        Some(g) => {
+                            groups[g].members.push(i);
+                            groups[g].all_injective &= is_injective;
+                            group_of[i] = g;
+                        }
+                        None => {
+                            // Start a new (open) group anchored here.
+                            groups.push(Group {
+                                members: vec![i],
+                                all_injective: is_injective,
+                                open: true,
+                            });
+                            group_of[i] = groups.len() - 1;
+                        }
+                    }
+                    continue;
+                }
+            }
+        }
+        // Non-fusable binding: closed singleton group.
+        groups.push(Group {
+            members: vec![i],
+            all_injective: false,
+            open: false,
+        });
+        group_of[i] = groups.len() - 1;
+    }
+
+    // Emit: singleton groups unchanged, multi-member groups as primitive
+    // calls placed at their last member's position.
+    let mut emitted: Vec<(usize, Var, Expr)> = Vec::new();
+    for g in &groups {
+        if g.members.len() == 1 {
+            let b = &bindings[g.members[0]];
+            emitted.push((g.members[0], b.var.clone(), b.value.clone()));
+        } else {
+            let last = *g.members.last().expect("non-empty group");
+            let out_var = bindings[last].var.clone();
+            let call = build_primitive(&bindings, &g.members);
+            emitted.push((last, out_var, call));
+        }
+    }
+    // Restore original ordering by position.
+    emitted.sort_by_key(|(pos, _, _)| *pos);
+
+    let mut out = result;
+    for (_, var, value) in emitted.into_iter().rev() {
+        out = Expr::let_(var, value, out);
+    }
+    out
+}
+
+/// Build the primitive-function call for a fused group.
+fn build_primitive(bindings: &[Binding], members: &[usize]) -> Expr {
+    use std::collections::HashSet;
+    let member_vars: HashSet<u32> = members.iter().map(|&i| bindings[i].var.id).collect();
+
+    // External inputs: vars referenced by member values but not produced
+    // inside the group, in first-use order.
+    let mut params: Vec<Var> = Vec::new();
+    let mut seen: HashSet<u32> = HashSet::new();
+    for &i in members {
+        nimble_ir::visit::visit_post_order(&bindings[i].value, &mut |n| {
+            if let ExprKind::Var(v) = n.kind() {
+                if !member_vars.contains(&v.id) && seen.insert(v.id) {
+                    params.push(v.clone());
+                }
+            }
+        });
+    }
+
+    // Body: the member bindings in order, ending with the last member's var.
+    let last = *members.last().expect("non-empty group");
+    let mut body = bindings[last].var.to_expr();
+    for &i in members.iter().rev() {
+        body = Expr::let_(bindings[i].var.clone(), bindings[i].value.clone(), body);
+    }
+    let func = Function::new(params.clone(), body, Type::Unknown);
+    let args: Vec<Expr> = params.iter().map(|p| p.to_expr()).collect();
+    Expr::new(ExprKind::Call {
+        callee: Expr::func(func),
+        args,
+        attrs: Attrs::new().with(PRIMITIVE_ATTR, AttrValue::Int(1)),
+    })
+}
+
+/// Recurse into control-flow values so nested blocks are fused too.
+fn recurse_value(value: &Expr) -> Expr {
+    match value.kind() {
+        ExprKind::If { cond, then, els } => {
+            Expr::if_(cond.clone(), fuse_block(then), fuse_block(els))
+        }
+        ExprKind::Match { value: v, clauses } => Expr::match_(
+            v.clone(),
+            clauses
+                .iter()
+                .map(|c| Clause {
+                    pattern: c.pattern.clone(),
+                    body: fuse_block(&c.body),
+                })
+                .collect(),
+        ),
+        ExprKind::Func(f) => Expr::func(Function::new(
+            f.params.clone(),
+            fuse_block(&f.body),
+            f.ret_type.clone(),
+        )),
+        _ => value.clone(),
+    }
+}
+
+/// Count fused-group sizes in a function (diagnostic used by tests and the
+/// ablation bench).
+pub fn fusion_stats(func: &Function) -> Vec<usize> {
+    let mut sizes = Vec::new();
+    nimble_ir::visit::visit_post_order(&func.body, &mut |e| {
+        if is_primitive_call(e) {
+            if let ExprKind::Call { callee, .. } = e.kind() {
+                if let ExprKind::Func(f) = callee.kind() {
+                    let mut n = 0;
+                    let mut cur = f.body.clone();
+                    while let ExprKind::Let { body, .. } = cur.kind() {
+                        n += 1;
+                        let nb = body.clone();
+                        cur = nb;
+                    }
+                    sizes.push(n);
+                }
+            }
+        }
+    });
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::{is_anf, to_anf};
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_tensor::{DType, Tensor};
+
+    fn any_vec() -> TensorType {
+        TensorType::with_any(&[None, Some(8)], DType::F32)
+    }
+
+    #[test]
+    fn dense_absorbs_elementwise_tail() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", any_vec());
+        let w = fb.constant(Tensor::ones_f32(&[8, 8]));
+        let h = fb.call("dense", vec![x, w], Attrs::new());
+        let t = fb.call("tanh", vec![h], Attrs::new());
+        let s = fb.call("sigmoid", vec![t], Attrs::new());
+        let f = to_anf(&fb.finish(s));
+        let fused = fuse_function(&f);
+        let sizes = fusion_stats(&fused);
+        assert_eq!(sizes, vec![3], "dense+tanh+sigmoid fuse into one group");
+    }
+
+    #[test]
+    fn multi_use_intermediate_blocks_fusion() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", any_vec());
+        let h = fb.call("relu", vec![x], Attrs::new());
+        // h used twice: both by tanh and by the add — not fusable past.
+        let t = fb.call("tanh", vec![h.clone()], Attrs::new());
+        let s = fb.call("add", vec![t, h], Attrs::new());
+        let f = to_anf(&fb.finish(s));
+        let fused = fuse_function(&f);
+        let sizes = fusion_stats(&fused);
+        // tanh+add may fuse (tanh used once), but relu stays separate.
+        assert!(sizes.iter().all(|&s| s <= 2), "sizes: {sizes:?}");
+    }
+
+    #[test]
+    fn dynamic_shape_ops_are_barriers() {
+        // arange -> add: arange has a data-dependent shape function, so the
+        // fusion policy of Section 4.2 must keep it out of any group.
+        let mut fb = FunctionBuilder::new("f");
+        let start = fb.constant(Tensor::scalar_f32(0.0));
+        let stop = fb.param("stop", TensorType::scalar(DType::F32));
+        let step = fb.constant(Tensor::scalar_f32(1.0));
+        let r = fb.call("arange", vec![start, stop, step], Attrs::new());
+        let y = fb.call("add", vec![r.clone(), r], Attrs::new());
+        let f = to_anf(&fb.finish(y));
+        let fused = fuse_function(&f);
+        // No group may contain arange; the only possible group is empty or
+        // add-alone (which stays a singleton). So there are no primitive
+        // calls of size >= 2 containing arange.
+        let mut has_arange_in_primitive = false;
+        nimble_ir::visit::visit_post_order(&fused.body, &mut |e| {
+            if is_primitive_call(e) {
+                nimble_ir::visit::visit_post_order(e, &mut |n| {
+                    if let ExprKind::Op(name) = n.kind() {
+                        if name == "arange" {
+                            has_arange_in_primitive = true;
+                        }
+                    }
+                });
+            }
+        });
+        assert!(!has_arange_in_primitive);
+    }
+
+    #[test]
+    fn injective_chain_fuses() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", TensorType::new(&[4, 8], DType::F32));
+        let t = fb.call(
+            "transpose",
+            vec![x],
+            Attrs::new().with("perm", AttrValue::IntVec(vec![1, 0])),
+        );
+        let r = fb.call(
+            "reshape",
+            vec![t],
+            Attrs::new().with("newshape", AttrValue::IntVec(vec![32])),
+        );
+        let f = to_anf(&fb.finish(r));
+        let fused = fuse_function(&f);
+        assert_eq!(fusion_stats(&fused), vec![2]);
+    }
+
+    #[test]
+    fn heavy_op_does_not_join_injective_chain() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", TensorType::new(&[4, 8], DType::F32));
+        let t = fb.call(
+            "transpose",
+            vec![x],
+            Attrs::new().with("perm", AttrValue::IntVec(vec![1, 0])),
+        );
+        let w = fb.constant(Tensor::ones_f32(&[16, 4]));
+        let d = fb.call("dense", vec![t, w], Attrs::new());
+        let f = to_anf(&fb.finish(d));
+        let fused = fuse_function(&f);
+        // transpose and dense stay separate groups (dense anchors its own).
+        assert!(fusion_stats(&fused).is_empty());
+    }
+
+    #[test]
+    fn fusion_preserves_anf_and_recurses_into_if() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", any_vec());
+        let c = fb.param("c", TensorType::scalar(DType::Bool));
+        let then_e = Expr::call_op(
+            "relu",
+            vec![Expr::call_op("tanh", vec![x.clone()], Attrs::new())],
+            Attrs::new(),
+        );
+        let e = Expr::if_(c, then_e, x.clone());
+        let bound = fb.bind("r", e);
+        let f = to_anf(&fb.finish(bound));
+        let fused = fuse_function(&f);
+        assert!(is_anf(&fused.body));
+        // The branch body got its own fused group.
+        assert_eq!(fusion_stats(&fused), vec![2]);
+    }
+}

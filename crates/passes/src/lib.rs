@@ -1,0 +1,47 @@
+//! # nimble-passes
+//!
+//! Compiler analyses and transformations for dynamic models — the middle of
+//! the paper's pipeline (Figure 1):
+//!
+//! * [`type_infer`] — type inference with `Any` propagation and sub-shaping
+//!   (Section 4.1);
+//! * [`anf`] — A-normal-form conversion, the prerequisite for explicit
+//!   allocation;
+//! * [`fusion`] — operator fusion with the dynamic-aware fusion policy
+//!   (Section 4.2): ops whose shape functions are data dependent or
+//!   upper-bound are fusion barriers;
+//! * [`memory_plan`] — rewrite to the explicit-allocation dialect
+//!   (`alloc_storage` / `alloc_tensor` / `invoke_mut` / `kill`) with shape
+//!   functions manifested and storage coalesced (Section 4.3);
+//! * [`device_place`] — unification-based heterogeneous device placement
+//!   inserting `device_copy` nodes (Section 4.4);
+//! * [`opt`] — supporting passes: constant folding, dead-code elimination.
+
+pub mod anf;
+pub mod device_place;
+pub mod fusion;
+pub mod memory_plan;
+pub mod opt;
+pub mod type_infer;
+
+pub use nimble_ir::{IrError, Result};
+
+/// Names of the explicit-allocation dialect operators introduced by
+/// [`memory_plan`] (Section 4.3) and consumed by the VM compiler.
+pub mod dialect {
+    /// `alloc_storage(size, alignment, device)` — allocate a raw region.
+    pub const ALLOC_STORAGE: &str = "memory.alloc_storage";
+    /// `alloc_tensor(storage, offset; shape, dtype)` — carve a tensor.
+    pub const ALLOC_TENSOR: &str = "memory.alloc_tensor";
+    /// `alloc_tensor_reg(storage, shape_tensor; dtype)` — carve a tensor
+    /// whose shape is a runtime value.
+    pub const ALLOC_TENSOR_REG: &str = "memory.alloc_tensor_reg";
+    /// `invoke_mut(op-name; …)(inputs…, outputs…)` — kernel call with
+    /// explicit in-out arguments.
+    pub const INVOKE_MUT: &str = "memory.invoke_mut";
+    /// `invoke_shape_func(op-name; …)(inputs…, outputs…)` — shape-function
+    /// call (always CPU-resident).
+    pub const INVOKE_SHAPE_FUNC: &str = "memory.invoke_shape_func";
+    /// `kill(tensor)` — end-of-lifetime marker.
+    pub const KILL: &str = "memory.kill";
+}

@@ -1,0 +1,640 @@
+//! Memory planning: rewrite implicit-allocation IR into the
+//! explicit-allocation dialect of Section 4.3.
+//!
+//! Every kernel invocation `let v = op(args…)` becomes a sequence of
+//!
+//! 1. allocation of the output — statically sized when the inferred type is
+//!    fully static (`alloc_storage` + `alloc_tensor`), or dynamically sized
+//!    via manifested **shape functions** (`shape_of` inputs →
+//!    `invoke_shape_func` → `alloc_tensor_reg`) when it is not;
+//! 2. an `invoke_mut` call that takes its output as an explicit in-out
+//!    argument ("the key insight is to internalize a notion of memory
+//!    allocation into the IR").
+//!
+//! With allocations explicit, **storage coalescing** groups statically
+//! sized allocations with disjoint lifetimes onto shared storage, reducing
+//! the allocation count (the −47% buffer-allocation statistic of
+//! Section 6.3 is regenerated from this pass's [`MemPlanReport`]).
+
+use crate::dialect;
+use crate::type_infer::TypeMap;
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::expr::{Clause, Expr, ExprKind, Function};
+use nimble_ir::op::{self, ShapeFnKind};
+use nimble_ir::types::{TensorType, Type};
+use nimble_ir::{IrError, Result, Var};
+use std::collections::HashMap;
+
+/// Statistics reported by the planner (inputs to the memory-planning
+/// microbenchmark).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemPlanReport {
+    /// Number of tensors allocated (static + dynamic).
+    pub tensors: usize,
+    /// Number of `alloc_storage` nodes emitted after coalescing.
+    pub storages: usize,
+    /// Number of `alloc_storage` nodes that would exist without coalescing
+    /// (= number of statically sized tensors).
+    pub storages_uncoalesced: usize,
+    /// Total bytes of coalesced static storage.
+    pub planned_bytes: u64,
+    /// Total bytes the same tensors would need without sharing.
+    pub unplanned_bytes: u64,
+    /// Allocations whose size is only known at run time.
+    pub dynamic_allocs: usize,
+    /// Number of shape-function invocations manifested.
+    pub shape_funcs: usize,
+}
+
+/// Plan a typed ANF function. `coalesce` enables storage sharing (the
+/// ablation toggle for the memory-planning study).
+///
+/// # Errors
+/// Fails when a kernel binding lacks an inferred tensor type.
+pub fn plan_function(
+    func: &Function,
+    types: &TypeMap,
+    coalesce: bool,
+) -> Result<(Function, MemPlanReport)> {
+    let mut report = MemPlanReport::default();
+    let body = plan_block(&func.body, types, coalesce, &mut report)?;
+    Ok((
+        Function::new(func.params.clone(), body, func.ret_type.clone()),
+        report,
+    ))
+}
+
+/// Is this binding value a kernel invocation (plain op call or fused
+/// primitive)?
+fn kernel_callee(value: &Expr) -> Option<Expr> {
+    if let ExprKind::Call { callee, .. } = value.kind() {
+        match callee.kind() {
+            ExprKind::Op(name) => {
+                // Dialect and runtime-support ops are not kernels.
+                if name.starts_with("memory.") || name == "shape_of" || name == "device_copy" {
+                    None
+                } else {
+                    Some(callee.clone())
+                }
+            }
+            ExprKind::Func(_) if crate::fusion::is_primitive_call(value) => Some(callee.clone()),
+            _ => None,
+        }
+    } else {
+        None
+    }
+}
+
+/// The shape-function mode of a kernel callee. Fused primitives are always
+/// data independent by the fusion policy.
+fn callee_shape_mode(callee: &Expr) -> ShapeFnKind {
+    if let ExprKind::Op(name) = callee.kind() {
+        if let Ok(def) = op::lookup(name) {
+            return def.shape_fn;
+        }
+    }
+    ShapeFnKind::DataIndependent
+}
+
+struct Planned {
+    bindings: Vec<(Var, Expr)>,
+}
+
+impl Planned {
+    fn push(&mut self, name: &str, value: Expr) -> Expr {
+        let v = Var::fresh(name, Type::Unknown);
+        self.bindings.push((v.clone(), value));
+        v.to_expr()
+    }
+
+    fn push_var(&mut self, var: Var, value: Expr) {
+        self.bindings.push((var, value));
+    }
+}
+
+fn plan_block(
+    block: &Expr,
+    types: &TypeMap,
+    coalesce: bool,
+    report: &mut MemPlanReport,
+) -> Result<Expr> {
+    // Collect the chain.
+    let mut chain: Vec<(Var, Expr)> = Vec::new();
+    let mut cur = block.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        chain.push((var.clone(), value.clone()));
+        cur = body.clone();
+    }
+    let result = cur;
+
+    let mut out = Planned {
+        bindings: Vec::new(),
+    };
+    // Static allocations awaiting coalescing: (index in out.bindings of the
+    // placeholder, size, tensor var id).
+    struct StaticAlloc {
+        storage_slot: usize,
+        size: u64,
+        tensor_var: u32,
+    }
+    let mut static_allocs: Vec<StaticAlloc> = Vec::new();
+
+    for (var, value) in &chain {
+        // Recurse into nested blocks first.
+        let value = match value.kind() {
+            ExprKind::If { cond, then, els } => Expr::if_(
+                cond.clone(),
+                plan_block(then, types, coalesce, report)?,
+                plan_block(els, types, coalesce, report)?,
+            ),
+            ExprKind::Match { value: v, clauses } => Expr::match_(
+                v.clone(),
+                clauses
+                    .iter()
+                    .map(|c| {
+                        Ok(Clause {
+                            pattern: c.pattern.clone(),
+                            body: plan_block(&c.body, types, coalesce, report)?,
+                        })
+                    })
+                    .collect::<Result<Vec<_>>>()?,
+            ),
+            ExprKind::Func(f) => Expr::func(Function::new(
+                f.params.clone(),
+                plan_block(&f.body, types, coalesce, report)?,
+                f.ret_type.clone(),
+            )),
+            _ => value.clone(),
+        };
+
+        let Some(callee) = kernel_callee(&value) else {
+            out.push_var(var.clone(), value);
+            continue;
+        };
+        let (args, attrs) = match value.kind() {
+            ExprKind::Call { args, attrs, .. } => (args.clone(), attrs.clone()),
+            _ => unreachable!("kernel_callee only matches calls"),
+        };
+
+        // Output type of the kernel.
+        let out_ty = types
+            .var(var)
+            .ok_or_else(|| IrError(format!("memory planning: no type for {var}")))?;
+        let tts: Vec<&TensorType> = match out_ty {
+            Type::Tensor(t) => vec![t],
+            Type::Tuple(ts) => ts
+                .iter()
+                .map(|t| t.as_tensor())
+                .collect::<Result<Vec<_>>>()?,
+            other => {
+                return Err(IrError(format!(
+                    "memory planning: kernel output must be tensor(s), got {other}"
+                )))
+            }
+        };
+
+        let mode = callee_shape_mode(&callee);
+        let all_static = tts.iter().all(|t| t.is_static());
+        report.tensors += tts.len();
+
+        let mut out_exprs: Vec<Expr> = Vec::with_capacity(tts.len());
+        if all_static {
+            for t in &tts {
+                let shape = t.static_shape().expect("checked static");
+                let size = t.max_nbytes(1);
+                report.storages_uncoalesced += 1;
+                report.unplanned_bytes += size;
+                // Placeholder storage binding; coalescing may rewrite it.
+                let slot = out.bindings.len();
+                let storage = out.push(
+                    "sto",
+                    Expr::call_op(
+                        dialect::ALLOC_STORAGE,
+                        vec![],
+                        Attrs::new()
+                            .with("size", AttrValue::Int(size as i64))
+                            .with("alignment", AttrValue::Int(64)),
+                    ),
+                );
+                let tensor = out.push(
+                    "buf",
+                    Expr::call_op(
+                        dialect::ALLOC_TENSOR,
+                        vec![storage],
+                        Attrs::new()
+                            .with("offset", AttrValue::Int(0))
+                            .with(
+                                "shape",
+                                AttrValue::IntVec(shape.iter().map(|&d| d as i64).collect()),
+                            )
+                            .with("dtype", AttrValue::DType(t.dtype)),
+                    ),
+                );
+                if let Some(v) = tensor.as_var() {
+                    static_allocs.push(StaticAlloc {
+                        storage_slot: slot,
+                        size,
+                        tensor_var: v.id,
+                    });
+                }
+                out_exprs.push(tensor);
+            }
+        } else {
+            // Dynamic output: manifest the shape function (the fix-point of
+            // Section 4.3 — shape-function inputs are themselves allocated
+            // here as `shape_of` results, which are always statically sized
+            // rank-1 i64 tensors handled by the VM directly).
+            report.dynamic_allocs += tts.len();
+            report.shape_funcs += 1;
+            let tensor_args: Vec<Expr> = args
+                .iter()
+                .filter(|a| {
+                    !matches!(
+                        a.kind(),
+                        ExprKind::Op(_) | ExprKind::Global(_) | ExprKind::Constructor(_)
+                    )
+                })
+                .cloned()
+                .collect();
+            let (sf_mode, sf_inputs): (&str, Vec<Expr>) = match mode {
+                ShapeFnKind::DataIndependent => {
+                    let shapes = tensor_args
+                        .iter()
+                        .map(|a| out.push("sh", Expr::call_op("shape_of", vec![a.clone()], Attrs::new())))
+                        .collect();
+                    ("shapes", shapes)
+                }
+                ShapeFnKind::UpperBound(_) => {
+                    let shapes = tensor_args
+                        .iter()
+                        .map(|a| out.push("sh", Expr::call_op("shape_of", vec![a.clone()], Attrs::new())))
+                        .collect();
+                    ("bound", shapes)
+                }
+                ShapeFnKind::DataDependent(_) => ("data", tensor_args.clone()),
+            };
+            // Record the dtype of each tensor input so the compiled shape
+            // function can run the dtype-sensitive type relations.
+            let in_dtype_codes: Vec<i64> = tensor_args
+                .iter()
+                .map(|a| {
+                    let dt = match a.kind() {
+                        ExprKind::Constant(t) => Some(t.dtype()),
+                        ExprKind::Var(v) => types
+                            .var(v)
+                            .and_then(|t| t.as_tensor().ok())
+                            .map(|t| t.dtype),
+                        _ => None,
+                    };
+                    dt.unwrap_or(nimble_tensor::DType::F32).code() as i64
+                })
+                .collect();
+            let mut sf_args = vec![callee.clone()];
+            sf_args.extend(sf_inputs);
+            let shape_out = out.push(
+                "osh",
+                Expr::new(ExprKind::Call {
+                    callee: Expr::op(dialect::INVOKE_SHAPE_FUNC),
+                    args: sf_args,
+                    attrs: attrs
+                        .clone()
+                        .with("mode", AttrValue::Str(sf_mode.into()))
+                        .with("num_outputs", AttrValue::Int(tts.len() as i64))
+                        .with("in_dtype_codes", AttrValue::IntVec(in_dtype_codes)),
+                }),
+            );
+            for (i, t) in tts.iter().enumerate() {
+                let sh_i = if tts.len() == 1 {
+                    shape_out.clone()
+                } else {
+                    out.push("osh_i", Expr::tuple_get(shape_out.clone(), i))
+                };
+                let tensor = out.push(
+                    "buf",
+                    Expr::call_op(
+                        dialect::ALLOC_TENSOR_REG,
+                        vec![sh_i],
+                        Attrs::new().with("dtype", AttrValue::DType(t.dtype)),
+                    ),
+                );
+                out_exprs.push(tensor);
+            }
+        }
+
+        // The invoke_mut: callee, inputs…, outputs…; binds the (first)
+        // output as the let variable for downstream uses.
+        let mut im_args = vec![callee.clone()];
+        im_args.extend(args.iter().cloned());
+        im_args.extend(out_exprs.iter().cloned());
+        let im_attrs = attrs
+            .with("num_outputs", AttrValue::Int(tts.len() as i64))
+            .with(
+                "upper_bound",
+                AttrValue::Bool(matches!(mode, ShapeFnKind::UpperBound(_))),
+            )
+            // Dynamic outputs mark the kernel for symbolic codegen
+            // (residue-dispatch dense kernels, Section 4.5).
+            .with("symbolic", AttrValue::Bool(!all_static));
+        out.push_var(
+            var.clone(),
+            Expr::new(ExprKind::Call {
+                callee: Expr::op(dialect::INVOKE_MUT),
+                args: im_args,
+                attrs: im_attrs,
+            }),
+        );
+    }
+
+    // ---- storage coalescing over the emitted chain ----
+    if coalesce {
+        // Last use position of each var in the emitted chain + result.
+        let mut last_use: HashMap<u32, usize> = HashMap::new();
+        for (pos, (_, value)) in out.bindings.iter().enumerate() {
+            nimble_ir::visit::visit_post_order(value, &mut |n| {
+                if let ExprKind::Var(v) = n.kind() {
+                    last_use.insert(v.id, pos);
+                }
+            });
+        }
+        nimble_ir::visit::visit_post_order(&result, &mut |n| {
+            if let ExprKind::Var(v) = n.kind() {
+                last_use.insert(v.id, usize::MAX);
+            }
+        });
+        // Transitively: a tensor multiplexed onto a storage keeps the
+        // storage alive until the tensor's last use; the invoke_mut binding
+        // var aliases the output tensor, extending its life.
+        // Conservative fix: treat the kernel output var (bound immediately
+        // after the tensor alloc) as an alias of the tensor.
+        let mut alias_extend: HashMap<u32, usize> = HashMap::new();
+        for sa in &static_allocs {
+            // Find the invoke_mut that consumes this tensor: the tensor's
+            // own last_use is that invoke position; the invoke's bound var
+            // aliases the buffer.
+            if let Some(&invoke_pos) = last_use.get(&sa.tensor_var) {
+                if invoke_pos != usize::MAX {
+                    if let Some((alias_var, _)) = out.bindings.get(invoke_pos) {
+                        let alias_last =
+                            last_use.get(&alias_var.id).copied().unwrap_or(invoke_pos);
+                        alias_extend.insert(sa.tensor_var, alias_last);
+                    }
+                }
+            }
+        }
+
+        // Greedy linear-scan storage reuse.
+        struct Pool {
+            var: Var,
+            size: u64,
+            free_after: usize,
+        }
+        let mut pools: Vec<Pool> = Vec::new();
+        let mut replace: HashMap<usize, Expr> = HashMap::new(); // slot -> storage var expr
+        for sa in &static_allocs {
+            let alloc_pos = sa.storage_slot;
+            let end = alias_extend
+                .get(&sa.tensor_var)
+                .copied()
+                .or_else(|| last_use.get(&sa.tensor_var).copied())
+                .unwrap_or(alloc_pos);
+            if end == usize::MAX {
+                // Escapes the block: keep its own storage.
+                report.storages += 1;
+                report.planned_bytes += sa.size;
+                continue;
+            }
+            // Find a free pool large enough.
+            if let Some(p) = pools
+                .iter_mut()
+                .find(|p| p.free_after < alloc_pos && p.size >= sa.size)
+            {
+                p.free_after = end;
+                replace.insert(sa.storage_slot, p.var.to_expr());
+            } else {
+                let (var, _) = &out.bindings[sa.storage_slot];
+                pools.push(Pool {
+                    var: var.clone(),
+                    size: sa.size,
+                    free_after: end,
+                });
+                report.storages += 1;
+                report.planned_bytes += sa.size;
+            }
+        }
+        // Drop coalesced-away storage bindings and rewrite tensor allocs to
+        // reference the shared storage.
+        if !replace.is_empty() {
+            let old = std::mem::take(&mut out.bindings);
+            let mut new_bindings: Vec<(Var, Expr)> = Vec::with_capacity(old.len());
+            for (slot, (var, value)) in old.into_iter().enumerate() {
+                if let Some(shared) = replace.get(&slot) {
+                    // Rewrite uses of this storage var to the shared one by
+                    // emitting an alias binding (kept simple and explicit).
+                    new_bindings.push((var, shared.clone()));
+                } else {
+                    new_bindings.push((var, value));
+                }
+            }
+            out.bindings = new_bindings;
+        }
+    } else {
+        for sa in &static_allocs {
+            report.storages += 1;
+            report.planned_bytes += sa.size;
+        }
+    }
+
+    // ---- kill insertion after last use ----
+    let mut last_use: HashMap<u32, usize> = HashMap::new();
+    for (pos, (_, value)) in out.bindings.iter().enumerate() {
+        nimble_ir::visit::visit_post_order(value, &mut |n| {
+            if let ExprKind::Var(v) = n.kind() {
+                last_use.insert(v.id, pos);
+            }
+        });
+    }
+    let mut escapes: std::collections::HashSet<u32> = Default::default();
+    nimble_ir::visit::visit_post_order(&result, &mut |n| {
+        if let ExprKind::Var(v) = n.kind() {
+            escapes.insert(v.id);
+        }
+    });
+    // Only kill invoke_mut result vars (actual tensors), at their last use.
+    let mut kills_at: HashMap<usize, Vec<Var>> = HashMap::new();
+    for (pos, (var, value)) in out.bindings.iter().enumerate() {
+        let is_tensor_result = matches!(
+            value.as_op_call(),
+            Some((name, _, _)) if name == dialect::INVOKE_MUT
+        );
+        if !is_tensor_result || escapes.contains(&var.id) {
+            continue;
+        }
+        let end = last_use.get(&var.id).copied().unwrap_or(pos);
+        kills_at.entry(end.max(pos)).or_default().push(var.clone());
+    }
+
+    let mut final_bindings: Vec<(Var, Expr)> = Vec::new();
+    for (pos, (var, value)) in out.bindings.iter().enumerate() {
+        final_bindings.push((var.clone(), value.clone()));
+        if let Some(kills) = kills_at.get(&pos) {
+            for k in kills {
+                final_bindings.push((
+                    Var::fresh("kill", Type::Unknown),
+                    Expr::call_op(dialect::KILL, vec![k.to_expr()], Attrs::new()),
+                ));
+            }
+        }
+    }
+
+    let mut body = result;
+    for (var, value) in final_bindings.into_iter().rev() {
+        body = Expr::let_(var, value, body);
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::to_anf;
+    use crate::type_infer::infer_function;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::Module;
+    use nimble_tensor::{DType, Tensor};
+
+    fn count_ops(f: &Function, name: &str) -> usize {
+        let mut n = 0;
+        nimble_ir::visit::visit_post_order(&f.body, &mut |e| {
+            if let Some((op, _, _)) = e.as_op_call() {
+                if op == name {
+                    n += 1;
+                }
+            }
+        });
+        n
+    }
+
+    /// The paper's first memory-planning example: a statically shaped add
+    /// becomes alloc_storage + alloc_tensor + invoke_mut.
+    #[test]
+    fn static_add_explicit_allocation() {
+        let mut fb = FunctionBuilder::new("main");
+        let t1 = fb.param("t1", TensorType::new(&[10], DType::F32));
+        let t2 = fb.param("t2", TensorType::new(&[10], DType::F32));
+        let s = fb.call("add", vec![t1, t2], Attrs::new());
+        let f = to_anf(&fb.finish(s));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (planned, report) = plan_function(&f, &types, true).unwrap();
+        assert_eq!(count_ops(&planned, dialect::ALLOC_STORAGE), 1);
+        assert_eq!(count_ops(&planned, dialect::ALLOC_TENSOR), 1);
+        assert_eq!(count_ops(&planned, dialect::INVOKE_MUT), 1);
+        assert_eq!(report.tensors, 1);
+        assert_eq!(report.storages, 1);
+        // 10 f32 = 40 bytes, matching `alloc_storage(40, 64, cpu(0))` in
+        // the paper listing.
+        assert_eq!(report.planned_bytes, 40);
+    }
+
+    /// The paper's second example: dynamic concat manifests shape_of +
+    /// invoke_shape_func + alloc_tensor_reg.
+    #[test]
+    fn dynamic_concat_manifests_shape_function() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+        let y = fb.param("y", TensorType::new(&[1, 2], DType::F32));
+        let c = fb.call(
+            "concat",
+            vec![x, y],
+            Attrs::new().with("axis", AttrValue::Int(0)),
+        );
+        let f = to_anf(&fb.finish(c));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (planned, report) = plan_function(&f, &types, true).unwrap();
+        assert_eq!(count_ops(&planned, "shape_of"), 2, "{}", nimble_ir::printer::print_function("main", &planned));
+        assert_eq!(count_ops(&planned, dialect::INVOKE_SHAPE_FUNC), 1);
+        assert_eq!(count_ops(&planned, dialect::ALLOC_TENSOR_REG), 1);
+        assert_eq!(count_ops(&planned, dialect::INVOKE_MUT), 1);
+        assert_eq!(report.dynamic_allocs, 1);
+        assert_eq!(report.shape_funcs, 1);
+    }
+
+    /// Data-dependent ops pass values (not shapes) to the shape function.
+    #[test]
+    fn data_dependent_shape_func_takes_values() {
+        let mut fb = FunctionBuilder::new("main");
+        let start = fb.param("start", TensorType::scalar(DType::F32));
+        let stop = fb.param("stop", TensorType::scalar(DType::F32));
+        let step = fb.param("step", TensorType::scalar(DType::F32));
+        let r = fb.call("arange", vec![start, stop, step], Attrs::new());
+        let f = to_anf(&fb.finish(r));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (planned, _) = plan_function(&f, &types, true).unwrap();
+        // No shape_of for data-dependent mode.
+        assert_eq!(count_ops(&planned, "shape_of"), 0);
+        assert_eq!(count_ops(&planned, dialect::INVOKE_SHAPE_FUNC), 1);
+        // The mode attribute records "data".
+        let mut saw_data_mode = false;
+        nimble_ir::visit::visit_post_order(&planned.body, &mut |e| {
+            if let Some((op, _, attrs)) = e.as_op_call() {
+                if op == dialect::INVOKE_SHAPE_FUNC {
+                    saw_data_mode = attrs.str("mode") == Some("data");
+                }
+            }
+        });
+        assert!(saw_data_mode);
+    }
+
+    /// Storage coalescing shares storage between disjoint lifetimes.
+    #[test]
+    fn coalescing_reduces_storage_count() {
+        // A chain of 4 same-sized elementwise ops: intermediates have
+        // disjoint lifetimes, so ping-pong between 2 storages (the result
+        // escapes and keeps one alive).
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[64], DType::F32));
+        let mut h = x;
+        for _ in 0..4 {
+            h = fb.call("tanh", vec![h], Attrs::new());
+        }
+        let f = to_anf(&fb.finish(h));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (_, with) = plan_function(&f, &types, true).unwrap();
+        let (_, without) = plan_function(&f, &types, false).unwrap();
+        assert_eq!(without.storages, 4);
+        assert!(
+            with.storages < without.storages,
+            "coalesced {} vs raw {}",
+            with.storages,
+            without.storages
+        );
+        assert!(with.planned_bytes < without.unplanned_bytes);
+    }
+
+    /// Kill markers appear after the last use of dead intermediates.
+    #[test]
+    fn kills_inserted_for_dead_intermediates() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[8], DType::F32));
+        let a = fb.call("tanh", vec![x], Attrs::new());
+        let b = fb.call("relu", vec![a], Attrs::new());
+        let f = to_anf(&fb.finish(b));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (planned, _) = plan_function(&f, &types, true).unwrap();
+        // `a` dies after relu consumes it; `b` escapes.
+        assert_eq!(count_ops(&planned, dialect::KILL), 1);
+    }
+
+    /// Constants as kernel inputs don't break planning.
+    #[test]
+    fn constant_weights_flow_through() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[1, 4], DType::F32));
+        let w = fb.constant(Tensor::ones_f32(&[2, 4]));
+        let d = fb.call("dense", vec![x, w], Attrs::new());
+        let f = to_anf(&fb.finish(d));
+        let (types, _) = infer_function(&Module::new(), &f).unwrap();
+        let (planned, report) = plan_function(&f, &types, true).unwrap();
+        assert_eq!(count_ops(&planned, dialect::INVOKE_MUT), 1);
+        assert_eq!(report.tensors, 1);
+    }
+}

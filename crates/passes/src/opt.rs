@@ -1,0 +1,339 @@
+//! Supporting optimizations: constant folding and dead-code elimination.
+//!
+//! These run before fusion so that shape arithmetic written as IR (e.g.
+//! constant `arange` bounds) collapses to constants, and unused bindings do
+//! not inflate fusion groups or allocation counts.
+
+use nimble_ir::expr::{Expr, ExprKind, Function};
+use nimble_ir::op;
+use nimble_ir::visit::Rewriter;
+use std::collections::HashMap;
+
+/// Fold operator calls whose arguments are all constants, using the
+/// registry's reference kernels. Dialect ops, `device_copy`, and multi
+/// output ops are left untouched.
+pub fn fold_constants(func: &Function) -> Function {
+    let mut rw = Rewriter::new(|e: &Expr| {
+        let (name, args, attrs) = e.as_op_call()?;
+        if name.starts_with("memory.") || name == "device_copy" {
+            return None;
+        }
+        let def = op::lookup(name).ok()?;
+        let mut consts = Vec::with_capacity(args.len());
+        for a in args {
+            match a.kind() {
+                ExprKind::Constant(t) => consts.push(t.clone()),
+                _ => return None,
+            }
+        }
+        // `zeros` takes no args and is always foldable; other no-arg ops
+        // too. Ops with outputs > 1 (split) are skipped.
+        let outs = (def.execute)(&consts, attrs).ok()?;
+        if outs.len() == 1 {
+            Some(Expr::constant(outs.into_iter().next().expect("len 1")))
+        } else {
+            None
+        }
+    });
+    let body = rw.rewrite(&func.body);
+    Function::new(func.params.clone(), body, func.ret_type.clone())
+}
+
+/// Whether a binding value may be removed when its variable is unused.
+fn is_pure(value: &Expr) -> bool {
+    match value.kind() {
+        ExprKind::Call { .. } => match value.as_op_call() {
+            // Memory-dialect calls have effects (allocation bookkeeping).
+            Some((name, _, _)) => !name.starts_with("memory."),
+            // Closure/constructor/global calls: conservatively impure
+            // (globals may recurse forever).
+            None => matches!(
+                value.kind(),
+                ExprKind::Call { callee, .. } if matches!(callee.kind(), ExprKind::Constructor(_))
+            ),
+        },
+        ExprKind::If { .. } | ExprKind::Match { .. } => false,
+        _ => true,
+    }
+}
+
+/// Remove let bindings whose variable is never used (iterating to a fixed
+/// point) in every block of the function.
+pub fn eliminate_dead_code(func: &Function) -> Function {
+    Function::new(
+        func.params.clone(),
+        dce_block(&func.body),
+        func.ret_type.clone(),
+    )
+}
+
+fn dce_block(block: &Expr) -> Expr {
+    let mut chain: Vec<(nimble_ir::Var, Expr)> = Vec::new();
+    let mut cur = block.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        // Recurse into nested blocks.
+        let v = match value.kind() {
+            ExprKind::If { cond, then, els } => {
+                Expr::if_(cond.clone(), dce_block(then), dce_block(els))
+            }
+            ExprKind::Match { value: s, clauses } => Expr::match_(
+                s.clone(),
+                clauses
+                    .iter()
+                    .map(|c| nimble_ir::expr::Clause {
+                        pattern: c.pattern.clone(),
+                        body: dce_block(&c.body),
+                    })
+                    .collect(),
+            ),
+            ExprKind::Func(f) => Expr::func(Function::new(
+                f.params.clone(),
+                dce_block(&f.body),
+                f.ret_type.clone(),
+            )),
+            _ => value.clone(),
+        };
+        chain.push((var.clone(), v));
+        cur = body.clone();
+    }
+    let result = cur;
+
+    // Iterate: drop pure bindings with zero uses.
+    loop {
+        let mut uses: HashMap<u32, usize> = HashMap::new();
+        let count = |e: &Expr, uses: &mut HashMap<u32, usize>| {
+            nimble_ir::visit::visit_post_order(e, &mut |n| {
+                if let ExprKind::Var(v) = n.kind() {
+                    *uses.entry(v.id).or_insert(0) += 1;
+                }
+            });
+        };
+        for (_, v) in &chain {
+            count(v, &mut uses);
+        }
+        count(&result, &mut uses);
+        let before = chain.len();
+        chain.retain(|(var, value)| {
+            uses.get(&var.id).copied().unwrap_or(0) > 0 || !is_pure(value)
+        });
+        if chain.len() == before {
+            break;
+        }
+    }
+
+    let mut out = result;
+    for (var, value) in chain.into_iter().rev() {
+        out = Expr::let_(var, value, out);
+    }
+    out
+}
+
+/// Common-subexpression elimination over op calls with identical callees,
+/// arguments (by variable identity), and attributes within a block.
+pub fn eliminate_common_subexpr(func: &Function) -> Function {
+    Function::new(
+        func.params.clone(),
+        cse_block(&func.body),
+        func.ret_type.clone(),
+    )
+}
+
+fn value_key(e: &Expr) -> Option<String> {
+    let (name, args, attrs) = e.as_op_call()?;
+    if name.starts_with("memory.") || name == "device_copy" {
+        return None;
+    }
+    let mut key = format!("{name}[{attrs}](");
+    for a in args {
+        match a.kind() {
+            ExprKind::Var(v) => key.push_str(&format!("%{},", v.id)),
+            ExprKind::Constant(t) => {
+                // Scalar constants dedupe by value; larger tensors (weights)
+                // dedupe by node identity, which shared-constant expressions
+                // preserve.
+                if t.volume() == 1 {
+                    key.push_str(&format!("c{:?},", t.data()));
+                } else {
+                    key.push_str(&format!("k{:x},", a.ref_id()));
+                }
+            }
+            _ => return None,
+        }
+    }
+    key.push(')');
+    Some(key)
+}
+
+fn cse_block(block: &Expr) -> Expr {
+    let mut chain: Vec<(nimble_ir::Var, Expr)> = Vec::new();
+    let mut cur = block.clone();
+    while let ExprKind::Let { var, value, body } = cur.kind() {
+        chain.push((var.clone(), value.clone()));
+        cur = body.clone();
+    }
+    let result = cur;
+
+    let mut seen: HashMap<String, nimble_ir::Var> = HashMap::new();
+    let mut subst: HashMap<u32, nimble_ir::Var> = HashMap::new();
+    let mut out: Vec<(nimble_ir::Var, Expr)> = Vec::new();
+
+    let apply_subst = |e: &Expr, subst: &HashMap<u32, nimble_ir::Var>| -> Expr {
+        let mut rw = Rewriter::new(|n: &Expr| {
+            if let ExprKind::Var(v) = n.kind() {
+                subst.get(&v.id).map(|r| r.to_expr())
+            } else {
+                None
+            }
+        });
+        rw.rewrite(e)
+    };
+
+    for (var, value) in &chain {
+        let value = apply_subst(value, &subst);
+        if let Some(key) = value_key(&value) {
+            if let Some(prev) = seen.get(&key) {
+                subst.insert(var.id, prev.clone());
+                continue;
+            }
+            seen.insert(key, var.clone());
+        }
+        out.push((var.clone(), value));
+    }
+    let result = apply_subst(&result, &subst);
+
+    let mut body = result;
+    for (var, value) in out.into_iter().rev() {
+        body = Expr::let_(var, value, body);
+    }
+    body
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anf::to_anf;
+    use nimble_ir::attrs::Attrs;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::{TensorType, Type};
+    use nimble_ir::Var;
+    use nimble_tensor::{DType, Tensor};
+
+    fn chain_len(f: &Function) -> usize {
+        let mut n = 0;
+        let mut cur = f.body.clone();
+        while let ExprKind::Let { body, .. } = cur.kind() {
+            n += 1;
+            let nb = body.clone();
+            cur = nb;
+        }
+        n
+    }
+
+    #[test]
+    fn folds_constant_arithmetic() {
+        let mut fb = FunctionBuilder::new("f");
+        let a = fb.constant(Tensor::scalar_f32(2.0));
+        let b = fb.constant(Tensor::scalar_f32(3.0));
+        let s = fb.call("add", vec![a, b], Attrs::new());
+        let f = fb.finish(s);
+        let folded = fold_constants(&f);
+        // After folding + DCE the body is a bare constant binding.
+        let cleaned = eliminate_dead_code(&folded);
+        let mut saw_const = false;
+        nimble_ir::visit::visit_post_order(&cleaned.body, &mut |e| {
+            if let ExprKind::Constant(t) = e.kind() {
+                if t.scalar_value_f32() == Ok(5.0) {
+                    saw_const = true;
+                }
+            }
+        });
+        assert!(saw_const);
+        // No add call remains.
+        let mut saw_add = false;
+        nimble_ir::visit::visit_post_order(&cleaned.body, &mut |e| {
+            if let Some(("add", _, _)) = e.as_op_call() {
+                saw_add = true;
+            }
+        });
+        assert!(!saw_add);
+    }
+
+    #[test]
+    fn folding_skips_non_constant() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", TensorType::scalar(DType::F32));
+        let c = fb.constant(Tensor::scalar_f32(1.0));
+        let s = fb.call("add", vec![x, c], Attrs::new());
+        let f = fb.finish(s);
+        let folded = fold_constants(&f);
+        let mut saw_add = false;
+        nimble_ir::visit::visit_post_order(&folded.body, &mut |e| {
+            if let Some(("add", _, _)) = e.as_op_call() {
+                saw_add = true;
+            }
+        });
+        assert!(saw_add);
+    }
+
+    #[test]
+    fn dce_drops_unused_pure_bindings() {
+        let x = Var::fresh("x", Type::Tensor(TensorType::scalar(DType::F32)));
+        let dead = Var::fresh("dead", Type::Unknown);
+        let body = Expr::let_(
+            dead,
+            Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+            x.to_expr(),
+        );
+        let f = Function::new(vec![x], body, Type::Unknown);
+        let cleaned = eliminate_dead_code(&f);
+        assert_eq!(chain_len(&cleaned), 0);
+    }
+
+    #[test]
+    fn dce_keeps_memory_dialect() {
+        let x = Var::fresh("x", Type::Unknown);
+        let k = Var::fresh("k", Type::Unknown);
+        let body = Expr::let_(
+            k,
+            Expr::call_op(crate::dialect::KILL, vec![x.to_expr()], Attrs::new()),
+            x.to_expr(),
+        );
+        let f = Function::new(vec![x], body, Type::Unknown);
+        let cleaned = eliminate_dead_code(&f);
+        assert_eq!(chain_len(&cleaned), 1);
+    }
+
+    #[test]
+    fn dce_cascades() {
+        // b uses a, but b itself is dead → both removed.
+        let x = Var::fresh("x", Type::Tensor(TensorType::scalar(DType::F32)));
+        let a = Var::fresh("a", Type::Unknown);
+        let b = Var::fresh("b", Type::Unknown);
+        let body = Expr::let_(
+            a.clone(),
+            Expr::call_op("relu", vec![x.to_expr()], Attrs::new()),
+            Expr::let_(
+                b,
+                Expr::call_op("tanh", vec![a.to_expr()], Attrs::new()),
+                x.to_expr(),
+            ),
+        );
+        let f = Function::new(vec![x], body, Type::Unknown);
+        let cleaned = eliminate_dead_code(&f);
+        assert_eq!(chain_len(&cleaned), 0);
+    }
+
+    #[test]
+    fn cse_merges_identical_calls() {
+        let mut fb = FunctionBuilder::new("f");
+        let x = fb.param("x", TensorType::scalar(DType::F32));
+        let a = fb.call("relu", vec![x.clone()], Attrs::new());
+        let b = fb.call("relu", vec![x], Attrs::new());
+        let s = fb.call("add", vec![a, b], Attrs::new());
+        let f = to_anf(&fb.finish(s));
+        assert_eq!(chain_len(&f), 3);
+        let cse = eliminate_common_subexpr(&f);
+        let cleaned = eliminate_dead_code(&cse);
+        assert_eq!(chain_len(&cleaned), 2, "duplicate relu removed");
+    }
+}

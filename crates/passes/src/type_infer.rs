@@ -1,0 +1,608 @@
+//! Type inference with `Any` propagation and sub-shaping (Section 4.1).
+//!
+//! The inferencer walks each function, applying operator type relations to
+//! propagate (possibly dynamic) shapes. Results are stored in a side table
+//! keyed by expression pointer identity, leaving the IR immutable.
+//!
+//! **Sub-shaping.** Before inferring a function, every `Any` dimension in
+//! its parameter types is replaced by a fresh symbolic dimension
+//! ([`nimble_ir::types::Dim::Sym`]). Relations preserve symbolic identity
+//! where the output dimension provably equals an input dimension, so two
+//! dynamic dimensions that originate from the same source keep the same id
+//! — this is the analysis the paper uses "to detect if two Any dimensions
+//! point to an identically sized dimension" for shape-specialized codegen.
+
+use nimble_ir::expr::{Expr, ExprKind, Function, Pattern};
+use nimble_ir::op;
+use nimble_ir::types::{unify, Dim, SymId, TensorType, Type};
+use nimble_ir::{IrError, Module, Result, Var};
+use std::collections::HashMap;
+
+/// Inferred types for every expression (by pointer identity) and variable
+/// (by id).
+#[derive(Debug, Default, Clone)]
+pub struct TypeMap {
+    exprs: HashMap<usize, Type>,
+    vars: HashMap<u32, Type>,
+}
+
+impl TypeMap {
+    /// Type of an expression, if inferred.
+    pub fn of(&self, e: &Expr) -> Option<&Type> {
+        self.exprs.get(&e.ref_id())
+    }
+
+    /// Type of an expression, or an error naming the node.
+    ///
+    /// # Errors
+    /// Fails when the expression was not covered by inference.
+    pub fn expect(&self, e: &Expr) -> Result<&Type> {
+        self.of(e)
+            .ok_or_else(|| IrError("expression not covered by type inference".into()))
+    }
+
+    /// Type of a variable, if inferred.
+    pub fn var(&self, v: &Var) -> Option<&Type> {
+        self.vars.get(&v.id)
+    }
+
+    /// Number of typed expressions (for tests/diagnostics).
+    pub fn len(&self) -> usize {
+        self.exprs.len()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.exprs.is_empty()
+    }
+}
+
+/// Replace every `Any` in a type with a fresh symbolic dimension.
+fn symbolize(ty: &Type) -> Type {
+    match ty {
+        Type::Tensor(t) => Type::Tensor(TensorType::from_dims(
+            t.dims
+                .iter()
+                .map(|d| match d {
+                    Dim::Any => Dim::Sym(SymId::fresh()),
+                    other => *other,
+                })
+                .collect(),
+            t.dtype,
+        )),
+        Type::Tuple(ts) => Type::Tuple(ts.iter().map(symbolize).collect()),
+        other => other.clone(),
+    }
+}
+
+struct Inferencer<'m> {
+    module: &'m Module,
+    map: TypeMap,
+    /// Global function types (from annotations) for recursion.
+    globals: HashMap<String, Type>,
+}
+
+/// Infer types for every function in a module.
+///
+/// # Errors
+/// Fails when a type relation rejects its inputs, a variable is unbound, or
+/// a recursive function lacks a return-type annotation.
+pub fn infer_module(module: &Module) -> Result<TypeMap> {
+    let mut globals = HashMap::new();
+    for (name, func) in module.functions() {
+        globals.insert(name.0.clone(), func.func_type());
+    }
+    let mut inf = Inferencer {
+        module,
+        map: TypeMap::default(),
+        globals,
+    };
+    for (_, func) in module.functions() {
+        inf.infer_function(func, true)?;
+    }
+    Ok(inf.map)
+}
+
+/// Infer types for a standalone function against a module's ADTs/globals.
+///
+/// # Errors
+/// Same failure modes as [`infer_module`].
+pub fn infer_function(module: &Module, func: &Function) -> Result<(TypeMap, Type)> {
+    let mut globals = HashMap::new();
+    for (name, f) in module.functions() {
+        globals.insert(name.0.clone(), f.func_type());
+    }
+    let mut inf = Inferencer {
+        module,
+        map: TypeMap::default(),
+        globals,
+    };
+    let ret = inf.infer_function(func, true)?;
+    Ok((inf.map, ret))
+}
+
+impl<'m> Inferencer<'m> {
+    fn infer_function(&mut self, func: &Function, symbolize_params: bool) -> Result<Type> {
+        let mut env: HashMap<u32, Type> = HashMap::new();
+        for p in &func.params {
+            let ty = if symbolize_params {
+                symbolize(&p.ty)
+            } else {
+                p.ty.clone()
+            };
+            self.map.vars.insert(p.id, ty.clone());
+            env.insert(p.id, ty);
+        }
+        let body_ty = self.infer(&func.body, &mut env)?;
+        // The declared return type (if any) must admit the inferred one.
+        if !matches!(func.ret_type, Type::Unknown) && !body_ty.subtype_of(&func.ret_type) {
+            return Err(IrError(format!(
+                "function body type {body_ty} does not match declared {}",
+                func.ret_type
+            )));
+        }
+        Ok(body_ty)
+    }
+
+    fn infer(&mut self, e: &Expr, env: &mut HashMap<u32, Type>) -> Result<Type> {
+        if let Some(t) = self.map.exprs.get(&e.ref_id()) {
+            return Ok(t.clone());
+        }
+        let ty = match e.kind() {
+            ExprKind::Var(v) => env
+                .get(&v.id)
+                .cloned()
+                .ok_or_else(|| IrError(format!("unbound variable {v}")))?,
+            ExprKind::Constant(t) => Type::Tensor(TensorType::new(
+                &t.dims().iter().map(|&d| d as u64).collect::<Vec<_>>(),
+                t.dtype(),
+            )),
+            ExprKind::Global(g) => self
+                .globals
+                .get(&g.0)
+                .cloned()
+                .ok_or_else(|| IrError(format!("unbound global {g}")))?,
+            ExprKind::Op(name) => {
+                // A bare op reference has no standalone type; verify it
+                // exists so errors surface early.
+                op::lookup(name)?;
+                Type::Unknown
+            }
+            ExprKind::Constructor(name) => {
+                let c = self.module.constructor(name)?;
+                Type::Func(c.fields.clone(), Box::new(Type::Adt(c.adt.clone())))
+            }
+            ExprKind::Tuple(fields) => {
+                let ts = fields
+                    .iter()
+                    .map(|f| self.infer(f, env))
+                    .collect::<Result<Vec<_>>>()?;
+                Type::Tuple(ts)
+            }
+            ExprKind::TupleGet(t, i) => {
+                let tt = self.infer(t, env)?;
+                let fields = tt.as_tuple()?;
+                fields
+                    .get(*i)
+                    .cloned()
+                    .ok_or_else(|| IrError(format!("tuple index {i} out of range")))?
+            }
+            ExprKind::Call {
+                callee,
+                args,
+                attrs,
+            } => {
+                let arg_types = args
+                    .iter()
+                    .map(|a| self.infer(a, env))
+                    .collect::<Result<Vec<_>>>()?;
+                match callee.kind() {
+                    ExprKind::Op(name) => {
+                        let def = op::lookup(name)?;
+                        (def.rel)(&arg_types, attrs)?
+                    }
+                    ExprKind::Constructor(name) => {
+                        let c = self.module.constructor(name)?;
+                        if c.fields.len() != arg_types.len() {
+                            return Err(IrError(format!(
+                                "constructor {name}: expected {} fields, got {}",
+                                c.fields.len(),
+                                arg_types.len()
+                            )));
+                        }
+                        for (field, arg) in c.fields.iter().zip(arg_types.iter()) {
+                            if !arg.subtype_of(field) {
+                                return Err(IrError(format!(
+                                    "constructor {name}: field type {field} got {arg}"
+                                )));
+                            }
+                        }
+                        Type::Adt(c.adt.clone())
+                    }
+                    // Direct application of a function literal (e.g. a fused
+                    // primitive): bind parameters to the actual argument
+                    // types and infer the body. This handles unannotated
+                    // parameters, which fusion produces.
+                    ExprKind::Func(f) => {
+                        if f.params.len() != arg_types.len() {
+                            return Err(IrError(format!(
+                                "primitive call arity mismatch: {} vs {}",
+                                f.params.len(),
+                                arg_types.len()
+                            )));
+                        }
+                        let mut inner: HashMap<u32, Type> = HashMap::new();
+                        for (p, a) in f.params.iter().zip(arg_types.iter()) {
+                            self.map.vars.insert(p.id, a.clone());
+                            inner.insert(p.id, a.clone());
+                        }
+                        self.infer(&f.body, &mut inner)?
+                    }
+                    _ => {
+                        let callee_ty = self.infer(callee, env)?;
+                        match callee_ty {
+                            Type::Func(params, ret) => {
+                                if params.len() != arg_types.len() {
+                                    return Err(IrError(format!(
+                                        "call arity mismatch: {} vs {}",
+                                        params.len(),
+                                        arg_types.len()
+                                    )));
+                                }
+                                for (p, a) in params.iter().zip(arg_types.iter()) {
+                                    if !a.subtype_of(p) {
+                                        return Err(IrError(format!(
+                                            "call argument type {a} is not a subtype of {p}"
+                                        )));
+                                    }
+                                }
+                                if matches!(*ret, Type::Unknown) {
+                                    // Recursive call without annotation: if
+                                    // the callee is a function literal we
+                                    // can infer it inline.
+                                    if let ExprKind::Func(f) = callee.kind() {
+                                        self.infer_function(f.as_ref(), false)?
+                                    } else {
+                                        return Err(IrError(
+                                            "recursive/global call requires a return-type \
+                                             annotation"
+                                                .into(),
+                                        ));
+                                    }
+                                } else {
+                                    *ret
+                                }
+                            }
+                            other => {
+                                return Err(IrError(format!("calling non-function type {other}")))
+                            }
+                        }
+                    }
+                }
+            }
+            ExprKind::Let { .. } => {
+                // Iterative over long chains: every let node in the chain
+                // has the type of the final result.
+                let mut chain_ids: Vec<usize> = Vec::new();
+                let mut cur = e.clone();
+                while let ExprKind::Let { var, value, body } = cur.kind() {
+                    let vt = self.infer(value, env)?;
+                    self.map.vars.insert(var.id, vt.clone());
+                    env.insert(var.id, vt);
+                    chain_ids.push(cur.ref_id());
+                    cur = body.clone();
+                }
+                let result = self.infer(&cur, env)?;
+                for id in chain_ids {
+                    self.map.exprs.insert(id, result.clone());
+                }
+                result
+            }
+            ExprKind::If { cond, then, els } => {
+                let ct = self.infer(cond, env)?;
+                match &ct {
+                    Type::Tensor(t)
+                        if t.dtype == nimble_tensor::DType::Bool && t.rank() == 0 => {}
+                    other => {
+                        return Err(IrError(format!(
+                            "if condition must be a scalar bool, got {other}"
+                        )))
+                    }
+                }
+                let tt = self.infer(then, env)?;
+                let et = self.infer(els, env)?;
+                // Branches may produce differently specialized shapes; the
+                // join generalizes (e.g. 3 vs 5 rows → Any rows).
+                join_branches(&tt, &et)?
+            }
+            ExprKind::Func(f) => {
+                let ret = self.infer_function(f.as_ref(), false)?;
+                Type::Func(
+                    f.params.iter().map(|p| p.ty.clone()).collect(),
+                    Box::new(ret),
+                )
+            }
+            ExprKind::Match { value, clauses } => {
+                let vt = self.infer(value, env)?;
+                let adt_name = match &vt {
+                    Type::Adt(n) => n.clone(),
+                    other => {
+                        return Err(IrError(format!("match scrutinee must be an ADT, got {other}")))
+                    }
+                };
+                let mut result: Option<Type> = None;
+                for clause in clauses {
+                    self.bind_pattern(&clause.pattern, &Type::Adt(adt_name.clone()), env)?;
+                    let bt = self.infer(&clause.body, env)?;
+                    result = Some(match result {
+                        None => bt,
+                        Some(prev) => join_branches(&prev, &bt)?,
+                    });
+                }
+                result.ok_or_else(|| IrError("match with no clauses".into()))?
+            }
+        };
+        self.map.exprs.insert(e.ref_id(), ty.clone());
+        Ok(ty)
+    }
+
+    fn bind_pattern(
+        &mut self,
+        pattern: &Pattern,
+        scrutinee_ty: &Type,
+        env: &mut HashMap<u32, Type>,
+    ) -> Result<()> {
+        match pattern {
+            Pattern::Wildcard => Ok(()),
+            Pattern::Bind(v) => {
+                self.map.vars.insert(v.id, scrutinee_ty.clone());
+                env.insert(v.id, scrutinee_ty.clone());
+                Ok(())
+            }
+            Pattern::Constructor { name, fields } => {
+                let c = self.module.constructor(name)?;
+                if let Type::Adt(adt) = scrutinee_ty {
+                    if *adt != c.adt {
+                        return Err(IrError(format!(
+                            "pattern {name} belongs to {} but scrutinee is {adt}",
+                            c.adt
+                        )));
+                    }
+                }
+                if c.fields.len() != fields.len() {
+                    return Err(IrError(format!(
+                        "pattern {name}: expected {} fields, got {}",
+                        c.fields.len(),
+                        fields.len()
+                    )));
+                }
+                let field_types = c.fields.clone();
+                for (sub, ft) in fields.iter().zip(field_types.iter()) {
+                    self.bind_pattern(sub, ft, env)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Join the types of two control-flow branches: where they agree keep the
+/// agreement, where static dims differ produce `Any` (a branch may yield
+/// either). This is the generalization (rather than unification) required
+/// by "different execution paths can emit substantially different data"
+/// (Section 2.2).
+pub fn join_branches(a: &Type, b: &Type) -> Result<Type> {
+    match (a, b) {
+        (Type::Tensor(x), Type::Tensor(y)) => {
+            if x.dtype != y.dtype || x.rank() != y.rank() {
+                return Err(IrError(format!("branch types {a} and {b} incompatible")));
+            }
+            let dims = x
+                .dims
+                .iter()
+                .zip(y.dims.iter())
+                .map(|(&p, &q)| if p == q { p } else { Dim::Any })
+                .collect();
+            Ok(Type::Tensor(TensorType::from_dims(dims, x.dtype)))
+        }
+        (Type::Tuple(x), Type::Tuple(y)) if x.len() == y.len() => Ok(Type::Tuple(
+            x.iter()
+                .zip(y.iter())
+                .map(|(p, q)| join_branches(p, q))
+                .collect::<Result<Vec<_>>>()?,
+        )),
+        _ => unify(a, b),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nimble_ir::adt::TypeDef;
+    use nimble_ir::attrs::{AttrValue, Attrs};
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::expr::Clause;
+    use nimble_tensor::{DType, Tensor};
+
+    fn module() -> Module {
+        Module::new()
+    }
+
+    #[test]
+    fn infers_dense_chain_with_any() {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(300)], DType::F32));
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        let w = fb.constant(Tensor::rand_f32(&mut rng, &[512, 300], 0.1));
+        let h = fb.call("dense", vec![x, w], Attrs::new());
+        let y = fb.call("tanh", vec![h.clone()], Attrs::new());
+        let f = fb.finish(y.clone());
+        let m = module();
+        let (map, ret) = infer_function(&m, &f).unwrap();
+        // Rows stay symbolic (sub-shaping upgraded Any → Sym), cols become
+        // 512.
+        match &ret {
+            Type::Tensor(t) => {
+                assert!(matches!(t.dims[0], Dim::Sym(_)));
+                assert_eq!(t.dims[1], Dim::Static(512));
+            }
+            other => panic!("unexpected {other}"),
+        }
+        assert!(map.len() > 4);
+    }
+
+    #[test]
+    fn sub_shaping_preserves_row_identity() {
+        // relu(x) keeps the same symbolic row dim as x.
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+        let y = fb.call("relu", vec![x.clone()], Attrs::new());
+        let f = fb.finish(y.clone());
+        let m = module();
+        let (map, _) = infer_function(&m, &f).unwrap();
+        let xt = map.of(&x).unwrap().as_tensor().unwrap().dims[0];
+        // Find the let-bound relu result type.
+        let param = &f.params[0];
+        let pt = map.var(param).unwrap().as_tensor().unwrap().dims[0];
+        assert_eq!(xt, pt);
+        assert!(matches!(xt, Dim::Sym(_)));
+    }
+
+    #[test]
+    fn if_branches_join_to_any() {
+        // if c { zeros([3,4]) } else { zeros([5,4]) } : Tensor[(Any,4)]
+        let cond = Expr::constant(Tensor::scalar_bool(true));
+        let z3 = Expr::call_op(
+            "zeros",
+            vec![],
+            Attrs::new().with("shape", AttrValue::IntVec(vec![3, 4])),
+        );
+        let z5 = Expr::call_op(
+            "zeros",
+            vec![],
+            Attrs::new().with("shape", AttrValue::IntVec(vec![5, 4])),
+        );
+        let f = Function::new(vec![], Expr::if_(cond, z3, z5), Type::Unknown);
+        let m = module();
+        let (_, ret) = infer_function(&m, &f).unwrap();
+        assert_eq!(
+            ret,
+            Type::Tensor(TensorType::from_dims(
+                vec![Dim::Any, Dim::Static(4)],
+                DType::F32
+            ))
+        );
+    }
+
+    #[test]
+    fn if_requires_scalar_bool() {
+        let cond = Expr::const_f32(1.0);
+        let f = Function::new(
+            vec![],
+            Expr::if_(cond, Expr::const_f32(1.0), Expr::const_f32(2.0)),
+            Type::Unknown,
+        );
+        assert!(infer_function(&module(), &f).is_err());
+    }
+
+    #[test]
+    fn match_on_list_adt() {
+        // fn len(l: List) -> f32 scalar via match — checks pattern binding.
+        let mut m = module();
+        let elem = Type::Tensor(TensorType::scalar(DType::F32));
+        m.add_adt(TypeDef::list(elem.clone()));
+        let l = Var::fresh("l", Type::Adt("List".into()));
+        let h = Var::fresh("h", Type::Unknown);
+        let t = Var::fresh("t", Type::Unknown);
+        let body = Expr::match_(
+            l.to_expr(),
+            vec![
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Nil".into(),
+                        fields: vec![],
+                    },
+                    body: Expr::const_f32(0.0),
+                },
+                Clause {
+                    pattern: Pattern::Constructor {
+                        name: "Cons".into(),
+                        fields: vec![Pattern::Bind(h.clone()), Pattern::Bind(t.clone())],
+                    },
+                    body: h.to_expr(),
+                },
+            ],
+        );
+        let f = Function::new(vec![l], body, Type::Unknown);
+        let (map, ret) = infer_function(&m, &f).unwrap();
+        assert_eq!(ret, elem);
+        assert_eq!(map.var(&t), Some(&Type::Adt("List".into())));
+    }
+
+    #[test]
+    fn constructor_call_typed() {
+        let mut m = module();
+        let elem = Type::Tensor(TensorType::scalar(DType::F32));
+        m.add_adt(TypeDef::list(elem));
+        let nil = Expr::call(Expr::constructor("Nil"), vec![]);
+        let cons = Expr::call(
+            Expr::constructor("Cons"),
+            vec![Expr::const_f32(1.0), nil],
+        );
+        let f = Function::new(vec![], cons, Type::Unknown);
+        let (_, ret) = infer_function(&m, &f).unwrap();
+        assert_eq!(ret, Type::Adt("List".into()));
+    }
+
+    #[test]
+    fn constructor_arity_checked() {
+        let mut m = module();
+        m.add_adt(TypeDef::list(Type::Tensor(TensorType::scalar(DType::F32))));
+        let bad = Expr::call(Expr::constructor("Cons"), vec![Expr::const_f32(1.0)]);
+        let f = Function::new(vec![], bad, Type::Unknown);
+        assert!(infer_function(&m, &f).is_err());
+    }
+
+    #[test]
+    fn recursive_global_requires_annotation() {
+        // fn loop(x: scalar) -> scalar { loop(x) }  — annotated, so OK.
+        let mut m = module();
+        let sc = Type::Tensor(TensorType::scalar(DType::F32));
+        let x = Var::fresh("x", sc.clone());
+        let body = Expr::call(Expr::global("loop"), vec![x.to_expr()]);
+        m.add_function("loop", Function::new(vec![x], body, sc.clone()));
+        let map = infer_module(&m).unwrap();
+        assert!(!map.is_empty());
+
+        // Without annotation it must fail.
+        let mut m2 = module();
+        let y = Var::fresh("y", sc);
+        let body2 = Expr::call(Expr::global("loop2"), vec![y.to_expr()]);
+        m2.add_function("loop2", Function::new(vec![y], body2, Type::Unknown));
+        assert!(infer_module(&m2).is_err());
+    }
+
+    #[test]
+    fn tuple_get_typed() {
+        let pair = Expr::tuple(vec![Expr::const_f32(1.0), Expr::const_f32(2.0)]);
+        let get = Expr::tuple_get(pair, 1);
+        let f = Function::new(vec![], get, Type::Unknown);
+        let (_, ret) = infer_function(&module(), &f).unwrap();
+        assert_eq!(ret, Type::Tensor(TensorType::scalar(DType::F32)));
+        // Out-of-range projection fails.
+        let pair2 = Expr::tuple(vec![Expr::const_f32(1.0)]);
+        let bad = Expr::tuple_get(pair2, 3);
+        let f2 = Function::new(vec![], bad, Type::Unknown);
+        assert!(infer_function(&module(), &f2).is_err());
+    }
+
+    #[test]
+    fn relation_errors_surface() {
+        let mut fb = FunctionBuilder::new("main");
+        let a = fb.param("a", TensorType::new(&[2], DType::F32));
+        let b = fb.param("b", TensorType::new(&[3], DType::F32));
+        let c = fb.call("add", vec![a, b], Attrs::new());
+        let f = fb.finish(c);
+        assert!(infer_function(&module(), &f).is_err());
+    }
+}

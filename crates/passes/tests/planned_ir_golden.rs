@@ -1,0 +1,77 @@
+//! Golden-style test: the memory-planned IR for the paper's Section 4.3
+//! examples matches the structure of the listings in the paper.
+
+use nimble_ir::attrs::{AttrValue, Attrs};
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::printer::print_function;
+use nimble_ir::types::TensorType;
+use nimble_ir::{DType, Module};
+use nimble_passes::anf::to_anf;
+use nimble_passes::memory_plan::plan_function;
+use nimble_passes::type_infer::infer_function;
+
+/// The static example of Section 4.3:
+///
+/// ```text
+/// fn main() -> Tensor<10> {
+///   let storage = alloc_storage(40, 64, cpu(0));
+///   let out1 = alloc_tensor(storage, 0, (10), f32);
+///   invoke_mut(add, (t1, t2), (out1));
+///   out1
+/// }
+/// ```
+#[test]
+fn static_add_matches_paper_listing() {
+    let mut fb = FunctionBuilder::new("main");
+    let t1 = fb.param("t1", TensorType::new(&[10], DType::F32));
+    let t2 = fb.param("t2", TensorType::new(&[10], DType::F32));
+    let s = fb.call("add", vec![t1, t2], Attrs::new());
+    let f = to_anf(&fb.finish(s));
+    let (types, _) = infer_function(&Module::new(), &f).unwrap();
+    let (planned, _) = plan_function(&f, &types, true).unwrap();
+    let text = print_function("main", &planned);
+
+    // The listing's three statements, in order.
+    let storage_at = text.find("memory.alloc_storage").expect("alloc_storage");
+    let tensor_at = text.find("memory.alloc_tensor").expect("alloc_tensor");
+    let invoke_at = text.find("memory.invoke_mut").expect("invoke_mut");
+    assert!(storage_at < tensor_at && tensor_at < invoke_at, "{text}");
+    // alloc_storage(40, 64, …): 10 f32 = 40 bytes, 64 alignment.
+    assert!(text.contains("alignment=64"), "{text}");
+    assert!(text.contains("size=40"), "{text}");
+    // The tensor is carved at offset 0 with shape (10) f32.
+    assert!(text.contains("offset=0"), "{text}");
+    assert!(text.contains("shape=[10]"), "{text}");
+    assert!(text.contains("dtype=float32"), "{text}");
+}
+
+/// The dynamic example of Section 4.3: concat with a manifested shape
+/// function (`shape_of` → `invoke_shape_func` → dynamically sized alloc →
+/// `invoke_mut`).
+#[test]
+fn dynamic_concat_matches_paper_listing() {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+    let y = fb.param("y", TensorType::new(&[1, 2], DType::F32));
+    let c = fb.call(
+        "concat",
+        vec![x, y],
+        Attrs::new().with("axis", AttrValue::Int(0)),
+    );
+    let f = to_anf(&fb.finish(c));
+    let (types, _) = infer_function(&Module::new(), &f).unwrap();
+    let (planned, _) = plan_function(&f, &types, true).unwrap();
+    let text = print_function("main", &planned);
+
+    // The paper's listing order: shape_of both inputs, invoke the shape
+    // function, allocate the output from the computed shape, invoke the
+    // kernel with the output as an in-out argument.
+    let sh0 = text.find("shape_of").expect("first shape_of");
+    let sh1 = text.rfind("shape_of").expect("second shape_of");
+    let sf = text.find("memory.invoke_shape_func").expect("invoke_shape_func");
+    let alloc = text.find("memory.alloc_tensor_reg").expect("alloc_tensor_reg");
+    let invoke = text.find("memory.invoke_mut").expect("invoke_mut");
+    assert!(sh0 < sh1 && sh1 < sf && sf < alloc && alloc < invoke, "{text}");
+    // The shape function runs in "shapes" (data-independent) mode.
+    assert!(text.contains("mode=\"shapes\""), "{text}");
+}

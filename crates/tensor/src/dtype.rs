@@ -1,0 +1,118 @@
+//! Element data types supported by the tensor library.
+
+use std::fmt;
+
+/// Element type of a [`crate::Tensor`].
+///
+/// Nimble's evaluation models only require a small set of data types:
+/// `float32` for activations and weights, `int64`/`int32` for token ids and
+/// shape arithmetic, and `bool` for control-flow predicates and masks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DType {
+    /// 32-bit IEEE-754 floating point.
+    F32,
+    /// 64-bit signed integer (also the element type of runtime shape tensors).
+    I64,
+    /// 32-bit signed integer.
+    I32,
+    /// Boolean (stored as one byte per element).
+    Bool,
+}
+
+impl DType {
+    /// Size in bytes of one element of this type.
+    ///
+    /// ```
+    /// use nimble_tensor::DType;
+    /// assert_eq!(DType::F32.size_of(), 4);
+    /// assert_eq!(DType::I64.size_of(), 8);
+    /// ```
+    pub fn size_of(self) -> usize {
+        match self {
+            DType::F32 => 4,
+            DType::I64 => 8,
+            DType::I32 => 4,
+            DType::Bool => 1,
+        }
+    }
+
+    /// Whether this is a floating-point type.
+    pub fn is_float(self) -> bool {
+        matches!(self, DType::F32)
+    }
+
+    /// Whether this is an integer type (excluding `Bool`).
+    pub fn is_int(self) -> bool {
+        matches!(self, DType::I64 | DType::I32)
+    }
+
+    /// Stable numeric code used by the bytecode serializer.
+    pub fn code(self) -> u8 {
+        match self {
+            DType::F32 => 0,
+            DType::I64 => 1,
+            DType::I32 => 2,
+            DType::Bool => 3,
+        }
+    }
+
+    /// Inverse of [`DType::code`].
+    pub fn from_code(code: u8) -> Option<DType> {
+        match code {
+            0 => Some(DType::F32),
+            1 => Some(DType::I64),
+            2 => Some(DType::I32),
+            3 => Some(DType::Bool),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            DType::F32 => "float32",
+            DType::I64 => "int64",
+            DType::I32 => "int32",
+            DType::Bool => "bool",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_of(), 4);
+        assert_eq!(DType::I64.size_of(), 8);
+        assert_eq!(DType::I32.size_of(), 4);
+        assert_eq!(DType::Bool.size_of(), 1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(DType::F32.to_string(), "float32");
+        assert_eq!(DType::I64.to_string(), "int64");
+        assert_eq!(DType::Bool.to_string(), "bool");
+    }
+
+    #[test]
+    fn code_round_trip() {
+        for dt in [DType::F32, DType::I64, DType::I32, DType::Bool] {
+            assert_eq!(DType::from_code(dt.code()), Some(dt));
+        }
+        assert_eq!(DType::from_code(200), None);
+    }
+
+    #[test]
+    fn classification() {
+        assert!(DType::F32.is_float());
+        assert!(!DType::F32.is_int());
+        assert!(DType::I64.is_int());
+        assert!(!DType::Bool.is_int());
+        assert!(!DType::Bool.is_float());
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type shared by all tensor operations.
+
+use crate::DType;
+use std::fmt;
+
+/// Errors raised by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two shapes could not be reconciled (e.g. broadcasting failure).
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: String,
+        /// Left-hand / expected shape.
+        lhs: Vec<usize>,
+        /// Right-hand / actual shape.
+        rhs: Vec<usize>,
+    },
+    /// The element type did not match what the kernel expected.
+    DTypeMismatch {
+        /// Operation name.
+        op: String,
+        /// Expected dtype.
+        expected: DType,
+        /// Actual dtype.
+        actual: DType,
+    },
+    /// The number of data elements does not match the product of the shape.
+    LengthMismatch {
+        /// Elements provided.
+        len: usize,
+        /// Elements implied by the shape.
+        expected: usize,
+    },
+    /// An index or axis was out of range.
+    OutOfRange {
+        /// Description of what was out of range.
+        what: String,
+    },
+    /// Catch-all for invalid arguments.
+    Invalid(String),
+}
+
+impl TensorError {
+    /// Shorthand constructor for [`TensorError::ShapeMismatch`].
+    pub fn shape(op: impl Into<String>, lhs: &[usize], rhs: &[usize]) -> Self {
+        TensorError::ShapeMismatch {
+            op: op.into(),
+            lhs: lhs.to_vec(),
+            rhs: rhs.to_vec(),
+        }
+    }
+
+    /// Shorthand constructor for [`TensorError::DTypeMismatch`].
+    pub fn dtype(op: impl Into<String>, expected: DType, actual: DType) -> Self {
+        TensorError::DTypeMismatch {
+            op: op.into(),
+            expected,
+            actual,
+        }
+    }
+
+    /// Shorthand constructor for [`TensorError::OutOfRange`].
+    pub fn range(what: impl Into<String>) -> Self {
+        TensorError::OutOfRange { what: what.into() }
+    }
+
+    /// Shorthand constructor for [`TensorError::Invalid`].
+    pub fn invalid(msg: impl Into<String>) -> Self {
+        TensorError::Invalid(msg.into())
+    }
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::DTypeMismatch {
+                op,
+                expected,
+                actual,
+            } => write!(f, "dtype mismatch in {op}: expected {expected}, got {actual}"),
+            TensorError::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            TensorError::OutOfRange { what } => write!(f, "out of range: {what}"),
+            TensorError::Invalid(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::shape("add", &[2, 3], &[4]);
+        assert!(e.to_string().contains("add"));
+        assert!(e.to_string().contains("[2, 3]"));
+
+        let e = TensorError::dtype("matmul", DType::F32, DType::I64);
+        assert!(e.to_string().contains("float32"));
+        assert!(e.to_string().contains("int64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

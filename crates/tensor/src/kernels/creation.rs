@@ -1,0 +1,180 @@
+//! Tensor-creating kernels: arange, full, cast, one-hot.
+
+use crate::{Data, DType, Result, Tensor, TensorError};
+
+/// `arange(start, stop, step)` — the paper's canonical *data-dependent*
+/// operator: "the output size is a function of input arguments"
+/// (Section 4.1, footnote 2). Inputs are scalar f32 tensors; the output
+/// length is `ceil((stop - start) / step)`.
+///
+/// # Errors
+/// Fails when `step` is zero or inputs are not scalars.
+pub fn arange(start: &Tensor, stop: &Tensor, step: &Tensor) -> Result<Tensor> {
+    let s = start.scalar_value_f32()?;
+    let e = stop.scalar_value_f32()?;
+    let st = step.scalar_value_f32()?;
+    if st == 0.0 {
+        return Err(TensorError::invalid("arange: step must be non-zero"));
+    }
+    let n = (((e - s) / st).ceil()).max(0.0) as usize;
+    let data: Vec<f32> = (0..n).map(|i| s + st * i as f32).collect();
+    Tensor::from_vec_f32(data, &[n])
+}
+
+/// Tensor filled with a constant f32 value.
+pub fn full_f32(value: f32, shape: &[usize]) -> Tensor {
+    let volume: usize = shape.iter().product();
+    Tensor::from_vec_f32(vec![value; volume], shape).expect("volume matches by construction")
+}
+
+/// Convert between element types, rounding floats toward zero.
+///
+/// # Errors
+/// All source/target dtype pairs are supported; errors only propagate from
+/// internal accessors (and so do not occur in practice).
+pub fn cast(a: &Tensor, to: DType) -> Result<Tensor> {
+    if a.dtype() == to {
+        return Ok(a.clone());
+    }
+    let data = match (a.data(), to) {
+        (Data::F32(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
+        (Data::F32(v), DType::I32) => Data::I32(v.iter().map(|&x| x as i32).collect()),
+        (Data::F32(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0.0).collect()),
+        (Data::I64(v), DType::F32) => Data::F32(v.iter().map(|&x| x as f32).collect()),
+        (Data::I64(v), DType::I32) => Data::I32(v.iter().map(|&x| x as i32).collect()),
+        (Data::I64(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0).collect()),
+        (Data::I32(v), DType::F32) => Data::F32(v.iter().map(|&x| x as f32).collect()),
+        (Data::I32(v), DType::I64) => Data::I64(v.iter().map(|&x| x as i64).collect()),
+        (Data::I32(v), DType::Bool) => Data::Bool(v.iter().map(|&x| x != 0).collect()),
+        (Data::Bool(v), DType::F32) => Data::F32(v.iter().map(|&b| b as u8 as f32).collect()),
+        (Data::Bool(v), DType::I64) => Data::I64(v.iter().map(|&b| b as i64).collect()),
+        (Data::Bool(v), DType::I32) => Data::I32(v.iter().map(|&b| b as i32).collect()),
+        _ => unreachable!("same-dtype handled above"),
+    };
+    Tensor::new(data, a.dims())
+}
+
+/// One-hot encode integer class ids into `[len, depth]` f32 rows.
+///
+/// # Errors
+/// Fails when an id is outside `[0, depth)`.
+pub fn one_hot(ids: &Tensor, depth: usize) -> Result<Tensor> {
+    let idx = ids.as_i64()?;
+    let mut out = vec![0.0f32; idx.len() * depth];
+    for (row, &i) in idx.iter().enumerate() {
+        if i < 0 || i as usize >= depth {
+            return Err(TensorError::range(format!("one_hot id {i} depth {depth}")));
+        }
+        out[row * depth + i as usize] = 1.0;
+    }
+    let mut shape = ids.dims().to_vec();
+    shape.push(depth);
+    Tensor::from_vec_f32(out, &shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn arange_basic() {
+        let r = arange(
+            &Tensor::scalar_f32(0.0),
+            &Tensor::scalar_f32(5.0),
+            &Tensor::scalar_f32(1.0),
+        )
+        .unwrap();
+        assert_eq!(r.dims(), &[5]);
+        assert_eq!(r.as_f32().unwrap(), &[0., 1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn arange_fractional_step() {
+        let r = arange(
+            &Tensor::scalar_f32(1.0),
+            &Tensor::scalar_f32(2.0),
+            &Tensor::scalar_f32(0.5),
+        )
+        .unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 1.5]);
+    }
+
+    #[test]
+    fn arange_empty_and_invalid() {
+        let r = arange(
+            &Tensor::scalar_f32(5.0),
+            &Tensor::scalar_f32(0.0),
+            &Tensor::scalar_f32(1.0),
+        )
+        .unwrap();
+        assert_eq!(r.volume(), 0);
+        assert!(arange(
+            &Tensor::scalar_f32(0.0),
+            &Tensor::scalar_f32(5.0),
+            &Tensor::scalar_f32(0.0),
+        )
+        .is_err());
+        // Non-scalar input rejected.
+        assert!(arange(
+            &Tensor::ones_f32(&[2]),
+            &Tensor::scalar_f32(5.0),
+            &Tensor::scalar_f32(1.0),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn cast_round_trips() {
+        let a = Tensor::from_vec_f32(vec![1.9, -2.9, 0.0], &[3]).unwrap();
+        let i = cast(&a, DType::I64).unwrap();
+        assert_eq!(i.as_i64().unwrap(), &[1, -2, 0]);
+        let b = cast(&a, DType::Bool).unwrap();
+        assert_eq!(b.as_bool().unwrap(), &[true, true, false]);
+        let back = cast(&i, DType::F32).unwrap();
+        assert_eq!(back.as_f32().unwrap(), &[1.0, -2.0, 0.0]);
+        // Identity cast is cheap and correct.
+        assert_eq!(cast(&a, DType::F32).unwrap(), a);
+    }
+
+    #[test]
+    fn one_hot_rows() {
+        let ids = Tensor::from_vec_i64(vec![1, 0], &[2]).unwrap();
+        let oh = one_hot(&ids, 3).unwrap();
+        assert_eq!(oh.dims(), &[2, 3]);
+        assert_eq!(oh.as_f32().unwrap(), &[0., 1., 0., 1., 0., 0.]);
+        let bad = Tensor::from_vec_i64(vec![3], &[1]).unwrap();
+        assert!(one_hot(&bad, 3).is_err());
+    }
+
+    #[test]
+    fn full_fills() {
+        let f = full_f32(2.5, &[2, 2]);
+        assert!(f.as_f32().unwrap().iter().all(|&x| x == 2.5));
+    }
+
+    proptest! {
+        #[test]
+        fn arange_length_formula(
+            start in -10i32..10,
+            len in 0usize..50,
+        ) {
+            let start = start as f32;
+            let stop = start + len as f32;
+            let r = arange(
+                &Tensor::scalar_f32(start),
+                &Tensor::scalar_f32(stop),
+                &Tensor::scalar_f32(1.0),
+            ).unwrap();
+            prop_assert_eq!(r.volume(), len);
+        }
+
+        #[test]
+        fn cast_i64_f32_i64_identity(v in proptest::collection::vec(-1000i64..1000, 1..32)) {
+            let n = v.len();
+            let a = Tensor::from_vec_i64(v.clone(), &[n]).unwrap();
+            let round = cast(&cast(&a, DType::F32).unwrap(), DType::I64).unwrap();
+            prop_assert_eq!(round.as_i64().unwrap(), &v[..]);
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Operators with data-dependent or upper-bound output shapes.
+//!
+//! These are the operators that motivate the paper's three shape-function
+//! modes (Section 4.2): `unique` is *data dependent* (output length is the
+//! number of distinct values), `nms` is *upper bound* (computing the exact
+//! output size is as expensive as the operator itself, so the runtime
+//! allocates for the worst case and slices to the real size afterwards), and
+//! `boolean_mask` is data dependent on the mask contents.
+
+use crate::{Data, Result, Tensor, TensorError};
+
+/// Distinct elements of a rank-1 `i64` tensor, in order of first occurrence.
+///
+/// # Errors
+/// Fails for non-rank-1 or non-i64 input.
+pub fn unique(a: &Tensor) -> Result<Tensor> {
+    if a.rank() != 1 {
+        return Err(TensorError::invalid("unique: input must be rank 1"));
+    }
+    let v = a.as_i64()?;
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for &x in v {
+        if seen.insert(x) {
+            out.push(x);
+        }
+    }
+    let n = out.len();
+    Tensor::new(Data::I64(out), &[n])
+}
+
+/// Select the rows of `a` where `mask` is true.
+///
+/// # Errors
+/// Fails when the mask length does not match the leading dimension.
+pub fn boolean_mask(a: &Tensor, mask: &Tensor) -> Result<Tensor> {
+    if a.rank() == 0 || mask.rank() != 1 || mask.dims()[0] != a.dims()[0] {
+        return Err(TensorError::shape("boolean_mask", a.dims(), mask.dims()));
+    }
+    let m = mask.as_bool()?;
+    let row_len: usize = a.dims()[1..].iter().product();
+    let src = a.as_f32()?;
+    let mut out = Vec::new();
+    let mut rows = 0;
+    for (i, &keep) in m.iter().enumerate() {
+        if keep {
+            out.extend_from_slice(&src[i * row_len..(i + 1) * row_len]);
+            rows += 1;
+        }
+    }
+    let mut shape = vec![rows];
+    shape.extend_from_slice(&a.dims()[1..]);
+    Tensor::from_vec_f32(out, &shape)
+}
+
+/// Result of [`nms`]: the kept boxes plus the *actual* kept count, so the
+/// caller can slice the (upper-bound-sized) output to its precise shape —
+/// exactly the contract Section 4.2 assigns to upper-bound shape functions
+/// ("return the output shape along with output value, so as to use the real
+/// shape to slice the output tensors").
+#[derive(Debug, Clone, PartialEq)]
+pub struct NmsOutput {
+    /// `[max_boxes, 5]` buffer: `(score, x1, y1, x2, y2)` rows; rows past
+    /// `count` are zero padding.
+    pub boxes: Tensor,
+    /// Number of valid rows in `boxes`.
+    pub count: usize,
+}
+
+/// Greedy non-maximum suppression over `[n, 5]` `(score, x1, y1, x2, y2)`
+/// boxes with an IoU threshold. The output buffer is allocated at the
+/// upper-bound size `n`.
+///
+/// # Errors
+/// Fails for inputs that are not `[n, 5]` f32 tensors.
+pub fn nms(boxes: &Tensor, iou_threshold: f32) -> Result<NmsOutput> {
+    if boxes.rank() != 2 || boxes.dims()[1] != 5 {
+        return Err(TensorError::invalid("nms: input must be [n, 5]"));
+    }
+    let n = boxes.dims()[0];
+    let v = boxes.as_f32()?;
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        v[b * 5]
+            .partial_cmp(&v[a * 5])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let iou = |a: usize, b: usize| -> f32 {
+        let (ax1, ay1, ax2, ay2) = (v[a * 5 + 1], v[a * 5 + 2], v[a * 5 + 3], v[a * 5 + 4]);
+        let (bx1, by1, bx2, by2) = (v[b * 5 + 1], v[b * 5 + 2], v[b * 5 + 3], v[b * 5 + 4]);
+        let ix = (ax2.min(bx2) - ax1.max(bx1)).max(0.0);
+        let iy = (ay2.min(by2) - ay1.max(by1)).max(0.0);
+        let inter = ix * iy;
+        let area_a = (ax2 - ax1).max(0.0) * (ay2 - ay1).max(0.0);
+        let area_b = (bx2 - bx1).max(0.0) * (by2 - by1).max(0.0);
+        let union = area_a + area_b - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    };
+
+    let mut kept: Vec<usize> = Vec::new();
+    for &cand in &order {
+        if kept.iter().all(|&k| iou(cand, k) <= iou_threshold) {
+            kept.push(cand);
+        }
+    }
+
+    // Upper-bound-sized output, padded with zeros.
+    let mut out = vec![0.0f32; n * 5];
+    for (row, &k) in kept.iter().enumerate() {
+        out[row * 5..(row + 1) * 5].copy_from_slice(&v[k * 5..(k + 1) * 5]);
+    }
+    Ok(NmsOutput {
+        boxes: Tensor::from_vec_f32(out, &[n, 5])?,
+        count: kept.len(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn unique_preserves_first_occurrence_order() {
+        let a = Tensor::from_vec_i64(vec![3, 1, 3, 2, 1], &[5]).unwrap();
+        let u = unique(&a).unwrap();
+        assert_eq!(u.as_i64().unwrap(), &[3, 1, 2]);
+    }
+
+    #[test]
+    fn unique_rejects_matrix() {
+        let a = Tensor::from_vec_i64(vec![1, 2, 3, 4], &[2, 2]).unwrap();
+        assert!(unique(&a).is_err());
+    }
+
+    #[test]
+    fn unique_empty() {
+        let a = Tensor::from_vec_i64(vec![], &[0]).unwrap();
+        assert_eq!(unique(&a).unwrap().volume(), 0);
+    }
+
+    #[test]
+    fn boolean_mask_filters_rows() {
+        let a = Tensor::from_vec_f32(vec![1., 1., 2., 2., 3., 3.], &[3, 2]).unwrap();
+        let m = Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap();
+        let r = boolean_mask(&a, &m).unwrap();
+        assert_eq!(r.dims(), &[2, 2]);
+        assert_eq!(r.as_f32().unwrap(), &[1., 1., 3., 3.]);
+    }
+
+    #[test]
+    fn boolean_mask_shape_checked() {
+        let a = Tensor::ones_f32(&[3, 2]);
+        let m = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        assert!(boolean_mask(&a, &m).is_err());
+    }
+
+    #[test]
+    fn nms_suppresses_overlaps() {
+        // Two heavily overlapping boxes and one disjoint box.
+        let boxes = Tensor::from_vec_f32(
+            vec![
+                0.9, 0.0, 0.0, 10.0, 10.0, // best box
+                0.8, 1.0, 1.0, 11.0, 11.0, // overlaps the best box
+                0.7, 100.0, 100.0, 110.0, 110.0, // far away
+            ],
+            &[3, 5],
+        )
+        .unwrap();
+        let out = nms(&boxes, 0.5).unwrap();
+        assert_eq!(out.count, 2);
+        // Output buffer keeps the upper-bound shape.
+        assert_eq!(out.boxes.dims(), &[3, 5]);
+        let v = out.boxes.as_f32().unwrap();
+        assert_eq!(v[0], 0.9);
+        assert_eq!(v[5], 0.7);
+        // Padding rows are zero.
+        assert!(v[10..].iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn nms_threshold_one_keeps_everything() {
+        let boxes = Tensor::from_vec_f32(
+            vec![0.5, 0.0, 0.0, 1.0, 1.0, 0.6, 0.0, 0.0, 1.0, 1.0],
+            &[2, 5],
+        )
+        .unwrap();
+        let out = nms(&boxes, 1.0).unwrap();
+        assert_eq!(out.count, 2);
+    }
+
+    proptest! {
+        #[test]
+        fn unique_is_idempotent(v in proptest::collection::vec(-5i64..5, 0..40)) {
+            let n = v.len();
+            let a = Tensor::from_vec_i64(v, &[n]).unwrap();
+            let u1 = unique(&a).unwrap();
+            let u2 = unique(&u1).unwrap();
+            prop_assert_eq!(u1, u2);
+        }
+
+        #[test]
+        fn unique_len_bounded(v in proptest::collection::vec(-100i64..100, 0..40)) {
+            let n = v.len();
+            let distinct: std::collections::HashSet<_> = v.iter().cloned().collect();
+            let u = unique(&Tensor::from_vec_i64(v.clone(), &[n]).unwrap()).unwrap();
+            prop_assert_eq!(u.volume(), distinct.len());
+            prop_assert!(u.volume() <= n);
+        }
+
+        #[test]
+        fn nms_count_bounded(
+            n in 1usize..12,
+            seed in 0u64..100,
+            thresh in 0.0f32..1.0,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut v = Vec::with_capacity(n * 5);
+            for _ in 0..n {
+                let x: f32 = rng.gen_range(0.0..50.0);
+                let y: f32 = rng.gen_range(0.0..50.0);
+                v.push(rng.gen_range(0.0..1.0)); // score
+                v.push(x);
+                v.push(y);
+                v.push(x + rng.gen_range(1.0..10.0));
+                v.push(y + rng.gen_range(1.0..10.0));
+            }
+            let out = nms(&Tensor::from_vec_f32(v, &[n, 5]).unwrap(), thresh).unwrap();
+            prop_assert!(out.count >= 1 && out.count <= n);
+            prop_assert_eq!(out.boxes.dims(), &[n, 5]);
+        }
+
+        #[test]
+        fn boolean_mask_row_count(mask in proptest::collection::vec(any::<bool>(), 1..20)) {
+            let n = mask.len();
+            let a = Tensor::ones_f32(&[n, 3]);
+            let m = Tensor::from_vec_bool(mask.clone(), &[n]).unwrap();
+            let r = boolean_mask(&a, &m).unwrap();
+            prop_assert_eq!(r.dims()[0], mask.iter().filter(|&&b| b).count());
+        }
+    }
+}

@@ -1,0 +1,443 @@
+//! Elementwise unary and binary kernels with NumPy-style broadcasting.
+
+use crate::shape::broadcast_shapes;
+use crate::{Data, Result, Tensor, TensorError};
+
+/// Broadcast-aware strides: stride is zero along broadcast dimensions so the
+/// same element is re-read.
+fn broadcast_strides(shape: &[usize], out_shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![0usize; out_shape.len()];
+    let offset = out_shape.len() - shape.len();
+    let natural = crate::Shape::new(shape).strides();
+    for (i, &d) in shape.iter().enumerate() {
+        strides[offset + i] = if d == 1 { 0 } else { natural[i] };
+    }
+    strides
+}
+
+/// Apply `f` elementwise over broadcast inputs, producing a `V`-typed buffer.
+fn binary_map<T: Copy, V>(
+    a: &[T],
+    a_shape: &[usize],
+    b: &[T],
+    b_shape: &[usize],
+    out_shape: &[usize],
+    f: impl Fn(T, T) -> V,
+) -> Vec<V> {
+    let volume: usize = out_shape.iter().product();
+    // Fast path: identical shapes.
+    if a_shape == b_shape {
+        return a.iter().zip(b.iter()).map(|(&x, &y)| f(x, y)).collect();
+    }
+    // Fast path: scalar on either side.
+    if a.len() == 1 {
+        let x = a[0];
+        return b.iter().map(|&y| f(x, y)).collect();
+    }
+    if b.len() == 1 {
+        let y = b[0];
+        return a.iter().map(|&x| f(x, y)).collect();
+    }
+    // General path: odometer over the output index space.
+    let sa = broadcast_strides(a_shape, out_shape);
+    let sb = broadcast_strides(b_shape, out_shape);
+    let rank = out_shape.len();
+    let mut idx = vec![0usize; rank];
+    let mut off_a = 0usize;
+    let mut off_b = 0usize;
+    let mut out = Vec::with_capacity(volume);
+    for _ in 0..volume {
+        out.push(f(a[off_a], b[off_b]));
+        // Advance odometer and offsets together.
+        for d in (0..rank).rev() {
+            idx[d] += 1;
+            off_a += sa[d];
+            off_b += sb[d];
+            if idx[d] < out_shape[d] {
+                break;
+            }
+            off_a -= sa[d] * out_shape[d];
+            off_b -= sb[d] * out_shape[d];
+            idx[d] = 0;
+        }
+    }
+    out
+}
+
+/// Dispatch a binary arithmetic op over matching dtypes.
+fn binary_arith(
+    op: &str,
+    a: &Tensor,
+    b: &Tensor,
+    ff: impl Fn(f32, f32) -> f32,
+    fi: impl Fn(i64, i64) -> i64,
+    fi32: impl Fn(i32, i32) -> i32,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(a.dims(), b.dims())?;
+    match (a.data(), b.data()) {
+        (Data::F32(x), Data::F32(y)) => Tensor::new(
+            Data::F32(binary_map(x, a.dims(), y, b.dims(), &out_shape, ff)),
+            &out_shape,
+        ),
+        (Data::I64(x), Data::I64(y)) => Tensor::new(
+            Data::I64(binary_map(x, a.dims(), y, b.dims(), &out_shape, fi)),
+            &out_shape,
+        ),
+        (Data::I32(x), Data::I32(y)) => Tensor::new(
+            Data::I32(binary_map(x, a.dims(), y, b.dims(), &out_shape, fi32)),
+            &out_shape,
+        ),
+        _ => Err(TensorError::dtype(op, a.dtype(), b.dtype())),
+    }
+}
+
+/// Dispatch a binary comparison over matching dtypes, producing bool.
+fn binary_cmp(
+    op: &str,
+    a: &Tensor,
+    b: &Tensor,
+    ff: impl Fn(f32, f32) -> bool,
+    fi: impl Fn(i64, i64) -> bool,
+) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(a.dims(), b.dims())?;
+    match (a.data(), b.data()) {
+        (Data::F32(x), Data::F32(y)) => Tensor::new(
+            Data::Bool(binary_map(x, a.dims(), y, b.dims(), &out_shape, ff)),
+            &out_shape,
+        ),
+        (Data::I64(x), Data::I64(y)) => Tensor::new(
+            Data::Bool(binary_map(x, a.dims(), y, b.dims(), &out_shape, fi)),
+            &out_shape,
+        ),
+        _ => Err(TensorError::dtype(op, a.dtype(), b.dtype())),
+    }
+}
+
+/// Elementwise addition with broadcasting.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith("add", a, b, |x, y| x + y, |x, y| x + y, |x, y| x + y)
+}
+
+/// Elementwise subtraction with broadcasting.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith("sub", a, b, |x, y| x - y, |x, y| x - y, |x, y| x - y)
+}
+
+/// Elementwise multiplication with broadcasting.
+pub fn mul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith("mul", a, b, |x, y| x * y, |x, y| x * y, |x, y| x * y)
+}
+
+/// Elementwise division with broadcasting. Integer division truncates.
+pub fn div(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith("div", a, b, |x, y| x / y, |x, y| x / y, |x, y| x / y)
+}
+
+/// Elementwise maximum with broadcasting.
+pub fn maximum(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith(
+        "maximum",
+        a,
+        b,
+        |x, y| x.max(y),
+        |x, y| x.max(y),
+        |x, y| x.max(y),
+    )
+}
+
+/// Elementwise minimum with broadcasting.
+pub fn minimum(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith(
+        "minimum",
+        a,
+        b,
+        |x, y| x.min(y),
+        |x, y| x.min(y),
+        |x, y| x.min(y),
+    )
+}
+
+/// Elementwise power (f32 only semantics for integers via repeated floats).
+pub fn power(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_arith(
+        "power",
+        a,
+        b,
+        |x, y| x.powf(y),
+        |x, y| (x as f64).powf(y as f64) as i64,
+        |x, y| (x as f64).powf(y as f64) as i32,
+    )
+}
+
+/// Elementwise equality comparison producing a bool tensor.
+pub fn equal(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_cmp("equal", a, b, |x, y| x == y, |x, y| x == y)
+}
+
+/// Elementwise `<` comparison producing a bool tensor.
+pub fn less(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_cmp("less", a, b, |x, y| x < y, |x, y| x < y)
+}
+
+/// Elementwise `>` comparison producing a bool tensor.
+pub fn greater(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    binary_cmp("greater", a, b, |x, y| x > y, |x, y| x > y)
+}
+
+/// Elementwise logical AND of two bool tensors.
+pub fn logical_and(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let out_shape = broadcast_shapes(a.dims(), b.dims())?;
+    match (a.data(), b.data()) {
+        (Data::Bool(x), Data::Bool(y)) => Tensor::new(
+            Data::Bool(binary_map(x, a.dims(), y, b.dims(), &out_shape, |p, q| {
+                p && q
+            })),
+            &out_shape,
+        ),
+        _ => Err(TensorError::dtype("logical_and", a.dtype(), b.dtype())),
+    }
+}
+
+/// Elementwise logical NOT of a bool tensor.
+pub fn logical_not(a: &Tensor) -> Result<Tensor> {
+    let v = a.as_bool()?;
+    Tensor::new(Data::Bool(v.iter().map(|&b| !b).collect()), a.dims())
+}
+
+fn unary_f32(op: &str, a: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+    match a.data() {
+        Data::F32(v) => Tensor::new(Data::F32(v.iter().map(|&x| f(x)).collect()), a.dims()),
+        other => Err(TensorError::dtype(op, crate::DType::F32, other.dtype())),
+    }
+}
+
+/// Elementwise negation.
+pub fn neg(a: &Tensor) -> Result<Tensor> {
+    match a.data() {
+        Data::F32(v) => Tensor::new(Data::F32(v.iter().map(|&x| -x).collect()), a.dims()),
+        Data::I64(v) => Tensor::new(Data::I64(v.iter().map(|&x| -x).collect()), a.dims()),
+        Data::I32(v) => Tensor::new(Data::I32(v.iter().map(|&x| -x).collect()), a.dims()),
+        other => Err(TensorError::dtype("neg", crate::DType::F32, other.dtype())),
+    }
+}
+
+/// Elementwise square root (f32).
+pub fn sqrt(a: &Tensor) -> Result<Tensor> {
+    unary_f32("sqrt", a, f32::sqrt)
+}
+
+/// Elementwise hyperbolic tangent (f32).
+pub fn tanh(a: &Tensor) -> Result<Tensor> {
+    unary_f32("tanh", a, f32::tanh)
+}
+
+/// Elementwise logistic sigmoid (f32).
+pub fn sigmoid(a: &Tensor) -> Result<Tensor> {
+    unary_f32("sigmoid", a, |x| 1.0 / (1.0 + (-x).exp()))
+}
+
+/// Elementwise rectified linear unit (f32).
+pub fn relu(a: &Tensor) -> Result<Tensor> {
+    unary_f32("relu", a, |x| x.max(0.0))
+}
+
+/// Elementwise GELU activation using the tanh approximation (f32), as used
+/// in BERT's feed-forward blocks.
+pub fn gelu(a: &Tensor) -> Result<Tensor> {
+    unary_f32("gelu", a, |x| {
+        0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
+    })
+}
+
+/// Ternary select: `out[i] = if cond[i] { a[i] } else { b[i] }`, with `cond`
+/// broadcast against `a`/`b`.
+pub fn where_select(cond: &Tensor, a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let ab_shape = broadcast_shapes(a.dims(), b.dims())?;
+    let out_shape = broadcast_shapes(cond.dims(), &ab_shape)?;
+    let c = cond.as_bool()?;
+    let (x, y) = match (a.data(), b.data()) {
+        (Data::F32(x), Data::F32(y)) => (x, y),
+        _ => return Err(TensorError::dtype("where", a.dtype(), b.dtype())),
+    };
+    let sc = broadcast_strides(cond.dims(), &out_shape);
+    let sa = broadcast_strides(a.dims(), &out_shape);
+    let sb = broadcast_strides(b.dims(), &out_shape);
+    let rank = out_shape.len();
+    let volume: usize = out_shape.iter().product();
+    let mut idx = vec![0usize; rank];
+    let (mut oc, mut oa, mut ob) = (0usize, 0usize, 0usize);
+    let mut out = Vec::with_capacity(volume);
+    for _ in 0..volume {
+        out.push(if c[oc] { x[oa] } else { y[ob] });
+        for d in (0..rank).rev() {
+            idx[d] += 1;
+            oc += sc[d];
+            oa += sa[d];
+            ob += sb[d];
+            if idx[d] < out_shape[d] {
+                break;
+            }
+            oc -= sc[d] * out_shape[d];
+            oa -= sa[d] * out_shape[d];
+            ob -= sb[d] * out_shape[d];
+            idx[d] = 0;
+        }
+    }
+    Tensor::new(Data::F32(out), &out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(v: Vec<f32>, s: &[usize]) -> Tensor {
+        Tensor::from_vec_f32(v, s).unwrap()
+    }
+
+    #[test]
+    fn add_same_shape() {
+        let c = add(&t(vec![1.0, 2.0], &[2]), &t(vec![3.0, 4.0], &[2])).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn add_broadcast_row() {
+        // (2,3) + (3,) broadcasts the row.
+        let a = t(vec![1., 2., 3., 4., 5., 6.], &[2, 3]);
+        let b = t(vec![10., 20., 30.], &[3]);
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_f32().unwrap(), &[11., 22., 33., 14., 25., 36.]);
+    }
+
+    #[test]
+    fn add_broadcast_col() {
+        // (2,1) + (1,3) -> (2,3): the paper's `(5,1) x (Any,)` example family.
+        let a = t(vec![1., 2.], &[2, 1]);
+        let b = t(vec![10., 20., 30.], &[1, 3]);
+        let c = add(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 3]);
+        assert_eq!(c.as_f32().unwrap(), &[11., 21., 31., 12., 22., 32.]);
+    }
+
+    #[test]
+    fn add_scalar() {
+        let a = t(vec![1., 2., 3.], &[3]);
+        let c = add(&a, &Tensor::scalar_f32(10.0)).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[11., 12., 13.]);
+    }
+
+    #[test]
+    fn i64_arith() {
+        let a = Tensor::from_vec_i64(vec![10, 20], &[2]).unwrap();
+        let b = Tensor::from_vec_i64(vec![3, 4], &[2]).unwrap();
+        assert_eq!(mul(&a, &b).unwrap().as_i64().unwrap(), &[30, 80]);
+        assert_eq!(sub(&a, &b).unwrap().as_i64().unwrap(), &[7, 16]);
+        assert_eq!(div(&a, &b).unwrap().as_i64().unwrap(), &[3, 5]);
+    }
+
+    #[test]
+    fn mixed_dtype_rejected() {
+        let a = t(vec![1.0], &[1]);
+        let b = Tensor::from_vec_i64(vec![1], &[1]).unwrap();
+        assert!(add(&a, &b).is_err());
+    }
+
+    #[test]
+    fn incompatible_shapes_rejected() {
+        assert!(add(&t(vec![1., 2.], &[2]), &t(vec![1., 2., 3.], &[3])).is_err());
+    }
+
+    #[test]
+    fn comparisons() {
+        let a = t(vec![1., 5.], &[2]);
+        let b = t(vec![3., 3.], &[2]);
+        assert_eq!(less(&a, &b).unwrap().as_bool().unwrap(), &[true, false]);
+        assert_eq!(greater(&a, &b).unwrap().as_bool().unwrap(), &[false, true]);
+        assert_eq!(equal(&a, &a).unwrap().as_bool().unwrap(), &[true, true]);
+    }
+
+    #[test]
+    fn logic_ops() {
+        let a = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let b = Tensor::from_vec_bool(vec![true, true], &[2]).unwrap();
+        assert_eq!(
+            logical_and(&a, &b).unwrap().as_bool().unwrap(),
+            &[true, false]
+        );
+        assert_eq!(logical_not(&a).unwrap().as_bool().unwrap(), &[false, true]);
+    }
+
+    #[test]
+    fn activations() {
+        let a = t(vec![-1.0, 0.0, 1.0], &[3]);
+        let r = relu(&a).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[0.0, 0.0, 1.0]);
+        let s = sigmoid(&a).unwrap();
+        assert!((s.as_f32().unwrap()[1] - 0.5).abs() < 1e-6);
+        let th = tanh(&a).unwrap();
+        assert!((th.as_f32().unwrap()[2] - 0.761_594_2).abs() < 1e-5);
+        let g = gelu(&a).unwrap();
+        assert!(g.as_f32().unwrap()[0] < 0.0 && g.as_f32().unwrap()[0] > -0.2);
+        assert_eq!(g.as_f32().unwrap()[1], 0.0);
+    }
+
+    #[test]
+    fn where_select_broadcasts() {
+        let c = Tensor::from_vec_bool(vec![true, false], &[2]).unwrap();
+        let a = t(vec![1.0], &[1]);
+        let b = t(vec![9.0], &[1]);
+        let r = where_select(&c, &a, &b).unwrap();
+        assert_eq!(r.as_f32().unwrap(), &[1.0, 9.0]);
+    }
+
+    proptest! {
+        #[test]
+        fn add_commutes(v in proptest::collection::vec(-100f32..100.0, 1..64)) {
+            let n = v.len();
+            let a = t(v.clone(), &[n]);
+            let b = t(v.iter().rev().cloned().collect(), &[n]);
+            let ab = add(&a, &b).unwrap();
+            let ba = add(&b, &a).unwrap();
+            prop_assert_eq!(ab.as_f32().unwrap(), ba.as_f32().unwrap());
+        }
+
+        #[test]
+        fn relu_is_idempotent(v in proptest::collection::vec(-10f32..10.0, 1..64)) {
+            let n = v.len();
+            let a = t(v, &[n]);
+            let r1 = relu(&a).unwrap();
+            let r2 = relu(&r1).unwrap();
+            prop_assert_eq!(r1.as_f32().unwrap(), r2.as_f32().unwrap());
+        }
+
+        #[test]
+        fn sigmoid_bounded(v in proptest::collection::vec(-50f32..50.0, 1..64)) {
+            let n = v.len();
+            let s = sigmoid(&t(v, &[n])).unwrap();
+            prop_assert!(s.as_f32().unwrap().iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+
+        #[test]
+        fn broadcast_matches_manual(
+            rows in 1usize..5, cols in 1usize..5,
+            seed in 0u64..1000,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let a: Vec<f32> = (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let b: Vec<f32> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let out = add(
+                &t(a.clone(), &[rows, cols]),
+                &t(b.clone(), &[cols]),
+            ).unwrap();
+            let got = out.as_f32().unwrap();
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert!((got[r * cols + c] - (a[r * cols + c] + b[c])).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Dense / matmul kernels.
+//!
+//! These are the compute-dominant operators of every model in the paper's
+//! evaluation ("the dense operators contribute to more than 90% of the
+//! overall latency in BERT", Section 6.2). The implementation is a cache
+//! blocked, register-tiled triple loop parameterized by a
+//! [`MatmulSchedule`]; `nimble-codegen` reuses the same inner loops when it
+//! builds residue-specialized symbolic kernels.
+
+use crate::pool::{parallel_chunks_mut, ExecProfile};
+use crate::{Result, Tensor, TensorError};
+
+/// Loop-tiling schedule for dense kernels — the analog of a TVM schedule
+/// configuration explored by the template tuner (Section 4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatmulSchedule {
+    /// Row-block size (output rows per tile).
+    pub tile_m: usize,
+    /// Column-block size (output cols per tile).
+    pub tile_n: usize,
+    /// Reduction-block size.
+    pub tile_k: usize,
+}
+
+impl Default for MatmulSchedule {
+    fn default() -> Self {
+        MatmulSchedule {
+            tile_m: 8,
+            tile_n: 64,
+            tile_k: 64,
+        }
+    }
+}
+
+impl MatmulSchedule {
+    /// Schedule adapted to an execution profile's cache size.
+    pub fn for_profile(profile: ExecProfile) -> Self {
+        let t = profile.tile();
+        MatmulSchedule {
+            tile_m: 8,
+            tile_n: t,
+            tile_k: t,
+        }
+    }
+}
+
+/// `out[m][n] += sum_k a[m][k] * bt[n][k]` for a single row, with `bt` the
+/// transposed right-hand side (weights stored `[n, k]`).
+#[inline]
+fn dot_row(a_row: &[f32], bt: &[f32], k: usize, out_row: &mut [f32]) {
+    for (n, o) in out_row.iter_mut().enumerate() {
+        let b_row = &bt[n * k..(n + 1) * k];
+        let mut acc = 0.0f32;
+        // Unrolled-by-4 reduction: the pattern LLVM auto-vectorizes.
+        let chunks = k / 4 * 4;
+        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+        let mut i = 0;
+        while i < chunks {
+            s0 += a_row[i] * b_row[i];
+            s1 += a_row[i + 1] * b_row[i + 1];
+            s2 += a_row[i + 2] * b_row[i + 2];
+            s3 += a_row[i + 3] * b_row[i + 3];
+            i += 4;
+        }
+        acc += s0 + s1 + s2 + s3;
+        for j in chunks..k {
+            acc += a_row[j] * b_row[j];
+        }
+        *o += acc;
+    }
+}
+
+/// The Edge (ARM stand-in) variant: a strictly in-order scalar reduction —
+/// a sequential dependence chain the compiler cannot vectorize, modelling
+/// the per-core throughput gap of a low-power core (see DESIGN.md's
+/// platform substitution).
+#[inline]
+fn dot_row_scalar(a_row: &[f32], bt: &[f32], k: usize, out_row: &mut [f32]) {
+    for (n, o) in out_row.iter_mut().enumerate() {
+        let b_row = &bt[n * k..(n + 1) * k];
+        let mut acc = 0.0f32;
+        for j in 0..k {
+            // `acc` carries a loop-order dependence, forcing scalar FMA
+            // latency per element.
+            acc = a_row[j].mul_add(b_row[j], acc);
+        }
+        *o += acc;
+    }
+}
+
+/// Row-major GEMM with the right-hand side pre-transposed:
+/// `out[m,n] = sum_k a[m,k] * bt[n,k]`.
+///
+/// This is the shared inner routine for [`dense`] and [`matmul`]. The caller
+/// guarantees buffer sizes.
+pub(crate) fn gemm_bt(
+    profile: ExecProfile,
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(bt.len(), n * k);
+    debug_assert_eq!(out.len(), m * n);
+    match profile {
+        ExecProfile::Server => {
+            parallel_chunks_mut(profile, out, n, 2 * k, |row, out_row| {
+                dot_row(&a[row * k..(row + 1) * k], bt, k, out_row);
+            });
+        }
+        ExecProfile::Edge => {
+            for (row, out_row) in out.chunks_mut(n).enumerate() {
+                dot_row_scalar(&a[row * k..(row + 1) * k], bt, k, out_row);
+            }
+        }
+    }
+}
+
+/// Transpose a row-major `[r, c]` buffer into `[c, r]`.
+pub(crate) fn transpose_buf(src: &[f32], r: usize, c: usize) -> Vec<f32> {
+    let mut dst = vec![0.0f32; r * c];
+    for i in 0..r {
+        for j in 0..c {
+            dst[j * r + i] = src[i * c + j];
+        }
+    }
+    dst
+}
+
+/// Fully-connected layer: `y = x · Wᵀ (+ bias)`.
+///
+/// `x` is `[m, k]` (or `[…, k]`, flattened over leading dims), `weight` is
+/// `[n, k]` — weights stored transposed exactly as deep-learning frameworks
+/// and the paper's dense operators do — and `bias` is `[n]`.
+///
+/// # Errors
+/// Fails on rank/shape mismatches or non-f32 inputs.
+pub fn dense(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    if weight.rank() != 2 {
+        return Err(TensorError::invalid("dense: weight must be rank 2"));
+    }
+    if x.rank() == 0 {
+        return Err(TensorError::invalid("dense: x must have rank >= 1"));
+    }
+    let k = *x.dims().last().expect("rank >= 1");
+    let (n, wk) = (weight.dims()[0], weight.dims()[1]);
+    if k != wk {
+        return Err(TensorError::shape("dense", x.dims(), weight.dims()));
+    }
+    let m: usize = x.dims()[..x.rank() - 1].iter().product();
+    let xa = x.as_f32()?;
+    let wa = weight.as_f32()?;
+    let mut out = vec![0.0f32; m * n];
+    gemm_bt(crate::pool::default_profile(), xa, wa, m, n, k, &mut out);
+    if let Some(b) = bias {
+        if b.dims() != [n] {
+            return Err(TensorError::shape("dense bias", &[n], b.dims()));
+        }
+        let bb = b.as_f32()?;
+        for row in out.chunks_mut(n) {
+            for (o, &bv) in row.iter_mut().zip(bb.iter()) {
+                *o += bv;
+            }
+        }
+    }
+    let mut out_shape = x.dims()[..x.rank() - 1].to_vec();
+    out_shape.push(n);
+    Tensor::from_vec_f32(out, &out_shape)
+}
+
+/// Standard 2-D matrix multiply `[m,k] × [k,n] → [m,n]`.
+///
+/// # Errors
+/// Fails on rank/shape mismatches or non-f32 inputs.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 2 || b.rank() != 2 {
+        return Err(TensorError::invalid("matmul: both inputs must be rank 2"));
+    }
+    let (m, k) = (a.dims()[0], a.dims()[1]);
+    let (k2, n) = (b.dims()[0], b.dims()[1]);
+    if k != k2 {
+        return Err(TensorError::shape("matmul", a.dims(), b.dims()));
+    }
+    let bt = transpose_buf(b.as_f32()?, k, n);
+    let mut out = vec![0.0f32; m * n];
+    gemm_bt(
+        crate::pool::default_profile(),
+        a.as_f32()?,
+        &bt,
+        m,
+        n,
+        k,
+        &mut out,
+    );
+    Tensor::from_vec_f32(out, &[m, n])
+}
+
+/// Batched matmul `[b,m,k] × [b,k,n] → [b,m,n]` (used by attention).
+///
+/// # Errors
+/// Fails on rank/shape mismatches or non-f32 inputs.
+pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    if a.rank() != 3 || b.rank() != 3 {
+        return Err(TensorError::invalid(
+            "batch_matmul: both inputs must be rank 3",
+        ));
+    }
+    let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
+    let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
+    if ba != bb || k != k2 {
+        return Err(TensorError::shape("batch_matmul", a.dims(), b.dims()));
+    }
+    let aa = a.as_f32()?;
+    let bbuf = b.as_f32()?;
+    let mut out = vec![0.0f32; ba * m * n];
+    let profile = crate::pool::default_profile();
+    for batch in 0..ba {
+        let bt = transpose_buf(&bbuf[batch * k * n..(batch + 1) * k * n], k, n);
+        gemm_bt(
+            profile,
+            &aa[batch * m * k..(batch + 1) * m * k],
+            &bt,
+            m,
+            n,
+            k,
+            &mut out[batch * m * n..(batch + 1) * m * n],
+        );
+    }
+    Tensor::from_vec_f32(out, &[ba, m, n])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += a[i * k + p] * b[p * n + j];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = Tensor::from_vec_f32(vec![1., 2., 3., 4.], &[2, 2]).unwrap();
+        let b = Tensor::from_vec_f32(vec![5., 6., 7., 8.], &[2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.as_f32().unwrap(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec_f32((0..9).map(|x| x as f32).collect(), &[3, 3]).unwrap();
+        let eye =
+            Tensor::from_vec_f32(vec![1., 0., 0., 0., 1., 0., 0., 0., 1.], &[3, 3]).unwrap();
+        assert_eq!(matmul(&a, &eye).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(crate::DType::F32, &[2, 3]);
+        let b = Tensor::zeros(crate::DType::F32, &[4, 2]);
+        assert!(matmul(&a, &b).is_err());
+        let v = Tensor::zeros(crate::DType::F32, &[3]);
+        assert!(matmul(&a, &v).is_err());
+    }
+
+    #[test]
+    fn dense_with_bias() {
+        // x: [1,3], W: [2,3] (stored transposed), bias: [2]
+        let x = Tensor::from_vec_f32(vec![1., 2., 3.], &[1, 3]).unwrap();
+        let w = Tensor::from_vec_f32(vec![1., 0., 0., 0., 1., 0.], &[2, 3]).unwrap();
+        let b = Tensor::from_vec_f32(vec![10., 20.], &[2]).unwrap();
+        let y = dense(&x, &w, Some(&b)).unwrap();
+        assert_eq!(y.dims(), &[1, 2]);
+        assert_eq!(y.as_f32().unwrap(), &[11., 22.]);
+    }
+
+    #[test]
+    fn dense_flattens_leading_dims() {
+        let x = Tensor::ones_f32(&[2, 5, 3]);
+        let w = Tensor::ones_f32(&[4, 3]);
+        let y = dense(&x, &w, None).unwrap();
+        assert_eq!(y.dims(), &[2, 5, 4]);
+        assert!(y.as_f32().unwrap().iter().all(|&v| (v - 3.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_batch() {
+        let a = Tensor::from_vec_f32((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b = Tensor::from_vec_f32((0..12).map(|x| x as f32 * 0.5).collect(), &[2, 3, 2])
+            .unwrap();
+        let c = batch_matmul(&a, &b).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        for batch in 0..2 {
+            let expect = naive_matmul(
+                &a.as_f32().unwrap()[batch * 6..(batch + 1) * 6],
+                &b.as_f32().unwrap()[batch * 6..(batch + 1) * 6],
+                2,
+                3,
+                2,
+            );
+            assert_eq!(&c.as_f32().unwrap()[batch * 4..(batch + 1) * 4], &expect[..]);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn matmul_matches_naive(
+            m in 1usize..9, k in 1usize..9, n in 1usize..9,
+            seed in 0u64..100,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let av: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let bv: Vec<f32> = (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let c = matmul(
+                &Tensor::from_vec_f32(av.clone(), &[m, k]).unwrap(),
+                &Tensor::from_vec_f32(bv.clone(), &[k, n]).unwrap(),
+            ).unwrap();
+            let expect = naive_matmul(&av, &bv, m, k, n);
+            for (got, want) in c.as_f32().unwrap().iter().zip(expect.iter()) {
+                prop_assert!((got - want).abs() < 1e-4);
+            }
+        }
+
+        #[test]
+        fn dense_equals_matmul_transposed(
+            m in 1usize..6, k in 1usize..6, n in 1usize..6,
+            seed in 0u64..100,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let xv: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let wv: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-2.0..2.0)).collect();
+            let x = Tensor::from_vec_f32(xv, &[m, k]).unwrap();
+            let w = Tensor::from_vec_f32(wv.clone(), &[n, k]).unwrap();
+            let d = dense(&x, &w, None).unwrap();
+            // matmul(x, Wᵀ)
+            let wt = Tensor::from_vec_f32(transpose_buf(&wv, n, k), &[k, n]).unwrap();
+            let mm = matmul(&x, &wt).unwrap();
+            for (a, b) in d.as_f32().unwrap().iter().zip(mm.as_f32().unwrap()) {
+                prop_assert!((a - b).abs() < 1e-4);
+            }
+        }
+    }
+}

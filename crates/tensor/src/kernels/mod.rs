@@ -1,0 +1,28 @@
+//! CPU kernel library.
+//!
+//! Each function takes borrowed input tensors and returns a freshly
+//! allocated output, mirroring the functional operator interface of the IR.
+//! The VM's `invoke_mut` calling convention (outputs as in-out arguments) is
+//! layered on top in `nimble-codegen`, which writes kernel results into
+//! pre-allocated buffers.
+
+mod conv;
+mod creation;
+mod dynamic;
+mod elementwise;
+mod matmul;
+mod movement;
+mod reduce;
+
+pub use conv::{avg_pool2d, batch_norm, conv2d, global_avg_pool, max_pool2d};
+pub use creation::{arange, cast, full_f32, one_hot};
+pub use dynamic::{boolean_mask, nms, unique};
+pub use elementwise::{
+    add, div, equal, gelu, greater, less, logical_and, logical_not, maximum, minimum, mul, neg,
+    power, relu, sigmoid, sqrt, sub, tanh, where_select,
+};
+pub use matmul::{batch_matmul, dense, matmul, MatmulSchedule};
+pub use movement::{
+    concat, expand_dims, slice, slice_axis, split, squeeze, stack, take, transpose,
+};
+pub use reduce::{argmax, layer_norm, max_axis, mean_axis, softmax, sum_axis};

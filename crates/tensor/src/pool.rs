@@ -1,0 +1,216 @@
+//! Execution profiles and data-parallel helpers.
+//!
+//! The paper evaluates on three platforms (Intel server CPU, Nvidia GPU, ARM
+//! edge CPU). This reproduction runs everything on the host, but the kernel
+//! library is parameterized by an [`ExecProfile`] that controls worker-thread
+//! count and cache-tile sizes, reproducing the server-vs-edge split; the GPU
+//! is simulated separately in `nimble-device`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Platform execution profile used by the kernel library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Default)]
+pub enum ExecProfile {
+    /// Server-class CPU: all available cores, large cache tiles.
+    #[default]
+    Server,
+    /// Edge-class CPU (stand-in for ARM Cortex-A72): one worker, small tiles.
+    Edge,
+}
+
+
+impl ExecProfile {
+    /// Number of worker threads the profile may use.
+    pub fn threads(self) -> usize {
+        match self {
+            ExecProfile::Server => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            ExecProfile::Edge => 1,
+        }
+    }
+
+    /// Cache-blocking tile size (elements per dimension) for matmul-like
+    /// kernels.
+    pub fn tile(self) -> usize {
+        match self {
+            ExecProfile::Server => 64,
+            ExecProfile::Edge => 16,
+        }
+    }
+
+    /// Human-readable platform label used by the benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecProfile::Server => "cpu",
+            ExecProfile::Edge => "edge",
+        }
+    }
+}
+
+/// Process-wide default profile, switchable by the benchmark harness.
+static DEFAULT_PROFILE: AtomicUsize = AtomicUsize::new(0);
+
+/// Set the process-wide default [`ExecProfile`].
+pub fn set_default_profile(profile: ExecProfile) {
+    let v = match profile {
+        ExecProfile::Server => 0,
+        ExecProfile::Edge => 1,
+    };
+    DEFAULT_PROFILE.store(v, Ordering::SeqCst);
+}
+
+/// Get the process-wide default [`ExecProfile`].
+pub fn default_profile() -> ExecProfile {
+    match DEFAULT_PROFILE.load(Ordering::SeqCst) {
+        0 => ExecProfile::Server,
+        _ => ExecProfile::Edge,
+    }
+}
+
+/// Minimum per-thread work (in "element-ops") below which parallel_for runs
+/// serially: thread spawn overhead would otherwise dominate small kernels.
+const PARALLEL_THRESHOLD: usize = 1 << 16;
+
+/// Run `f(start, end)` over disjoint ranges of `0..n`, splitting across the
+/// profile's worker threads when the estimated `work = n * work_per_item` is
+/// large enough to amortize spawn overhead.
+///
+/// The closure receives half-open index ranges and must only touch data it
+/// can partition by index; mutable state should be captured per-invocation
+/// through interior slicing (see [`parallel_chunks_mut`] for the common
+/// slice-output case).
+pub fn parallel_for<F>(profile: ExecProfile, n: usize, work_per_item: usize, f: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let threads = profile.threads();
+    if threads <= 1 || n * work_per_item < PARALLEL_THRESHOLD || n < 2 {
+        f(0, n);
+        return;
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let start = t * chunk;
+            let end = ((t + 1) * chunk).min(n);
+            if start >= end {
+                break;
+            }
+            let f = &f;
+            s.spawn(move || f(start, end));
+        }
+    });
+}
+
+/// Split `out` into `chunk_len`-sized chunks and process each chunk on the
+/// pool: `f(chunk_index, chunk)`.
+///
+/// # Panics
+/// Panics if `chunk_len` is zero.
+pub fn parallel_chunks_mut<T: Send, F>(
+    profile: ExecProfile,
+    out: &mut [T],
+    chunk_len: usize,
+    work_per_item: usize,
+    f: F,
+) where
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    let n_chunks = out.len().div_ceil(chunk_len);
+    let threads = profile.threads();
+    if threads <= 1 || out.len() * work_per_item < PARALLEL_THRESHOLD || n_chunks < 2 {
+        for (i, c) in out.chunks_mut(chunk_len).enumerate() {
+            f(i, c);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let per_thread = n_chunks.div_ceil(threads.min(n_chunks));
+        let mut rest = out;
+        let mut chunk_idx = 0;
+        while !rest.is_empty() {
+            let take = (per_thread * chunk_len).min(rest.len());
+            let (head, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            let base = chunk_idx;
+            chunk_idx += head.len().div_ceil(chunk_len);
+            s.spawn(move || {
+                for (i, c) in head.chunks_mut(chunk_len).enumerate() {
+                    f(base + i, c);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles() {
+        assert_eq!(ExecProfile::Edge.threads(), 1);
+        assert!(ExecProfile::Server.threads() >= 1);
+        assert!(ExecProfile::Edge.tile() < ExecProfile::Server.tile());
+        assert_eq!(ExecProfile::default(), ExecProfile::Server);
+    }
+
+    #[test]
+    fn default_profile_switch() {
+        set_default_profile(ExecProfile::Edge);
+        assert_eq!(default_profile(), ExecProfile::Edge);
+        set_default_profile(ExecProfile::Server);
+        assert_eq!(default_profile(), ExecProfile::Server);
+    }
+
+    #[test]
+    fn parallel_for_covers_range() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 1000]);
+        parallel_for(ExecProfile::Server, 1000, 1 << 10, |s, e| {
+            let mut h = hits.lock().unwrap();
+            for i in s..e {
+                h[i] += 1;
+            }
+        });
+        assert!(hits.lock().unwrap().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn parallel_for_serial_small() {
+        let mut count = 0;
+        // Small n with tiny work runs serially, so a FnMut-style pattern via
+        // Cell is unnecessary — we use an atomic for generality.
+        let c = std::sync::atomic::AtomicUsize::new(0);
+        parallel_for(ExecProfile::Edge, 10, 1, |s, e| {
+            c.fetch_add(e - s, std::sync::atomic::Ordering::SeqCst);
+        });
+        count += c.load(std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn parallel_chunks_mut_disjoint() {
+        let mut data = vec![0usize; 103];
+        parallel_chunks_mut(ExecProfile::Server, &mut data, 10, 1 << 12, |i, c| {
+            for v in c.iter_mut() {
+                *v = i + 1;
+            }
+        });
+        for (j, &v) in data.iter().enumerate() {
+            assert_eq!(v, j / 10 + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk_len must be positive")]
+    fn zero_chunk_panics() {
+        let mut data = vec![0u8; 4];
+        parallel_chunks_mut(ExecProfile::Server, &mut data, 0, 1, |_, _| {});
+    }
+}

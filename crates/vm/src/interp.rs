@@ -1,0 +1,525 @@
+//! The interpreter: a dispatch loop over the 20-instruction ISA.
+//!
+//! "When execution begins, the interpreter runs a dispatch loop which
+//! checks the op-code and executes the appropriate logic, then repeats"
+//! (Section 5.2). Because instructions are coarse grained, the loop itself
+//! contributes negligibly next to kernel execution; the profiler measures
+//! both sides (Table 4).
+
+use crate::exe::Executable;
+use crate::isa::Instruction;
+use crate::object::{AdtObj, ClosureObj, FutureObj, Object, StorageHandle, TensorObj};
+use crate::profiler::{Category, Profiler};
+use crate::{Result, VmError};
+use nimble_codegen::kernel::Kernel;
+use nimble_device::{copy_tensor, DeviceId, DeviceSet, TensorFuture};
+use nimble_tensor::Tensor;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-run mutable state threaded through the dispatch loop.
+struct RunState {
+    profiler: Profiler,
+    frames: Vec<Vec<Object>>,
+}
+
+/// A loaded executable plus devices: ready to run.
+#[derive(Debug)]
+pub struct VirtualMachine {
+    exe: Arc<Executable>,
+    kernels: Vec<Kernel>,
+    kernel_is_shape_func: Vec<bool>,
+    devices: Arc<DeviceSet>,
+    constants: Vec<Object>,
+    profiler: Profiler,
+    max_depth: usize,
+    /// Interned scalar-i64 objects for small immediates (kill markers, If
+    /// comparisons, constructor tags) — these fire once per instruction on
+    /// hot paths and would otherwise heap-allocate each time.
+    small_ints: Vec<Object>,
+    /// Recycled register frames (cleared between uses) — call frames are
+    /// hot on recursive models, so their backing vectors are pooled.
+    frame_pool: Vec<Vec<Object>>,
+}
+
+impl VirtualMachine {
+    /// Load an executable onto a device set: instantiate every kernel
+    /// descriptor and pre-place constants on their preferred devices.
+    ///
+    /// # Errors
+    /// Fails when a kernel descriptor cannot be instantiated.
+    pub fn new(exe: Executable, devices: Arc<DeviceSet>) -> Result<VirtualMachine> {
+        let mut kernels = Vec::with_capacity(exe.kernels.len());
+        let mut kernel_is_shape_func = Vec::with_capacity(exe.kernels.len());
+        for desc in &exe.kernels {
+            kernels.push(desc.instantiate(&exe.constants)?);
+            kernel_is_shape_func.push(desc.is_shape_func());
+        }
+        // Constants stay resident: "weights (which are constant during
+        // inference) can remain in-memory with no specialized support"
+        // (Section 5.2). GPU-preferred constants are pre-copied at load.
+        let mut constants = Vec::with_capacity(exe.constants.len());
+        for (i, t) in exe.constants.iter().enumerate() {
+            let dev = exe
+                .const_devices
+                .get(i)
+                .map(|&d| DeviceId::from_index(d as usize))
+                .unwrap_or(DeviceId::Cpu);
+            let dev = if dev == DeviceId::Gpu && !devices.has_gpu() {
+                DeviceId::Cpu
+            } else {
+                dev
+            };
+            constants.push(Object::tensor_on(t.clone(), dev));
+        }
+        Ok(VirtualMachine {
+            exe: Arc::new(exe),
+            kernels,
+            kernel_is_shape_func,
+            devices,
+            constants,
+            profiler: Profiler::new(false),
+            max_depth: 256,
+            small_ints: (0..16).map(|v| Object::tensor(Tensor::scalar_i64(v))).collect(),
+            frame_pool: Vec::new(),
+        })
+    }
+
+    /// Enable/disable timing collection.
+    pub fn set_profiling(&mut self, enabled: bool) {
+        self.profiler = Profiler::new(enabled);
+    }
+
+    /// The profiler (reset with [`VirtualMachine::set_profiling`]).
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// The device set the VM runs on.
+    pub fn devices(&self) -> &Arc<DeviceSet> {
+        &self.devices
+    }
+
+    /// The loaded executable.
+    pub fn executable(&self) -> &Executable {
+        &self.exe
+    }
+
+    /// Run a function by name. Tensor results are synchronized and copied
+    /// back to the host before returning.
+    ///
+    /// # Errors
+    /// Propagates `Fatal`, kernel failures, and malformed bytecode.
+    pub fn run(&mut self, name: &str, args: Vec<Object>) -> Result<Object> {
+        let idx = self.exe.function_index(name)?;
+        let mut state = RunState {
+            profiler: std::mem::take(&mut self.profiler),
+            frames: std::mem::take(&mut self.frame_pool),
+        };
+        let result = self.exec(idx, args, &mut state, 0);
+        // Drain the device stream so timing includes all launched work and
+        // the caller sees a materialized value.
+        let sync_start = Instant::now();
+        self.devices.synchronize();
+        state.profiler.record_sync(sync_start.elapsed());
+        self.profiler = state.profiler;
+        self.frame_pool = state.frames;
+        let obj = result?;
+        self.fetch(obj)
+    }
+
+    /// Materialize a result on the host (recursing through ADTs).
+    fn fetch(&self, obj: Object) -> Result<Object> {
+        Ok(match obj {
+            Object::Future(_) => {
+                let t = obj.wait_tensor()?;
+                Object::tensor(t)
+            }
+            Object::Tensor(t) if t.device == DeviceId::Gpu => {
+                let copied =
+                    copy_tensor(&self.devices, &t.tensor, DeviceId::Gpu, DeviceId::Cpu);
+                Object::tensor(copied)
+            }
+            Object::Adt(a) => {
+                let fields = a
+                    .fields
+                    .iter()
+                    .map(|f| self.fetch(f.clone()))
+                    .collect::<Result<Vec<_>>>()?;
+                Object::Adt(Arc::new(AdtObj {
+                    tag: a.tag,
+                    fields,
+                }))
+            }
+            other => other,
+        })
+    }
+
+    /// Interned scalar for small non-negative immediates; allocates
+    /// otherwise.
+    fn small_int(&self, value: i64) -> Object {
+        if (0..16).contains(&value) {
+            self.small_ints[value as usize].clone()
+        } else {
+            Object::tensor(Tensor::scalar_i64(value))
+        }
+    }
+
+    fn exec(
+        &self,
+        func_idx: u32,
+        args: Vec<Object>,
+        state: &mut RunState,
+        depth: usize,
+    ) -> Result<Object> {
+        if depth > self.max_depth {
+            return Err(VmError::msg("call depth exceeded"));
+        }
+        let func = self
+            .exe
+            .functions
+            .get(func_idx as usize)
+            .ok_or_else(|| VmError::msg("function index out of range"))?;
+        if args.len() != func.num_params as usize {
+            return Err(VmError::msg(format!(
+                "{}: expected {} args, got {}",
+                func.name,
+                func.num_params,
+                args.len()
+            )));
+        }
+        let mut regs: Vec<Object> = state.frames.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(func.num_regs as usize, Object::Unit);
+        for (i, a) in args.into_iter().enumerate() {
+            regs[i] = a;
+        }
+        let mut pc: i64 = 0;
+        let timing = state.profiler.enabled();
+        loop {
+            let inst = func
+                .code
+                .get(pc as usize)
+                .ok_or_else(|| VmError::msg(format!("{}: pc {pc} out of range", func.name)))?;
+            let start = if timing { Some(Instant::now()) } else { None };
+            let mut category = Category::Other;
+            let mut next_pc = pc + 1;
+            let mut ret: Option<Object> = None;
+
+            match inst {
+                Instruction::Move { src, dst } => {
+                    regs[*dst as usize] = regs[*src as usize].clone();
+                }
+                Instruction::Ret { result } => {
+                    ret = Some(std::mem::take(&mut regs[*result as usize]));
+                }
+                Instruction::Invoke { func, args, dst } => {
+                    let call_args: Vec<Object> =
+                        args.iter().map(|&r| regs[r as usize].clone()).collect();
+                    let out = self.exec(*func, call_args, state, depth + 1)?;
+                    regs[*dst as usize] = out;
+                }
+                Instruction::InvokeClosure { closure, args, dst } => {
+                    let clo = regs[*closure as usize].as_closure()?.clone();
+                    let mut call_args = clo.captures.clone();
+                    call_args.extend(args.iter().map(|&r| regs[r as usize].clone()));
+                    let out = self.exec(clo.func, call_args, state, depth + 1)?;
+                    regs[*dst as usize] = out;
+                }
+                Instruction::InvokePacked {
+                    kernel,
+                    args,
+                    num_outputs,
+                    device,
+                } => {
+                    let is_sf = *self
+                        .kernel_is_shape_func
+                        .get(*kernel as usize)
+                        .ok_or_else(|| VmError::msg("kernel index out of range"))?;
+                    category = if is_sf {
+                        Category::ShapeFunc
+                    } else {
+                        Category::Kernel
+                    };
+                    self.invoke_packed(
+                        *kernel,
+                        args,
+                        *num_outputs,
+                        DeviceId::from_index(*device as usize),
+                        is_sf,
+                        &mut regs,
+                    )?;
+                }
+                Instruction::AllocStorage {
+                    size,
+                    alignment: _,
+                    device,
+                    dst,
+                } => {
+                    let dev = DeviceId::from_index(*device as usize);
+                    regs[*dst as usize] = Object::Storage(Arc::new(StorageHandle::alloc(
+                        self.devices.pool_arc(dev),
+                        *size,
+                        dev,
+                    )));
+                }
+                Instruction::AllocTensor {
+                    storage,
+                    offset: _,
+                    shape,
+                    dtype,
+                    dst,
+                } => {
+                    let handle = match &regs[*storage as usize] {
+                        Object::Storage(h) => Some(Arc::clone(h)),
+                        _ => None,
+                    };
+                    let dev = handle.as_ref().map(|h| h.device).unwrap_or(DeviceId::Cpu);
+                    let dims: Vec<usize> = shape.iter().map(|&d| d as usize).collect();
+                    regs[*dst as usize] = Object::placeholder(dims, *dtype, dev, handle);
+                }
+                Instruction::AllocTensorReg {
+                    shape,
+                    dtype,
+                    device,
+                    dst,
+                } => {
+                    let shape_t = regs[*shape as usize].wait_tensor()?;
+                    let dims: Vec<usize> = shape_t
+                        .as_i64()
+                        .map_err(VmError::from)?
+                        .iter()
+                        .map(|&d| d as usize)
+                        .collect();
+                    let dev = DeviceId::from_index(*device as usize);
+                    // Dynamic allocation draws real storage from the pool.
+                    let nbytes: usize =
+                        dims.iter().product::<usize>() * dtype.size_of();
+                    let handle = Arc::new(StorageHandle::alloc(
+                        self.devices.pool_arc(dev),
+                        nbytes as u64,
+                        dev,
+                    ));
+                    regs[*dst as usize] = Object::placeholder(dims, *dtype, dev, Some(handle));
+                }
+                Instruction::AllocADT { tag, fields, dst } => {
+                    let fs: Vec<Object> =
+                        fields.iter().map(|&r| regs[r as usize].clone()).collect();
+                    regs[*dst as usize] = Object::Adt(Arc::new(AdtObj { tag: *tag, fields: fs }));
+                }
+                Instruction::AllocClosure { func, captures, dst } => {
+                    let caps: Vec<Object> =
+                        captures.iter().map(|&r| regs[r as usize].clone()).collect();
+                    regs[*dst as usize] = Object::Closure(Arc::new(ClosureObj {
+                        func: *func,
+                        captures: caps,
+                    }));
+                }
+                Instruction::GetField { object, index, dst } => {
+                    let adt = regs[*object as usize].as_adt()?.clone();
+                    let field = adt
+                        .fields
+                        .get(*index as usize)
+                        .cloned()
+                        .ok_or_else(|| VmError::msg("GetField index out of range"))?;
+                    regs[*dst as usize] = field;
+                }
+                Instruction::GetTag { object, dst } => {
+                    let tag = regs[*object as usize].as_adt()?.tag;
+                    regs[*dst as usize] = self.small_int(tag as i64);
+                }
+                Instruction::If {
+                    lhs,
+                    rhs,
+                    true_offset,
+                    false_offset,
+                } => {
+                    let l = regs[*lhs as usize].scalar_i64()?;
+                    let r = regs[*rhs as usize].scalar_i64()?;
+                    next_pc = pc + if l == r {
+                        *true_offset as i64
+                    } else {
+                        *false_offset as i64
+                    };
+                }
+                Instruction::Goto { offset } => {
+                    next_pc = pc + *offset as i64;
+                }
+                Instruction::LoadConst { index, dst } => {
+                    let c = self
+                        .constants
+                        .get(*index as usize)
+                        .cloned()
+                        .ok_or_else(|| VmError::msg("constant index out of range"))?;
+                    regs[*dst as usize] = c;
+                }
+                Instruction::LoadConsti { value, dst } => {
+                    regs[*dst as usize] = self.small_int(*value);
+                }
+                Instruction::DeviceCopy {
+                    src,
+                    src_device,
+                    dst_device,
+                    dst,
+                } => {
+                    let src_dev = DeviceId::from_index(*src_device as usize);
+                    let dst_dev = DeviceId::from_index(*dst_device as usize);
+                    let obj = &regs[*src as usize];
+                    // Device-to-host reads must wait for the stream.
+                    if matches!(obj, Object::Future(_)) && dst_dev == DeviceId::Cpu {
+                        let sync_start = Instant::now();
+                        let t = obj.wait_tensor()?;
+                        state.profiler.record_sync(sync_start.elapsed());
+                        let copied = copy_tensor(&self.devices, &t, src_dev, dst_dev);
+                        regs[*dst as usize] = Object::tensor_on(copied, dst_dev);
+                    } else {
+                        let t = obj.wait_tensor()?;
+                        let copied = copy_tensor(&self.devices, &t, src_dev, dst_dev);
+                        regs[*dst as usize] = Object::tensor_on(copied, dst_dev);
+                    }
+                }
+                Instruction::ShapeOf { tensor, dst } => {
+                    // Shape metadata is host-resident: no synchronization.
+                    let dims = regs[*tensor as usize].tensor_shape()?;
+                    let shape: Vec<i64> = dims.iter().map(|&d| d as i64).collect();
+                    let n = shape.len();
+                    regs[*dst as usize] = Object::tensor(
+                        Tensor::from_vec_i64(shape, &[n]).map_err(VmError::from)?,
+                    );
+                }
+                Instruction::ReshapeTensor { tensor, shape, dst } => {
+                    let t = regs[*tensor as usize].wait_tensor()?;
+                    let s = regs[*shape as usize].wait_tensor()?;
+                    let dims: Vec<usize> = s
+                        .as_i64()
+                        .map_err(VmError::from)?
+                        .iter()
+                        .map(|&d| d as usize)
+                        .collect();
+                    let device = regs[*tensor as usize].device();
+                    regs[*dst as usize] =
+                        Object::tensor_on(t.reshaped(&dims).map_err(VmError::from)?, device);
+                }
+                Instruction::Fatal { message } => {
+                    return Err(VmError::msg(format!("fatal: {message}")));
+                }
+            }
+
+            if let Some(start) = start {
+                state
+                    .profiler
+                    .record(inst.opcode(), category, start.elapsed());
+            } else {
+                state
+                    .profiler
+                    .record(inst.opcode(), category, std::time::Duration::ZERO);
+            }
+            if let Some(out) = ret {
+                // Recycle the frame (dropping its remaining references).
+                regs.clear();
+                state.frames.push(regs);
+                return Ok(out);
+            }
+            pc = next_pc;
+        }
+    }
+
+    fn invoke_packed(
+        &self,
+        kernel_idx: u32,
+        arg_regs: &[u32],
+        num_outputs: u32,
+        device: DeviceId,
+        is_shape_func: bool,
+        regs: &mut [Object],
+    ) -> Result<()> {
+        let kernel = self
+            .kernels
+            .get(kernel_idx as usize)
+            .ok_or_else(|| VmError::msg("kernel index out of range"))?;
+        let n_out = num_outputs as usize;
+        if arg_regs.len() < n_out {
+            return Err(VmError::msg("InvokePacked: fewer args than outputs"));
+        }
+        let (in_regs, out_regs) = arg_regs.split_at(arg_regs.len() - n_out);
+
+        let run_on_gpu = device == DeviceId::Gpu && self.devices.has_gpu() && !is_shape_func;
+        if !run_on_gpu {
+            // Synchronous CPU execution (shape functions always land here).
+            let inputs: Vec<Tensor> = in_regs
+                .iter()
+                .map(|&r| regs[r as usize].wait_tensor())
+                .collect::<Result<_>>()?;
+            let outputs = kernel
+                .invoke(&inputs)
+                .map_err(|e| VmError::msg(format!("{}: {e}", kernel.name())))?;
+            if outputs.len() != n_out {
+                return Err(VmError::msg(format!(
+                    "{}: produced {} outputs, expected {}",
+                    kernel.name(),
+                    outputs.len(),
+                    n_out
+                )));
+            }
+            for (i, out) in outputs.into_iter().enumerate() {
+                let slot = out_regs[i] as usize;
+                // Keep the storage handle from the pre-allocated buffer so
+                // planned lifetimes hold.
+                let storage = match &regs[slot] {
+                    Object::Tensor(t) => t.storage.clone(),
+                    _ => None,
+                };
+                regs[slot] = Object::Tensor(TensorObj {
+                    tensor: out,
+                    device,
+                    storage,
+                    declared: None,
+                });
+            }
+            return Ok(());
+        }
+
+        // Asynchronous GPU launch: inputs are snapshotted, outputs become
+        // futures carrying host-known metadata from the pre-allocated
+        // buffers.
+        let inputs: Vec<Object> = in_regs.iter().map(|&r| regs[r as usize].clone()).collect();
+        let future = TensorFuture::pending();
+        let job_future = future.clone();
+        let job_kernel = kernel.clone();
+        self.devices.gpu().launch(move || {
+            let mut tensors = Vec::with_capacity(inputs.len());
+            for obj in &inputs {
+                match obj.wait_tensor() {
+                    Ok(t) => tensors.push(t),
+                    Err(e) => {
+                        job_future.fail(e.to_string());
+                        return;
+                    }
+                }
+            }
+            match job_kernel.invoke(&tensors) {
+                Ok(outs) => job_future.fulfill(outs),
+                Err(e) => job_future.fail(e.to_string()),
+            }
+        });
+        for (i, &slot) in out_regs.iter().enumerate() {
+            let slot = slot as usize;
+            let (shape, dtype) = match &regs[slot] {
+                Object::Tensor(t) => (
+                    t.declared.clone().unwrap_or_else(|| t.tensor.dims().to_vec()),
+                    t.tensor.dtype(),
+                ),
+                _ => (Vec::new(), nimble_tensor::DType::F32),
+            };
+            regs[slot] = Object::Future(FutureObj {
+                future: future.clone(),
+                output_index: i,
+                shape,
+                dtype,
+                device: DeviceId::Gpu,
+            });
+        }
+        Ok(())
+    }
+}
+

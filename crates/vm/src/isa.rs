@@ -1,0 +1,748 @@
+//! The VM instruction set — the 20 opcodes of paper Table A.1.
+//!
+//! Instructions are CISC-style: each corresponds to a primitive IR
+//! expression on tensors ("if we treat kernel invocation as a single
+//! instruction, the cost of surrounding instructions is negligible").
+//! Registers are frame-local and unbounded; the compiler allocates them as
+//! in SSA. The binary encoding is variable length ("due to the inclusion
+//! of variable sized operands such as data shapes").
+
+use crate::{Result, VmError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use nimble_tensor::DType;
+
+/// A virtual register index within the current call frame.
+pub type RegId = u32;
+
+/// One VM instruction. Variants map 1:1 onto Table A.1.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Instruction {
+    /// Moves data from one register to another.
+    Move {
+        /// Source register.
+        src: RegId,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Returns the object in the result register to the caller's register.
+    Ret {
+        /// Register holding the return value.
+        result: RegId,
+    },
+    /// Invokes a (global) function by index.
+    Invoke {
+        /// Index into the executable's function table.
+        func: u32,
+        /// Argument registers.
+        args: Vec<RegId>,
+        /// Destination register for the return value.
+        dst: RegId,
+    },
+    /// Invokes a closure object.
+    InvokeClosure {
+        /// Register holding the closure.
+        closure: RegId,
+        /// Argument registers.
+        args: Vec<RegId>,
+        /// Destination register for the return value.
+        dst: RegId,
+    },
+    /// Invokes an optimized operator kernel. The last `num_outputs`
+    /// entries of `args` are the pre-allocated output registers.
+    InvokePacked {
+        /// Index into the executable's kernel table.
+        kernel: u32,
+        /// Input registers followed by output registers.
+        args: Vec<RegId>,
+        /// How many trailing `args` are outputs.
+        num_outputs: u32,
+        /// Device index the kernel executes on (0 = CPU, 1 = GPU).
+        device: u8,
+    },
+    /// Allocates a storage block on a specified device.
+    AllocStorage {
+        /// Size in bytes.
+        size: u64,
+        /// Alignment in bytes.
+        alignment: u32,
+        /// Device index.
+        device: u8,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Allocates a tensor object with a static shape from a storage.
+    AllocTensor {
+        /// Register holding the storage object.
+        storage: RegId,
+        /// Byte offset within the storage.
+        offset: u64,
+        /// Static shape.
+        shape: Vec<i64>,
+        /// Element type.
+        dtype: DType,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Allocates a tensor object given the shape in a register.
+    AllocTensorReg {
+        /// Register holding a rank-1 i64 shape tensor.
+        shape: RegId,
+        /// Element type.
+        dtype: DType,
+        /// Device index.
+        device: u8,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Allocates a data type (ADT) using the entries from registers.
+    AllocADT {
+        /// Constructor tag.
+        tag: u32,
+        /// Field registers.
+        fields: Vec<RegId>,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Allocates a closure with a lowered virtual machine function.
+    AllocClosure {
+        /// Index into the executable's function table.
+        func: u32,
+        /// Captured-variable registers.
+        captures: Vec<RegId>,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Gets the value at a certain index from a VM object.
+    GetField {
+        /// Register holding an ADT/tuple object.
+        object: RegId,
+        /// Field index.
+        index: u32,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Gets the tag of an ADT constructor.
+    GetTag {
+        /// Register holding an ADT object.
+        object: RegId,
+        /// Destination register (scalar i64 tensor).
+        dst: RegId,
+    },
+    /// Jumps to the true or false offset depending on the comparison of
+    /// two scalar registers.
+    If {
+        /// Left-hand scalar register.
+        lhs: RegId,
+        /// Right-hand scalar register.
+        rhs: RegId,
+        /// Relative pc offset taken when `lhs == rhs`.
+        true_offset: i32,
+        /// Relative pc offset taken otherwise.
+        false_offset: i32,
+    },
+    /// Unconditionally jumps to an offset.
+    Goto {
+        /// Relative pc offset.
+        offset: i32,
+    },
+    /// Loads a constant at an index from the constant pool.
+    LoadConst {
+        /// Constant-pool index.
+        index: u32,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Loads a constant immediate (scalar i64).
+    LoadConsti {
+        /// Immediate value.
+        value: i64,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Copies a chunk of data from one device to another.
+    DeviceCopy {
+        /// Source register.
+        src: RegId,
+        /// Source device index.
+        src_device: u8,
+        /// Destination device index.
+        dst_device: u8,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Retrieves the shape of a tensor.
+    ShapeOf {
+        /// Register holding a tensor.
+        tensor: RegId,
+        /// Destination register (rank-1 i64 tensor).
+        dst: RegId,
+    },
+    /// Assigns a new shape to a tensor without altering its data.
+    ReshapeTensor {
+        /// Register holding the tensor.
+        tensor: RegId,
+        /// Register holding the new shape (rank-1 i64 tensor).
+        shape: RegId,
+        /// Destination register.
+        dst: RegId,
+    },
+    /// Raises fatal in the VM.
+    Fatal {
+        /// Diagnostic message.
+        message: String,
+    },
+}
+
+impl Instruction {
+    /// The opcode byte used by the serializer; also the opcode-category
+    /// index used by the profiler.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Instruction::Move { .. } => 0,
+            Instruction::Ret { .. } => 1,
+            Instruction::Invoke { .. } => 2,
+            Instruction::InvokeClosure { .. } => 3,
+            Instruction::InvokePacked { .. } => 4,
+            Instruction::AllocStorage { .. } => 5,
+            Instruction::AllocTensor { .. } => 6,
+            Instruction::AllocTensorReg { .. } => 7,
+            Instruction::AllocADT { .. } => 8,
+            Instruction::AllocClosure { .. } => 9,
+            Instruction::GetField { .. } => 10,
+            Instruction::GetTag { .. } => 11,
+            Instruction::If { .. } => 12,
+            Instruction::Goto { .. } => 13,
+            Instruction::LoadConst { .. } => 14,
+            Instruction::LoadConsti { .. } => 15,
+            Instruction::DeviceCopy { .. } => 16,
+            Instruction::ShapeOf { .. } => 17,
+            Instruction::ReshapeTensor { .. } => 18,
+            Instruction::Fatal { .. } => 19,
+        }
+    }
+
+    /// Human-readable mnemonic.
+    pub fn mnemonic(&self) -> &'static str {
+        const NAMES: [&str; 20] = [
+            "Move",
+            "Ret",
+            "Invoke",
+            "InvokeClosure",
+            "InvokePacked",
+            "AllocStorage",
+            "AllocTensor",
+            "AllocTensorReg",
+            "AllocADT",
+            "AllocClosure",
+            "GetField",
+            "GetTag",
+            "If",
+            "Goto",
+            "LoadConst",
+            "LoadConsti",
+            "DeviceCopy",
+            "ShapeOf",
+            "ReshapeTensor",
+            "Fatal",
+        ];
+        NAMES[self.opcode() as usize]
+    }
+}
+
+/// Total number of opcodes (the paper: "the current instruction set only
+/// contains 20 instructions").
+pub const NUM_OPCODES: usize = 20;
+
+fn put_regs(buf: &mut BytesMut, regs: &[RegId]) {
+    buf.put_u32_le(regs.len() as u32);
+    for &r in regs {
+        buf.put_u32_le(r);
+    }
+}
+
+fn get_regs(buf: &mut Bytes) -> Result<Vec<RegId>> {
+    let n = get_u32(buf)? as usize;
+    if n > 1 << 20 {
+        return Err(VmError::msg("register list too long"));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(get_u32(buf)?);
+    }
+    Ok(out)
+}
+
+fn need(buf: &Bytes, n: usize) -> Result<()> {
+    if buf.remaining() < n {
+        Err(VmError::msg("truncated bytecode"))
+    } else {
+        Ok(())
+    }
+}
+
+fn get_u32(buf: &mut Bytes) -> Result<u32> {
+    need(buf, 4)?;
+    Ok(buf.get_u32_le())
+}
+
+fn get_u64(buf: &mut Bytes) -> Result<u64> {
+    need(buf, 8)?;
+    Ok(buf.get_u64_le())
+}
+
+fn get_i64(buf: &mut Bytes) -> Result<i64> {
+    need(buf, 8)?;
+    Ok(buf.get_i64_le())
+}
+
+fn get_i32(buf: &mut Bytes) -> Result<i32> {
+    need(buf, 4)?;
+    Ok(buf.get_i32_le())
+}
+
+fn get_u8(buf: &mut Bytes) -> Result<u8> {
+    need(buf, 1)?;
+    Ok(buf.get_u8())
+}
+
+/// Serialize one instruction (variable-length format).
+pub fn encode(inst: &Instruction, buf: &mut BytesMut) {
+    buf.put_u8(inst.opcode());
+    match inst {
+        Instruction::Move { src, dst } => {
+            buf.put_u32_le(*src);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::Ret { result } => buf.put_u32_le(*result),
+        Instruction::Invoke { func, args, dst } => {
+            buf.put_u32_le(*func);
+            put_regs(buf, args);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::InvokeClosure { closure, args, dst } => {
+            buf.put_u32_le(*closure);
+            put_regs(buf, args);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::InvokePacked {
+            kernel,
+            args,
+            num_outputs,
+            device,
+        } => {
+            buf.put_u32_le(*kernel);
+            put_regs(buf, args);
+            buf.put_u32_le(*num_outputs);
+            buf.put_u8(*device);
+        }
+        Instruction::AllocStorage {
+            size,
+            alignment,
+            device,
+            dst,
+        } => {
+            buf.put_u64_le(*size);
+            buf.put_u32_le(*alignment);
+            buf.put_u8(*device);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::AllocTensor {
+            storage,
+            offset,
+            shape,
+            dtype,
+            dst,
+        } => {
+            buf.put_u32_le(*storage);
+            buf.put_u64_le(*offset);
+            buf.put_u32_le(shape.len() as u32);
+            for &d in shape {
+                buf.put_i64_le(d);
+            }
+            buf.put_u8(dtype.code());
+            buf.put_u32_le(*dst);
+        }
+        Instruction::AllocTensorReg {
+            shape,
+            dtype,
+            device,
+            dst,
+        } => {
+            buf.put_u32_le(*shape);
+            buf.put_u8(dtype.code());
+            buf.put_u8(*device);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::AllocADT { tag, fields, dst } => {
+            buf.put_u32_le(*tag);
+            put_regs(buf, fields);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::AllocClosure { func, captures, dst } => {
+            buf.put_u32_le(*func);
+            put_regs(buf, captures);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::GetField { object, index, dst } => {
+            buf.put_u32_le(*object);
+            buf.put_u32_le(*index);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::GetTag { object, dst } => {
+            buf.put_u32_le(*object);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::If {
+            lhs,
+            rhs,
+            true_offset,
+            false_offset,
+        } => {
+            buf.put_u32_le(*lhs);
+            buf.put_u32_le(*rhs);
+            buf.put_i32_le(*true_offset);
+            buf.put_i32_le(*false_offset);
+        }
+        Instruction::Goto { offset } => buf.put_i32_le(*offset),
+        Instruction::LoadConst { index, dst } => {
+            buf.put_u32_le(*index);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::LoadConsti { value, dst } => {
+            buf.put_i64_le(*value);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::DeviceCopy {
+            src,
+            src_device,
+            dst_device,
+            dst,
+        } => {
+            buf.put_u32_le(*src);
+            buf.put_u8(*src_device);
+            buf.put_u8(*dst_device);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::ShapeOf { tensor, dst } => {
+            buf.put_u32_le(*tensor);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::ReshapeTensor { tensor, shape, dst } => {
+            buf.put_u32_le(*tensor);
+            buf.put_u32_le(*shape);
+            buf.put_u32_le(*dst);
+        }
+        Instruction::Fatal { message } => {
+            let b = message.as_bytes();
+            buf.put_u32_le(b.len() as u32);
+            buf.put_slice(b);
+        }
+    }
+}
+
+/// Deserialize one instruction.
+///
+/// # Errors
+/// Fails on truncated input or unknown opcodes.
+pub fn decode(buf: &mut Bytes) -> Result<Instruction> {
+    let op = get_u8(buf)?;
+    Ok(match op {
+        0 => Instruction::Move {
+            src: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        1 => Instruction::Ret {
+            result: get_u32(buf)?,
+        },
+        2 => Instruction::Invoke {
+            func: get_u32(buf)?,
+            args: get_regs(buf)?,
+            dst: get_u32(buf)?,
+        },
+        3 => Instruction::InvokeClosure {
+            closure: get_u32(buf)?,
+            args: get_regs(buf)?,
+            dst: get_u32(buf)?,
+        },
+        4 => Instruction::InvokePacked {
+            kernel: get_u32(buf)?,
+            args: get_regs(buf)?,
+            num_outputs: get_u32(buf)?,
+            device: get_u8(buf)?,
+        },
+        5 => Instruction::AllocStorage {
+            size: get_u64(buf)?,
+            alignment: get_u32(buf)?,
+            device: get_u8(buf)?,
+            dst: get_u32(buf)?,
+        },
+        6 => {
+            let storage = get_u32(buf)?;
+            let offset = get_u64(buf)?;
+            let n = get_u32(buf)? as usize;
+            if n > 64 {
+                return Err(VmError::msg("tensor rank too large"));
+            }
+            let mut shape = Vec::with_capacity(n);
+            for _ in 0..n {
+                shape.push(get_i64(buf)?);
+            }
+            let dtype = DType::from_code(get_u8(buf)?)
+                .ok_or_else(|| VmError::msg("bad dtype code"))?;
+            Instruction::AllocTensor {
+                storage,
+                offset,
+                shape,
+                dtype,
+                dst: get_u32(buf)?,
+            }
+        }
+        7 => Instruction::AllocTensorReg {
+            shape: get_u32(buf)?,
+            dtype: DType::from_code(get_u8(buf)?)
+                .ok_or_else(|| VmError::msg("bad dtype code"))?,
+            device: get_u8(buf)?,
+            dst: get_u32(buf)?,
+        },
+        8 => Instruction::AllocADT {
+            tag: get_u32(buf)?,
+            fields: get_regs(buf)?,
+            dst: get_u32(buf)?,
+        },
+        9 => Instruction::AllocClosure {
+            func: get_u32(buf)?,
+            captures: get_regs(buf)?,
+            dst: get_u32(buf)?,
+        },
+        10 => Instruction::GetField {
+            object: get_u32(buf)?,
+            index: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        11 => Instruction::GetTag {
+            object: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        12 => Instruction::If {
+            lhs: get_u32(buf)?,
+            rhs: get_u32(buf)?,
+            true_offset: get_i32(buf)?,
+            false_offset: get_i32(buf)?,
+        },
+        13 => Instruction::Goto {
+            offset: get_i32(buf)?,
+        },
+        14 => Instruction::LoadConst {
+            index: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        15 => Instruction::LoadConsti {
+            value: get_i64(buf)?,
+            dst: get_u32(buf)?,
+        },
+        16 => Instruction::DeviceCopy {
+            src: get_u32(buf)?,
+            src_device: get_u8(buf)?,
+            dst_device: get_u8(buf)?,
+            dst: get_u32(buf)?,
+        },
+        17 => Instruction::ShapeOf {
+            tensor: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        18 => Instruction::ReshapeTensor {
+            tensor: get_u32(buf)?,
+            shape: get_u32(buf)?,
+            dst: get_u32(buf)?,
+        },
+        19 => {
+            let n = get_u32(buf)? as usize;
+            need(buf, n)?;
+            let mut bytes = vec![0u8; n];
+            buf.copy_to_slice(&mut bytes);
+            Instruction::Fatal {
+                message: String::from_utf8(bytes)
+                    .map_err(|_| VmError::msg("bad fatal message"))?,
+            }
+        }
+        other => return Err(VmError::msg(format!("unknown opcode {other}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_instructions() -> Vec<Instruction> {
+        vec![
+            Instruction::Move { src: 1, dst: 2 },
+            Instruction::Ret { result: 3 },
+            Instruction::Invoke {
+                func: 7,
+                args: vec![1, 2, 3],
+                dst: 4,
+            },
+            Instruction::InvokeClosure {
+                closure: 9,
+                args: vec![],
+                dst: 1,
+            },
+            Instruction::InvokePacked {
+                kernel: 5,
+                args: vec![0, 1, 2],
+                num_outputs: 1,
+                device: 1,
+            },
+            Instruction::AllocStorage {
+                size: 40,
+                alignment: 64,
+                device: 0,
+                dst: 3,
+            },
+            Instruction::AllocTensor {
+                storage: 3,
+                offset: 0,
+                shape: vec![10],
+                dtype: DType::F32,
+                dst: 4,
+            },
+            Instruction::AllocTensorReg {
+                shape: 5,
+                dtype: DType::I64,
+                device: 1,
+                dst: 6,
+            },
+            Instruction::AllocADT {
+                tag: 1,
+                fields: vec![2, 3],
+                dst: 4,
+            },
+            Instruction::AllocClosure {
+                func: 2,
+                captures: vec![8],
+                dst: 9,
+            },
+            Instruction::GetField {
+                object: 1,
+                index: 0,
+                dst: 2,
+            },
+            Instruction::GetTag { object: 1, dst: 2 },
+            Instruction::If {
+                lhs: 1,
+                rhs: 2,
+                true_offset: 1,
+                false_offset: 5,
+            },
+            Instruction::Goto { offset: -3 },
+            Instruction::LoadConst { index: 12, dst: 1 },
+            Instruction::LoadConsti { value: -7, dst: 2 },
+            Instruction::DeviceCopy {
+                src: 1,
+                src_device: 0,
+                dst_device: 1,
+                dst: 2,
+            },
+            Instruction::ShapeOf { tensor: 1, dst: 2 },
+            Instruction::ReshapeTensor {
+                tensor: 1,
+                shape: 2,
+                dst: 3,
+            },
+            Instruction::Fatal {
+                message: "broadcast type constraint violated".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn exactly_twenty_opcodes() {
+        let insts = sample_instructions();
+        assert_eq!(insts.len(), NUM_OPCODES);
+        let mut opcodes: Vec<u8> = insts.iter().map(|i| i.opcode()).collect();
+        opcodes.sort_unstable();
+        opcodes.dedup();
+        assert_eq!(opcodes.len(), NUM_OPCODES, "opcodes must be distinct");
+    }
+
+    #[test]
+    fn round_trip_all_instructions() {
+        for inst in sample_instructions() {
+            let mut buf = BytesMut::new();
+            encode(&inst, &mut buf);
+            let mut bytes = buf.freeze();
+            let back = decode(&mut bytes).unwrap();
+            assert_eq!(back, inst);
+            assert_eq!(bytes.remaining(), 0, "no trailing bytes for {inst:?}");
+        }
+    }
+
+    #[test]
+    fn variable_length_encoding() {
+        // Instruction sizes differ with operand payloads.
+        let mut small = BytesMut::new();
+        encode(&Instruction::Goto { offset: 1 }, &mut small);
+        let mut big = BytesMut::new();
+        encode(
+            &Instruction::AllocTensor {
+                storage: 0,
+                offset: 0,
+                shape: vec![1, 2, 3, 4, 5, 6],
+                dtype: DType::F32,
+                dst: 1,
+            },
+            &mut big,
+        );
+        assert!(big.len() > small.len());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let mut empty = Bytes::new();
+        assert!(decode(&mut empty).is_err());
+        let mut bad_op = Bytes::from_static(&[200u8]);
+        assert!(decode(&mut bad_op).is_err());
+        // Truncated Move.
+        let mut short = Bytes::from_static(&[0u8, 1, 0, 0]);
+        assert!(decode(&mut short).is_err());
+    }
+
+    #[test]
+    fn mnemonics_cover_table_a1() {
+        let names: Vec<&str> = sample_instructions().iter().map(|i| i.mnemonic()).collect();
+        for expected in [
+            "Move", "Ret", "Invoke", "InvokeClosure", "InvokePacked", "AllocStorage",
+            "AllocTensor", "AllocTensorReg", "AllocADT", "AllocClosure", "GetField", "GetTag",
+            "If", "Goto", "LoadConst", "LoadConsti", "DeviceCopy", "ShapeOf", "ReshapeTensor",
+            "Fatal",
+        ] {
+            assert!(names.contains(&expected), "missing {expected}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn invoke_packed_round_trip(
+            kernel in 0u32..1000,
+            args in proptest::collection::vec(0u32..100, 0..8),
+            num_outputs in 0u32..4,
+            device in 0u8..2,
+        ) {
+            let inst = Instruction::InvokePacked { kernel, args, num_outputs, device };
+            let mut buf = BytesMut::new();
+            encode(&inst, &mut buf);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(decode(&mut bytes).unwrap(), inst);
+        }
+
+        #[test]
+        fn fatal_round_trip(msg in ".{0,64}") {
+            let inst = Instruction::Fatal { message: msg };
+            let mut buf = BytesMut::new();
+            encode(&inst, &mut buf);
+            let mut bytes = buf.freeze();
+            prop_assert_eq!(decode(&mut bytes).unwrap(), inst);
+        }
+    }
+}

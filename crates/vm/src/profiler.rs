@@ -1,0 +1,159 @@
+//! Per-category execution profiler.
+//!
+//! Table 4 of the paper splits BERT latency into "kernel" time (the
+//! `InvokePacked` instructions doing real compute) and "others" (shape
+//! functions, allocation, dispatch, control flow). This profiler
+//! accumulates exactly those buckets plus per-opcode counts.
+
+use crate::isa::NUM_OPCODES;
+use std::time::Duration;
+
+/// Which bucket an instruction's time lands in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Compute-kernel invocation.
+    Kernel,
+    /// Shape-function invocation.
+    ShapeFunc,
+    /// Everything else (allocation, moves, control flow, copies).
+    Other,
+}
+
+/// Accumulated profile.
+#[derive(Debug, Clone, Default)]
+pub struct Profiler {
+    enabled: bool,
+    kernel_ns: u64,
+    shape_func_ns: u64,
+    other_ns: u64,
+    counts: [u64; NUM_OPCODES],
+    kernel_invocations: u64,
+}
+
+/// A finished profile snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfileReport {
+    /// Time in compute kernels (ns).
+    pub kernel_ns: u64,
+    /// Time in shape functions (ns).
+    pub shape_func_ns: u64,
+    /// Time in all other instructions (ns).
+    pub other_ns: u64,
+    /// Total instructions executed.
+    pub instructions: u64,
+    /// Compute-kernel invocations.
+    pub kernel_invocations: u64,
+}
+
+impl ProfileReport {
+    /// "others" as the paper defines it: everything that is not kernel
+    /// execution.
+    pub fn others_total_ns(self) -> u64 {
+        self.shape_func_ns + self.other_ns
+    }
+}
+
+impl Profiler {
+    /// Create a profiler; disabled profilers cost one branch per
+    /// instruction.
+    pub fn new(enabled: bool) -> Profiler {
+        Profiler {
+            enabled,
+            ..Profiler::default()
+        }
+    }
+
+    /// Whether timing is being collected.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one executed instruction.
+    pub fn record(&mut self, opcode: u8, category: Category, elapsed: Duration) {
+        self.counts[opcode as usize] += 1;
+        if category == Category::Kernel {
+            self.kernel_invocations += 1;
+        }
+        if !self.enabled {
+            return;
+        }
+        let ns = elapsed.as_nanos() as u64;
+        match category {
+            Category::Kernel => self.kernel_ns += ns,
+            Category::ShapeFunc => self.shape_func_ns += ns,
+            Category::Other => self.other_ns += ns,
+        }
+    }
+
+    /// Attribute host-blocking synchronization (waiting for the device
+    /// stream) to kernel time, as the paper does for the GPU row of
+    /// Table 4.
+    pub fn record_sync(&mut self, elapsed: Duration) {
+        if self.enabled {
+            self.kernel_ns += elapsed.as_nanos() as u64;
+        }
+    }
+
+    /// Executions of one opcode.
+    pub fn count(&self, opcode: u8) -> u64 {
+        self.counts[opcode as usize]
+    }
+
+    /// Snapshot totals.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            kernel_ns: self.kernel_ns,
+            shape_func_ns: self.shape_func_ns,
+            other_ns: self.other_ns,
+            instructions: self.counts.iter().sum(),
+            kernel_invocations: self.kernel_invocations,
+        }
+    }
+
+    /// Clear all accumulated data, keeping the enabled flag.
+    pub fn reset(&mut self) {
+        let enabled = self.enabled;
+        *self = Profiler::new(enabled);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate() {
+        let mut p = Profiler::new(true);
+        p.record(4, Category::Kernel, Duration::from_nanos(100));
+        p.record(4, Category::ShapeFunc, Duration::from_nanos(30));
+        p.record(0, Category::Other, Duration::from_nanos(5));
+        p.record_sync(Duration::from_nanos(50));
+        let r = p.report();
+        assert_eq!(r.kernel_ns, 150);
+        assert_eq!(r.shape_func_ns, 30);
+        assert_eq!(r.other_ns, 5);
+        assert_eq!(r.others_total_ns(), 35);
+        assert_eq!(r.instructions, 3);
+        assert_eq!(r.kernel_invocations, 1);
+        assert_eq!(p.count(4), 2);
+    }
+
+    #[test]
+    fn disabled_profiler_counts_but_does_not_time() {
+        let mut p = Profiler::new(false);
+        p.record(4, Category::Kernel, Duration::from_nanos(1000));
+        let r = p.report();
+        assert_eq!(r.kernel_ns, 0);
+        assert_eq!(r.instructions, 1);
+        assert_eq!(r.kernel_invocations, 1);
+    }
+
+    #[test]
+    fn reset_preserves_enabled() {
+        let mut p = Profiler::new(true);
+        p.record(1, Category::Other, Duration::from_nanos(10));
+        p.reset();
+        assert!(p.enabled());
+        assert_eq!(p.report().instructions, 0);
+    }
+}

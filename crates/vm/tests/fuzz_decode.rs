@@ -1,0 +1,68 @@
+//! Robustness fuzzing: the bytecode decoder and executable loader must
+//! reject arbitrary garbage with errors, never panic — the paper's VM is
+//! meant to load untrusted serialized artifacts ("one can verify the
+//! implementation of VM for security and privacy purposes", Section 5.3).
+
+use bytes::Bytes;
+use nimble_vm::exe::Executable;
+use nimble_vm::isa;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn decoder_never_panics(data in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut buf = Bytes::from(data);
+        // Decode as many instructions as possible; each step either
+        // produces an instruction or a clean error.
+        for _ in 0..16 {
+            if buf.is_empty() {
+                break;
+            }
+            if isa::decode(&mut buf).is_err() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn loader_never_panics(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Executable::load(&data);
+    }
+
+    #[test]
+    fn loader_never_panics_with_magic(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        // Prefix a valid magic + version so deeper paths are exercised.
+        let mut payload = b"NMBL\x01\x00\x00\x00".to_vec();
+        payload.extend(data);
+        let _ = Executable::load(&payload);
+    }
+
+    #[test]
+    fn bitflip_round_trip_is_error_or_valid(
+        flip_at in 0usize..200,
+        bit in 0u8..8,
+    ) {
+        // Take a real executable, flip one bit: loading must either fail
+        // cleanly or succeed (the flip may land in tensor data).
+        let exe = Executable {
+            functions: vec![nimble_vm::exe::VMFunction {
+                name: "main".into(),
+                num_params: 1,
+                num_regs: 3,
+                code: vec![
+                    isa::Instruction::Move { src: 0, dst: 1 },
+                    isa::Instruction::Ret { result: 1 },
+                ],
+            }],
+            constants: vec![nimble_tensor::Tensor::ones_f32(&[4])],
+            const_devices: vec![0],
+            kernels: vec![],
+        };
+        let mut bytes = exe.save().to_vec();
+        let pos = flip_at % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        let _ = Executable::load(&bytes);
+    }
+}

@@ -1,0 +1,42 @@
+//! Inspect compiled executables: disassemble a dynamic model's bytecode —
+//! "a compact bytecode, which is easy for users to read and modify"
+//! (paper Section 5.1).
+//!
+//! ```sh
+//! cargo run --release --example disassemble
+//! ```
+
+use nimble::compiler::{compile, CompileOptions};
+use nimble::ir::builder::FunctionBuilder;
+use nimble::ir::types::TensorType;
+use nimble::ir::{AttrValue, Attrs, DType, Module};
+use nimble::tensor::Tensor;
+use nimble::vm::disassemble;
+use std::error::Error;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The paper's running example: a dynamic concat feeding a fused
+    // dense+tanh.
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+    let y = fb.param("y", TensorType::new(&[1, 4], DType::F32));
+    let cat = fb.call(
+        "concat",
+        vec![x, y],
+        Attrs::new().with("axis", AttrValue::Int(0)),
+    );
+    let w = fb.constant(Tensor::ones_f32(&[3, 4]));
+    let d = fb.call("dense", vec![cat, w], Attrs::new());
+    let t = fb.call("tanh", vec![d], Attrs::new());
+    let mut module = Module::new();
+    module.add_function("main", fb.finish(t));
+
+    let (exe, _) = compile(&module, &CompileOptions::default())?;
+    println!("{}", disassemble(&exe));
+
+    // The same listing survives a serialization round trip.
+    let loaded = nimble::vm::Executable::load(&exe.save())?;
+    assert_eq!(disassemble(&loaded), disassemble(&exe));
+    println!("; listing identical after save/load round trip");
+    Ok(())
+}

@@ -1,0 +1,65 @@
+//! Quickstart: define a small dynamic model, compile it to a VM
+//! executable, serialize it, load it back, and run it on inputs of
+//! different shapes.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nimble::compiler::{compile, CompileOptions};
+use nimble::device::DeviceSet;
+use nimble::ir::builder::FunctionBuilder;
+use nimble::ir::types::TensorType;
+use nimble::ir::{AttrValue, Attrs, DType, Module};
+use nimble::tensor::Tensor;
+use nimble::vm::{Executable, Object, VirtualMachine};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // A model with a dynamic dimension: concatenate a variable-length
+    // batch of feature rows with a learned anchor row, then squash.
+    //
+    //   fn main(x: Tensor[(?, 4), f32]) {
+    //     tanh(concat(x, anchor, axis=0))
+    //   }
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+    let anchor = fb.constant(Tensor::from_vec_f32(vec![0.5, -0.5, 0.25, -0.25], &[1, 4])?);
+    let cat = fb.call(
+        "concat",
+        vec![x, anchor],
+        Attrs::new().with("axis", AttrValue::Int(0)),
+    );
+    let out = fb.call("tanh", vec![cat], Attrs::new());
+    let mut module = Module::new();
+    module.add_function("main", fb.finish(out));
+
+    // Compile: type inference with Any, fusion, memory planning, device
+    // placement, bytecode lowering.
+    let (exe, report) = compile(&module, &CompileOptions::default())?;
+    println!(
+        "compiled: {} instructions, {} kernels, {} shape function(s) manifested",
+        report.instructions, report.kernels, report.memplan.shape_funcs
+    );
+
+    // The executable is a portable byte artifact.
+    let bytes = exe.save();
+    println!("serialized executable: {} bytes", bytes.len());
+    let loaded = Executable::load(&bytes)?;
+
+    // Load into a VM and run with different input shapes — no recompile.
+    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only()))?;
+    for rows in [1usize, 3, 8] {
+        let input = Tensor::ones_f32(&[rows, 4]);
+        let result = vm.run("main", vec![Object::tensor(input)])?.wait_tensor()?;
+        println!(
+            "input [{}x4] -> output {:?} (first = {:.3})",
+            rows,
+            result.dims(),
+            result.as_f32()?[0]
+        );
+        assert_eq!(result.dims(), &[rows + 1, 4]);
+    }
+    Ok(())
+}

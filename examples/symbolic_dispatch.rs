@@ -1,0 +1,71 @@
+//! Symbolic codegen (paper Section 4.5): residue-modulo kernel duplication
+//! with runtime dispatch, plus the three-step template tuner.
+//!
+//! ```sh
+//! cargo run --release --example symbolic_dispatch
+//! ```
+
+use nimble::codegen::symbolic::{dense_symbolic, DispatchLevel};
+use nimble::codegen::tuner::{tune_dense_symbolic, TunerConfig};
+use std::time::Instant;
+
+fn main() {
+    let (n, k) = (256usize, 64usize);
+    let wt: Vec<f32> = (0..n * k).map(|i| (i % 13) as f32 * 0.05).collect();
+    // A dynamic row count that is NOT a multiple of the tiling factor —
+    // the case where boundary checks hurt.
+    let m = 27;
+    let x: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32 * 0.05).collect();
+
+    println!("dense [{m}x{k}] x [{n}x{k}]ᵀ, tiling factor 8 (m % 8 = {})\n", m % 8);
+    let levels = [
+        DispatchLevel::Static,
+        DispatchLevel::Dispatch8,
+        DispatchLevel::Dispatch4,
+        DispatchLevel::Dispatch2,
+        DispatchLevel::NoDispatch,
+    ];
+    let mut base = None;
+    for level in levels {
+        let mut out = vec![0.0f32; m * n];
+        // Warm up, then time.
+        dense_symbolic(&x, &wt, m, n, k, &mut out, level);
+        let start = Instant::now();
+        let reps = 500;
+        for _ in 0..reps {
+            dense_symbolic(&x, &wt, m, n, k, &mut out, level);
+        }
+        let per = start.elapsed() / reps;
+        let b = *base.get_or_insert(per.as_nanos());
+        println!(
+            "{:>11} ({} kernel copies): {:>8.1} µs  ({:>5.1}% of static)",
+            level.label(),
+            level.copies(),
+            per.as_nanos() as f64 / 1e3,
+            100.0 * per.as_nanos() as f64 / b as f64,
+        );
+    }
+
+    // The tuner: proxy-shape search, top-k cross-shape evaluation, best
+    // average selection.
+    println!("\nrunning the symbolic-shape template tuner…");
+    let report = tune_dense_symbolic(
+        n,
+        k,
+        &TunerConfig {
+            proxy_dim: 64,
+            top_k: 4,
+            eval_shapes: vec![1, 8, 27, 64, 128],
+            repeats: 3,
+            max_trials: 16,
+            seed: 1,
+        },
+    );
+    println!(
+        "evaluated {} candidates; proxy-best {:?}; cross-shape best {:?}",
+        report.trials, report.proxy_best, report.best
+    );
+    for (m, ns) in &report.cross_scores {
+        println!("  m = {m:>3}: {:.1} µs", ns / 1e3);
+    }
+}

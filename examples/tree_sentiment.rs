@@ -1,0 +1,50 @@
+//! Dynamic data structures: Tree-LSTM sentiment classification over
+//! per-input parse trees, pattern-matched by a recursive IR function.
+//!
+//! ```sh
+//! cargo run --release --example tree_sentiment
+//! ```
+
+use nimble::compiler::{compile, CompileOptions};
+use nimble::device::DeviceSet;
+use nimble::models::{TreeLstmConfig, TreeLstmModel};
+use nimble::tensor::kernels;
+use nimble::vm::VirtualMachine;
+use rand::SeedableRng;
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let model = TreeLstmModel::new(TreeLstmConfig {
+        input: 64,
+        hidden: 96,
+        classes: 5,
+        seed: 42,
+    });
+    let (exe, _) = compile(&model.module(), &CompileOptions::default())?;
+    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
+    let labels = ["--", "-", "0", "+", "++"];
+    for leaves in [2usize, 7, 19, 33] {
+        // Every input has a different structure; the same executable
+        // handles all of them.
+        let tree = model.random_tree(&mut rng, leaves);
+        let scores = vm.run("main", vec![tree.to_object()])?.wait_tensor()?;
+        let probs = kernels::softmax(&scores)?;
+        let cls = kernels::argmax(&probs, 1)?;
+        let class = cls.as_i64()?[0] as usize;
+        println!(
+            "tree with {leaves:>2} leaves (depth {}): sentiment {:>2} (p = {:.2})",
+            tree.depth(),
+            labels[class],
+            probs.as_f32()?[class],
+        );
+        // Matches the reference recursion.
+        let want = model.reference(&tree);
+        for (a, b) in scores.as_f32()?.iter().zip(want.as_f32()?) {
+            assert!((a - b).abs() < 1e-4);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,27 @@
+//! # nimble
+//!
+//! Umbrella crate for the Rust reproduction of *Nimble: Efficiently
+//! Compiling Dynamic Neural Networks for Model Inference* (MLSys 2021).
+//!
+//! Re-exports the public API of every subsystem crate so that examples and
+//! downstream users need a single dependency:
+//!
+//! * [`tensor`] — dense tensors and the CPU kernel library
+//! * [`ir`] — the typed functional IR with `Any` dimensions
+//! * [`passes`] — type inference, fusion, memory planning, device placement
+//! * [`codegen`] — symbolic kernel generation, residue dispatch, tuning
+//! * [`device`] — CPU and simulated-GPU devices, memory pools
+//! * [`vm`] — the 20-instruction register virtual machine
+//! * [`compiler`] — the end-to-end `compile()` driver (`nimble-core`)
+//! * [`models`] — LSTM / Tree-LSTM / BERT / CV model builders
+//! * [`frameworks`] — baseline systems (eager, graphflow, fold)
+
+pub use nimble_codegen as codegen;
+pub use nimble_core as compiler;
+pub use nimble_device as device;
+pub use nimble_frameworks as frameworks;
+pub use nimble_ir as ir;
+pub use nimble_models as models;
+pub use nimble_passes as passes;
+pub use nimble_tensor as tensor;
+pub use nimble_vm as vm;

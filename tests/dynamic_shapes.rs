@@ -1,0 +1,276 @@
+//! Integration tests for the dynamic-shape machinery: data-dependent
+//! operators, upper-bound shape functions, gradual typing's deferred
+//! checks, and `Any`-dimension flows through compilation.
+
+use nimble::compiler::{compile, CompileOptions};
+use nimble::device::DeviceSet;
+use nimble::ir::builder::FunctionBuilder;
+use nimble::ir::types::TensorType;
+use nimble::ir::{AttrValue, Attrs, DType, Module};
+use nimble::tensor::Tensor;
+use nimble::vm::{Object, VirtualMachine};
+use std::sync::Arc;
+
+fn run1(module: &Module, args: Vec<Object>) -> Result<Tensor, String> {
+    let (exe, _) = compile(module, &CompileOptions::default()).map_err(|e| e.to_string())?;
+    let mut vm =
+        VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).map_err(|e| e.to_string())?;
+    vm.run("main", args)
+        .map_err(|e| e.to_string())?
+        .wait_tensor()
+        .map_err(|e| e.to_string())
+}
+
+#[test]
+fn arange_data_dependent_output() {
+    // The paper's canonical data-dependent operator: output length depends
+    // on input *values*.
+    let mut fb = FunctionBuilder::new("main");
+    let stop = fb.param("stop", TensorType::scalar(DType::F32));
+    let start = fb.constant(Tensor::scalar_f32(0.0));
+    let step = fb.constant(Tensor::scalar_f32(1.0));
+    let r = fb.call("arange", vec![start, stop, step], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(r));
+    for n in [0usize, 1, 5, 17] {
+        let out = run1(&m, vec![Object::tensor(Tensor::scalar_f32(n as f32))]).unwrap();
+        assert_eq!(out.dims(), &[n]);
+        if n > 2 {
+            assert_eq!(out.as_f32().unwrap()[2], 2.0);
+        }
+    }
+}
+
+#[test]
+fn unique_data_dependent_output() {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param(
+        "x",
+        TensorType::with_any(&[None], DType::I64),
+    );
+    let u = fb.call("unique", vec![x], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(u));
+    let input = Tensor::from_vec_i64(vec![4, 4, 2, 4, 9, 2], &[6]).unwrap();
+    let out = run1(&m, vec![Object::tensor(input)]).unwrap();
+    assert_eq!(out.as_i64().unwrap(), &[4, 2, 9]);
+}
+
+#[test]
+fn nms_upper_bound_produces_precise_shape() {
+    let mut fb = FunctionBuilder::new("main");
+    let boxes = fb.param(
+        "boxes",
+        TensorType::with_any(&[None, Some(5)], DType::F32),
+    );
+    let kept = fb.call(
+        "nms",
+        vec![boxes],
+        Attrs::new().with("iou_threshold", AttrValue::Float(0.5)),
+    );
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(kept));
+    // Two overlapping boxes + one distant box → exactly 2 survivors even
+    // though the upper-bound allocation covers 3.
+    let input = Tensor::from_vec_f32(
+        vec![
+            0.9, 0.0, 0.0, 10.0, 10.0, //
+            0.8, 1.0, 1.0, 11.0, 11.0, //
+            0.7, 50.0, 50.0, 60.0, 60.0,
+        ],
+        &[3, 5],
+    )
+    .unwrap();
+    let out = run1(&m, vec![Object::tensor(input)]).unwrap();
+    assert_eq!(out.dims(), &[2, 5]);
+    assert_eq!(out.as_f32().unwrap()[0], 0.9);
+}
+
+#[test]
+fn boolean_mask_through_pipeline() {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+    let mask = fb.param("mask", TensorType::with_any(&[None], DType::Bool));
+    let y = fb.call("boolean_mask", vec![x, mask], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    let rows = Tensor::from_vec_f32(vec![1., 1., 2., 2., 3., 3.], &[3, 2]).unwrap();
+    let keep = Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap();
+    let out = run1(&m, vec![Object::tensor(rows), Object::tensor(keep)]).unwrap();
+    assert_eq!(out.dims(), &[2, 2]);
+    assert_eq!(out.as_f32().unwrap(), &[1., 1., 3., 3.]);
+}
+
+#[test]
+fn growing_tensor_loop() {
+    // The paper's motivating NLP-decoder pattern: "a program which grows a
+    // tensor on each loop iteration". grow(x, n) = if n == 0 { x } else
+    // { grow(concat(x, x0), n-1) } — output rows depend on the loop count.
+    use nimble::ir::expr::{Expr, Function, Var};
+    use nimble::ir::types::Type;
+    let x = Var::fresh(
+        "x",
+        Type::Tensor(TensorType::with_any(&[None, Some(2)], DType::F32)),
+    );
+    let n = Var::fresh("n", Type::Tensor(TensorType::scalar(DType::I64)));
+    let zero = Expr::constant(Tensor::scalar_i64(0));
+    let cond = Expr::call_op("equal", vec![n.to_expr(), zero], Attrs::new());
+    let one_row = Expr::constant(Tensor::from_vec_f32(vec![9.0, 9.0], &[1, 2]).unwrap());
+    let grown = Expr::call_op(
+        "concat",
+        vec![x.to_expr(), one_row],
+        Attrs::new().with("axis", AttrValue::Int(0)),
+    );
+    let n_minus = Expr::call_op(
+        "sub",
+        vec![n.to_expr(), Expr::constant(Tensor::scalar_i64(1))],
+        Attrs::new(),
+    );
+    let recurse = Expr::call(Expr::global("grow"), vec![grown, n_minus]);
+    let body = Expr::if_(cond, x.to_expr(), recurse);
+    let ret = Type::Tensor(TensorType::with_any(&[None, Some(2)], DType::F32));
+    let mut m = Module::new();
+    m.add_function("grow", Function::new(vec![x, n], body, ret.clone()));
+    let mx = Var::fresh(
+        "x",
+        Type::Tensor(TensorType::with_any(&[None, Some(2)], DType::F32)),
+    );
+    let mn = Var::fresh("n", Type::Tensor(TensorType::scalar(DType::I64)));
+    let main_body = Expr::call(Expr::global("grow"), vec![mx.to_expr(), mn.to_expr()]);
+    m.add_function("main", Function::new(vec![mx, mn], main_body, ret));
+
+    for steps in [0i64, 1, 4, 9] {
+        let out = run1(
+            &m,
+            vec![
+                Object::tensor(Tensor::ones_f32(&[1, 2])),
+                Object::tensor(Tensor::scalar_i64(steps)),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.dims(), &[1 + steps as usize, 2]);
+    }
+}
+
+#[test]
+fn gradual_typing_defers_and_catches() {
+    // Statically accepted (Any vs 3), dynamically rejected when the
+    // runtime extent is incompatible.
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+    let y = fb.param("y", TensorType::new(&[3], DType::F32));
+    let s = fb.call("add", vec![x, y], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(s));
+    // 3 vs 3: fine. 1 vs 3: broadcasts. 2 vs 3: runtime error, not a
+    // crash.
+    assert!(run1(
+        &m,
+        vec![
+            Object::tensor(Tensor::ones_f32(&[3])),
+            Object::tensor(Tensor::ones_f32(&[3])),
+        ],
+    )
+    .is_ok());
+    assert!(run1(
+        &m,
+        vec![
+            Object::tensor(Tensor::ones_f32(&[1])),
+            Object::tensor(Tensor::ones_f32(&[3])),
+        ],
+    )
+    .is_ok());
+    let err = run1(
+        &m,
+        vec![
+            Object::tensor(Tensor::ones_f32(&[2])),
+            Object::tensor(Tensor::ones_f32(&[3])),
+        ],
+    )
+    .unwrap_err();
+    assert!(err.contains("broadcast") || err.contains("shape"), "{err}");
+}
+
+#[test]
+fn same_executable_many_shapes_no_recompilation() {
+    // The headline property: one compile, arbitrary input extents.
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+    let w = fb.constant(Tensor::ones_f32(&[2, 4]));
+    let d = fb.call("dense", vec![x, w], Attrs::new());
+    let s = fb.call("sigmoid", vec![d], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(s));
+    let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
+    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    for rows in 1..=24 {
+        let out = vm
+            .run("main", vec![Object::tensor(Tensor::ones_f32(&[rows, 4]))])
+            .unwrap()
+            .wait_tensor()
+            .unwrap();
+        assert_eq!(out.dims(), &[rows, 2]);
+    }
+}
+
+#[test]
+fn data_dependent_shape_func_on_gpu_copies_inputs_to_cpu() {
+    // boolean_mask's shape function needs the mask *values*; with a GPU
+    // target, the mask produced on the device must be copied to the CPU
+    // before the shape function runs (Section 4.4).
+    use nimble::compiler::CompileOptions;
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(2)], DType::F32));
+    let mask = fb.param("mask", TensorType::with_any(&[None], DType::Bool));
+    // relu(x) runs on the GPU; boolean_mask consumes its output plus the
+    // host mask.
+    let r = fb.call("relu", vec![x], Attrs::new());
+    let y = fb.call("boolean_mask", vec![r, mask], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    let (exe, report) =
+        nimble::compiler::compile(&m, &CompileOptions::gpu()).map_err(|e| e.to_string()).unwrap();
+    assert!(report.placement.copies_inserted > 0, "needs host copies");
+    let devices = Arc::new(nimble::device::DeviceSet::with_gpu());
+    let mut vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
+    let rows =
+        Tensor::from_vec_f32(vec![1., -1., 2., -2., 3., 3.], &[3, 2]).unwrap();
+    let keep = Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap();
+    let out = vm
+        .run("main", vec![Object::tensor(rows), Object::tensor(keep)])
+        .unwrap()
+        .wait_tensor()
+        .unwrap();
+    assert_eq!(out.dims(), &[2, 2]);
+    assert_eq!(out.as_f32().unwrap(), &[1., 0., 3., 3.]);
+    // The mask/data really crossed devices.
+    let (_, d2h, _) = devices.copy_stats().snapshot();
+    assert!(d2h >= 1, "device→host copy for the data-dependent shape fn");
+}
+
+#[test]
+fn executable_file_round_trip() {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+    let y = fb.call("relu", vec![x], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
+    let path = std::env::temp_dir().join("nimble_exe_roundtrip.nmbl");
+    exe.save_to(&path).unwrap();
+    let loaded = nimble::vm::Executable::load_from(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let out = vm
+        .run(
+            "main",
+            vec![Object::tensor(
+                Tensor::from_vec_f32(vec![-1.0, 2.0], &[2]).unwrap(),
+            )],
+        )
+        .unwrap()
+        .wait_tensor()
+        .unwrap();
+    assert_eq!(out.as_f32().unwrap(), &[0.0, 2.0]);
+    assert!(nimble::vm::Executable::load_from("/nonexistent/x.nmbl").is_err());
+}
