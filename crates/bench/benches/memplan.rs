@@ -28,7 +28,7 @@ fn bench(c: &mut Criterion) {
     for pooling in [true, false] {
         let devices = Arc::new(DeviceSet::cpu_only());
         devices.set_pooling(pooling);
-        let mut vm = VirtualMachine::new(exe.clone(), devices).unwrap();
+        let vm = VirtualMachine::new(exe.clone(), devices).unwrap();
         let name = if pooling { "pooled" } else { "unpooled" };
         group.bench_function(name, |b| {
             b.iter(|| {

@@ -62,7 +62,7 @@ fn main() {
         let (exe, report) = compile(&module, &opts).expect("compile");
         let devices = Arc::new(DeviceSet::cpu_only());
         devices.set_pooling(pooling);
-        let mut vm = VirtualMachine::new(exe, devices).expect("vm");
+        let vm = VirtualMachine::new(exe, devices).expect("vm");
         let d = measure(effort.warmup, effort.iters, || {
             std::hint::black_box(
                 vm.run(

@@ -12,7 +12,9 @@ use nimble_codegen::symbolic::{dense_symbolic, DispatchLevel};
 use nimble_core::{compile, CompileOptions, StaticGraph};
 use nimble_device::{DeviceId, DeviceSet};
 use nimble_frameworks::eager;
-use nimble_models::{cv, BertConfig, BertModel, LstmConfig, LstmModel, TreeLstmConfig, TreeLstmModel};
+use nimble_models::{
+    cv, BertConfig, BertModel, LstmConfig, LstmModel, TreeLstmConfig, TreeLstmModel,
+};
 use nimble_tensor::Tensor;
 use nimble_vm::{Object, VirtualMachine};
 use std::sync::Arc;
@@ -140,12 +142,7 @@ pub fn table1_lstm(effort: Effort) -> Vec<TableResult> {
                 "Table 1 ({layers} layer{}): LSTM latency, µs/token",
                 if layers > 1 { "s" } else { "" }
             ),
-            header: vec![
-                "system".into(),
-                "Intel".into(),
-                "NV".into(),
-                "ARM".into(),
-            ],
+            header: vec!["system".into(), "Intel".into(), "NV".into(), "ARM".into()],
             rows,
             notes: vec![format!(
                 "input {} / hidden {}, {} MRPC-like sentences, {} tokens total",
@@ -270,12 +267,7 @@ pub fn table3_bert(effort: Effort) -> TableResult {
     Platform::Intel.apply();
     TableResult {
         title: "Table 3: BERT latency, µs/token".into(),
-        header: vec![
-            "system".into(),
-            "Intel".into(),
-            "NV".into(),
-            "ARM".into(),
-        ],
+        header: vec!["system".into(), "Intel".into(), "NV".into(), "ARM".into()],
         rows,
         notes: vec![format!(
             "BERT config {:?}; {} sentences, {} tokens",
@@ -312,7 +304,7 @@ pub fn table4_overhead(effort: Effort, seq_len: usize) -> TableResult {
         let total = measure(effort.warmup, effort.iters, || {
             std::hint::black_box(nimble.run(&model, &ids));
         });
-        let report = nimble.vm_mut().profiler().report();
+        let report = nimble.vm_mut().profile_report();
         let runs = (effort.warmup + effort.iters) as u64;
         let kernel_ms = report.kernel_ns as f64 / runs as f64 / 1e6;
         let others_ms = report.others_total_ns() as f64 / runs as f64 / 1e6;
@@ -337,9 +329,7 @@ pub fn table4_overhead(effort: Effort, seq_len: usize) -> TableResult {
             "others".into(),
         ],
         rows,
-        notes: vec![
-            "kernel/others from the VM profiler, averaged per run".into(),
-        ],
+        notes: vec!["kernel/others from the VM profiler, averaged per run".into()],
     }
 }
 
@@ -424,12 +414,14 @@ pub fn memplan_study(effort: Effort) -> Vec<TableResult> {
     )
     .expect("compile");
     let reduction = 100.0
-        * (1.0
-            - with.memplan.storages as f64 / with.memplan.storages_uncoalesced.max(1) as f64);
+        * (1.0 - with.memplan.storages as f64 / with.memplan.storages_uncoalesced.max(1) as f64);
     let mut rows = vec![
         (
             "planned (coalesced)".into(),
-            vec![with.memplan.storages as f64, with.memplan.planned_bytes as f64 / 1024.0],
+            vec![
+                with.memplan.storages as f64,
+                with.memplan.planned_bytes as f64 / 1024.0,
+            ],
         ),
         (
             "unplanned".into(),
@@ -448,7 +440,7 @@ pub fn memplan_study(effort: Effort) -> Vec<TableResult> {
     for pooling in [true, false] {
         let devices = Arc::new(DeviceSet::cpu_only());
         devices.set_pooling(pooling);
-        let mut vm = VirtualMachine::new(exe.clone(), Arc::clone(&devices)).expect("vm");
+        let vm = VirtualMachine::new(exe.clone(), Arc::clone(&devices)).expect("vm");
         let (tok, pos) = model.inputs(&ids);
         let d = measure(effort.warmup, effort.iters, || {
             std::hint::black_box(
@@ -495,7 +487,7 @@ pub fn memplan_study(effort: Effort) -> Vec<TableResult> {
         let graph = StaticGraph::compile(&module, true).expect("static compile");
         let (exe, _) = compile(&module, &CompileOptions::default()).expect("compile");
         let devices = Arc::new(DeviceSet::cpu_only());
-        let mut vm = VirtualMachine::new(exe, Arc::clone(&devices)).expect("vm");
+        let vm = VirtualMachine::new(exe, Arc::clone(&devices)).expect("vm");
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(43);
         let img = Tensor::rand_f32(&mut rng, &[1, 3, 32, 32], 1.0);
         vm.run("main", vec![Object::tensor(img)]).expect("run");

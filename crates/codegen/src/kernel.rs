@@ -110,16 +110,19 @@ impl Kernel {
 
     /// The symbolic dense kernel set with its runtime dispatch function.
     pub fn dense_symbolic(level: DispatchLevel) -> Kernel {
-        Kernel::new(&format!("dense.symbolic[{}]", level.label()), move |inputs| {
-            let x = inputs
-                .first()
-                .ok_or_else(|| KernelError("dense: missing input".into()))?;
-            let w = inputs
-                .get(1)
-                .ok_or_else(|| KernelError("dense: missing weight".into()))?;
-            let d = SymbolicDense::new(w.clone(), inputs.get(2).cloned(), level)?;
-            Ok(vec![d.run(x)?])
-        })
+        Kernel::new(
+            &format!("dense.symbolic[{}]", level.label()),
+            move |inputs| {
+                let x = inputs
+                    .first()
+                    .ok_or_else(|| KernelError("dense: missing input".into()))?;
+                let w = inputs
+                    .get(1)
+                    .ok_or_else(|| KernelError("dense: missing weight".into()))?;
+                let d = SymbolicDense::new(w.clone(), inputs.get(2).cloned(), level)?;
+                Ok(vec![d.run(x)?])
+            },
+        )
     }
 
     /// Compile a fused primitive function into a single kernel.
@@ -229,9 +232,7 @@ impl Kernel {
                                 .get(&v.id)
                                 .map(|&i| Src::Param(i))
                                 .or_else(|| pos_of_member.get(&v.id).map(|&i| Src::Member(i)))
-                                .ok_or_else(|| {
-                                    KernelError(format!("unbound {v} in primitive"))
-                                }),
+                                .ok_or_else(|| KernelError(format!("unbound {v} in primitive"))),
                             ExprKind::Constant(t) => Ok(Src::Const(t.clone())),
                             other => Err(KernelError(format!(
                                 "unsupported primitive argument {other:?}"
@@ -249,9 +250,9 @@ impl Kernel {
                     cur = body.clone();
                 }
                 ExprKind::Var(v) => {
-                    let result_pos = *pos_of_member.get(&v.id).ok_or_else(|| {
-                        KernelError(format!("unbound result {v} in primitive"))
-                    })?;
+                    let result_pos = *pos_of_member
+                        .get(&v.id)
+                        .ok_or_else(|| KernelError(format!("unbound result {v} in primitive")))?;
                     if result_pos != steps.len() - 1 {
                         return Err(KernelError(
                             "primitive result must be the last member".into(),
@@ -268,11 +269,7 @@ impl Kernel {
         }
         let name = format!(
             "fused({})",
-            steps
-                .iter()
-                .map(|s| s.name)
-                .collect::<Vec<_>>()
-                .join("+")
+            steps.iter().map(|s| s.name).collect::<Vec<_>>().join("+")
         );
         let num_params = func.params.len();
         // The whole group is elementwise when every member is, and no
@@ -321,8 +318,7 @@ impl Kernel {
                     }
                 }
                 if uniform {
-                    let out_dims: Vec<usize> =
-                        common.map(|c| c.to_vec()).unwrap_or_default();
+                    let out_dims: Vec<usize> = common.map(|c| c.to_vec()).unwrap_or_default();
                     let len: usize = out_dims.iter().product();
                     let mut out = vec![0.0f32; len];
                     // Resolve operand buffers once.

@@ -293,8 +293,7 @@ mod tests {
     #[test]
     fn data_independent_concat() {
         let attrs = Attrs::new().with("axis", AttrValue::Int(0));
-        let sf =
-            ShapeFuncKernel::from_op("concat", &attrs, vec![DType::F32, DType::F32]).unwrap();
+        let sf = ShapeFuncKernel::from_op("concat", &attrs, vec![DType::F32, DType::F32]).unwrap();
         assert_eq!(sf.mode, ShapeFuncMode::Shapes);
         let out = sf
             .invoke(&[shape_tensor(&[3, 2]), shape_tensor(&[1, 2])])
@@ -307,8 +306,7 @@ mod tests {
         // The deferred gradual-typing check: concat with mismatched widths
         // passes static typing for Any, but fails here at run time.
         let attrs = Attrs::new().with("axis", AttrValue::Int(0));
-        let sf =
-            ShapeFuncKernel::from_op("concat", &attrs, vec![DType::F32, DType::F32]).unwrap();
+        let sf = ShapeFuncKernel::from_op("concat", &attrs, vec![DType::F32, DType::F32]).unwrap();
         assert!(sf
             .invoke(&[shape_tensor(&[3, 2]), shape_tensor(&[1, 5])])
             .is_err());

@@ -99,15 +99,7 @@ fn panel_const<const ROWS: usize>(
 /// the "boundary condition checks … leading to poor performance" of
 /// Section 4.5.
 #[inline]
-fn panel_masked(
-    x: &[f32],
-    wt: &[f32],
-    m: usize,
-    k: usize,
-    n: usize,
-    out: &mut [f32],
-    row0: usize,
-) {
+fn panel_masked(x: &[f32], wt: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], row0: usize) {
     for col in 0..n {
         let w_row = &wt[col * k..(col + 1) * k];
         let mut acc = [0.0f32; TILE];
@@ -261,7 +253,11 @@ impl SymbolicDense {
         let k = *x.dims().last().expect("rank >= 1");
         let (n, wk) = (self.weight.dims()[0], self.weight.dims()[1]);
         if k != wk {
-            return Err(TensorError::shape("SymbolicDense", x.dims(), self.weight.dims()));
+            return Err(TensorError::shape(
+                "SymbolicDense",
+                x.dims(),
+                self.weight.dims(),
+            ));
         }
         let m: usize = x.dims()[..x.rank() - 1].iter().product();
         let mut out = vec![0.0f32; m * n];

@@ -192,11 +192,8 @@ pub fn tune_dense_symbolic(n: usize, k: usize, cfg: &TunerConfig) -> TuneReport 
             .collect();
         // Normalize by shape volume so large shapes don't dominate the
         // average.
-        let avg: f64 = scores
-            .iter()
-            .map(|(m, t)| t / (*m as f64))
-            .sum::<f64>()
-            / scores.len() as f64;
+        let avg: f64 =
+            scores.iter().map(|(m, t)| t / (*m as f64)).sum::<f64>() / scores.len() as f64;
         // Step 3: best average wins.
         if avg < best_avg {
             best_avg = avg;

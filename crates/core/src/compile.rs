@@ -126,7 +126,7 @@ mod tests {
     use std::sync::Arc;
 
     fn run_main(exe: Executable, args: Vec<Object>) -> Tensor {
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         vm.run("main", args).unwrap().wait_tensor().unwrap()
     }
 
@@ -217,13 +217,10 @@ mod tests {
             Expr::call_op("neg", vec![x.to_expr()], Attrs::new()),
         );
         let mut m = Module::new();
-        m.add_function(
-            "main",
-            Function::new(vec![x, flag], body, Type::Unknown),
-        );
+        m.add_function("main", Function::new(vec![x, flag], body, Type::Unknown));
         let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
         let t = Tensor::from_vec_f32(vec![-3.0, 4.0], &[2]).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let r_true = vm
             .run(
                 "main",
@@ -239,7 +236,10 @@ mod tests {
         let r_false = vm
             .run(
                 "main",
-                vec![Object::tensor(t), Object::tensor(Tensor::scalar_bool(false))],
+                vec![
+                    Object::tensor(t),
+                    Object::tensor(Tensor::scalar_bool(false)),
+                ],
             )
             .unwrap()
             .wait_tensor()
@@ -262,7 +262,7 @@ mod tests {
         m.add_function("main", fb.finish(t));
         let (exe, report) = compile(&m, &CompileOptions::gpu()).unwrap();
         assert!(report.placement.copies_inserted > 0);
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
         let out = vm
             .run(
                 "main",
@@ -276,7 +276,11 @@ mod tests {
             .unwrap();
         assert_eq!(out.dims(), &[3, 2]);
         let expect = 1.0f32.tanh();
-        assert!(out.as_f32().unwrap().iter().all(|&v| (v - expect).abs() < 1e-6));
+        assert!(out
+            .as_f32()
+            .unwrap()
+            .iter()
+            .all(|&v| (v - expect).abs() < 1e-6));
         assert!(vm.devices().gpu().launch_count() >= 1);
     }
 
@@ -323,7 +327,7 @@ mod tests {
         let mut m = Module::new();
         m.add_function("main", fb.finish(s));
         let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         // Compatible: broadcast of (1,) against (3,).
         let ok = vm.run(
             "main",

@@ -1,0 +1,446 @@
+//! Concurrent inference engine: a bounded request queue in front of a
+//! shared [`VirtualMachine`].
+//!
+//! The paper's VM loads a model once — kernels instantiated, constants
+//! placed — and then serves requests. Because the loaded program is
+//! immutable (`Send + Sync`), serving concurrent traffic needs no
+//! duplication: N worker threads share one `Arc<VirtualMachine>`, each
+//! owning only a cheap per-run [`Session`]. The queue between callers and
+//! workers is bounded, so a saturated engine exerts backpressure on
+//! [`Engine::submit`] instead of growing without limit.
+//!
+//! Workers drain the queue in small batches (one blocking pop, then up to
+//! `max_batch - 1` opportunistic pops) so a busy queue amortizes the
+//! wake-up cost across requests.
+
+use crate::Result as CompileResult;
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use nimble_vm::{Object, ProfileReport, Session, VirtualMachine, VmError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Engine::new`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads, each owning one [`Session`].
+    pub workers: usize,
+    /// Bounded queue capacity; a full queue blocks [`Engine::submit`].
+    pub queue_capacity: usize,
+    /// Max requests a worker drains per wake-up.
+    pub max_batch: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            workers: 4,
+            queue_capacity: 64,
+            max_batch: 8,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given worker count and defaults elsewhere.
+    pub fn with_workers(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// One finished request: the VM result plus its measured latencies.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The VM's result (or the error the run produced).
+    pub result: std::result::Result<Object, VmError>,
+    /// Submit-to-completion time, including time spent queued.
+    pub latency: Duration,
+    /// Time inside [`VirtualMachine::run_in`] only.
+    pub execution: Duration,
+    /// Index of the worker thread that served the request.
+    pub worker: usize,
+}
+
+/// Why a request could not be submitted or completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// The queue is at capacity (only from [`Engine::try_submit`]).
+    Busy,
+    /// The engine shut down before the request completed.
+    Closed,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Busy => write!(f, "engine queue is full"),
+            EngineError::Closed => write!(f, "engine has shut down"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+struct Request {
+    function: String,
+    args: Vec<Object>,
+    reply: Sender<Completion>,
+    submitted: Instant,
+}
+
+/// Handle to one in-flight request; resolves to a [`Completion`].
+#[derive(Debug)]
+pub struct Ticket {
+    reply: Receiver<Completion>,
+}
+
+impl Ticket {
+    /// Block until the request completes.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] when the engine shut down first.
+    pub fn wait(self) -> std::result::Result<Completion, EngineError> {
+        self.reply.recv().map_err(|_| EngineError::Closed)
+    }
+}
+
+/// Aggregate counters kept by the workers (all monotonic since engine
+/// creation).
+#[derive(Debug, Default)]
+struct Counters {
+    completed: AtomicU64,
+    latency_ns: AtomicU64,
+    execution_ns: AtomicU64,
+    max_latency_ns: AtomicU64,
+    batches: AtomicU64,
+}
+
+/// Snapshot of engine counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Requests completed (successes and VM errors alike).
+    pub completed: u64,
+    /// Sum of submit-to-completion latencies (ns).
+    pub total_latency_ns: u64,
+    /// Sum of pure execution times (ns).
+    pub total_execution_ns: u64,
+    /// Worst single-request latency (ns).
+    pub max_latency_ns: u64,
+    /// Worker wake-ups that drained at least one request.
+    pub batches: u64,
+}
+
+impl EngineStats {
+    /// Mean submit-to-completion latency.
+    pub fn mean_latency(&self) -> Duration {
+        match self.total_latency_ns.checked_div(self.completed) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+}
+
+/// A multi-threaded serving loop over one shared loaded program.
+pub struct Engine {
+    vm: Arc<VirtualMachine>,
+    queue: Sender<Request>,
+    counters: Arc<Counters>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.workers.len())
+            .field("completed", &self.stats().completed)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Start `config.workers` threads serving `vm`.
+    ///
+    /// # Errors
+    /// Fails when the config asks for zero workers, zero capacity, or a
+    /// zero batch, or when thread spawning fails.
+    pub fn new(vm: Arc<VirtualMachine>, config: EngineConfig) -> CompileResult<Engine> {
+        if config.workers == 0 || config.queue_capacity == 0 || config.max_batch == 0 {
+            return Err(crate::CompileError::msg(
+                "engine config: workers, queue_capacity and max_batch must be nonzero",
+            ));
+        }
+        let (queue, rx) = bounded::<Request>(config.queue_capacity);
+        let counters = Arc::new(Counters::default());
+        let mut workers = Vec::with_capacity(config.workers);
+        for worker_idx in 0..config.workers {
+            let vm = Arc::clone(&vm);
+            let rx = rx.clone();
+            let counters = Arc::clone(&counters);
+            let max_batch = config.max_batch;
+            let handle = std::thread::Builder::new()
+                .name(format!("nimble-engine-{worker_idx}"))
+                .spawn(move || worker_loop(&vm, &rx, &counters, worker_idx, max_batch))
+                .map_err(|e| crate::CompileError::msg(format!("spawn engine worker: {e}")))?;
+            workers.push(handle);
+        }
+        Ok(Engine {
+            vm,
+            queue,
+            counters,
+            workers,
+        })
+    }
+
+    /// The shared loaded program this engine serves.
+    pub fn vm(&self) -> &Arc<VirtualMachine> {
+        &self.vm
+    }
+
+    /// Enqueue a request, blocking while the queue is full (backpressure).
+    pub fn submit(&self, function: &str, args: Vec<Object>) -> Ticket {
+        let (reply_tx, reply_rx) = unbounded();
+        let req = Request {
+            function: function.to_string(),
+            args,
+            reply: reply_tx,
+            submitted: Instant::now(),
+        };
+        // Workers only exit after the queue sender is dropped, so while the
+        // engine is alive a send cannot fail.
+        self.queue.send(req).expect("engine workers terminated");
+        Ticket { reply: reply_rx }
+    }
+
+    /// Enqueue a request without blocking.
+    ///
+    /// # Errors
+    /// [`EngineError::Busy`] when the queue is at capacity.
+    pub fn try_submit(
+        &self,
+        function: &str,
+        args: Vec<Object>,
+    ) -> std::result::Result<Ticket, EngineError> {
+        let (reply_tx, reply_rx) = unbounded();
+        let req = Request {
+            function: function.to_string(),
+            args,
+            reply: reply_tx,
+            submitted: Instant::now(),
+        };
+        match self.queue.try_send(req) {
+            Ok(()) => Ok(Ticket { reply: reply_rx }),
+            Err(TrySendError::Full(_)) => Err(EngineError::Busy),
+            Err(TrySendError::Disconnected(_)) => Err(EngineError::Closed),
+        }
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    ///
+    /// # Errors
+    /// [`EngineError::Closed`] when the engine shut down mid-request.
+    pub fn run(
+        &self,
+        function: &str,
+        args: Vec<Object>,
+    ) -> std::result::Result<Completion, EngineError> {
+        self.submit(function, args).wait()
+    }
+
+    /// Snapshot the aggregate request counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            total_latency_ns: self.counters.latency_ns.load(Ordering::Relaxed),
+            total_execution_ns: self.counters.execution_ns.load(Ordering::Relaxed),
+            max_latency_ns: self.counters.max_latency_ns.load(Ordering::Relaxed),
+            batches: self.counters.batches.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Profile aggregated across all workers' sessions (see
+    /// [`VirtualMachine::profile_report`]); exact because every session
+    /// merges its per-run profile into the VM's shared totals.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.vm.profile_report()
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        // Disconnect the queue; workers finish what is already enqueued,
+        // then exit, so no accepted request is dropped.
+        let (dummy, _) = bounded::<Request>(1);
+        drop(std::mem::replace(&mut self.queue, dummy));
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(
+    vm: &VirtualMachine,
+    rx: &Receiver<Request>,
+    counters: &Counters,
+    worker_idx: usize,
+    max_batch: usize,
+) {
+    // Lane = worker index: each worker's kernels get their own device
+    // stream, so requests overlap on the simulated GPU.
+    let mut session = Session::with_lane(worker_idx);
+    let mut batch = Vec::with_capacity(max_batch);
+    // Blocking pop; `Err` means the engine dropped its sender — drain ends.
+    while let Ok(first) = rx.recv() {
+        batch.push(first);
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(req) => batch.push(req),
+                Err(_) => break,
+            }
+        }
+        counters.batches.fetch_add(1, Ordering::Relaxed);
+        for req in batch.drain(..) {
+            let exec_start = Instant::now();
+            let result = vm.run_in(&mut session, &req.function, req.args);
+            let execution = exec_start.elapsed();
+            let latency = req.submitted.elapsed();
+            counters.completed.fetch_add(1, Ordering::Relaxed);
+            counters
+                .latency_ns
+                .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+            counters
+                .execution_ns
+                .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
+            counters
+                .max_latency_ns
+                .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
+            // A dropped Ticket just means the caller stopped listening.
+            let _ = req.reply.send(Completion {
+                result,
+                latency,
+                execution,
+                worker: worker_idx,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use nimble_device::DeviceSet;
+    use nimble_ir::attrs::Attrs;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_ir::Module;
+    use nimble_tensor::{DType, Tensor};
+
+    fn identity_plus_one_vm() -> Arc<VirtualMachine> {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[4], DType::F32));
+        let one = fb.constant(Tensor::ones_f32(&[4]));
+        let y = fb.call("add", vec![x, one], Attrs::new());
+        let mut module = Module::new();
+        module.add_function("main", fb.finish(y));
+        let (exe, _) = compile(&module, &CompileOptions::default()).expect("compile");
+        Arc::new(VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).expect("vm"))
+    }
+
+    #[test]
+    fn serves_requests_and_counts_them() {
+        let engine = Engine::new(identity_plus_one_vm(), EngineConfig::with_workers(2)).unwrap();
+        let tickets: Vec<Ticket> = (0..10)
+            .map(|i| {
+                engine.submit(
+                    "main",
+                    vec![Object::tensor(
+                        Tensor::from_vec_f32(vec![i as f32; 4], &[4]).unwrap(),
+                    )],
+                )
+            })
+            .collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let done = t.wait().unwrap();
+            let out = done.result.unwrap().wait_tensor().unwrap();
+            assert_eq!(out.as_f32().unwrap(), &[i as f32 + 1.0; 4]);
+            assert!(done.latency >= done.execution);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 10);
+        assert!(stats.batches >= 1 && stats.batches <= 10);
+        assert!(stats.mean_latency() > Duration::ZERO);
+    }
+
+    #[test]
+    fn try_submit_reports_backpressure() {
+        // 1 worker, tiny queue: park the worker on a first request, then
+        // fill the queue until Busy appears.
+        let vm = identity_plus_one_vm();
+        let engine = Engine::new(
+            Arc::clone(&vm),
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 2,
+                max_batch: 1,
+            },
+        )
+        .unwrap();
+        let arg = || vec![Object::tensor(Tensor::ones_f32(&[4]))];
+        let mut tickets = Vec::new();
+        let mut saw_busy = false;
+        for _ in 0..200 {
+            match engine.try_submit("main", arg()) {
+                Ok(t) => tickets.push(t),
+                Err(EngineError::Busy) => {
+                    saw_busy = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(saw_busy, "queue of capacity 2 never filled");
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn zero_workers_is_rejected() {
+        let vm = identity_plus_one_vm();
+        assert!(Engine::new(vm, EngineConfig::with_workers(0)).is_err());
+    }
+
+    #[test]
+    fn drop_completes_accepted_requests() {
+        let vm = identity_plus_one_vm();
+        let engine = Engine::new(vm, EngineConfig::with_workers(2)).unwrap();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        drop(engine);
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+    }
+
+    #[test]
+    fn profiler_sums_match_across_workers() {
+        let vm = identity_plus_one_vm();
+        vm.set_profiling(true);
+        let engine = Engine::new(Arc::clone(&vm), EngineConfig::with_workers(4)).unwrap();
+        let tickets: Vec<Ticket> = (0..32)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        for t in tickets {
+            t.wait().unwrap().result.unwrap();
+        }
+        let report = engine.profile_report();
+        assert_eq!(vm.profiled_runs(), 32);
+        // Every request runs the same single-kernel program.
+        assert_eq!(report.kernel_invocations, 32);
+        assert!(report.instructions >= 32);
+    }
+}

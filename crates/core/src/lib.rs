@@ -16,10 +16,12 @@
 //! static models — used by the Table 4 overhead study.
 
 pub mod compile;
+pub mod engine;
 pub mod lower;
 pub mod static_runtime;
 
 pub use compile::{compile, CompileOptions, CompileReport};
+pub use engine::{Completion, Engine, EngineConfig, EngineError, EngineStats, Ticket};
 pub use nimble_passes::device_place::DeviceKind;
 pub use static_runtime::StaticGraph;
 

@@ -147,9 +147,11 @@ impl<'m> Lowering<'m> {
     /// `device_hint` records the preferred placement of constants.
     fn atom_reg(&mut self, ctx: &mut Ctx, atom: &Expr, device_hint: u8) -> Result<u32> {
         match atom.kind() {
-            ExprKind::Var(v) => ctx.regs.get(&v.id).copied().ok_or_else(|| {
-                CompileError::msg(format!("{}: unbound variable {v}", ctx.name))
-            }),
+            ExprKind::Var(v) => ctx
+                .regs
+                .get(&v.id)
+                .copied()
+                .ok_or_else(|| CompileError::msg(format!("{}: unbound variable {v}", ctx.name))),
             ExprKind::Constant(t) => {
                 let index = self.intern_constant(atom.ref_id(), t, device_hint);
                 let dst = ctx.fresh();
@@ -232,7 +234,8 @@ impl<'m> Lowering<'m> {
     fn lower_if(&mut self, ctx: &mut Ctx, cond: &Expr, then: &Expr, els: &Expr) -> Result<u32> {
         let cond_reg = self.atom_reg(ctx, cond, 0)?;
         let one = ctx.fresh();
-        ctx.code.push(Instruction::LoadConsti { value: 1, dst: one });
+        ctx.code
+            .push(Instruction::LoadConsti { value: 1, dst: one });
         let out = ctx.fresh();
         let branch_at = ctx.code.len();
         ctx.code.push(Instruction::If {
@@ -615,7 +618,8 @@ impl<'m> Lowering<'m> {
                 // (the ISA has no dedicated kill; liveness is realized by
                 // overwriting the register).
                 let reg = self.atom_reg(ctx, &args[0], 0)?;
-                ctx.code.push(Instruction::LoadConsti { value: 0, dst: reg });
+                ctx.code
+                    .push(Instruction::LoadConsti { value: 0, dst: reg });
                 Ok(reg)
             }
             "shape_of" => {
@@ -720,9 +724,9 @@ impl<'m> Lowering<'m> {
         let mut members = Vec::new();
         let mut cur = f.body.clone();
         while let ExprKind::Let { var, value, body } = cur.kind() {
-            let (op, op_args, op_attrs) = value.as_op_call().ok_or_else(|| {
-                CompileError::msg("fused primitive member must be an op call")
-            })?;
+            let (op, op_args, op_attrs) = value
+                .as_op_call()
+                .ok_or_else(|| CompileError::msg("fused primitive member must be an op call"))?;
             let args = op_args
                 .iter()
                 .map(|a| match a.kind() {

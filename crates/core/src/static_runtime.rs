@@ -134,10 +134,7 @@ impl StaticGraph {
     }
 }
 
-fn build_graph(
-    f: &Function,
-    types: &nimble_passes::type_infer::TypeMap,
-) -> Result<StaticGraph> {
+fn build_graph(f: &Function, types: &nimble_passes::type_infer::TypeMap) -> Result<StaticGraph> {
     let mut param_pos: HashMap<u32, usize> = HashMap::new();
     for (i, p) in f.params.iter().enumerate() {
         param_pos.insert(p.id, i);
@@ -149,10 +146,10 @@ fn build_graph(
     let mut steps: Vec<Step> = Vec::new();
 
     let value_ref = |a: &Expr,
-                         constants: &mut Vec<Tensor>,
-                         const_memo: &mut HashMap<usize, usize>,
-                         slot_of: &HashMap<u32, usize>,
-                         param_pos: &HashMap<u32, usize>|
+                     constants: &mut Vec<Tensor>,
+                     const_memo: &mut HashMap<usize, usize>,
+                     slot_of: &HashMap<u32, usize>,
+                     param_pos: &HashMap<u32, usize>|
      -> Result<ValueRef> {
         match a.kind() {
             ExprKind::Var(v) => {
@@ -191,8 +188,7 @@ fn build_graph(
                     args.clone(),
                 ),
                 ExprKind::Func(pf) if fusion::is_primitive_call(value) => (
-                    Kernel::from_primitive(pf)
-                        .map_err(|e| CompileError::msg(e.to_string()))?,
+                    Kernel::from_primitive(pf).map_err(|e| CompileError::msg(e.to_string()))?,
                     args.clone(),
                 ),
                 other => {

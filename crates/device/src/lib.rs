@@ -98,7 +98,11 @@ impl CopyStats {
 #[derive(Debug)]
 pub struct DeviceSet {
     pools: [std::sync::Arc<MemoryPool>; 2],
-    gpu: Option<GpuStream>,
+    /// Independent GPU streams ("lanes"). Empty means CPU only. Kernels
+    /// chained through futures stay correct across lanes (a job blocks on
+    /// its input futures), so concurrent sessions can each use their own
+    /// lane — the concurrent-CUDA-streams serving model.
+    gpu: Vec<GpuStream>,
     copies: CopyStats,
     sync_count: AtomicU64,
     last_kernel_device: Mutex<DeviceId>,
@@ -112,21 +116,36 @@ impl DeviceSet {
                 std::sync::Arc::new(MemoryPool::new(true)),
                 std::sync::Arc::new(MemoryPool::new(true)),
             ],
-            gpu: None,
+            gpu: Vec::new(),
             copies: CopyStats::default(),
             sync_count: AtomicU64::new(0),
             last_kernel_device: Mutex::new(DeviceId::Cpu),
         }
     }
 
-    /// Device set with the simulated GPU attached.
+    /// Device set with the simulated GPU attached (one stream, zero
+    /// modeled kernel latency — the pure compute-time simulation).
     pub fn with_gpu() -> DeviceSet {
+        DeviceSet::with_gpu_lanes(1, std::time::Duration::ZERO)
+    }
+
+    /// Device set with `lanes` independent GPU streams, each modeling
+    /// `kernel_latency` of device-busy time per kernel. Sessions pick a
+    /// lane so concurrent requests overlap on the device; see
+    /// [`DeviceSet::gpu_lane`].
+    ///
+    /// # Panics
+    /// Panics when `lanes` is zero (use [`DeviceSet::cpu_only`]).
+    pub fn with_gpu_lanes(lanes: usize, kernel_latency: std::time::Duration) -> DeviceSet {
+        assert!(lanes > 0, "a GPU device set needs at least one stream");
         DeviceSet {
             pools: [
                 std::sync::Arc::new(MemoryPool::new(true)),
                 std::sync::Arc::new(MemoryPool::new(true)),
             ],
-            gpu: Some(GpuStream::spawn()),
+            gpu: (0..lanes)
+                .map(|_| GpuStream::spawn_with_latency(kernel_latency))
+                .collect(),
             copies: CopyStats::default(),
             sync_count: AtomicU64::new(0),
             last_kernel_device: Mutex::new(DeviceId::Cpu),
@@ -154,16 +173,31 @@ impl DeviceSet {
 
     /// Whether a (simulated) GPU is present.
     pub fn has_gpu(&self) -> bool {
-        self.gpu.is_some()
+        !self.gpu.is_empty()
     }
 
-    /// The GPU stream.
+    /// The first GPU stream (lane 0).
     ///
     /// # Panics
     /// Panics when the set was built without a GPU; callers gate on
     /// [`DeviceSet::has_gpu`].
     pub fn gpu(&self) -> &GpuStream {
-        self.gpu.as_ref().expect("device set has no GPU")
+        self.gpu_lane(0)
+    }
+
+    /// The GPU stream for a lane; lanes wrap, so any `usize` (e.g. a
+    /// worker index) is a valid selector.
+    ///
+    /// # Panics
+    /// Panics when the set was built without a GPU.
+    pub fn gpu_lane(&self, lane: usize) -> &GpuStream {
+        assert!(!self.gpu.is_empty(), "device set has no GPU");
+        &self.gpu[lane % self.gpu.len()]
+    }
+
+    /// Number of GPU streams (0 when CPU only).
+    pub fn gpu_lanes(&self) -> usize {
+        self.gpu.len()
     }
 
     /// Copy statistics.
@@ -181,11 +215,23 @@ impl DeviceSet {
         *self.last_kernel_device.lock() = device;
     }
 
-    /// Block until all enqueued GPU work has retired.
+    /// Block until all enqueued GPU work has retired, on every lane.
     pub fn synchronize(&self) {
-        if let Some(gpu) = &self.gpu {
+        if !self.gpu.is_empty() {
             self.sync_count.fetch_add(1, Ordering::Relaxed);
-            gpu.synchronize();
+            for gpu in &self.gpu {
+                gpu.synchronize();
+            }
+        }
+    }
+
+    /// Block until one lane's enqueued work has retired. Sessions use this
+    /// so a run drains its own stream without waiting on other sessions'
+    /// concurrently queued kernels.
+    pub fn synchronize_lane(&self, lane: usize) {
+        if !self.gpu.is_empty() {
+            self.sync_count.fetch_add(1, Ordering::Relaxed);
+            self.gpu_lane(lane).synchronize();
         }
     }
 }

@@ -10,6 +10,7 @@ use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send>;
 
@@ -38,6 +39,16 @@ impl std::fmt::Debug for GpuStream {
 impl GpuStream {
     /// Spawn the stream worker thread.
     pub fn spawn() -> GpuStream {
+        GpuStream::spawn_with_latency(Duration::ZERO)
+    }
+
+    /// Spawn a stream whose device additionally takes `latency` of
+    /// wall-clock time per kernel (the device stays busy, the host core
+    /// does not). Zero keeps the pure compute-time simulation; nonzero
+    /// models a discrete accelerator whose kernel duration is independent
+    /// of host load, which is what concurrency experiments on a small host
+    /// need to expose request overlap.
+    pub fn spawn_with_latency(latency: Duration) -> GpuStream {
         let (sender, receiver) = unbounded::<Job>();
         let outstanding = Arc::new(Outstanding::default());
         let o2 = Arc::clone(&outstanding);
@@ -46,6 +57,11 @@ impl GpuStream {
             .spawn(move || {
                 for job in receiver.iter() {
                     job();
+                    if latency > Duration::ZERO {
+                        // Device-occupancy sleep happens before the job
+                        // retires so `synchronize` covers the modeled time.
+                        std::thread::sleep(latency);
+                    }
                     let mut c = o2.count.lock();
                     *c -= 1;
                     if *c == 0 {
@@ -86,6 +102,13 @@ impl GpuStream {
     /// Number of kernels launched over the stream's lifetime.
     pub fn launch_count(&self) -> u64 {
         self.launches.load(Ordering::Relaxed)
+    }
+
+    /// Number of launched jobs that have not yet retired. Mostly useful in
+    /// tests: after [`GpuStream::synchronize`] returns this is 0, and stays
+    /// 0 until another launch.
+    pub fn outstanding(&self) -> u64 {
+        *self.outstanding.count.lock()
     }
 }
 

@@ -1,0 +1,95 @@
+//! `GpuStream` under sharing: many threads launch and synchronize against
+//! one stream concurrently. The contract is that this never deadlocks
+//! (every test runs under a watchdog) and that once all launchers finish a
+//! final `synchronize` leaves `outstanding() == 0`.
+
+use nimble_device::GpuStream;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Run `f` on a fresh thread and panic if it does not finish in time —
+/// turns a potential deadlock into a bounded-time test failure.
+fn bounded<F: FnOnce() + Send + 'static>(limit: Duration, f: F) {
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        f();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(limit)
+        .expect("deadlock: concurrent stream use did not finish in time");
+}
+
+#[test]
+fn concurrent_launch_and_wait_terminates() {
+    bounded(Duration::from_secs(30), || {
+        const THREADS: usize = 8;
+        const LAUNCHES: usize = 50;
+        let stream = Arc::new(GpuStream::spawn());
+        let done = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let stream = Arc::clone(&stream);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    for i in 0..LAUNCHES {
+                        let done = Arc::clone(&done);
+                        stream.launch(move || {
+                            std::hint::black_box((0..500u64).sum::<u64>());
+                            done.fetch_add(1, Ordering::SeqCst);
+                        });
+                        // Interleave waits with launches from other threads.
+                        if i % 8 == 0 {
+                            stream.synchronize();
+                        }
+                    }
+                    stream.synchronize();
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        stream.synchronize();
+        assert_eq!(done.load(Ordering::SeqCst), THREADS * LAUNCHES);
+        assert_eq!(stream.outstanding(), 0);
+        assert_eq!(stream.launch_count(), (THREADS * LAUNCHES) as u64);
+    });
+}
+
+#[test]
+fn synchronize_from_many_threads_while_idle() {
+    // Waiting on an empty stream from many threads must return at once.
+    bounded(Duration::from_secs(10), || {
+        let stream = Arc::new(GpuStream::spawn());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let stream = Arc::clone(&stream);
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        stream.synchronize();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(stream.outstanding(), 0);
+    });
+}
+
+#[test]
+fn outstanding_drains_to_zero_after_burst() {
+    bounded(Duration::from_secs(30), || {
+        let stream = Arc::new(GpuStream::spawn());
+        // A burst with no interleaved waits, then one synchronize.
+        for _ in 0..500 {
+            stream.launch(|| {
+                std::hint::black_box((0..200u64).sum::<u64>());
+            });
+        }
+        stream.synchronize();
+        assert_eq!(stream.outstanding(), 0);
+    });
+}

@@ -15,10 +15,10 @@
 
 use nimble_device::{GpuStream, TensorFuture};
 use nimble_models::data::TreeNode;
-use std::sync::Arc;
 use nimble_models::{BertModel, LstmModel, TreeLstmModel};
 use nimble_tensor::{kernels, Tensor};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Kernel function type in the eager registry.
 type EagerOp = fn(&[&Tensor]) -> Tensor;
@@ -339,11 +339,8 @@ pub fn bert_forward_with(
         // Reshape/transpose happen as framework "view" ops (not routed
         // through the registry, like tensor.view in PyTorch).
         let split_heads = |ctx: &mut EagerContext, t: &EagerTensor, perm: &[usize]| {
-            let r = kernels::transpose(
-                &t.data.reshaped(&[s, heads, dh]).expect("reshape"),
-                perm,
-            )
-            .expect("transpose");
+            let r = kernels::transpose(&t.data.reshaped(&[s, heads, dh]).expect("reshape"), perm)
+                .expect("transpose");
             ctx.input(r)
         };
         let qh = split_heads(&mut ctx, &q, &[1, 0, 2]);

@@ -122,21 +122,13 @@ pub fn compile(model: &TreeLstmModel, tree: &TreeNode) -> FoldProgram {
         let pairs = plan.pairs.clone();
         let inputs: Vec<Port> = {
             // Depend on every level referenced by this one.
-            let mut deps: Vec<usize> = pairs
-                .iter()
-                .flat_map(|(l, r)| [l.0, r.0])
-                .collect();
+            let mut deps: Vec<usize> = pairs.iter().flat_map(|(l, r)| [l.0, r.0]).collect();
             deps.sort_unstable();
             deps.dedup();
-            deps.iter()
-                .map(|d| Port::of(level_nodes[d].0))
-                .collect()
+            deps.iter().map(|d| Port::of(level_nodes[d].0)).collect()
         };
         let dep_levels: Vec<usize> = {
-            let mut deps: Vec<usize> = pairs
-                .iter()
-                .flat_map(|(l, r)| [l.0, r.0])
-                .collect();
+            let mut deps: Vec<usize> = pairs.iter().flat_map(|(l, r)| [l.0, r.0]).collect();
             deps.sort_unstable();
             deps.dedup();
             deps
@@ -166,19 +158,15 @@ pub fn compile(model: &TreeLstmModel, tree: &TreeNode) -> FoldProgram {
             };
             let (hl, hr, cl, cr) = (cat(&hl), cat(&hr), cat(&cl), cat(&cr));
             let hs = kernels::add(&hl, &hr).expect("hs");
-            let iou = kernels::add(
-                &kernels::dense(&hs, &u_iou, None).expect("dense"),
-                &b_iou,
-            )
-            .expect("bias");
+            let iou = kernels::add(&kernels::dense(&hs, &u_iou, None).expect("dense"), &b_iou)
+                .expect("bias");
             let parts = kernels::split(&iou, 3, 1).expect("split");
             let i = kernels::sigmoid(&parts[0]).expect("i");
             let o = kernels::sigmoid(&parts[1]).expect("o");
             let u = kernels::tanh(&parts[2]).expect("u");
             let f = |h: &Tensor| {
                 kernels::sigmoid(
-                    &kernels::add(&kernels::dense(h, &u_f, None).expect("uf"), &b_f)
-                        .expect("bf"),
+                    &kernels::add(&kernels::dense(h, &u_f, None).expect("uf"), &b_f).expect("bf"),
                 )
                 .expect("sig")
             };
@@ -209,14 +197,10 @@ pub fn compile(model: &TreeLstmModel, tree: &TreeNode) -> FoldProgram {
         "classifier",
         vec![Port::of(level_nodes[&root_level].0)],
         move |ins| {
-            let h = kernels::slice(
-                &ins[0],
-                &[0, root_row, 0],
-                &[1, root_row + 1, hidden],
-            )
-            .expect("root slice")
-            .reshaped(&[1, hidden])
-            .expect("root row");
+            let h = kernels::slice(&ins[0], &[0, root_row, 0], &[1, root_row + 1, hidden])
+                .expect("root slice")
+                .reshaped(&[1, hidden])
+                .expect("root row");
             kernels::dense(&h, &w_cls, None).expect("classifier")
         },
     );

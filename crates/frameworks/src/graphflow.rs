@@ -174,16 +174,16 @@ impl Graph {
         let n = self.nodes.len();
         // Per-run executor state: the allocation the paper counts against
         // graph runtimes.
-        let mut values: Vec<Vec<Option<Tensor>>> = self
-            .nodes
-            .iter()
-            .map(|node| match &node.op {
-                GraphOp::Switch => vec![None, None],
-                GraphOp::WhileLoop { state_arity, .. }
-                | GraphOp::Foreach { state_arity, .. } => vec![None; *state_arity],
-                _ => vec![None],
-            })
-            .collect();
+        let mut values: Vec<Vec<Option<Tensor>>> =
+            self.nodes
+                .iter()
+                .map(|node| match &node.op {
+                    GraphOp::Switch => vec![None, None],
+                    GraphOp::WhileLoop { state_arity, .. }
+                    | GraphOp::Foreach { state_arity, .. } => vec![None; *state_arity],
+                    _ => vec![None],
+                })
+                .collect();
         let mut pending: Vec<usize> = self
             .nodes
             .iter()
@@ -266,10 +266,7 @@ impl Graph {
                     // Final loop state: one output port per state value.
                     values[id] = state.into_iter().map(Some).collect();
                 }
-                GraphOp::Foreach {
-                    body,
-                    state_arity,
-                } => {
+                GraphOp::Foreach { body, state_arity } => {
                     let ins = gather(&values);
                     let stacked = &ins[0];
                     let mut state = ins[1..1 + state_arity].to_vec();
@@ -322,11 +319,7 @@ impl Graph {
 
 /// Run one kernel either inline (CPU) or as a launch + wait on the device
 /// stream.
-pub(crate) fn exec_kernel(
-    stream: Option<&GpuStream>,
-    f: &KernelFn,
-    inputs: Vec<Tensor>,
-) -> Tensor {
+pub(crate) fn exec_kernel(stream: Option<&GpuStream>, f: &KernelFn, inputs: Vec<Tensor>) -> Tensor {
     match stream {
         None => f(&inputs),
         Some(s) => {
@@ -395,11 +388,8 @@ impl LstmSession {
                     });
                     // i + 1 carried as first state output.
                     let inext = g.kernel("incr", vec![i_ph], |ins| {
-                        Tensor::from_vec_i64(
-                            vec![ins[0].as_i64().expect("i")[0] + 1],
-                            &[1],
-                        )
-                        .expect("i+1")
+                        Tensor::from_vec_i64(vec![ins[0].as_i64().expect("i")[0] + 1], &[1])
+                            .expect("i+1")
                     });
                     (Port::of(x), 1, vec![Port::of(inext)])
                 }
@@ -626,8 +616,7 @@ impl BertSession {
             });
             let (w1, b1) = (p.w1.clone(), p.b1.clone());
             let f1 = g.kernel("ffn1", vec![Port::of(x1)], move |ins| {
-                kernels::gelu(&kernels::dense(&ins[0], &w1, Some(&b1)).expect("w1"))
-                    .expect("gelu")
+                kernels::gelu(&kernels::dense(&ins[0], &w1, Some(&b1)).expect("w1")).expect("gelu")
             });
             let (w2, b2) = (p.w2.clone(), p.b2.clone());
             let f2 = g.kernel("ffn2", vec![Port::of(f1)], move |ins| {

@@ -300,7 +300,12 @@ impl Expr {
 
     /// If this expression is a call to a primitive op, its name.
     pub fn as_op_call(&self) -> Option<(&str, &[Expr], &Attrs)> {
-        if let ExprKind::Call { callee, args, attrs } = self.kind() {
+        if let ExprKind::Call {
+            callee,
+            args,
+            attrs,
+        } = self.kind()
+        {
             if let ExprKind::Op(name) = callee.kind() {
                 return Some((name, args, attrs));
             }

@@ -113,7 +113,11 @@ pub(super) fn slice(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
         .iter()
         .map(|&v| v as usize)
         .collect();
-    Ok(vec![kernels::slice(arg(inputs, 0, "slice")?, &begin, &end)?])
+    Ok(vec![kernels::slice(
+        arg(inputs, 0, "slice")?,
+        &begin,
+        &end,
+    )?])
 }
 
 pub(super) fn transpose(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
@@ -123,7 +127,10 @@ pub(super) fn transpose(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>>
         .iter()
         .map(|&v| v as usize)
         .collect();
-    Ok(vec![kernels::transpose(arg(inputs, 0, "transpose")?, &perm)?])
+    Ok(vec![kernels::transpose(
+        arg(inputs, 0, "transpose")?,
+        &perm,
+    )?])
 }
 
 pub(super) fn reshape(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
@@ -239,7 +246,11 @@ pub(super) fn max(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
 
 pub(super) fn mean(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
     let (axis, keep) = reduce_args(attrs);
-    Ok(vec![kernels::mean_axis(arg(inputs, 0, "mean")?, axis, keep)?])
+    Ok(vec![kernels::mean_axis(
+        arg(inputs, 0, "mean")?,
+        axis,
+        keep,
+    )?])
 }
 
 pub(super) fn argmax(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
@@ -302,11 +313,7 @@ pub(super) fn nms(inputs: &[Tensor], attrs: &Attrs) -> Result<Vec<Tensor>> {
     let out = kernels::nms(arg(inputs, 0, "nms")?, thresh)?;
     // Slice the upper-bound buffer down to the precise output shape, as
     // Section 4.2 prescribes for upper-bound operators.
-    Ok(vec![kernels::slice(
-        &out.boxes,
-        &[0, 0],
-        &[out.count, 5],
-    )?])
+    Ok(vec![kernels::slice(&out.boxes, &[0, 0], &[out.count, 5])?])
 }
 
 /// Upper-bound shape function for `nms`: at most all boxes survive.

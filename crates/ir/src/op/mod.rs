@@ -268,13 +268,17 @@ mod tests {
     #[test]
     fn registry_has_core_ops() {
         for op in [
-            "add", "dense", "concat", "arange", "unique", "nms", "conv2d", "shape_of",
-            "softmax", "take", "where",
+            "add", "dense", "concat", "arange", "unique", "nms", "conv2d", "shape_of", "softmax",
+            "take", "where",
         ] {
             assert!(lookup(op).is_ok(), "missing op {op}");
         }
         assert!(lookup("nonexistent_op").is_err());
-        assert!(registry().len() >= 40, "registry has {} ops", registry().len());
+        assert!(
+            registry().len() >= 40,
+            "registry has {} ops",
+            registry().len()
+        );
     }
 
     #[test]

@@ -70,10 +70,17 @@ fn broadcast_dims(a: &[Dim], b: &[Dim], op: &str) -> Result<Vec<Dim>> {
     let rank = a.len().max(b.len());
     let mut out = vec![Dim::Any; rank];
     for i in 0..rank {
-        let da = if i < a.len() { a[a.len() - 1 - i] } else { Dim::Static(1) };
-        let db = if i < b.len() { b[b.len() - 1 - i] } else { Dim::Static(1) };
-        out[rank - 1 - i] = broadcast_dim(da, db)
-            .map_err(|e| IrError(format!("{op}: {}", e.0)))?;
+        let da = if i < a.len() {
+            a[a.len() - 1 - i]
+        } else {
+            Dim::Static(1)
+        };
+        let db = if i < b.len() {
+            b[b.len() - 1 - i]
+        } else {
+            Dim::Static(1)
+        };
+        out[rank - 1 - i] = broadcast_dim(da, db).map_err(|e| IrError(format!("{op}: {}", e.0)))?;
     }
     Ok(out)
 }
@@ -114,7 +121,10 @@ pub fn where_rel(types: &[Type], _attrs: &Attrs) -> Result<Type> {
     expect_args(types, 3, "where")?;
     let c = tensor_at(types, 0, "where")?;
     if c.dtype != DType::Bool {
-        return Err(IrError(format!("where: condition must be bool, got {}", c.dtype)));
+        return Err(IrError(format!(
+            "where: condition must be bool, got {}",
+            c.dtype
+        )));
     }
     let a = tensor_at(types, 1, "where")?;
     let b = tensor_at(types, 2, "where")?;
@@ -211,9 +221,8 @@ pub fn concat(types: &[Type], attrs: &Attrs) -> Result<Type> {
                     _ => None,
                 };
             } else {
-                *dim = crate::types::unify_dims(*dim, t.dims[d]).map_err(|e| {
-                    IrError(format!("concat: input {i} dim {d}: {}", e.0))
-                })?;
+                *dim = crate::types::unify_dims(*dim, t.dims[d])
+                    .map_err(|e| IrError(format!("concat: input {i} dim {d}: {}", e.0)))?;
             }
         }
     }
@@ -336,7 +345,11 @@ pub fn reshape(types: &[Type], attrs: &Attrs) -> Result<Type> {
             .filter(|&(j, _)| j != i)
             .map(|(_, d)| d.as_static())
             .product::<Option<u64>>();
-        let total: Option<u64> = a.dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
+        let total: Option<u64> = a
+            .dims
+            .iter()
+            .map(|d| d.as_static())
+            .product::<Option<u64>>();
         if let (Some(k), Some(t)) = (known, total) {
             if k == 0 || t % k != 0 {
                 return Err(IrError("reshape: volume mismatch".into()));
@@ -346,7 +359,11 @@ pub fn reshape(types: &[Type], attrs: &Attrs) -> Result<Type> {
     } else {
         // Fully static sanity check when both sides are static.
         let out_total: Option<u64> = dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
-        let in_total: Option<u64> = a.dims.iter().map(|d| d.as_static()).product::<Option<u64>>();
+        let in_total: Option<u64> = a
+            .dims
+            .iter()
+            .map(|d| d.as_static())
+            .product::<Option<u64>>();
         if let (Some(o), Some(i)) = (out_total, in_total) {
             if o != i {
                 return Err(IrError(format!("reshape: volume {i} -> {o} mismatch")));
@@ -365,7 +382,10 @@ pub fn take(types: &[Type], _attrs: &Attrs) -> Result<Type> {
         return Err(IrError("take: table rank >= 1 required".into()));
     }
     if !idx.dtype.is_int() {
-        return Err(IrError(format!("take: integer indices required, got {}", idx.dtype)));
+        return Err(IrError(format!(
+            "take: integer indices required, got {}",
+            idx.dtype
+        )));
     }
     let mut dims = idx.dims.clone();
     dims.extend_from_slice(&table.dims[1..]);
@@ -479,7 +499,10 @@ pub fn arange(types: &[Type], _attrs: &Attrs) -> Result<Type> {
             return Err(IrError("arange: scalar inputs required".into()));
         }
     }
-    Ok(Type::Tensor(TensorType::from_dims(vec![Dim::Any], DType::F32)))
+    Ok(Type::Tensor(TensorType::from_dims(
+        vec![Dim::Any],
+        DType::F32,
+    )))
 }
 
 /// `unique(x)` → `Tensor[(Any,), i64]`.
@@ -598,7 +621,10 @@ pub fn batch_norm(types: &[Type], _attrs: &Attrs) -> Result<Type> {
 pub fn shape_of(types: &[Type], _attrs: &Attrs) -> Result<Type> {
     expect_args(types, 1, "shape_of")?;
     let a = tensor_at(types, 0, "shape_of")?;
-    Ok(Type::Tensor(TensorType::new(&[a.rank() as u64], DType::I64)))
+    Ok(Type::Tensor(TensorType::new(
+        &[a.rank() as u64],
+        DType::I64,
+    )))
 }
 
 #[cfg(test)]
@@ -646,10 +672,7 @@ mod tests {
             &Attrs::new(),
         )
         .unwrap();
-        assert_eq!(
-            out,
-            t(vec![Dim::Static(5), Dim::Any]),
-        );
+        assert_eq!(out, t(vec![Dim::Static(5), Dim::Any]),);
     }
 
     #[test]
@@ -783,7 +806,11 @@ mod tests {
 
     #[test]
     fn shape_of_rank_known_statically() {
-        let out = shape_of(&[t(vec![Dim::Any, Dim::Any, Dim::Static(4)])], &Attrs::new()).unwrap();
+        let out = shape_of(
+            &[t(vec![Dim::Any, Dim::Any, Dim::Static(4)])],
+            &Attrs::new(),
+        )
+        .unwrap();
         match out {
             Type::Tensor(tt) => {
                 assert_eq!(tt.dims, vec![Dim::Static(3)]);

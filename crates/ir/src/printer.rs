@@ -232,7 +232,10 @@ mod tests {
         let mut m = Module::new();
         m.add_adt(TypeDef::list(Type::Tensor(TensorType::scalar(DType::F32))));
         let x = Var::fresh("x", Type::Adt("List".into()));
-        m.add_function("len", Function::new(vec![x.clone()], x.to_expr(), Type::Unknown));
+        m.add_function(
+            "len",
+            Function::new(vec![x.clone()], x.to_expr(), Type::Unknown),
+        );
         let text = print_module(&m);
         assert!(text.contains("type List = Nil | Cons("));
         assert!(text.contains("fn @len"));

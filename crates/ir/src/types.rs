@@ -202,14 +202,10 @@ impl TensorType {
     pub fn admits(&self, shape: &[usize], dtype: DType) -> bool {
         self.dtype == dtype
             && self.dims.len() == shape.len()
-            && self
-                .dims
-                .iter()
-                .zip(shape.iter())
-                .all(|(d, &s)| match d {
-                    Dim::Static(v) => *v == s as u64,
-                    _ => true,
-                })
+            && self.dims.iter().zip(shape.iter()).all(|(d, &s)| match d {
+                Dim::Static(v) => *v == s as u64,
+                _ => true,
+            })
     }
 }
 
@@ -333,9 +329,7 @@ impl fmt::Display for Type {
 pub fn unify_dims(a: Dim, b: Dim) -> crate::Result<Dim> {
     match (a, b) {
         (Dim::Static(x), Dim::Static(y)) if x == y => Ok(a),
-        (Dim::Static(x), Dim::Static(y)) => {
-            Err(IrError(format!("cannot unify dims {x} and {y}")))
-        }
+        (Dim::Static(x), Dim::Static(y)) => Err(IrError(format!("cannot unify dims {x} and {y}"))),
         (Dim::Static(_), _) => Ok(a),
         (_, Dim::Static(_)) => Ok(b),
         (Dim::Sym(_), _) => Ok(a),

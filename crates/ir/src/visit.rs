@@ -141,8 +141,8 @@ impl<'a> Rewriter<'a> {
                 let ExprKind::Let { var, value, body } = orig.kind() else {
                     unreachable!("chain holds only let nodes");
                 };
-                let unchanged = new_value.ref_id() == value.ref_id()
-                    && out.ref_id() == body.ref_id();
+                let unchanged =
+                    new_value.ref_id() == value.ref_id() && out.ref_id() == body.ref_id();
                 let rebuilt = if unchanged {
                     orig.clone()
                 } else {
@@ -169,7 +169,11 @@ impl<'a> Rewriter<'a> {
             | ExprKind::Constructor(_) => expr.clone(),
             ExprKind::Tuple(fields) => {
                 let new: Vec<Expr> = fields.iter().map(|e| self.rewrite(e)).collect();
-                if new.iter().zip(fields).all(|(a, b)| a.ref_id() == b.ref_id()) {
+                if new
+                    .iter()
+                    .zip(fields)
+                    .all(|(a, b)| a.ref_id() == b.ref_id())
+                {
                     expr.clone()
                 } else {
                     Expr::tuple(new)

@@ -69,7 +69,11 @@ fn cases() -> Vec<Case> {
     );
     push(
         "dense",
-        vec![f(&[3, 4], &mut rng), f(&[6, 4], &mut rng), f(&[6], &mut rng)],
+        vec![
+            f(&[3, 4], &mut rng),
+            f(&[6, 4], &mut rng),
+            f(&[6], &mut rng),
+        ],
         Attrs::new(),
     );
     push(

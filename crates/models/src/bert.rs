@@ -147,7 +147,9 @@ impl BertModel {
                 bo: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
                 ln1: (Tensor::ones_f32(&[h]), Tensor::zeros(DType::F32, &[h])),
                 w1: mk(config.ffn, h),
-                b1: mk(config.ffn, 1).reshaped(&[config.ffn]).expect("bias reshape"),
+                b1: mk(config.ffn, 1)
+                    .reshaped(&[config.ffn])
+                    .expect("bias reshape"),
                 w2: mk(h, config.ffn),
                 b2: mk(h, 1).reshaped(&[h]).expect("bias reshape"),
                 ln2: (Tensor::ones_f32(&[h]), Tensor::zeros(DType::F32, &[h])),
@@ -221,11 +223,7 @@ impl BertModel {
             Attrs::new().with("eps", AttrValue::Float(1e-5)),
         );
         let ffn = dense(
-            Expr::call_op(
-                "gelu",
-                vec![dense(x1.clone(), &p.w1, &p.b1)],
-                Attrs::new(),
-            ),
+            Expr::call_op("gelu", vec![dense(x1.clone(), &p.w1, &p.b1)], Attrs::new()),
             &p.w2,
             &p.b2,
         );
@@ -407,7 +405,7 @@ mod tests {
     fn vm_matches_reference_across_lengths() {
         let model = BertModel::new(tiny());
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(17);
         for len in [1usize, 3, 8, 13] {
             let ids = model.random_tokens(&mut rng, len);
@@ -429,7 +427,7 @@ mod tests {
     fn output_rows_track_input_length() {
         let model = BertModel::new(tiny());
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let ids = vec![1, 2, 3, 4, 5];
         let (tok, pos) = model.inputs(&ids);
         let out = vm

@@ -36,10 +36,7 @@ struct CvBuilder {
 impl CvBuilder {
     fn new(name: &str, seed: u64) -> (CvBuilder, Expr) {
         let mut fb = FunctionBuilder::new(name);
-        let x = fb.param(
-            "image",
-            TensorType::new(&[1, 3, 32, 32], DType::F32),
-        );
+        let x = fb.param("image", TensorType::new(&[1, 3, 32, 32], DType::F32));
         (
             CvBuilder {
                 fb,
@@ -49,7 +46,15 @@ impl CvBuilder {
         )
     }
 
-    fn conv(&mut self, x: Expr, in_c: usize, out_c: usize, k: usize, stride: usize, pad: usize) -> Expr {
+    fn conv(
+        &mut self,
+        x: Expr,
+        in_c: usize,
+        out_c: usize,
+        k: usize,
+        stride: usize,
+        pad: usize,
+    ) -> Expr {
         let w = Tensor::rand_f32(&mut self.rng, &[out_c, in_c, k, k], 0.1);
         let wc = self.fb.constant(w);
         self.fb.call(
@@ -208,7 +213,7 @@ mod tests {
     fn resnet_runs_end_to_end() {
         let module = resnet_like(1);
         let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let mut rng = StdRng::seed_from_u64(4);
         let img = Tensor::rand_f32(&mut rng, &[1, 3, 32, 32], 1.0);
         let out = vm
@@ -226,7 +231,7 @@ mod tests {
         // model; verify they compute the same thing.
         let module = vgg_like(2);
         let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let graph = StaticGraph::compile(&module, true).unwrap();
         let mut rng = StdRng::seed_from_u64(8);
         let img = Tensor::rand_f32(&mut rng, &[1, 3, 32, 32], 1.0);

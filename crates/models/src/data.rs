@@ -108,7 +108,11 @@ mod tests {
         let adt = l.as_adt().unwrap();
         assert_eq!(adt.tag, CONS_TAG);
         assert_eq!(
-            adt.fields[0].wait_tensor().unwrap().scalar_value_f32().unwrap(),
+            adt.fields[0]
+                .wait_tensor()
+                .unwrap()
+                .scalar_value_f32()
+                .unwrap(),
             1.0
         );
         let tail = adt.fields[1].as_adt().unwrap();

@@ -292,8 +292,7 @@ impl LstmModel {
     /// hidden state.
     pub fn reference(&self, tokens: &[Tensor]) -> Tensor {
         let zero = Tensor::zeros(DType::F32, &[1, self.config.hidden]);
-        let mut states: Vec<(Tensor, Tensor)> =
-            vec![(zero.clone(), zero); self.config.layers];
+        let mut states: Vec<(Tensor, Tensor)> = vec![(zero.clone(), zero); self.config.layers];
         for t in tokens {
             let mut input = t.clone();
             for (l, state) in states.iter_mut().enumerate() {
@@ -345,7 +344,7 @@ mod tests {
         let model = LstmModel::new(tiny());
         let module = model.module();
         let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         for len in [1usize, 2, 5, 9] {
             let tokens = model.random_tokens(&mut rng, len);
@@ -366,7 +365,7 @@ mod tests {
     fn empty_sequence_returns_zero_state() {
         let model = LstmModel::new(tiny());
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let out = vm
             .run("main", vec![list_object(&[])])
             .unwrap()
@@ -382,7 +381,7 @@ mod tests {
             ..tiny()
         });
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(9);
         let tokens = model.random_tokens(&mut rng, 4);
         let out = vm

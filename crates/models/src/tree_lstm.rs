@@ -89,11 +89,7 @@ impl TreeLstmModel {
 
     /// iou-split helper: `let iou = dense(input, w) + b; parts = split` and
     /// the three gate expressions.
-    fn iou_bindings(
-        &self,
-        input: Expr,
-        w: &Tensor,
-    ) -> (Vec<(Var, Expr)>, Expr, Expr, Expr) {
+    fn iou_bindings(&self, input: Expr, w: &Tensor) -> (Vec<(Var, Expr)>, Expr, Expr, Expr) {
         let mut binds = Vec::new();
         let iou = Var::fresh("iou", Type::Unknown);
         binds.push((
@@ -123,11 +119,7 @@ impl TreeLstmModel {
             ),
         ));
         let gate = |idx: usize, f: &str| {
-            Expr::call_op(
-                f,
-                vec![Expr::tuple_get(parts.to_expr(), idx)],
-                Attrs::new(),
-            )
+            Expr::call_op(f, vec![Expr::tuple_get(parts.to_expr(), idx)], Attrs::new())
         };
         (
             binds,
@@ -176,9 +168,15 @@ impl TreeLstmModel {
         let right = Var::fresh("right", Type::Adt("Tree".into()));
         let mut nb: Vec<(Var, Expr)> = Vec::new();
         let lp = Var::fresh("lp", Type::Unknown);
-        nb.push((lp.clone(), Expr::call(Expr::global("node"), vec![left.to_expr()])));
+        nb.push((
+            lp.clone(),
+            Expr::call(Expr::global("node"), vec![left.to_expr()]),
+        ));
         let rp = Var::fresh("rp", Type::Unknown);
-        nb.push((rp.clone(), Expr::call(Expr::global("node"), vec![right.to_expr()])));
+        nb.push((
+            rp.clone(),
+            Expr::call(Expr::global("node"), vec![right.to_expr()]),
+        ));
         let hl = Var::fresh("hl", Type::Unknown);
         nb.push((hl.clone(), Expr::tuple_get(lp.to_expr(), 0)));
         let cl = Var::fresh("cl", Type::Unknown);
@@ -222,16 +220,8 @@ impl TreeLstmModel {
                     Expr::call_op(
                         "add",
                         vec![
-                            Expr::call_op(
-                                "mul",
-                                vec![forget(&hl), cl.to_expr()],
-                                Attrs::new(),
-                            ),
-                            Expr::call_op(
-                                "mul",
-                                vec![forget(&hr), cr.to_expr()],
-                                Attrs::new(),
-                            ),
+                            Expr::call_op("mul", vec![forget(&hl), cl.to_expr()], Attrs::new()),
+                            Expr::call_op("mul", vec![forget(&hr), cr.to_expr()], Attrs::new()),
                         ],
                         Attrs::new(),
                     ),
@@ -309,11 +299,8 @@ impl TreeLstmModel {
     }
 
     fn iou_reference(&self, input: &Tensor, w: &Tensor) -> (Tensor, Tensor, Tensor) {
-        let iou = kernels::add(
-            &kernels::dense(input, w, None).expect("dense"),
-            &self.b_iou,
-        )
-        .expect("bias");
+        let iou = kernels::add(&kernels::dense(input, w, None).expect("dense"), &self.b_iou)
+            .expect("bias");
         let parts = kernels::split(&iou, 3, 1).expect("split");
         (
             kernels::sigmoid(&parts[0]).expect("i"),
@@ -370,9 +357,7 @@ impl TreeLstmModel {
     /// Random tree with the given number of leaves.
     pub fn random_tree<R: rand::Rng>(&self, rng: &mut R, leaves: usize) -> TreeNode {
         let input = self.config.input;
-        crate::data::random_tree(rng, leaves, &mut |r| {
-            Tensor::rand_f32(r, &[1, input], 1.0)
-        })
+        crate::data::random_tree(rng, leaves, &mut |r| Tensor::rand_f32(r, &[1, input], 1.0))
     }
 }
 
@@ -404,7 +389,7 @@ mod tests {
     fn vm_matches_reference_across_structures() {
         let model = TreeLstmModel::new(tiny());
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(11);
         for leaves in [1usize, 2, 3, 7, 12] {
             let tree = model.random_tree(&mut rng, leaves);

@@ -50,8 +50,8 @@ fn flat_value(e: &Expr) -> bool {
         ExprKind::Call { callee, args, .. } => {
             // Fused primitive calls have a function literal callee whose
             // body must itself be in ANF.
-            let callee_ok = is_atom(callee)
-                || matches!(callee.kind(), ExprKind::Func(f) if is_anf(&f.body));
+            let callee_ok =
+                is_atom(callee) || matches!(callee.kind(), ExprKind::Func(f) if is_anf(&f.body));
             callee_ok && args.iter().all(is_atom)
         }
         ExprKind::Tuple(fields) => fields.iter().all(is_atom),

@@ -126,10 +126,7 @@ impl DeviceDomains {
 /// # Errors
 /// Currently infallible in practice; the `Result` covers future rule
 /// violations.
-pub fn place_function(
-    func: &Function,
-    target: DeviceKind,
-) -> Result<(Function, PlacementReport)> {
+pub fn place_function(func: &Function, target: DeviceKind) -> Result<(Function, PlacementReport)> {
     let mut report = PlacementReport::default();
     // Params arrive on the host.
     let mut domains = DeviceDomains::new();
@@ -225,11 +222,11 @@ fn place_block(
     let mut copies: HashMap<(u32, DeviceKind), Var> = HashMap::new();
 
     let ensure_on = |atom: &Expr,
-                         want: DeviceKind,
-                         domains: &mut DeviceDomains,
-                         out: &mut Vec<(Var, Expr)>,
-                         copies: &mut HashMap<(u32, DeviceKind), Var>,
-                         report: &mut PlacementReport|
+                     want: DeviceKind,
+                     domains: &mut DeviceDomains,
+                     out: &mut Vec<(Var, Expr)>,
+                     copies: &mut HashMap<(u32, DeviceKind), Var>,
+                     report: &mut PlacementReport|
      -> Expr {
         match atom.kind() {
             ExprKind::Var(v) => {
@@ -286,22 +283,29 @@ fn place_block(
                 place_block(&f.body, target, domains, report)?,
                 f.ret_type.clone(),
             )),
-            ExprKind::Call { callee, args, attrs } => {
+            ExprKind::Call {
+                callee,
+                args,
+                attrs,
+            } => {
                 if let Some((op, _, _)) = value.as_op_call() {
                     match op {
                         d if d == dialect::INVOKE_MUT => {
                             let mut new_args = vec![args[0].clone()];
                             for a in &args[1..] {
                                 new_args.push(ensure_on(
-                                    a, target, domains, &mut out, &mut copies, report,
+                                    a,
+                                    target,
+                                    domains,
+                                    &mut out,
+                                    &mut copies,
+                                    report,
                                 ));
                             }
                             Expr::new(ExprKind::Call {
                                 callee: callee.clone(),
                                 args: new_args,
-                                attrs: attrs
-                                    .clone()
-                                    .with("device", AttrValue::Int(target.index())),
+                                attrs: attrs.clone().with("device", AttrValue::Int(target.index())),
                             })
                         }
                         d if d == dialect::INVOKE_SHAPE_FUNC => {

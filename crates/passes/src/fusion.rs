@@ -104,7 +104,9 @@ fn fuse_block(block: &Expr) -> Expr {
                         // Try to join the group producing one of our args.
                         for a in args {
                             let Some(v) = a.as_var() else { continue };
-                            let Some(&pi) = producer.get(&v.id) else { continue };
+                            let Some(&pi) = producer.get(&v.id) else {
+                                continue;
+                            };
                             let g = group_of[pi];
                             if g == usize::MAX {
                                 continue;

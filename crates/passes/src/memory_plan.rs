@@ -260,14 +260,24 @@ fn plan_block(
                 ShapeFnKind::DataIndependent => {
                     let shapes = tensor_args
                         .iter()
-                        .map(|a| out.push("sh", Expr::call_op("shape_of", vec![a.clone()], Attrs::new())))
+                        .map(|a| {
+                            out.push(
+                                "sh",
+                                Expr::call_op("shape_of", vec![a.clone()], Attrs::new()),
+                            )
+                        })
                         .collect();
                     ("shapes", shapes)
                 }
                 ShapeFnKind::UpperBound(_) => {
                     let shapes = tensor_args
                         .iter()
-                        .map(|a| out.push("sh", Expr::call_op("shape_of", vec![a.clone()], Attrs::new())))
+                        .map(|a| {
+                            out.push(
+                                "sh",
+                                Expr::call_op("shape_of", vec![a.clone()], Attrs::new()),
+                            )
+                        })
                         .collect();
                     ("bound", shapes)
                 }
@@ -374,8 +384,7 @@ fn plan_block(
             if let Some(&invoke_pos) = last_use.get(&sa.tensor_var) {
                 if invoke_pos != usize::MAX {
                     if let Some((alias_var, _)) = out.bindings.get(invoke_pos) {
-                        let alias_last =
-                            last_use.get(&alias_var.id).copied().unwrap_or(invoke_pos);
+                        let alias_last = last_use.get(&alias_var.id).copied().unwrap_or(invoke_pos);
                         alias_extend.insert(sa.tensor_var, alias_last);
                     }
                 }
@@ -550,7 +559,12 @@ mod tests {
         let f = to_anf(&fb.finish(c));
         let (types, _) = infer_function(&Module::new(), &f).unwrap();
         let (planned, report) = plan_function(&f, &types, true).unwrap();
-        assert_eq!(count_ops(&planned, "shape_of"), 2, "{}", nimble_ir::printer::print_function("main", &planned));
+        assert_eq!(
+            count_ops(&planned, "shape_of"),
+            2,
+            "{}",
+            nimble_ir::printer::print_function("main", &planned)
+        );
         assert_eq!(count_ops(&planned, dialect::INVOKE_SHAPE_FUNC), 1);
         assert_eq!(count_ops(&planned, dialect::ALLOC_TENSOR_REG), 1);
         assert_eq!(count_ops(&planned, dialect::INVOKE_MUT), 1);

@@ -113,9 +113,7 @@ fn dce_block(block: &Expr) -> Expr {
         }
         count(&result, &mut uses);
         let before = chain.len();
-        chain.retain(|(var, value)| {
-            uses.get(&var.id).copied().unwrap_or(0) > 0 || !is_pure(value)
-        });
+        chain.retain(|(var, value)| uses.get(&var.id).copied().unwrap_or(0) > 0 || !is_pure(value));
         if chain.len() == before {
             break;
         }

@@ -301,8 +301,7 @@ impl<'m> Inferencer<'m> {
             ExprKind::If { cond, then, els } => {
                 let ct = self.infer(cond, env)?;
                 match &ct {
-                    Type::Tensor(t)
-                        if t.dtype == nimble_tensor::DType::Bool && t.rank() == 0 => {}
+                    Type::Tensor(t) if t.dtype == nimble_tensor::DType::Bool && t.rank() == 0 => {}
                     other => {
                         return Err(IrError(format!(
                             "if condition must be a scalar bool, got {other}"
@@ -327,7 +326,9 @@ impl<'m> Inferencer<'m> {
                 let adt_name = match &vt {
                     Type::Adt(n) => n.clone(),
                     other => {
-                        return Err(IrError(format!("match scrutinee must be an ADT, got {other}")))
+                        return Err(IrError(format!(
+                            "match scrutinee must be an ADT, got {other}"
+                        )))
                     }
                 };
                 let mut result: Option<Type> = None;
@@ -545,10 +546,7 @@ mod tests {
         let elem = Type::Tensor(TensorType::scalar(DType::F32));
         m.add_adt(TypeDef::list(elem));
         let nil = Expr::call(Expr::constructor("Nil"), vec![]);
-        let cons = Expr::call(
-            Expr::constructor("Cons"),
-            vec![Expr::const_f32(1.0), nil],
-        );
+        let cons = Expr::call(Expr::constructor("Cons"), vec![Expr::const_f32(1.0), nil]);
         let f = Function::new(vec![], cons, Type::Unknown);
         let (_, ret) = infer_function(&m, &f).unwrap();
         assert_eq!(ret, Type::Adt("List".into()));

@@ -68,10 +68,17 @@ fn dynamic_concat_matches_paper_listing() {
     // kernel with the output as an in-out argument.
     let sh0 = text.find("shape_of").expect("first shape_of");
     let sh1 = text.rfind("shape_of").expect("second shape_of");
-    let sf = text.find("memory.invoke_shape_func").expect("invoke_shape_func");
-    let alloc = text.find("memory.alloc_tensor_reg").expect("alloc_tensor_reg");
+    let sf = text
+        .find("memory.invoke_shape_func")
+        .expect("invoke_shape_func");
+    let alloc = text
+        .find("memory.alloc_tensor_reg")
+        .expect("alloc_tensor_reg");
     let invoke = text.find("memory.invoke_mut").expect("invoke_mut");
-    assert!(sh0 < sh1 && sh1 < sf && sf < alloc && alloc < invoke, "{text}");
+    assert!(
+        sh0 < sh1 && sh1 < sf && sf < alloc && alloc < invoke,
+        "{text}"
+    );
     // The shape function runs in "shapes" (data-independent) mode.
     assert!(text.contains("mode=\"shapes\""), "{text}");
 }

@@ -80,9 +80,15 @@ impl fmt::Display for TensorError {
                 op,
                 expected,
                 actual,
-            } => write!(f, "dtype mismatch in {op}: expected {expected}, got {actual}"),
+            } => write!(
+                f,
+                "dtype mismatch in {op}: expected {expected}, got {actual}"
+            ),
             TensorError::LengthMismatch { len, expected } => {
-                write!(f, "data length {len} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {len} does not match shape volume {expected}"
+                )
             }
             TensorError::OutOfRange { what } => write!(f, "out of range: {what}"),
             TensorError::Invalid(msg) => write!(f, "invalid argument: {msg}"),

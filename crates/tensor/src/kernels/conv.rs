@@ -34,7 +34,11 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
         weight.dims()[3],
     );
     if c != wc {
-        return Err(TensorError::shape("conv2d channels", input.dims(), weight.dims()));
+        return Err(TensorError::shape(
+            "conv2d channels",
+            input.dims(),
+            weight.dims(),
+        ));
     }
     let hp = h + 2 * padding;
     let wp = w + 2 * padding;
@@ -110,7 +114,9 @@ fn pool2d(
         return Err(TensorError::invalid("pool2d: input must be rank 4"));
     }
     if kernel == 0 || stride == 0 {
-        return Err(TensorError::invalid("pool2d: kernel/stride must be positive"));
+        return Err(TensorError::invalid(
+            "pool2d: kernel/stride must be positive",
+        ));
     }
     let (n, c, h, w) = (
         input.dims()[0],
@@ -156,7 +162,14 @@ pub fn max_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor
 /// # Errors
 /// Fails for non-rank-4 input or a kernel larger than the input.
 pub fn avg_pool2d(input: &Tensor, kernel: usize, stride: usize) -> Result<Tensor> {
-    pool2d(input, kernel, stride, 0.0, |a, b| a + b, |v, n| v / n as f32)
+    pool2d(
+        input,
+        kernel,
+        stride,
+        0.0,
+        |a, b| a + b,
+        |v, n| v / n as f32,
+    )
 }
 
 /// Global average pooling: `[n, c, h, w] → [n, c]`.

@@ -1,6 +1,6 @@
 //! Tensor-creating kernels: arange, full, cast, one-hot.
 
-use crate::{Data, DType, Result, Tensor, TensorError};
+use crate::{DType, Data, Result, Tensor, TensorError};
 
 /// `arange(start, stop, step)` — the paper's canonical *data-dependent*
 /// operator: "the output size is a function of input arguments"

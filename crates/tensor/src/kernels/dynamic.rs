@@ -228,8 +228,8 @@ mod tests {
                 v.push(rng.gen_range(0.0..1.0)); // score
                 v.push(x);
                 v.push(y);
-                v.push(x + rng.gen_range(1.0..10.0));
-                v.push(y + rng.gen_range(1.0..10.0));
+                v.push(x + rng.gen_range(1.0f32..10.0));
+                v.push(y + rng.gen_range(1.0f32..10.0));
             }
             let out = nms(&Tensor::from_vec_f32(v, &[n, 5]).unwrap(), thresh).unwrap();
             prop_assert!(out.count >= 1 && out.count <= n);

@@ -262,8 +262,7 @@ mod tests {
     #[test]
     fn matmul_identity() {
         let a = Tensor::from_vec_f32((0..9).map(|x| x as f32).collect(), &[3, 3]).unwrap();
-        let eye =
-            Tensor::from_vec_f32(vec![1., 0., 0., 0., 1., 0., 0., 0., 1.], &[3, 3]).unwrap();
+        let eye = Tensor::from_vec_f32(vec![1., 0., 0., 0., 1., 0., 0., 0., 1.], &[3, 3]).unwrap();
         assert_eq!(matmul(&a, &eye).unwrap(), a);
     }
 
@@ -299,8 +298,8 @@ mod tests {
     #[test]
     fn batch_matmul_matches_per_batch() {
         let a = Tensor::from_vec_f32((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
-        let b = Tensor::from_vec_f32((0..12).map(|x| x as f32 * 0.5).collect(), &[2, 3, 2])
-            .unwrap();
+        let b =
+            Tensor::from_vec_f32((0..12).map(|x| x as f32 * 0.5).collect(), &[2, 3, 2]).unwrap();
         let c = batch_matmul(&a, &b).unwrap();
         assert_eq!(c.dims(), &[2, 2, 2]);
         for batch in 0..2 {
@@ -311,7 +310,10 @@ mod tests {
                 3,
                 2,
             );
-            assert_eq!(&c.as_f32().unwrap()[batch * 4..(batch + 1) * 4], &expect[..]);
+            assert_eq!(
+                &c.as_f32().unwrap()[batch * 4..(batch + 1) * 4],
+                &expect[..]
+            );
         }
     }
 

@@ -1,6 +1,6 @@
 //! Data-movement kernels: concat, split, slice, transpose, gather, stack.
 
-use crate::{Data, DType, Result, Tensor, TensorError};
+use crate::{DType, Data, Result, Tensor, TensorError};
 
 /// Concatenate tensors along `axis`. All inputs must agree on every other
 /// dimension and on dtype. This is the canonical dynamic-output-shape
@@ -14,7 +14,9 @@ pub fn concat(inputs: &[&Tensor], axis: usize) -> Result<Tensor> {
         .ok_or_else(|| TensorError::invalid("concat of zero tensors"))?;
     let rank = first.rank();
     if axis >= rank {
-        return Err(TensorError::range(format!("concat axis {axis} rank {rank}")));
+        return Err(TensorError::range(format!(
+            "concat axis {axis} rank {rank}"
+        )));
     }
     let mut axis_total = 0;
     for t in inputs {
@@ -139,7 +141,11 @@ pub fn slice(a: &Tensor, begin: &[usize], end: &[usize]) -> Result<Tensor> {
                 loop {
                     // Copy the innermost contiguous run.
                     let base: usize = idx.iter().zip(strides.iter()).map(|(&i, &s)| i * s).sum();
-                    let run = if a.rank() == 0 { 1 } else { out_shape[a.rank() - 1] };
+                    let run = if a.rank() == 0 {
+                        1
+                    } else {
+                        out_shape[a.rank() - 1]
+                    };
                     out.extend_from_slice(&src[base..base + run]);
                     // Advance all but the innermost dimension.
                     if a.rank() <= 1 {
@@ -249,7 +255,11 @@ pub fn take(table: &Tensor, indices: &Tensor) -> Result<Tensor> {
         Data::I64(v) => v.clone(),
         Data::I32(v) => v.iter().map(|&x| x as i64).collect(),
         other => {
-            return Err(TensorError::dtype("take indices", DType::I64, other.dtype()));
+            return Err(TensorError::dtype(
+                "take indices",
+                DType::I64,
+                other.dtype(),
+            ));
         }
     };
     let rows = table.dims()[0];

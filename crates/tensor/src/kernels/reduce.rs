@@ -128,7 +128,11 @@ pub fn layer_norm(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
     let last = a.rank() - 1;
     let len = a.dims()[last];
     if gamma.dims() != [len] || beta.dims() != [len] {
-        return Err(TensorError::shape("layer_norm params", &[len], gamma.dims()));
+        return Err(TensorError::shape(
+            "layer_norm params",
+            &[len],
+            gamma.dims(),
+        ));
     }
     let v = a.as_f32()?;
     let g = gamma.as_f32()?;

@@ -9,8 +9,7 @@
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Platform execution profile used by the kernel library.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum ExecProfile {
     /// Server-class CPU: all available cores, large cache tiles.
     #[default]
@@ -18,7 +17,6 @@ pub enum ExecProfile {
     /// Edge-class CPU (stand-in for ARM Cortex-A72): one worker, small tiles.
     Edge,
 }
-
 
 impl ExecProfile {
     /// Number of worker threads the profile may use.

@@ -117,8 +117,16 @@ pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
     let rank = lhs.len().max(rhs.len());
     let mut out = vec![0; rank];
     for i in 0..rank {
-        let l = if i < lhs.len() { lhs[lhs.len() - 1 - i] } else { 1 };
-        let r = if i < rhs.len() { rhs[rhs.len() - 1 - i] } else { 1 };
+        let l = if i < lhs.len() {
+            lhs[lhs.len() - 1 - i]
+        } else {
+            1
+        };
+        let r = if i < rhs.len() {
+            rhs[rhs.len() - 1 - i]
+        } else {
+            1
+        };
         out[rank - 1 - i] = if l == r {
             l
         } else if l == 1 {
@@ -215,10 +223,7 @@ mod tests {
     #[test]
     fn index_iter_row_major() {
         let idx: Vec<_> = IndexIter::new(&[2, 2]).collect();
-        assert_eq!(
-            idx,
-            vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]
-        );
+        assert_eq!(idx, vec![vec![0, 0], vec![0, 1], vec![1, 0], vec![1, 1]]);
         // A zero-sized dimension yields no indices.
         assert_eq!(IndexIter::new(&[0, 3]).count(), 0);
         // A scalar yields exactly one (empty) index.

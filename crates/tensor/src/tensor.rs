@@ -144,9 +144,7 @@ impl Tensor {
     /// RNG so model initialization is reproducible.
     pub fn rand_f32<R: rand::Rng>(rng: &mut R, shape: &[usize], scale: f32) -> Tensor {
         let volume: usize = shape.iter().product();
-        let data = (0..volume)
-            .map(|_| rng.gen_range(-scale..=scale))
-            .collect();
+        let data = (0..volume).map(|_| rng.gen_range(-scale..=scale)).collect();
         Tensor::from_vec_f32(data, shape).expect("volume matches by construction")
     }
 

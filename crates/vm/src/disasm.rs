@@ -55,8 +55,15 @@ pub fn disasm_instruction(inst: &Instruction) -> String {
         Instruction::AllocADT { tag, fields, dst } => {
             format!("AllocADT tag={tag} ({}) -> $r{dst}", regs(fields))
         }
-        Instruction::AllocClosure { func, captures, dst } => {
-            format!("AllocClosure fn[{func}] caps=({}) -> $r{dst}", regs(captures))
+        Instruction::AllocClosure {
+            func,
+            captures,
+            dst,
+        } => {
+            format!(
+                "AllocClosure fn[{func}] caps=({}) -> $r{dst}",
+                regs(captures)
+            )
         }
         Instruction::GetField { object, index, dst } => {
             format!("GetField $r{object}.{index} -> $r{dst}")
@@ -212,7 +219,7 @@ mod tests {
     #[test]
     fn every_opcode_renders() {
         // Smoke: each variant produces non-empty distinct text.
-        let insts = vec![
+        let insts = [
             Instruction::Move { src: 0, dst: 1 },
             Instruction::Goto { offset: -2 },
             Instruction::If {

@@ -17,7 +17,7 @@ use nimble_ir::attrs::{AttrValue, Attrs};
 use nimble_ir::expr::{Expr, Function};
 use nimble_ir::types::Type;
 use nimble_ir::Var;
-use nimble_tensor::{Data, DType, Tensor};
+use nimble_tensor::{DType, Data, Tensor};
 
 /// An argument of a fused-kernel member operation.
 #[derive(Debug, Clone, PartialEq)]
@@ -249,13 +249,13 @@ impl Executable {
         let mut buf = BytesMut::new();
         buf.put_slice(b"NMBL");
         buf.put_u32_le(1); // format version
-        // Constants.
+                           // Constants.
         buf.put_u32_le(self.constants.len() as u32);
-        for (t, dev) in self.constants.iter().zip(
-            self.const_devices
-                .iter()
-                .chain(std::iter::repeat(&0u8)),
-        ) {
+        for (t, dev) in self
+            .constants
+            .iter()
+            .zip(self.const_devices.iter().chain(std::iter::repeat(&0u8)))
+        {
             put_tensor(&mut buf, t);
             buf.put_u8(*dev);
         }

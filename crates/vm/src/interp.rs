@@ -5,25 +5,76 @@
 //! (Section 5.2). Because instructions are coarse grained, the loop itself
 //! contributes negligibly next to kernel execution; the profiler measures
 //! both sides (Table 4).
+//!
+//! The machine is split for concurrency:
+//!
+//! * [`VirtualMachine`] is the **loaded program** — executable, the
+//!   instantiated kernel table, pre-placed constants, interned small
+//!   integers. After [`VirtualMachine::new`] it is immutable (profiling
+//!   state is atomic), so it is `Send + Sync` and one `Arc` of it can be
+//!   executed from any number of threads with no re-instantiation or
+//!   re-placement per request.
+//! * [`Session`] is the cheap **per-run state** — recycled register
+//!   frames and the per-run profiler. Each worker thread owns one and
+//!   reuses it across requests.
 
 use crate::exe::Executable;
 use crate::isa::Instruction;
 use crate::object::{AdtObj, ClosureObj, FutureObj, Object, StorageHandle, TensorObj};
-use crate::profiler::{Category, Profiler};
+use crate::profiler::{Category, ProfileReport, Profiler, SharedProfiler};
 use crate::{Result, VmError};
 use nimble_codegen::kernel::Kernel;
 use nimble_device::{copy_tensor, DeviceId, DeviceSet, TensorFuture};
 use nimble_tensor::Tensor;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-run mutable state threaded through the dispatch loop.
-struct RunState {
+/// Per-run mutable state: the register-frame pool and the run's profiler.
+///
+/// Sessions are cheap to create, and reusing one across runs recycles its
+/// frame allocations (call frames are hot on recursive models). A session
+/// may only be used with one run at a time, but many sessions can execute
+/// against the same shared [`VirtualMachine`] concurrently.
+#[derive(Debug, Default)]
+pub struct Session {
     profiler: Profiler,
+    /// Recycled register frames (cleared between uses).
     frames: Vec<Vec<Object>>,
+    /// GPU stream lane this session's kernels launch on (wraps modulo the
+    /// device set's lane count; irrelevant on CPU-only sets).
+    lane: usize,
 }
 
-/// A loaded executable plus devices: ready to run.
+impl Session {
+    /// A fresh session with an empty frame pool, on lane 0.
+    pub fn new() -> Session {
+        Session::default()
+    }
+
+    /// A fresh session pinned to a GPU stream lane — concurrent sessions
+    /// on distinct lanes overlap on the (simulated) device, the
+    /// one-CUDA-stream-per-worker serving pattern.
+    pub fn with_lane(lane: usize) -> Session {
+        Session {
+            lane,
+            ..Session::default()
+        }
+    }
+
+    /// The session's GPU stream lane.
+    pub fn lane(&self) -> usize {
+        self.lane
+    }
+
+    /// Profile of the most recent run through this session (empty until a
+    /// run completes; timings are zero unless the VM had profiling on).
+    pub fn last_report(&self) -> ProfileReport {
+        self.profiler.report()
+    }
+}
+
+/// A loaded executable plus devices: ready to run from any thread.
 #[derive(Debug)]
 pub struct VirtualMachine {
     exe: Arc<Executable>,
@@ -31,15 +82,13 @@ pub struct VirtualMachine {
     kernel_is_shape_func: Vec<bool>,
     devices: Arc<DeviceSet>,
     constants: Vec<Object>,
-    profiler: Profiler,
+    profiling: AtomicBool,
+    shared_profiler: SharedProfiler,
     max_depth: usize,
     /// Interned scalar-i64 objects for small immediates (kill markers, If
     /// comparisons, constructor tags) — these fire once per instruction on
     /// hot paths and would otherwise heap-allocate each time.
     small_ints: Vec<Object>,
-    /// Recycled register frames (cleared between uses) — call frames are
-    /// hot on recursive models, so their backing vectors are pooled.
-    frame_pool: Vec<Vec<Object>>,
 }
 
 impl VirtualMachine {
@@ -78,21 +127,37 @@ impl VirtualMachine {
             kernel_is_shape_func,
             devices,
             constants,
-            profiler: Profiler::new(false),
+            profiling: AtomicBool::new(false),
+            shared_profiler: SharedProfiler::new(),
             max_depth: 256,
-            small_ints: (0..16).map(|v| Object::tensor(Tensor::scalar_i64(v))).collect(),
-            frame_pool: Vec::new(),
+            small_ints: (0..16)
+                .map(|v| Object::tensor(Tensor::scalar_i64(v)))
+                .collect(),
         })
     }
 
-    /// Enable/disable timing collection.
-    pub fn set_profiling(&mut self, enabled: bool) {
-        self.profiler = Profiler::new(enabled);
+    /// Enable/disable timing collection and reset the aggregated profile.
+    /// Takes `&self`: profiling state is atomic so a shared VM can be
+    /// toggled without exclusive access.
+    pub fn set_profiling(&self, enabled: bool) {
+        self.profiling.store(enabled, Ordering::Relaxed);
+        self.shared_profiler.reset();
     }
 
-    /// The profiler (reset with [`VirtualMachine::set_profiling`]).
-    pub fn profiler(&self) -> &Profiler {
-        &self.profiler
+    /// Whether timing collection is on.
+    pub fn profiling(&self) -> bool {
+        self.profiling.load(Ordering::Relaxed)
+    }
+
+    /// Profile aggregated over every run since the last
+    /// [`VirtualMachine::set_profiling`], across all sessions and threads.
+    pub fn profile_report(&self) -> ProfileReport {
+        self.shared_profiler.report()
+    }
+
+    /// Number of runs folded into [`VirtualMachine::profile_report`].
+    pub fn profiled_runs(&self) -> u64 {
+        self.shared_profiler.runs()
     }
 
     /// The device set the VM runs on.
@@ -105,25 +170,50 @@ impl VirtualMachine {
         &self.exe
     }
 
+    /// A fresh session for running against this VM.
+    pub fn session(&self) -> Session {
+        Session::new()
+    }
+
+    /// A fresh session pinned to a GPU stream lane (see
+    /// [`Session::with_lane`]).
+    pub fn session_for(&self, lane: usize) -> Session {
+        Session::with_lane(lane)
+    }
+
     /// Run a function by name. Tensor results are synchronized and copied
     /// back to the host before returning.
     ///
+    /// Creates a throwaway [`Session`]; callers running many requests
+    /// should hold a session and use [`VirtualMachine::run_in`] so frame
+    /// allocations are recycled.
+    ///
     /// # Errors
     /// Propagates `Fatal`, kernel failures, and malformed bytecode.
-    pub fn run(&mut self, name: &str, args: Vec<Object>) -> Result<Object> {
+    pub fn run(&self, name: &str, args: Vec<Object>) -> Result<Object> {
+        let mut session = Session::new();
+        self.run_in(&mut session, name, args)
+    }
+
+    /// Run a function by name using caller-owned per-run state. Many
+    /// threads may call this concurrently on one shared VM, each with its
+    /// own session.
+    ///
+    /// # Errors
+    /// Propagates `Fatal`, kernel failures, and malformed bytecode.
+    pub fn run_in(&self, session: &mut Session, name: &str, args: Vec<Object>) -> Result<Object> {
         let idx = self.exe.function_index(name)?;
-        let mut state = RunState {
-            profiler: std::mem::take(&mut self.profiler),
-            frames: std::mem::take(&mut self.frame_pool),
-        };
-        let result = self.exec(idx, args, &mut state, 0);
-        // Drain the device stream so timing includes all launched work and
-        // the caller sees a materialized value.
+        session
+            .profiler
+            .reset_with(self.profiling.load(Ordering::Relaxed));
+        let result = self.exec(idx, args, session, 0);
+        // Drain this session's device lane so timing includes all launched
+        // work and the caller sees a materialized value. Other sessions'
+        // lanes keep flowing.
         let sync_start = Instant::now();
-        self.devices.synchronize();
-        state.profiler.record_sync(sync_start.elapsed());
-        self.profiler = state.profiler;
-        self.frame_pool = state.frames;
+        self.devices.synchronize_lane(session.lane);
+        session.profiler.record_sync(sync_start.elapsed());
+        self.shared_profiler.merge(session.profiler.report());
         let obj = result?;
         self.fetch(obj)
     }
@@ -136,8 +226,7 @@ impl VirtualMachine {
                 Object::tensor(t)
             }
             Object::Tensor(t) if t.device == DeviceId::Gpu => {
-                let copied =
-                    copy_tensor(&self.devices, &t.tensor, DeviceId::Gpu, DeviceId::Cpu);
+                let copied = copy_tensor(&self.devices, &t.tensor, DeviceId::Gpu, DeviceId::Cpu);
                 Object::tensor(copied)
             }
             Object::Adt(a) => {
@@ -146,10 +235,7 @@ impl VirtualMachine {
                     .iter()
                     .map(|f| self.fetch(f.clone()))
                     .collect::<Result<Vec<_>>>()?;
-                Object::Adt(Arc::new(AdtObj {
-                    tag: a.tag,
-                    fields,
-                }))
+                Object::Adt(Arc::new(AdtObj { tag: a.tag, fields }))
             }
             other => other,
         })
@@ -169,7 +255,7 @@ impl VirtualMachine {
         &self,
         func_idx: u32,
         args: Vec<Object>,
-        state: &mut RunState,
+        session: &mut Session,
         depth: usize,
     ) -> Result<Object> {
         if depth > self.max_depth {
@@ -188,14 +274,14 @@ impl VirtualMachine {
                 args.len()
             )));
         }
-        let mut regs: Vec<Object> = state.frames.pop().unwrap_or_default();
+        let mut regs: Vec<Object> = session.frames.pop().unwrap_or_default();
         regs.clear();
         regs.resize(func.num_regs as usize, Object::Unit);
         for (i, a) in args.into_iter().enumerate() {
             regs[i] = a;
         }
         let mut pc: i64 = 0;
-        let timing = state.profiler.enabled();
+        let timing = session.profiler.enabled();
         loop {
             let inst = func
                 .code
@@ -216,14 +302,14 @@ impl VirtualMachine {
                 Instruction::Invoke { func, args, dst } => {
                     let call_args: Vec<Object> =
                         args.iter().map(|&r| regs[r as usize].clone()).collect();
-                    let out = self.exec(*func, call_args, state, depth + 1)?;
+                    let out = self.exec(*func, call_args, session, depth + 1)?;
                     regs[*dst as usize] = out;
                 }
                 Instruction::InvokeClosure { closure, args, dst } => {
                     let clo = regs[*closure as usize].as_closure()?.clone();
                     let mut call_args = clo.captures.clone();
                     call_args.extend(args.iter().map(|&r| regs[r as usize].clone()));
-                    let out = self.exec(clo.func, call_args, state, depth + 1)?;
+                    let out = self.exec(clo.func, call_args, session, depth + 1)?;
                     regs[*dst as usize] = out;
                 }
                 Instruction::InvokePacked {
@@ -248,6 +334,7 @@ impl VirtualMachine {
                         DeviceId::from_index(*device as usize),
                         is_sf,
                         &mut regs,
+                        session.lane,
                     )?;
                 }
                 Instruction::AllocStorage {
@@ -293,8 +380,7 @@ impl VirtualMachine {
                         .collect();
                     let dev = DeviceId::from_index(*device as usize);
                     // Dynamic allocation draws real storage from the pool.
-                    let nbytes: usize =
-                        dims.iter().product::<usize>() * dtype.size_of();
+                    let nbytes: usize = dims.iter().product::<usize>() * dtype.size_of();
                     let handle = Arc::new(StorageHandle::alloc(
                         self.devices.pool_arc(dev),
                         nbytes as u64,
@@ -305,9 +391,16 @@ impl VirtualMachine {
                 Instruction::AllocADT { tag, fields, dst } => {
                     let fs: Vec<Object> =
                         fields.iter().map(|&r| regs[r as usize].clone()).collect();
-                    regs[*dst as usize] = Object::Adt(Arc::new(AdtObj { tag: *tag, fields: fs }));
+                    regs[*dst as usize] = Object::Adt(Arc::new(AdtObj {
+                        tag: *tag,
+                        fields: fs,
+                    }));
                 }
-                Instruction::AllocClosure { func, captures, dst } => {
+                Instruction::AllocClosure {
+                    func,
+                    captures,
+                    dst,
+                } => {
                     let caps: Vec<Object> =
                         captures.iter().map(|&r| regs[r as usize].clone()).collect();
                     regs[*dst as usize] = Object::Closure(Arc::new(ClosureObj {
@@ -336,11 +429,12 @@ impl VirtualMachine {
                 } => {
                     let l = regs[*lhs as usize].scalar_i64()?;
                     let r = regs[*rhs as usize].scalar_i64()?;
-                    next_pc = pc + if l == r {
-                        *true_offset as i64
-                    } else {
-                        *false_offset as i64
-                    };
+                    next_pc = pc
+                        + if l == r {
+                            *true_offset as i64
+                        } else {
+                            *false_offset as i64
+                        };
                 }
                 Instruction::Goto { offset } => {
                     next_pc = pc + *offset as i64;
@@ -369,7 +463,7 @@ impl VirtualMachine {
                     if matches!(obj, Object::Future(_)) && dst_dev == DeviceId::Cpu {
                         let sync_start = Instant::now();
                         let t = obj.wait_tensor()?;
-                        state.profiler.record_sync(sync_start.elapsed());
+                        session.profiler.record_sync(sync_start.elapsed());
                         let copied = copy_tensor(&self.devices, &t, src_dev, dst_dev);
                         regs[*dst as usize] = Object::tensor_on(copied, dst_dev);
                     } else {
@@ -383,9 +477,8 @@ impl VirtualMachine {
                     let dims = regs[*tensor as usize].tensor_shape()?;
                     let shape: Vec<i64> = dims.iter().map(|&d| d as i64).collect();
                     let n = shape.len();
-                    regs[*dst as usize] = Object::tensor(
-                        Tensor::from_vec_i64(shape, &[n]).map_err(VmError::from)?,
-                    );
+                    regs[*dst as usize] =
+                        Object::tensor(Tensor::from_vec_i64(shape, &[n]).map_err(VmError::from)?);
                 }
                 Instruction::ReshapeTensor { tensor, shape, dst } => {
                     let t = regs[*tensor as usize].wait_tensor()?;
@@ -406,24 +499,25 @@ impl VirtualMachine {
             }
 
             if let Some(start) = start {
-                state
+                session
                     .profiler
                     .record(inst.opcode(), category, start.elapsed());
             } else {
-                state
+                session
                     .profiler
                     .record(inst.opcode(), category, std::time::Duration::ZERO);
             }
             if let Some(out) = ret {
                 // Recycle the frame (dropping its remaining references).
                 regs.clear();
-                state.frames.push(regs);
+                session.frames.push(regs);
                 return Ok(out);
             }
             pc = next_pc;
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn invoke_packed(
         &self,
         kernel_idx: u32,
@@ -432,6 +526,7 @@ impl VirtualMachine {
         device: DeviceId,
         is_shape_func: bool,
         regs: &mut [Object],
+        lane: usize,
     ) -> Result<()> {
         let kernel = self
             .kernels
@@ -486,7 +581,7 @@ impl VirtualMachine {
         let future = TensorFuture::pending();
         let job_future = future.clone();
         let job_kernel = kernel.clone();
-        self.devices.gpu().launch(move || {
+        self.devices.gpu_lane(lane).launch(move || {
             let mut tensors = Vec::with_capacity(inputs.len());
             for obj in &inputs {
                 match obj.wait_tensor() {
@@ -506,7 +601,9 @@ impl VirtualMachine {
             let slot = slot as usize;
             let (shape, dtype) = match &regs[slot] {
                 Object::Tensor(t) => (
-                    t.declared.clone().unwrap_or_else(|| t.tensor.dims().to_vec()),
+                    t.declared
+                        .clone()
+                        .unwrap_or_else(|| t.tensor.dims().to_vec()),
                     t.tensor.dtype(),
                 ),
                 _ => (Vec::new(), nimble_tensor::DType::F32),
@@ -522,4 +619,3 @@ impl VirtualMachine {
         Ok(())
     }
 }
-

@@ -378,7 +378,11 @@ pub fn encode(inst: &Instruction, buf: &mut BytesMut) {
             put_regs(buf, fields);
             buf.put_u32_le(*dst);
         }
-        Instruction::AllocClosure { func, captures, dst } => {
+        Instruction::AllocClosure {
+            func,
+            captures,
+            dst,
+        } => {
             buf.put_u32_le(*func);
             put_regs(buf, captures);
             buf.put_u32_le(*dst);
@@ -487,8 +491,8 @@ pub fn decode(buf: &mut Bytes) -> Result<Instruction> {
             for _ in 0..n {
                 shape.push(get_i64(buf)?);
             }
-            let dtype = DType::from_code(get_u8(buf)?)
-                .ok_or_else(|| VmError::msg("bad dtype code"))?;
+            let dtype =
+                DType::from_code(get_u8(buf)?).ok_or_else(|| VmError::msg("bad dtype code"))?;
             Instruction::AllocTensor {
                 storage,
                 offset,
@@ -499,8 +503,7 @@ pub fn decode(buf: &mut Bytes) -> Result<Instruction> {
         }
         7 => Instruction::AllocTensorReg {
             shape: get_u32(buf)?,
-            dtype: DType::from_code(get_u8(buf)?)
-                .ok_or_else(|| VmError::msg("bad dtype code"))?,
+            dtype: DType::from_code(get_u8(buf)?).ok_or_else(|| VmError::msg("bad dtype code"))?,
             device: get_u8(buf)?,
             dst: get_u32(buf)?,
         },
@@ -561,8 +564,7 @@ pub fn decode(buf: &mut Bytes) -> Result<Instruction> {
             let mut bytes = vec![0u8; n];
             buf.copy_to_slice(&mut bytes);
             Instruction::Fatal {
-                message: String::from_utf8(bytes)
-                    .map_err(|_| VmError::msg("bad fatal message"))?,
+                message: String::from_utf8(bytes).map_err(|_| VmError::msg("bad fatal message"))?,
             }
         }
         other => return Err(VmError::msg(format!("unknown opcode {other}"))),
@@ -712,9 +714,25 @@ mod tests {
     fn mnemonics_cover_table_a1() {
         let names: Vec<&str> = sample_instructions().iter().map(|i| i.mnemonic()).collect();
         for expected in [
-            "Move", "Ret", "Invoke", "InvokeClosure", "InvokePacked", "AllocStorage",
-            "AllocTensor", "AllocTensorReg", "AllocADT", "AllocClosure", "GetField", "GetTag",
-            "If", "Goto", "LoadConst", "LoadConsti", "DeviceCopy", "ShapeOf", "ReshapeTensor",
+            "Move",
+            "Ret",
+            "Invoke",
+            "InvokeClosure",
+            "InvokePacked",
+            "AllocStorage",
+            "AllocTensor",
+            "AllocTensorReg",
+            "AllocADT",
+            "AllocClosure",
+            "GetField",
+            "GetTag",
+            "If",
+            "Goto",
+            "LoadConst",
+            "LoadConsti",
+            "DeviceCopy",
+            "ShapeOf",
+            "ReshapeTensor",
             "Fatal",
         ] {
             assert!(names.contains(&expected), "missing {expected}");

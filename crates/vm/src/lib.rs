@@ -22,10 +22,10 @@ pub mod profiler;
 
 pub use disasm::disassemble;
 pub use exe::{Executable, KernelDesc, VMFunction};
-pub use interp::VirtualMachine;
+pub use interp::{Session, VirtualMachine};
 pub use isa::{Instruction, RegId};
 pub use object::Object;
-pub use profiler::Profiler;
+pub use profiler::{ProfileReport, Profiler, SharedProfiler};
 
 /// Errors raised while building, serializing, or executing VM programs.
 #[derive(Debug, Clone, PartialEq, Eq)]

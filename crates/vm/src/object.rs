@@ -181,8 +181,7 @@ impl Object {
             Object::Tensor(t) => Ok(t.tensor.clone()),
             Object::Future(f) => {
                 let outs = f.future.wait().map_err(VmError)?;
-                outs
-                    .get(f.output_index)
+                outs.get(f.output_index)
                     .cloned()
                     .ok_or_else(|| VmError::msg("future output index out of range"))
             }
@@ -310,14 +309,18 @@ mod tests {
     #[test]
     fn scalar_comparison_values() {
         assert_eq!(
-            Object::tensor(Tensor::scalar_bool(true)).scalar_i64().unwrap(),
+            Object::tensor(Tensor::scalar_bool(true))
+                .scalar_i64()
+                .unwrap(),
             1
         );
         assert_eq!(
             Object::tensor(Tensor::scalar_i64(42)).scalar_i64().unwrap(),
             42
         );
-        assert!(Object::tensor(Tensor::scalar_f32(1.0)).scalar_i64().is_err());
+        assert!(Object::tensor(Tensor::scalar_f32(1.0))
+            .scalar_i64()
+            .is_err());
         assert!(Object::tensor(Tensor::ones_f32(&[2])).scalar_i64().is_err());
     }
 

@@ -6,6 +6,7 @@
 //! accumulates exactly those buckets plus per-opcode counts.
 
 use crate::isa::NUM_OPCODES;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
 /// Which bucket an instruction's time lands in.
@@ -50,6 +51,91 @@ impl ProfileReport {
     /// execution.
     pub fn others_total_ns(self) -> u64 {
         self.shape_func_ns + self.other_ns
+    }
+}
+
+impl std::ops::Add for ProfileReport {
+    type Output = ProfileReport;
+    fn add(self, rhs: ProfileReport) -> ProfileReport {
+        ProfileReport {
+            kernel_ns: self.kernel_ns + rhs.kernel_ns,
+            shape_func_ns: self.shape_func_ns + rhs.shape_func_ns,
+            other_ns: self.other_ns + rhs.other_ns,
+            instructions: self.instructions + rhs.instructions,
+            kernel_invocations: self.kernel_invocations + rhs.kernel_invocations,
+        }
+    }
+}
+
+impl std::ops::AddAssign for ProfileReport {
+    fn add_assign(&mut self, rhs: ProfileReport) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::iter::Sum for ProfileReport {
+    fn sum<I: Iterator<Item = ProfileReport>>(iter: I) -> ProfileReport {
+        iter.fold(ProfileReport::default(), |acc, r| acc + r)
+    }
+}
+
+/// Lock-free cross-thread profile aggregate: every [`crate::Session`]
+/// merges its per-run [`Profiler`] here, so Table-4-style breakdowns stay
+/// exact when many worker threads share one loaded program.
+#[derive(Debug, Default)]
+pub struct SharedProfiler {
+    kernel_ns: AtomicU64,
+    shape_func_ns: AtomicU64,
+    other_ns: AtomicU64,
+    instructions: AtomicU64,
+    kernel_invocations: AtomicU64,
+    runs: AtomicU64,
+}
+
+impl SharedProfiler {
+    /// Fresh, empty aggregate.
+    pub fn new() -> SharedProfiler {
+        SharedProfiler::default()
+    }
+
+    /// Fold one finished per-run profile into the totals.
+    pub fn merge(&self, report: ProfileReport) {
+        self.kernel_ns
+            .fetch_add(report.kernel_ns, Ordering::Relaxed);
+        self.shape_func_ns
+            .fetch_add(report.shape_func_ns, Ordering::Relaxed);
+        self.other_ns.fetch_add(report.other_ns, Ordering::Relaxed);
+        self.instructions
+            .fetch_add(report.instructions, Ordering::Relaxed);
+        self.kernel_invocations
+            .fetch_add(report.kernel_invocations, Ordering::Relaxed);
+        self.runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of runs merged since the last reset.
+    pub fn runs(&self) -> u64 {
+        self.runs.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot the aggregated totals.
+    pub fn report(&self) -> ProfileReport {
+        ProfileReport {
+            kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
+            shape_func_ns: self.shape_func_ns.load(Ordering::Relaxed),
+            other_ns: self.other_ns.load(Ordering::Relaxed),
+            instructions: self.instructions.load(Ordering::Relaxed),
+            kernel_invocations: self.kernel_invocations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Clear all accumulated data.
+    pub fn reset(&self) {
+        self.kernel_ns.store(0, Ordering::Relaxed);
+        self.shape_func_ns.store(0, Ordering::Relaxed);
+        self.other_ns.store(0, Ordering::Relaxed);
+        self.instructions.store(0, Ordering::Relaxed);
+        self.kernel_invocations.store(0, Ordering::Relaxed);
+        self.runs.store(0, Ordering::Relaxed);
     }
 }
 
@@ -115,6 +201,12 @@ impl Profiler {
         let enabled = self.enabled;
         *self = Profiler::new(enabled);
     }
+
+    /// Clear all accumulated data and set the enabled flag (sessions call
+    /// this at the start of each run with the VM's current profiling mode).
+    pub fn reset_with(&mut self, enabled: bool) {
+        *self = Profiler::new(enabled);
+    }
 }
 
 #[cfg(test)]
@@ -146,6 +238,56 @@ mod tests {
         assert_eq!(r.kernel_ns, 0);
         assert_eq!(r.instructions, 1);
         assert_eq!(r.kernel_invocations, 1);
+    }
+
+    #[test]
+    fn shared_profiler_aggregates_across_threads() {
+        let shared = std::sync::Arc::new(SharedProfiler::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let shared = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || {
+                    for _ in 0..10 {
+                        let mut p = Profiler::new(true);
+                        p.record(4, Category::Kernel, Duration::from_nanos(10));
+                        shared.merge(p.report());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let r = shared.report();
+        assert_eq!(r.kernel_ns, 400);
+        assert_eq!(r.instructions, 40);
+        assert_eq!(r.kernel_invocations, 40);
+        assert_eq!(shared.runs(), 40);
+        shared.reset();
+        assert_eq!(shared.report(), ProfileReport::default());
+        assert_eq!(shared.runs(), 0);
+    }
+
+    #[test]
+    fn report_sum_matches_merge() {
+        let a = ProfileReport {
+            kernel_ns: 5,
+            shape_func_ns: 2,
+            other_ns: 1,
+            instructions: 7,
+            kernel_invocations: 3,
+        };
+        let b = ProfileReport {
+            kernel_ns: 10,
+            ..ProfileReport::default()
+        };
+        let total: ProfileReport = [a, b].into_iter().sum();
+        assert_eq!(total.kernel_ns, 15);
+        assert_eq!(total.instructions, 7);
+        let shared = SharedProfiler::new();
+        shared.merge(a);
+        shared.merge(b);
+        assert_eq!(shared.report(), total);
     }
 
     #[test]

@@ -62,9 +62,12 @@ fn v10(x: f32) -> Tensor {
 #[test]
 fn explicit_allocation_add_on_cpu() {
     let exe = add_program(0);
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
-        .run("main", vec![Object::tensor(v10(1.0)), Object::tensor(v10(2.0))])
+        .run(
+            "main",
+            vec![Object::tensor(v10(1.0)), Object::tensor(v10(2.0))],
+        )
         .unwrap();
     let t = out.wait_tensor().unwrap();
     assert!(t.as_f32().unwrap().iter().all(|&v| v == 3.0));
@@ -76,9 +79,12 @@ fn explicit_allocation_add_on_cpu() {
 #[test]
 fn async_gpu_execution_returns_host_tensor() {
     let exe = add_program(1);
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
     let out = vm
-        .run("main", vec![Object::tensor(v10(5.0)), Object::tensor(v10(7.0))])
+        .run(
+            "main",
+            vec![Object::tensor(v10(5.0)), Object::tensor(v10(7.0))],
+        )
         .unwrap();
     let t = out.wait_tensor().unwrap();
     assert!(t.as_f32().unwrap().iter().all(|&v| v == 12.0));
@@ -88,9 +94,12 @@ fn async_gpu_execution_returns_host_tensor() {
 #[test]
 fn gpu_bytecode_falls_back_on_cpu_only_set() {
     let exe = add_program(1);
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
-        .run("main", vec![Object::tensor(v10(1.0)), Object::tensor(v10(1.0))])
+        .run(
+            "main",
+            vec![Object::tensor(v10(1.0)), Object::tensor(v10(1.0))],
+        )
         .unwrap();
     assert_eq!(out.wait_tensor().unwrap().as_f32().unwrap()[0], 2.0);
 }
@@ -121,7 +130,7 @@ fn control_flow_if_goto() {
         const_devices: vec![],
         kernels: vec![],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let t = vm
         .run("main", vec![Object::tensor(Tensor::scalar_bool(true))])
         .unwrap()
@@ -174,11 +183,14 @@ fn adt_alloc_get_tag_get_field() {
         const_devices: vec![],
         kernels: vec![],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm.run("main", vec![]).unwrap();
     let adt = out.as_adt().unwrap();
     assert_eq!(adt.fields[0].wait_tensor().unwrap().as_i64().unwrap()[0], 1);
-    assert_eq!(adt.fields[1].wait_tensor().unwrap().as_i64().unwrap()[0], 42);
+    assert_eq!(
+        adt.fields[1].wait_tensor().unwrap().as_i64().unwrap()[0],
+        42
+    );
 }
 
 #[test]
@@ -237,7 +249,7 @@ fn closures_capture_and_invoke() {
         const_devices: vec![],
         kernels: vec![add_kernel()],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
         .run("main", vec![Object::tensor(Tensor::scalar_f32(21.0))])
         .unwrap();
@@ -268,7 +280,7 @@ fn shape_of_and_reshape() {
         const_devices: vec![0],
         kernels: vec![],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
         .run("main", vec![Object::tensor(Tensor::ones_f32(&[2, 4]))])
         .unwrap();
@@ -332,7 +344,7 @@ fn shape_function_sizes_dynamic_allocation() {
             },
         ],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let x = Tensor::ones_f32(&[3, 2]);
     let y = Tensor::from_vec_f32(vec![9.0, 9.0], &[1, 2]).unwrap();
     let out = vm
@@ -342,7 +354,7 @@ fn shape_function_sizes_dynamic_allocation() {
     assert_eq!(t.dims(), &[4, 2]);
     assert_eq!(&t.as_f32().unwrap()[6..], &[9.0, 9.0]);
     // The profiler classified the shape function separately.
-    assert_eq!(vm.profiler().report().kernel_invocations, 1);
+    assert_eq!(vm.profile_report().kernel_invocations, 1);
 }
 
 #[test]
@@ -360,7 +372,7 @@ fn fatal_aborts_with_message() {
         const_devices: vec![],
         kernels: vec![],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let err = vm.run("main", vec![]).unwrap_err();
     assert!(err.to_string().contains("type constraint violated"));
 }
@@ -392,10 +404,8 @@ fn device_copy_moves_and_counts() {
         const_devices: vec![],
         kernels: vec![],
     };
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
-    let out = vm
-        .run("main", vec![Object::tensor(v10(3.0))])
-        .unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::with_gpu())).unwrap();
+    let out = vm.run("main", vec![Object::tensor(v10(3.0))]).unwrap();
     assert_eq!(out.wait_tensor().unwrap().as_f32().unwrap()[0], 3.0);
     let (h2d, d2h, _) = vm.devices().copy_stats().snapshot();
     assert_eq!((h2d, d2h), (1, 1));
@@ -406,9 +416,12 @@ fn run_round_trips_through_serialization() {
     let exe = add_program(0);
     let bytes = exe.save();
     let loaded = Executable::load(&bytes).unwrap();
-    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
-        .run("main", vec![Object::tensor(v10(4.0)), Object::tensor(v10(6.0))])
+        .run(
+            "main",
+            vec![Object::tensor(v10(4.0)), Object::tensor(v10(6.0))],
+        )
         .unwrap();
     assert!(out
         .wait_tensor()
@@ -422,14 +435,14 @@ fn run_round_trips_through_serialization() {
 #[test]
 fn profiler_separates_kernel_and_other_time() {
     let exe = add_program(0);
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     vm.set_profiling(true);
     vm.run(
         "main",
         vec![Object::tensor(v10(1.0)), Object::tensor(v10(1.0))],
     )
     .unwrap();
-    let r = vm.profiler().report();
+    let r = vm.profile_report();
     assert_eq!(r.instructions, 4);
     assert_eq!(r.kernel_invocations, 1);
     assert!(r.kernel_ns > 0);
@@ -462,7 +475,7 @@ fn recursion_depth_guard() {
     let handle = std::thread::Builder::new()
         .stack_size(64 << 20)
         .spawn(move || {
-            let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+            let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
             vm.run("main", vec![]).unwrap_err()
         })
         .unwrap();
@@ -473,7 +486,7 @@ fn recursion_depth_guard() {
 #[test]
 fn argument_count_checked() {
     let exe = add_program(0);
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     assert!(vm.run("main", vec![]).is_err());
     assert!(vm.run("missing", vec![]).is_err());
 }

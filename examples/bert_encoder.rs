@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         "compiled with {} shape functions and {} dynamic allocations per pass",
         report.memplan.shape_funcs, report.memplan.dynamic_allocs
     );
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
     vm.set_profiling(true);
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(29);
@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         assert_eq!(out.dims(), &[len, 64]);
     }
 
-    let profile = vm.profiler().report();
+    let profile = vm.profile_report();
     println!(
         "profiler: {} instructions, {} kernel invocations; kernel {:.1} ms, \
          shape funcs {:.1} ms, other {:.1} ms",

@@ -51,7 +51,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     );
 
     let devices = Arc::new(DeviceSet::with_gpu());
-    let mut vm = VirtualMachine::new(gpu_exe, Arc::clone(&devices))?;
+    let vm = VirtualMachine::new(gpu_exe, Arc::clone(&devices))?;
     for rows in [2usize, 5] {
         let out = vm
             .run(

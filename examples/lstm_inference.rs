@@ -24,7 +24,14 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 42,
     });
     let module = model.module();
-    println!("IR module:\n{}", nimble::ir::printer::print_module(&module).lines().take(4).collect::<Vec<_>>().join("\n"));
+    println!(
+        "IR module:\n{}",
+        nimble::ir::printer::print_module(&module)
+            .lines()
+            .take(4)
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
 
     let (exe, report) = compile(&module, &CompileOptions::default())?;
     println!(
@@ -33,7 +40,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.instructions,
         report.fusion_groups
     );
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(7);
     for len in [3usize, 11, 27] {

@@ -49,7 +49,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let loaded = Executable::load(&bytes)?;
 
     // Load into a VM and run with different input shapes — no recompile.
-    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only()))?;
+    let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only()))?;
     for rows in [1usize, 3, 8] {
         let input = Tensor::ones_f32(&[rows, 4]);
         let result = vm.run("main", vec![Object::tensor(input)])?.wait_tensor()?;

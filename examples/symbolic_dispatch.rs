@@ -17,7 +17,10 @@ fn main() {
     let m = 27;
     let x: Vec<f32> = (0..m * k).map(|i| (i % 17) as f32 * 0.05).collect();
 
-    println!("dense [{m}x{k}] x [{n}x{k}]ᵀ, tiling factor 8 (m % 8 = {})\n", m % 8);
+    println!(
+        "dense [{m}x{k}] x [{n}x{k}]ᵀ, tiling factor 8 (m % 8 = {})\n",
+        m % 8
+    );
     let levels = [
         DispatchLevel::Static,
         DispatchLevel::Dispatch8,

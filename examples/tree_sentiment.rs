@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         seed: 42,
     });
     let (exe, _) = compile(&model.module(), &CompileOptions::default())?;
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only()))?;
 
     let mut rng = rand::rngs::StdRng::seed_from_u64(17);
     let labels = ["--", "-", "0", "+", "++"];

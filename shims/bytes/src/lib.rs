@@ -1,0 +1,307 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements [`Bytes`] (a cheaply cloneable, consumable byte view),
+//! [`BytesMut`] (a growable buffer), and the [`Buf`]/[`BufMut`] trait
+//! subset the VM's serialization uses, over `Arc<Vec<u8>>`.
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable byte buffer; reads through [`Buf`] consume from the
+/// front without copying.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    start: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// Build from a static slice (copies; the shim has no zero-copy path).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+
+    /// Copy a slice into a new buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(data.to_vec()),
+            start: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.start
+    }
+
+    /// Whether fully consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn rest(&self) -> &[u8] {
+        &self.data[self.start..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(data),
+            start: 0,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::copy_from_slice(data)
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.rest()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.rest() == other.rest()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.rest() == other
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+/// A growable byte buffer written through [`BufMut`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Current length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: Arc::new(self.data),
+            start: 0,
+        }
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+macro_rules! get_le {
+    ($name:ident, $t:ty) => {
+        /// Read a little-endian value, consuming it.
+        ///
+        /// # Panics
+        /// Panics when fewer bytes remain (callers bounds-check first).
+        fn $name(&mut self) -> $t {
+            const N: usize = std::mem::size_of::<$t>();
+            let mut b = [0u8; N];
+            self.copy_to_slice(&mut b);
+            <$t>::from_le_bytes(b)
+        }
+    };
+}
+
+/// Read access that consumes from the front of a buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Copy `dst.len()` bytes out, consuming them.
+    ///
+    /// # Panics
+    /// Panics when fewer bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Split off the next `n` bytes as an owned [`Bytes`].
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Skip `n` bytes.
+    ///
+    /// # Panics
+    /// Panics when fewer than `n` bytes remain.
+    fn advance(&mut self, n: usize);
+
+    /// Read one byte.
+    ///
+    /// # Panics
+    /// Panics when empty.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    get_le!(get_u32_le, u32);
+    get_le!(get_u64_le, u64);
+    get_le!(get_i32_le, i32);
+    get_le!(get_i64_le, i64);
+    get_le!(get_f32_le, f32);
+    get_le!(get_f64_le, f64);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.len() >= dst.len(), "Bytes: buffer underflow");
+        dst.copy_from_slice(&self.rest()[..dst.len()]);
+        self.start += dst.len();
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        assert!(self.len() >= n, "Bytes: buffer underflow");
+        let out = Bytes::copy_from_slice(&self.rest()[..n]);
+        self.start += n;
+        out
+    }
+
+    fn advance(&mut self, n: usize) {
+        assert!(self.len() >= n, "Bytes: buffer underflow");
+        self.start += n;
+    }
+}
+
+macro_rules! put_le {
+    ($name:ident, $t:ty) => {
+        /// Append a little-endian value.
+        fn $name(&mut self, v: $t) {
+            self.put_slice(&v.to_le_bytes());
+        }
+    };
+}
+
+/// Append access to a growable buffer.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le!(put_u32_le, u32);
+    put_le!(put_u64_le, u64);
+    put_le!(put_i32_le, i32);
+    put_le!(put_i64_le, i64);
+    put_le!(put_f32_le, f32);
+    put_le!(put_f64_le, f64);
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_widths() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(7);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u64_le(u64::MAX - 1);
+        buf.put_i32_le(-5);
+        buf.put_i64_le(i64::MIN + 3);
+        buf.put_f32_le(1.5);
+        buf.put_slice(b"tail");
+        let mut b = buf.freeze();
+        assert_eq!(b.get_u8(), 7);
+        assert_eq!(b.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(b.get_u64_le(), u64::MAX - 1);
+        assert_eq!(b.get_i32_le(), -5);
+        assert_eq!(b.get_i64_le(), i64::MIN + 3);
+        assert_eq!(b.get_f32_le(), 1.5);
+        assert_eq!(&b[..], b"tail");
+        assert_eq!(b.remaining(), 4);
+    }
+
+    #[test]
+    fn copy_to_bytes_consumes() {
+        let mut b = Bytes::copy_from_slice(b"NMBLrest");
+        let magic = b.copy_to_bytes(4);
+        assert_eq!(&magic[..], b"NMBL");
+        assert_eq!(&b[..], b"rest");
+    }
+
+    #[test]
+    fn equality_ignores_consumed_prefix() {
+        let mut a = Bytes::copy_from_slice(b"xyz");
+        a.advance(1);
+        let b = Bytes::copy_from_slice(b"yz");
+        assert_eq!(a, b);
+        assert_eq!(a.to_vec(), b"yz");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::copy_from_slice(&[1]);
+        let _ = b.get_u32_le();
+    }
+}

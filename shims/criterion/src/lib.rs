@@ -1,0 +1,183 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! A minimal wall-clock benchmark harness with the API subset the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `Bencher::iter`, [`black_box`], and
+//! the `criterion_group!`/`criterion_main!` macros. Reports min / median /
+//! mean per benchmark to stdout. Passing `--test` (as `cargo test
+//! --benches` does) runs each benchmark once for a smoke check.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Chainable no-op kept for API compatibility.
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("\n== {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            sample_size: None,
+        }
+    }
+
+    /// Run one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size;
+        let test_mode = self.test_mode;
+        run_benchmark(name, samples, test_mode, f);
+        self
+    }
+}
+
+/// A named group sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_benchmark(name, samples, self.criterion.test_mode, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, samples: usize, test_mode: bool, mut f: F) {
+    let mut b = Bencher {
+        samples: if test_mode { 1 } else { samples.max(1) },
+        warmup: !test_mode,
+        times: Vec::new(),
+    };
+    f(&mut b);
+    let mut times = b.times;
+    if times.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    times.sort_unstable();
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let mean = times.iter().sum::<Duration>() / times.len() as u32;
+    println!(
+        "{name:<40} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+        min,
+        median,
+        mean,
+        times.len()
+    );
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine to measure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    warmup: bool,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure a routine: a short warmup, then `sample_size` timed runs.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        if self.warmup {
+            let warm_until = Instant::now() + Duration::from_millis(50);
+            let mut n = 0u32;
+            while Instant::now() < warm_until && n < 10 {
+                black_box(f());
+                n += 1;
+            }
+        }
+        self.times.reserve(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.times.push(start.elapsed());
+        }
+    }
+}
+
+/// Declare a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --list` support: print nothing and exit so
+            // tooling that enumerates benchmarks does not run them.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 5,
+            test_mode: false,
+        };
+        let mut group = c.benchmark_group("shim");
+        group
+            .sample_size(5)
+            .bench_function("count", |b| b.iter(|| (0..1000u64).sum::<u64>()));
+        group.finish();
+    }
+}

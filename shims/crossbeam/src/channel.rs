@@ -1,0 +1,413 @@
+//! MPMC channels with optional bounds, disconnect semantics, and blocking,
+//! non-blocking, and timed receives.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Inner<T> {
+    queue: Mutex<VecDeque<T>>,
+    /// `None` = unbounded.
+    capacity: Option<usize>,
+    senders: AtomicUsize,
+    receivers: AtomicUsize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Inner<T> {
+    fn disconnected_for_recv(&self) -> bool {
+        self.senders.load(Ordering::SeqCst) == 0
+    }
+
+    fn disconnected_for_send(&self) -> bool {
+        self.receivers.load(Ordering::SeqCst) == 0
+    }
+}
+
+/// Error returned by [`Sender::send`] when all receivers are gone; carries
+/// the unsent value.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SendError(..)")
+    }
+}
+
+impl<T> fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("sending on a disconnected channel")
+    }
+}
+
+/// Error returned by [`Sender::try_send`].
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The channel is at capacity.
+    Full(T),
+    /// All receivers are gone.
+    Disconnected(T),
+}
+
+impl<T> fmt::Debug for TrySendError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrySendError::Full(_) => f.write_str("TrySendError::Full(..)"),
+            TrySendError::Disconnected(_) => f.write_str("TrySendError::Disconnected(..)"),
+        }
+    }
+}
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and all
+/// senders are gone.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecvError;
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("receiving on an empty and disconnected channel")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryRecvError {
+    /// The channel is currently empty.
+    Empty,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// No message arrived within the timeout.
+    Timeout,
+    /// The channel is empty and all senders are gone.
+    Disconnected,
+}
+
+/// The sending half of a channel; cloneable.
+pub struct Sender<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The receiving half of a channel; cloneable (multi-consumer).
+pub struct Receiver<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> fmt::Debug for Sender<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Sender { .. }")
+    }
+}
+
+impl<T> fmt::Debug for Receiver<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Receiver { .. }")
+    }
+}
+
+/// Create an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    with_capacity(None)
+}
+
+/// Create a bounded channel; `send` blocks when `cap` messages are queued.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    with_capacity(Some(cap))
+}
+
+fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let inner = Arc::new(Inner {
+        queue: Mutex::new(VecDeque::new()),
+        capacity,
+        senders: AtomicUsize::new(1),
+        receivers: AtomicUsize::new(1),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            inner: Arc::clone(&inner),
+        },
+        Receiver { inner },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Send a message, blocking while the channel is full.
+    ///
+    /// # Errors
+    /// Returns the message when every receiver has been dropped.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let inner = &*self.inner;
+        let mut queue = inner.queue.lock();
+        loop {
+            if inner.disconnected_for_send() {
+                return Err(SendError(value));
+            }
+            match inner.capacity {
+                Some(cap) if queue.len() >= cap => inner.not_full.wait(&mut queue),
+                _ => break,
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Send without blocking.
+    ///
+    /// # Errors
+    /// `Full` when at capacity, `Disconnected` when receivers are gone.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        let inner = &*self.inner;
+        let mut queue = inner.queue.lock();
+        if inner.disconnected_for_send() {
+            return Err(TrySendError::Disconnected(value));
+        }
+        if let Some(cap) = inner.capacity {
+            if queue.len() >= cap {
+                return Err(TrySendError::Full(value));
+            }
+        }
+        queue.push_back(value);
+        drop(queue);
+        inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Sender<T> {
+        self.inner.senders.fetch_add(1, Ordering::SeqCst);
+        Sender {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        if self.inner.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last sender: wake all blocked receivers so they observe
+            // disconnection.
+            let _guard = self.inner.queue.lock();
+            self.inner.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receive a message, blocking while the channel is empty.
+    ///
+    /// # Errors
+    /// Fails when the channel is empty and every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let inner = &*self.inner;
+        let mut queue = inner.queue.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.disconnected_for_recv() {
+                return Err(RecvError);
+            }
+            inner.not_empty.wait(&mut queue);
+        }
+    }
+
+    /// Receive without blocking.
+    ///
+    /// # Errors
+    /// `Empty` when nothing is queued, `Disconnected` when drained and all
+    /// senders are gone.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let inner = &*self.inner;
+        let mut queue = inner.queue.lock();
+        if let Some(v) = queue.pop_front() {
+            drop(queue);
+            inner.not_full.notify_one();
+            return Ok(v);
+        }
+        if inner.disconnected_for_recv() {
+            Err(TryRecvError::Disconnected)
+        } else {
+            Err(TryRecvError::Empty)
+        }
+    }
+
+    /// Receive, blocking at most `timeout`.
+    ///
+    /// # Errors
+    /// `Timeout` when nothing arrived in time, `Disconnected` when drained
+    /// and all senders are gone.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let inner = &*self.inner;
+        let deadline = Instant::now() + timeout;
+        let mut queue = inner.queue.lock();
+        loop {
+            if let Some(v) = queue.pop_front() {
+                drop(queue);
+                inner.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.disconnected_for_recv() {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(RecvTimeoutError::Timeout);
+            }
+            inner.not_empty.wait_for(&mut queue, deadline - now);
+        }
+    }
+
+    /// Blocking iterator that ends when the channel disconnects.
+    pub fn iter(&self) -> Iter<'_, T> {
+        Iter { receiver: self }
+    }
+
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.queue.lock().len()
+    }
+
+    /// Whether the queue is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Receiver<T> {
+        self.inner.receivers.fetch_add(1, Ordering::SeqCst);
+        Receiver {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        if self.inner.receivers.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Last receiver: wake all blocked senders so they observe
+            // disconnection.
+            let _guard = self.inner.queue.lock();
+            self.inner.not_full.notify_all();
+        }
+    }
+}
+
+/// Blocking iterator over received messages.
+pub struct Iter<'a, T> {
+    receiver: &'a Receiver<T>,
+}
+
+impl<T> Iterator for Iter<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.receiver.recv().ok()
+    }
+}
+
+impl<'a, T> IntoIterator for &'a Receiver<T> {
+    type Item = T;
+    type IntoIter = Iter<'a, T>;
+    fn into_iter(self) -> Iter<'a, T> {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn unbounded_fifo() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        assert_eq!(rx.iter().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn recv_fails_after_all_senders_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        let tx2 = tx.clone();
+        drop(tx);
+        tx2.send(7).unwrap();
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_fails_after_all_receivers_drop() {
+        let (tx, rx) = unbounded::<u8>();
+        drop(rx);
+        assert_eq!(tx.send(1), Err(SendError(1)));
+    }
+
+    #[test]
+    fn bounded_applies_backpressure() {
+        let (tx, rx) = bounded::<u32>(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(TrySendError::Full(3))));
+        // A blocked send completes once a receiver drains the queue.
+        let h = thread::spawn(move || tx.send(3));
+        assert_eq!(rx.recv(), Ok(1));
+        h.join().unwrap().unwrap();
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn multi_consumer_partitions_messages() {
+        let (tx, rx) = unbounded::<u32>();
+        let rx2 = rx.clone();
+        let h1 = thread::spawn(move || rx.iter().count());
+        let h2 = thread::spawn(move || rx2.iter().count());
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total = h1.join().unwrap() + h2.join().unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn recv_timeout_expires() {
+        let (_tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+    }
+}

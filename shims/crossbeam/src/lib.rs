@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` — multi-producer **multi-consumer**
+//! channels with optional capacity bounds — implemented over a
+//! mutex-guarded deque with two condition variables. The API mirrors the
+//! subset of `crossbeam-channel` the workspace uses: `unbounded`,
+//! `bounded`, cloneable `Sender`/`Receiver`, blocking/timeout receives,
+//! and disconnect-on-last-drop semantics.
+
+pub mod channel;

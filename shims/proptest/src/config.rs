@@ -1,0 +1,23 @@
+//! Runner configuration.
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        // Full proptest defaults to 256; this shim matches it. Heavy suites
+        // in the workspace override via `with_cases`.
+        ProptestConfig { cases: 256 }
+    }
+}

@@ -1,0 +1,40 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Generate `Some` from the inner strategy ~75% of the time, else `None`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_both_variants() {
+        let mut rng = TestRng::from_seed(7);
+        let s = of(0u8..10);
+        let draws: Vec<Option<u8>> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(Option::is_none));
+        assert!(draws.iter().any(Option::is_some));
+    }
+}

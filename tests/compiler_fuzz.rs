@@ -51,8 +51,14 @@ fn build(recipe: &Recipe, cols: usize) -> (Module, Vec<Tensor>, Tensor) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(recipe.rows as u64 * 31 + 7);
     let mut fb = FunctionBuilder::new("main");
     // Two dynamic-row inputs.
-    let p0 = fb.param("a", TensorType::with_any(&[None, Some(cols as u64)], DType::F32));
-    let p1 = fb.param("b", TensorType::with_any(&[None, Some(cols as u64)], DType::F32));
+    let p0 = fb.param(
+        "a",
+        TensorType::with_any(&[None, Some(cols as u64)], DType::F32),
+    );
+    let p1 = fb.param(
+        "b",
+        TensorType::with_any(&[None, Some(cols as u64)], DType::F32),
+    );
     let in0 = Tensor::rand_f32(&mut rng, &[recipe.rows, cols], 1.0);
     let in1 = Tensor::rand_f32(&mut rng, &[recipe.rows, cols], 1.0);
 
@@ -121,7 +127,7 @@ proptest! {
             CompileOptions { optimize: false, ..CompileOptions::default() },
         ] {
             let (exe, _) = compile(&module, &opts).unwrap();
-            let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+            let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
             let got = vm
                 .run(
                     "main",
@@ -149,14 +155,14 @@ proptest! {
     fn shared_subexpressions_not_duplicated(recipe in arb_recipe()) {
         let (module, inputs, _) = build(&recipe, 4);
         let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         vm.set_profiling(true);
         vm.run(
             "main",
             inputs.iter().map(|t| Object::tensor(t.clone())).collect(),
         )
         .unwrap();
-        let invocations = vm.profiler().report().kernel_invocations as usize;
+        let invocations = vm.profile_report().kernel_invocations as usize;
         // At most one kernel per recipe step (+1 for the dense anchor);
         // fusion only reduces this.
         prop_assert!(
@@ -186,7 +192,7 @@ fn diamond_sharing_counts() {
     let mut module = Module::new();
     module.add_function("main", fb.finish(out));
     let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     vm.set_profiling(true);
     let input = Tensor::ones_f32(&[2, 4]);
     let got = vm
@@ -199,7 +205,7 @@ fn diamond_sharing_counts() {
     assert!(got.as_f32().unwrap().iter().all(|&v| v.abs() < 1e-6));
     // 5 ops at most (tanh relu neg add mul), fewer after fusion — never
     // the 8+ the duplication bug produced.
-    let k = vm.profiler().report().kernel_invocations;
+    let k = vm.profile_report().kernel_invocations;
     assert!(k <= 5, "{k} kernel invocations");
 
     // And the value-numbering map in `eval`: evaluation count equals the

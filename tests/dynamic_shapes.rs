@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 fn run1(module: &Module, args: Vec<Object>) -> Result<Tensor, String> {
     let (exe, _) = compile(module, &CompileOptions::default()).map_err(|e| e.to_string())?;
-    let mut vm =
+    let vm =
         VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).map_err(|e| e.to_string())?;
     vm.run("main", args)
         .map_err(|e| e.to_string())?
@@ -44,10 +44,7 @@ fn arange_data_dependent_output() {
 #[test]
 fn unique_data_dependent_output() {
     let mut fb = FunctionBuilder::new("main");
-    let x = fb.param(
-        "x",
-        TensorType::with_any(&[None], DType::I64),
-    );
+    let x = fb.param("x", TensorType::with_any(&[None], DType::I64));
     let u = fb.call("unique", vec![x], Attrs::new());
     let mut m = Module::new();
     m.add_function("main", fb.finish(u));
@@ -59,10 +56,7 @@ fn unique_data_dependent_output() {
 #[test]
 fn nms_upper_bound_produces_precise_shape() {
     let mut fb = FunctionBuilder::new("main");
-    let boxes = fb.param(
-        "boxes",
-        TensorType::with_any(&[None, Some(5)], DType::F32),
-    );
+    let boxes = fb.param("boxes", TensorType::with_any(&[None, Some(5)], DType::F32));
     let kept = fb.call(
         "nms",
         vec![boxes],
@@ -202,7 +196,7 @@ fn same_executable_many_shapes_no_recompilation() {
     let mut m = Module::new();
     m.add_function("main", fb.finish(s));
     let (exe, _) = compile(&m, &CompileOptions::default()).unwrap();
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     for rows in 1..=24 {
         let out = vm
             .run("main", vec![Object::tensor(Tensor::ones_f32(&[rows, 4]))])
@@ -228,13 +222,13 @@ fn data_dependent_shape_func_on_gpu_copies_inputs_to_cpu() {
     let y = fb.call("boolean_mask", vec![r, mask], Attrs::new());
     let mut m = Module::new();
     m.add_function("main", fb.finish(y));
-    let (exe, report) =
-        nimble::compiler::compile(&m, &CompileOptions::gpu()).map_err(|e| e.to_string()).unwrap();
+    let (exe, report) = nimble::compiler::compile(&m, &CompileOptions::gpu())
+        .map_err(|e| e.to_string())
+        .unwrap();
     assert!(report.placement.copies_inserted > 0, "needs host copies");
     let devices = Arc::new(nimble::device::DeviceSet::with_gpu());
-    let mut vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
-    let rows =
-        Tensor::from_vec_f32(vec![1., -1., 2., -2., 3., 3.], &[3, 2]).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
+    let rows = Tensor::from_vec_f32(vec![1., -1., 2., -2., 3., 3.], &[3, 2]).unwrap();
     let keep = Tensor::from_vec_bool(vec![true, false, true], &[3]).unwrap();
     let out = vm
         .run("main", vec![Object::tensor(rows), Object::tensor(keep)])
@@ -260,7 +254,7 @@ fn executable_file_round_trip() {
     exe.save_to(&path).unwrap();
     let loaded = nimble::vm::Executable::load_from(&path).unwrap();
     let _ = std::fs::remove_file(&path);
-    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
     let out = vm
         .run(
             "main",

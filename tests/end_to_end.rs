@@ -50,7 +50,7 @@ fn lstm_pipeline_matches_reference_under_all_options() {
             ..CompileOptions::default()
         };
         let (exe, _) = compile(&module, &opts).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let got = vm
             .run("main", vec![list_object(&tokens)])
             .unwrap()
@@ -73,7 +73,7 @@ fn gpu_and_cpu_targets_agree() {
     let tokens = model.random_tokens(&mut rng, 4);
 
     let (cpu_exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-    let mut cpu_vm = VirtualMachine::new(cpu_exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let cpu_vm = VirtualMachine::new(cpu_exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let cpu_out = cpu_vm
         .run("main", vec![list_object(&tokens)])
         .unwrap()
@@ -83,14 +83,17 @@ fn gpu_and_cpu_targets_agree() {
     let (gpu_exe, report) = compile(&module, &CompileOptions::gpu()).unwrap();
     assert!(report.placement.device_values > 0);
     let devices = Arc::new(DeviceSet::with_gpu());
-    let mut gpu_vm = VirtualMachine::new(gpu_exe, Arc::clone(&devices)).unwrap();
+    let gpu_vm = VirtualMachine::new(gpu_exe, Arc::clone(&devices)).unwrap();
     let gpu_out = gpu_vm
         .run("main", vec![list_object(&tokens)])
         .unwrap()
         .wait_tensor()
         .unwrap();
     assert_close(&cpu_out, &gpu_out, 1e-5, "cpu vs gpu");
-    assert!(devices.gpu().launch_count() > 0, "kernels ran on the stream");
+    assert!(
+        devices.gpu().launch_count() > 0,
+        "kernels ran on the stream"
+    );
 }
 
 #[test]
@@ -103,7 +106,7 @@ fn executable_round_trips_through_bytes_for_every_model() {
     let loaded = Executable::load(&exe.save()).unwrap();
     assert_eq!(loaded.num_instructions(), exe.num_instructions());
     let tokens = lstm.random_tokens(&mut rng, 3);
-    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
     let got = vm
         .run("main", vec![list_object(&tokens)])
         .unwrap()
@@ -125,7 +128,7 @@ fn executable_round_trips_through_bytes_for_every_model() {
     let loaded = Executable::load(&exe.save()).unwrap();
     let ids = bert.random_tokens(&mut rng, 5);
     let (tok, pos) = bert.inputs(&ids);
-    let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
     let got = vm
         .run("main", vec![Object::tensor(tok), Object::tensor(pos)])
         .unwrap()
@@ -143,7 +146,7 @@ fn tree_lstm_many_structures_one_executable() {
         seed: 11,
     });
     let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     let mut rng = rand::rngs::StdRng::seed_from_u64(13);
     for leaves in 1..=16 {
         let tree = model.random_tree(&mut rng, leaves);
@@ -152,7 +155,12 @@ fn tree_lstm_many_structures_one_executable() {
             .unwrap()
             .wait_tensor()
             .unwrap();
-        assert_close(&got, &model.reference(&tree), 1e-4, &format!("{leaves} leaves"));
+        assert_close(
+            &got,
+            &model.reference(&tree),
+            1e-4,
+            &format!("{leaves} leaves"),
+        );
     }
 }
 
@@ -163,7 +171,7 @@ fn static_runtime_and_vm_agree_on_cv_models() {
     for (name, module) in cv::all_models(3) {
         let graph = StaticGraph::compile(&module, true).unwrap();
         let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
-        let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
         let a = vm
             .run("main", vec![Object::tensor(img.clone())])
             .unwrap()
@@ -178,12 +186,12 @@ fn static_runtime_and_vm_agree_on_cv_models() {
 fn profiler_accounts_for_instructions() {
     let model = tiny_lstm();
     let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
-    let mut vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+    let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
     vm.set_profiling(true);
     let mut rng = rand::rngs::StdRng::seed_from_u64(23);
     let tokens = model.random_tokens(&mut rng, 5);
     vm.run("main", vec![list_object(&tokens)]).unwrap();
-    let report = vm.profiler().report();
+    let report = vm.profile_report();
     assert!(report.instructions > 50);
     assert!(report.kernel_invocations >= 5);
     assert!(report.kernel_ns > 0);

@@ -36,7 +36,7 @@ proptest! {
         let model = lstm();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let tokens = model.random_tokens(&mut rng, len);
-        let mut vm = lstm_vm();
+        let vm = lstm_vm();
         let got = vm
             .run("main", vec![list_object(&tokens)])
             .unwrap()
@@ -66,7 +66,7 @@ proptest! {
         // And the loaded executable still computes correctly.
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let tokens = model.random_tokens(&mut rng, 3);
-        let mut vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let vm = VirtualMachine::new(loaded, Arc::new(DeviceSet::cpu_only())).unwrap();
         let got = vm
             .run("main", vec![list_object(&tokens)])
             .unwrap()
@@ -118,7 +118,7 @@ proptest! {
         let model = lstm();
         let (exe, _) = compile(&model.module(), &CompileOptions::default()).unwrap();
         let devices = Arc::new(DeviceSet::cpu_only());
-        let mut vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
         let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
         let tokens = model.random_tokens(&mut rng, len);
         let out = vm.run("main", vec![list_object(&tokens)]).unwrap();
