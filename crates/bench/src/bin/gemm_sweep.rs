@@ -1,0 +1,237 @@
+//! GEMM sweep: the packed-panel blocked kernel against the legacy
+//! row-dot kernel it replaced, across BERT-shaped dense workloads, plus a
+//! schedule-sensitivity sweep showing that `MatmulSchedule` is a real
+//! knob (distinct configs, distinct measured costs, identical outputs).
+//!
+//! * `--smoke` — CI-sized: small shapes, few iterations, exits non-zero
+//!   only on correctness mismatch (never on timing).
+//! * `--full`  — the numbers recorded in EXPERIMENTS.md.
+
+use nimble_bench::harness::{measure, render_table};
+use nimble_tensor::kernels::gemm::{gemm_packed, Epilogue, PackedB};
+use nimble_tensor::kernels::MatmulSchedule;
+use nimble_tensor::pool::{default_profile, parallel_for};
+use nimble_tensor::ExecProfile;
+use std::time::Duration;
+
+/// The kernel this PR replaced: per-output-element dot product over rows
+/// of `bt`, no packing, no register tiling — `B` columns are re-walked
+/// for every output row (the layout the old `gemm_bt` used).
+fn legacy_row_dot(
+    profile: ExecProfile,
+    a: &[f32],
+    bt: &[f32],
+    m: usize,
+    n: usize,
+    k: usize,
+    out: &mut [f32],
+) {
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    impl SendPtr {
+        fn get(&self) -> *mut f32 {
+            self.0
+        }
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    parallel_for(profile, m, 2 * n * k, |i0, i1| {
+        for i in i0..i1 {
+            let row = &a[i * k..(i + 1) * k];
+            for j in 0..n {
+                let col = &bt[j * k..(j + 1) * k];
+                let mut acc0 = 0.0f32;
+                let mut acc1 = 0.0f32;
+                let mut kk = 0;
+                while kk + 2 <= k {
+                    acc0 += row[kk] * col[kk];
+                    acc1 += row[kk + 1] * col[kk + 1];
+                    kk += 2;
+                }
+                if kk < k {
+                    acc0 += row[kk] * col[kk];
+                }
+                unsafe { *base.get().add(i * n + j) = acc0 + acc1 };
+            }
+        }
+    });
+}
+
+fn operands(m: usize, n: usize, k: usize) -> (Vec<f32>, Vec<f32>) {
+    let a: Vec<f32> = (0..m * k)
+        .map(|i| ((i % 31) as f32 - 15.0) * 0.07)
+        .collect();
+    let bt: Vec<f32> = (0..n * k).map(|i| ((i % 17) as f32 - 8.0) * 0.05).collect();
+    (a, bt)
+}
+
+struct SweepRow {
+    shape: (usize, usize, usize),
+    legacy: Duration,
+    packed_default: Duration,
+    best_sched: MatmulSchedule,
+    best: Duration,
+    worst_sched: MatmulSchedule,
+    worst: Duration,
+}
+
+fn sweep_shape(
+    m: usize,
+    n: usize,
+    k: usize,
+    warmup: usize,
+    iters: usize,
+    schedules: &[MatmulSchedule],
+) -> SweepRow {
+    let profile = default_profile();
+    let (a, bt) = operands(m, n, k);
+    let mut out = vec![0.0f32; m * n];
+
+    let legacy = measure(warmup, iters, || {
+        legacy_row_dot(profile, &a, &bt, m, n, k, &mut out);
+        std::hint::black_box(&out);
+    });
+    let reference = out.clone();
+
+    let mut timed: Vec<(MatmulSchedule, Duration)> = Vec::new();
+    for &sched in schedules {
+        let sched = sched.sanitized();
+        let pb = PackedB::pack_bt(&bt, n, k, sched.tile_k);
+        let d = measure(warmup, iters, || {
+            gemm_packed(profile, &a, &pb, m, &mut out, sched, &Epilogue::NONE);
+            std::hint::black_box(&out);
+        });
+        // Correctness gate: the packed kernel must agree with the legacy
+        // kernel (within reassociation tolerance) under every schedule.
+        for (i, (g, w)) in out.iter().zip(&reference).enumerate() {
+            let tol = 1e-3f32.max(w.abs() * 1e-4);
+            assert!(
+                (g - w).abs() <= tol,
+                "{m}x{n}x{k} sched {sched:?}: out[{i}] = {g}, legacy {w}"
+            );
+        }
+        timed.push((sched, d));
+    }
+    let default = MatmulSchedule::default().sanitized();
+    let packed_default = timed
+        .iter()
+        .find(|(s, _)| *s == default)
+        .map(|(_, d)| *d)
+        .expect("default schedule is always swept");
+    let (best_sched, best) = *timed.iter().min_by_key(|(_, d)| *d).unwrap();
+    let (worst_sched, worst) = *timed.iter().max_by_key(|(_, d)| *d).unwrap();
+    SweepRow {
+        shape: (m, n, k),
+        legacy,
+        packed_default,
+        best_sched,
+        best,
+        worst_sched,
+        worst,
+    }
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let full = std::env::args().any(|a| a == "--full");
+    let (warmup, iters) = if full { (3, 9) } else { (1, 5) };
+
+    // BERT-shaped GEMMs: n/k from hidden 256 (bench-scale BERT config) and
+    // its 4× FFN, m = token counts. Smoke keeps the two shapes the
+    // acceptance gate names; full adds the FFN and longer sequences.
+    let shapes: Vec<(usize, usize, usize)> = if full {
+        vec![
+            (32, 256, 256),
+            (128, 256, 256),
+            (128, 1024, 256),
+            (128, 256, 1024),
+            (256, 256, 256),
+            (384, 768, 768),
+        ]
+    } else {
+        vec![(32, 256, 256), (128, 256, 256)]
+    };
+    let schedules: Vec<MatmulSchedule> = vec![
+        MatmulSchedule::default(),
+        MatmulSchedule {
+            tile_m: 8,
+            tile_n: 16,
+            tile_k: 16,
+        },
+        MatmulSchedule {
+            tile_m: 64,
+            tile_n: 128,
+            tile_k: 256,
+        },
+        MatmulSchedule {
+            tile_m: 8,
+            tile_n: 8,
+            tile_k: 1,
+        },
+    ];
+
+    let rows: Vec<SweepRow> = shapes
+        .iter()
+        .map(|&(m, n, k)| sweep_shape(m, n, k, warmup, iters, &schedules))
+        .collect();
+
+    let header: Vec<String> = [
+        "m*n*k",
+        "legacy µs",
+        "packed µs",
+        "speedup",
+        "best µs",
+        "worst µs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let table: Vec<(String, Vec<f64>)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{}x{}x{}", r.shape.0, r.shape.1, r.shape.2),
+                vec![
+                    r.legacy.as_secs_f64() * 1e6,
+                    r.packed_default.as_secs_f64() * 1e6,
+                    r.legacy.as_secs_f64() / r.packed_default.as_secs_f64(),
+                    r.best.as_secs_f64() * 1e6,
+                    r.worst.as_secs_f64() * 1e6,
+                ],
+            )
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &format!(
+                "GEMM sweep ({}, profile {:?})",
+                if full { "full" } else { "smoke" },
+                default_profile()
+            ),
+            &header,
+            &table
+        )
+    );
+    for r in &rows {
+        println!(
+            "  {}x{}x{}: best {:?}, worst {:?} ({:.2}x apart)",
+            r.shape.0,
+            r.shape.1,
+            r.shape.2,
+            r.best_sched,
+            r.worst_sched,
+            r.worst.as_secs_f64() / r.best.as_secs_f64().max(1e-12),
+        );
+    }
+
+    // Timing assertions stay out of CI (`--smoke` machines are noisy);
+    // correctness is asserted per-schedule inside the sweep above.
+    if !smoke {
+        let wins = rows.iter().filter(|r| r.packed_default < r.legacy).count();
+        println!(
+            "packed(default) beats legacy on {wins}/{} shapes",
+            rows.len()
+        );
+    }
+}

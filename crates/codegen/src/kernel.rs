@@ -513,16 +513,38 @@ fn compile_unary_chain(func: &Function) -> Result<Option<Kernel>, KernelError> {
             _ => return Ok(None),
         }
     }
+    let chain_label = members[1..]
+        .iter()
+        .map(|(n, _, _)| n.as_str())
+        .collect::<Vec<_>>()
+        .join("+");
+    if anchor_name == "dense" && (arg_sources.len() == 2 || arg_sources.len() == 3) {
+        // Deeper fusion for the hottest anchor: the bias add and the whole
+        // unary chain run inside the GEMM's write-out pass, so the output
+        // is touched exactly once (no post-anchor sweep at all).
+        let name = format!("fused(dense+{chain_label} epilogue)");
+        return Ok(Some(Kernel::new(&name, move |inputs| {
+            let gathered: Vec<Tensor> = arg_sources
+                .iter()
+                .map(|src| match src {
+                    Ok(i) => inputs
+                        .get(*i)
+                        .cloned()
+                        .ok_or_else(|| KernelError("missing primitive input".into())),
+                    Err(c) => Ok(c.clone()),
+                })
+                .collect::<Result<_, _>>()?;
+            let out = nimble_tensor::kernels::dense_with_epilogue(
+                &gathered[0],
+                &gathered[1],
+                gathered.get(2),
+                &fns,
+            )?;
+            Ok(vec![out])
+        })));
+    }
     let exec = def.execute;
-    let name = format!(
-        "fused({}+{} inplace)",
-        anchor_name,
-        members[1..]
-            .iter()
-            .map(|(n, _, _)| n.as_str())
-            .collect::<Vec<_>>()
-            .join("+")
-    );
+    let name = format!("fused({anchor_name}+{chain_label} inplace)");
     Ok(Some(Kernel::new(&name, move |inputs| {
         let gathered: Vec<Tensor> = arg_sources
             .iter()
@@ -617,7 +639,8 @@ mod tests {
     fn fused_chain_uses_fast_path_and_matches_reference() {
         let f = chain_func();
         let k = Kernel::from_primitive(&f).unwrap();
-        assert!(k.name().contains("inplace"), "name: {}", k.name());
+        // A dense anchor fuses the chain into the GEMM epilogue.
+        assert!(k.name().contains("epilogue"), "name: {}", k.name());
         let x = Tensor::from_vec_f32(vec![0.5, -0.5, 1.0, 2.0], &[2, 2]).unwrap();
         let w = Tensor::from_vec_f32(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
         let out = k.invoke(&[x.clone(), w.clone()]).unwrap();

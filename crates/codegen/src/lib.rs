@@ -26,7 +26,7 @@ pub mod symbolic;
 pub mod tuner;
 
 pub use kernel::{Kernel, KernelError};
-pub use select::{DenseImpl, SelectingDense};
+pub use select::{select_schedule, DenseImpl, ScheduleChoice, SelectingDense};
 pub use shape_func::ShapeFuncKernel;
-pub use symbolic::{dense_symbolic, DispatchLevel, SymbolicDense};
+pub use symbolic::{dense_symbolic, dense_symbolic_packed, DispatchLevel, SymbolicDense};
 pub use tuner::{tune_dense_symbolic, TuneReport, TunerConfig};

@@ -17,8 +17,21 @@
 //! tail length dynamic and re-introduces branches; generating one copy
 //! (`no dispatch`) predicates *every* row block. Figure 3 measures exactly
 //! this spectrum.
+//!
+//! The weight side reads the same packed-panel layout as the blocked GEMM
+//! in `nimble-tensor` ([`PackedB`]: `NR`-column, k-major panels), and
+//! [`SymbolicDense`] obtains those panels from the process-wide pre-pack
+//! cache — so every residue variant of a layer shares one packed copy of
+//! its weights and symbolic dispatch pays no per-call layout cost. The
+//! accumulation order per output element is strictly increasing `k`,
+//! matching the blocked GEMM, so all dispatch levels (and the library
+//! kernel on the Server profile) agree bitwise.
 
-use nimble_tensor::{Result as TResult, Tensor, TensorError};
+use nimble_tensor::kernels::gemm::{PackedB, NR};
+use nimble_tensor::kernels::MatmulSchedule;
+use nimble_tensor::pool::default_profile;
+use nimble_tensor::{prepack, Result as TResult, Tensor, TensorError};
+use std::sync::Arc;
 
 /// How many residue-specialized kernel copies the dispatcher may select
 /// from (the `dispatch/k` axis of Figure 3).
@@ -62,34 +75,51 @@ impl DispatchLevel {
 
 /// Row-tiling factor chosen by the tuner for the BERT dense layers ("the
 /// auto-tuning algorithm chooses to tile the symbolic dimension … by a
-/// factor of 8 in all three kernels").
+/// factor of 8 in all three kernels"). Equals the GEMM microkernel's `MR`.
 pub const TILE: usize = 8;
 
-/// Compute `ROWS` output rows against the whole weight panel with
-/// compile-time `ROWS`: the loop fully unrolls and each weight element
-/// loaded once feeds `ROWS` accumulators.
+/// Compute `ROWS` output rows against every packed weight panel with
+/// compile-time `ROWS`: the row loop fully unrolls and each packed weight
+/// lane feeds `ROWS` accumulators, with no per-row branch.
 #[inline]
 fn panel_const<const ROWS: usize>(
     x: &[f32],
-    wt: &[f32],
+    pb: &PackedB,
     k: usize,
-    n: usize,
     out: &mut [f32],
     row0: usize,
+    bias: Option<&[f32]>,
 ) {
     if ROWS == 0 {
         return;
     }
-    for col in 0..n {
-        let w_row = &wt[col * k..(col + 1) * k];
-        let mut acc = [0.0f32; TILE];
-        for (p, &wv) in w_row.iter().enumerate() {
-            for r in 0..ROWS {
-                acc[r] += x[(row0 + r) * k + p] * wv;
+    let n = pb.n();
+    for jp_idx in 0..pb.n_panels() {
+        let j0 = jp_idx * NR;
+        let cols = NR.min(n - j0);
+        let mut acc = [[0.0f32; NR]; ROWS];
+        for block in 0..pb.k_blocks() {
+            let k0 = pb.block_k0(block);
+            let kc = pb.block_kc(block);
+            let bp = pb.panel(block, jp_idx);
+            for kk in 0..kc {
+                let b = &bp[kk * NR..kk * NR + NR];
+                for r in 0..ROWS {
+                    let a = x[(row0 + r) * k + k0 + kk];
+                    for c in 0..NR {
+                        acc[r][c] += a * b[c];
+                    }
+                }
             }
         }
         for r in 0..ROWS {
-            out[(row0 + r) * n + col] = acc[r];
+            for c in 0..cols {
+                let mut v = acc[r][c];
+                if let Some(bs) = bias {
+                    v += bs[j0 + c];
+                }
+                out[(row0 + r) * n + j0 + c] = v;
+            }
         }
     }
 }
@@ -99,44 +129,143 @@ fn panel_const<const ROWS: usize>(
 /// the "boundary condition checks … leading to poor performance" of
 /// Section 4.5.
 #[inline]
-fn panel_masked(x: &[f32], wt: &[f32], m: usize, k: usize, n: usize, out: &mut [f32], row0: usize) {
-    for col in 0..n {
-        let w_row = &wt[col * k..(col + 1) * k];
-        let mut acc = [0.0f32; TILE];
-        for (p, &wv) in w_row.iter().enumerate() {
-            for r in 0..TILE {
-                // The check the specialized copies eliminate:
-                if row0 + r < m {
-                    acc[r] += x[(row0 + r) * k + p] * wv;
+fn panel_masked(
+    x: &[f32],
+    pb: &PackedB,
+    m: usize,
+    k: usize,
+    out: &mut [f32],
+    row0: usize,
+    bias: Option<&[f32]>,
+) {
+    let n = pb.n();
+    for jp_idx in 0..pb.n_panels() {
+        let j0 = jp_idx * NR;
+        let cols = NR.min(n - j0);
+        let mut acc = [[0.0f32; NR]; TILE];
+        for block in 0..pb.k_blocks() {
+            let k0 = pb.block_k0(block);
+            let kc = pb.block_kc(block);
+            let bp = pb.panel(block, jp_idx);
+            for kk in 0..kc {
+                let b = &bp[kk * NR..kk * NR + NR];
+                for r in 0..TILE {
+                    // The check the specialized copies eliminate:
+                    if row0 + r < m {
+                        let a = x[(row0 + r) * k + k0 + kk];
+                        for c in 0..NR {
+                            acc[r][c] += a * b[c];
+                        }
+                    }
                 }
             }
         }
         for r in 0..TILE {
             if row0 + r < m {
-                out[(row0 + r) * n + col] = acc[r];
+                for c in 0..cols {
+                    let mut v = acc[r][c];
+                    if let Some(bs) = bias {
+                        v += bs[j0 + c];
+                    }
+                    out[(row0 + r) * n + j0 + c] = v;
+                }
             }
         }
     }
 }
 
 /// Run the compile-time tail for a constant residue.
-fn tail_const(x: &[f32], wt: &[f32], k: usize, n: usize, out: &mut [f32], row0: usize, r: usize) {
+fn tail_const(
+    x: &[f32],
+    pb: &PackedB,
+    k: usize,
+    out: &mut [f32],
+    row0: usize,
+    r: usize,
+    bias: Option<&[f32]>,
+) {
     match r {
         0 => {}
-        1 => panel_const::<1>(x, wt, k, n, out, row0),
-        2 => panel_const::<2>(x, wt, k, n, out, row0),
-        3 => panel_const::<3>(x, wt, k, n, out, row0),
-        4 => panel_const::<4>(x, wt, k, n, out, row0),
-        5 => panel_const::<5>(x, wt, k, n, out, row0),
-        6 => panel_const::<6>(x, wt, k, n, out, row0),
-        7 => panel_const::<7>(x, wt, k, n, out, row0),
+        1 => panel_const::<1>(x, pb, k, out, row0, bias),
+        2 => panel_const::<2>(x, pb, k, out, row0, bias),
+        3 => panel_const::<3>(x, pb, k, out, row0, bias),
+        4 => panel_const::<4>(x, pb, k, out, row0, bias),
+        5 => panel_const::<5>(x, pb, k, out, row0, bias),
+        6 => panel_const::<6>(x, pb, k, out, row0, bias),
+        7 => panel_const::<7>(x, pb, k, out, row0, bias),
         _ => unreachable!("residue < 8"),
     }
 }
 
-/// Dense `out[m,n] = x[m,k] · wtᵀ[n,k]` with the given dispatch level. The
-/// dispatch itself (the `match` on `m % 8`) is what the paper's generated
-/// dispatch function performs before jumping to the selected kernel copy.
+/// Dense `out[m,n] = x[m,k] · Bᵀ (+ bias)` over pre-packed weight panels
+/// with the given dispatch level. The dispatch itself (the `match` on
+/// `m % 8`) is what the paper's generated dispatch function performs before
+/// jumping to the selected kernel copy.
+pub fn dense_symbolic_packed(
+    x: &[f32],
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    level: DispatchLevel,
+    bias: Option<&[f32]>,
+) {
+    let (n, k) = (pb.n(), pb.k());
+    debug_assert_eq!(x.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    let q = m / TILE;
+    let r = m % TILE;
+    match level {
+        DispatchLevel::Static | DispatchLevel::Dispatch8 => {
+            // Kernel copy for exact residue r: unrolled main blocks plus a
+            // fully-unrolled constant tail. No boundary checks anywhere.
+            for b in 0..q {
+                panel_const::<TILE>(x, pb, k, out, b * TILE, bias);
+            }
+            tail_const(x, pb, k, out, q * TILE, r, bias);
+        }
+        DispatchLevel::Dispatch4 => {
+            // Copy selected by r / 2: the even part of the tail is a
+            // compile-time constant, parity costs one dynamic branch.
+            for b in 0..q {
+                panel_const::<TILE>(x, pb, k, out, b * TILE, bias);
+            }
+            let even = r & !1;
+            tail_const(x, pb, k, out, q * TILE, even, bias);
+            if r & 1 == 1 {
+                panel_const::<1>(x, pb, k, out, q * TILE + even, bias);
+            }
+        }
+        DispatchLevel::Dispatch2 => {
+            // Copy selected by r / 4: two dynamic branches remain.
+            for b in 0..q {
+                panel_const::<TILE>(x, pb, k, out, b * TILE, bias);
+            }
+            let quad = r & !3;
+            tail_const(x, pb, k, out, q * TILE, quad, bias);
+            let mut row = q * TILE + quad;
+            if r & 2 == 2 {
+                panel_const::<2>(x, pb, k, out, row, bias);
+                row += 2;
+            }
+            if r & 1 == 1 {
+                panel_const::<1>(x, pb, k, out, row, bias);
+            }
+        }
+        DispatchLevel::NoDispatch => {
+            // The single symbolic kernel: the compiler cannot prove any
+            // block is full, so every block runs predicated.
+            let blocks = m.div_ceil(TILE);
+            for b in 0..blocks {
+                panel_masked(x, pb, m, k, out, b * TILE, bias);
+            }
+        }
+    }
+}
+
+/// Slice-level entry point: packs `wt` (`[n, k]`) transiently and runs
+/// [`dense_symbolic_packed`]. Benchmarks and the kernel selector use this
+/// when they only hold raw buffers; kernels with a weight *tensor* go
+/// through [`SymbolicDense`], which shares the pre-pack cache.
 pub fn dense_symbolic(
     x: &[f32],
     wt: &[f32],
@@ -146,65 +275,24 @@ pub fn dense_symbolic(
     out: &mut [f32],
     level: DispatchLevel,
 ) {
-    debug_assert_eq!(x.len(), m * k);
     debug_assert_eq!(wt.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
-    let q = m / TILE;
-    let r = m % TILE;
-    match level {
-        DispatchLevel::Static | DispatchLevel::Dispatch8 => {
-            // Kernel copy for exact residue r: unrolled main blocks plus a
-            // fully-unrolled constant tail. No boundary checks anywhere.
-            for b in 0..q {
-                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
-            }
-            tail_const(x, wt, k, n, out, q * TILE, r);
-        }
-        DispatchLevel::Dispatch4 => {
-            // Copy selected by r / 2: the even part of the tail is a
-            // compile-time constant, parity costs one dynamic branch.
-            for b in 0..q {
-                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
-            }
-            let even = r & !1;
-            tail_const(x, wt, k, n, out, q * TILE, even);
-            if r & 1 == 1 {
-                panel_const::<1>(x, wt, k, n, out, q * TILE + even);
-            }
-        }
-        DispatchLevel::Dispatch2 => {
-            // Copy selected by r / 4: two dynamic branches remain.
-            for b in 0..q {
-                panel_const::<TILE>(x, wt, k, n, out, b * TILE);
-            }
-            let quad = r & !3;
-            tail_const(x, wt, k, n, out, q * TILE, quad);
-            let mut row = q * TILE + quad;
-            if r & 2 == 2 {
-                panel_const::<2>(x, wt, k, n, out, row);
-                row += 2;
-            }
-            if r & 1 == 1 {
-                panel_const::<1>(x, wt, k, n, out, row);
-            }
-        }
-        DispatchLevel::NoDispatch => {
-            // The single symbolic kernel: the compiler cannot prove any
-            // block is full, so every block runs predicated.
-            let blocks = m.div_ceil(TILE);
-            for b in 0..blocks {
-                panel_masked(x, wt, m, k, n, out, b * TILE);
-            }
-        }
-    }
+    let tile_k = MatmulSchedule::for_profile(default_profile())
+        .sanitized()
+        .tile_k;
+    let pb = PackedB::pack_bt(wt, n, k, tile_k);
+    dense_symbolic_packed(x, &pb, m, out, level, None);
 }
 
-/// A symbolic dense operator: weights captured at compile time, rows
-/// dynamic, dispatch level fixed by codegen configuration.
+/// A symbolic dense operator: weights captured (and pre-packed) at compile
+/// time, rows dynamic, dispatch level fixed by codegen configuration.
 #[derive(Debug, Clone)]
 pub struct SymbolicDense {
-    /// Weight matrix stored `[n, k]` (pre-transposed).
+    /// Weight matrix stored `[n, k]` (pre-transposed); retained so the
+    /// packed panels stay pinned in the process-wide cache.
     weight: Tensor,
+    /// Panels shared through `nimble_tensor::prepack` with every other
+    /// residue variant / session using the same weight buffer.
+    packed: Arc<PackedB>,
     /// Optional bias `[n]`.
     bias: Option<Tensor>,
     level: DispatchLevel,
@@ -220,18 +308,20 @@ impl SymbolicDense {
         if weight.rank() != 2 {
             return Err(TensorError::invalid("SymbolicDense: weight must be [n, k]"));
         }
-        weight.as_f32()?;
+        let (n, k) = (weight.dims()[0], weight.dims()[1]);
         if let Some(b) = &bias {
-            if b.dims() != [weight.dims()[0]] {
-                return Err(TensorError::shape(
-                    "SymbolicDense bias",
-                    &[weight.dims()[0]],
-                    b.dims(),
-                ));
+            if b.dims() != [n] {
+                return Err(TensorError::shape("SymbolicDense bias", &[n], b.dims()));
             }
+            b.as_f32()?;
         }
+        let tile_k = MatmulSchedule::for_profile(default_profile())
+            .sanitized()
+            .tile_k;
+        let packed = prepack::get_or_pack(&weight, n, k, tile_k)?;
         Ok(SymbolicDense {
             weight,
+            packed,
             bias,
             level,
         })
@@ -261,23 +351,11 @@ impl SymbolicDense {
         }
         let m: usize = x.dims()[..x.rank() - 1].iter().product();
         let mut out = vec![0.0f32; m * n];
-        dense_symbolic(
-            x.as_f32()?,
-            self.weight.as_f32()?,
-            m,
-            n,
-            k,
-            &mut out,
-            self.level,
-        );
-        if let Some(b) = &self.bias {
-            let bb = b.as_f32()?;
-            for row in out.chunks_mut(n) {
-                for (o, &bv) in row.iter_mut().zip(bb.iter()) {
-                    *o += bv;
-                }
-            }
-        }
+        let bias = match &self.bias {
+            Some(b) => Some(b.as_f32()?),
+            None => None,
+        };
+        dense_symbolic_packed(x.as_f32()?, &self.packed, m, &mut out, self.level, bias);
         let mut shape = x.dims()[..x.rank() - 1].to_vec();
         shape.push(n);
         Tensor::from_vec_f32(out, &shape)
@@ -373,6 +451,23 @@ mod tests {
         assert!(y.as_f32().unwrap().iter().all(|&v| (v - 3.0).abs() < 1e-6));
     }
 
+    #[test]
+    fn residue_variants_share_one_packed_weight() {
+        // All dispatch levels of the same weight must resolve to the same
+        // cached pack: symbolic dispatch pays no per-variant layout cost.
+        let w = Tensor::from_vec_f32((0..24).map(|i| i as f32 * 0.1).collect(), &[4, 6]).unwrap();
+        let variants: Vec<SymbolicDense> = ALL_LEVELS
+            .iter()
+            .map(|&lvl| SymbolicDense::new(w.clone(), None, lvl).unwrap())
+            .collect();
+        for v in &variants[1..] {
+            assert!(
+                Arc::ptr_eq(&variants[0].packed, &v.packed),
+                "residue variants must share packed panels"
+            );
+        }
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(12))]
         #[test]
@@ -387,8 +482,9 @@ mod tests {
             for level in [DispatchLevel::Dispatch4, DispatchLevel::Dispatch2, DispatchLevel::NoDispatch] {
                 let mut out = vec![0.0f32; m * n];
                 dense_symbolic(&x, &wt, m, n, k, &mut out, level);
+                // Same packed layout + same k-order accumulation: bitwise.
                 for (a, b) in base.iter().zip(out.iter()) {
-                    prop_assert!((a - b).abs() < 1e-4);
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
                 }
             }
         }

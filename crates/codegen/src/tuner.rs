@@ -9,79 +9,23 @@
 //!    other shapes (powers of two up to 256);
 //! 3. picks the configuration with the best *average* across those shapes.
 //!
-//! The template here is a cache-blocked dense kernel parameterized by
-//! [`ScheduleConfig`] (n-tile, k-tile, unroll factor) — the same role a
-//! TVM schedule template plays for AutoTVM.
+//! The template is the real packed blocked GEMM of `nimble-tensor`,
+//! parameterized by [`MatmulSchedule`] (`tile_m`/`tile_n`/`tile_k`) — the
+//! same role a TVM schedule template plays for AutoTVM. Because the blocked
+//! kernel's accumulation order is schedule-invariant, every point in the
+//! search space produces bitwise-identical outputs; only the measured cost
+//! differs (cache residency of the packed panels and the A strips).
+//! Weights are packed *outside* the timed region: in deployment the pack is
+//! amortized by the pre-pack cache, so timing it would bias the search
+//! toward small `tile_k` for the wrong reason.
 
+use nimble_tensor::kernels::gemm::{gemm_packed, Epilogue, PackedB};
+use nimble_tensor::kernels::MatmulSchedule;
+use nimble_tensor::pool::default_profile;
 use nimble_tensor::Tensor;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use std::time::Instant;
-
-/// One point in the schedule search space.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct ScheduleConfig {
-    /// Column-block size.
-    pub tile_n: usize,
-    /// Reduction-block size.
-    pub tile_k: usize,
-    /// Reduction unroll factor.
-    pub unroll: usize,
-}
-
-impl Default for ScheduleConfig {
-    fn default() -> Self {
-        ScheduleConfig {
-            tile_n: 32,
-            tile_k: 32,
-            unroll: 4,
-        }
-    }
-}
-
-/// Dense `out[m,n] = x[m,k] · wtᵀ[n,k]` through the schedule template.
-pub fn dense_templated(
-    x: &[f32],
-    wt: &[f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    out: &mut [f32],
-    cfg: ScheduleConfig,
-) {
-    debug_assert!(cfg.tile_n > 0 && cfg.tile_k > 0 && cfg.unroll > 0);
-    out.iter_mut().for_each(|v| *v = 0.0);
-    let mut jb = 0;
-    while jb < n {
-        let jend = (jb + cfg.tile_n).min(n);
-        let mut pb = 0;
-        while pb < k {
-            let pend = (pb + cfg.tile_k).min(k);
-            for i in 0..m {
-                let x_row = &x[i * k..(i + 1) * k];
-                for j in jb..jend {
-                    let w_row = &wt[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    let span = pend - pb;
-                    let chunks = span / cfg.unroll * cfg.unroll;
-                    let mut p = 0;
-                    while p < chunks {
-                        for u in 0..cfg.unroll {
-                            acc += x_row[pb + p + u] * w_row[pb + p + u];
-                        }
-                        p += cfg.unroll;
-                    }
-                    for q in chunks..span {
-                        acc += x_row[pb + q] * w_row[pb + q];
-                    }
-                    out[i * n + j] += acc;
-                }
-            }
-            pb = pend;
-        }
-        jb = jend;
-    }
-}
 
 /// Tuner parameters.
 #[derive(Debug, Clone)]
@@ -120,43 +64,61 @@ impl Default for TunerConfig {
 #[derive(Debug, Clone)]
 pub struct TuneReport {
     /// Configuration chosen by step 3 (best cross-shape average).
-    pub best: ScheduleConfig,
+    pub best: MatmulSchedule,
     /// Configuration that was fastest on the proxy shape alone.
-    pub proxy_best: ScheduleConfig,
+    pub proxy_best: MatmulSchedule,
+    /// The top-k configurations carried from step 1 to step 2, in proxy
+    /// rank order.
+    pub top_configs: Vec<MatmulSchedule>,
     /// Candidates measured in step 1.
     pub trials: usize,
     /// Mean latency (ns) of `best` per evaluation shape.
     pub cross_scores: Vec<(usize, f64)>,
 }
 
-fn search_space() -> Vec<ScheduleConfig> {
+/// The schedule grid explored by step 1 (48 points). Every point is
+/// pre-sanitized, so measured configs are exactly the configs the GEMM
+/// driver runs.
+pub fn search_space() -> Vec<MatmulSchedule> {
     let mut space = Vec::new();
-    for &tile_n in &[8usize, 16, 32, 64] {
-        for &tile_k in &[8usize, 16, 32, 64] {
-            for &unroll in &[1usize, 2, 4] {
-                space.push(ScheduleConfig {
-                    tile_n,
-                    tile_k,
-                    unroll,
-                });
+    for &tile_m in &[8usize, 16, 32, 64] {
+        for &tile_n in &[16usize, 32, 64, 128] {
+            for &tile_k in &[16usize, 64, 256] {
+                space.push(
+                    MatmulSchedule {
+                        tile_m,
+                        tile_n,
+                        tile_k,
+                    }
+                    .sanitized(),
+                );
             }
         }
     }
     space
 }
 
-fn measure(m: usize, n: usize, k: usize, cfg: ScheduleConfig, repeats: usize) -> f64 {
+/// Median wall time (ns) of the packed GEMM under `sched` on `m×n×k`,
+/// deterministic synthetic operands, pack excluded from timing.
+pub fn measure(m: usize, n: usize, k: usize, sched: MatmulSchedule, repeats: usize) -> f64 {
+    let sched = sched.sanitized();
     let x: Vec<f32> = (0..m * k).map(|i| (i % 13) as f32 * 0.1).collect();
     let wt: Vec<f32> = (0..n * k).map(|i| (i % 7) as f32 * 0.1).collect();
+    let pb = PackedB::pack_bt(&wt, n, k, sched.tile_k);
     let mut out = vec![0.0f32; m * n];
+    let profile = default_profile();
     // Warm-up.
-    dense_templated(&x, &wt, m, n, k, &mut out, cfg);
-    let start = Instant::now();
-    for _ in 0..repeats {
-        dense_templated(&x, &wt, m, n, k, &mut out, cfg);
-    }
-    std::hint::black_box(&out);
-    start.elapsed().as_nanos() as f64 / repeats as f64
+    gemm_packed(profile, &x, &pb, m, &mut out, sched, &Epilogue::NONE);
+    let mut samples: Vec<f64> = (0..repeats.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            gemm_packed(profile, &x, &pb, m, &mut out, sched, &Epilogue::NONE);
+            std::hint::black_box(&out);
+            start.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    samples[samples.len() / 2]
 }
 
 /// Run the three-step tuning algorithm for a dense operator of weight
@@ -167,7 +129,7 @@ pub fn tune_dense_symbolic(n: usize, k: usize, cfg: &TunerConfig) -> TuneReport 
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
     space.shuffle(&mut rng);
     space.truncate(cfg.max_trials);
-    let mut scored: Vec<(f64, ScheduleConfig)> = space
+    let mut scored: Vec<(f64, MatmulSchedule)> = space
         .iter()
         .map(|&c| (measure(cfg.proxy_dim, n, k, c, cfg.repeats), c))
         .collect();
@@ -176,7 +138,7 @@ pub fn tune_dense_symbolic(n: usize, k: usize, cfg: &TunerConfig) -> TuneReport 
     let proxy_best = scored[0].1;
 
     // Step 2: evaluate the top-k on the other shapes.
-    let top: Vec<ScheduleConfig> = scored
+    let top: Vec<MatmulSchedule> = scored
         .into_iter()
         .take(cfg.top_k.max(1))
         .map(|(_, c)| c)
@@ -184,7 +146,7 @@ pub fn tune_dense_symbolic(n: usize, k: usize, cfg: &TunerConfig) -> TuneReport 
     let mut best = top[0];
     let mut best_avg = f64::INFINITY;
     let mut best_scores = Vec::new();
-    for c in top {
+    for &c in &top {
         let scores: Vec<(usize, f64)> = cfg
             .eval_shapes
             .iter()
@@ -204,19 +166,21 @@ pub fn tune_dense_symbolic(n: usize, k: usize, cfg: &TunerConfig) -> TuneReport 
     TuneReport {
         best,
         proxy_best,
+        top_configs: top,
         trials,
         cross_scores: best_scores,
     }
 }
 
-/// Convenience: run the tuned template as a tensor-level dense kernel.
+/// Convenience: run the blocked GEMM as a tensor-level dense kernel under
+/// an explicit schedule (the tuner's trial executor).
 ///
 /// # Errors
 /// Propagates shape/dtype mismatches.
 pub fn dense_with_schedule(
     x: &Tensor,
     weight: &Tensor,
-    cfg: ScheduleConfig,
+    sched: MatmulSchedule,
 ) -> nimble_tensor::Result<Tensor> {
     if weight.rank() != 2 || x.rank() < 1 {
         return Err(nimble_tensor::TensorError::invalid(
@@ -232,9 +196,19 @@ pub fn dense_with_schedule(
             weight.dims(),
         ));
     }
+    let sched = sched.sanitized();
     let m: usize = x.dims()[..x.rank() - 1].iter().product();
+    let pb = nimble_tensor::prepack::get_or_pack(weight, n, k, sched.tile_k)?;
     let mut out = vec![0.0f32; m * n];
-    dense_templated(x.as_f32()?, weight.as_f32()?, m, n, k, &mut out, cfg);
+    gemm_packed(
+        default_profile(),
+        x.as_f32()?,
+        &pb,
+        m,
+        &mut out,
+        sched,
+        &Epilogue::NONE,
+    );
     let mut shape = x.dims()[..x.rank() - 1].to_vec();
     shape.push(n);
     Tensor::from_vec_f32(out, &shape)
@@ -263,11 +237,20 @@ mod tests {
         let x: Vec<f32> = (0..m * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let wt: Vec<f32> = (0..n * k).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let want = reference(&x, &wt, m, n, k);
-        for cfg in search_space() {
+        for sched in search_space() {
+            let pb = PackedB::pack_bt(&wt, n, k, sched.tile_k);
             let mut out = vec![0.0f32; m * n];
-            dense_templated(&x, &wt, m, n, k, &mut out, cfg);
+            gemm_packed(
+                default_profile(),
+                &x,
+                &pb,
+                m,
+                &mut out,
+                sched,
+                &Epilogue::NONE,
+            );
             for (a, b) in out.iter().zip(want.iter()) {
-                assert!((a - b).abs() < 1e-4, "cfg {cfg:?}");
+                assert!((a - b).abs() < 1e-4, "sched {sched:?}");
             }
         }
     }
@@ -285,10 +268,12 @@ mod tests {
         let report = tune_dense_symbolic(8, 16, &cfg);
         assert_eq!(report.trials, 6);
         assert_eq!(report.cross_scores.len(), 3);
+        assert_eq!(report.top_configs.len(), 3);
         assert!(report.cross_scores.iter().all(|&(_, t)| t > 0.0));
         // The chosen config is a member of the search space.
         assert!(search_space().contains(&report.best));
         assert!(search_space().contains(&report.proxy_best));
+        assert!(report.top_configs.contains(&report.best));
     }
 
     #[test]
@@ -313,11 +298,32 @@ mod tests {
     fn dense_with_schedule_matches_kernel() {
         let x = Tensor::ones_f32(&[3, 4]);
         let w = Tensor::ones_f32(&[2, 4]);
-        let y = dense_with_schedule(&x, &w, ScheduleConfig::default()).unwrap();
+        let y = dense_with_schedule(&x, &w, MatmulSchedule::default()).unwrap();
         assert_eq!(y.dims(), &[3, 2]);
         assert!(y.as_f32().unwrap().iter().all(|&v| v == 4.0));
         let bad = Tensor::ones_f32(&[3, 5]);
-        assert!(dense_with_schedule(&bad, &w, ScheduleConfig::default()).is_err());
+        assert!(dense_with_schedule(&bad, &w, MatmulSchedule::default()).is_err());
+    }
+
+    #[test]
+    fn all_schedules_bitwise_identical_outputs() {
+        // The property the paper's tuner relies on (and our regression
+        // tests assert end-to-end): schedules trade *time*, never *bits*.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let (m, n, k) = (19, 23, 37);
+        let x = Tensor::rand_f32(&mut rng, &[m, k], 1.0);
+        let w = Tensor::rand_f32(&mut rng, &[n, k], 1.0);
+        let base = dense_with_schedule(&x, &w, MatmulSchedule::default()).unwrap();
+        for sched in search_space() {
+            let out = dense_with_schedule(&x, &w, sched).unwrap();
+            let same = base
+                .as_f32()
+                .unwrap()
+                .iter()
+                .zip(out.as_f32().unwrap())
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+            assert!(same, "schedule {sched:?} changed output bits");
+        }
     }
 
     proptest! {
@@ -325,18 +331,19 @@ mod tests {
         #[test]
         fn template_matches_reference(
             m in 1usize..9, n in 1usize..9, k in 1usize..17,
-            tile_n in 1usize..5, tile_k in 1usize..5, unroll in 1usize..4,
+            tile_m in 1usize..5, tile_n in 1usize..5, tile_k in 1usize..33,
         ) {
-            let cfg = ScheduleConfig {
+            let sched = MatmulSchedule {
+                tile_m: tile_m * 8,
                 tile_n: tile_n * 8,
-                tile_k: tile_k * 8,
-                unroll,
+                tile_k,
             };
             let x: Vec<f32> = (0..m * k).map(|i| i as f32 * 0.01).collect();
             let wt: Vec<f32> = (0..n * k).map(|i| i as f32 * 0.02).collect();
             let want = reference(&x, &wt, m, n, k);
+            let pb = PackedB::pack_bt(&wt, n, k, sched.tile_k);
             let mut out = vec![0.0f32; m * n];
-            dense_templated(&x, &wt, m, n, k, &mut out, cfg);
+            gemm_packed(default_profile(), &x, &pb, m, &mut out, sched, &Epilogue::NONE);
             for (a, b) in out.iter().zip(want.iter()) {
                 prop_assert!((a - b).abs() < 1e-3);
             }

@@ -57,6 +57,9 @@ pub struct CompileReport {
     pub instructions: usize,
     /// Kernel-table entries.
     pub kernels: usize,
+    /// Weight constants packed into the process-wide pre-pack cache at
+    /// compile time (shared by every VM session that loads this program).
+    pub weights_prepacked: usize,
 }
 
 fn merge_memplan(total: &mut MemPlanReport, part: MemPlanReport) {
@@ -111,6 +114,10 @@ pub fn compile(module: &Module, opts: &CompileOptions) -> Result<(Executable, Co
     let exe = lower_module(&planned)?;
     report.instructions = exe.num_instructions();
     report.kernels = exe.kernels.len();
+    // 8. Pre-pack weight constants into the process-wide cache so the
+    // first inference (of every session sharing this process) skips the
+    // packing pass.
+    report.weights_prepacked = exe.prepack_weights();
     Ok((exe, report))
 }
 

@@ -1,0 +1,91 @@
+//! The weight pre-pack cache across compile and VM sessions: constants are
+//! packed once at compile time, every session loading the program shares
+//! the same panels (cache size stays flat), and the cached path is
+//! bitwise-identical to packing from scratch.
+//!
+//! Kept as a single `#[test]`: the cache is process-global, and this file
+//! being its own integration-test binary means no other test races it —
+//! as long as everything stays in one function.
+
+use nimble_core::{compile, CompileOptions};
+use nimble_device::DeviceSet;
+use nimble_ir::attrs::Attrs;
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::Module;
+use nimble_tensor::{prepack, DType, Tensor};
+use nimble_vm::{Object, VirtualMachine};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn run_once(vm: &VirtualMachine, input: &Tensor) -> Vec<u32> {
+    vm.run("main", vec![Object::tensor(input.clone())])
+        .unwrap()
+        .wait_tensor()
+        .unwrap()
+        .as_f32()
+        .unwrap()
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+#[test]
+fn sessions_share_packed_weights_and_match_uncached() {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let w1 = Tensor::rand_f32(&mut rng, &[24, 16], 0.5);
+    let w2 = Tensor::rand_f32(&mut rng, &[8, 24], 0.5);
+
+    // main(x) = dense(relu(dense(x, w1)), w2) — two distinct weight
+    // constants feeding dense kernels.
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(16)], DType::F32));
+    let wc1 = fb.constant(w1.clone());
+    let d1 = fb.call("dense", vec![x, wc1], Attrs::new());
+    let r = fb.call("relu", vec![d1], Attrs::new());
+    let wc2 = fb.constant(w2.clone());
+    let d2 = fb.call("dense", vec![r, wc2], Attrs::new());
+    let mut module = Module::new();
+    module.add_function("main", fb.finish(d2));
+
+    prepack::clear_cache();
+    let (exe, report) = compile(&module, &CompileOptions::default()).unwrap();
+    assert_eq!(
+        report.weights_prepacked, 2,
+        "both dense weights pack at compile time"
+    );
+    let after_compile = prepack::cache_len();
+    assert!(after_compile >= 2, "cache holds the packed weights");
+
+    // Two sessions loading the same program: no new cache entries — they
+    // share the compile-time panels (the executable clone shares weight
+    // buffers, so the identity keys match).
+    let devices = Arc::new(DeviceSet::cpu_only());
+    let vm1 = VirtualMachine::new(exe.clone(), devices.clone()).unwrap();
+    let vm2 = VirtualMachine::new(exe.clone(), devices.clone()).unwrap();
+    assert_eq!(
+        prepack::cache_len(),
+        after_compile,
+        "loading sessions must reuse the compile-time packs, not add new ones"
+    );
+
+    let input = Tensor::rand_f32(&mut rng, &[5, 16], 1.0);
+    let out1 = run_once(&vm1, &input);
+    let out2 = run_once(&vm2, &input);
+    assert_eq!(out1, out2, "sessions sharing packs agree bitwise");
+    assert_eq!(
+        prepack::cache_len(),
+        after_compile,
+        "inference hits the cache; no repacking"
+    );
+
+    // Drop the cache and load a fresh session: weights repack from
+    // scratch, and the result must be bitwise-identical to the cached
+    // runs (packing is layout-only; it never changes reduction order).
+    prepack::clear_cache();
+    assert_eq!(prepack::cache_len(), 0);
+    let vm3 = VirtualMachine::new(exe, devices).unwrap();
+    assert!(prepack::cache_len() >= 2, "load-time repack after clear");
+    let out3 = run_once(&vm3, &input);
+    assert_eq!(out1, out3, "uncached and cached results agree bitwise");
+}

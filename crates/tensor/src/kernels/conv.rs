@@ -5,7 +5,8 @@
 //! (Section 6.3). Convolution is im2col + GEMM, reusing the dense inner
 //! loops.
 
-use super::matmul::gemm_bt;
+use super::gemm::{gemm_packed, Epilogue};
+use super::matmul::MatmulSchedule;
 use crate::{Result, Tensor, TensorError};
 
 /// 2-D convolution, NCHW input `[n, c, h, w]`, OIHW weights
@@ -49,9 +50,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
     let ow = (wp - kw) / stride + 1;
 
     let x = input.as_f32()?;
-    let wt = weight.as_f32()?; // already [oc, c*kh*kw] when flattened
     let k = c * kh * kw;
     let mut out = vec![0.0f32; n * oc * oh * ow];
+
+    // The OIHW weight flattens to [oc, c*kh*kw] — exactly the transposed
+    // dense layout, so the im2col GEMM shares the weight pre-pack cache.
+    let profile = crate::pool::default_profile();
+    let sched = MatmulSchedule::for_profile(profile).sanitized();
+    let packed_w = crate::prepack::get_or_pack(weight, oc, k, sched.tile_k)?;
 
     // im2col buffer for one image: [oh*ow, c*kh*kw]
     let mut col = vec![0.0f32; oh * ow * k];
@@ -82,14 +88,14 @@ pub fn conv2d(input: &Tensor, weight: &Tensor, stride: usize, padding: usize) ->
         }
         // out[img]: [oh*ow, oc] = col [oh*ow, k] · weightᵀ [oc, k]
         let mut img_out = vec![0.0f32; oh * ow * oc];
-        gemm_bt(
-            crate::pool::default_profile(),
+        gemm_packed(
+            profile,
             &col,
-            wt,
+            &packed_w,
             oh * ow,
-            oc,
-            k,
             &mut img_out,
+            sched,
+            &Epilogue::NONE,
         );
         // Transpose [oh*ow, oc] -> [oc, oh, ow].
         let base = img * oc * oh * ow;

@@ -1,0 +1,513 @@
+//! Blocked GEMM core: packed panels + register microkernel.
+//!
+//! This is the compute engine behind [`super::matmul`]'s `dense` / `matmul` /
+//! `batch_matmul` and conv2d's im2col GEMM. The structure is the classic
+//! BLIS/rten decomposition:
+//!
+//! * **B packing** ([`PackedB`]): the right-hand side is repacked once into
+//!   `NR`-column panels, k-major inside each panel, grouped into `tile_k`
+//!   reduction blocks. A microkernel pass then reads B strictly
+//!   sequentially — no `n`- or `k`-strided loads in the hot loop. Column
+//!   tails are zero-padded to `NR` so the microkernel never branches on
+//!   width.
+//! * **A packing**: each `tile_m` strip of A is repacked on the fly into
+//!   `MR`-row panels (k-major, same `tile_k` blocking), so the microkernel
+//!   reads both operands as contiguous streams.
+//! * **Microkernel**: an `MR×NR = 8×8` register accumulator tile. The Server
+//!   variant keeps 64 independent `acc += a*b` lanes (the shape LLVM
+//!   auto-vectorizes); the Edge variant is a strictly in-order `mul_add`
+//!   dependence chain modelling a low-power core (see DESIGN.md's platform
+//!   substitution).
+//!
+//! **Determinism across schedules**: the accumulator tile stays
+//! register-resident across *all* `tile_k` blocks — the block loop is inside
+//! the per-tile region, not outside it — so each output element is reduced
+//! in strictly increasing `k` order no matter the schedule. Every
+//! `MatmulSchedule` therefore produces bitwise-identical results for a given
+//! profile, which is what lets the tuner explore tile configs freely and the
+//! pre-pack cache share packed weights across residue variants.
+//!
+//! The epilogue (bias add + any fused trailing unary elementwise chain) is
+//! applied in the single write-out pass, so fused `dense → activation`
+//! chains touch the output exactly once.
+
+use crate::pool::{parallel_chunks_mut, ExecProfile};
+
+/// Microkernel register-tile rows.
+pub const MR: usize = 8;
+/// Microkernel register-tile columns (B panel width).
+pub const NR: usize = 8;
+
+/// Output-pass fusion: bias add plus a chain of unary elementwise ops
+/// applied while the accumulator tile is written out.
+#[derive(Default)]
+pub struct Epilogue<'a> {
+    /// Per-output-column bias (`[n]`), added before the unary chain.
+    pub bias: Option<&'a [f32]>,
+    /// Unary ops applied in order after the bias add.
+    pub unary: &'a [fn(f32) -> f32],
+}
+
+impl Epilogue<'_> {
+    /// No bias, no unary chain.
+    pub const NONE: Epilogue<'static> = Epilogue {
+        bias: None,
+        unary: &[],
+    };
+
+    #[inline]
+    fn apply(&self, col: usize, v: f32) -> f32 {
+        let mut v = match self.bias {
+            Some(b) => v + b[col],
+            None => v,
+        };
+        for f in self.unary {
+            v = f(v);
+        }
+        v
+    }
+}
+
+/// The right-hand side of a GEMM repacked into microkernel panels.
+///
+/// Layout: outer loop over `tile_k` reduction blocks, then `NR`-column
+/// panels, then `k` within the block: `data[block][panel][kk][0..NR]`.
+/// Blocks are laid out at a uniform stride (`n_panels * NR * tile_k`) so the
+/// final ragged block simply leaves its tail unused. Column tails beyond `n`
+/// are zero-padded.
+pub struct PackedB {
+    data: Vec<f32>,
+    n: usize,
+    k: usize,
+    tile_k: usize,
+    n_panels: usize,
+}
+
+impl std::fmt::Debug for PackedB {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PackedB")
+            .field("n", &self.n)
+            .field("k", &self.k)
+            .field("tile_k", &self.tile_k)
+            .field("bytes", &self.bytes())
+            .finish()
+    }
+}
+
+impl PackedB {
+    fn with_layout(n: usize, k: usize, tile_k: usize) -> PackedB {
+        let tile_k = tile_k.max(1);
+        let n_panels = n.div_ceil(NR);
+        let k_blocks = k.div_ceil(tile_k);
+        PackedB {
+            data: vec![0.0; k_blocks * n_panels * NR * tile_k],
+            n,
+            k,
+            tile_k,
+            n_panels,
+        }
+    }
+
+    /// Pack from a transposed-weight layout `bt: [n, k]` (the `dense`
+    /// convention: `out[m,n] = Σ_k a[m,k] · bt[n,k]`).
+    pub fn pack_bt(bt: &[f32], n: usize, k: usize, tile_k: usize) -> PackedB {
+        assert_eq!(bt.len(), n * k, "pack_bt: bt must be [n, k]");
+        let mut p = Self::with_layout(n, k, tile_k);
+        for block in 0..p.k_blocks() {
+            let (k0, kc) = (p.block_k0(block), p.block_kc(block));
+            for jp_idx in 0..p.n_panels {
+                let j0 = jp_idx * NR;
+                let cols = NR.min(n - j0);
+                let dst = p.panel_range(block, jp_idx);
+                let dst = &mut p.data[dst];
+                for (c, col) in (j0..j0 + cols).enumerate() {
+                    let src = &bt[col * k + k0..col * k + k0 + kc];
+                    for (kk, &v) in src.iter().enumerate() {
+                        dst[kk * NR + c] = v;
+                    }
+                }
+            }
+        }
+        p
+    }
+
+    /// Pack from a row-major layout `b: [k, n]` (the `matmul` convention:
+    /// `out[m,n] = Σ_k a[m,k] · b[k,n]`).
+    pub fn pack_kn(b: &[f32], k: usize, n: usize, tile_k: usize) -> PackedB {
+        assert_eq!(b.len(), k * n, "pack_kn: b must be [k, n]");
+        let mut p = Self::with_layout(n, k, tile_k);
+        for block in 0..p.k_blocks() {
+            let (k0, kc) = (p.block_k0(block), p.block_kc(block));
+            for jp_idx in 0..p.n_panels {
+                let j0 = jp_idx * NR;
+                let cols = NR.min(n - j0);
+                let dst = p.panel_range(block, jp_idx);
+                let dst = &mut p.data[dst];
+                for kk in 0..kc {
+                    let src = &b[(k0 + kk) * n + j0..(k0 + kk) * n + j0 + cols];
+                    dst[kk * NR..kk * NR + cols].copy_from_slice(src);
+                }
+            }
+        }
+        p
+    }
+
+    /// Output columns.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Reduction length.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Reduction block size the panels were packed with.
+    pub fn tile_k(&self) -> usize {
+        self.tile_k
+    }
+
+    /// Number of `NR`-column panels per block.
+    pub fn n_panels(&self) -> usize {
+        self.n_panels
+    }
+
+    /// Number of `tile_k` reduction blocks.
+    pub fn k_blocks(&self) -> usize {
+        self.k.div_ceil(self.tile_k)
+    }
+
+    /// First `k` index of a block.
+    pub fn block_k0(&self, block: usize) -> usize {
+        block * self.tile_k
+    }
+
+    /// Reduction length of a block (the last block may be ragged).
+    pub fn block_kc(&self, block: usize) -> usize {
+        self.tile_k.min(self.k - block * self.tile_k)
+    }
+
+    fn panel_range(&self, block: usize, jp_idx: usize) -> std::ops::Range<usize> {
+        let kc = self.block_kc(block);
+        let start = block * self.n_panels * NR * self.tile_k + jp_idx * NR * kc;
+        start..start + NR * kc
+    }
+
+    /// The `[kc × NR]` k-major panel for `(block, panel)`.
+    #[inline]
+    pub fn panel(&self, block: usize, jp_idx: usize) -> &[f32] {
+        &self.data[self.panel_range(block, jp_idx)]
+    }
+
+    /// Bytes held by the packed buffer (cache accounting).
+    pub fn bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+}
+
+/// Pack a `rows`-row strip of `a: [m, k]` into `MR`-row k-major panels with
+/// the same `tile_k` blocking as [`PackedB`], zero-padding the row tail.
+///
+/// Layout mirrors PackedB with rows in place of columns:
+/// `buf[block][row_panel][kk][0..MR]`, uniform block stride
+/// `m_panels * MR * tile_k`.
+fn pack_a_strip(a: &[f32], k: usize, row0: usize, rows: usize, tile_k: usize, buf: &mut Vec<f32>) {
+    let tile_k = tile_k.max(1);
+    let m_panels = rows.div_ceil(MR);
+    let k_blocks = k.div_ceil(tile_k);
+    buf.clear();
+    buf.resize(k_blocks * m_panels * MR * tile_k, 0.0);
+    for block in 0..k_blocks {
+        let k0 = block * tile_k;
+        let kc = tile_k.min(k - k0);
+        for ip_idx in 0..m_panels {
+            let r0 = ip_idx * MR;
+            let rcount = MR.min(rows - r0);
+            let start = block * m_panels * MR * tile_k + ip_idx * MR * kc;
+            let dst = &mut buf[start..start + MR * kc];
+            for (r, row) in (r0..r0 + rcount).enumerate() {
+                let src = &a[(row0 + row) * k + k0..(row0 + row) * k + k0 + kc];
+                for (kk, &v) in src.iter().enumerate() {
+                    dst[kk * MR + r] = v;
+                }
+            }
+        }
+    }
+}
+
+/// Server microkernel: 64 independent accumulator lanes, auto-vectorizable.
+#[inline(always)]
+fn micro_server(ap: &[f32], bp: &[f32], acc: &mut [[f32; NR]; MR]) {
+    for (a, b) in ap.chunks_exact(MR).zip(bp.chunks_exact(NR)) {
+        for r in 0..MR {
+            let ar = a[r];
+            for c in 0..NR {
+                acc[r][c] += ar * b[c];
+            }
+        }
+    }
+}
+
+/// Edge microkernel: strictly in-order scalar `mul_add` chains per output
+/// element, modelling the per-core throughput gap of a low-power core.
+#[inline(always)]
+fn micro_edge(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    for r in 0..MR {
+        for c in 0..NR {
+            let mut s = acc[r][c];
+            for kk in 0..kc {
+                s = ap[kk * MR + r].mul_add(bp[kk * NR + c], s);
+            }
+            acc[r][c] = s;
+        }
+    }
+}
+
+/// Write an accumulator tile into `out`, applying the epilogue, masking the
+/// ragged row/column tails.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn write_tile(
+    acc: &[[f32; NR]; MR],
+    out: &mut [f32],
+    n: usize,
+    row0: usize,
+    col0: usize,
+    rows: usize,
+    cols: usize,
+    ep: &Epilogue,
+) {
+    for r in 0..rows {
+        let orow = &mut out[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols];
+        for (c, o) in orow.iter_mut().enumerate() {
+            *o = ep.apply(col0 + c, acc[r][c]);
+        }
+    }
+}
+
+/// Blocked GEMM over a pre-packed right-hand side:
+/// `out[m, n] = epilogue(Σ_k a[m, k] · B[k, n])`.
+///
+/// `a` is row-major `[m, k]` with `k == pb.k()`; `out` is `[m, pb.n()]`.
+/// `sched.tile_k` must match `pb.tile_k()` (the panel layout bakes it in);
+/// `tile_m`/`tile_n` are rounded up to `MR`/`NR` multiples. Output rows are
+/// partitioned into `tile_m` strips across the worker pool; each strip packs
+/// its A panel locally, so strips never share mutable state and results are
+/// deterministic regardless of thread interleaving.
+pub fn gemm_packed(
+    profile: ExecProfile,
+    a: &[f32],
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    sched: super::matmul::MatmulSchedule,
+    ep: &Epilogue,
+) {
+    let (n, k) = (pb.n(), pb.k());
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(
+        sched.tile_k.max(1),
+        pb.tile_k(),
+        "gemm_packed: schedule tile_k must match the packed layout"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    let tile_m = sched.tile_m.max(1).div_ceil(MR) * MR;
+    let tile_n = sched.tile_n.max(1).div_ceil(NR) * NR;
+    let tile_k = pb.tile_k();
+    let k_blocks = pb.k_blocks();
+    let edge = matches!(profile, ExecProfile::Edge);
+    // One chunk per tile_m output strip; flop estimate 2k per element.
+    parallel_chunks_mut(
+        profile,
+        out,
+        tile_m * n,
+        2 * k.max(1),
+        |strip, out_strip| {
+            let row0 = strip * tile_m;
+            let rows = out_strip.len() / n;
+            let mut apack = Vec::new();
+            pack_a_strip(a, k, row0, rows, tile_k, &mut apack);
+            let m_panels = rows.div_ceil(MR);
+            let a_block_stride = m_panels * MR * tile_k;
+            for jc in (0..n).step_by(tile_n) {
+                let jc_end = (jc + tile_n).min(n);
+                let mut jp_idx = jc / NR;
+                let mut j0 = jc;
+                while j0 < jc_end {
+                    let cols = NR.min(n - j0);
+                    for ip_idx in 0..m_panels {
+                        let r0 = ip_idx * MR;
+                        let rcount = MR.min(rows - r0);
+                        let mut acc = [[0.0f32; NR]; MR];
+                        // The block loop lives *inside* the tile: acc stays
+                        // register-resident across all of k, making results
+                        // bitwise-independent of the schedule.
+                        for block in 0..k_blocks {
+                            let kc = pb.block_kc(block);
+                            let ap = &apack[block * a_block_stride + ip_idx * MR * kc..][..MR * kc];
+                            let bp = pb.panel(block, jp_idx);
+                            if edge {
+                                micro_edge(ap, bp, kc, &mut acc);
+                            } else {
+                                micro_server(ap, bp, &mut acc);
+                            }
+                        }
+                        write_tile(&acc, out_strip, n, r0, j0, rcount, cols, ep);
+                    }
+                    jp_idx += 1;
+                    j0 += NR;
+                }
+            }
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::matmul::MatmulSchedule;
+
+    fn naive_bt(a: &[f32], bt: &[f32], m: usize, n: usize, k: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0f32;
+                for p in 0..k {
+                    acc += a[i * k + p] * bt[j * k + p];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+        out
+    }
+
+    fn seq(len: usize, scale: f32) -> Vec<f32> {
+        (0..len).map(|i| ((i % 17) as f32 - 8.0) * scale).collect()
+    }
+
+    #[test]
+    fn packed_matches_naive_ragged() {
+        for &(m, n, k) in &[(1, 1, 1), (3, 5, 7), (13, 9, 21), (8, 8, 8), (17, 33, 65)] {
+            let a = seq(m * k, 0.25);
+            let bt = seq(n * k, 0.5);
+            let want = naive_bt(&a, &bt, m, n, k);
+            for &tk in &[1usize, 4, 64] {
+                let pb = PackedB::pack_bt(&bt, n, k, tk);
+                let mut out = vec![0.0f32; m * n];
+                let sched = MatmulSchedule {
+                    tile_m: 16,
+                    tile_n: 16,
+                    tile_k: tk,
+                };
+                gemm_packed(
+                    ExecProfile::Server,
+                    &a,
+                    &pb,
+                    m,
+                    &mut out,
+                    sched,
+                    &Epilogue::NONE,
+                );
+                for (g, w) in out.iter().zip(want.iter()) {
+                    assert!((g - w).abs() < 1e-4, "m={m} n={n} k={k} tk={tk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_applies_epilogue_only() {
+        let (m, n) = (3, 5);
+        let a: Vec<f32> = vec![];
+        let pb = PackedB::pack_bt(&[], n, 0, 16);
+        let bias: Vec<f32> = (0..n).map(|j| j as f32).collect();
+        let mut out = vec![7.0f32; m * n];
+        let ep = Epilogue {
+            bias: Some(&bias),
+            unary: &[|v| v + 1.0],
+        };
+        gemm_packed(
+            ExecProfile::Server,
+            &a,
+            &pb,
+            m,
+            &mut out,
+            MatmulSchedule {
+                tile_k: 16,
+                ..MatmulSchedule::default()
+            },
+            &ep,
+        );
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(out[i * n + j], j as f32 + 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn schedules_bitwise_identical() {
+        let (m, n, k) = (29, 43, 51);
+        let a = seq(m * k, 0.37);
+        let bt = seq(n * k, 0.19);
+        let base = {
+            let pb = PackedB::pack_bt(&bt, n, k, 64);
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed(
+                ExecProfile::Server,
+                &a,
+                &pb,
+                m,
+                &mut out,
+                MatmulSchedule {
+                    tile_m: 64,
+                    tile_n: 64,
+                    tile_k: 64,
+                },
+                &Epilogue::NONE,
+            );
+            out
+        };
+        for &(tm, tn, tk) in &[(8, 8, 1), (16, 32, 7), (8, 64, 16), (128, 128, 256)] {
+            let pb = PackedB::pack_bt(&bt, n, k, tk);
+            let mut out = vec![0.0f32; m * n];
+            gemm_packed(
+                ExecProfile::Server,
+                &a,
+                &pb,
+                m,
+                &mut out,
+                MatmulSchedule {
+                    tile_m: tm,
+                    tile_n: tn,
+                    tile_k: tk,
+                },
+                &Epilogue::NONE,
+            );
+            assert_eq!(
+                base.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                out.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "schedule ({tm},{tn},{tk}) changed bits"
+            );
+        }
+    }
+
+    #[test]
+    fn pack_kn_matches_pack_bt() {
+        let (n, k) = (11, 13);
+        let bt = seq(n * k, 0.3);
+        // b[k][n] = bt[n][k]
+        let mut b = vec![0.0f32; k * n];
+        for j in 0..n {
+            for p in 0..k {
+                b[p * n + j] = bt[j * k + p];
+            }
+        }
+        let p1 = PackedB::pack_bt(&bt, n, k, 5);
+        let p2 = PackedB::pack_kn(&b, k, n, 5);
+        assert_eq!(p1.data, p2.data);
+    }
+}

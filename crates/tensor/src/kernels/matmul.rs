@@ -2,30 +2,46 @@
 //!
 //! These are the compute-dominant operators of every model in the paper's
 //! evaluation ("the dense operators contribute to more than 90% of the
-//! overall latency in BERT", Section 6.2). The implementation is a cache
-//! blocked, register-tiled triple loop parameterized by a
-//! [`MatmulSchedule`]; `nimble-codegen` reuses the same inner loops when it
-//! builds residue-specialized symbolic kernels.
+//! overall latency in BERT", Section 6.2). The implementation is a packed
+//! blocked GEMM (see [`super::gemm`]): the right-hand side is repacked into
+//! `NR`-column cache-resident panels (k-major, `tile_k`-blocked), each
+//! `tile_m` strip of the left-hand side is repacked into `MR`-row panels,
+//! and an `8×8` register-accumulator microkernel walks both packed streams.
+//! [`MatmulSchedule`] picks the `tile_m`/`tile_n`/`tile_k` blocking, which
+//! changes measured latency (cache residency and panel-walk overhead) but —
+//! by construction — never the results: accumulators stay register-resident
+//! across the entire reduction, so every schedule reduces each output
+//! element in the same `k` order.
+//!
+//! Weights (immutable constants) are packed once per process via
+//! [`crate::prepack`] and shared across VM sessions and symbolic residue
+//! variants; `nimble-codegen` reuses the same packed panels when it builds
+//! residue-specialized symbolic kernels.
 
-use crate::pool::{parallel_chunks_mut, ExecProfile};
+use super::gemm::{gemm_packed, Epilogue, PackedB};
+use crate::pool::{default_profile, ExecProfile};
 use crate::{Result, Tensor, TensorError};
 
 /// Loop-tiling schedule for dense kernels — the analog of a TVM schedule
 /// configuration explored by the template tuner (Section 4.5).
+///
+/// `tile_m`/`tile_n` are rounded up to the microkernel register-tile size
+/// (`8`) by the GEMM driver; `tile_k` is the reduction block length baked
+/// into the packed-panel layout.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MatmulSchedule {
-    /// Row-block size (output rows per tile).
+    /// Row-block size (output rows per parallel strip).
     pub tile_m: usize,
-    /// Column-block size (output cols per tile).
+    /// Column-block size (output cols per cache block).
     pub tile_n: usize,
-    /// Reduction-block size.
+    /// Reduction-block size (panel depth).
     pub tile_k: usize,
 }
 
 impl Default for MatmulSchedule {
     fn default() -> Self {
         MatmulSchedule {
-            tile_m: 8,
+            tile_m: 32,
             tile_n: 64,
             tile_k: 64,
         }
@@ -35,91 +51,29 @@ impl Default for MatmulSchedule {
 impl MatmulSchedule {
     /// Schedule adapted to an execution profile's cache size.
     pub fn for_profile(profile: ExecProfile) -> Self {
-        let t = profile.tile();
+        match profile {
+            ExecProfile::Server => MatmulSchedule::default(),
+            ExecProfile::Edge => MatmulSchedule {
+                tile_m: 8,
+                tile_n: profile.tile(),
+                tile_k: profile.tile(),
+            },
+        }
+    }
+
+    /// Clamp tile sizes to what the GEMM driver actually uses: `tile_m` and
+    /// `tile_n` round up to microkernel multiples, `tile_k` to at least 1.
+    pub fn sanitized(self) -> Self {
         MatmulSchedule {
-            tile_m: 8,
-            tile_n: t,
-            tile_k: t,
-        }
-    }
-}
-
-/// `out[m][n] += sum_k a[m][k] * bt[n][k]` for a single row, with `bt` the
-/// transposed right-hand side (weights stored `[n, k]`).
-#[inline]
-fn dot_row(a_row: &[f32], bt: &[f32], k: usize, out_row: &mut [f32]) {
-    for (n, o) in out_row.iter_mut().enumerate() {
-        let b_row = &bt[n * k..(n + 1) * k];
-        let mut acc = 0.0f32;
-        // Unrolled-by-4 reduction: the pattern LLVM auto-vectorizes.
-        let chunks = k / 4 * 4;
-        let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
-        let mut i = 0;
-        while i < chunks {
-            s0 += a_row[i] * b_row[i];
-            s1 += a_row[i + 1] * b_row[i + 1];
-            s2 += a_row[i + 2] * b_row[i + 2];
-            s3 += a_row[i + 3] * b_row[i + 3];
-            i += 4;
-        }
-        acc += s0 + s1 + s2 + s3;
-        for j in chunks..k {
-            acc += a_row[j] * b_row[j];
-        }
-        *o += acc;
-    }
-}
-
-/// The Edge (ARM stand-in) variant: a strictly in-order scalar reduction —
-/// a sequential dependence chain the compiler cannot vectorize, modelling
-/// the per-core throughput gap of a low-power core (see DESIGN.md's
-/// platform substitution).
-#[inline]
-fn dot_row_scalar(a_row: &[f32], bt: &[f32], k: usize, out_row: &mut [f32]) {
-    for (n, o) in out_row.iter_mut().enumerate() {
-        let b_row = &bt[n * k..(n + 1) * k];
-        let mut acc = 0.0f32;
-        for j in 0..k {
-            // `acc` carries a loop-order dependence, forcing scalar FMA
-            // latency per element.
-            acc = a_row[j].mul_add(b_row[j], acc);
-        }
-        *o += acc;
-    }
-}
-
-/// Row-major GEMM with the right-hand side pre-transposed:
-/// `out[m,n] = sum_k a[m,k] * bt[n,k]`.
-///
-/// This is the shared inner routine for [`dense`] and [`matmul`]. The caller
-/// guarantees buffer sizes.
-pub(crate) fn gemm_bt(
-    profile: ExecProfile,
-    a: &[f32],
-    bt: &[f32],
-    m: usize,
-    n: usize,
-    k: usize,
-    out: &mut [f32],
-) {
-    debug_assert_eq!(a.len(), m * k);
-    debug_assert_eq!(bt.len(), n * k);
-    debug_assert_eq!(out.len(), m * n);
-    match profile {
-        ExecProfile::Server => {
-            parallel_chunks_mut(profile, out, n, 2 * k, |row, out_row| {
-                dot_row(&a[row * k..(row + 1) * k], bt, k, out_row);
-            });
-        }
-        ExecProfile::Edge => {
-            for (row, out_row) in out.chunks_mut(n).enumerate() {
-                dot_row_scalar(&a[row * k..(row + 1) * k], bt, k, out_row);
-            }
+            tile_m: self.tile_m.max(1).div_ceil(super::gemm::MR) * super::gemm::MR,
+            tile_n: self.tile_n.max(1).div_ceil(super::gemm::NR) * super::gemm::NR,
+            tile_k: self.tile_k.max(1),
         }
     }
 }
 
 /// Transpose a row-major `[r, c]` buffer into `[c, r]`.
+#[cfg(test)]
 pub(crate) fn transpose_buf(src: &[f32], r: usize, c: usize) -> Vec<f32> {
     let mut dst = vec![0.0f32; r * c];
     for i in 0..r {
@@ -139,6 +93,23 @@ pub(crate) fn transpose_buf(src: &[f32], r: usize, c: usize) -> Vec<f32> {
 /// # Errors
 /// Fails on rank/shape mismatches or non-f32 inputs.
 pub fn dense(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tensor> {
+    dense_with_epilogue(x, weight, bias, &[])
+}
+
+/// [`dense`] with a fused trailing unary chain applied in the GEMM
+/// write-out pass (single output sweep): `y = unary(... (x · Wᵀ + bias))`.
+///
+/// This is the kernel the fusion compiler targets for
+/// `dense → activation …` chains.
+///
+/// # Errors
+/// Fails on rank/shape mismatches or non-f32 inputs.
+pub fn dense_with_epilogue(
+    x: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    unary: &[fn(f32) -> f32],
+) -> Result<Tensor> {
     if weight.rank() != 2 {
         return Err(TensorError::invalid("dense: weight must be rank 2"));
     }
@@ -152,26 +123,30 @@ pub fn dense(x: &Tensor, weight: &Tensor, bias: Option<&Tensor>) -> Result<Tenso
     }
     let m: usize = x.dims()[..x.rank() - 1].iter().product();
     let xa = x.as_f32()?;
-    let wa = weight.as_f32()?;
-    let mut out = vec![0.0f32; m * n];
-    gemm_bt(crate::pool::default_profile(), xa, wa, m, n, k, &mut out);
-    if let Some(b) = bias {
-        if b.dims() != [n] {
-            return Err(TensorError::shape("dense bias", &[n], b.dims()));
-        }
-        let bb = b.as_f32()?;
-        for row in out.chunks_mut(n) {
-            for (o, &bv) in row.iter_mut().zip(bb.iter()) {
-                *o += bv;
+    let bb = match bias {
+        Some(b) => {
+            if b.dims() != [n] {
+                return Err(TensorError::shape("dense bias", &[n], b.dims()));
             }
+            Some(b.as_f32()?)
         }
-    }
+        None => None,
+    };
+    let profile = default_profile();
+    let sched = MatmulSchedule::for_profile(profile).sanitized();
+    let pb = crate::prepack::get_or_pack(weight, n, k, sched.tile_k)?;
+    let mut out = vec![0.0f32; m * n];
+    let ep = Epilogue { bias: bb, unary };
+    gemm_packed(profile, xa, &pb, m, &mut out, sched, &ep);
     let mut out_shape = x.dims()[..x.rank() - 1].to_vec();
     out_shape.push(n);
     Tensor::from_vec_f32(out, &out_shape)
 }
 
 /// Standard 2-D matrix multiply `[m,k] × [k,n] → [m,n]`.
+///
+/// The right-hand side is packed directly from its `[k, n]` layout (no
+/// intermediate transpose buffer).
 ///
 /// # Errors
 /// Fails on rank/shape mismatches or non-f32 inputs.
@@ -184,21 +159,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     if k != k2 {
         return Err(TensorError::shape("matmul", a.dims(), b.dims()));
     }
-    let bt = transpose_buf(b.as_f32()?, k, n);
+    let profile = default_profile();
+    let sched = MatmulSchedule::for_profile(profile).sanitized();
+    let pb = PackedB::pack_kn(b.as_f32()?, k, n, sched.tile_k);
     let mut out = vec![0.0f32; m * n];
-    gemm_bt(
-        crate::pool::default_profile(),
+    gemm_packed(
+        profile,
         a.as_f32()?,
-        &bt,
+        &pb,
         m,
-        n,
-        k,
         &mut out,
+        sched,
+        &Epilogue::NONE,
     );
     Tensor::from_vec_f32(out, &[m, n])
 }
 
-/// Batched matmul `[b,m,k] × [b,k,n] → [b,m,n]` (used by attention).
+/// Batched matmul `[b,m,k] × [b,k,n] → [b,m,n]` (used by attention); the
+/// right-hand batch may be broadcast (`b == 1`).
+///
+/// B is packed once per *distinct* batch slice: the broadcast case and the
+/// common attention case where every batch shares one operand pack a single
+/// panel set for the whole call instead of re-laying B out per batch.
 ///
 /// # Errors
 /// Fails on rank/shape mismatches or non-f32 inputs.
@@ -210,24 +192,33 @@ pub fn batch_matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     }
     let (ba, m, k) = (a.dims()[0], a.dims()[1], a.dims()[2]);
     let (bb, k2, n) = (b.dims()[0], b.dims()[1], b.dims()[2]);
-    if ba != bb || k != k2 {
+    if (ba != bb && bb != 1) || k != k2 {
         return Err(TensorError::shape("batch_matmul", a.dims(), b.dims()));
     }
     let aa = a.as_f32()?;
     let bbuf = b.as_f32()?;
     let mut out = vec![0.0f32; ba * m * n];
-    let profile = crate::pool::default_profile();
+    let profile = default_profile();
+    let sched = MatmulSchedule::for_profile(profile).sanitized();
+    let pb0 = PackedB::pack_kn(&bbuf[..k * n], k, n, sched.tile_k);
+    let slice0 = &bbuf[..k * n];
     for batch in 0..ba {
-        let bt = transpose_buf(&bbuf[batch * k * n..(batch + 1) * k * n], k, n);
-        gemm_bt(
-            profile,
-            &aa[batch * m * k..(batch + 1) * m * k],
-            &bt,
-            m,
-            n,
-            k,
-            &mut out[batch * m * n..(batch + 1) * m * n],
-        );
+        let out_slice = &mut out[batch * m * n..(batch + 1) * m * n];
+        let a_slice = &aa[batch * m * k..(batch + 1) * m * k];
+        let fresh;
+        let pb = if bb == 1 || batch == 0 {
+            &pb0
+        } else {
+            let bslice = &bbuf[batch * k * n..(batch + 1) * k * n];
+            if bslice == slice0 {
+                // Same operand replicated across batches: reuse the pack.
+                &pb0
+            } else {
+                fresh = PackedB::pack_kn(bslice, k, n, sched.tile_k);
+                &fresh
+            }
+        };
+        gemm_packed(profile, a_slice, pb, m, out_slice, sched, &Epilogue::NONE);
     }
     Tensor::from_vec_f32(out, &[ba, m, n])
 }
@@ -296,6 +287,31 @@ mod tests {
     }
 
     #[test]
+    fn dense_epilogue_matches_separate_ops() {
+        let x = Tensor::from_vec_f32((0..24).map(|i| (i as f32 - 11.0) * 0.3).collect(), &[4, 6])
+            .unwrap();
+        let w = Tensor::from_vec_f32((0..30).map(|i| (i as f32 - 14.0) * 0.1).collect(), &[5, 6])
+            .unwrap();
+        let b = Tensor::from_vec_f32((0..5).map(|i| i as f32 * 0.5).collect(), &[5]).unwrap();
+        fn act(v: f32) -> f32 {
+            v.tanh()
+        }
+        let fused = dense_with_epilogue(&x, &w, Some(&b), &[act]).unwrap();
+        let plain = dense(&x, &w, Some(&b)).unwrap();
+        let want: Vec<f32> = plain.as_f32().unwrap().iter().map(|&v| act(v)).collect();
+        // Bitwise: the epilogue applies the same fn to the same dense bits.
+        assert_eq!(
+            fused
+                .as_f32()
+                .unwrap()
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+            want.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
     fn batch_matmul_matches_per_batch() {
         let a = Tensor::from_vec_f32((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
         let b =
@@ -306,6 +322,51 @@ mod tests {
             let expect = naive_matmul(
                 &a.as_f32().unwrap()[batch * 6..(batch + 1) * 6],
                 &b.as_f32().unwrap()[batch * 6..(batch + 1) * 6],
+                2,
+                3,
+                2,
+            );
+            assert_eq!(
+                &c.as_f32().unwrap()[batch * 4..(batch + 1) * 4],
+                &expect[..]
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matmul_broadcasts_rhs() {
+        let a = Tensor::from_vec_f32((0..12).map(|x| x as f32).collect(), &[2, 2, 3]).unwrap();
+        let b1 =
+            Tensor::from_vec_f32((0..6).map(|x| x as f32 * 0.5).collect(), &[1, 3, 2]).unwrap();
+        let c = batch_matmul(&a, &b1).unwrap();
+        assert_eq!(c.dims(), &[2, 2, 2]);
+        // Must equal replicating b along the batch dim.
+        let b2 = Tensor::from_vec_f32(
+            b1.as_f32()
+                .unwrap()
+                .iter()
+                .chain(b1.as_f32().unwrap())
+                .copied()
+                .collect(),
+            &[2, 3, 2],
+        )
+        .unwrap();
+        assert_eq!(c, batch_matmul(&a, &b2).unwrap());
+    }
+
+    #[test]
+    fn batch_matmul_repeated_rhs_reuses_pack() {
+        // Equal slices across batches must give identical per-batch results.
+        let a =
+            Tensor::from_vec_f32((0..18).map(|x| x as f32 * 0.25).collect(), &[3, 2, 3]).unwrap();
+        let one: Vec<f32> = (0..6).map(|x| x as f32 - 2.0).collect();
+        let rep: Vec<f32> = one.iter().cycle().take(18).copied().collect();
+        let b = Tensor::from_vec_f32(rep, &[3, 3, 2]).unwrap();
+        let c = batch_matmul(&a, &b).unwrap();
+        for batch in 0..3 {
+            let expect = naive_matmul(
+                &a.as_f32().unwrap()[batch * 6..(batch + 1) * 6],
+                &one,
                 2,
                 3,
                 2,

@@ -10,6 +10,7 @@ mod conv;
 mod creation;
 mod dynamic;
 mod elementwise;
+pub mod gemm;
 mod matmul;
 mod movement;
 mod reduce;
@@ -21,7 +22,7 @@ pub use elementwise::{
     add, div, equal, gelu, greater, less, logical_and, logical_not, maximum, minimum, mul, neg,
     power, relu, sigmoid, sqrt, sub, tanh, where_select,
 };
-pub use matmul::{batch_matmul, dense, matmul, MatmulSchedule};
+pub use matmul::{batch_matmul, dense, dense_with_epilogue, matmul, MatmulSchedule};
 pub use movement::{
     concat, expand_dims, slice, slice_axis, split, squeeze, stack, take, transpose,
 };

@@ -1,12 +1,35 @@
-//! Execution profiles and data-parallel helpers.
+//! Execution profiles and the persistent data-parallel worker pool.
 //!
 //! The paper evaluates on three platforms (Intel server CPU, Nvidia GPU, ARM
 //! edge CPU). This reproduction runs everything on the host, but the kernel
 //! library is parameterized by an [`ExecProfile`] that controls worker-thread
 //! count and cache-tile sizes, reproducing the server-vs-edge split; the GPU
 //! is simulated separately in `nimble-device`.
+//!
+//! ## Worker pool
+//!
+//! Parallel kernels used to spawn fresh OS threads on every invocation via
+//! `std::thread::scope`, which costs tens of microseconds per kernel — the
+//! same order as a small GEMM itself. [`parallel_for`] now submits chunked
+//! jobs to a lazily-initialized process-wide pool of parked worker threads:
+//!
+//! * A job is a borrowed closure plus an atomic range cursor. Workers (and
+//!   the submitting thread itself) claim chunks with a `fetch_add` on the
+//!   cursor — lock-free range claiming rather than per-chunk locking.
+//! * The submitter always participates, so forward progress never depends on
+//!   pool capacity, and nested `parallel_for` calls from inside a worker
+//!   cannot deadlock: every waiter is itself draining chunks first.
+//! * Multiple jobs may be queued concurrently (the concurrent inference
+//!   engine runs kernels from several sessions at once); workers drain the
+//!   queue front-first and drop a job from the queue once its range is
+//!   exhausted.
+//!
+//! Chunks are oversubscribed (~4 per participant) so a straggler chunk does
+//! not serialize the tail of the job.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Platform execution profile used by the kernel library.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -67,40 +90,202 @@ pub fn default_profile() -> ExecProfile {
     }
 }
 
-/// Minimum per-thread work (in "element-ops") below which parallel_for runs
-/// serially: thread spawn overhead would otherwise dominate small kernels.
+/// Minimum total work (in "element-ops") below which parallel_for runs
+/// serially: submission overhead would otherwise dominate small kernels.
 const PARALLEL_THRESHOLD: usize = 1 << 16;
 
+/// A unit of queued work: a borrowed range closure plus an atomic cursor
+/// workers use to claim `[start, end)` chunks.
+struct Job {
+    /// Borrowed `(start, end)` closure. The `'static` lifetime is a lie told
+    /// with `transmute` in [`parallel_for`]; it is sound because the
+    /// submitter does not return (and thus does not drop the closure) until
+    /// `completed == n_chunks`, and workers never touch the closure after
+    /// claiming a chunk index `>= n_chunks`.
+    task: &'static (dyn Fn(usize, usize) + Sync),
+    n: usize,
+    chunk: usize,
+    n_chunks: usize,
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// Number of chunks fully executed.
+    completed: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+    /// First panic payload raised inside a chunk, rethrown on the submitter.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl Job {
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.n_chunks
+    }
+
+    /// Claim and run chunks until the range is exhausted.
+    fn run(&self) {
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.n_chunks {
+                break;
+            }
+            let start = i * self.chunk;
+            let end = ((i + 1) * self.chunk).min(self.n);
+            let r =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.task)(start, end)));
+            if let Err(p) = r {
+                let mut slot = self.panic.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(p);
+                }
+            }
+            if self.completed.fetch_add(1, Ordering::AcqRel) + 1 == self.n_chunks {
+                let mut done = self.done.lock().unwrap();
+                *done = true;
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Block until every chunk has finished executing.
+    fn wait(&self) {
+        let mut done = self.done.lock().unwrap();
+        while !*done {
+            done = self.done_cv.wait(done).unwrap();
+        }
+    }
+}
+
+struct PoolShared {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+}
+
+struct WorkerPool {
+    shared: Arc<PoolShared>,
+    /// Number of parked worker threads (0 on a single-core host: the
+    /// submitter then runs everything itself).
+    workers: usize,
+}
+
+fn worker_loop(shared: Arc<PoolShared>) {
+    loop {
+        let job = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                // Drop jobs whose range is fully claimed; in-flight chunks
+                // are owned by whoever claimed them.
+                while q.front().is_some_and(|j| j.exhausted()) {
+                    q.pop_front();
+                }
+                match q.front() {
+                    Some(j) => break Arc::clone(j),
+                    None => q = shared.work_cv.wait(q).unwrap(),
+                }
+            }
+        };
+        job.run();
+    }
+}
+
+fn global_pool() -> &'static WorkerPool {
+    static POOL: OnceLock<WorkerPool> = OnceLock::new();
+    POOL.get_or_init(|| {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .saturating_sub(1);
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+        });
+        for i in 0..workers {
+            let s = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name(format!("nimble-worker-{i}"))
+                .spawn(move || worker_loop(s))
+                .expect("spawn pool worker");
+        }
+        WorkerPool { shared, workers }
+    })
+}
+
+/// Number of persistent pool worker threads (excluding submitters).
+/// Initializes the pool on first call.
+pub fn pool_workers() -> usize {
+    global_pool().workers
+}
+
 /// Run `f(start, end)` over disjoint ranges of `0..n`, splitting across the
-/// profile's worker threads when the estimated `work = n * work_per_item` is
-/// large enough to amortize spawn overhead.
+/// persistent worker pool when the estimated `work = n * work_per_item` is
+/// large enough to amortize submission overhead.
 ///
 /// The closure receives half-open index ranges and must only touch data it
 /// can partition by index; mutable state should be captured per-invocation
 /// through interior slicing (see [`parallel_chunks_mut`] for the common
-/// slice-output case).
+/// slice-output case). The submitting thread participates in chunk
+/// execution, and a panic inside any chunk is re-raised on the submitter
+/// after all chunks drain.
 pub fn parallel_for<F>(profile: ExecProfile, n: usize, work_per_item: usize, f: F)
 where
     F: Fn(usize, usize) + Sync,
 {
     let threads = profile.threads();
-    if threads <= 1 || n * work_per_item < PARALLEL_THRESHOLD || n < 2 {
+    if threads <= 1 || n < 2 || n.saturating_mul(work_per_item) < PARALLEL_THRESHOLD {
         f(0, n);
         return;
     }
-    let threads = threads.min(n);
-    let chunk = n.div_ceil(threads);
-    std::thread::scope(|s| {
-        for t in 0..threads {
-            let start = t * chunk;
-            let end = ((t + 1) * chunk).min(n);
-            if start >= end {
-                break;
-            }
-            let f = &f;
-            s.spawn(move || f(start, end));
-        }
+    let pool = global_pool();
+    if pool.workers == 0 {
+        f(0, n);
+        return;
+    }
+    let participants = (pool.workers + 1).min(threads);
+    let n_chunks = (participants * 4).min(n);
+    let chunk = n.div_ceil(n_chunks);
+    let n_chunks = n.div_ceil(chunk);
+    // SAFETY: see `Job::task` — the closure outlives the job because this
+    // function blocks on `wait()` (all chunks completed) before returning.
+    let task: &'static (dyn Fn(usize, usize) + Sync) = unsafe {
+        std::mem::transmute::<&(dyn Fn(usize, usize) + Sync), &'static (dyn Fn(usize, usize) + Sync)>(
+            &f,
+        )
+    };
+    let job = Arc::new(Job {
+        task,
+        n,
+        chunk,
+        n_chunks,
+        next: AtomicUsize::new(0),
+        completed: AtomicUsize::new(0),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+        panic: Mutex::new(None),
     });
+    {
+        let mut q = pool.shared.queue.lock().unwrap();
+        q.push_back(Arc::clone(&job));
+    }
+    pool.shared.work_cv.notify_all();
+    job.run();
+    job.wait();
+    let panicked = job.panic.lock().unwrap().take();
+    if let Some(p) = panicked {
+        std::panic::resume_unwind(p);
+    }
+}
+
+/// Raw-pointer wrapper that lets pool chunks rebuild disjoint sub-slices of
+/// a single output buffer.
+struct SendPtr<T>(*mut T);
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Accessor (rather than field access) so closures capture the whole
+    /// `Sync` wrapper, not the bare raw pointer.
+    fn get(&self) -> *mut T {
+        self.0
+    }
 }
 
 /// Split `out` into `chunk_len`-sized chunks and process each chunk on the
@@ -118,32 +303,27 @@ pub fn parallel_chunks_mut<T: Send, F>(
     F: Fn(usize, &mut [T]) + Sync,
 {
     assert!(chunk_len > 0, "chunk_len must be positive");
-    let n_chunks = out.len().div_ceil(chunk_len);
-    let threads = profile.threads();
-    if threads <= 1 || out.len() * work_per_item < PARALLEL_THRESHOLD || n_chunks < 2 {
-        for (i, c) in out.chunks_mut(chunk_len).enumerate() {
-            f(i, c);
-        }
-        return;
-    }
-    std::thread::scope(|s| {
-        let per_thread = n_chunks.div_ceil(threads.min(n_chunks));
-        let mut rest = out;
-        let mut chunk_idx = 0;
-        while !rest.is_empty() {
-            let take = (per_thread * chunk_len).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            rest = tail;
-            let f = &f;
-            let base = chunk_idx;
-            chunk_idx += head.len().div_ceil(chunk_len);
-            s.spawn(move || {
-                for (i, c) in head.chunks_mut(chunk_len).enumerate() {
-                    f(base + i, c);
-                }
-            });
-        }
-    });
+    let total = out.len();
+    let n_chunks = total.div_ceil(chunk_len);
+    let base = SendPtr(out.as_mut_ptr());
+    parallel_for(
+        profile,
+        n_chunks,
+        chunk_len.saturating_mul(work_per_item),
+        move |lo, hi| {
+            for i in lo..hi {
+                let start = i * chunk_len;
+                let end = ((i + 1) * chunk_len).min(total);
+                // SAFETY: chunk index ranges from parallel_for are disjoint,
+                // so each `[start, end)` window of `out` is touched by
+                // exactly one claimant; `base` outlives the call because
+                // parallel_for blocks until all chunks complete.
+                let slice =
+                    unsafe { std::slice::from_raw_parts_mut(base.get().add(start), end - start) };
+                f(i, slice);
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -182,8 +362,6 @@ mod tests {
     #[test]
     fn parallel_for_serial_small() {
         let mut count = 0;
-        // Small n with tiny work runs serially, so a FnMut-style pattern via
-        // Cell is unnecessary — we use an atomic for generality.
         let c = std::sync::atomic::AtomicUsize::new(0);
         parallel_for(ExecProfile::Edge, 10, 1, |s, e| {
             c.fetch_add(e - s, std::sync::atomic::Ordering::SeqCst);
@@ -210,5 +388,75 @@ mod tests {
     fn zero_chunk_panics() {
         let mut data = vec![0u8; 4];
         parallel_chunks_mut(ExecProfile::Server, &mut data, 0, 1, |_, _| {});
+    }
+
+    #[test]
+    fn pool_reused_across_calls() {
+        // Two large submissions must complete correctly on the same
+        // persistent pool (no fresh threads per call to leak or re-init).
+        let w = pool_workers();
+        for round in 0..3 {
+            let mut data = vec![0u64; 4096];
+            parallel_chunks_mut(ExecProfile::Server, &mut data, 64, 1 << 10, |i, c| {
+                for v in c.iter_mut() {
+                    *v = (i + round) as u64;
+                }
+            });
+            for (j, &v) in data.iter().enumerate() {
+                assert_eq!(v, (j / 64 + round) as u64);
+            }
+        }
+        assert_eq!(pool_workers(), w, "pool size must be stable");
+    }
+
+    #[test]
+    fn concurrent_submitters_make_progress() {
+        // The engine runs kernels from several sessions at once; jobs from
+        // different submitters must not serialize or deadlock. Watchdog via
+        // a channel timeout so a regression fails instead of hanging CI.
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let handles: Vec<_> = (0..4)
+                .map(|t| {
+                    std::thread::spawn(move || {
+                        for _ in 0..8 {
+                            let mut data = vec![0u32; 2048];
+                            parallel_chunks_mut(
+                                ExecProfile::Server,
+                                &mut data,
+                                32,
+                                1 << 10,
+                                |i, c| {
+                                    for v in c.iter_mut() {
+                                        *v = (i * 10 + t) as u32;
+                                    }
+                                },
+                            );
+                            for (j, &v) in data.iter().enumerate() {
+                                assert_eq!(v, (j / 32 * 10 + t) as u32);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            tx.send(()).unwrap();
+        });
+        rx.recv_timeout(std::time::Duration::from_secs(60))
+            .expect("concurrent parallel_for submissions deadlocked");
+    }
+
+    #[test]
+    fn panic_propagates_to_submitter() {
+        let r = std::panic::catch_unwind(|| {
+            parallel_for(ExecProfile::Server, 10_000, 1 << 10, |s, _e| {
+                if s == 0 {
+                    panic!("chunk failure");
+                }
+            });
+        });
+        assert!(r.is_err(), "panic inside a chunk must reach the submitter");
     }
 }

@@ -1,0 +1,175 @@
+//! Process-wide weight pre-pack cache.
+//!
+//! Packing the GEMM right-hand side into microkernel panels (see
+//! [`crate::kernels::gemm::PackedB`]) costs O(n·k) per call — the same order
+//! as a thin GEMM itself. Model weights are immutable constants, so the pack
+//! is computed once per `(buffer identity, layout)` and shared process-wide:
+//! across VM sessions running the same loaded program, across residue
+//! variants of a symbolic dense kernel, and across repeated invocations of
+//! the same fused kernel.
+//!
+//! Keys use [`Tensor::buffer_id`] — the address of the tensor's shared
+//! `Arc` buffer. Each cache entry pins a clone of the tensor, which makes
+//! the key stable in both directions: the buffer cannot be freed (so the
+//! address cannot be recycled under the same key), and any in-place
+//! mutation of a user-held tensor goes through copy-on-write (the cache
+//! holds a second reference) and thus gets a *new* buffer id. The cache is
+//! capped; once full, new weights are packed per call instead of cached.
+
+use crate::kernels::gemm::PackedB;
+use crate::tensor::Tensor;
+use crate::{Result, TensorError};
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct PackKey {
+    buffer: usize,
+    n: usize,
+    k: usize,
+    tile_k: usize,
+}
+
+struct CacheEntry {
+    /// Pins the weight buffer so `buffer_id` stays valid and unique.
+    _pin: Tensor,
+    packed: Arc<PackedB>,
+}
+
+/// Entry cap: a model has at most a few hundred weight tensors; the cap
+/// only guards against pathological churn (e.g. packing activations).
+const CACHE_CAP: usize = 1024;
+
+fn cache() -> &'static RwLock<HashMap<PackKey, CacheEntry>> {
+    static CACHE: OnceLock<RwLock<HashMap<PackKey, CacheEntry>>> = OnceLock::new();
+    CACHE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Pack `weight` (interpreted as `[n, k]`, the transposed-weight `dense`
+/// layout, flattened row-major) with reduction blocking `tile_k`, reusing
+/// the process-wide cache.
+///
+/// # Errors
+/// Fails if `weight` is not f32 or its volume is not `n * k`.
+pub fn get_or_pack(weight: &Tensor, n: usize, k: usize, tile_k: usize) -> Result<Arc<PackedB>> {
+    let buf = weight.as_f32()?;
+    if buf.len() != n * k {
+        return Err(TensorError::invalid(
+            "prepack: weight volume must equal n * k",
+        ));
+    }
+    let key = PackKey {
+        buffer: weight.buffer_id(),
+        n,
+        k,
+        tile_k: tile_k.max(1),
+    };
+    if let Some(e) = cache().read().unwrap().get(&key) {
+        return Ok(Arc::clone(&e.packed));
+    }
+    // Pack outside the lock: packing a large weight must not stall readers.
+    let packed = Arc::new(PackedB::pack_bt(buf, n, k, key.tile_k));
+    let mut w = cache().write().unwrap();
+    if let Some(e) = w.get(&key) {
+        return Ok(Arc::clone(&e.packed));
+    }
+    if w.len() < CACHE_CAP {
+        w.insert(
+            key,
+            CacheEntry {
+                _pin: weight.clone(),
+                packed: Arc::clone(&packed),
+            },
+        );
+    }
+    Ok(packed)
+}
+
+/// Pre-pack a constant tensor if it has a dense/conv weight shape, using the
+/// default-profile schedule. Returns true when a pack was cached.
+///
+/// Rank-2 `[n, k]` constants are dense weights; rank-4 `[oc, c, kh, kw]`
+/// constants are conv kernels, whose im2col GEMM uses the flattened
+/// `[oc, c·kh·kw]` layout.
+pub fn prepack_weight_tensor(t: &Tensor) -> bool {
+    if t.as_f32().is_err() {
+        return false;
+    }
+    let (n, k) = match t.dims() {
+        [n, k] => (*n, *k),
+        [oc, c, kh, kw] => (*oc, c * kh * kw),
+        _ => return false,
+    };
+    if n == 0 || k == 0 {
+        return false;
+    }
+    let tile_k = crate::kernels::MatmulSchedule::for_profile(crate::pool::default_profile()).tile_k;
+    get_or_pack(t, n, k, tile_k).is_ok()
+}
+
+/// Number of cached packs (test/diagnostic hook).
+pub fn cache_len() -> usize {
+    cache().read().unwrap().len()
+}
+
+/// Bytes held by all cached packs (diagnostic hook).
+pub fn cache_bytes() -> usize {
+    cache()
+        .read()
+        .unwrap()
+        .values()
+        .map(|e| e.packed.bytes())
+        .sum()
+}
+
+/// Drop every cached pack (test hook).
+pub fn clear_cache() {
+    cache().write().unwrap().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_hits_share_packs_and_cow_invalidates() {
+        let w = Tensor::from_vec_f32((0..12).map(|i| i as f32).collect(), &[3, 4]).unwrap();
+        let before = cache_len();
+        let p1 = get_or_pack(&w, 3, 4, 16).unwrap();
+        assert_eq!(cache_len(), before + 1);
+        let p2 = get_or_pack(&w, 3, 4, 16).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "same tensor must hit the cache");
+        // A clone shares the buffer → same entry.
+        let w2 = w.clone();
+        let p3 = get_or_pack(&w2, 3, 4, 16).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p3));
+        assert_eq!(cache_len(), before + 1);
+        // Mutation copies-on-write (cache pins a reference) → new identity.
+        let mut w4 = w.clone();
+        w4.as_f32_mut().unwrap()[0] = 99.0;
+        assert_ne!(w4.buffer_id(), w.buffer_id());
+        let p4 = get_or_pack(&w4, 3, 4, 16).unwrap();
+        assert!(!Arc::ptr_eq(&p1, &p4), "mutated weight must repack");
+        // Original entry unchanged and still correct.
+        assert_eq!(p1.panel(0, 0)[0], 0.0);
+        assert_eq!(p4.panel(0, 0)[0], 99.0);
+    }
+
+    #[test]
+    fn different_tile_k_is_a_distinct_entry() {
+        let w = Tensor::ones_f32(&[4, 4]);
+        let a = get_or_pack(&w, 4, 4, 8).unwrap();
+        let b = get_or_pack(&w, 4, 4, 2).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(a.tile_k(), 8);
+        assert_eq!(b.tile_k(), 2);
+    }
+
+    #[test]
+    fn weight_shape_gate() {
+        assert!(prepack_weight_tensor(&Tensor::ones_f32(&[3, 4])));
+        assert!(prepack_weight_tensor(&Tensor::ones_f32(&[2, 3, 2, 2])));
+        assert!(!prepack_weight_tensor(&Tensor::ones_f32(&[5])));
+        assert!(!prepack_weight_tensor(&Tensor::ones_f32(&[2, 3, 4])));
+    }
+}

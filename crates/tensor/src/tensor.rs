@@ -194,6 +194,16 @@ impl Tensor {
         Arc::strong_count(&self.data) == 1
     }
 
+    /// Stable identity of the shared buffer, used as a cache key by the
+    /// weight pre-pack cache. Two tensors share an id iff they share the
+    /// same `Arc`'d buffer; any mutation goes through copy-on-write
+    /// ([`Tensor::data_mut`]) and therefore produces a new id whenever the
+    /// buffer is shared (the cache always holds a clone, so a cached buffer
+    /// is never mutated in place).
+    pub fn buffer_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
     /// View the elements as `f32`.
     ///
     /// # Errors

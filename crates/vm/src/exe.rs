@@ -227,6 +227,64 @@ impl Executable {
         self.functions.iter().map(|f| f.code.len()).sum()
     }
 
+    /// Pre-pack every constant that feeds a dense/conv2d weight slot into
+    /// the process-wide pack cache (`nimble_tensor::prepack`), so the first
+    /// inference of every VM session — and every residue variant of the
+    /// symbolic dense kernels — starts from already-packed panels.
+    ///
+    /// Two sources are scanned: fused kernel bodies whose members embed the
+    /// weight as a `MemberArg::Const`, and bytecode `InvokePacked` calls to
+    /// plain dense/conv2d kernels whose weight register traces back to a
+    /// `LoadConst`. Returns the number of constants packed (deduplicated by
+    /// the cache itself; re-running is a no-op).
+    pub fn prepack_weights(&self) -> usize {
+        let mut const_ids: Vec<u32> = Vec::new();
+        for desc in &self.kernels {
+            if let KernelDesc::Fused { members, .. } = desc {
+                for m in members {
+                    if (m.op == "dense" || m.op == "conv2d") && m.args.len() >= 2 {
+                        if let MemberArg::Const(c) = m.args[1] {
+                            const_ids.push(c);
+                        }
+                    }
+                }
+            }
+        }
+        for f in &self.functions {
+            // reg -> constant index, tracked linearly (registers are SSA-ish
+            // in lowered code; a later overwrite simply replaces the entry).
+            let mut reg_const: std::collections::HashMap<u32, u32> =
+                std::collections::HashMap::new();
+            for inst in &f.code {
+                match inst {
+                    Instruction::LoadConst { index, dst } => {
+                        reg_const.insert(*dst, *index);
+                    }
+                    Instruction::InvokePacked { kernel, args, .. } => {
+                        let is_weighted_op = matches!(
+                            self.kernels.get(*kernel as usize),
+                            Some(KernelDesc::Op { name, .. })
+                                if name == "dense" || name == "conv2d"
+                        );
+                        if is_weighted_op && args.len() >= 2 {
+                            if let Some(&c) = reg_const.get(&args[1]) {
+                                const_ids.push(c);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        const_ids.sort_unstable();
+        const_ids.dedup();
+        const_ids
+            .into_iter()
+            .filter_map(|c| self.constants.get(c as usize))
+            .filter(|t| nimble_tensor::prepack::prepack_weight_tensor(t))
+            .count()
+    }
+
     /// Write the serialized executable to a file.
     ///
     /// # Errors

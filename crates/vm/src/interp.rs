@@ -98,6 +98,12 @@ impl VirtualMachine {
     /// # Errors
     /// Fails when a kernel descriptor cannot be instantiated.
     pub fn new(exe: Executable, devices: Arc<DeviceSet>) -> Result<VirtualMachine> {
+        // Warm the process-wide weight pre-pack cache at load time: every
+        // session loading this executable (and every residue variant of its
+        // symbolic dense kernels) then shares the same packed panels. For
+        // executables produced by `nimble-core::compile` in this process
+        // the cache is already hot and this is a cheap no-op scan.
+        exe.prepack_weights();
         let mut kernels = Vec::with_capacity(exe.kernels.len());
         let mut kernel_is_shape_func = Vec::with_capacity(exe.kernels.len());
         for desc in &exe.kernels {
