@@ -12,12 +12,25 @@
 //! Workers drain the queue in small batches (one blocking pop, then up to
 //! `max_batch - 1` opportunistic pops) so a busy queue amortizes the
 //! wake-up cost across requests.
+//!
+//! Requests may carry a **deadline** ([`Engine::submit_with_deadline`]):
+//! a request whose deadline has already passed when a worker dequeues it
+//! is *not* executed — its ticket resolves to [`EngineError::Expired`].
+//! This keeps a backlogged queue from burning device time on answers
+//! nobody is still waiting for, and is the mechanism the serving layer's
+//! router builds its latency guarantees on.
+//!
+//! [`Engine::shutdown`] drains gracefully: the queue stops accepting new
+//! work, workers finish everything already enqueued (honoring deadlines),
+//! and then join. Dropping the engine performs the same drain, so every
+//! accepted request always receives exactly one terminal reply —
+//! completion, expiry, or [`EngineError::Closed`] — never silence.
 
 use crate::Result as CompileResult;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use nimble_vm::{Object, ProfileReport, Session, VirtualMachine, VmError};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Engine::new`].
@@ -71,6 +84,8 @@ pub enum EngineError {
     Busy,
     /// The engine shut down before the request completed.
     Closed,
+    /// The request's deadline passed before a worker could start it.
+    Expired,
 }
 
 impl std::fmt::Display for EngineError {
@@ -78,6 +93,7 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::Busy => write!(f, "engine queue is full"),
             EngineError::Closed => write!(f, "engine has shut down"),
+            EngineError::Expired => write!(f, "request deadline expired while queued"),
         }
     }
 }
@@ -87,23 +103,32 @@ impl std::error::Error for EngineError {}
 struct Request {
     function: String,
     args: Vec<Object>,
-    reply: Sender<Completion>,
+    reply: Sender<std::result::Result<Completion, EngineError>>,
     submitted: Instant,
+    deadline: Option<Instant>,
 }
 
 /// Handle to one in-flight request; resolves to a [`Completion`].
 #[derive(Debug)]
 pub struct Ticket {
-    reply: Receiver<Completion>,
+    reply: Receiver<std::result::Result<Completion, EngineError>>,
 }
 
 impl Ticket {
-    /// Block until the request completes.
+    /// Block until the request reaches a terminal state.
     ///
     /// # Errors
+    /// [`EngineError::Expired`] when the deadline passed while queued,
     /// [`EngineError::Closed`] when the engine shut down first.
     pub fn wait(self) -> std::result::Result<Completion, EngineError> {
-        self.reply.recv().map_err(|_| EngineError::Closed)
+        self.reply.recv().map_err(|_| EngineError::Closed)?
+    }
+
+    /// A ticket that immediately resolves to [`EngineError::Closed`]
+    /// (used when a request is submitted to an already-drained engine).
+    fn closed() -> Ticket {
+        let (_tx, rx) = unbounded();
+        Ticket { reply: rx }
     }
 }
 
@@ -112,6 +137,7 @@ impl Ticket {
 #[derive(Debug, Default)]
 struct Counters {
     completed: AtomicU64,
+    expired: AtomicU64,
     latency_ns: AtomicU64,
     execution_ns: AtomicU64,
     max_latency_ns: AtomicU64,
@@ -123,6 +149,10 @@ struct Counters {
 pub struct EngineStats {
     /// Requests completed (successes and VM errors alike).
     pub completed: u64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub expired: u64,
+    /// Requests currently waiting in the queue.
+    pub queue_depth: u64,
     /// Sum of submit-to-completion latencies (ns).
     pub total_latency_ns: u64,
     /// Sum of pure execution times (ns).
@@ -146,15 +176,19 @@ impl EngineStats {
 /// A multi-threaded serving loop over one shared loaded program.
 pub struct Engine {
     vm: Arc<VirtualMachine>,
-    queue: Sender<Request>,
+    /// `None` once [`Engine::shutdown`] has run; new submissions then get
+    /// an immediately-closed ticket instead of reaching workers.
+    queue: Mutex<Option<Sender<Request>>>,
+    /// Kept only to observe queue depth (never received from).
+    depth: Receiver<Request>,
     counters: Arc<Counters>,
-    workers: Vec<std::thread::JoinHandle<()>>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
 }
 
 impl std::fmt::Debug for Engine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
-            .field("workers", &self.workers.len())
+            .field("workers", &self.workers.lock().unwrap().len())
             .field("completed", &self.stats().completed)
             .finish()
     }
@@ -177,20 +211,21 @@ impl Engine {
         let mut workers = Vec::with_capacity(config.workers);
         for worker_idx in 0..config.workers {
             let vm = Arc::clone(&vm);
-            let rx = rx.clone();
+            let worker_rx = rx.clone();
             let counters = Arc::clone(&counters);
             let max_batch = config.max_batch;
             let handle = std::thread::Builder::new()
                 .name(format!("nimble-engine-{worker_idx}"))
-                .spawn(move || worker_loop(&vm, &rx, &counters, worker_idx, max_batch))
+                .spawn(move || worker_loop(&vm, &worker_rx, &counters, worker_idx, max_batch))
                 .map_err(|e| crate::CompileError::msg(format!("spawn engine worker: {e}")))?;
             workers.push(handle);
         }
         Ok(Engine {
             vm,
-            queue,
+            queue: Mutex::new(Some(queue)),
+            depth: rx,
             counters,
-            workers,
+            workers: Mutex::new(workers),
         })
     }
 
@@ -199,38 +234,100 @@ impl Engine {
         &self.vm
     }
 
+    /// A clone of the queue sender, or `None` after shutdown. Cloning
+    /// under the lock and sending outside it keeps blocking sends from
+    /// stalling [`Engine::shutdown`]'s lock acquisition; workers only exit
+    /// once every clone is dropped, so a send that races shutdown is still
+    /// drained, never stranded.
+    fn sender(&self) -> Option<Sender<Request>> {
+        self.queue.lock().unwrap().clone()
+    }
+
     /// Enqueue a request, blocking while the queue is full (backpressure).
+    ///
+    /// After [`Engine::shutdown`] the returned ticket resolves immediately
+    /// to [`EngineError::Closed`].
     pub fn submit(&self, function: &str, args: Vec<Object>) -> Ticket {
+        self.submit_inner(function, args, None)
+    }
+
+    /// [`Engine::submit`] with a deadline: if the deadline passes before a
+    /// worker dequeues the request, it is skipped and the ticket resolves
+    /// to [`EngineError::Expired`].
+    pub fn submit_with_deadline(
+        &self,
+        function: &str,
+        args: Vec<Object>,
+        deadline: Instant,
+    ) -> Ticket {
+        self.submit_inner(function, args, Some(deadline))
+    }
+
+    fn submit_inner(&self, function: &str, args: Vec<Object>, deadline: Option<Instant>) -> Ticket {
+        let Some(queue) = self.sender() else {
+            return Ticket::closed();
+        };
         let (reply_tx, reply_rx) = unbounded();
         let req = Request {
             function: function.to_string(),
             args,
             reply: reply_tx,
             submitted: Instant::now(),
+            deadline,
         };
-        // Workers only exit after the queue sender is dropped, so while the
-        // engine is alive a send cannot fail.
-        self.queue.send(req).expect("engine workers terminated");
-        Ticket { reply: reply_rx }
+        match queue.send(req) {
+            Ok(()) => Ticket { reply: reply_rx },
+            // Workers already exited (shutdown raced us): closed ticket.
+            Err(_) => Ticket::closed(),
+        }
     }
 
     /// Enqueue a request without blocking.
     ///
     /// # Errors
-    /// [`EngineError::Busy`] when the queue is at capacity.
+    /// [`EngineError::Busy`] when the queue is at capacity,
+    /// [`EngineError::Closed`] after shutdown.
     pub fn try_submit(
         &self,
         function: &str,
         args: Vec<Object>,
     ) -> std::result::Result<Ticket, EngineError> {
+        self.try_submit_inner(function, args, None)
+    }
+
+    /// [`Engine::try_submit`] with a deadline (see
+    /// [`Engine::submit_with_deadline`]).
+    ///
+    /// # Errors
+    /// [`EngineError::Busy`] when the queue is at capacity,
+    /// [`EngineError::Closed`] after shutdown.
+    pub fn try_submit_with_deadline(
+        &self,
+        function: &str,
+        args: Vec<Object>,
+        deadline: Instant,
+    ) -> std::result::Result<Ticket, EngineError> {
+        self.try_submit_inner(function, args, Some(deadline))
+    }
+
+    fn try_submit_inner(
+        &self,
+        function: &str,
+        args: Vec<Object>,
+        deadline: Option<Instant>,
+    ) -> std::result::Result<Ticket, EngineError> {
+        let Some(queue) = self.sender() else {
+            return Err(EngineError::Closed);
+        };
         let (reply_tx, reply_rx) = unbounded();
         let req = Request {
             function: function.to_string(),
             args,
             reply: reply_tx,
             submitted: Instant::now(),
+            deadline,
         };
-        match self.queue.try_send(req) {
+        match queue.try_send(req) {
             Ok(()) => Ok(Ticket { reply: reply_rx }),
             Err(TrySendError::Full(_)) => Err(EngineError::Busy),
             Err(TrySendError::Disconnected(_)) => Err(EngineError::Closed),
@@ -249,10 +346,32 @@ impl Engine {
         self.submit(function, args).wait()
     }
 
+    /// Drain and stop: refuse new submissions, let workers finish every
+    /// request already enqueued (expiring those past their deadline), then
+    /// join them. Idempotent; concurrent callers all block until the drain
+    /// completes.
+    pub fn shutdown(&self) {
+        // Dropping the primary sender disconnects the channel once every
+        // transient clone held by an in-flight submit is gone too.
+        drop(self.queue.lock().unwrap().take());
+        let mut workers = self.workers.lock().unwrap();
+        for w in workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Requests currently waiting in the queue (not yet dequeued by a
+    /// worker).
+    pub fn queue_depth(&self) -> usize {
+        self.depth.len()
+    }
+
     /// Snapshot the aggregate request counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
             completed: self.counters.completed.load(Ordering::Relaxed),
+            expired: self.counters.expired.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth() as u64,
             total_latency_ns: self.counters.latency_ns.load(Ordering::Relaxed),
             total_execution_ns: self.counters.execution_ns.load(Ordering::Relaxed),
             max_latency_ns: self.counters.max_latency_ns.load(Ordering::Relaxed),
@@ -270,13 +389,7 @@ impl Engine {
 
 impl Drop for Engine {
     fn drop(&mut self) {
-        // Disconnect the queue; workers finish what is already enqueued,
-        // then exit, so no accepted request is dropped.
-        let (dummy, _) = bounded::<Request>(1);
-        drop(std::mem::replace(&mut self.queue, dummy));
-        for w in self.workers.drain(..) {
-            let _ = w.join();
-        }
+        self.shutdown();
     }
 }
 
@@ -302,6 +415,15 @@ fn worker_loop(
         }
         counters.batches.fetch_add(1, Ordering::Relaxed);
         for req in batch.drain(..) {
+            // Deadline-aware dequeue: a request nobody is waiting for
+            // anymore is answered with Expired instead of executed.
+            if let Some(deadline) = req.deadline {
+                if Instant::now() >= deadline {
+                    counters.expired.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.reply.send(Err(EngineError::Expired));
+                    continue;
+                }
+            }
             let exec_start = Instant::now();
             let result = vm.run_in(&mut session, &req.function, req.args);
             let execution = exec_start.elapsed();
@@ -317,12 +439,12 @@ fn worker_loop(
                 .max_latency_ns
                 .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
             // A dropped Ticket just means the caller stopped listening.
-            let _ = req.reply.send(Completion {
+            let _ = req.reply.send(Ok(Completion {
                 result,
                 latency,
                 execution,
                 worker: worker_idx,
-            });
+            }));
         }
     }
 }
@@ -370,6 +492,7 @@ mod tests {
         }
         let stats = engine.stats();
         assert_eq!(stats.completed, 10);
+        assert_eq!(stats.expired, 0);
         assert!(stats.batches >= 1 && stats.batches <= 10);
         assert!(stats.mean_latency() > Duration::ZERO);
     }
@@ -424,6 +547,63 @@ mod tests {
         for t in tickets {
             assert!(t.wait().unwrap().result.is_ok());
         }
+    }
+
+    #[test]
+    fn shutdown_drains_then_rejects_new_work() {
+        let vm = identity_plus_one_vm();
+        let engine = Engine::new(vm, EngineConfig::with_workers(2)).unwrap();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        engine.shutdown();
+        // Everything accepted before shutdown completed.
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+        assert_eq!(engine.stats().completed, 16);
+        assert_eq!(engine.queue_depth(), 0);
+        // New work after shutdown resolves to Closed, never blocks.
+        let late = engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]);
+        assert_eq!(late.wait().unwrap_err(), EngineError::Closed);
+        assert_eq!(
+            engine
+                .try_submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))])
+                .unwrap_err(),
+            EngineError::Closed
+        );
+        // Idempotent.
+        engine.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_skips_execution() {
+        let vm = identity_plus_one_vm();
+        let engine = Engine::new(
+            Arc::clone(&vm),
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 1,
+            },
+        )
+        .unwrap();
+        // A deadline already in the past must expire, not execute.
+        let past = Instant::now() - Duration::from_millis(1);
+        let t =
+            engine.submit_with_deadline("main", vec![Object::tensor(Tensor::ones_f32(&[4]))], past);
+        assert_eq!(t.wait().unwrap_err(), EngineError::Expired);
+        // A generous deadline completes normally.
+        let future = Instant::now() + Duration::from_secs(60);
+        let t = engine.submit_with_deadline(
+            "main",
+            vec![Object::tensor(Tensor::ones_f32(&[4]))],
+            future,
+        );
+        assert!(t.wait().unwrap().result.is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 1);
     }
 
     #[test]

@@ -1,0 +1,54 @@
+//! # nimble-serve
+//!
+//! The multi-model serving layer above the Nimble VM: what turns "a fast
+//! engine" into "a server". Three cooperating pieces:
+//!
+//! * [`registry`] — a [`ModelRegistry`] of named, versioned models.
+//!   Each registration compiles (or loads, via a fingerprinted
+//!   compiled-artifact cache on disk — the paper's compile-once /
+//!   serialize / load split, §5) an executable, spins up a per-model
+//!   [`nimble_core::Engine`], supports atomic hot-swap of a new version
+//!   behind a stable name, and unloads with full resource reclamation
+//!   including the model's pre-packed weight panels.
+//! * [`router`] — the [`Router`] front door. Requests are tagged with a
+//!   model name and an optional deadline; overload is shed explicitly
+//!   ([`Rejected::QueueFull`] / [`Rejected::Expired`] /
+//!   [`Rejected::Unloaded`], never a silent drop), deadlines are honored
+//!   while queued, and shutdown drains accepted work to completion.
+//! * [`telemetry`] — lock-free log-bucketed latency [`Histogram`]s
+//!   (p50/p90/p99 from snapshots) and per-model outcome counters,
+//!   exported as a [`ServeStats`] snapshot.
+
+pub mod registry;
+pub mod router;
+pub mod telemetry;
+
+pub use registry::{ModelEntry, ModelRegistry, RegisterReport, RegistryConfig};
+pub use router::{Rejected, Router, RouterConfig, ServeTicket};
+pub use telemetry::{
+    Histogram, HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry,
+};
+
+/// Errors raised by the registry (compile/load/IO failures and unknown
+/// models). Request-path refusals use [`Rejected`] instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Compilation or VM loading failed.
+    Compile(String),
+    /// Artifact cache I/O failed.
+    Io(String),
+    /// The named model is not registered.
+    UnknownModel(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Compile(m) => write!(f, "serve: compile/load failed: {m}"),
+            ServeError::Io(m) => write!(f, "serve: artifact cache i/o: {m}"),
+            ServeError::UnknownModel(m) => write!(f, "serve: no model named {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

@@ -1,0 +1,358 @@
+//! The serving front door: deadline-aware dispatch with explicit load
+//! shedding.
+//!
+//! Every request names a model and (optionally) carries a deadline. The
+//! router resolves the model's live entry in the [`ModelRegistry`],
+//! admits the request to that model's bounded engine queue, and hands
+//! back a [`ServeTicket`]. Overload is never absorbed silently: a full
+//! queue, a dead deadline, or an unknown model is an immediate
+//! [`Rejected`] at admission, and a request whose deadline passes *while
+//! queued* resolves to [`Rejected::Expired`] without executing (the
+//! engine's deadline-aware dequeue). Under overload this is what keeps
+//! accepted-request tail latency bounded: the queue cannot grow beyond
+//! its capacity and cannot hold work nobody is waiting for.
+//!
+//! Every admission and every terminal outcome is counted in the
+//! per-model [`Telemetry`], so `accepted == completed + failed + expired`
+//! (+ `lost`, which stays 0 in a healthy server) holds at quiesce — the
+//! invariant the router tests and the `serve_mix` smoke gate assert.
+
+use crate::registry::ModelRegistry;
+use crate::telemetry::{ModelTelemetry, ServeStats, Telemetry};
+use nimble_core::{Completion, EngineError};
+use nimble_vm::Object;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why the router refused (or gave up on) a request. Always explicit —
+/// a submission never disappears without one of these or a
+/// [`Completion`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Rejected {
+    /// The model's admission queue is at capacity (load shed).
+    QueueFull,
+    /// The deadline passed — at admission, or while queued.
+    Expired,
+    /// No model with that name is loaded (or it was unloaded before the
+    /// request could be admitted).
+    Unloaded,
+    /// The router is draining and accepts no new work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::QueueFull => write!(f, "rejected: admission queue full"),
+            Rejected::Expired => write!(f, "rejected: deadline expired"),
+            Rejected::Unloaded => write!(f, "rejected: model not loaded"),
+            Rejected::ShuttingDown => write!(f, "rejected: router shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for Rejected {}
+
+/// Router configuration.
+#[derive(Debug, Clone, Default)]
+pub struct RouterConfig {
+    /// Deadline applied to requests submitted without one; `None` means
+    /// such requests never expire.
+    pub default_deadline: Option<Duration>,
+}
+
+/// Handle to one admitted request; resolves to a [`Completion`] or a
+/// terminal [`Rejected`]. Waiting records the outcome in the model's
+/// telemetry exactly once.
+#[derive(Debug)]
+pub struct ServeTicket {
+    ticket: nimble_core::Ticket,
+    telemetry: Arc<ModelTelemetry>,
+    model: String,
+}
+
+impl ServeTicket {
+    /// The model this request was admitted to.
+    pub fn model(&self) -> &str {
+        &self.model
+    }
+
+    /// Block until the request reaches its terminal state.
+    ///
+    /// # Errors
+    /// [`Rejected::Expired`] when the deadline passed while queued;
+    /// [`Rejected::Unloaded`] when the serving engine died before
+    /// replying (worker panic — never part of a graceful drain, which
+    /// completes accepted work).
+    pub fn wait(self) -> Result<Completion, Rejected> {
+        match self.ticket.wait() {
+            Ok(completion) => {
+                self.telemetry
+                    .record_completed(completion.latency, completion.result.is_ok());
+                Ok(completion)
+            }
+            Err(EngineError::Expired) => {
+                self.telemetry.record_expired();
+                Err(Rejected::Expired)
+            }
+            Err(_) => {
+                self.telemetry.record_lost();
+                Err(Rejected::Unloaded)
+            }
+        }
+    }
+}
+
+/// Multi-model serving front door over a shared [`ModelRegistry`].
+pub struct Router {
+    registry: Arc<ModelRegistry>,
+    telemetry: Telemetry,
+    config: RouterConfig,
+    draining: AtomicBool,
+}
+
+impl std::fmt::Debug for Router {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Router")
+            .field("models", &self.registry.list())
+            .field("draining", &self.draining.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Router {
+    /// A router over `registry`.
+    pub fn new(registry: Arc<ModelRegistry>, config: RouterConfig) -> Router {
+        Router {
+            registry,
+            telemetry: Telemetry::default(),
+            config,
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The registry this router dispatches into.
+    pub fn registry(&self) -> &Arc<ModelRegistry> {
+        &self.registry
+    }
+
+    /// Submit a request to `model`'s `main` entry point with the
+    /// configured default deadline.
+    ///
+    /// # Errors
+    /// See [`Rejected`]; the rejection is also counted in telemetry.
+    pub fn submit(&self, model: &str, args: Vec<Object>) -> Result<ServeTicket, Rejected> {
+        let deadline = self.config.default_deadline.map(|d| Instant::now() + d);
+        self.submit_with_deadline(model, args, deadline)
+    }
+
+    /// Submit with an explicit deadline (`None` = never expires,
+    /// overriding the default).
+    ///
+    /// # Errors
+    /// See [`Rejected`]; the rejection is also counted in telemetry.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        args: Vec<Object>,
+        deadline: Option<Instant>,
+    ) -> Result<ServeTicket, Rejected> {
+        let telemetry = self.telemetry.model(model);
+        if self.draining.load(Ordering::Acquire) {
+            telemetry.record_rejected_shutdown();
+            return Err(Rejected::ShuttingDown);
+        }
+        let Some(entry) = self.registry.get(model) else {
+            telemetry.record_rejected_unloaded();
+            return Err(Rejected::Unloaded);
+        };
+        let admitted = match deadline {
+            Some(d) => {
+                if d <= Instant::now() {
+                    telemetry.record_rejected_expired();
+                    return Err(Rejected::Expired);
+                }
+                entry.engine().try_submit_with_deadline("main", args, d)
+            }
+            None => entry.engine().try_submit("main", args),
+        };
+        match admitted {
+            Ok(ticket) => {
+                telemetry.record_accepted();
+                Ok(ServeTicket {
+                    ticket,
+                    telemetry,
+                    model: model.to_string(),
+                })
+            }
+            Err(EngineError::Busy) => {
+                telemetry.record_rejected_queue_full();
+                Err(Rejected::QueueFull)
+            }
+            // The entry's engine drained between `get` and admission
+            // (hot-swap or unload race): same answer as not-loaded.
+            Err(_) => {
+                telemetry.record_rejected_unloaded();
+                Err(Rejected::Unloaded)
+            }
+        }
+    }
+
+    /// Submit and wait — the synchronous convenience path.
+    ///
+    /// # Errors
+    /// See [`ServeTicket::wait`] and [`Rejected`].
+    pub fn run(&self, model: &str, args: Vec<Object>) -> Result<Completion, Rejected> {
+        self.submit(model, args)?.wait()
+    }
+
+    /// Snapshot every model's counters and latency histogram.
+    pub fn stats(&self) -> ServeStats {
+        self.telemetry.snapshot()
+    }
+
+    /// Graceful drain: refuse new submissions, then drain every model's
+    /// engine so all accepted requests reach a terminal state. Existing
+    /// [`ServeTicket`]s resolve normally. Idempotent.
+    pub fn shutdown(&self) {
+        self.draining.store(true, Ordering::Release);
+        self.registry.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::RegistryConfig;
+    use nimble_core::{CompileOptions, EngineConfig};
+    use nimble_ir::attrs::Attrs;
+    use nimble_ir::builder::FunctionBuilder;
+    use nimble_ir::types::TensorType;
+    use nimble_ir::Module;
+    use nimble_tensor::{DType, Tensor};
+
+    fn add_k_module(k: f32) -> Module {
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::new(&[2], DType::F32));
+        let c = fb.constant(Tensor::from_vec_f32(vec![k, k], &[2]).unwrap());
+        let y = fb.call("add", vec![x, c], Attrs::new());
+        let mut m = Module::new();
+        m.add_function("main", fb.finish(y));
+        m
+    }
+
+    fn arg(v: f32) -> Vec<Object> {
+        vec![Object::tensor(
+            Tensor::from_vec_f32(vec![v, v], &[2]).unwrap(),
+        )]
+    }
+
+    fn router_with(models: &[(&str, f32)], engine: EngineConfig) -> Router {
+        let reg = Arc::new(ModelRegistry::new(RegistryConfig {
+            engine,
+            ..RegistryConfig::default()
+        }));
+        for (name, k) in models {
+            reg.register(name, "v1", &add_k_module(*k), &CompileOptions::default())
+                .unwrap();
+        }
+        Router::new(reg, RouterConfig::default())
+    }
+
+    #[test]
+    fn routes_by_model_name() {
+        let router = router_with(&[("plus1", 1.0), ("plus10", 10.0)], EngineConfig::default());
+        let a = router.run("plus1", arg(0.0)).unwrap();
+        assert_eq!(
+            a.result.unwrap().wait_tensor().unwrap().as_f32().unwrap(),
+            &[1.0, 1.0]
+        );
+        let b = router.run("plus10", arg(0.0)).unwrap();
+        assert_eq!(
+            b.result.unwrap().wait_tensor().unwrap().as_f32().unwrap(),
+            &[10.0, 10.0]
+        );
+        let stats = router.stats();
+        assert_eq!(stats.models["plus1"].completed, 1);
+        assert_eq!(stats.models["plus10"].completed, 1);
+        assert_eq!(stats.models["plus1"].latency.count(), 1);
+    }
+
+    #[test]
+    fn unknown_model_is_rejected_unloaded() {
+        let router = router_with(&[("m", 1.0)], EngineConfig::default());
+        assert_eq!(
+            router.submit("ghost", arg(0.0)).unwrap_err(),
+            Rejected::Unloaded
+        );
+        assert_eq!(router.stats().models["ghost"].rejected_unloaded, 1);
+    }
+
+    #[test]
+    fn dead_deadline_rejected_at_admission() {
+        let router = router_with(&[("m", 1.0)], EngineConfig::default());
+        let past = Instant::now() - Duration::from_millis(1);
+        assert_eq!(
+            router
+                .submit_with_deadline("m", arg(0.0), Some(past))
+                .unwrap_err(),
+            Rejected::Expired
+        );
+        assert_eq!(router.stats().models["m"].rejected_expired, 1);
+    }
+
+    #[test]
+    fn full_queue_sheds_with_queue_full() {
+        // 1 worker, capacity 1: the first request parks the worker, the
+        // queue holds one more, everything beyond that must shed.
+        let router = router_with(
+            &[("m", 1.0)],
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 1,
+                max_batch: 1,
+            },
+        );
+        let mut tickets = Vec::new();
+        let mut shed = 0;
+        for _ in 0..100 {
+            match router.submit("m", arg(0.0)) {
+                Ok(t) => tickets.push(t),
+                Err(Rejected::QueueFull) => shed += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(shed > 0, "capacity-1 queue never filled");
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let m = &router.stats().models["m"];
+        assert_eq!(m.rejected_queue_full, shed);
+        assert_eq!(m.accepted, m.terminal());
+        assert_eq!(m.submitted(), 100);
+    }
+
+    #[test]
+    fn shutdown_drains_and_then_sheds() {
+        let router = router_with(&[("m", 1.0)], EngineConfig::default());
+        let tickets: Vec<_> = (0..8)
+            .map(|_| router.submit("m", arg(0.0)).unwrap())
+            .collect();
+        router.shutdown();
+        for t in tickets {
+            assert!(t.wait().is_ok(), "accepted work must survive the drain");
+        }
+        assert_eq!(
+            router.submit("m", arg(0.0)).unwrap_err(),
+            Rejected::ShuttingDown
+        );
+        let m = &router.stats().models["m"];
+        assert_eq!(m.accepted, 8);
+        assert_eq!(m.completed, 8);
+        assert_eq!(m.lost, 0);
+        assert_eq!(m.rejected_shutdown, 1);
+        // Idempotent.
+        router.shutdown();
+    }
+}

@@ -1,0 +1,481 @@
+//! Lock-free serving telemetry: log-bucketed latency histograms and
+//! per-model outcome counters.
+//!
+//! Every recording path is a handful of relaxed atomic increments — no
+//! locks, no allocation — so workers and clients can record from any
+//! thread without contending. Reading is done through snapshots:
+//! [`Histogram::snapshot`] copies the bucket array once, and quantiles
+//! (p50/p90/p99) are computed from the copy, so a reader never blocks a
+//! writer and a writer never skews a read mid-scan.
+//!
+//! The histogram is log-linear (HDR-style): each power-of-two octave of
+//! nanoseconds is split into [`SUB`] linear sub-buckets, giving a worst
+//! case quantile error of about `1/SUB` (25%) over a range of nanoseconds
+//! to hours in 252 buckets — the standard trade for fixed-size, lock-free
+//! recording.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Sub-buckets per power-of-two octave (must be a power of two).
+const SUB: u64 = 4;
+const SUB_BITS: u32 = 2;
+/// Bucket count: values up to `u64::MAX` ns map below this.
+const BUCKETS: usize = ((64 - SUB_BITS as usize) << SUB_BITS as usize) + SUB as usize;
+
+/// Bucket index for a nanosecond value (monotone in `v`).
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros();
+    let major = (msb - SUB_BITS + 1) as u64;
+    let sub = (v >> (msb - SUB_BITS)) & (SUB - 1);
+    (major * SUB + sub) as usize
+}
+
+/// Smallest nanosecond value mapping to bucket `idx` (inverse of
+/// [`bucket_index`] on bucket floors).
+fn bucket_floor(idx: usize) -> u64 {
+    let idx = idx as u64;
+    if idx < SUB {
+        return idx;
+    }
+    let major = idx >> SUB_BITS;
+    let sub = idx & (SUB - 1);
+    (SUB + sub) << (major - 1)
+}
+
+/// A fixed-size, lock-free, log-bucketed latency histogram.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one latency sample (a few relaxed atomic adds).
+    pub fn record(&self, latency: Duration) {
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Copy the current bucket contents for quantile computation.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_ns: self.sum_ns.load(Ordering::Relaxed),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, Default)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl HistogramSnapshot {
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean latency.
+    pub fn mean(&self) -> Duration {
+        match self.sum_ns.checked_div(self.count) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Worst recorded latency.
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// The `q`-quantile (`0.0 < q <= 1.0`), estimated as the midpoint of
+    /// the bucket containing the rank and clamped to the observed max.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if rank == self.count {
+            // The top rank is the observed maximum exactly.
+            return self.max();
+        }
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                let lo = bucket_floor(idx);
+                let hi = if idx + 1 < self.buckets.len() {
+                    bucket_floor(idx + 1)
+                } else {
+                    self.max_ns
+                };
+                let mid = lo + (hi.saturating_sub(lo)) / 2;
+                return Duration::from_nanos(mid.min(self.max_ns));
+            }
+        }
+        self.max()
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.5)
+    }
+
+    /// 90th-percentile latency.
+    pub fn p90(&self) -> Duration {
+        self.quantile(0.9)
+    }
+
+    /// 99th-percentile latency.
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// Per-model outcome counters plus the completed-request latency
+/// histogram. All writes are relaxed atomics.
+///
+/// Invariant (checked by the router tests and the `serve_mix` smoke
+/// gate): every submission lands in exactly one of `accepted`,
+/// `rejected_*`; every accepted request later lands in exactly one of
+/// `completed`, `failed`, `expired`, `lost`, and `lost` stays zero unless
+/// a worker thread died.
+#[derive(Debug, Default)]
+pub struct ModelTelemetry {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    expired: AtomicU64,
+    lost: AtomicU64,
+    rejected_queue_full: AtomicU64,
+    rejected_expired: AtomicU64,
+    rejected_unloaded: AtomicU64,
+    rejected_shutdown: AtomicU64,
+    latency: Histogram,
+}
+
+impl ModelTelemetry {
+    pub(crate) fn record_accepted(&self) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, latency: Duration, ok: bool) {
+        if ok {
+            self.completed.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.failed.fetch_add(1, Ordering::Relaxed);
+        }
+        self.latency.record(latency);
+    }
+
+    pub(crate) fn record_expired(&self) {
+        self.expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lost(&self) {
+        self.lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_queue_full(&self) {
+        self.rejected_queue_full.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_expired(&self) {
+        self.rejected_expired.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_unloaded(&self) {
+        self.rejected_unloaded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejected_shutdown(&self) {
+        self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot this model's counters and histogram.
+    pub fn snapshot(&self) -> ModelStats {
+        ModelStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+            lost: self.lost.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
+            rejected_expired: self.rejected_expired.load(Ordering::Relaxed),
+            rejected_unloaded: self.rejected_unloaded.load(Ordering::Relaxed),
+            rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+/// Snapshot of one model's serving counters.
+#[derive(Debug, Clone, Default)]
+pub struct ModelStats {
+    /// Requests admitted to the model's queue.
+    pub accepted: u64,
+    /// Accepted requests that ran and returned a VM result.
+    pub completed: u64,
+    /// Accepted requests that ran and returned a VM error.
+    pub failed: u64,
+    /// Accepted requests whose deadline passed while queued.
+    pub expired: u64,
+    /// Accepted requests that never got a reply (worker death; always 0
+    /// in a healthy server).
+    pub lost: u64,
+    /// Shed at admission: queue at capacity.
+    pub rejected_queue_full: u64,
+    /// Shed at admission: deadline already passed.
+    pub rejected_expired: u64,
+    /// Shed at admission: model not loaded (or unloaded mid-submit).
+    pub rejected_unloaded: u64,
+    /// Shed at admission: router draining.
+    pub rejected_shutdown: u64,
+    /// Latency distribution of completed + failed requests.
+    pub latency: HistogramSnapshot,
+}
+
+impl ModelStats {
+    /// All admission-time rejections.
+    pub fn rejected(&self) -> u64 {
+        self.rejected_queue_full
+            + self.rejected_expired
+            + self.rejected_unloaded
+            + self.rejected_shutdown
+    }
+
+    /// Accepted requests with a terminal outcome so far.
+    pub fn terminal(&self) -> u64 {
+        self.completed + self.failed + self.expired + self.lost
+    }
+
+    /// Total submissions seen (accepted + rejected).
+    pub fn submitted(&self) -> u64 {
+        self.accepted + self.rejected()
+    }
+}
+
+/// A snapshot of every model's counters, keyed by model name.
+#[derive(Debug, Clone, Default)]
+pub struct ServeStats {
+    /// Per-model snapshots (BTreeMap for stable print order).
+    pub models: BTreeMap<String, ModelStats>,
+}
+
+impl ServeStats {
+    /// Sum of accepted requests across models.
+    pub fn accepted(&self) -> u64 {
+        self.models.values().map(|m| m.accepted).sum()
+    }
+
+    /// Sum of admission rejections across models.
+    pub fn rejected(&self) -> u64 {
+        self.models.values().map(|m| m.rejected()).sum()
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
+            "model", "accepted", "done", "expired", "shed", "p50 ms", "p90 ms", "p99 ms", "max ms"
+        )?;
+        for (name, m) in &self.models {
+            writeln!(
+                f,
+                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                name,
+                m.accepted,
+                m.completed + m.failed,
+                m.expired,
+                m.rejected(),
+                ms(m.latency.p50()),
+                ms(m.latency.p90()),
+                ms(m.latency.p99()),
+                ms(m.latency.max()),
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// The shared telemetry registry: one [`ModelTelemetry`] per model
+/// *name*, surviving hot-swaps (a swapped version keeps accumulating
+/// into the same series) and unloads (history remains reportable).
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    models: RwLock<BTreeMap<String, Arc<ModelTelemetry>>>,
+}
+
+impl Telemetry {
+    /// The counters for `name`, created on first use.
+    pub fn model(&self, name: &str) -> Arc<ModelTelemetry> {
+        if let Some(t) = self.models.read().unwrap().get(name) {
+            return Arc::clone(t);
+        }
+        let mut w = self.models.write().unwrap();
+        Arc::clone(
+            w.entry(name.to_string())
+                .or_insert_with(|| Arc::new(ModelTelemetry::default())),
+        )
+    }
+
+    /// Snapshot every model's counters.
+    pub fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            models: self
+                .models
+                .read()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_floor_inverts() {
+        // Dense check over the low range, then octave boundaries up high.
+        let mut last = 0usize;
+        for v in 0u64..100_000 {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index not monotone at {v}");
+            assert!(idx < BUCKETS);
+            assert!(bucket_floor(idx) <= v, "floor above value at {v}");
+            last = idx;
+        }
+        for shift in 17..63u32 {
+            let v = 1u64 << shift;
+            assert!(bucket_index(v - 1) <= bucket_index(v), "boundary at {v}");
+            assert!(bucket_index(v) <= bucket_index(v + 1), "boundary at {v}");
+            assert!(bucket_floor(bucket_index(v)) <= v);
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        // Floors map back to their own bucket.
+        for idx in 0..BUCKETS {
+            assert_eq!(bucket_index(bucket_floor(idx)), idx, "floor/index at {idx}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let h = Histogram::new();
+        // 100 samples: 1ms ×90, 10ms ×9, 100ms ×1.
+        for _ in 0..90 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..9 {
+            h.record(Duration::from_millis(10));
+        }
+        h.record(Duration::from_millis(100));
+        let s = h.snapshot();
+        assert_eq!(s.count(), 100);
+        assert_eq!(s.max(), Duration::from_millis(100));
+        // Log-bucket resolution is ~25%; check the right decade.
+        let p50 = s.p50().as_secs_f64();
+        assert!((0.0005..0.002).contains(&p50), "p50 {p50}");
+        let p90 = s.p90().as_secs_f64();
+        assert!((0.0005..0.002).contains(&p90), "p90 {p90}");
+        let p99 = s.quantile(0.99).as_secs_f64();
+        assert!((0.005..0.02).contains(&p99), "p99 {p99}");
+        assert_eq!(s.quantile(1.0), Duration::from_millis(100));
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.p50(), Duration::ZERO);
+        assert_eq!(s.mean(), Duration::ZERO);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Arc::new(Histogram::new());
+        let threads = 8;
+        let per = 1000;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        h.record(Duration::from_micros((t * per + i) as u64 + 1));
+                    }
+                })
+            })
+            .collect();
+        for j in handles {
+            j.join().unwrap();
+        }
+        assert_eq!(h.snapshot().count(), (threads * per) as u64);
+    }
+
+    #[test]
+    fn telemetry_snapshot_accumulates_per_model() {
+        let t = Telemetry::default();
+        t.model("a").record_accepted();
+        t.model("a")
+            .record_completed(Duration::from_millis(2), true);
+        t.model("b").record_rejected_queue_full();
+        let snap = t.snapshot();
+        assert_eq!(snap.models["a"].accepted, 1);
+        assert_eq!(snap.models["a"].completed, 1);
+        assert_eq!(snap.models["a"].latency.count(), 1);
+        assert_eq!(snap.models["b"].rejected_queue_full, 1);
+        assert_eq!(snap.accepted(), 1);
+        assert_eq!(snap.rejected(), 1);
+        // Same Arc for the same name.
+        assert!(Arc::ptr_eq(&t.model("a"), &t.model("a")));
+        // Display renders one row per model.
+        let text = format!("{snap}");
+        assert!(text.contains("a") && text.contains("b"));
+    }
+}

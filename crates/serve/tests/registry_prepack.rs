@@ -1,0 +1,122 @@
+//! Prepack-cache reclamation through the registry: unloading a model
+//! releases exactly its own pre-packed weight panels, other models'
+//! entries survive, and hot-swap retires the displaced version's packs.
+//!
+//! The pack cache is process-wide state, so all assertions live in a
+//! single `#[test]` (this binary runs nothing else in parallel) and are
+//! phrased as deltas against the starting size.
+
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_ir::attrs::Attrs;
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::Module;
+use nimble_serve::{ModelRegistry, RegistryConfig};
+use nimble_tensor::{prepack, DType, Tensor};
+use nimble_vm::Object;
+use rand::SeedableRng;
+
+/// A model with `layers` dense weights (each a distinct prepackable
+/// constant): x:[?,width] → dense → tanh → dense → ...
+fn dense_chain(layers: usize, width: usize, seed: u64) -> Module {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut fb = FunctionBuilder::new("main");
+    let mut x = fb.param(
+        "x",
+        TensorType::with_any(&[None, Some(width as u64)], DType::F32),
+    );
+    for _ in 0..layers {
+        let w = fb.constant(Tensor::rand_f32(&mut rng, &[width, width], 0.5));
+        x = fb.call("dense", vec![x, w], Attrs::new());
+        x = fb.call("tanh", vec![x], Attrs::new());
+    }
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(x));
+    m
+}
+
+fn serve_one(reg: &ModelRegistry, name: &str, width: usize) {
+    let entry = reg.get(name).expect("model registered");
+    let done = entry
+        .engine()
+        .run("main", vec![Object::tensor(Tensor::ones_f32(&[2, width]))])
+        .expect("engine alive");
+    let out = done.result.expect("run ok").wait_tensor().expect("tensor");
+    assert_eq!(out.dims(), &[2, width]);
+}
+
+#[test]
+fn unload_releases_own_packs_and_spares_others() {
+    let reg = ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig::with_workers(2),
+        ..RegistryConfig::default()
+    });
+    let opts = CompileOptions::default();
+    let baseline = prepack::cache_len();
+
+    // Model A: 3 dense weights; model B: 2 dense weights.
+    reg.register("a", "v1", &dense_chain(3, 8, 1), &opts)
+        .unwrap();
+    let a_packs = reg
+        .get("a")
+        .unwrap()
+        .vm()
+        .executable()
+        .weight_buffer_ids()
+        .len();
+    assert_eq!(a_packs, 3, "each dense layer contributes one pack");
+    assert_eq!(prepack::cache_len(), baseline + a_packs);
+
+    reg.register("b", "v1", &dense_chain(2, 6, 2), &opts)
+        .unwrap();
+    let b_packs = reg
+        .get("b")
+        .unwrap()
+        .vm()
+        .executable()
+        .weight_buffer_ids()
+        .len();
+    assert_eq!(b_packs, 2);
+    assert_eq!(prepack::cache_len(), baseline + a_packs + b_packs);
+
+    serve_one(&reg, "a", 8);
+    serve_one(&reg, "b", 6);
+
+    // Unload A: cache returns to baseline + B's entries, and B is
+    // untouched (still serving, its packs still cached).
+    reg.unload("a").unwrap();
+    assert_eq!(
+        prepack::cache_len(),
+        baseline + b_packs,
+        "unload must release exactly A's packs"
+    );
+    serve_one(&reg, "b", 6);
+    assert_eq!(
+        prepack::cache_len(),
+        baseline + b_packs,
+        "serving B after A's unload must not repack anything"
+    );
+
+    // Hot-swap B to a new version: the old version's packs retire, the
+    // new version's packs take their place.
+    reg.register("b", "v2", &dense_chain(4, 6, 3), &opts)
+        .unwrap();
+    let b2_packs = reg
+        .get("b")
+        .unwrap()
+        .vm()
+        .executable()
+        .weight_buffer_ids()
+        .len();
+    assert_eq!(b2_packs, 4);
+    assert_eq!(
+        prepack::cache_len(),
+        baseline + b2_packs,
+        "hot-swap must retire the displaced version's packs"
+    );
+    serve_one(&reg, "b", 6);
+
+    // Full shutdown returns the cache to its starting size.
+    reg.shutdown();
+    assert_eq!(prepack::cache_len(), baseline);
+}

@@ -107,6 +107,29 @@ pub fn prepack_weight_tensor(t: &Tensor) -> bool {
     get_or_pack(t, n, k, tile_k).is_ok()
 }
 
+/// Evict every cache entry whose weight buffer is in `buffer_ids`,
+/// releasing the pinned tensors and packed panels. Returns the number of
+/// entries removed.
+///
+/// This is the unload path of the serving layer: a model's executable
+/// knows which of its constants were pre-packed
+/// (`Executable::weight_buffer_ids` in `nimble-vm`), and unloading the
+/// model hands those ids here so its packs stop pinning memory. Entries
+/// belonging to other buffers are untouched. If two loaded models happen
+/// to share a buffer (the same `Executable` registered twice), eviction
+/// only costs the survivor a lazy re-pack on its next call — correctness
+/// is unaffected.
+pub fn release_buffers(buffer_ids: &[usize]) -> usize {
+    if buffer_ids.is_empty() {
+        return 0;
+    }
+    let ids: std::collections::HashSet<usize> = buffer_ids.iter().copied().collect();
+    let mut w = cache().write().unwrap();
+    let before = w.len();
+    w.retain(|key, _| !ids.contains(&key.buffer));
+    before - w.len()
+}
+
 /// Number of cached packs (test/diagnostic hook).
 pub fn cache_len() -> usize {
     cache().read().unwrap().len()
@@ -163,6 +186,31 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(a.tile_k(), 8);
         assert_eq!(b.tile_k(), 2);
+    }
+
+    #[test]
+    fn release_buffers_evicts_only_matching_entries() {
+        let a = Tensor::from_vec_f32((0..20).map(|i| i as f32).collect(), &[4, 5]).unwrap();
+        let b = Tensor::from_vec_f32((0..30).map(|i| i as f32).collect(), &[5, 6]).unwrap();
+        let pa = get_or_pack(&a, 4, 5, 16).unwrap();
+        let pb = get_or_pack(&b, 5, 6, 16).unwrap();
+        // Two tile_k variants of the same buffer both go when it is
+        // released.
+        let pa2 = get_or_pack(&a, 4, 5, 2).unwrap();
+        assert!(!Arc::ptr_eq(&pa, &pa2));
+        let len_with_both = cache_len();
+        assert_eq!(release_buffers(&[a.buffer_id()]), 2);
+        assert_eq!(cache_len(), len_with_both - 2);
+        // `b`'s entry survives and still hits.
+        let pb2 = get_or_pack(&b, 5, 6, 16).unwrap();
+        assert!(Arc::ptr_eq(&pb, &pb2));
+        // Releasing an unknown buffer (or nothing) is a no-op.
+        assert_eq!(release_buffers(&[usize::MAX]), 0);
+        assert_eq!(release_buffers(&[]), 0);
+        // `a` repacks on demand after eviction.
+        let pa3 = get_or_pack(&a, 4, 5, 16).unwrap();
+        assert_eq!(pa3.panel(0, 0)[0], pa.panel(0, 0)[0]);
+        release_buffers(&[a.buffer_id(), b.buffer_id()]);
     }
 
     #[test]

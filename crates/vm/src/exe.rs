@@ -238,6 +238,25 @@ impl Executable {
     /// `LoadConst`. Returns the number of constants packed (deduplicated by
     /// the cache itself; re-running is a no-op).
     pub fn prepack_weights(&self) -> usize {
+        self.weight_constants()
+            .filter(|t| nimble_tensor::prepack::prepack_weight_tensor(t))
+            .count()
+    }
+
+    /// Buffer identities of every constant [`Executable::prepack_weights`]
+    /// would cache — the handle a model server passes to
+    /// `nimble_tensor::prepack::release_buffers` when this program is
+    /// unloaded, so its packed panels stop pinning memory.
+    pub fn weight_buffer_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.weight_constants().map(|t| t.buffer_id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Constants feeding dense/conv2d weight slots (see
+    /// [`Executable::prepack_weights`] for the two scan sources).
+    fn weight_constants(&self) -> impl Iterator<Item = &Tensor> {
         let mut const_ids: Vec<u32> = Vec::new();
         for desc in &self.kernels {
             if let KernelDesc::Fused { members, .. } = desc {
@@ -281,8 +300,6 @@ impl Executable {
         const_ids
             .into_iter()
             .filter_map(|c| self.constants.get(c as usize))
-            .filter(|t| nimble_tensor::prepack::prepack_weight_tensor(t))
-            .count()
     }
 
     /// Write the serialized executable to a file.

@@ -13,6 +13,7 @@
 //! * [`device`] — CPU and simulated-GPU devices, memory pools
 //! * [`vm`] — the 20-instruction register virtual machine
 //! * [`compiler`] — the end-to-end `compile()` driver (`nimble-core`)
+//! * [`serve`] — multi-model serving: registry, deadline router, telemetry
 //! * [`models`] — LSTM / Tree-LSTM / BERT / CV model builders
 //! * [`frameworks`] — baseline systems (eager, graphflow, fold)
 
@@ -23,5 +24,6 @@ pub use nimble_frameworks as frameworks;
 pub use nimble_ir as ir;
 pub use nimble_models as models;
 pub use nimble_passes as passes;
+pub use nimble_serve as serve;
 pub use nimble_tensor as tensor;
 pub use nimble_vm as vm;
