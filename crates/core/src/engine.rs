@@ -28,7 +28,9 @@
 
 use crate::Result as CompileResult;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
-use nimble_vm::{Object, ProfileReport, Session, VirtualMachine, VmError};
+use nimble_vm::{
+    ArenaStats, Object, ProfileReport, Session, StorageArena, VirtualMachine, VmError,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -183,6 +185,10 @@ pub struct Engine {
     depth: Receiver<Request>,
     counters: Arc<Counters>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// One storage arena per worker (empty when `NIMBLE_ARENA=off`).
+    /// Workers keep them warm across requests; the engine exposes their
+    /// summed stats and trims them on shutdown.
+    arenas: Vec<Arc<StorageArena>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -209,14 +215,24 @@ impl Engine {
         let (queue, rx) = bounded::<Request>(config.queue_capacity);
         let counters = Arc::new(Counters::default());
         let mut workers = Vec::with_capacity(config.workers);
+        let mut arenas = Vec::new();
         for worker_idx in 0..config.workers {
             let vm = Arc::clone(&vm);
             let worker_rx = rx.clone();
             let counters = Arc::clone(&counters);
             let max_batch = config.max_batch;
+            // Engine-owned arena so stats/trim work from outside the
+            // worker; the session recycles storage into it across every
+            // request the worker serves.
+            let arena = StorageArena::shared_default();
+            if let Some(a) = &arena {
+                arenas.push(Arc::clone(a));
+            }
             let handle = std::thread::Builder::new()
                 .name(format!("nimble-engine-{worker_idx}"))
-                .spawn(move || worker_loop(&vm, &worker_rx, &counters, worker_idx, max_batch))
+                .spawn(move || {
+                    worker_loop(&vm, &worker_rx, &counters, worker_idx, max_batch, arena)
+                })
                 .map_err(|e| crate::CompileError::msg(format!("spawn engine worker: {e}")))?;
             workers.push(handle);
         }
@@ -226,6 +242,7 @@ impl Engine {
             depth: rx,
             counters,
             workers: Mutex::new(workers),
+            arenas,
         })
     }
 
@@ -348,8 +365,8 @@ impl Engine {
 
     /// Drain and stop: refuse new submissions, let workers finish every
     /// request already enqueued (expiring those past their deadline), then
-    /// join them. Idempotent; concurrent callers all block until the drain
-    /// completes.
+    /// join them and trim the worker arenas back to the device pools.
+    /// Idempotent; concurrent callers all block until the drain completes.
     pub fn shutdown(&self) {
         // Dropping the primary sender disconnects the channel once every
         // transient clone held by an in-flight submit is gone too.
@@ -358,6 +375,26 @@ impl Engine {
         for w in workers.drain(..) {
             let _ = w.join();
         }
+        // Retired engines keep no recycled storage warm (model unload /
+        // hot-swap returns to the pre-load memory baseline).
+        self.trim_arenas();
+    }
+
+    /// Summed arena counters across all workers (all-zero when arenas are
+    /// disabled via `NIMBLE_ARENA=off`).
+    pub fn arena_stats(&self) -> ArenaStats {
+        let mut total = ArenaStats::default();
+        for arena in &self.arenas {
+            total.merge(&arena.stats());
+        }
+        total
+    }
+
+    /// Return every block parked in the worker arenas to the device pools;
+    /// yields the bytes released. In-flight requests are unaffected (their
+    /// storage re-parks on drop).
+    pub fn trim_arenas(&self) -> u64 {
+        self.arenas.iter().map(|a| a.trim()).sum()
     }
 
     /// Requests currently waiting in the queue (not yet dequeued by a
@@ -399,10 +436,12 @@ fn worker_loop(
     counters: &Counters,
     worker_idx: usize,
     max_batch: usize,
+    arena: Option<Arc<StorageArena>>,
 ) {
     // Lane = worker index: each worker's kernels get their own device
-    // stream, so requests overlap on the simulated GPU.
-    let mut session = Session::with_lane(worker_idx);
+    // stream, so requests overlap on the simulated GPU. The session reuses
+    // the engine-owned arena across every request this worker serves.
+    let mut session = Session::with_lane_and_arena(worker_idx, arena);
     let mut batch = Vec::with_capacity(max_batch);
     // Blocking pop; `Err` means the engine dropped its sender — drain ends.
     while let Ok(first) = rx.recv() {
@@ -419,8 +458,15 @@ fn worker_loop(
             // anymore is answered with Expired instead of executed.
             if let Some(deadline) = req.deadline {
                 if Instant::now() >= deadline {
+                    // Release the request's payload (argument tensors and
+                    // any storage already allocated for them) *before*
+                    // replying: a caller observing Expired must be able to
+                    // assert memory is back at its idle baseline without
+                    // racing this worker's cleanup.
+                    let Request { args, reply, .. } = req;
+                    drop(args);
                     counters.expired.fetch_add(1, Ordering::Relaxed);
-                    let _ = req.reply.send(Err(EngineError::Expired));
+                    let _ = reply.send(Err(EngineError::Expired));
                     continue;
                 }
             }

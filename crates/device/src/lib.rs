@@ -26,7 +26,7 @@ pub mod pool;
 pub mod stream;
 
 pub use future::TensorFuture;
-pub use pool::{MemoryPool, PoolStats, StorageBlock};
+pub use pool::{size_class, MemoryPool, PoolStats, StorageBlock};
 pub use stream::GpuStream;
 
 use nimble_tensor::Tensor;

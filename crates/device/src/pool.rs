@@ -47,10 +47,32 @@ impl StorageBlock {
     pub fn bytes(&self) -> &[u8] {
         &self.buf
     }
+
+    /// Mutable access to the backing bytes (the session arena poison-fills
+    /// recycled blocks in debug builds).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+
+    /// Full capacity of the backing buffer (the size class the block was
+    /// drawn from); always `>= size`.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Re-tag the block for a smaller (or equal) request when a cache
+    /// recycles it.
+    ///
+    /// # Panics
+    /// Panics when `nbytes` exceeds the block's capacity.
+    pub fn retag(&mut self, nbytes: usize) {
+        assert!(nbytes <= self.buf.len(), "retag beyond block capacity");
+        self.size = nbytes;
+    }
 }
 
 /// Round a request up to its size class (next power of two, minimum 64).
-fn size_class(nbytes: usize) -> usize {
+pub fn size_class(nbytes: usize) -> usize {
     nbytes.next_power_of_two().max(64)
 }
 

@@ -337,8 +337,11 @@ impl ModelRegistry {
         Ok(old.map(|e| Self::retire(&e)))
     }
 
-    /// Drain an entry's engine and release its pre-packed weights;
-    /// returns its version string.
+    /// Drain an entry's engine (which also trims its worker storage
+    /// arenas back to the device pools) and release its pre-packed
+    /// weights; returns its version string. After retirement the entry
+    /// holds no recycled storage and no packed panels — unload/hot-swap
+    /// returns memory to the pre-load baseline.
     fn retire(entry: &Arc<ModelEntry>) -> String {
         entry.engine.shutdown();
         prepack::release_buffers(&entry.weight_buffers);

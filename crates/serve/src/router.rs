@@ -207,8 +207,18 @@ impl Router {
         self.submit(model, args)?.wait()
     }
 
-    /// Snapshot every model's counters and latency histogram.
+    /// Snapshot every model's counters and latency histogram. Live
+    /// models' storage-arena counters (allocation hits/misses, recycled
+    /// bytes, high-water mark) are refreshed from their engines first;
+    /// unloaded models keep their last-recorded arena numbers as history.
     pub fn stats(&self) -> ServeStats {
+        for (name, _) in self.registry.list() {
+            if let Some(entry) = self.registry.get(&name) {
+                self.telemetry
+                    .model(&name)
+                    .record_arena(entry.engine().arena_stats());
+            }
+        }
         self.telemetry.snapshot()
     }
 

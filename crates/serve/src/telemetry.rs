@@ -14,6 +14,7 @@
 //! to hours in 252 buckets — the standard trade for fixed-size, lock-free
 //! recording.
 
+use nimble_core::ArenaStats;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -190,6 +191,9 @@ pub struct ModelTelemetry {
     rejected_unloaded: AtomicU64,
     rejected_shutdown: AtomicU64,
     latency: Histogram,
+    /// Last-known storage-arena counters for the model's live engine
+    /// (refreshed by `Router::stats`; survives unload as history).
+    arena: RwLock<ArenaStats>,
 }
 
 impl ModelTelemetry {
@@ -230,6 +234,10 @@ impl ModelTelemetry {
         self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_arena(&self, stats: ArenaStats) {
+        *self.arena.write().unwrap() = stats;
+    }
+
     /// Snapshot this model's counters and histogram.
     pub fn snapshot(&self) -> ModelStats {
         ModelStats {
@@ -243,6 +251,7 @@ impl ModelTelemetry {
             rejected_unloaded: self.rejected_unloaded.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            arena: *self.arena.read().unwrap(),
         }
     }
 }
@@ -271,6 +280,9 @@ pub struct ModelStats {
     pub rejected_shutdown: u64,
     /// Latency distribution of completed + failed requests.
     pub latency: HistogramSnapshot,
+    /// Storage-arena allocation counters for the model's engine (summed
+    /// over its workers): hits, misses, recycled bytes, high-water mark.
+    pub arena: ArenaStats,
 }
 
 impl ModelStats {
@@ -320,13 +332,22 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8}",
-            "model", "accepted", "done", "expired", "shed", "p50 ms", "p90 ms", "p99 ms", "max ms"
+            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "model",
+            "accepted",
+            "done",
+            "expired",
+            "shed",
+            "p50 ms",
+            "p90 ms",
+            "p99 ms",
+            "max ms",
+            "arena%"
         )?;
         for (name, m) in &self.models {
             writeln!(
                 f,
-                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.1}",
                 name,
                 m.accepted,
                 m.completed + m.failed,
@@ -336,6 +357,7 @@ impl std::fmt::Display for ServeStats {
                 ms(m.latency.p90()),
                 ms(m.latency.p99()),
                 ms(m.latency.max()),
+                m.arena.hit_rate() * 100.0,
             )?;
         }
         Ok(())
@@ -477,5 +499,22 @@ mod tests {
         // Display renders one row per model.
         let text = format!("{snap}");
         assert!(text.contains("a") && text.contains("b"));
+        assert!(text.contains("arena%"));
+    }
+
+    #[test]
+    fn arena_counters_survive_in_snapshot() {
+        let t = Telemetry::default();
+        let stats = ArenaStats {
+            hits: 9,
+            misses: 1,
+            recycled_bytes: 1024,
+            high_water_bytes: 2048,
+            ..ArenaStats::default()
+        };
+        t.model("m").record_arena(stats);
+        let snap = t.snapshot();
+        assert_eq!(snap.models["m"].arena, stats);
+        assert!((snap.models["m"].arena.hit_rate() - 0.9).abs() < 1e-12);
     }
 }

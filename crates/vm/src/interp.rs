@@ -18,6 +18,7 @@
 //!   frames and the per-run profiler. Each worker thread owns one and
 //!   reuses it across requests.
 
+use crate::arena::{ArenaStats, StorageArena};
 use crate::exe::Executable;
 use crate::isa::Instruction;
 use crate::object::{AdtObj, ClosureObj, FutureObj, Object, StorageHandle, TensorObj};
@@ -30,13 +31,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Per-run mutable state: the register-frame pool and the run's profiler.
+/// Per-run mutable state: the register-frame pool, the storage arena, and
+/// the run's profiler.
 ///
 /// Sessions are cheap to create, and reusing one across runs recycles its
-/// frame allocations (call frames are hot on recursive models). A session
-/// may only be used with one run at a time, but many sessions can execute
+/// frame allocations (call frames are hot on recursive models) *and* its
+/// dynamic-tensor storage (the [`StorageArena`] — blocks freed by one
+/// request serve the next without touching the allocator). A session may
+/// only be used with one run at a time, but many sessions can execute
 /// against the same shared [`VirtualMachine`] concurrently.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Session {
     profiler: Profiler,
     /// Recycled register frames (cleared between uses).
@@ -44,27 +48,64 @@ pub struct Session {
     /// GPU stream lane this session's kernels launch on (wraps modulo the
     /// device set's lane count; irrelevant on CPU-only sets).
     lane: usize,
+    /// Storage recycler for `AllocStorage`/`AllocTensorReg`; `None` runs
+    /// every allocation straight against the device pools
+    /// (`NIMBLE_ARENA=off`, or an explicitly arena-less session).
+    arena: Option<Arc<StorageArena>>,
+}
+
+impl Default for Session {
+    fn default() -> Session {
+        Session::new()
+    }
 }
 
 impl Session {
-    /// A fresh session with an empty frame pool, on lane 0.
+    /// A fresh session with an empty frame pool, on lane 0, with its own
+    /// arena (unless `NIMBLE_ARENA=off`).
     pub fn new() -> Session {
-        Session::default()
+        Session::with_lane(0)
     }
 
     /// A fresh session pinned to a GPU stream lane — concurrent sessions
     /// on distinct lanes overlap on the (simulated) device, the
     /// one-CUDA-stream-per-worker serving pattern.
     pub fn with_lane(lane: usize) -> Session {
+        Session::with_lane_and_arena(lane, StorageArena::shared_default())
+    }
+
+    /// A session on `lane` using the given arena (engine workers pass a
+    /// caller-owned arena so it can be inspected and trimmed from
+    /// outside), or no arena at all.
+    pub fn with_lane_and_arena(lane: usize, arena: Option<Arc<StorageArena>>) -> Session {
         Session {
+            profiler: Profiler::default(),
+            frames: Vec::new(),
             lane,
-            ..Session::default()
+            arena,
         }
+    }
+
+    /// A session that bypasses arena recycling entirely (every storage
+    /// allocation hits the device pool) — the ablation/differential
+    /// baseline.
+    pub fn without_arena() -> Session {
+        Session::with_lane_and_arena(0, None)
     }
 
     /// The session's GPU stream lane.
     pub fn lane(&self) -> usize {
         self.lane
+    }
+
+    /// The session's storage arena, when it has one.
+    pub fn arena(&self) -> Option<&Arc<StorageArena>> {
+        self.arena.as_ref()
+    }
+
+    /// Arena counters (all-zero for arena-less sessions).
+    pub fn arena_stats(&self) -> ArenaStats {
+        self.arena.as_ref().map(|a| a.stats()).unwrap_or_default()
     }
 
     /// Profile of the most recent run through this session (empty until a
@@ -247,6 +288,17 @@ impl VirtualMachine {
         })
     }
 
+    /// Storage allocation for `AllocStorage`/`AllocTensorReg`: through the
+    /// session's arena when it has one (recycled block on hit), straight
+    /// from the device pool otherwise.
+    fn alloc_storage(&self, session: &Session, size: u64, dev: DeviceId) -> Arc<StorageHandle> {
+        let pool = self.devices.pool_arc(dev);
+        Arc::new(match &session.arena {
+            Some(arena) => StorageHandle::alloc_in(arena, pool, size, dev),
+            None => StorageHandle::alloc(pool, size, dev),
+        })
+    }
+
     /// Interned scalar for small non-negative immediates; allocates
     /// otherwise.
     fn small_int(&self, value: i64) -> Object {
@@ -350,11 +402,7 @@ impl VirtualMachine {
                     dst,
                 } => {
                     let dev = DeviceId::from_index(*device as usize);
-                    regs[*dst as usize] = Object::Storage(Arc::new(StorageHandle::alloc(
-                        self.devices.pool_arc(dev),
-                        *size,
-                        dev,
-                    )));
+                    regs[*dst as usize] = Object::Storage(self.alloc_storage(session, *size, dev));
                 }
                 Instruction::AllocTensor {
                     storage,
@@ -385,13 +433,10 @@ impl VirtualMachine {
                         .map(|&d| d as usize)
                         .collect();
                     let dev = DeviceId::from_index(*device as usize);
-                    // Dynamic allocation draws real storage from the pool.
+                    // Dynamic allocation draws real storage — from the
+                    // session arena when one is attached, the pool otherwise.
                     let nbytes: usize = dims.iter().product::<usize>() * dtype.size_of();
-                    let handle = Arc::new(StorageHandle::alloc(
-                        self.devices.pool_arc(dev),
-                        nbytes as u64,
-                        dev,
-                    ));
+                    let handle = self.alloc_storage(session, nbytes as u64, dev);
                     regs[*dst as usize] = Object::placeholder(dims, *dtype, dev, Some(handle));
                 }
                 Instruction::AllocADT { tag, fields, dst } => {

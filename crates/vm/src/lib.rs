@@ -11,8 +11,11 @@
 //! * [`exe`] — the executable: bytecode + constant pool + kernel
 //!   descriptors, serializable to a byte stream and loadable anywhere;
 //! * [`interp`] — the dispatch-loop interpreter with asynchronous GPU
-//!   kernel launch and the per-category profiler behind Table 4.
+//!   kernel launch and the per-category profiler behind Table 4;
+//! * [`arena`] — the per-session storage arena recycling dynamic-tensor
+//!   allocations across requests.
 
+pub mod arena;
 pub mod disasm;
 pub mod exe;
 pub mod interp;
@@ -20,11 +23,12 @@ pub mod isa;
 pub mod object;
 pub mod profiler;
 
+pub use arena::{ArenaStats, StorageArena};
 pub use disasm::disassemble;
 pub use exe::{Executable, KernelDesc, VMFunction};
 pub use interp::{Session, VirtualMachine};
 pub use isa::{Instruction, RegId};
-pub use object::Object;
+pub use object::{Object, StorageHandle};
 pub use profiler::{ProfileReport, Profiler, SharedProfiler};
 
 /// Errors raised while building, serializing, or executing VM programs.

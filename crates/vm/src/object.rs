@@ -5,14 +5,16 @@
 //! reference counted, copied on write, and passed by reference, so
 //! register operations are cheap even for large payloads.
 
+use crate::arena::StorageArena;
 use crate::{Result, VmError};
 use nimble_device::{DeviceId, MemoryPool, StorageBlock, TensorFuture};
 use nimble_tensor::Tensor;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
-/// A storage region allocated by `AllocStorage`; returned to its pool when
-/// the last reference drops.
+/// A storage region allocated by `AllocStorage`; when the last reference
+/// drops the block returns to its session's [`StorageArena`] (recycled for
+/// the next request) or, for arena-less allocations, straight to its pool.
 #[derive(Debug)]
 pub struct StorageHandle {
     /// Requested size in bytes.
@@ -21,10 +23,13 @@ pub struct StorageHandle {
     pub device: DeviceId,
     block: Mutex<Option<StorageBlock>>,
     pool: Arc<MemoryPool>,
+    /// The arena this block recycles into; also keeps the arena alive for
+    /// handles that escape their session (result tensors).
+    arena: Option<Arc<StorageArena>>,
 }
 
 impl StorageHandle {
-    /// Allocate from a pool.
+    /// Allocate from a pool (no recycling on drop).
     pub fn alloc(pool: Arc<MemoryPool>, size: u64, device: DeviceId) -> StorageHandle {
         let block = pool.alloc(size as usize);
         StorageHandle {
@@ -32,14 +37,50 @@ impl StorageHandle {
             device,
             block: Mutex::new(Some(block)),
             pool,
+            arena: None,
         }
+    }
+
+    /// Allocate through an arena: recycled block on hit, `pool.alloc` on
+    /// miss; the block returns to the arena when the handle drops.
+    pub fn alloc_in(
+        arena: &Arc<StorageArena>,
+        pool: Arc<MemoryPool>,
+        size: u64,
+        device: DeviceId,
+    ) -> StorageHandle {
+        let block = arena.acquire(&pool, size as usize, device);
+        StorageHandle {
+            size,
+            device,
+            block: Mutex::new(Some(block)),
+            pool,
+            arena: Some(Arc::clone(arena)),
+        }
+    }
+
+    /// Identity and capacity of the backing block, as
+    /// `(address, capacity)` — test instrumentation for aliasing checks.
+    pub fn block_id(&self) -> Option<(usize, usize)> {
+        self.block
+            .lock()
+            .as_ref()
+            .map(|b| (b.bytes().as_ptr() as usize, b.capacity()))
+    }
+
+    /// Whether this handle recycles into an arena.
+    pub fn arena_backed(&self) -> bool {
+        self.arena.is_some()
     }
 }
 
 impl Drop for StorageHandle {
     fn drop(&mut self) {
         if let Some(block) = self.block.lock().take() {
-            self.pool.free(block);
+            match &self.arena {
+                Some(arena) => arena.release(block, &self.pool, self.device),
+                None => self.pool.free(block),
+            }
         }
     }
 }
@@ -283,6 +324,28 @@ mod tests {
         }
         assert_eq!(pool.stats().live_bytes, 0);
         assert_eq!(pool.stats().frees, 1);
+    }
+
+    #[test]
+    fn arena_backed_handle_recycles_on_drop() {
+        let pool = Arc::new(MemoryPool::new(true));
+        let arena = Arc::new(crate::arena::StorageArena::new());
+        let id1 = {
+            let h = StorageHandle::alloc_in(&arena, Arc::clone(&pool), 100, DeviceId::Cpu);
+            assert!(h.arena_backed());
+            h.block_id().unwrap()
+        };
+        // The block parked in the arena, so the pool still counts it live.
+        assert_eq!(pool.stats().live_bytes, 128);
+        assert_eq!(arena.retained_bytes(), 128);
+        // Same-class allocation reuses it without touching the pool.
+        let h2 = StorageHandle::alloc_in(&arena, Arc::clone(&pool), 90, DeviceId::Cpu);
+        assert_eq!(h2.block_id().unwrap().0, id1.0);
+        assert_eq!(pool.stats().allocs, 1);
+        drop(h2);
+        // Dropping the arena returns parked blocks to the pool.
+        drop(arena);
+        assert_eq!(pool.stats().live_bytes, 0);
     }
 
     #[test]

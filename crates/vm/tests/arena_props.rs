@@ -1,0 +1,132 @@
+//! Property tests for the session storage arena.
+//!
+//! 1. Under random alloc/kill sequences, no two live `StorageHandle`s
+//!    ever alias the same arena block (a double-pop or double-park bug
+//!    would hand one buffer to two owners).
+//! 2. `live_bytes` accounting is exact: at every step the arena's gauge
+//!    equals the summed capacity of the live handles, and it returns to
+//!    zero once every handle is gone; dropping the arena returns every
+//!    parked block to the pool (pool `live_bytes` back to baseline — the
+//!    leak check).
+//! 3. The same holds at the VM level: after running programs through an
+//!    arena session and dropping every result and the session, the arena
+//!    holds no live bytes and the device pool balances.
+
+use nimble_core::{compile, CompileOptions};
+use nimble_device::{size_class, DeviceId, DeviceSet, MemoryPool};
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::{Attrs, DType, Module};
+use nimble_tensor::Tensor;
+use nimble_vm::{Object, Session, StorageArena, StorageHandle, VirtualMachine};
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// One step of a random allocation workload: allocate `size` bytes, or
+/// kill the live handle at `victim` (modulo the live count).
+#[derive(Debug, Clone)]
+enum Step {
+    Alloc(usize),
+    Kill(usize),
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1usize..300_000).prop_map(Step::Alloc),
+            (0usize..64).prop_map(Step::Kill),
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn no_aliasing_and_exact_live_accounting(steps in arb_steps()) {
+        let pool = Arc::new(MemoryPool::new(true));
+        let arena = Arc::new(StorageArena::with_poison(true));
+        let mut live: Vec<Arc<StorageHandle>> = Vec::new();
+        for step in steps {
+            match step {
+                Step::Alloc(size) => {
+                    live.push(Arc::new(StorageHandle::alloc_in(
+                        &arena,
+                        Arc::clone(&pool),
+                        size as u64,
+                        DeviceId::Cpu,
+                    )));
+                }
+                Step::Kill(victim) => {
+                    if !live.is_empty() {
+                        live.swap_remove(victim % live.len());
+                    }
+                }
+            }
+            // No two live handles share a block address.
+            let mut addrs = HashSet::new();
+            for h in &live {
+                let (addr, cap) = h.block_id().unwrap();
+                prop_assert!(addrs.insert(addr), "two live handles alias {addr:#x}");
+                prop_assert!(cap as u64 >= h.size, "capacity below request");
+            }
+            // The live gauge matches the summed class capacity exactly.
+            let expected: u64 = live
+                .iter()
+                .map(|h| size_class(h.size as usize) as u64)
+                .sum();
+            prop_assert_eq!(arena.live_bytes(), expected);
+        }
+        // Kill everything: the arena must read zero live bytes…
+        live.clear();
+        prop_assert_eq!(arena.live_bytes(), 0);
+        // …and dropping the arena must return every parked block, leaving
+        // the pool balanced (no leaked storage).
+        drop(arena);
+        prop_assert_eq!(pool.stats().live_bytes, 0);
+        prop_assert_eq!(pool.stats().allocs, pool.stats().frees + pool.stats().pool_hits);
+    }
+}
+
+fn dynamic_chain_module() -> Module {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+    let a = nimble_ir::Expr::call_op("tanh", vec![x], Attrs::new());
+    let b = nimble_ir::Expr::call_op("relu", vec![a.clone()], Attrs::new());
+    let c = nimble_ir::Expr::call_op("add", vec![a, b], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(c));
+    m
+}
+
+#[test]
+fn session_drop_returns_live_bytes_to_zero() {
+    let (exe, _) = compile(&dynamic_chain_module(), &CompileOptions::default()).unwrap();
+    let devices = Arc::new(DeviceSet::cpu_only());
+    let vm = VirtualMachine::new(exe, Arc::clone(&devices)).unwrap();
+    let baseline = devices.pool(DeviceId::Cpu).stats().live_bytes;
+    let arena = Arc::new(StorageArena::with_poison(true));
+    {
+        let mut session = Session::with_lane_and_arena(0, Some(Arc::clone(&arena)));
+        let mut results = Vec::new();
+        for rows in [2usize, 6, 2, 6, 3] {
+            let x = Object::tensor(Tensor::ones_f32(&[rows, 4]));
+            results.push(vm.run_in(&mut session, "main", vec![x]).unwrap());
+        }
+        // Results (and any storage they escaped with) still alive here.
+        drop(results);
+        drop(session);
+    }
+    // Every handle is gone: nothing is live through the arena.
+    assert_eq!(arena.live_bytes(), 0, "leaked storage: {:?}", arena.stats());
+    // Trim releases the recycled blocks; pool returns to its baseline.
+    arena.trim();
+    assert_eq!(arena.retained_bytes(), 0);
+    assert_eq!(
+        devices.pool(DeviceId::Cpu).stats().live_bytes,
+        baseline,
+        "device pool did not balance after trim"
+    );
+}
