@@ -28,6 +28,7 @@
 
 use crate::Result as CompileResult;
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use nimble_obs::{Category as ObsCat, SpanContext};
 use nimble_vm::{
     ArenaStats, Object, ProfileReport, Session, StorageArena, VirtualMachine, VmError,
 };
@@ -73,6 +74,9 @@ pub struct Completion {
     pub result: std::result::Result<Object, VmError>,
     /// Submit-to-completion time, including time spent queued.
     pub latency: Duration,
+    /// Time spent waiting in the queue before a worker picked the request
+    /// up (`latency ≈ queued + execution`).
+    pub queued: Duration,
     /// Time inside [`VirtualMachine::run_in`] only.
     pub execution: Duration,
     /// Index of the worker thread that served the request.
@@ -108,6 +112,31 @@ struct Request {
     reply: Sender<std::result::Result<Completion, EngineError>>,
     submitted: Instant,
     deadline: Option<Instant>,
+    /// Trace context carried across the queue (the router's, or one the
+    /// engine started itself for direct submissions).
+    ctx: SpanContext,
+    /// Whether this engine made the sampling decision (no upstream trace)
+    /// and therefore records the trace's root span at the terminal state.
+    owns_root: bool,
+    /// Submission time on the obs clock; 0 when the trace is not sampled.
+    submitted_ns: u64,
+}
+
+/// Trace fields for a request being submitted: adopt the caller's context
+/// when one exists, otherwise make the admission sampling decision here.
+fn admission_ctx() -> (SpanContext, bool, u64) {
+    let cur = nimble_obs::current();
+    let (ctx, owns_root) = if cur.is_none() {
+        (nimble_obs::start_trace(), true)
+    } else {
+        (cur, false)
+    };
+    let submitted_ns = if ctx.is_sampled() {
+        nimble_obs::now_ns()
+    } else {
+        0
+    };
+    (ctx, owns_root && ctx.is_sampled(), submitted_ns)
 }
 
 /// Handle to one in-flight request; resolves to a [`Completion`].
@@ -141,6 +170,7 @@ struct Counters {
     completed: AtomicU64,
     expired: AtomicU64,
     latency_ns: AtomicU64,
+    queue_ns: AtomicU64,
     execution_ns: AtomicU64,
     max_latency_ns: AtomicU64,
     batches: AtomicU64,
@@ -157,6 +187,8 @@ pub struct EngineStats {
     pub queue_depth: u64,
     /// Sum of submit-to-completion latencies (ns).
     pub total_latency_ns: u64,
+    /// Sum of queue-wait times — submit to worker pickup (ns).
+    pub total_queue_ns: u64,
     /// Sum of pure execution times (ns).
     pub total_execution_ns: u64,
     /// Worst single-request latency (ns).
@@ -169,6 +201,22 @@ impl EngineStats {
     /// Mean submit-to-completion latency.
     pub fn mean_latency(&self) -> Duration {
         match self.total_latency_ns.checked_div(self.completed) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Mean queue-wait (submit to worker pickup) per completed request.
+    pub fn mean_queue_wait(&self) -> Duration {
+        match self.total_queue_ns.checked_div(self.completed) {
+            Some(ns) => Duration::from_nanos(ns),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Mean pure execution time per completed request.
+    pub fn mean_execution(&self) -> Duration {
+        match self.total_execution_ns.checked_div(self.completed) {
             Some(ns) => Duration::from_nanos(ns),
             None => Duration::ZERO,
         }
@@ -285,12 +333,16 @@ impl Engine {
             return Ticket::closed();
         };
         let (reply_tx, reply_rx) = unbounded();
+        let (ctx, owns_root, submitted_ns) = admission_ctx();
         let req = Request {
             function: function.to_string(),
             args,
             reply: reply_tx,
             submitted: Instant::now(),
             deadline,
+            ctx,
+            owns_root,
+            submitted_ns,
         };
         match queue.send(req) {
             Ok(()) => Ticket { reply: reply_rx },
@@ -337,12 +389,16 @@ impl Engine {
             return Err(EngineError::Closed);
         };
         let (reply_tx, reply_rx) = unbounded();
+        let (ctx, owns_root, submitted_ns) = admission_ctx();
         let req = Request {
             function: function.to_string(),
             args,
             reply: reply_tx,
             submitted: Instant::now(),
             deadline,
+            ctx,
+            owns_root,
+            submitted_ns,
         };
         match queue.try_send(req) {
             Ok(()) => Ok(Ticket { reply: reply_rx }),
@@ -410,6 +466,7 @@ impl Engine {
             expired: self.counters.expired.load(Ordering::Relaxed),
             queue_depth: self.queue_depth() as u64,
             total_latency_ns: self.counters.latency_ns.load(Ordering::Relaxed),
+            total_queue_ns: self.counters.queue_ns.load(Ordering::Relaxed),
             total_execution_ns: self.counters.execution_ns.load(Ordering::Relaxed),
             max_latency_ns: self.counters.max_latency_ns.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
@@ -454,6 +511,23 @@ fn worker_loop(
         }
         counters.batches.fetch_add(1, Ordering::Relaxed);
         for req in batch.drain(..) {
+            // Queue wait ends the moment this worker picks the request up
+            // (also recorded as a span under the request's trace).
+            let queued = req.submitted.elapsed();
+            let dequeued_ns = if req.ctx.is_sampled() {
+                let now = nimble_obs::now_ns();
+                nimble_obs::record_under(
+                    req.ctx,
+                    "engine.queue",
+                    ObsCat::Engine,
+                    req.submitted_ns,
+                    now,
+                    0,
+                );
+                now
+            } else {
+                0
+            };
             // Deadline-aware dequeue: a request nobody is waiting for
             // anymore is answered with Expired instead of executed.
             if let Some(deadline) = req.deadline {
@@ -463,21 +537,55 @@ fn worker_loop(
                     // replying: a caller observing Expired must be able to
                     // assert memory is back at its idle baseline without
                     // racing this worker's cleanup.
-                    let Request { args, reply, .. } = req;
+                    let Request {
+                        args,
+                        reply,
+                        ctx,
+                        owns_root,
+                        submitted_ns,
+                        ..
+                    } = req;
                     drop(args);
                     counters.expired.fetch_add(1, Ordering::Relaxed);
+                    if owns_root {
+                        nimble_obs::record_root(
+                            ctx,
+                            "engine.request",
+                            ObsCat::Engine,
+                            submitted_ns,
+                            dequeued_ns,
+                            2,
+                        );
+                    }
                     let _ = reply.send(Err(EngineError::Expired));
                     continue;
                 }
             }
             let exec_start = Instant::now();
-            let result = vm.run_in(&mut session, &req.function, req.args);
+            let result = {
+                let _g = nimble_obs::enter(req.ctx);
+                let _s = nimble_obs::span_full("engine.run", ObsCat::Engine, worker_idx as u64);
+                vm.run_in(&mut session, &req.function, req.args)
+            };
             let execution = exec_start.elapsed();
             let latency = req.submitted.elapsed();
+            if req.owns_root {
+                nimble_obs::record_root(
+                    req.ctx,
+                    "engine.request",
+                    ObsCat::Engine,
+                    req.submitted_ns,
+                    nimble_obs::now_ns(),
+                    if result.is_ok() { 0 } else { 1 },
+                );
+            }
             counters.completed.fetch_add(1, Ordering::Relaxed);
             counters
                 .latency_ns
                 .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+            counters
+                .queue_ns
+                .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
             counters
                 .execution_ns
                 .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
@@ -488,6 +596,7 @@ fn worker_loop(
             let _ = req.reply.send(Ok(Completion {
                 result,
                 latency,
+                queued,
                 execution,
                 worker: worker_idx,
             }));
@@ -650,6 +759,35 @@ mod tests {
         let stats = engine.stats();
         assert_eq!(stats.expired, 1);
         assert_eq!(stats.completed, 1);
+    }
+
+    #[test]
+    fn queue_exec_latency_split() {
+        let engine = Engine::new(
+            identity_plus_one_vm(),
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 64,
+                max_batch: 2,
+            },
+        )
+        .unwrap();
+        let tickets: Vec<Ticket> = (0..8)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        for t in tickets {
+            let done = t.wait().unwrap();
+            assert!(done.result.is_ok());
+            // Queue wait ends before execution starts, and both fit inside
+            // the end-to-end latency.
+            assert!(done.latency >= done.queued);
+            assert!(done.latency >= done.queued + done.execution);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 8);
+        assert!(stats.total_latency_ns >= stats.total_queue_ns + stats.total_execution_ns);
+        assert!(stats.mean_latency() >= stats.mean_queue_wait());
+        assert!(stats.mean_latency() >= stats.mean_execution());
     }
 
     #[test]

@@ -78,17 +78,27 @@ impl GpuStream {
         }
     }
 
-    /// Enqueue a kernel job; returns immediately.
+    /// Enqueue a kernel job; returns immediately. The launcher's trace
+    /// context rides along so the device-side execution span parents under
+    /// the launching kernel span despite running on the stream thread.
     pub fn launch(&self, job: impl FnOnce() + Send + 'static) {
         self.launches.fetch_add(1, Ordering::Relaxed);
         {
             let mut c = self.outstanding.count.lock();
             *c += 1;
         }
+        let ctx = nimble_obs::current();
+        let job: Job = if ctx.is_sampled() {
+            Box::new(move || {
+                let _g = nimble_obs::enter(ctx);
+                let _s = nimble_obs::span_cat("gpu.kernel", nimble_obs::Category::Device);
+                job();
+            })
+        } else {
+            Box::new(job)
+        };
         // The send itself is the (real) launch overhead.
-        self.sender
-            .send(Box::new(job))
-            .expect("GPU stream thread terminated");
+        self.sender.send(job).expect("GPU stream thread terminated");
     }
 
     /// Block until every enqueued job has retired.

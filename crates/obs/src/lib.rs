@@ -1,0 +1,859 @@
+//! # nimble-obs
+//!
+//! End-to-end request observability for the Nimble serving stack: a
+//! per-thread span recorder with request-scoped trace propagation, plus
+//! unified exporters ([`export::chrome_trace`] for `about:tracing` /
+//! Perfetto, [`export::prometheus`] for scrape-able metrics).
+//!
+//! ## Design
+//!
+//! * **Spans** are `(trace, id, parent, name, category, start, duration)`
+//!   records. A [`span`] guard measures the region between its creation
+//!   and drop and parents itself under the thread's current span; closed
+//!   spans are pushed into a **per-thread bounded buffer** whose writer
+//!   path is lock-free (the owning thread appends with plain atomic word
+//!   stores and publishes with one release store; exporters read
+//!   concurrently with acquire loads and a generation re-check). When a
+//!   buffer fills, further spans are *dropped and counted* — memory stays
+//!   bounded, and [`dropped_spans`] reports the loss instead of hiding it.
+//! * **Traces** are started at an admission point ([`start_trace`]) which
+//!   makes the sampling decision once per request; everything downstream
+//!   inherits the decision through the thread-local [`SpanContext`]
+//!   (explicitly carried across queues/threads with [`current`] +
+//!   [`enter`]).
+//! * **Sampling switch**: `NIMBLE_TRACE=off|sampled:<N>|all` (also
+//!   settable programmatically with [`set_mode`]). The disabled fast path
+//!   of every instrumentation site is a single relaxed atomic load — no
+//!   clock read, no TLS access, no allocation.
+//!
+//! Span names must be `&'static str` so records stay plain words; dynamic
+//! names (kernel names, model names) are interned once with [`intern`].
+
+pub mod export;
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Spans retained per thread buffer; one record is eight `u64` words, so
+/// this bounds each thread's trace memory at 512 KiB.
+pub const THREAD_BUFFER_SPANS: usize = 8192;
+
+const WORDS: usize = 8;
+
+/// Process-wide tracing mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceMode {
+    /// Record nothing; every instrumentation site reduces to one relaxed
+    /// atomic load.
+    Off,
+    /// Record one of every `N` traces (decided at [`start_trace`]).
+    Sampled(u64),
+    /// Record every trace.
+    All,
+}
+
+/// Coarse span categories, mirrored into the Chrome export's `cat` field
+/// and aligned with the VM profiler's kernel/shape-func/other buckets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Category {
+    /// Anything without a more specific bucket.
+    Other = 0,
+    /// Compute-kernel execution (`InvokePacked` on a compute kernel).
+    Kernel = 1,
+    /// Shape-function execution.
+    ShapeFunc = 2,
+    /// VM interpretation (dispatch loop, instruction spans).
+    Vm = 3,
+    /// Engine queueing and per-request execution.
+    Engine = 4,
+    /// Serving front door (router admission to reply).
+    Serve = 5,
+    /// Data-parallel worker-pool chunks (GEMM microkernels, packing).
+    Pool = 6,
+    /// Device-side work (simulated GPU stream, lane synchronization).
+    Device = 7,
+}
+
+impl Category {
+    fn from_u8(v: u8) -> Category {
+        match v {
+            1 => Category::Kernel,
+            2 => Category::ShapeFunc,
+            3 => Category::Vm,
+            4 => Category::Engine,
+            5 => Category::Serve,
+            6 => Category::Pool,
+            7 => Category::Device,
+            _ => Category::Other,
+        }
+    }
+
+    /// The Chrome trace-event `cat` string.
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::Other => "other",
+            Category::Kernel => "kernel",
+            Category::ShapeFunc => "shape_func",
+            Category::Vm => "vm",
+            Category::Engine => "engine",
+            Category::Serve => "serve",
+            Category::Pool => "pool",
+            Category::Device => "device",
+        }
+    }
+}
+
+/// Trace id marking "a sampling decision was made, and it was *no*".
+/// Distinct from 0 ("no trace context at all") so a downstream layer does
+/// not make a second, independent sampling decision for the same request.
+const SUPPRESSED: u64 = u64::MAX;
+
+/// The propagation handle: which trace (if any) the current work belongs
+/// to and which span is its parent. `Copy` so it can ride through request
+/// queues and closures for free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace id; 0 = no context, `u64::MAX` = sampled out.
+    pub trace: u64,
+    /// Parent span id within the trace (the trace root's own id for a
+    /// freshly started trace).
+    pub span: u64,
+}
+
+impl SpanContext {
+    /// No context at all (downstream layers may start their own trace).
+    pub const NONE: SpanContext = SpanContext { trace: 0, span: 0 };
+
+    /// Whether spans under this context are recorded.
+    pub fn is_sampled(self) -> bool {
+        self.trace != 0 && self.trace != SUPPRESSED
+    }
+
+    /// Whether no sampling decision has been made yet.
+    pub fn is_none(self) -> bool {
+        self.trace == 0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mode + ids + clock
+
+const MODE_UNINIT: u64 = u64::MAX;
+const MODE_OFF: u64 = 0;
+const MODE_ALL: u64 = 1;
+
+static MODE: AtomicU64 = AtomicU64::new(MODE_UNINIT);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_TRACE_ID: AtomicU64 = AtomicU64::new(1);
+static SAMPLE_COUNTER: AtomicU64 = AtomicU64::new(0);
+/// Bumped by [`reset`]; buffers lazily self-clear when they notice.
+static GENERATION: AtomicU64 = AtomicU64::new(1);
+
+fn parse_env_mode() -> u64 {
+    match std::env::var("NIMBLE_TRACE") {
+        Ok(v) => {
+            let v = v.to_ascii_lowercase();
+            match v.as_str() {
+                "" | "off" | "0" | "false" | "none" => MODE_OFF,
+                "all" | "on" | "1" | "true" => MODE_ALL,
+                _ => match v
+                    .strip_prefix("sampled:")
+                    .and_then(|n| n.parse::<u64>().ok())
+                {
+                    Some(0) => MODE_OFF,
+                    Some(1) => MODE_ALL,
+                    Some(n) => n,
+                    None => MODE_OFF,
+                },
+            }
+        }
+        Err(_) => MODE_OFF,
+    }
+}
+
+/// The raw mode word; initializes from `NIMBLE_TRACE` on first use. The
+/// hot path is the single relaxed load (the env parse runs at most a
+/// handful of times under a startup race, with an identical result).
+#[inline]
+fn mode_raw() -> u64 {
+    let m = MODE.load(Ordering::Relaxed);
+    if m != MODE_UNINIT {
+        return m;
+    }
+    let parsed = parse_env_mode();
+    MODE.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Whether tracing is on at all (the one-load fast path).
+#[inline]
+pub fn enabled() -> bool {
+    mode_raw() != MODE_OFF
+}
+
+/// Override the process-wide trace mode (tests and benchmarks; production
+/// uses the `NIMBLE_TRACE` environment variable).
+pub fn set_mode(mode: TraceMode) {
+    let v = match mode {
+        TraceMode::Off => MODE_OFF,
+        TraceMode::All => MODE_ALL,
+        TraceMode::Sampled(n) => match n {
+            0 => MODE_OFF,
+            1 => MODE_ALL,
+            n => n,
+        },
+    };
+    MODE.store(v, Ordering::Relaxed);
+}
+
+/// The current process-wide trace mode.
+pub fn mode() -> TraceMode {
+    match mode_raw() {
+        MODE_OFF => TraceMode::Off,
+        MODE_ALL => TraceMode::All,
+        n => TraceMode::Sampled(n),
+    }
+}
+
+fn epoch() -> &'static Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    EPOCH.get_or_init(Instant::now)
+}
+
+/// Nanoseconds since the process trace epoch (first obs use). All span
+/// timestamps share this clock.
+#[inline]
+pub fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+fn next_span_id() -> u64 {
+    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread recorder
+
+/// One recorded span, decoded from the thread buffers by [`snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span id (unique per process run).
+    pub id: u64,
+    /// Parent span id; 0 for trace roots.
+    pub parent: u64,
+    /// Trace this span belongs to.
+    pub trace: u64,
+    /// Start, nanoseconds on the [`now_ns`] clock.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Static (or interned) span name.
+    pub name: &'static str,
+    /// Coarse bucket.
+    pub cat: Category,
+    /// Free-form argument (bytes, chunk index, outcome code...).
+    pub arg: u64,
+    /// Recorder-thread id (buffer registration order, not OS tid).
+    pub tid: u64,
+}
+
+struct ThreadBuf {
+    tid: u64,
+    gen: AtomicU64,
+    len: AtomicUsize,
+    dropped: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+impl ThreadBuf {
+    fn new(tid: u64) -> ThreadBuf {
+        ThreadBuf {
+            tid,
+            gen: AtomicU64::new(GENERATION.load(Ordering::Relaxed)),
+            len: AtomicUsize::new(0),
+            dropped: AtomicU64::new(0),
+            slots: (0..THREAD_BUFFER_SPANS * WORDS)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Owner-thread append. Slots below the published `len` are never
+    /// rewritten within a generation, so readers need no lock.
+    fn push(&self, rec: [u64; WORDS]) {
+        let g = GENERATION.load(Ordering::Relaxed);
+        if self.gen.load(Ordering::Relaxed) != g {
+            self.len.store(0, Ordering::Release);
+            self.dropped.store(0, Ordering::Relaxed);
+            self.gen.store(g, Ordering::Release);
+        }
+        let n = self.len.load(Ordering::Relaxed);
+        if n >= THREAD_BUFFER_SPANS {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let base = n * WORDS;
+        for (i, w) in rec.iter().enumerate() {
+            self.slots[base + i].store(*w, Ordering::Relaxed);
+        }
+        self.len.store(n + 1, Ordering::Release);
+    }
+
+    /// Concurrent read of every record published under generation `g`.
+    /// A generation change mid-read (a concurrent [`reset`] plus reuse)
+    /// is detected and the buffer discarded; torn word reads before the
+    /// re-check are plain atomic loads, never dereferenced.
+    fn read_into(&self, g: u64, out: &mut Vec<SpanRecord>) {
+        if self.gen.load(Ordering::Acquire) != g {
+            return;
+        }
+        let n = self.len.load(Ordering::Acquire).min(THREAD_BUFFER_SPANS);
+        let mut raw = Vec::with_capacity(n);
+        for i in 0..n {
+            let base = i * WORDS;
+            let mut rec = [0u64; WORDS];
+            for (j, w) in rec.iter_mut().enumerate() {
+                *w = self.slots[base + j].load(Ordering::Relaxed);
+            }
+            raw.push(rec);
+        }
+        if self.gen.load(Ordering::Acquire) != g {
+            return;
+        }
+        for rec in raw {
+            // SAFETY: generation unchanged across the read, so every slot
+            // below `n` holds a fully published record whose name words
+            // came from a `&'static str` (literal or interned leak).
+            let name: &'static str = unsafe {
+                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+                    rec[5] as *const u8,
+                    rec[6] as usize,
+                ))
+            };
+            out.push(SpanRecord {
+                id: rec[0],
+                parent: rec[1],
+                trace: rec[2],
+                start_ns: rec[3],
+                dur_ns: rec[4],
+                name,
+                cat: Category::from_u8((rec[7] >> 56) as u8),
+                arg: rec[7] & ((1u64 << 56) - 1),
+                tid: self.tid,
+            });
+        }
+    }
+}
+
+fn registry() -> &'static Mutex<Vec<Arc<ThreadBuf>>> {
+    static REGISTRY: OnceLock<Mutex<Vec<Arc<ThreadBuf>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static CURRENT: Cell<SpanContext> = const { Cell::new(SpanContext::NONE) };
+    static LOCAL_BUF: std::cell::OnceCell<Arc<ThreadBuf>> = const { std::cell::OnceCell::new() };
+}
+
+fn with_local_buf(f: impl FnOnce(&ThreadBuf)) {
+    LOCAL_BUF.with(|cell| {
+        let buf = cell.get_or_init(|| {
+            let mut reg = registry().lock().unwrap();
+            let buf = Arc::new(ThreadBuf::new(reg.len() as u64 + 1));
+            reg.push(Arc::clone(&buf));
+            buf
+        });
+        f(buf);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_record(
+    trace: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    cat: Category,
+    start_ns: u64,
+    end_ns: u64,
+    arg: u64,
+) {
+    let meta = ((cat as u64) << 56) | (arg & ((1u64 << 56) - 1));
+    with_local_buf(|buf| {
+        buf.push([
+            id,
+            parent,
+            trace,
+            start_ns,
+            end_ns.saturating_sub(start_ns),
+            name.as_ptr() as u64,
+            name.len() as u64,
+            meta,
+        ]);
+    });
+}
+
+/// Decode every span recorded since the last [`reset`], across all
+/// threads (including threads that have since exited). Order is
+/// per-thread append order; sort by `start_ns` for a timeline.
+pub fn snapshot() -> Vec<SpanRecord> {
+    let g = GENERATION.load(Ordering::Acquire);
+    let bufs: Vec<Arc<ThreadBuf>> = registry().lock().unwrap().clone();
+    let mut out = Vec::new();
+    for buf in bufs {
+        buf.read_into(g, &mut out);
+    }
+    out
+}
+
+/// Spans dropped on buffer overflow since the last [`reset`].
+pub fn dropped_spans() -> u64 {
+    let g = GENERATION.load(Ordering::Acquire);
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|b| b.gen.load(Ordering::Acquire) == g)
+        .map(|b| b.dropped.load(Ordering::Relaxed))
+        .sum()
+}
+
+/// Spans currently retained (readable by [`snapshot`]).
+pub fn recorded_spans() -> u64 {
+    let g = GENERATION.load(Ordering::Acquire);
+    registry()
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|b| b.gen.load(Ordering::Acquire) == g)
+        .map(|b| b.len.load(Ordering::Acquire) as u64)
+        .sum()
+}
+
+/// Discard all recorded spans (bumps the generation; thread buffers clear
+/// lazily on their next record).
+pub fn reset() {
+    GENERATION.fetch_add(1, Ordering::AcqRel);
+}
+
+// ---------------------------------------------------------------------------
+// Context + guards
+
+/// The calling thread's current span context ([`SpanContext::NONE`] when
+/// tracing is off or nothing is active).
+#[inline]
+pub fn current() -> SpanContext {
+    if !enabled() {
+        return SpanContext::NONE;
+    }
+    CURRENT.with(|c| c.get())
+}
+
+/// Make the admission-time sampling decision and open a new trace.
+/// Returns a sampled context (whose `span` is the pre-allocated root span
+/// id — record it later with [`record_root`]), a suppressed context
+/// (decision made, not sampled), or [`SpanContext::NONE`] when off.
+pub fn start_trace() -> SpanContext {
+    match mode_raw() {
+        MODE_OFF => SpanContext::NONE,
+        MODE_ALL => SpanContext {
+            trace: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+            span: next_span_id(),
+        },
+        n => {
+            if SAMPLE_COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(n)
+            {
+                SpanContext {
+                    trace: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+                    span: next_span_id(),
+                }
+            } else {
+                SpanContext {
+                    trace: SUPPRESSED,
+                    span: 0,
+                }
+            }
+        }
+    }
+}
+
+/// Restores the previous thread context on drop (see [`enter`]).
+#[must_use]
+pub struct ContextGuard {
+    prev: SpanContext,
+    active: bool,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if self.active {
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Adopt `ctx` as the calling thread's current context (cross-thread
+/// propagation: workers enter the context a request carried through a
+/// queue). A no-op guard when tracing is off.
+pub fn enter(ctx: SpanContext) -> ContextGuard {
+    if !enabled() {
+        return ContextGuard {
+            prev: SpanContext::NONE,
+            active: false,
+        };
+    }
+    let prev = CURRENT.with(|c| c.replace(ctx));
+    ContextGuard { prev, active: true }
+}
+
+/// A live span: measures creation-to-drop and records itself into the
+/// thread buffer on drop. Inert (a boolean check) when tracing is off or
+/// the current trace is not sampled.
+#[must_use]
+pub struct Span {
+    active: bool,
+    trace: u64,
+    id: u64,
+    parent: u64,
+    start_ns: u64,
+    name: &'static str,
+    cat: Category,
+    arg: u64,
+    prev: SpanContext,
+}
+
+impl Span {
+    const INERT: Span = Span {
+        active: false,
+        trace: 0,
+        id: 0,
+        parent: 0,
+        start_ns: 0,
+        name: "",
+        cat: Category::Other,
+        arg: 0,
+        prev: SpanContext::NONE,
+    };
+
+    /// Whether this span will produce a record (the enclosing trace is
+    /// sampled).
+    pub fn is_recording(&self) -> bool {
+        self.active
+    }
+
+    /// This span's context (children recorded under it); NONE when inert.
+    pub fn context(&self) -> SpanContext {
+        if self.active {
+            SpanContext {
+                trace: self.trace,
+                span: self.id,
+            }
+        } else {
+            SpanContext::NONE
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.active {
+            let end = now_ns();
+            push_record(
+                self.trace,
+                self.id,
+                self.parent,
+                self.name,
+                self.cat,
+                self.start_ns,
+                end,
+                self.arg,
+            );
+            CURRENT.with(|c| c.set(self.prev));
+        }
+    }
+}
+
+/// Open a child span of the thread's current context.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    span_full(name, Category::Other, 0)
+}
+
+/// [`span`] with an explicit category.
+#[inline]
+pub fn span_cat(name: &'static str, cat: Category) -> Span {
+    span_full(name, cat, 0)
+}
+
+/// [`span`] with an explicit category and argument word (56 bits kept).
+#[inline]
+pub fn span_full(name: &'static str, cat: Category, arg: u64) -> Span {
+    if !enabled() {
+        return Span::INERT;
+    }
+    let parent = CURRENT.with(|c| c.get());
+    if !parent.is_sampled() {
+        return Span::INERT;
+    }
+    let id = next_span_id();
+    CURRENT.with(|c| {
+        c.set(SpanContext {
+            trace: parent.trace,
+            span: id,
+        })
+    });
+    Span {
+        active: true,
+        trace: parent.trace,
+        id,
+        parent: parent.span,
+        start_ns: now_ns(),
+        name,
+        cat,
+        arg,
+        prev: parent,
+    }
+}
+
+/// Like [`span_full`], but when the thread has *no* context at all, make
+/// a fresh sampling decision and become a trace root. Lets a bare
+/// `VirtualMachine::run` produce a trace without a serving stack above
+/// it, while nesting normally when one exists.
+pub fn root_span_full(name: &'static str, cat: Category, arg: u64) -> Span {
+    if !enabled() {
+        return Span::INERT;
+    }
+    let cur = CURRENT.with(|c| c.get());
+    if !cur.is_none() {
+        return span_full(name, cat, arg);
+    }
+    let ctx = start_trace();
+    if !ctx.is_sampled() {
+        return Span::INERT;
+    }
+    CURRENT.with(|c| c.set(ctx));
+    Span {
+        active: true,
+        trace: ctx.trace,
+        id: ctx.span,
+        parent: 0,
+        start_ns: now_ns(),
+        name,
+        cat,
+        arg,
+        prev: cur,
+    }
+}
+
+/// Record an already-measured interval as a child of `parent` (used for
+/// cross-thread intervals like queue wait, where no guard can live).
+/// Returns the new span's id, or 0 when not recorded.
+pub fn record_under(
+    parent: SpanContext,
+    name: &'static str,
+    cat: Category,
+    start_ns: u64,
+    end_ns: u64,
+    arg: u64,
+) -> u64 {
+    if !enabled() || !parent.is_sampled() {
+        return 0;
+    }
+    let id = next_span_id();
+    push_record(
+        parent.trace,
+        id,
+        parent.span,
+        name,
+        cat,
+        start_ns,
+        end_ns,
+        arg,
+    );
+    id
+}
+
+/// Record an already-measured interval as a child of the thread's current
+/// context.
+pub fn record_current(name: &'static str, cat: Category, start_ns: u64, end_ns: u64, arg: u64) {
+    record_under(current(), name, cat, start_ns, end_ns, arg);
+}
+
+/// Record the root span of a trace started with [`start_trace`] (its id
+/// was pre-allocated as `ctx.span`); call once, when the request reaches
+/// its terminal state.
+pub fn record_root(
+    ctx: SpanContext,
+    name: &'static str,
+    cat: Category,
+    start_ns: u64,
+    end_ns: u64,
+    arg: u64,
+) {
+    if !enabled() || !ctx.is_sampled() {
+        return;
+    }
+    push_record(ctx.trace, ctx.span, 0, name, cat, start_ns, end_ns, arg);
+}
+
+// ---------------------------------------------------------------------------
+// Interning
+
+/// Intern a dynamic name (kernel name, model name) into a `&'static str`
+/// usable in span records. Leaks once per unique string — callers intern
+/// at load/registration time, not per request.
+pub fn intern(name: &str) -> &'static str {
+    static INTERNED: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let map = INTERNED.get_or_init(|| Mutex::new(HashMap::new()));
+    let mut map = map.lock().unwrap();
+    if let Some(s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+    map.insert(name.to_string(), leaked);
+    leaked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-mode tests share process state; serialize them.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static M: Mutex<()> = Mutex::new(());
+        M.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn off_mode_records_nothing() {
+        let _l = lock();
+        set_mode(TraceMode::Off);
+        reset();
+        let ctx = start_trace();
+        assert!(ctx.is_none());
+        let s = span("noop");
+        assert!(!s.is_recording());
+        drop(s);
+        assert_eq!(snapshot().len(), 0);
+    }
+
+    #[test]
+    fn spans_nest_and_record() {
+        let _l = lock();
+        set_mode(TraceMode::All);
+        reset();
+        let ctx = start_trace();
+        assert!(ctx.is_sampled());
+        {
+            let _g = enter(ctx);
+            let outer = span_cat("outer", Category::Engine);
+            let outer_id = outer.context().span;
+            {
+                let inner = span("inner");
+                assert_eq!(inner.context().trace, ctx.trace);
+                assert!(inner.is_recording());
+            }
+            drop(outer);
+            record_root(ctx, "root", Category::Serve, 0, now_ns(), 7);
+            let recs = snapshot();
+            assert_eq!(recs.len(), 3);
+            let inner = recs.iter().find(|r| r.name == "inner").unwrap();
+            let outer = recs.iter().find(|r| r.name == "outer").unwrap();
+            let root = recs.iter().find(|r| r.name == "root").unwrap();
+            assert_eq!(inner.parent, outer_id);
+            assert_eq!(outer.id, outer_id);
+            assert_eq!(outer.parent, ctx.span);
+            assert_eq!(root.id, ctx.span);
+            assert_eq!(root.parent, 0);
+            assert_eq!(root.arg, 7);
+            assert_eq!(outer.cat, Category::Engine);
+            assert!(recs.iter().all(|r| r.trace == ctx.trace));
+        }
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn sampling_takes_one_in_n() {
+        let _l = lock();
+        set_mode(TraceMode::Sampled(4));
+        reset();
+        let sampled = (0..100).filter(|_| start_trace().is_sampled()).count();
+        assert_eq!(sampled, 25);
+        // Suppressed contexts do not let children record or re-sample.
+        let ctx = SpanContext {
+            trace: SUPPRESSED,
+            span: 0,
+        };
+        let _g = enter(ctx);
+        assert!(!span("child").is_recording());
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let _l = lock();
+        set_mode(TraceMode::All);
+        reset();
+        let ctx = start_trace();
+        let _g = enter(ctx);
+        let extra = 100u64;
+        for _ in 0..THREAD_BUFFER_SPANS as u64 + extra {
+            drop(span("s"));
+        }
+        // This thread's buffer is full: every further span drops.
+        assert!(dropped_spans() >= extra);
+        assert!(recorded_spans() <= THREAD_BUFFER_SPANS as u64);
+        reset();
+        // After reset the buffer self-clears on next use.
+        drop(span("fresh"));
+        assert_eq!(dropped_spans(), 0);
+        assert_eq!(snapshot().len(), 1);
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn cross_thread_propagation() {
+        let _l = lock();
+        set_mode(TraceMode::All);
+        reset();
+        let ctx = start_trace();
+        let h = std::thread::spawn(move || {
+            let _g = enter(ctx);
+            drop(span_full("worker", Category::Pool, 3));
+        });
+        h.join().unwrap();
+        let recs = snapshot();
+        let w = recs.iter().find(|r| r.name == "worker").unwrap();
+        assert_eq!(w.trace, ctx.trace);
+        assert_eq!(w.parent, ctx.span);
+        assert_eq!(w.arg, 3);
+        set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let a = intern("kernel:dense_0");
+        let b = intern("kernel:dense_0");
+        assert_eq!(a.as_ptr(), b.as_ptr());
+        assert_eq!(a, "kernel:dense_0");
+    }
+
+    #[test]
+    fn env_mode_parsing() {
+        // Parse logic only (the env var itself is read once, lazily).
+        assert_eq!(
+            "sampled:16"
+                .strip_prefix("sampled:")
+                .unwrap()
+                .parse::<u64>()
+                .unwrap_or_default(),
+            16
+        );
+    }
+}

@@ -18,9 +18,13 @@
 //! invariant the router tests and the `serve_mix` smoke gate assert.
 
 use crate::registry::ModelRegistry;
-use crate::telemetry::{ModelTelemetry, ServeStats, Telemetry};
+use crate::telemetry::{HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry};
 use nimble_core::{Completion, EngineError};
+use nimble_device::DeviceId;
+use nimble_obs::export::{register_collector, CollectorHandle, PromBuf};
+use nimble_obs::{Category as ObsCat, SpanContext};
 use nimble_vm::Object;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -70,6 +74,11 @@ pub struct ServeTicket {
     ticket: nimble_core::Ticket,
     telemetry: Arc<ModelTelemetry>,
     model: String,
+    /// Trace context assigned at admission; the serve root span is
+    /// recorded when the request reaches its terminal state.
+    ctx: SpanContext,
+    admitted_ns: u64,
+    root_name: &'static str,
 }
 
 impl ServeTicket {
@@ -86,30 +95,45 @@ impl ServeTicket {
     /// replying (worker panic — never part of a graceful drain, which
     /// completes accepted work).
     pub fn wait(self) -> Result<Completion, Rejected> {
-        match self.ticket.wait() {
+        let (result, outcome) = match self.ticket.wait() {
             Ok(completion) => {
-                self.telemetry
-                    .record_completed(completion.latency, completion.result.is_ok());
-                Ok(completion)
+                let ok = completion.result.is_ok();
+                self.telemetry.record_queue(completion.queued);
+                self.telemetry.record_completed(completion.latency, ok);
+                (Ok(completion), if ok { 0 } else { 1 })
             }
             Err(EngineError::Expired) => {
                 self.telemetry.record_expired();
-                Err(Rejected::Expired)
+                (Err(Rejected::Expired), 2)
             }
             Err(_) => {
                 self.telemetry.record_lost();
-                Err(Rejected::Unloaded)
+                (Err(Rejected::Unloaded), 3)
             }
+        };
+        if self.ctx.is_sampled() {
+            nimble_obs::record_root(
+                self.ctx,
+                self.root_name,
+                ObsCat::Serve,
+                self.admitted_ns,
+                nimble_obs::now_ns(),
+                outcome,
+            );
         }
+        result
     }
 }
 
 /// Multi-model serving front door over a shared [`ModelRegistry`].
 pub struct Router {
     registry: Arc<ModelRegistry>,
-    telemetry: Telemetry,
+    telemetry: Arc<Telemetry>,
     config: RouterConfig,
     draining: AtomicBool,
+    /// Keeps this router's Prometheus collector registered with
+    /// `nimble_obs::export`; dropping the router retires it.
+    _collector: CollectorHandle,
 }
 
 impl std::fmt::Debug for Router {
@@ -122,13 +146,27 @@ impl std::fmt::Debug for Router {
 }
 
 impl Router {
-    /// A router over `registry`.
+    /// A router over `registry`. Registers a Prometheus collector so
+    /// [`nimble_obs::export::prometheus`] includes this router's serve
+    /// histograms, arena/pool counters, and VM profile for as long as the
+    /// router lives.
     pub fn new(registry: Arc<ModelRegistry>, config: RouterConfig) -> Router {
+        let telemetry = Arc::new(Telemetry::default());
+        let collector = {
+            let telemetry = Arc::downgrade(&telemetry);
+            let registry = Arc::downgrade(&registry);
+            register_collector(move |buf| {
+                if let (Some(t), Some(r)) = (telemetry.upgrade(), registry.upgrade()) {
+                    collect_serve_metrics(&t, &r, buf);
+                }
+            })
+        };
         Router {
             registry,
-            telemetry: Telemetry::default(),
+            telemetry,
             config,
             draining: AtomicBool::new(false),
+            _collector: collector,
         }
     }
 
@@ -167,15 +205,37 @@ impl Router {
             telemetry.record_rejected_unloaded();
             return Err(Rejected::Unloaded);
         };
-        let admitted = match deadline {
-            Some(d) => {
-                if d <= Instant::now() {
-                    telemetry.record_rejected_expired();
-                    return Err(Rejected::Expired);
-                }
-                entry.engine().try_submit_with_deadline("main", args, d)
+        if let Some(d) = deadline {
+            if d <= Instant::now() {
+                telemetry.record_rejected_expired();
+                return Err(Rejected::Expired);
             }
+        }
+        // Admission is where the trace id is assigned: the engine adopts
+        // this context (its spans nest under the serve root), and the root
+        // span itself is recorded at the terminal state in `wait`.
+        let ctx = nimble_obs::start_trace();
+        let (admitted_ns, root_name) = if ctx.is_sampled() {
+            (nimble_obs::now_ns(), nimble_obs::intern(model))
+        } else {
+            (0, "")
+        };
+        let _g = nimble_obs::enter(ctx);
+        let admitted = match deadline {
+            Some(d) => entry.engine().try_submit_with_deadline("main", args, d),
             None => entry.engine().try_submit("main", args),
+        };
+        let rejected = |arg: u64| {
+            if ctx.is_sampled() {
+                nimble_obs::record_root(
+                    ctx,
+                    root_name,
+                    ObsCat::Serve,
+                    admitted_ns,
+                    nimble_obs::now_ns(),
+                    arg,
+                );
+            }
         };
         match admitted {
             Ok(ticket) => {
@@ -184,16 +244,21 @@ impl Router {
                     ticket,
                     telemetry,
                     model: model.to_string(),
+                    ctx,
+                    admitted_ns,
+                    root_name,
                 })
             }
             Err(EngineError::Busy) => {
                 telemetry.record_rejected_queue_full();
+                rejected(4);
                 Err(Rejected::QueueFull)
             }
             // The entry's engine drained between `get` and admission
             // (hot-swap or unload race): same answer as not-loaded.
             Err(_) => {
                 telemetry.record_rejected_unloaded();
+                rejected(4);
                 Err(Rejected::Unloaded)
             }
         }
@@ -212,14 +277,14 @@ impl Router {
     /// bytes, high-water mark) are refreshed from their engines first;
     /// unloaded models keep their last-recorded arena numbers as history.
     pub fn stats(&self) -> ServeStats {
-        for (name, _) in self.registry.list() {
-            if let Some(entry) = self.registry.get(&name) {
-                self.telemetry
-                    .model(&name)
-                    .record_arena(entry.engine().arena_stats());
-            }
-        }
+        refresh_engine_telemetry(&self.telemetry, &self.registry);
         self.telemetry.snapshot()
+    }
+
+    /// Render the unified Prometheus exposition (obs core metrics plus
+    /// every live collector, including this router's).
+    pub fn prometheus(&self) -> String {
+        nimble_obs::export::prometheus()
     }
 
     /// Graceful drain: refuse new submissions, then drain every model's
@@ -228,6 +293,273 @@ impl Router {
     pub fn shutdown(&self) {
         self.draining.store(true, Ordering::Release);
         self.registry.shutdown();
+    }
+}
+
+/// Pull live engines' arena counters and VM profiles into the per-model
+/// telemetry (unloaded models keep their last-recorded values).
+fn refresh_engine_telemetry(telemetry: &Telemetry, registry: &ModelRegistry) {
+    for (name, _) in registry.list() {
+        if let Some(entry) = registry.get(&name) {
+            let t = telemetry.model(&name);
+            t.record_arena(entry.engine().arena_stats());
+            t.record_profile(entry.engine().profile_report());
+        }
+    }
+}
+
+/// Emit one latency histogram per model as a Prometheus summary family.
+fn prom_summary(
+    buf: &mut PromBuf,
+    name: &str,
+    help: &str,
+    models: &BTreeMap<String, ModelStats>,
+    pick: impl Fn(&ModelStats) -> &HistogramSnapshot,
+) {
+    buf.header(name, help, "summary");
+    for (model, m) in models {
+        let h = pick(m);
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            buf.sample_f64(
+                name,
+                &[("model", model), ("quantile", label)],
+                h.quantile(q).as_secs_f64(),
+            );
+        }
+        buf.sample_f64(
+            &format!("{name}_sum"),
+            &[("model", model)],
+            h.sum().as_secs_f64(),
+        );
+        buf.sample_u64(&format!("{name}_count"), &[("model", model)], h.count());
+    }
+}
+
+/// The router's Prometheus collector body: serve outcome counters and
+/// latency/queue summaries, storage-arena and device-pool memory
+/// counters, engine queue depth and queue/exec time, and the VM profile
+/// (bucket and per-opcode time) — all from the same run, unified in one
+/// exposition.
+fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &mut PromBuf) {
+    refresh_engine_telemetry(telemetry, registry);
+    let snap = telemetry.snapshot();
+
+    buf.header(
+        "nimble_serve_requests_total",
+        "Serve request outcomes by model",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        for (outcome, v) in [
+            ("accepted", m.accepted),
+            ("completed", m.completed),
+            ("failed", m.failed),
+            ("expired", m.expired),
+            ("lost", m.lost),
+            ("rejected_queue_full", m.rejected_queue_full),
+            ("rejected_expired", m.rejected_expired),
+            ("rejected_unloaded", m.rejected_unloaded),
+            ("rejected_shutdown", m.rejected_shutdown),
+        ] {
+            buf.sample_u64(
+                "nimble_serve_requests_total",
+                &[("model", model), ("outcome", outcome)],
+                v,
+            );
+        }
+    }
+    prom_summary(
+        buf,
+        "nimble_serve_latency_seconds",
+        "End-to-end latency of completed requests",
+        &snap.models,
+        |m| &m.latency,
+    );
+    prom_summary(
+        buf,
+        "nimble_serve_queue_seconds",
+        "Queue wait from admission to worker pickup",
+        &snap.models,
+        |m| &m.queue,
+    );
+
+    buf.header(
+        "nimble_arena_hit_rate",
+        "Fraction of storage allocations served from the arena",
+        "gauge",
+    );
+    for (model, m) in &snap.models {
+        buf.sample_f64(
+            "nimble_arena_hit_rate",
+            &[("model", model)],
+            m.arena.hit_rate(),
+        );
+    }
+    for (name, help, pick) in [
+        (
+            "nimble_arena_live_bytes",
+            "Bytes currently checked out of the arena",
+            (|a: &nimble_core::ArenaStats| a.live_bytes) as fn(&nimble_core::ArenaStats) -> u64,
+        ),
+        (
+            "nimble_arena_high_water_bytes",
+            "High-water mark of live arena bytes",
+            |a| a.high_water_bytes,
+        ),
+        (
+            "nimble_arena_retained_bytes",
+            "Bytes parked in the arena free lists",
+            |a| a.retained_bytes,
+        ),
+    ] {
+        buf.header(name, help, "gauge");
+        for (model, m) in &snap.models {
+            buf.sample_u64(name, &[("model", model)], pick(&m.arena));
+        }
+    }
+
+    buf.header(
+        "nimble_vm_time_seconds",
+        "VM execution time by profile bucket",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        for (bucket, ns) in [
+            ("kernel", m.profile.kernel_ns),
+            ("shape_func", m.profile.shape_func_ns),
+            ("other", m.profile.other_ns),
+        ] {
+            buf.sample_f64(
+                "nimble_vm_time_seconds",
+                &[("model", model), ("bucket", bucket)],
+                ns as f64 / 1e9,
+            );
+        }
+    }
+    buf.header(
+        "nimble_vm_instructions_total",
+        "Bytecode instructions executed",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        buf.sample_u64(
+            "nimble_vm_instructions_total",
+            &[("model", model)],
+            m.profile.instructions,
+        );
+    }
+    buf.header(
+        "nimble_vm_kernel_invocations_total",
+        "Compute-kernel invocations",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        buf.sample_u64(
+            "nimble_vm_kernel_invocations_total",
+            &[("model", model)],
+            m.profile.kernel_invocations,
+        );
+    }
+    buf.header(
+        "nimble_vm_opcode_seconds",
+        "Accumulated time of the top-5 opcodes by time",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        for op in m.profile.top_opcodes(5) {
+            buf.sample_f64(
+                "nimble_vm_opcode_seconds",
+                &[("model", model), ("opcode", op.name)],
+                op.ns as f64 / 1e9,
+            );
+        }
+    }
+
+    // Engine queue/exec split and device-pool memory come straight from
+    // the live entries (they have no history once a model is unloaded).
+    let mut rows = Vec::new();
+    for (name, _) in registry.list() {
+        if let Some(entry) = registry.get(&name) {
+            let stats = entry.engine().stats();
+            let devices = entry.vm().devices();
+            let cpu = devices.pool(DeviceId::Cpu).stats();
+            let gpu = devices.pool(DeviceId::Gpu).stats();
+            rows.push((name, stats, cpu, gpu));
+        }
+    }
+    buf.header(
+        "nimble_engine_queue_depth",
+        "Requests waiting in the engine queue",
+        "gauge",
+    );
+    for (model, es, _, _) in &rows {
+        buf.sample_u64(
+            "nimble_engine_queue_depth",
+            &[("model", model)],
+            es.queue_depth,
+        );
+    }
+    buf.header(
+        "nimble_engine_queue_seconds_total",
+        "Cumulative queue-wait time across completed requests",
+        "counter",
+    );
+    for (model, es, _, _) in &rows {
+        buf.sample_f64(
+            "nimble_engine_queue_seconds_total",
+            &[("model", model)],
+            es.total_queue_ns as f64 / 1e9,
+        );
+    }
+    buf.header(
+        "nimble_engine_exec_seconds_total",
+        "Cumulative pure execution time across completed requests",
+        "counter",
+    );
+    for (model, es, _, _) in &rows {
+        buf.sample_f64(
+            "nimble_engine_exec_seconds_total",
+            &[("model", model)],
+            es.total_execution_ns as f64 / 1e9,
+        );
+    }
+    for (name, help, kind, pick) in [
+        (
+            "nimble_pool_live_bytes",
+            "Bytes currently live in the device memory pool",
+            "gauge",
+            (|p: &nimble_device::PoolStats| p.live_bytes) as fn(&nimble_device::PoolStats) -> u64,
+        ),
+        (
+            "nimble_pool_peak_live_bytes",
+            "High-water mark of live pool bytes",
+            "gauge",
+            |p| p.peak_live_bytes,
+        ),
+        (
+            "nimble_pool_allocs_total",
+            "Allocation requests served by the pool",
+            "counter",
+            |p| p.allocs,
+        ),
+        (
+            "nimble_pool_hits_total",
+            "Allocations served from the pool free list",
+            "counter",
+            |p| p.pool_hits,
+        ),
+        (
+            "nimble_pool_frees_total",
+            "Blocks returned to the pool",
+            "counter",
+            |p| p.frees,
+        ),
+    ] {
+        buf.header(name, help, kind);
+        for (model, _, cpu, gpu) in &rows {
+            buf.sample_u64(name, &[("model", model), ("device", "cpu")], pick(cpu));
+            buf.sample_u64(name, &[("model", model), ("device", "gpu")], pick(gpu));
+        }
     }
 }
 

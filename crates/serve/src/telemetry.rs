@@ -15,6 +15,7 @@
 //! recording.
 
 use nimble_core::ArenaStats;
+use nimble_vm::ProfileReport;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
@@ -114,6 +115,11 @@ impl HistogramSnapshot {
         self.count
     }
 
+    /// Sum of all recorded samples (exact, not bucketed).
+    pub fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns)
+    }
+
     /// Mean latency.
     pub fn mean(&self) -> Duration {
         match self.sum_ns.checked_div(self.count) {
@@ -191,9 +197,15 @@ pub struct ModelTelemetry {
     rejected_unloaded: AtomicU64,
     rejected_shutdown: AtomicU64,
     latency: Histogram,
+    /// Queue-wait distribution (admission → worker pickup) for requests
+    /// that reached a worker; `latency` covers queue + execution.
+    queue: Histogram,
     /// Last-known storage-arena counters for the model's live engine
     /// (refreshed by `Router::stats`; survives unload as history).
     arena: RwLock<ArenaStats>,
+    /// Last-known VM profile for the model's live engine (refreshed by
+    /// `Router::stats` and the Prometheus collector).
+    profile: RwLock<ProfileReport>,
 }
 
 impl ModelTelemetry {
@@ -234,8 +246,16 @@ impl ModelTelemetry {
         self.rejected_shutdown.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_queue(&self, queued: Duration) {
+        self.queue.record(queued);
+    }
+
     pub(crate) fn record_arena(&self, stats: ArenaStats) {
         *self.arena.write().unwrap() = stats;
+    }
+
+    pub(crate) fn record_profile(&self, profile: ProfileReport) {
+        *self.profile.write().unwrap() = profile;
     }
 
     /// Snapshot this model's counters and histogram.
@@ -251,7 +271,9 @@ impl ModelTelemetry {
             rejected_unloaded: self.rejected_unloaded.load(Ordering::Relaxed),
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
+            queue: self.queue.snapshot(),
             arena: *self.arena.read().unwrap(),
+            profile: *self.profile.read().unwrap(),
         }
     }
 }
@@ -280,9 +302,15 @@ pub struct ModelStats {
     pub rejected_shutdown: u64,
     /// Latency distribution of completed + failed requests.
     pub latency: HistogramSnapshot,
+    /// Queue-wait distribution (admission → worker pickup); execution is
+    /// roughly `latency - queue`.
+    pub queue: HistogramSnapshot,
     /// Storage-arena allocation counters for the model's engine (summed
     /// over its workers): hits, misses, recycled bytes, high-water mark.
     pub arena: ArenaStats,
+    /// Cumulative VM profile for the model's engine: per-bucket and
+    /// per-opcode time, instruction counts.
+    pub profile: ProfileReport,
 }
 
 impl ModelStats {
@@ -332,12 +360,13 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
             "model",
             "accepted",
             "done",
             "expired",
             "shed",
+            "q50 ms",
             "p50 ms",
             "p90 ms",
             "p99 ms",
@@ -347,18 +376,32 @@ impl std::fmt::Display for ServeStats {
         for (name, m) in &self.models {
             writeln!(
                 f,
-                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.1}",
+                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.1}",
                 name,
                 m.accepted,
                 m.completed + m.failed,
                 m.expired,
                 m.rejected(),
+                ms(m.queue.p50()),
                 ms(m.latency.p50()),
                 ms(m.latency.p90()),
                 ms(m.latency.p99()),
                 ms(m.latency.max()),
                 m.arena.hit_rate() * 100.0,
             )?;
+            if m.profile.instructions > 0 {
+                write!(f, "{:<12}   top ops:", "")?;
+                for op in m.profile.top_opcodes(3) {
+                    write!(
+                        f,
+                        " {} ({}x, {:.2} ms)",
+                        op.name,
+                        op.count,
+                        op.ns as f64 / 1e6
+                    )?;
+                }
+                writeln!(f)?;
+            }
         }
         Ok(())
     }

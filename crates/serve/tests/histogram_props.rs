@@ -1,0 +1,93 @@
+//! Property tests for the serve latency histogram: quantiles against the
+//! exact sorted-vector reference.
+//!
+//! The histogram is log-linear with 4 sub-buckets per octave, so a bucket
+//! containing value `s` is at most `s/4` wide and the returned midpoint
+//! can miss the exact rank statistic by at most half a bucket (plus one
+//! for integer rounding): `|quantile(q) - exact(q)| <= exact(q)/4 + 1`.
+//! The top rank is special-cased to the observed maximum exactly, and an
+//! empty histogram reports zero. These are the properties the serve
+//! stats table and the Prometheus summary quantiles rely on.
+
+use nimble_serve::Histogram;
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// Exact reference: the same rank the histogram targets, read from the
+/// sorted samples (`rank = ceil(q * n)` clamped to `1..=n`, 1-based).
+fn exact_rank_ns(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as u64;
+    let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+    sorted[(rank - 1) as usize]
+}
+
+/// Nanosecond samples mixing magnitudes from single digits to the full
+/// u64 range, so octave boundaries and the saturating top bucket are hit.
+fn arb_samples() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(
+        prop_oneof![0u64..8, 0u64..4_096, 0u64..2_000_000_000, 0u64..u64::MAX,],
+        1..300,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quantile_tracks_sorted_reference(samples in arb_samples(), q in 0.0001f64..1.0) {
+        let h = Histogram::new();
+        for &ns in &samples {
+            h.record(Duration::from_nanos(ns));
+        }
+        let snap = h.snapshot();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(snap.count(), sorted.len() as u64);
+        prop_assert_eq!(snap.max().as_nanos() as u64, *sorted.last().unwrap());
+
+        let exact = exact_rank_ns(&sorted, q);
+        let got = snap.quantile(q).as_nanos() as u64;
+        let bound = exact / 4 + 1;
+        prop_assert!(
+            got.abs_diff(exact) <= bound,
+            "quantile({}) = {} vs exact {} (bound {})",
+            q, got, exact, bound
+        );
+        // The top rank is the exact maximum, not a bucket midpoint.
+        prop_assert_eq!(snap.quantile(1.0).as_nanos() as u64, *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn single_sample_every_quantile_is_exact(ns in 0u64..u64::MAX, q in 0.0001f64..1.0) {
+        let h = Histogram::new();
+        h.record(Duration::from_nanos(ns));
+        let snap = h.snapshot();
+        // With one sample every rank is 1 == count, the exact-max path.
+        prop_assert_eq!(snap.quantile(q).as_nanos() as u64, ns);
+    }
+}
+
+#[test]
+fn empty_histogram_reports_zero() {
+    let snap = Histogram::new().snapshot();
+    assert_eq!(snap.count(), 0);
+    assert_eq!(snap.quantile(0.5), Duration::ZERO);
+    assert_eq!(snap.quantile(1.0), Duration::ZERO);
+    assert_eq!(snap.max(), Duration::ZERO);
+    assert_eq!(snap.sum(), Duration::ZERO);
+}
+
+#[test]
+fn saturating_max_duration_is_representable() {
+    // Durations beyond u64 nanoseconds saturate at u64::MAX ns; the
+    // histogram must bucket them without panicking and report them back.
+    let h = Histogram::new();
+    h.record(Duration::MAX);
+    h.record(Duration::from_nanos(1));
+    let snap = h.snapshot();
+    assert_eq!(snap.count(), 2);
+    assert_eq!(snap.max().as_nanos() as u64, u64::MAX);
+    assert_eq!(snap.quantile(1.0).as_nanos() as u64, u64::MAX);
+    // The lower rank still resolves to the small sample's bucket.
+    assert!(snap.quantile(0.5).as_nanos() as u64 <= 2);
+}

@@ -112,6 +112,7 @@ impl PackedB {
     /// convention: `out[m,n] = Σ_k a[m,k] · bt[n,k]`).
     pub fn pack_bt(bt: &[f32], n: usize, k: usize, tile_k: usize) -> PackedB {
         assert_eq!(bt.len(), n * k, "pack_bt: bt must be [n, k]");
+        let _s = nimble_obs::span_full("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
         let mut p = Self::with_layout(n, k, tile_k);
         for block in 0..p.k_blocks() {
             let (k0, kc) = (p.block_k0(block), p.block_kc(block));
@@ -135,6 +136,7 @@ impl PackedB {
     /// `out[m,n] = Σ_k a[m,k] · b[k,n]`).
     pub fn pack_kn(b: &[f32], k: usize, n: usize, tile_k: usize) -> PackedB {
         assert_eq!(b.len(), k * n, "pack_kn: b must be [k, n]");
+        let _s = nimble_obs::span_full("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
         let mut p = Self::with_layout(n, k, tile_k);
         for block in 0..p.k_blocks() {
             let (k0, kc) = (p.block_k0(block), p.block_kc(block));
@@ -319,6 +321,7 @@ pub fn gemm_packed(
     let tile_k = pb.tile_k();
     let k_blocks = pb.k_blocks();
     let edge = matches!(profile, ExecProfile::Edge);
+    let _s = nimble_obs::span_full("gemm.compute", nimble_obs::Category::Pool, (m * n) as u64);
     // One chunk per tile_m output strip; flop estimate 2k per element.
     parallel_chunks_mut(
         profile,
@@ -329,7 +332,13 @@ pub fn gemm_packed(
             let row0 = strip * tile_m;
             let rows = out_strip.len() / n;
             let mut apack = Vec::new();
-            pack_a_strip(a, k, row0, rows, tile_k, &mut apack);
+            {
+                let _p =
+                    nimble_obs::span_full("gemm.pack_a", nimble_obs::Category::Pool, strip as u64);
+                pack_a_strip(a, k, row0, rows, tile_k, &mut apack);
+            }
+            let _mk =
+                nimble_obs::span_full("gemm.microkernel", nimble_obs::Category::Pool, strip as u64);
             let m_panels = rows.div_ceil(MR);
             let a_block_stride = m_panels * MR * tile_k;
             for jc in (0..n).step_by(tile_n) {

@@ -114,6 +114,9 @@ struct Job {
     done_cv: Condvar,
     /// First panic payload raised inside a chunk, rethrown on the submitter.
     panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Submitter's trace context: pool workers adopt it so chunk spans
+    /// parent under the kernel span that submitted the job.
+    ctx: nimble_obs::SpanContext,
 }
 
 impl Job {
@@ -130,8 +133,11 @@ impl Job {
             }
             let start = i * self.chunk;
             let end = ((i + 1) * self.chunk).min(self.n);
-            let r =
-                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| (self.task)(start, end)));
+            let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let _g = nimble_obs::enter(self.ctx);
+                let _s = nimble_obs::span_full("pool.chunk", nimble_obs::Category::Pool, i as u64);
+                (self.task)(start, end)
+            }));
             if let Err(p) = r {
                 let mut slot = self.panic.lock().unwrap();
                 if slot.is_none() {
@@ -260,6 +266,7 @@ where
         done: Mutex::new(false),
         done_cv: Condvar::new(),
         panic: Mutex::new(None),
+        ctx: nimble_obs::current(),
     });
     {
         let mut q = pool.shared.queue.lock().unwrap();

@@ -20,16 +20,26 @@
 
 use crate::arena::{ArenaStats, StorageArena};
 use crate::exe::Executable;
-use crate::isa::Instruction;
+use crate::isa::{opcode_name, Instruction};
 use crate::object::{AdtObj, ClosureObj, FutureObj, Object, StorageHandle, TensorObj};
 use crate::profiler::{Category, ProfileReport, Profiler, SharedProfiler};
 use crate::{Result, VmError};
 use nimble_codegen::kernel::Kernel;
 use nimble_device::{copy_tensor, DeviceId, DeviceSet, TensorFuture};
+use nimble_obs::Category as ObsCat;
 use nimble_tensor::Tensor;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Trace category for an instruction's profiler bucket.
+fn obs_cat(category: Category) -> ObsCat {
+    match category {
+        Category::Kernel => ObsCat::Kernel,
+        Category::ShapeFunc => ObsCat::ShapeFunc,
+        Category::Other => ObsCat::Vm,
+    }
+}
 
 /// Per-run mutable state: the register-frame pool, the storage arena, and
 /// the run's profiler.
@@ -52,6 +62,9 @@ pub struct Session {
     /// every allocation straight against the device pools
     /// (`NIMBLE_ARENA=off`, or an explicitly arena-less session).
     arena: Option<Arc<StorageArena>>,
+    /// Whether the current run is inside a sampled trace (set at the top
+    /// of [`VirtualMachine::run_in`]; gates per-instruction span records).
+    traced: bool,
 }
 
 impl Default for Session {
@@ -83,6 +96,7 @@ impl Session {
             frames: Vec::new(),
             lane,
             arena,
+            traced: false,
         }
     }
 
@@ -121,6 +135,9 @@ pub struct VirtualMachine {
     exe: Arc<Executable>,
     kernels: Vec<Kernel>,
     kernel_is_shape_func: Vec<bool>,
+    /// Kernel names interned at load time so trace spans can carry them
+    /// as plain `&'static str` words.
+    kernel_names: Vec<&'static str>,
     devices: Arc<DeviceSet>,
     constants: Vec<Object>,
     profiling: AtomicBool,
@@ -147,8 +164,11 @@ impl VirtualMachine {
         exe.prepack_weights();
         let mut kernels = Vec::with_capacity(exe.kernels.len());
         let mut kernel_is_shape_func = Vec::with_capacity(exe.kernels.len());
+        let mut kernel_names = Vec::with_capacity(exe.kernels.len());
         for desc in &exe.kernels {
-            kernels.push(desc.instantiate(&exe.constants)?);
+            let kernel = desc.instantiate(&exe.constants)?;
+            kernel_names.push(nimble_obs::intern(kernel.name()));
+            kernels.push(kernel);
             kernel_is_shape_func.push(desc.is_shape_func());
         }
         // Constants stay resident: "weights (which are constant during
@@ -172,6 +192,7 @@ impl VirtualMachine {
             exe: Arc::new(exe),
             kernels,
             kernel_is_shape_func,
+            kernel_names,
             devices,
             constants,
             profiling: AtomicBool::new(false),
@@ -250,6 +271,11 @@ impl VirtualMachine {
     /// Propagates `Fatal`, kernel failures, and malformed bytecode.
     pub fn run_in(&self, session: &mut Session, name: &str, args: Vec<Object>) -> Result<Object> {
         let idx = self.exe.function_index(name)?;
+        // Trace root for this run: nests under the caller's span when one
+        // is active (the engine's per-request span), becomes a standalone
+        // trace root for bare `run()` calls.
+        let root = nimble_obs::root_span_full("vm.run", ObsCat::Vm, 0);
+        session.traced = root.is_recording();
         session
             .profiler
             .reset_with(self.profiling.load(Ordering::Relaxed));
@@ -258,11 +284,28 @@ impl VirtualMachine {
         // work and the caller sees a materialized value. Other sessions'
         // lanes keep flowing.
         let sync_start = Instant::now();
+        let sync_t0 = if session.traced {
+            nimble_obs::now_ns()
+        } else {
+            0
+        };
         self.devices.synchronize_lane(session.lane);
+        if session.traced {
+            nimble_obs::record_current(
+                "vm.sync",
+                ObsCat::Device,
+                sync_t0,
+                nimble_obs::now_ns(),
+                session.lane as u64,
+            );
+        }
         session.profiler.record_sync(sync_start.elapsed());
         self.shared_profiler.merge(session.profiler.report());
+        session.traced = false;
         let obj = result?;
-        self.fetch(obj)
+        let fetched = self.fetch(obj);
+        drop(root);
+        fetched
     }
 
     /// Materialize a result on the host (recursing through ADTs).
@@ -340,12 +383,28 @@ impl VirtualMachine {
         }
         let mut pc: i64 = 0;
         let timing = session.profiler.enabled();
+        let traced = session.traced;
         loop {
             let inst = func
                 .code
                 .get(pc as usize)
                 .ok_or_else(|| VmError::msg(format!("{}: pc {pc} out of range", func.name)))?;
             let start = if timing { Some(Instant::now()) } else { None };
+            // Call-like instructions get guard spans inside their arms (so
+            // nested work parents under them); everything else is recorded
+            // flat after the dispatch arm runs.
+            let is_call = matches!(
+                inst,
+                Instruction::Invoke { .. }
+                    | Instruction::InvokeClosure { .. }
+                    | Instruction::InvokePacked { .. }
+            );
+            let span_t0 = if traced && !is_call {
+                nimble_obs::now_ns()
+            } else {
+                0
+            };
+            let mut span_arg = 0u64;
             let mut category = Category::Other;
             let mut next_pc = pc + 1;
             let mut ret: Option<Object> = None;
@@ -358,6 +417,7 @@ impl VirtualMachine {
                     ret = Some(std::mem::take(&mut regs[*result as usize]));
                 }
                 Instruction::Invoke { func, args, dst } => {
+                    let _s = nimble_obs::span_full("vm.invoke", ObsCat::Vm, *func as u64);
                     let call_args: Vec<Object> =
                         args.iter().map(|&r| regs[r as usize].clone()).collect();
                     let out = self.exec(*func, call_args, session, depth + 1)?;
@@ -365,6 +425,8 @@ impl VirtualMachine {
                 }
                 Instruction::InvokeClosure { closure, args, dst } => {
                     let clo = regs[*closure as usize].as_closure()?.clone();
+                    let _s =
+                        nimble_obs::span_full("vm.invoke_closure", ObsCat::Vm, clo.func as u64);
                     let mut call_args = clo.captures.clone();
                     call_args.extend(args.iter().map(|&r| regs[r as usize].clone()));
                     let out = self.exec(clo.func, call_args, session, depth + 1)?;
@@ -385,6 +447,15 @@ impl VirtualMachine {
                     } else {
                         Category::Kernel
                     };
+                    // The kernel span carries the kernel's own name; pool
+                    // chunk and GPU-stream spans nest beneath it.
+                    let _s = nimble_obs::span_cat(
+                        self.kernel_names
+                            .get(*kernel as usize)
+                            .copied()
+                            .unwrap_or("vm.invoke_packed"),
+                        obs_cat(category),
+                    );
                     self.invoke_packed(
                         *kernel,
                         args,
@@ -402,6 +473,7 @@ impl VirtualMachine {
                     dst,
                 } => {
                     let dev = DeviceId::from_index(*device as usize);
+                    span_arg = *size;
                     regs[*dst as usize] = Object::Storage(self.alloc_storage(session, *size, dev));
                 }
                 Instruction::AllocTensor {
@@ -436,6 +508,7 @@ impl VirtualMachine {
                     // Dynamic allocation draws real storage — from the
                     // session arena when one is attached, the pool otherwise.
                     let nbytes: usize = dims.iter().product::<usize>() * dtype.size_of();
+                    span_arg = nbytes as u64;
                     let handle = self.alloc_storage(session, nbytes as u64, dev);
                     regs[*dst as usize] = Object::placeholder(dims, *dtype, dev, Some(handle));
                 }
@@ -549,6 +622,15 @@ impl VirtualMachine {
                 }
             }
 
+            if traced && !is_call {
+                nimble_obs::record_current(
+                    opcode_name(inst.opcode()),
+                    obs_cat(category),
+                    span_t0,
+                    nimble_obs::now_ns(),
+                    span_arg,
+                );
+            }
             if let Some(start) = start {
                 session
                     .profiler

@@ -223,30 +223,37 @@ impl Instruction {
 
     /// Human-readable mnemonic.
     pub fn mnemonic(&self) -> &'static str {
-        const NAMES: [&str; 20] = [
-            "Move",
-            "Ret",
-            "Invoke",
-            "InvokeClosure",
-            "InvokePacked",
-            "AllocStorage",
-            "AllocTensor",
-            "AllocTensorReg",
-            "AllocADT",
-            "AllocClosure",
-            "GetField",
-            "GetTag",
-            "If",
-            "Goto",
-            "LoadConst",
-            "LoadConsti",
-            "DeviceCopy",
-            "ShapeOf",
-            "ReshapeTensor",
-            "Fatal",
-        ];
-        NAMES[self.opcode() as usize]
+        opcode_name(self.opcode())
     }
+}
+
+/// Mnemonic for a raw opcode byte (out-of-range bytes map to `"Unknown"`).
+/// Shared by [`Instruction::mnemonic`], the profiler's per-opcode report,
+/// and trace span names.
+pub fn opcode_name(opcode: u8) -> &'static str {
+    const NAMES: [&str; NUM_OPCODES] = [
+        "Move",
+        "Ret",
+        "Invoke",
+        "InvokeClosure",
+        "InvokePacked",
+        "AllocStorage",
+        "AllocTensor",
+        "AllocTensorReg",
+        "AllocADT",
+        "AllocClosure",
+        "GetField",
+        "GetTag",
+        "If",
+        "Goto",
+        "LoadConst",
+        "LoadConsti",
+        "DeviceCopy",
+        "ShapeOf",
+        "ReshapeTensor",
+        "Fatal",
+    ];
+    NAMES.get(opcode as usize).copied().unwrap_or("Unknown")
 }
 
 /// Total number of opcodes (the paper: "the current instruction set only

@@ -5,7 +5,7 @@
 //! functions, allocation, dispatch, control flow). This profiler
 //! accumulates exactly those buckets plus per-opcode counts.
 
-use crate::isa::NUM_OPCODES;
+use crate::isa::{opcode_name, NUM_OPCODES};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -28,6 +28,7 @@ pub struct Profiler {
     shape_func_ns: u64,
     other_ns: u64,
     counts: [u64; NUM_OPCODES],
+    op_ns: [u64; NUM_OPCODES],
     kernel_invocations: u64,
 }
 
@@ -44,6 +45,23 @@ pub struct ProfileReport {
     pub instructions: u64,
     /// Compute-kernel invocations.
     pub kernel_invocations: u64,
+    /// Executions per opcode.
+    pub counts: [u64; NUM_OPCODES],
+    /// Time per opcode (ns); zero when the profiler ran count-only.
+    pub op_ns: [u64; NUM_OPCODES],
+}
+
+/// One row of [`ProfileReport::top_opcodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OpcodeStat {
+    /// Raw opcode byte.
+    pub opcode: u8,
+    /// Mnemonic for display.
+    pub name: &'static str,
+    /// Executions.
+    pub count: u64,
+    /// Accumulated time (ns).
+    pub ns: u64,
 }
 
 impl ProfileReport {
@@ -52,17 +70,43 @@ impl ProfileReport {
     pub fn others_total_ns(self) -> u64 {
         self.shape_func_ns + self.other_ns
     }
+
+    /// The `n` most expensive opcodes by accumulated time (ties broken by
+    /// execution count), skipping opcodes that never ran. Used by the
+    /// serve stats printer and the Prometheus exporter.
+    pub fn top_opcodes(&self, n: usize) -> Vec<OpcodeStat> {
+        let mut stats: Vec<OpcodeStat> = (0..NUM_OPCODES)
+            .filter(|&i| self.counts[i] > 0)
+            .map(|i| OpcodeStat {
+                opcode: i as u8,
+                name: opcode_name(i as u8),
+                count: self.counts[i],
+                ns: self.op_ns[i],
+            })
+            .collect();
+        stats.sort_by(|a, b| b.ns.cmp(&a.ns).then(b.count.cmp(&a.count)));
+        stats.truncate(n);
+        stats
+    }
 }
 
 impl std::ops::Add for ProfileReport {
     type Output = ProfileReport;
     fn add(self, rhs: ProfileReport) -> ProfileReport {
+        let mut counts = self.counts;
+        let mut op_ns = self.op_ns;
+        for i in 0..NUM_OPCODES {
+            counts[i] += rhs.counts[i];
+            op_ns[i] += rhs.op_ns[i];
+        }
         ProfileReport {
             kernel_ns: self.kernel_ns + rhs.kernel_ns,
             shape_func_ns: self.shape_func_ns + rhs.shape_func_ns,
             other_ns: self.other_ns + rhs.other_ns,
             instructions: self.instructions + rhs.instructions,
             kernel_invocations: self.kernel_invocations + rhs.kernel_invocations,
+            counts,
+            op_ns,
         }
     }
 }
@@ -89,6 +133,8 @@ pub struct SharedProfiler {
     other_ns: AtomicU64,
     instructions: AtomicU64,
     kernel_invocations: AtomicU64,
+    counts: [AtomicU64; NUM_OPCODES],
+    op_ns: [AtomicU64; NUM_OPCODES],
     runs: AtomicU64,
 }
 
@@ -109,6 +155,14 @@ impl SharedProfiler {
             .fetch_add(report.instructions, Ordering::Relaxed);
         self.kernel_invocations
             .fetch_add(report.kernel_invocations, Ordering::Relaxed);
+        for i in 0..NUM_OPCODES {
+            if report.counts[i] != 0 {
+                self.counts[i].fetch_add(report.counts[i], Ordering::Relaxed);
+            }
+            if report.op_ns[i] != 0 {
+                self.op_ns[i].fetch_add(report.op_ns[i], Ordering::Relaxed);
+            }
+        }
         self.runs.fetch_add(1, Ordering::Relaxed);
     }
 
@@ -119,12 +173,20 @@ impl SharedProfiler {
 
     /// Snapshot the aggregated totals.
     pub fn report(&self) -> ProfileReport {
+        let mut counts = [0u64; NUM_OPCODES];
+        let mut op_ns = [0u64; NUM_OPCODES];
+        for i in 0..NUM_OPCODES {
+            counts[i] = self.counts[i].load(Ordering::Relaxed);
+            op_ns[i] = self.op_ns[i].load(Ordering::Relaxed);
+        }
         ProfileReport {
             kernel_ns: self.kernel_ns.load(Ordering::Relaxed),
             shape_func_ns: self.shape_func_ns.load(Ordering::Relaxed),
             other_ns: self.other_ns.load(Ordering::Relaxed),
             instructions: self.instructions.load(Ordering::Relaxed),
             kernel_invocations: self.kernel_invocations.load(Ordering::Relaxed),
+            counts,
+            op_ns,
         }
     }
 
@@ -135,6 +197,10 @@ impl SharedProfiler {
         self.other_ns.store(0, Ordering::Relaxed);
         self.instructions.store(0, Ordering::Relaxed);
         self.kernel_invocations.store(0, Ordering::Relaxed);
+        for i in 0..NUM_OPCODES {
+            self.counts[i].store(0, Ordering::Relaxed);
+            self.op_ns[i].store(0, Ordering::Relaxed);
+        }
         self.runs.store(0, Ordering::Relaxed);
     }
 }
@@ -164,6 +230,7 @@ impl Profiler {
             return;
         }
         let ns = elapsed.as_nanos() as u64;
+        self.op_ns[opcode as usize] += ns;
         match category {
             Category::Kernel => self.kernel_ns += ns,
             Category::ShapeFunc => self.shape_func_ns += ns,
@@ -193,6 +260,8 @@ impl Profiler {
             other_ns: self.other_ns,
             instructions: self.counts.iter().sum(),
             kernel_invocations: self.kernel_invocations,
+            counts: self.counts,
+            op_ns: self.op_ns,
         }
     }
 
@@ -276,6 +345,7 @@ mod tests {
             other_ns: 1,
             instructions: 7,
             kernel_invocations: 3,
+            ..ProfileReport::default()
         };
         let b = ProfileReport {
             kernel_ns: 10,
@@ -288,6 +358,36 @@ mod tests {
         shared.merge(a);
         shared.merge(b);
         assert_eq!(shared.report(), total);
+    }
+
+    #[test]
+    fn per_opcode_time_and_top_opcodes() {
+        let mut p = Profiler::new(true);
+        p.record(4, Category::Kernel, Duration::from_nanos(500));
+        p.record(4, Category::Kernel, Duration::from_nanos(300));
+        p.record(5, Category::Other, Duration::from_nanos(90));
+        p.record(0, Category::Other, Duration::from_nanos(10));
+        let r = p.report();
+        assert_eq!(r.op_ns[4], 800);
+        assert_eq!(r.op_ns[5], 90);
+        assert_eq!(r.counts[4], 2);
+        let top = r.top_opcodes(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].name, "InvokePacked");
+        assert_eq!(top[0].ns, 800);
+        assert_eq!(top[0].count, 2);
+        assert_eq!(top[1].name, "AllocStorage");
+        // Opcodes that never ran are excluded even with a large n.
+        assert_eq!(r.top_opcodes(100).len(), 3);
+        // Per-opcode arrays ride through the shared aggregate.
+        let shared = SharedProfiler::new();
+        shared.merge(r);
+        shared.merge(r);
+        let agg = shared.report();
+        assert_eq!(agg.op_ns[4], 1600);
+        assert_eq!(agg.counts[4], 4);
+        shared.reset();
+        assert_eq!(shared.report().op_ns[4], 0);
     }
 
     #[test]

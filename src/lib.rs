@@ -16,6 +16,7 @@
 //! * [`serve`] — multi-model serving: registry, deadline router, telemetry
 //! * [`models`] — LSTM / Tree-LSTM / BERT / CV model builders
 //! * [`frameworks`] — baseline systems (eager, graphflow, fold)
+//! * [`obs`] — request tracing and unified metrics exposition
 
 pub use nimble_codegen as codegen;
 pub use nimble_core as compiler;
@@ -23,6 +24,7 @@ pub use nimble_device as device;
 pub use nimble_frameworks as frameworks;
 pub use nimble_ir as ir;
 pub use nimble_models as models;
+pub use nimble_obs as obs;
 pub use nimble_passes as passes;
 pub use nimble_serve as serve;
 pub use nimble_tensor as tensor;
