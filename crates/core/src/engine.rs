@@ -27,14 +27,20 @@
 //! completion, expiry, or [`EngineError::Closed`] — never silence.
 
 use crate::Result as CompileResult;
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nimble_obs::{Category as ObsCat, SpanContext};
 use nimble_vm::{
     ArenaStats, Object, ProfileReport, Session, StorageArena, VirtualMachine, VmError,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How long a worker parks in `recv_timeout` before re-checking the pause
+/// gate and abort flag. Bounds the latency of [`Engine::pause_and_wait`]
+/// and [`Engine::kill`] on an idle engine; on the hot path it is only the
+/// wake-up period of an otherwise idle worker.
+const GATE_POLL: Duration = Duration::from_millis(10);
 
 /// Tuning knobs for [`Engine::new`].
 #[derive(Debug, Clone)]
@@ -169,11 +175,44 @@ impl Ticket {
 struct Counters {
     completed: AtomicU64,
     expired: AtomicU64,
+    closed: AtomicU64,
     latency_ns: AtomicU64,
     queue_ns: AtomicU64,
     execution_ns: AtomicU64,
     max_latency_ns: AtomicU64,
     batches: AtomicU64,
+}
+
+/// Control block shared between an engine and its workers: the chaos/scale
+/// pause gate, the kill switch, and the replica label the serving layer
+/// stamps into this engine's spans.
+#[derive(Debug)]
+struct WorkerCtrl {
+    /// While `true`, workers park at the gate between requests.
+    paused: Mutex<bool>,
+    /// Wakes gate-parked workers on resume/kill; workers also notify it
+    /// when they park, so [`Engine::pause_and_wait`] can observe quiesce.
+    cond: Condvar,
+    /// Workers currently parked at the pause gate.
+    at_gate: AtomicUsize,
+    /// Kill switch: once set, workers answer every remaining request with
+    /// [`EngineError::Closed`] instead of executing it.
+    aborted: AtomicBool,
+    /// Replica id recorded in this engine's `engine.queue`/`engine.run`
+    /// spans (0 for an unsharded engine).
+    label: AtomicU64,
+}
+
+impl Default for WorkerCtrl {
+    fn default() -> WorkerCtrl {
+        WorkerCtrl {
+            paused: Mutex::new(false),
+            cond: Condvar::new(),
+            at_gate: AtomicUsize::new(0),
+            aborted: AtomicBool::new(false),
+            label: AtomicU64::new(0),
+        }
+    }
 }
 
 /// Snapshot of engine counters.
@@ -183,6 +222,9 @@ pub struct EngineStats {
     pub completed: u64,
     /// Requests dropped at dequeue because their deadline had passed.
     pub expired: u64,
+    /// Requests answered [`EngineError::Closed`] without executing (only
+    /// nonzero after [`Engine::kill`] abandoned queued work).
+    pub closed: u64,
     /// Requests currently waiting in the queue.
     pub queue_depth: u64,
     /// Sum of submit-to-completion latencies (ns).
@@ -233,6 +275,7 @@ pub struct Engine {
     depth: Receiver<Request>,
     counters: Arc<Counters>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    ctrl: Arc<WorkerCtrl>,
     /// One storage arena per worker (empty when `NIMBLE_ARENA=off`).
     /// Workers keep them warm across requests; the engine exposes their
     /// summed stats and trims them on shutdown.
@@ -262,12 +305,14 @@ impl Engine {
         }
         let (queue, rx) = bounded::<Request>(config.queue_capacity);
         let counters = Arc::new(Counters::default());
+        let ctrl = Arc::new(WorkerCtrl::default());
         let mut workers = Vec::with_capacity(config.workers);
         let mut arenas = Vec::new();
         for worker_idx in 0..config.workers {
             let vm = Arc::clone(&vm);
             let worker_rx = rx.clone();
             let counters = Arc::clone(&counters);
+            let ctrl = Arc::clone(&ctrl);
             let max_batch = config.max_batch;
             // Engine-owned arena so stats/trim work from outside the
             // worker; the session recycles storage into it across every
@@ -279,7 +324,9 @@ impl Engine {
             let handle = std::thread::Builder::new()
                 .name(format!("nimble-engine-{worker_idx}"))
                 .spawn(move || {
-                    worker_loop(&vm, &worker_rx, &counters, worker_idx, max_batch, arena)
+                    worker_loop(
+                        &vm, &worker_rx, &counters, worker_idx, max_batch, arena, &ctrl,
+                    )
                 })
                 .map_err(|e| crate::CompileError::msg(format!("spawn engine worker: {e}")))?;
             workers.push(handle);
@@ -290,6 +337,7 @@ impl Engine {
             depth: rx,
             counters,
             workers: Mutex::new(workers),
+            ctrl,
             arenas,
         })
     }
@@ -422,8 +470,11 @@ impl Engine {
     /// Drain and stop: refuse new submissions, let workers finish every
     /// request already enqueued (expiring those past their deadline), then
     /// join them and trim the worker arenas back to the device pools.
+    /// A paused engine is resumed first — a graceful drain executes the
+    /// backlog, it never strands it.
     /// Idempotent; concurrent callers all block until the drain completes.
     pub fn shutdown(&self) {
+        self.resume();
         // Dropping the primary sender disconnects the channel once every
         // transient clone held by an in-flight submit is gone too.
         drop(self.queue.lock().unwrap().take());
@@ -434,6 +485,56 @@ impl Engine {
         // Retired engines keep no recycled storage warm (model unload /
         // hot-swap returns to the pre-load memory baseline).
         self.trim_arenas();
+    }
+
+    /// Abrupt stop — the chaos-harness "replica dies" primitive. Unlike
+    /// [`Engine::shutdown`], queued requests are *not* executed: each one
+    /// is answered with [`EngineError::Closed`] (never silence), the
+    /// request currently mid-execution (if any) completes — the simulated
+    /// process death is at request granularity — and the workers exit.
+    /// Idempotent; safe after `shutdown`.
+    pub fn kill(&self) {
+        self.ctrl.aborted.store(true, Ordering::Release);
+        // Wake gate-parked workers so they can observe the kill.
+        self.ctrl.cond.notify_all();
+        self.shutdown();
+    }
+
+    /// Whether [`Engine::kill`] has run.
+    pub fn is_killed(&self) -> bool {
+        self.ctrl.aborted.load(Ordering::Acquire)
+    }
+
+    /// Freeze the workers between requests and return once every worker
+    /// is parked at the pause gate: nothing is mid-execution, so queue
+    /// contents (and [`Engine::queue_depth`]) are exact until
+    /// [`Engine::resume`]. The chaos harness uses this to make fault
+    /// injection deterministic; submissions stay open while paused.
+    pub fn pause_and_wait(&self) {
+        *self.ctrl.paused.lock().unwrap() = true;
+        let workers = self.workers.lock().unwrap().len();
+        while self.ctrl.at_gate.load(Ordering::Acquire) < workers
+            && !self.ctrl.aborted.load(Ordering::Acquire)
+        {
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    /// Reopen the pause gate (see [`Engine::pause_and_wait`]). Idempotent.
+    pub fn resume(&self) {
+        *self.ctrl.paused.lock().unwrap() = false;
+        self.ctrl.cond.notify_all();
+    }
+
+    /// Stamp this engine's `engine.queue`/`engine.run` spans with a
+    /// replica id (set by the shard layer; 0 means unsharded).
+    pub fn set_replica_label(&self, label: u64) {
+        self.ctrl.label.store(label, Ordering::Relaxed);
+    }
+
+    /// The replica id set by [`Engine::set_replica_label`].
+    pub fn replica_label(&self) -> u64 {
+        self.ctrl.label.load(Ordering::Relaxed)
     }
 
     /// Summed arena counters across all workers (all-zero when arenas are
@@ -464,6 +565,7 @@ impl Engine {
         EngineStats {
             completed: self.counters.completed.load(Ordering::Relaxed),
             expired: self.counters.expired.load(Ordering::Relaxed),
+            closed: self.counters.closed.load(Ordering::Relaxed),
             queue_depth: self.queue_depth() as u64,
             total_latency_ns: self.counters.latency_ns.load(Ordering::Relaxed),
             total_queue_ns: self.counters.queue_ns.load(Ordering::Relaxed),
@@ -494,14 +596,36 @@ fn worker_loop(
     worker_idx: usize,
     max_batch: usize,
     arena: Option<Arc<StorageArena>>,
+    ctrl: &WorkerCtrl,
 ) {
     // Lane = worker index: each worker's kernels get their own device
     // stream, so requests overlap on the simulated GPU. The session reuses
     // the engine-owned arena across every request this worker serves.
     let mut session = Session::with_lane_and_arena(worker_idx, arena);
     let mut batch = Vec::with_capacity(max_batch);
-    // Blocking pop; `Err` means the engine dropped its sender — drain ends.
-    while let Ok(first) = rx.recv() {
+    loop {
+        // Pause gate: while paused, park *before* touching the channel so
+        // `pause_and_wait` can guarantee no request is mid-flight and the
+        // queue contents are exact.
+        {
+            let mut paused = ctrl.paused.lock().unwrap();
+            if *paused && !ctrl.aborted.load(Ordering::Acquire) {
+                ctrl.at_gate.fetch_add(1, Ordering::Release);
+                ctrl.cond.notify_all();
+                while *paused && !ctrl.aborted.load(Ordering::Acquire) {
+                    paused = ctrl.cond.wait(paused).unwrap();
+                }
+                ctrl.at_gate.fetch_sub(1, Ordering::Release);
+            }
+        }
+        // Timed pop so a paused/killed engine cycles back to the gate;
+        // `Disconnected` means every sender is gone and the queue is empty
+        // — the drain is complete, nothing can be stranded.
+        let first = match rx.recv_timeout(GATE_POLL) {
+            Ok(req) => req,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
         batch.push(first);
         while batch.len() < max_batch {
             match rx.try_recv() {
@@ -511,8 +635,19 @@ fn worker_loop(
         }
         counters.batches.fetch_add(1, Ordering::Relaxed);
         for req in batch.drain(..) {
+            if ctrl.aborted.load(Ordering::Acquire) {
+                // Killed replica: abandoned work is answered explicitly,
+                // never executed, never silent. Payload drops first so a
+                // caller observing Closed sees memory back at baseline.
+                let Request { args, reply, .. } = req;
+                drop(args);
+                counters.closed.fetch_add(1, Ordering::Relaxed);
+                let _ = reply.send(Err(EngineError::Closed));
+                continue;
+            }
             // Queue wait ends the moment this worker picks the request up
-            // (also recorded as a span under the request's trace).
+            // (also recorded as a span under the request's trace, tagged
+            // with the replica label).
             let queued = req.submitted.elapsed();
             let dequeued_ns = if req.ctx.is_sampled() {
                 let now = nimble_obs::now_ns();
@@ -522,7 +657,7 @@ fn worker_loop(
                     ObsCat::Engine,
                     req.submitted_ns,
                     now,
-                    0,
+                    ctrl.label.load(Ordering::Relaxed),
                 );
                 now
             } else {
@@ -564,7 +699,9 @@ fn worker_loop(
             let exec_start = Instant::now();
             let result = {
                 let _g = nimble_obs::enter(req.ctx);
-                let _s = nimble_obs::span_full("engine.run", ObsCat::Engine, worker_idx as u64);
+                // High half: replica label; low half: worker index.
+                let tag = (ctrl.label.load(Ordering::Relaxed) << 32) | worker_idx as u64;
+                let _s = nimble_obs::span_full("engine.run", ObsCat::Engine, tag);
                 vm.run_in(&mut session, &req.function, req.args)
             };
             let execution = exec_start.elapsed();
@@ -788,6 +925,92 @@ mod tests {
         assert!(stats.total_latency_ns >= stats.total_queue_ns + stats.total_execution_ns);
         assert!(stats.mean_latency() >= stats.mean_queue_wait());
         assert!(stats.mean_latency() >= stats.mean_execution());
+    }
+
+    #[test]
+    fn pause_freezes_dequeue_and_resume_drains() {
+        let engine = Engine::new(
+            identity_plus_one_vm(),
+            EngineConfig {
+                workers: 2,
+                queue_capacity: 16,
+                max_batch: 4,
+            },
+        )
+        .unwrap();
+        engine.pause_and_wait();
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        // Paused workers never touch the channel: depth is exact & stable.
+        assert_eq!(engine.queue_depth(), 6);
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(engine.queue_depth(), 6);
+        assert_eq!(engine.stats().completed, 0);
+        engine.resume();
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+        assert_eq!(engine.stats().completed, 6);
+    }
+
+    #[test]
+    fn kill_answers_queued_work_with_closed() {
+        let engine = Engine::new(
+            identity_plus_one_vm(),
+            EngineConfig {
+                workers: 1,
+                queue_capacity: 16,
+                max_batch: 2,
+            },
+        )
+        .unwrap();
+        engine.pause_and_wait();
+        let tickets: Vec<Ticket> = (0..5)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        engine.kill();
+        // Every queued request resolves — explicitly Closed, not silence,
+        // and not executed.
+        for t in tickets {
+            assert_eq!(t.wait().unwrap_err(), EngineError::Closed);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.closed, 5);
+        assert!(engine.is_killed());
+        // New work after a kill is refused like after shutdown.
+        assert_eq!(
+            engine
+                .try_submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))])
+                .unwrap_err(),
+            EngineError::Closed
+        );
+        // Idempotent.
+        engine.kill();
+    }
+
+    #[test]
+    fn shutdown_of_paused_engine_executes_backlog() {
+        let engine = Engine::new(identity_plus_one_vm(), EngineConfig::with_workers(2)).unwrap();
+        engine.pause_and_wait();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|_| engine.submit("main", vec![Object::tensor(Tensor::ones_f32(&[4]))]))
+            .collect();
+        // Graceful drain un-pauses: accepted work runs, nothing strands.
+        engine.shutdown();
+        for t in tickets {
+            assert!(t.wait().unwrap().result.is_ok());
+        }
+        assert_eq!(engine.stats().completed, 4);
+    }
+
+    #[test]
+    fn replica_label_round_trips() {
+        let engine = Engine::new(identity_plus_one_vm(), EngineConfig::with_workers(1)).unwrap();
+        assert_eq!(engine.replica_label(), 0);
+        engine.set_replica_label(7);
+        assert_eq!(engine.replica_label(), 7);
     }
 
     #[test]

@@ -76,6 +76,8 @@ pub enum Category {
     Pool = 6,
     /// Device-side work (simulated GPU stream, lane synchronization).
     Device = 7,
+    /// Chaos-harness episodes (fault injection and quiesce checks).
+    Chaos = 8,
 }
 
 impl Category {
@@ -88,6 +90,7 @@ impl Category {
             5 => Category::Serve,
             6 => Category::Pool,
             7 => Category::Device,
+            8 => Category::Chaos,
             _ => Category::Other,
         }
     }
@@ -103,6 +106,7 @@ impl Category {
             Category::Serve => "serve",
             Category::Pool => "pool",
             Category::Device => "device",
+            Category::Chaos => "chaos",
         }
     }
 }

@@ -19,12 +19,19 @@
 //!   (p50/p90/p99 from snapshots) and per-model outcome counters,
 //!   exported as a [`ServeStats`] snapshot.
 
+pub mod chaos;
 pub mod registry;
 pub mod router;
+pub mod shard;
 pub mod telemetry;
 
+pub use chaos::{ChaosConfig, ChaosCounts, ChaosHarness, ChaosModel, ChaosReport};
 pub use registry::{ModelEntry, ModelRegistry, RegisterReport, RegistryConfig};
 pub use router::{Rejected, Router, RouterConfig, ServeTicket};
+pub use shard::{
+    AutoscalerConfig, ReplicaStats, ScaleDecision, ShardConfig, ShardEvent, ShardOutcome, ShardSet,
+    ShardStats, ShardTicket,
+};
 pub use telemetry::{
     Histogram, HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry,
 };

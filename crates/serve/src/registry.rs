@@ -17,6 +17,7 @@
 //! pre-packed weight panels) are released. [`ModelRegistry::unload`]
 //! performs the same drain-then-release without a successor.
 
+use crate::shard::{ShardConfig, ShardSet};
 use crate::ServeError;
 use nimble_core::{compile, CompileOptions, Engine, EngineConfig};
 use nimble_device::DeviceSet;
@@ -34,9 +35,12 @@ pub struct RegistryConfig {
     /// Directory for serialized compiled artifacts; `None` disables the
     /// disk cache (every registration compiles).
     pub cache_dir: Option<PathBuf>,
-    /// Engine shape given to every model (workers, queue capacity,
-    /// batch).
+    /// Engine shape given to every replica of every model (workers,
+    /// queue capacity, batch).
     pub engine: EngineConfig,
+    /// Replica-set shape given to every model. The default is a single
+    /// replica — identical to pre-shard behavior.
+    pub shards: ShardConfig,
     /// Device set shared by all models' VMs.
     pub devices: Arc<DeviceSet>,
 }
@@ -46,16 +50,17 @@ impl Default for RegistryConfig {
         RegistryConfig {
             cache_dir: None,
             engine: EngineConfig::default(),
+            shards: ShardConfig::default(),
             devices: Arc::new(DeviceSet::cpu_only()),
         }
     }
 }
 
-/// One live model: a loaded program and the engine serving it.
+/// One live model: a loaded program and the replica set serving it.
 pub struct ModelEntry {
     name: String,
     version: String,
-    engine: Engine,
+    shards: Arc<ShardSet>,
     vm: Arc<VirtualMachine>,
     /// Buffer ids of the pre-packed weight constants, for release on
     /// unload.
@@ -73,9 +78,24 @@ impl ModelEntry {
         &self.version
     }
 
-    /// The engine serving this model.
-    pub fn engine(&self) -> &Engine {
-        &self.engine
+    /// The replica set serving this model.
+    pub fn shards(&self) -> &Arc<ShardSet> {
+        &self.shards
+    }
+
+    /// The model's primary (lowest-id) replica engine — the single-node
+    /// compatibility handle for direct submissions.
+    ///
+    /// # Panics
+    /// When every replica has been killed (graceful drain keeps replicas
+    /// listed, so this only happens after chaos-style kills, which go
+    /// through [`ModelEntry::shards`] directly).
+    pub fn engine(&self) -> Arc<Engine> {
+        let replica = self
+            .shards
+            .primary()
+            .expect("model entry has no live replica");
+        Arc::clone(replica.engine())
     }
 
     /// The loaded program.
@@ -322,12 +342,18 @@ impl ModelRegistry {
             VirtualMachine::new(exe, Arc::clone(&self.config.devices))
                 .map_err(|e| ServeError::Compile(e.to_string()))?,
         );
-        let engine = Engine::new(Arc::clone(&vm), self.config.engine.clone())
-            .map_err(|e| ServeError::Compile(e.to_string()))?;
+        let shards = Arc::new(
+            ShardSet::new(
+                Arc::clone(&vm),
+                self.config.engine.clone(),
+                self.config.shards.clone(),
+            )
+            .map_err(|e| ServeError::Compile(e.to_string()))?,
+        );
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             version: version.to_string(),
-            engine,
+            shards,
             vm,
             weight_buffers,
         });
@@ -337,13 +363,13 @@ impl ModelRegistry {
         Ok(old.map(|e| Self::retire(&e)))
     }
 
-    /// Drain an entry's engine (which also trims its worker storage
-    /// arenas back to the device pools) and release its pre-packed
-    /// weights; returns its version string. After retirement the entry
-    /// holds no recycled storage and no packed panels — unload/hot-swap
-    /// returns memory to the pre-load baseline.
+    /// Drain an entry's replica set (which also trims each replica's
+    /// worker storage arenas back to the device pools) and release its
+    /// pre-packed weights; returns its version string. After retirement
+    /// the entry holds no recycled storage and no packed panels —
+    /// unload/hot-swap returns memory to the pre-load baseline.
     fn retire(entry: &Arc<ModelEntry>) -> String {
-        entry.engine.shutdown();
+        entry.shards.shutdown();
         prepack::release_buffers(&entry.weight_buffers);
         entry.version.clone()
     }

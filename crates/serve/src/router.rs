@@ -71,7 +71,7 @@ pub struct RouterConfig {
 /// telemetry exactly once.
 #[derive(Debug)]
 pub struct ServeTicket {
-    ticket: nimble_core::Ticket,
+    ticket: crate::shard::ShardTicket,
     telemetry: Arc<ModelTelemetry>,
     model: String,
     /// Trace context assigned at admission; the serve root span is
@@ -87,15 +87,20 @@ impl ServeTicket {
         &self.model
     }
 
-    /// Block until the request reaches its terminal state.
+    /// Block until the request reaches its terminal state. A replica
+    /// dying while holding the request is absorbed here: the shard layer
+    /// requeues it onto a survivor (counted in `requeued`), and only when
+    /// every requeue finds the replicas dead does the request fail —
+    /// explicitly, as `failed`/`replica_deaths`, never `lost`.
     ///
     /// # Errors
     /// [`Rejected::Expired`] when the deadline passed while queued;
-    /// [`Rejected::Unloaded`] when the serving engine died before
-    /// replying (worker panic — never part of a graceful drain, which
-    /// completes accepted work).
+    /// [`Rejected::Unloaded`] when the request could not survive replica
+    /// deaths (no live replica left to requeue onto).
     pub fn wait(self) -> Result<Completion, Rejected> {
-        let (result, outcome) = match self.ticket.wait() {
+        let outcome = self.ticket.wait();
+        self.telemetry.record_requeued(u64::from(outcome.requeues));
+        let (result, outcome) = match outcome.result {
             Ok(completion) => {
                 let ok = completion.result.is_ok();
                 self.telemetry.record_queue(completion.queued);
@@ -107,7 +112,7 @@ impl ServeTicket {
                 (Err(Rejected::Expired), 2)
             }
             Err(_) => {
-                self.telemetry.record_lost();
+                self.telemetry.record_replica_death();
                 (Err(Rejected::Unloaded), 3)
             }
         };
@@ -221,10 +226,7 @@ impl Router {
             (0, "")
         };
         let _g = nimble_obs::enter(ctx);
-        let admitted = match deadline {
-            Some(d) => entry.engine().try_submit_with_deadline("main", args, d),
-            None => entry.engine().try_submit("main", args),
-        };
+        let admitted = entry.shards().submit("main", args, deadline);
         let rejected = |arg: u64| {
             if ctx.is_sampled() {
                 nimble_obs::record_root(
@@ -302,8 +304,8 @@ fn refresh_engine_telemetry(telemetry: &Telemetry, registry: &ModelRegistry) {
     for (name, _) in registry.list() {
         if let Some(entry) = registry.get(&name) {
             let t = telemetry.model(&name);
-            t.record_arena(entry.engine().arena_stats());
-            t.record_profile(entry.engine().profile_report());
+            t.record_arena(entry.shards().arena_stats());
+            t.record_profile(entry.shards().profile_report());
         }
     }
 }
@@ -475,16 +477,89 @@ fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &
         }
     }
 
-    // Engine queue/exec split and device-pool memory come straight from
-    // the live entries (they have no history once a model is unloaded).
+    buf.header(
+        "nimble_serve_requeued_total",
+        "Re-admissions after a replica died holding the request",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        buf.sample_u64(
+            "nimble_serve_requeued_total",
+            &[("model", model)],
+            m.requeued,
+        );
+    }
+
+    // Engine queue/exec split (summed across replicas), per-replica rows,
+    // and device-pool memory come straight from the live entries (they
+    // have no history once a model is unloaded).
     let mut rows = Vec::new();
+    let mut shard_rows = Vec::new();
     for (name, _) in registry.list() {
         if let Some(entry) = registry.get(&name) {
-            let stats = entry.engine().stats();
+            let stats = entry.shards().engine_stats();
             let devices = entry.vm().devices();
             let cpu = devices.pool(DeviceId::Cpu).stats();
             let gpu = devices.pool(DeviceId::Gpu).stats();
+            shard_rows.push((name.clone(), entry.shards().stats()));
             rows.push((name, stats, cpu, gpu));
+        }
+    }
+    buf.header(
+        "nimble_shard_replicas",
+        "Live engine replicas serving the model",
+        "gauge",
+    );
+    for (model, ss) in &shard_rows {
+        buf.sample_u64(
+            "nimble_shard_replicas",
+            &[("model", model)],
+            ss.replicas.len() as u64,
+        );
+    }
+    buf.header(
+        "nimble_replica_queue_depth",
+        "Requests waiting in one replica's queue",
+        "gauge",
+    );
+    for (model, ss) in &shard_rows {
+        for r in &ss.replicas {
+            let id = r.id.to_string();
+            buf.sample_u64(
+                "nimble_replica_queue_depth",
+                &[("model", model), ("replica", &id)],
+                r.engine.queue_depth,
+            );
+        }
+    }
+    buf.header(
+        "nimble_replica_accepted_total",
+        "Requests admitted to one replica (requeues included)",
+        "counter",
+    );
+    for (model, ss) in &shard_rows {
+        for r in &ss.replicas {
+            let id = r.id.to_string();
+            buf.sample_u64(
+                "nimble_replica_accepted_total",
+                &[("model", model), ("replica", &id)],
+                r.accepted,
+            );
+        }
+    }
+    buf.header(
+        "nimble_shard_events_total",
+        "Replica lifecycle events since model registration",
+        "counter",
+    );
+    for (model, ss) in &shard_rows {
+        let (added, retired, killed) = ss.event_counts();
+        for (event, v) in [("added", added), ("retired", retired), ("killed", killed)] {
+            buf.sample_u64(
+                "nimble_shard_events_total",
+                &[("model", model), ("event", event)],
+                v,
+            );
         }
     }
     buf.header(

@@ -192,6 +192,12 @@ pub struct ModelTelemetry {
     failed: AtomicU64,
     expired: AtomicU64,
     lost: AtomicU64,
+    /// Successful re-admissions after a replica died holding the request
+    /// (the request itself still terminates exactly once).
+    requeued: AtomicU64,
+    /// Requests that exhausted requeues (or found no surviving replica)
+    /// after replica deaths; folded into `failed` for the invariant.
+    replica_deaths: AtomicU64,
     rejected_queue_full: AtomicU64,
     rejected_expired: AtomicU64,
     rejected_unloaded: AtomicU64,
@@ -226,8 +232,22 @@ impl ModelTelemetry {
         self.expired.fetch_add(1, Ordering::Relaxed);
     }
 
+    #[allow(dead_code)] // kept: the invariant bucket must stay recordable
     pub(crate) fn record_lost(&self) {
         self.lost.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_requeued(&self, n: u64) {
+        if n > 0 {
+            self.requeued.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// A request's serving replica(s) died and no survivor could take it:
+    /// an explicit failure (never `lost`), tagged for the chaos report.
+    pub(crate) fn record_replica_death(&self) {
+        self.replica_deaths.fetch_add(1, Ordering::Relaxed);
+        self.failed.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_rejected_queue_full(&self) {
@@ -266,6 +286,8 @@ impl ModelTelemetry {
             failed: self.failed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             lost: self.lost.load(Ordering::Relaxed),
+            requeued: self.requeued.load(Ordering::Relaxed),
+            replica_deaths: self.replica_deaths.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_queue_full.load(Ordering::Relaxed),
             rejected_expired: self.rejected_expired.load(Ordering::Relaxed),
             rejected_unloaded: self.rejected_unloaded.load(Ordering::Relaxed),
@@ -292,6 +314,12 @@ pub struct ModelStats {
     /// Accepted requests that never got a reply (worker death; always 0
     /// in a healthy server).
     pub lost: u64,
+    /// Successful re-admissions after replica deaths (not a terminal
+    /// outcome: the requeued request still lands in exactly one bucket).
+    pub requeued: u64,
+    /// Requests failed because every requeue attempt found the replicas
+    /// dead (subset of `failed`).
+    pub replica_deaths: u64,
     /// Shed at admission: queue at capacity.
     pub rejected_queue_full: u64,
     /// Shed at admission: deadline already passed.

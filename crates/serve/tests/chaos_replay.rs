@@ -1,0 +1,106 @@
+//! Satellite: deterministic replay of the chaos harness. The same seed
+//! over the same model set must produce the identical event transcript
+//! and identical terminal accounting — any divergence means hidden
+//! nondeterminism (timing-dependent admission, racy fault injection, an
+//! unseeded random draw) has crept into the scheduler.
+//!
+//! Lives in its own integration binary because the harness checks
+//! process-global state (the prepack cache) against baselines.
+
+use nimble_ir::attrs::Attrs;
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::Module;
+use nimble_serve::{ChaosConfig, ChaosHarness, ChaosModel};
+use nimble_tensor::{DType, Tensor};
+use nimble_vm::Object;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A dynamic-batch dense model: x:[?,width] → dense → tanh, with
+/// version-dependent weights (same architecture, so the prepack count is
+/// stable across hot-swaps).
+fn dense_module(width: usize, version: u64) -> Module {
+    let mut rng = StdRng::seed_from_u64(0xD0D0 + version);
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param(
+        "x",
+        TensorType::with_any(&[None, Some(width as u64)], DType::F32),
+    );
+    let w = fb.constant(Tensor::rand_f32(&mut rng, &[width, width], 0.5));
+    let h = fb.call("dense", vec![x, w], Attrs::new());
+    let y = fb.call("tanh", vec![h], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    m
+}
+
+/// Pathological dynamic-shape mix: every request draws a fresh batch size
+/// from the harness's seeded RNG.
+fn dense_request(width: usize, rng: &mut StdRng) -> Vec<Object> {
+    let batch = rng.gen_range(1usize..7);
+    vec![Object::tensor(Tensor::ones_f32(&[batch, width]))]
+}
+
+fn models() -> Vec<ChaosModel> {
+    vec![
+        ChaosModel {
+            name: "lstmish".to_string(),
+            module: Box::new(|v| dense_module(6, v)),
+            request: Box::new(|rng| dense_request(6, rng)),
+        },
+        ChaosModel {
+            name: "bertish".to_string(),
+            module: Box::new(|v| dense_module(8, 100 + v)),
+            request: Box::new(|rng| dense_request(8, rng)),
+        },
+    ]
+}
+
+#[test]
+fn same_seed_produces_identical_transcript_and_accounting() {
+    let config = ChaosConfig {
+        seed: 0x0DD5_EED5,
+        episodes: 12,
+        ..ChaosConfig::default()
+    };
+    let first = ChaosHarness::new(models(), config.clone()).run();
+    let second = ChaosHarness::new(models(), config.clone()).run();
+
+    assert_eq!(
+        first.events, second.events,
+        "replay diverged:\n--- run 1 ---\n{first}\n--- run 2 ---\n{second}"
+    );
+    assert_eq!(first.accounting, second.accounting);
+    assert_eq!(first, second);
+
+    // The run actually exercised faults and traffic, and the terminal
+    // accounting balances (the harness asserts this per episode too —
+    // restate it here so the test is self-contained).
+    assert_eq!(first.events.len(), 12);
+    for (name, c) in &first.accounting {
+        assert!(c.accepted > 0, "{name} saw no traffic:\n{first}");
+        assert_eq!(
+            c.accepted,
+            c.completed + c.failed + c.expired,
+            "{name} leaked requests:\n{first}"
+        );
+    }
+    let total: u64 = first.accounting.values().map(|c| c.accepted).sum();
+    assert!(total >= 24, "suspiciously little traffic:\n{first}");
+
+    // A different seed must actually change the schedule (guards against
+    // the harness ignoring its seed and "replaying" trivially).
+    let other = ChaosHarness::new(
+        models(),
+        ChaosConfig {
+            seed: 0xFACE_0FF5,
+            ..config
+        },
+    )
+    .run();
+    assert_ne!(
+        first.events, other.events,
+        "different seeds produced the same transcript"
+    );
+}

@@ -1,0 +1,256 @@
+//! Satellite regression tests: replicas dying while holding queued
+//! requests, observed through the router.
+//!
+//! The drain-on-unload path always had coverage, but nothing asserted
+//! what happens when a replica dies *abruptly* with work still queued.
+//! These tests pin the contract: every such ticket resolves — requeued
+//! onto a survivor (and completed) or an explicit failure — and the
+//! `lost` bucket stays at zero in every scenario. The autoscaler
+//! hysteresis test rides along because it asserts through the same new
+//! per-replica telemetry (shard stats + Prometheus families).
+
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_ir::attrs::Attrs;
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::Module;
+use nimble_serve::{
+    AutoscalerConfig, ModelRegistry, RegistryConfig, Rejected, Router, RouterConfig, ShardConfig,
+};
+use nimble_tensor::{DType, Tensor};
+use nimble_vm::Object;
+use std::sync::Arc;
+
+fn add_one_module() -> Module {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::new(&[2], DType::F32));
+    let c = fb.constant(Tensor::from_vec_f32(vec![1.0, 1.0], &[2]).unwrap());
+    let y = fb.call("add", vec![x, c], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    m
+}
+
+fn arg(v: f32) -> Vec<Object> {
+    vec![Object::tensor(
+        Tensor::from_vec_f32(vec![v, v], &[2]).unwrap(),
+    )]
+}
+
+fn router_with(replicas: usize, autoscaler: AutoscalerConfig) -> Router {
+    let reg = Arc::new(ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig {
+            workers: 1,
+            queue_capacity: 16,
+            max_batch: 2,
+        },
+        shards: ShardConfig {
+            replicas,
+            min_replicas: 1,
+            max_replicas: 4,
+            seed: 7,
+            autoscaler,
+        },
+        ..RegistryConfig::default()
+    }));
+    reg.register("m", "v1", &add_one_module(), &CompileOptions::default())
+        .unwrap();
+    Router::new(reg, RouterConfig::default())
+}
+
+fn no_scale() -> AutoscalerConfig {
+    AutoscalerConfig {
+        queue_high: u64::MAX / 2,
+        queue_ns_growth_high: u64::MAX,
+        ..AutoscalerConfig::default()
+    }
+}
+
+/// A replica dies holding queued requests while a survivor lives: every
+/// orphaned ticket requeues and completes. Nothing is failed, nothing is
+/// lost.
+#[test]
+fn kill_with_survivor_requeues_every_orphan() {
+    let router = router_with(2, no_scale());
+    let entry = router.registry().get("m").unwrap();
+    let shards = Arc::clone(entry.shards());
+
+    // Freeze both replicas so the queue split is exact, then load them.
+    shards.pause_all();
+    let tickets: Vec<_> = (0..10)
+        .map(|i| router.submit("m", arg(i as f32)).unwrap())
+        .collect();
+    let victim = *shards.replica_ids().last().unwrap();
+    let orphans = shards
+        .stats()
+        .replicas
+        .iter()
+        .find(|r| r.id == victim)
+        .unwrap()
+        .engine
+        .queue_depth;
+    assert!(orphans > 0, "p2c should spread a 10-burst over 2 replicas");
+    assert!(shards.kill(victim));
+    shards.resume_all();
+
+    for (i, t) in tickets.into_iter().enumerate() {
+        let done = t.wait().expect("orphans must requeue, not fail");
+        assert_eq!(
+            done.result
+                .unwrap()
+                .wait_tensor()
+                .unwrap()
+                .as_f32()
+                .unwrap(),
+            &[i as f32 + 1.0; 2]
+        );
+    }
+    let m = &router.stats().models["m"];
+    assert_eq!(m.accepted, 10);
+    assert_eq!(m.completed, 10);
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.lost, 0, "a killed replica must never lose tickets");
+    assert_eq!(m.requeued, orphans, "each orphan requeues exactly once");
+    assert_eq!(m.replica_deaths, 0);
+
+    // The new per-replica telemetry records the kill and conserves the
+    // per-replica admission counts across the death.
+    let stats = shards.stats();
+    assert_eq!(
+        stats.event_counts(),
+        (2, 0, 1),
+        "added=2 retired=0 killed=1"
+    );
+    assert_eq!(
+        stats.replica_accepted_sum(),
+        stats.accepted + stats.requeued
+    );
+    let prom = router.prometheus();
+    assert!(prom.contains("nimble_shard_events_total{model=\"m\",event=\"killed\"} 1"));
+    assert!(prom.contains(&format!(
+        "nimble_serve_requeued_total{{model=\"m\"}} {orphans}"
+    )));
+}
+
+/// Every replica dies holding queued requests: tickets resolve as
+/// explicit failures (`Rejected::Unloaded`, counted `failed` and
+/// `replica_deaths`) — never `lost`, never silence.
+#[test]
+fn kill_of_all_replicas_fails_explicitly_never_lost() {
+    let router = router_with(2, no_scale());
+    let entry = router.registry().get("m").unwrap();
+    let shards = Arc::clone(entry.shards());
+
+    shards.pause_all();
+    let tickets: Vec<_> = (0..6)
+        .map(|i| router.submit("m", arg(i as f32)).unwrap())
+        .collect();
+    for id in shards.replica_ids() {
+        assert!(shards.kill(id));
+    }
+    assert!(shards.is_empty());
+
+    for t in tickets {
+        assert_eq!(t.wait().unwrap_err(), Rejected::Unloaded);
+    }
+    let m = &router.stats().models["m"];
+    assert_eq!(m.accepted, 6);
+    assert_eq!(m.failed, 6, "orphans with no survivor fail explicitly");
+    assert_eq!(m.replica_deaths, 6);
+    assert_eq!(m.lost, 0, "never lost, even with zero survivors");
+    assert_eq!(m.accepted, m.completed + m.failed + m.expired);
+}
+
+/// Unload while requests are queued stays a graceful drain: accepted work
+/// completes, nothing requeues, nothing is lost (the pre-shard contract,
+/// re-pinned on the sharded path).
+#[test]
+fn unload_with_queued_requests_drains_to_completion() {
+    let router = router_with(2, no_scale());
+    let entry = router.registry().get("m").unwrap();
+    let shards = Arc::clone(entry.shards());
+
+    shards.pause_all();
+    let tickets: Vec<_> = (0..8)
+        .map(|i| router.submit("m", arg(i as f32)).unwrap())
+        .collect();
+    // Unload resumes (graceful drain executes the backlog) and blocks
+    // until both replicas finish.
+    router.registry().unload("m").unwrap();
+    for t in tickets {
+        assert!(
+            t.wait().is_ok(),
+            "drain-on-unload must complete queued work"
+        );
+    }
+    let m = &router.stats().models["m"];
+    assert_eq!(m.accepted, 8);
+    assert_eq!(m.completed, 8);
+    assert_eq!(m.lost, 0);
+    assert_eq!(m.requeued, 0, "graceful drain must not requeue");
+}
+
+/// Autoscaler hysteresis: a load spike followed by an immediate drop must
+/// not flap replicas. Events are bounded by the cooldown and per-window
+/// budget, asserted via the per-replica telemetry and the Prometheus
+/// lifecycle counters.
+#[test]
+fn autoscaler_spike_then_drop_does_not_flap() {
+    let router = router_with(
+        1,
+        AutoscalerConfig {
+            queue_high: 2,
+            queue_ns_growth_high: u64::MAX,
+            idle_ticks: 2,
+            cooldown_ticks: 2,
+            window_ticks: 8,
+            max_events_per_window: 2,
+        },
+    );
+    let entry = router.registry().get("m").unwrap();
+    let shards = Arc::clone(entry.shards());
+
+    // Spike: backlog far past queue_high, ticking the whole time.
+    shards.pause_all();
+    let tickets: Vec<_> = (0..12)
+        .map(|i| router.submit("m", arg(i as f32)).unwrap())
+        .collect();
+    let mut events = 0;
+    for _ in 0..4 {
+        if shards.autoscale_tick().is_some() {
+            events += 1;
+        }
+    }
+    assert!(events >= 1, "sustained backlog must scale up");
+    // Immediate drop: drain everything, keep ticking.
+    shards.resume_all();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    for _ in 0..12 {
+        if shards.autoscale_tick().is_some() {
+            events += 1;
+        }
+    }
+    // 16 ticks = two 8-tick windows at ≤2 events each.
+    assert!(
+        events <= 4,
+        "autoscaler flapped: {events} events in 16 ticks"
+    );
+    let stats = shards.stats();
+    let (added, retired, killed) = stats.event_counts();
+    assert!(added <= 3, "churn: {added} adds");
+    assert!(retired <= 2, "churn: {retired} retires");
+    assert_eq!(killed, 0);
+    // Scale-down returned to the floor, and conservation held throughout.
+    assert_eq!(stats.replicas.len(), 1);
+    assert_eq!(
+        stats.replica_accepted_sum(),
+        stats.accepted + stats.requeued
+    );
+    let prom = router.prometheus();
+    assert!(prom.contains("nimble_shard_replicas{model=\"m\"} 1"));
+    assert!(prom.contains(&format!(
+        "nimble_shard_events_total{{model=\"m\",event=\"added\"}} {added}"
+    )));
+}
