@@ -16,18 +16,43 @@
 //! The default (smoke) effort is wired into CI next to `serve_mix`;
 //! `--full` runs a longer soak.
 
+use std::sync::Arc;
+use std::time::Duration;
+
 use nimble_bench::harness::Effort;
 use nimble_models::data::list_object;
 use nimble_models::{BertConfig, BertModel, LstmConfig, LstmModel};
 use nimble_serve::{ChaosConfig, ChaosHarness, ChaosModel, ChaosReport};
-use nimble_vm::Object;
+use nimble_vm::{BatchConfig, Object};
 use rand::Rng;
 
+/// Bucket edges shared by both chaos models: request lengths are drawn
+/// from 2..9 (LSTM) and 2..7 (BERT), so power-of-two edges up to 8 cover
+/// every draw and still force padding on odd lengths.
+const BUCKETS: [usize; 3] = [2, 4, 8];
+
+fn batch_config() -> BatchConfig {
+    BatchConfig {
+        buckets: BUCKETS.to_vec(),
+        min_batch: 2,
+        max_batch: 4,
+        max_wait: Duration::from_micros(100),
+    }
+}
+
 fn lstm_chaos_model() -> ChaosModel {
+    let plan = LstmModel::new(LstmConfig {
+        input: 16,
+        hidden: 16,
+        layers: 1,
+        seed: 42,
+    })
+    .batch_plan(batch_config());
     ChaosModel {
         name: "lstm".to_string(),
         // Same architecture every version (stable prepack count), fresh
-        // weights per hot-swap.
+        // weights per hot-swap. `module_batched` carries the `main_b{L}`
+        // entries the batch plan dispatches to.
         module: Box::new(|v| {
             LstmModel::new(LstmConfig {
                 input: 16,
@@ -35,7 +60,7 @@ fn lstm_chaos_model() -> ChaosModel {
                 layers: 1,
                 seed: 42 + v,
             })
-            .module()
+            .module_batched(&BUCKETS)
         }),
         // Pathological dynamic-shape mix: every request draws a fresh
         // sequence length.
@@ -49,6 +74,7 @@ fn lstm_chaos_model() -> ChaosModel {
             let len = rng.gen_range(2usize..9);
             vec![list_object(&model.random_tokens(rng, len))]
         }),
+        batch: Some(Arc::new(plan)),
     }
 }
 
@@ -62,6 +88,7 @@ fn bert_chaos_model() -> ChaosModel {
         max_pos: 64,
         seed: 42,
     };
+    let plan = BertModel::new(config).batch_plan(batch_config());
     ChaosModel {
         name: "bert".to_string(),
         module: Box::new(move |v| {
@@ -69,7 +96,7 @@ fn bert_chaos_model() -> ChaosModel {
                 seed: 42 + v,
                 ..config
             })
-            .module()
+            .module_batched(&BUCKETS)
         }),
         request: Box::new(move |rng| {
             let model = BertModel::new(config);
@@ -77,6 +104,7 @@ fn bert_chaos_model() -> ChaosModel {
             let (tok, pos) = model.inputs(&model.random_tokens(rng, len));
             vec![Object::tensor(tok), Object::tensor(pos)]
         }),
+        batch: Some(Arc::new(plan)),
     }
 }
 
@@ -110,11 +138,22 @@ fn main() {
     println!("run 2: identical transcript and accounting (replay verified)");
 
     // The seeded schedule must actually exercise the headline faults.
-    let kinds = ["burst", "kill", "storm", "hot_swap", "scale"];
+    // `kill_batch` needs a whole-word match ("kill_batch" contains
+    // "kill"), so check it with the trailing space the event format
+    // guarantees.
+    let kinds = [
+        "burst ",
+        "kill ",
+        "storm ",
+        "hot_swap ",
+        "scale ",
+        "kill_batch ",
+    ];
     for kind in kinds {
         assert!(
             first.events.iter().any(|e| e.contains(kind)),
-            "seeded schedule never ran a {kind} episode; transcript:\n{first}"
+            "seeded schedule never ran a {} episode; transcript:\n{first}",
+            kind.trim_end()
         );
     }
 

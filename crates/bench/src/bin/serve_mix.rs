@@ -15,6 +15,14 @@
 //!
 //! The default (smoke) effort asserts the invariants and is wired into
 //! CI; `--full` runs a larger mix for the numbers in EXPERIMENTS.md.
+//!
+//! `--batching` switches to the cross-request dynamic-batching A/B: the
+//! same client mix is served by an unbatched stack and a batch-planned
+//! stack (pad-to-bucket + one `main_b{bucket}` VM run per formed batch),
+//! asserting the batched outputs are **bitwise identical** to the
+//! unbatched ones, that real batches formed, that nothing is lost, and
+//! that batched throughput at 2x overload beats unbatched (>= 1.8x under
+//! `--full`). Results land in `BENCH_batching.json`.
 
 use nimble_bench::harness::Effort;
 use nimble_bench::workload::mrpc_lengths;
@@ -23,13 +31,19 @@ use nimble_device::DeviceSet;
 use nimble_models::data::list_object;
 use nimble_models::{BertConfig, BertModel, LstmConfig, LstmModel};
 use nimble_serve::{ModelRegistry, ModelStats, RegistryConfig, Rejected, Router, RouterConfig};
-use nimble_tensor::prepack;
-use nimble_vm::Object;
+use nimble_tensor::{prepack, Tensor};
+use nimble_vm::{BatchConfig, BatchPlan, Object};
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const WORKERS: usize = 2;
+
+/// Shape-bucket edges for the `--batching` mode. LSTM requests are
+/// clamped to 24 tokens; BERT draws MRPC-like lengths in 5..=64 (well
+/// under its `max_pos` of 128).
+const LSTM_BUCKETS: [usize; 3] = [8, 16, 24];
+const BERT_BUCKETS: [usize; 4] = [8, 16, 32, 64];
 
 /// One model's request mix: name plus pre-built argument sets.
 struct ClientMix {
@@ -164,8 +178,317 @@ fn assert_healthy(stats: &nimble_serve::ServeStats, phase: &str) {
     }
 }
 
+fn lstm_model() -> LstmModel {
+    LstmModel::new(LstmConfig {
+        input: 32,
+        hidden: 32,
+        layers: 1,
+        seed: 42,
+    })
+}
+
+fn bert_model() -> BertModel {
+    BertModel::new(BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        ffn: 256,
+        vocab: 500,
+        max_pos: 128,
+        seed: 42,
+    })
+}
+
+fn batch_config(buckets: &[usize]) -> BatchConfig {
+    BatchConfig {
+        buckets: buckets.to_vec(),
+        min_batch: 2,
+        max_batch: 4,
+        max_wait: Duration::from_micros(200),
+    }
+}
+
+/// Build a full serving stack; `batched` registers the bucket-entry
+/// modules with their [`BatchPlan`]s, otherwise the plain single-request
+/// modules. Engine/device shape is identical either way, so the A/B
+/// isolates the batcher.
+fn build_stack(batched: bool) -> (Arc<ModelRegistry>, Arc<Router>) {
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig {
+            workers: WORKERS,
+            queue_capacity: 8,
+            max_batch: 4,
+        },
+        devices: Arc::new(DeviceSet::with_gpu_lanes(
+            WORKERS,
+            Duration::from_micros(20),
+        )),
+        ..RegistryConfig::default()
+    }));
+    let opts = CompileOptions::gpu();
+    let lstm = lstm_model();
+    let bert = bert_model();
+    if batched {
+        let lstm_plan: Arc<BatchPlan> = Arc::new(lstm.batch_plan(batch_config(&LSTM_BUCKETS)));
+        let bert_plan: Arc<BatchPlan> = Arc::new(bert.batch_plan(batch_config(&BERT_BUCKETS)));
+        registry
+            .register_with_batch(
+                "lstm",
+                "v1",
+                &lstm.module_batched(&LSTM_BUCKETS),
+                &opts,
+                Some(lstm_plan),
+            )
+            .expect("register batched lstm");
+        registry
+            .register_with_batch(
+                "bert",
+                "v1",
+                &bert.module_batched(&BERT_BUCKETS),
+                &opts,
+                Some(bert_plan),
+            )
+            .expect("register batched bert");
+    } else {
+        registry
+            .register("lstm", "v1", &lstm.module(), &opts)
+            .expect("register lstm");
+        registry
+            .register("bert", "v1", &bert.module(), &opts)
+            .expect("register bert");
+    }
+    let router = Arc::new(Router::new(Arc::clone(&registry), RouterConfig::default()));
+    (registry, router)
+}
+
+/// Serve every request in `mixes` and return the output tensors in
+/// submission order, windowed to the admission queue so nothing sheds.
+fn collect_outputs(router: &Arc<Router>, mixes: &[ClientMix]) -> Vec<Vec<Tensor>> {
+    mixes
+        .iter()
+        .map(|mix| {
+            let mut outs = Vec::new();
+            for chunk in mix.requests.chunks(8) {
+                let tickets: Vec<_> = chunk
+                    .iter()
+                    .map(|args| router.submit(mix.model, args.clone()).expect("admit"))
+                    .collect();
+                for t in tickets {
+                    outs.push(
+                        t.wait()
+                            .expect("terminal outcome")
+                            .result
+                            .expect("vm run")
+                            .wait_tensor()
+                            .expect("tensor output"),
+                    );
+                }
+            }
+            outs
+        })
+        .collect()
+}
+
+/// Repeat each mix up to `burst` requests for the overload phase.
+fn overload_mixes(mixes: &[ClientMix], burst: usize) -> Vec<ClientMix> {
+    mixes
+        .iter()
+        .map(|m| {
+            let mut requests = Vec::new();
+            while requests.len() < burst {
+                requests.extend(m.requests.iter().cloned());
+            }
+            requests.truncate(burst);
+            ClientMix {
+                model: m.model,
+                requests,
+            }
+        })
+        .collect()
+}
+
+/// The `--batching` A/B: bitwise identity, then 2x-overload throughput,
+/// unbatched stack vs batch-planned stack; writes BENCH_batching.json.
+fn batching_mode(effort: Effort) {
+    let full = effort == Effort::full();
+    println!("serve_mix --batching: dynamic batching A/B ({effort:?})");
+
+    let (_, bert_reqs) = bert_requests(effort, 9);
+    let mixes = [
+        ClientMix {
+            model: "lstm",
+            requests: lstm_requests(effort, 7),
+        },
+        ClientMix {
+            model: "bert",
+            requests: bert_reqs,
+        },
+    ];
+    let burst = 2 * (8 + WORKERS);
+    let over = overload_mixes(&mixes, burst);
+    let rounds = if full { 6 } else { 3 };
+    // Generous deadline: overload sheds at admission (QueueFull), never
+    // by expiry, so completed counts measure capacity cleanly.
+    let deadline = Duration::from_secs(30);
+    let p99_budget = Duration::from_secs(5);
+
+    // ---- A: unbatched reference ----
+    let (_registry_u, router_u) = build_stack(false);
+    let want = collect_outputs(&router_u, &mixes);
+    let before = router_u.stats();
+    let wall_u = drive(&router_u, &over, rounds, deadline, burst);
+    let stats_u = router_u.stats();
+    assert_healthy(&stats_u, "unbatched-overload");
+    let done_u: u64 = stats_u.models.values().map(|m| m.completed).sum::<u64>()
+        - before.models.values().map(|m| m.completed).sum::<u64>();
+    let rate_u = done_u as f64 / wall_u.as_secs_f64();
+    let p99_u = stats_u
+        .models
+        .values()
+        .map(|m| m.latency.p99())
+        .max()
+        .unwrap();
+    println!("\nunbatched 2x overload ({rounds} rounds, wall {wall_u:.2?}):");
+    for (name, m) in &stats_u.models {
+        println!("{}", fmt_model_line(name, m, wall_u));
+        assert_eq!(
+            m.expired, 0,
+            "unbatched/{name}: expired under generous deadline"
+        );
+    }
+    router_u.shutdown();
+
+    // ---- B: batched stack ----
+    let (registry_b, router_b) = build_stack(true);
+    let got = collect_outputs(&router_b, &mixes);
+    let mut compared = 0usize;
+    for (mix, (ws, gs)) in mixes.iter().zip(want.iter().zip(&got)) {
+        assert_eq!(ws.len(), gs.len());
+        for (i, (w, g)) in ws.iter().zip(gs).enumerate() {
+            assert_eq!(
+                w.dims(),
+                g.dims(),
+                "{}/{i}: batched output shape differs",
+                mix.model
+            );
+            for (a, b) in w.as_f32().unwrap().iter().zip(g.as_f32().unwrap()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}/{i}: batched output not bitwise identical ({a} vs {b})",
+                    mix.model
+                );
+            }
+            compared += 1;
+        }
+    }
+    println!("\nidentity: {compared} outputs bitwise-identical across stacks");
+
+    let before = router_b.stats();
+    let wall_b = drive(&router_b, &over, rounds, deadline, burst);
+    let stats_b = router_b.stats();
+    assert_healthy(&stats_b, "batched-overload");
+    let done_b: u64 = stats_b.models.values().map(|m| m.completed).sum::<u64>()
+        - before.models.values().map(|m| m.completed).sum::<u64>();
+    let rate_b = done_b as f64 / wall_b.as_secs_f64();
+    let p99_b = stats_b
+        .models
+        .values()
+        .map(|m| m.latency.p99())
+        .max()
+        .unwrap();
+
+    let mut batches_formed = 0u64;
+    let mut batched_requests = 0u64;
+    let mut padded = 0u64;
+    let mut used = 0u64;
+    println!("\nbatched 2x overload ({rounds} rounds, wall {wall_b:.2?}):");
+    for (name, m) in &stats_b.models {
+        println!("{}", fmt_model_line(name, m, wall_b));
+        assert_eq!(
+            m.expired, 0,
+            "batched/{name}: expired under generous deadline"
+        );
+        let e = registry_b.get(name).unwrap().shards().engine_stats();
+        batches_formed += e.batches_formed;
+        batched_requests += e.batched_requests;
+        padded += e.padded_units;
+        used += e.used_units;
+        assert!(
+            e.batches_formed > 0,
+            "{name}: overload never formed a batch"
+        );
+        assert_eq!(
+            m.batched, e.batched_requests,
+            "{name}: telemetry and engine disagree on batched count"
+        );
+    }
+    router_b.shutdown();
+
+    let mean_batch = batched_requests as f64 / batches_formed.max(1) as f64;
+    let pad_waste = padded as f64 / (padded + used).max(1) as f64;
+    let speedup = rate_b / rate_u;
+    println!(
+        "\nbatching: {batches_formed} batches (mean size {mean_batch:.2}, pad waste {:.1}%), \
+         {rate_u:.1} -> {rate_b:.1} req/s ({speedup:.2}x), p99 {p99_u:.2?} -> {p99_b:.2?}",
+        pad_waste * 100.0
+    );
+
+    assert!(
+        p99_u <= p99_budget,
+        "unbatched p99 {p99_u:?} blew the budget"
+    );
+    assert!(p99_b <= p99_budget, "batched p99 {p99_b:?} blew the budget");
+    assert!(
+        rate_b >= rate_u,
+        "batched throughput regressed: {rate_b:.1} < {rate_u:.1} req/s"
+    );
+    if full {
+        assert!(
+            speedup >= 1.8,
+            "batched speedup {speedup:.2}x below the 1.8x bar at 2x overload"
+        );
+    }
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"serve_mix_batching\",\n",
+            "  \"effort\": \"{}\",\n",
+            "  \"models\": [\"lstm\", \"bert\"],\n",
+            "  \"burst\": {},\n",
+            "  \"rounds\": {},\n",
+            "  \"unbatched\": {{ \"req_s\": {:.1}, \"p99_ms\": {:.3} }},\n",
+            "  \"batched\": {{ \"req_s\": {:.1}, \"p99_ms\": {:.3}, \"batches_formed\": {}, ",
+            "\"batched_requests\": {}, \"mean_batch_size\": {:.2}, \"pad_waste_ratio\": {:.3} }},\n",
+            "  \"speedup\": {:.2},\n",
+            "  \"outputs\": \"bitwise-identical\",\n",
+            "  \"lost\": 0\n",
+            "}}\n"
+        ),
+        if full { "full" } else { "smoke" },
+        burst,
+        rounds,
+        rate_u,
+        p99_u.as_secs_f64() * 1e3,
+        rate_b,
+        p99_b.as_secs_f64() * 1e3,
+        batches_formed,
+        batched_requests,
+        mean_batch,
+        pad_waste,
+        speedup,
+    );
+    std::fs::write("BENCH_batching.json", json).expect("write BENCH_batching.json");
+    println!("wrote BENCH_batching.json");
+    println!("serve_mix --batching: OK");
+}
+
 fn main() {
     let effort = Effort::from_args();
+    if std::env::args().any(|a| a == "--batching") {
+        return batching_mode(effort);
+    }
     let full = effort == Effort::full();
     println!("serve_mix: two models behind one router ({effort:?})");
 

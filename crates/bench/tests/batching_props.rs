@@ -1,0 +1,179 @@
+//! Differential property tests for cross-request dynamic batching: any
+//! random mix of LSTM requests served through a batch-planned stack must
+//! produce per-request outputs **bitwise identical** to running the same
+//! inputs through the unbatched `main` entry, while the terminal books
+//! stay exactly-once and every arena byte is returned at quiesce.
+//!
+//! The mix is submitted with the shards paused so the whole case lands
+//! in one replica's queue; on resume the single worker drains it in one
+//! sweep, so whenever two requests share a shape bucket a real padded
+//! batch forms (asserted below — the test would silently prove nothing
+//! if batching never engaged).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_models::data::list_object;
+use nimble_models::{LstmConfig, LstmModel};
+use nimble_serve::{ModelRegistry, RegistryConfig, Router, RouterConfig, ShardConfig};
+use nimble_tensor::Tensor;
+use nimble_vm::{BatchConfig, Object};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BUCKETS: [usize; 3] = [2, 4, 8];
+const QUEUE: usize = 16;
+
+fn lstm() -> LstmModel {
+    LstmModel::new(LstmConfig {
+        input: 4,
+        hidden: 4,
+        layers: 1,
+        seed: 7,
+    })
+}
+
+fn plan(model: &LstmModel) -> nimble_vm::BatchPlan {
+    model.batch_plan(BatchConfig {
+        buckets: BUCKETS.to_vec(),
+        min_batch: 2,
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+    })
+}
+
+/// Smallest bucket edge covering `len` (mirrors `BatchPlan::bucket_for`;
+/// lens are drawn ≤ 8 so an edge always exists).
+fn bucket_for(len: usize) -> usize {
+    *BUCKETS.iter().find(|&&b| b >= len).unwrap()
+}
+
+fn assert_bitwise_eq(got: &Tensor, want: &Tensor, ctx: &str) {
+    assert_eq!(got.dims(), want.dims(), "{ctx}: shape mismatch");
+    for (i, (a, b)) in got
+        .as_f32()
+        .unwrap()
+        .iter()
+        .zip(want.as_f32().unwrap())
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{ctx}: element {i} differs ({a} vs {b})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn batched_serving_is_bitwise_identical_to_unbatched(
+        // At most 8 requests = one worker drain sweep (`max_batch`), so
+        // the co-batching assertion below can reason about the whole mix.
+        lens in proptest::collection::vec(1usize..9, 1..9),
+        seed in 0u64..1_000,
+    ) {
+        let model = lstm();
+        let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+            engine: EngineConfig {
+                workers: 1,
+                queue_capacity: QUEUE,
+                max_batch: 8,
+            },
+            shards: ShardConfig {
+                replicas: 1,
+                ..ShardConfig::default()
+            },
+            ..RegistryConfig::default()
+        }));
+        registry
+            .register_with_batch(
+                "lstm",
+                "v1",
+                &model.module_batched(&BUCKETS),
+                &CompileOptions::default(),
+                Some(Arc::new(plan(&model))),
+            )
+            .unwrap();
+        let router = Router::new(Arc::clone(&registry), RouterConfig::default());
+
+        let mut rng = StdRng::seed_from_u64(0xB17_B17 ^ seed);
+        let requests: Vec<Vec<Object>> = lens
+            .iter()
+            .map(|&l| vec![list_object(&model.random_tokens(&mut rng, l))])
+            .collect();
+
+        // Reference: the same inputs through the unbatched `main` entry
+        // on the entry's own VM — no engine, no arena, no padding.
+        let entry = registry.get("lstm").unwrap();
+        let want: Vec<Tensor> = requests
+            .iter()
+            .map(|args| {
+                entry
+                    .vm()
+                    .run("main", args.clone())
+                    .unwrap()
+                    .wait_tensor()
+                    .unwrap()
+            })
+            .collect();
+
+        // Load the whole mix while paused so resume drains it in one
+        // sweep and same-bucket requests actually co-batch.
+        let shards = Arc::clone(entry.shards());
+        drop(entry);
+        shards.pause_all();
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|args| router.submit("lstm", args.clone()).unwrap())
+            .collect();
+        shards.resume_all();
+
+        for (i, (ticket, want)) in tickets.into_iter().zip(&want).enumerate() {
+            let done = ticket.wait().unwrap();
+            let got = done.result.unwrap().wait_tensor().unwrap();
+            assert_bitwise_eq(&got, want, &format!("request {i} (len {})", lens[i]));
+        }
+
+        // Exactly-once accounting and batch bookkeeping.
+        let n = lens.len() as u64;
+        let stats = router.stats();
+        let m = &stats.models["lstm"];
+        prop_assert_eq!(m.accepted, n);
+        prop_assert_eq!(m.completed, n);
+        prop_assert_eq!(m.failed, 0);
+        prop_assert_eq!(m.lost, 0);
+        prop_assert_eq!(m.batched + m.unbatched, n);
+
+        // The first drain sees the whole queue, so any bucket with two
+        // or more members must have formed at least one real batch.
+        let mut counts = [0usize; BUCKETS.len()];
+        for &l in &lens {
+            counts[BUCKETS.iter().position(|&b| b == bucket_for(l)).unwrap()] += 1;
+        }
+        let engine = shards.engine_stats();
+        if counts.iter().any(|&c| c >= 2) {
+            prop_assert!(
+                engine.batches_formed >= 1,
+                "mix {:?} should have co-batched (stats {:?})",
+                &lens,
+                engine
+            );
+            prop_assert!(m.batched >= 2);
+        }
+        prop_assert_eq!(
+            engine.batched_requests,
+            m.batched,
+            "engine and telemetry disagree on batched count"
+        );
+
+        // Every arena byte handed to batch gathers and request outputs
+        // must be back before teardown.
+        prop_assert_eq!(shards.arena_stats().live_bytes, 0);
+        router.shutdown();
+    }
+}

@@ -30,7 +30,7 @@ use crate::Result as CompileResult;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use nimble_obs::{Category as ObsCat, SpanContext};
 use nimble_vm::{
-    ArenaStats, Object, ProfileReport, Session, StorageArena, VirtualMachine, VmError,
+    ArenaStats, BatchPlan, Object, ProfileReport, Session, StorageArena, VirtualMachine, VmError,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -83,10 +83,15 @@ pub struct Completion {
     /// Time spent waiting in the queue before a worker picked the request
     /// up (`latency ≈ queued + execution`).
     pub queued: Duration,
-    /// Time inside [`VirtualMachine::run_in`] only.
+    /// Time inside [`VirtualMachine::run_in`] only. For a member of a
+    /// dynamically formed batch this is the *whole batch's* run time
+    /// (members share one execution).
     pub execution: Duration,
     /// Index of the worker thread that served the request.
     pub worker: usize,
+    /// How many requests shared the VM execution that produced this
+    /// completion (1 on the unbatched path).
+    pub batch_size: usize,
 }
 
 /// Why a request could not be submitted or completed.
@@ -181,7 +186,14 @@ struct Counters {
     execution_ns: AtomicU64,
     max_latency_ns: AtomicU64,
     batches: AtomicU64,
+    batched_requests: AtomicU64,
+    batches_formed: AtomicU64,
+    padded_units: AtomicU64,
+    used_units: AtomicU64,
 }
+
+/// "No batch formed yet" sentinel for the last-formed-bucket atomic.
+const NO_BUCKET: u64 = u64::MAX;
 
 /// Control block shared between an engine and its workers: the chaos/scale
 /// pause gate, the kill switch, and the replica label the serving layer
@@ -201,6 +213,9 @@ struct WorkerCtrl {
     /// Replica id recorded in this engine's `engine.queue`/`engine.run`
     /// spans (0 for an unsharded engine).
     label: AtomicU64,
+    /// Shape bucket of the most recently formed batch ([`NO_BUCKET`] when
+    /// none yet) — the shard layer's shape-affinity admission hint.
+    last_bucket: AtomicU64,
 }
 
 impl Default for WorkerCtrl {
@@ -211,6 +226,7 @@ impl Default for WorkerCtrl {
             at_gate: AtomicUsize::new(0),
             aborted: AtomicBool::new(false),
             label: AtomicU64::new(0),
+            last_bucket: AtomicU64::new(NO_BUCKET),
         }
     }
 }
@@ -237,6 +253,14 @@ pub struct EngineStats {
     pub max_latency_ns: u64,
     /// Worker wake-ups that drained at least one request.
     pub batches: u64,
+    /// Requests served through a dynamically formed batch.
+    pub batched_requests: u64,
+    /// Dynamically formed batches executed (each one VM run).
+    pub batches_formed: u64,
+    /// Padding shape units (tokens/steps) added by pad-to-bucket.
+    pub padded_units: u64,
+    /// Real shape units carried by batched requests.
+    pub used_units: u64,
 }
 
 impl EngineStats {
@@ -263,6 +287,17 @@ impl EngineStats {
             None => Duration::ZERO,
         }
     }
+
+    /// Fraction of batched shape units that were padding
+    /// (`padded / (padded + used)`; 0 when nothing batched yet).
+    pub fn pad_waste_ratio(&self) -> f64 {
+        let total = self.padded_units + self.used_units;
+        if total == 0 {
+            0.0
+        } else {
+            self.padded_units as f64 / total as f64
+        }
+    }
 }
 
 /// A multi-threaded serving loop over one shared loaded program.
@@ -280,6 +315,9 @@ pub struct Engine {
     /// Workers keep them warm across requests; the engine exposes their
     /// summed stats and trims them on shutdown.
     arenas: Vec<Arc<StorageArena>>,
+    /// Dynamic-batching plan (None = unbatched path, also forced by
+    /// `NIMBLE_BATCH=off` at construction).
+    plan: Option<Arc<BatchPlan>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -298,11 +336,32 @@ impl Engine {
     /// Fails when the config asks for zero workers, zero capacity, or a
     /// zero batch, or when thread spawning fails.
     pub fn new(vm: Arc<VirtualMachine>, config: EngineConfig) -> CompileResult<Engine> {
+        Engine::with_plan(vm, config, None)
+    }
+
+    /// [`Engine::new`] plus a dynamic-batching plan: workers additionally
+    /// group compatible same-bucket requests from each drain into one
+    /// padded batched execution (see [`nimble_vm::batch`]). The
+    /// `NIMBLE_BATCH=off` environment escape hatch drops the plan here,
+    /// restoring the unbatched path unchanged.
+    ///
+    /// # Errors
+    /// Same conditions as [`Engine::new`].
+    pub fn with_plan(
+        vm: Arc<VirtualMachine>,
+        config: EngineConfig,
+        plan: Option<Arc<BatchPlan>>,
+    ) -> CompileResult<Engine> {
         if config.workers == 0 || config.queue_capacity == 0 || config.max_batch == 0 {
             return Err(crate::CompileError::msg(
                 "engine config: workers, queue_capacity and max_batch must be nonzero",
             ));
         }
+        let plan = if nimble_vm::batching_disabled() {
+            None
+        } else {
+            plan
+        };
         let (queue, rx) = bounded::<Request>(config.queue_capacity);
         let counters = Arc::new(Counters::default());
         let ctrl = Arc::new(WorkerCtrl::default());
@@ -314,6 +373,7 @@ impl Engine {
             let counters = Arc::clone(&counters);
             let ctrl = Arc::clone(&ctrl);
             let max_batch = config.max_batch;
+            let plan = plan.clone();
             // Engine-owned arena so stats/trim work from outside the
             // worker; the session recycles storage into it across every
             // request the worker serves.
@@ -324,9 +384,17 @@ impl Engine {
             let handle = std::thread::Builder::new()
                 .name(format!("nimble-engine-{worker_idx}"))
                 .spawn(move || {
-                    worker_loop(
-                        &vm, &worker_rx, &counters, worker_idx, max_batch, arena, &ctrl,
-                    )
+                    Worker {
+                        vm: &vm,
+                        rx: &worker_rx,
+                        counters: &counters,
+                        ctrl: &ctrl,
+                        worker_idx,
+                        max_batch,
+                        plan,
+                        session: Session::with_lane_and_arena(worker_idx, arena),
+                    }
+                    .run()
                 })
                 .map_err(|e| crate::CompileError::msg(format!("spawn engine worker: {e}")))?;
             workers.push(handle);
@@ -339,12 +407,37 @@ impl Engine {
             workers: Mutex::new(workers),
             ctrl,
             arenas,
+            plan,
         })
     }
 
     /// The shared loaded program this engine serves.
     pub fn vm(&self) -> &Arc<VirtualMachine> {
         &self.vm
+    }
+
+    /// The dynamic-batching plan this engine runs with (None = unbatched).
+    pub fn plan(&self) -> Option<&Arc<BatchPlan>> {
+        self.plan.as_ref()
+    }
+
+    /// Shape bucket of the most recently formed batch, or `None` when no
+    /// batch has formed yet. The shard layer uses this as its
+    /// shape-affinity admission hint.
+    pub fn last_formed_bucket(&self) -> Option<usize> {
+        match self.ctrl.last_bucket.load(Ordering::Relaxed) {
+            NO_BUCKET => None,
+            b => Some(b as usize),
+        }
+    }
+
+    /// Test hook: seed the last-formed-bucket hint without running a
+    /// batch, so affinity routing is testable deterministically.
+    #[doc(hidden)]
+    pub fn set_last_formed_bucket(&self, bucket: usize) {
+        self.ctrl
+            .last_bucket
+            .store(bucket as u64, Ordering::Relaxed);
     }
 
     /// A clone of the queue sender, or `None` after shutdown. Cloning
@@ -572,6 +665,10 @@ impl Engine {
             total_execution_ns: self.counters.execution_ns.load(Ordering::Relaxed),
             max_latency_ns: self.counters.max_latency_ns.load(Ordering::Relaxed),
             batches: self.counters.batches.load(Ordering::Relaxed),
+            batched_requests: self.counters.batched_requests.load(Ordering::Relaxed),
+            batches_formed: self.counters.batches_formed.load(Ordering::Relaxed),
+            padded_units: self.counters.padded_units.load(Ordering::Relaxed),
+            used_units: self.counters.used_units.load(Ordering::Relaxed),
         }
     }
 
@@ -589,156 +686,423 @@ impl Drop for Engine {
     }
 }
 
-fn worker_loop(
-    vm: &VirtualMachine,
-    rx: &Receiver<Request>,
-    counters: &Counters,
+/// A request a worker has committed to serve: past the abort and deadline
+/// checks, queue wait measured, queue span recorded.
+struct Picked {
+    req: Request,
+    queued: Duration,
+}
+
+/// One engine worker thread: the drain loop, the batch-forming stage, and
+/// both (unbatched / batched) execution paths.
+struct Worker<'a> {
+    vm: &'a VirtualMachine,
+    rx: &'a Receiver<Request>,
+    counters: &'a Counters,
+    ctrl: &'a WorkerCtrl,
     worker_idx: usize,
     max_batch: usize,
-    arena: Option<Arc<StorageArena>>,
-    ctrl: &WorkerCtrl,
-) {
+    plan: Option<Arc<BatchPlan>>,
     // Lane = worker index: each worker's kernels get their own device
-    // stream, so requests overlap on the simulated GPU. The session reuses
-    // the engine-owned arena across every request this worker serves.
-    let mut session = Session::with_lane_and_arena(worker_idx, arena);
-    let mut batch = Vec::with_capacity(max_batch);
-    loop {
-        // Pause gate: while paused, park *before* touching the channel so
-        // `pause_and_wait` can guarantee no request is mid-flight and the
-        // queue contents are exact.
-        {
-            let mut paused = ctrl.paused.lock().unwrap();
-            if *paused && !ctrl.aborted.load(Ordering::Acquire) {
-                ctrl.at_gate.fetch_add(1, Ordering::Release);
-                ctrl.cond.notify_all();
-                while *paused && !ctrl.aborted.load(Ordering::Acquire) {
-                    paused = ctrl.cond.wait(paused).unwrap();
-                }
-                ctrl.at_gate.fetch_sub(1, Ordering::Release);
-            }
-        }
-        // Timed pop so a paused/killed engine cycles back to the gate;
-        // `Disconnected` means every sender is gone and the queue is empty
-        // — the drain is complete, nothing can be stranded.
-        let first = match rx.recv_timeout(GATE_POLL) {
-            Ok(req) => req,
-            Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => return,
-        };
-        batch.push(first);
-        while batch.len() < max_batch {
-            match rx.try_recv() {
-                Ok(req) => batch.push(req),
-                Err(_) => break,
-            }
-        }
-        counters.batches.fetch_add(1, Ordering::Relaxed);
-        for req in batch.drain(..) {
-            if ctrl.aborted.load(Ordering::Acquire) {
-                // Killed replica: abandoned work is answered explicitly,
-                // never executed, never silent. Payload drops first so a
-                // caller observing Closed sees memory back at baseline.
-                let Request { args, reply, .. } = req;
-                drop(args);
-                counters.closed.fetch_add(1, Ordering::Relaxed);
-                let _ = reply.send(Err(EngineError::Closed));
-                continue;
-            }
-            // Queue wait ends the moment this worker picks the request up
-            // (also recorded as a span under the request's trace, tagged
-            // with the replica label).
-            let queued = req.submitted.elapsed();
-            let dequeued_ns = if req.ctx.is_sampled() {
-                let now = nimble_obs::now_ns();
-                nimble_obs::record_under(
-                    req.ctx,
-                    "engine.queue",
-                    ObsCat::Engine,
-                    req.submitted_ns,
-                    now,
-                    ctrl.label.load(Ordering::Relaxed),
-                );
-                now
-            } else {
-                0
-            };
-            // Deadline-aware dequeue: a request nobody is waiting for
-            // anymore is answered with Expired instead of executed.
-            if let Some(deadline) = req.deadline {
-                if Instant::now() >= deadline {
-                    // Release the request's payload (argument tensors and
-                    // any storage already allocated for them) *before*
-                    // replying: a caller observing Expired must be able to
-                    // assert memory is back at its idle baseline without
-                    // racing this worker's cleanup.
-                    let Request {
-                        args,
-                        reply,
-                        ctx,
-                        owns_root,
-                        submitted_ns,
-                        ..
-                    } = req;
-                    drop(args);
-                    counters.expired.fetch_add(1, Ordering::Relaxed);
-                    if owns_root {
-                        nimble_obs::record_root(
-                            ctx,
-                            "engine.request",
-                            ObsCat::Engine,
-                            submitted_ns,
-                            dequeued_ns,
-                            2,
-                        );
+    // stream, so requests overlap on the simulated GPU. The session
+    // reuses the engine-owned arena across every request this worker
+    // serves.
+    session: Session,
+}
+
+impl Worker<'_> {
+    fn run(mut self) {
+        let mut batch = Vec::with_capacity(self.max_batch);
+        loop {
+            // Pause gate: while paused, park *before* touching the channel
+            // so `pause_and_wait` can guarantee no request is mid-flight
+            // and the queue contents are exact.
+            {
+                let mut paused = self.ctrl.paused.lock().unwrap();
+                if *paused && !self.ctrl.aborted.load(Ordering::Acquire) {
+                    self.ctrl.at_gate.fetch_add(1, Ordering::Release);
+                    self.ctrl.cond.notify_all();
+                    while *paused && !self.ctrl.aborted.load(Ordering::Acquire) {
+                        paused = self.ctrl.cond.wait(paused).unwrap();
                     }
-                    let _ = reply.send(Err(EngineError::Expired));
-                    continue;
+                    self.ctrl.at_gate.fetch_sub(1, Ordering::Release);
                 }
             }
-            let exec_start = Instant::now();
-            let result = {
-                let _g = nimble_obs::enter(req.ctx);
-                // High half: replica label; low half: worker index.
-                let tag = (ctrl.label.load(Ordering::Relaxed) << 32) | worker_idx as u64;
-                let _s = nimble_obs::span_full("engine.run", ObsCat::Engine, tag);
-                vm.run_in(&mut session, &req.function, req.args)
+            // Timed pop so a paused/killed engine cycles back to the gate;
+            // `Disconnected` means every sender is gone and the queue is
+            // empty — the drain is complete, nothing can be stranded.
+            let first = match self.rx.recv_timeout(GATE_POLL) {
+                Ok(req) => req,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => return,
             };
-            let execution = exec_start.elapsed();
-            let latency = req.submitted.elapsed();
-            if req.owns_root {
-                nimble_obs::record_root(
-                    req.ctx,
-                    "engine.request",
-                    ObsCat::Engine,
-                    req.submitted_ns,
-                    nimble_obs::now_ns(),
-                    if result.is_ok() { 0 } else { 1 },
-                );
+            batch.push(first);
+            while batch.len() < self.max_batch {
+                match self.rx.try_recv() {
+                    Ok(req) => batch.push(req),
+                    Err(_) => break,
+                }
             }
-            counters.completed.fetch_add(1, Ordering::Relaxed);
-            counters
-                .latency_ns
-                .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
-            counters
-                .queue_ns
-                .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
-            counters
-                .execution_ns
-                .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
-            counters
-                .max_latency_ns
-                .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
-            // A dropped Ticket just means the caller stopped listening.
-            let _ = req.reply.send(Ok(Completion {
-                result,
-                latency,
-                queued,
-                execution,
-                worker: worker_idx,
-            }));
+            self.counters.batches.fetch_add(1, Ordering::Relaxed);
+            self.serve_drained(std::mem::take(&mut batch));
         }
     }
+
+    /// Serve one drained set: with no plan every request runs alone (the
+    /// pre-batching path, byte for byte); with a plan, same-bucket
+    /// requests for the plan's function are grouped, optionally topped up
+    /// within `max_wait`, and executed as padded batches.
+    fn serve_drained(&mut self, drained: Vec<Request>) {
+        let Some(plan) = self.plan.clone() else {
+            for req in drained {
+                if let Some(p) = self.pick(req) {
+                    self.execute_single(p);
+                }
+            }
+            return;
+        };
+
+        // Partition at pull time. The deadline check runs *here*, as each
+        // request enters the forming batch — an already-expired request
+        // must never pad-inflate a batch (it is answered Expired and takes
+        // no slot).
+        let mut singles: Vec<Picked> = Vec::new();
+        let mut groups: Vec<(usize, Vec<(Picked, usize)>)> = Vec::new();
+        let mut members = 0usize;
+        let mut partition =
+            |w: &mut Self, req: Request, groups: &mut Vec<(usize, Vec<(Picked, usize)>)>| {
+                let Some(p) = w.pick(req) else {
+                    return false;
+                };
+                if p.req.function == plan.function {
+                    if let Some(key) = (plan.key)(&p.req.args) {
+                        if let Some(bucket) = plan.bucket_for(key) {
+                            match groups.iter_mut().find(|(b, _)| *b == bucket) {
+                                Some((_, g)) => g.push((p, key)),
+                                None => groups.push((bucket, vec![(p, key)])),
+                            }
+                            return true;
+                        }
+                    }
+                }
+                singles.push(p);
+                false
+            };
+        for req in drained {
+            if partition(self, req, &mut groups) {
+                members += 1;
+            }
+        }
+
+        // Top-up: while nothing batchable has reached `min_batch`, hold
+        // the forming batch open for up to `max_wait` hoping same-bucket
+        // traffic arrives. Deadline pressure closes the batch early: the
+        // wait never extends past any member's deadline, so a request
+        // admitted with time to spare is not expired by the wait itself.
+        let undersized = |groups: &Vec<(usize, Vec<(Picked, usize)>)>| {
+            groups.iter().all(|(_, g)| g.len() < plan.config.min_batch)
+        };
+        if members > 0 && plan.config.max_wait > Duration::ZERO && undersized(&groups) {
+            let mut close_at = Instant::now() + plan.config.max_wait;
+            for (_, g) in &groups {
+                for (p, _) in g {
+                    if let Some(d) = p.req.deadline {
+                        close_at = close_at.min(d);
+                    }
+                }
+            }
+            while members < self.max_batch && undersized(&groups) {
+                let now = Instant::now();
+                if now >= close_at {
+                    break;
+                }
+                match self.rx.recv_timeout(close_at - now) {
+                    Ok(req) => {
+                        let deadline = req.deadline;
+                        if partition(self, req, &mut groups) {
+                            members += 1;
+                            if let Some(d) = deadline {
+                                close_at = close_at.min(d);
+                            }
+                        }
+                    }
+                    Err(_) => break,
+                }
+            }
+        }
+
+        for p in singles {
+            self.execute_single(p);
+        }
+        for (bucket, group) in groups {
+            if group.len() < plan.config.min_batch {
+                // Not worth padding: run members on the unbatched path.
+                for (p, _) in group {
+                    self.execute_single(p);
+                }
+            } else {
+                self.execute_batched(&plan, bucket, group);
+            }
+        }
+    }
+
+    /// Abort and deadline checks at the moment a worker pulls a request
+    /// out of the queue (into a forming batch or straight to execution).
+    /// Replies and returns `None` when the request must not execute.
+    fn pick(&self, req: Request) -> Option<Picked> {
+        if self.ctrl.aborted.load(Ordering::Acquire) {
+            // Killed replica: abandoned work is answered explicitly,
+            // never executed, never silent. Payload drops first so a
+            // caller observing Closed sees memory back at baseline.
+            let Request { args, reply, .. } = req;
+            drop(args);
+            self.counters.closed.fetch_add(1, Ordering::Relaxed);
+            let _ = reply.send(Err(EngineError::Closed));
+            return None;
+        }
+        // Queue wait ends the moment this worker picks the request up
+        // (also recorded as a span under the request's trace, tagged with
+        // the replica label).
+        let queued = req.submitted.elapsed();
+        let dequeued_ns = if req.ctx.is_sampled() {
+            let now = nimble_obs::now_ns();
+            nimble_obs::record_under(
+                req.ctx,
+                "engine.queue",
+                ObsCat::Engine,
+                req.submitted_ns,
+                now,
+                self.ctrl.label.load(Ordering::Relaxed),
+            );
+            now
+        } else {
+            0
+        };
+        // Deadline-aware pickup: a request nobody is waiting for anymore
+        // is answered with Expired instead of executed (or batched).
+        if let Some(deadline) = req.deadline {
+            if Instant::now() >= deadline {
+                // Release the request's payload (argument tensors and any
+                // storage already allocated for them) *before* replying: a
+                // caller observing Expired must be able to assert memory
+                // is back at its idle baseline without racing this
+                // worker's cleanup.
+                let Request {
+                    args,
+                    reply,
+                    ctx,
+                    owns_root,
+                    submitted_ns,
+                    ..
+                } = req;
+                drop(args);
+                self.counters.expired.fetch_add(1, Ordering::Relaxed);
+                if owns_root {
+                    nimble_obs::record_root(
+                        ctx,
+                        "engine.request",
+                        ObsCat::Engine,
+                        submitted_ns,
+                        dequeued_ns,
+                        2,
+                    );
+                }
+                let _ = reply.send(Err(EngineError::Expired));
+                return None;
+            }
+        }
+        Some(Picked { req, queued })
+    }
+
+    /// Unbatched execution of one picked request.
+    fn execute_single(&mut self, p: Picked) {
+        let Picked { req, queued } = p;
+        let exec_start = Instant::now();
+        let result = {
+            let _g = nimble_obs::enter(req.ctx);
+            // High half: replica label; low half: worker index.
+            let tag = (self.ctrl.label.load(Ordering::Relaxed) << 32) | self.worker_idx as u64;
+            let _s = nimble_obs::span_full("engine.run", ObsCat::Engine, tag);
+            self.vm.run_in(&mut self.session, &req.function, req.args)
+        };
+        let execution = exec_start.elapsed();
+        self.finish(
+            FinishedRequest {
+                reply: req.reply,
+                submitted: req.submitted,
+                ctx: req.ctx,
+                owns_root: req.owns_root,
+                submitted_ns: req.submitted_ns,
+            },
+            result,
+            queued,
+            execution,
+            1,
+        );
+        self.counters
+            .execution_ns
+            .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Batched execution: gather the members' padded inputs, run the
+    /// `main_b{bucket}` entry once on this worker's session, scatter the
+    /// per-member slices back. Any batched-path error (gather, VM run,
+    /// scatter) falls back to running every member unbatched, so batching
+    /// can only change *when* a request runs, never its outcome.
+    fn execute_batched(&mut self, plan: &BatchPlan, bucket: usize, group: Vec<(Picked, usize)>) {
+        let size = group.len();
+        self.ctrl
+            .last_bucket
+            .store(bucket as u64, Ordering::Relaxed);
+        // Spans land under the batch leader's trace: the first member
+        // with a sampled context (members keep their own engine.queue /
+        // terminal spans regardless).
+        let leader = group
+            .iter()
+            .map(|(p, _)| p.req.ctx)
+            .find(|c| c.is_sampled())
+            .unwrap_or(SpanContext::NONE);
+        let tag = (self.ctrl.label.load(Ordering::Relaxed) << 32) | self.worker_idx as u64;
+        let form_start = nimble_obs::now_ns();
+        let member_args: Vec<Vec<Object>> = group.iter().map(|(p, _)| p.req.args.clone()).collect();
+        let keys: Vec<usize> = group.iter().map(|(_, k)| *k).collect();
+        let gathered = (plan.gather)(&member_args, &keys, bucket);
+        drop(member_args);
+        nimble_obs::record_under(
+            leader,
+            "batch.form",
+            ObsCat::Engine,
+            form_start,
+            nimble_obs::now_ns(),
+            size as u64,
+        );
+        let batched_args = match gathered {
+            Ok(args) => args,
+            Err(_) => return self.fall_back(group),
+        };
+
+        let exec_start = Instant::now();
+        let result = {
+            let _g = nimble_obs::enter(leader);
+            let _s = nimble_obs::span_full("batch.run", ObsCat::Engine, tag);
+            self.vm
+                .run_in(&mut self.session, &plan.entry(bucket), batched_args)
+        };
+        let execution = exec_start.elapsed();
+        let batched = match result {
+            Ok(out) => out,
+            Err(_) => return self.fall_back(group),
+        };
+
+        let scatter_start = nimble_obs::now_ns();
+        let outputs = (plan.scatter)(&batched, &keys, bucket);
+        drop(batched);
+        nimble_obs::record_under(
+            leader,
+            "batch.scatter",
+            ObsCat::Engine,
+            scatter_start,
+            nimble_obs::now_ns(),
+            size as u64,
+        );
+        let outputs = match outputs {
+            Ok(outs) if outs.len() == size => outs,
+            _ => return self.fall_back(group),
+        };
+
+        // Fan out per-member completions; the batch's run time is shared.
+        self.counters
+            .batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
+        self.counters.batches_formed.fetch_add(1, Ordering::Relaxed);
+        let used: u64 = keys.iter().map(|&k| k as u64).sum();
+        self.counters.used_units.fetch_add(used, Ordering::Relaxed);
+        self.counters
+            .padded_units
+            .fetch_add((bucket * size) as u64 - used, Ordering::Relaxed);
+        // The batch ran once: its execution wall time is added once, not
+        // per member, so utilization counters track real device time.
+        self.counters
+            .execution_ns
+            .fetch_add(execution.as_nanos() as u64, Ordering::Relaxed);
+        for ((p, _), output) in group.into_iter().zip(outputs) {
+            let Picked { req, queued } = p;
+            drop(req.args);
+            self.finish(
+                FinishedRequest {
+                    reply: req.reply,
+                    submitted: req.submitted,
+                    ctx: req.ctx,
+                    owns_root: req.owns_root,
+                    submitted_ns: req.submitted_ns,
+                },
+                Ok(output),
+                queued,
+                execution,
+                size,
+            );
+        }
+    }
+
+    /// Batched-path error recovery: run every member individually on the
+    /// unbatched path, preserving per-request semantics exactly.
+    fn fall_back(&mut self, group: Vec<(Picked, usize)>) {
+        for (p, _) in group {
+            self.execute_single(p);
+        }
+    }
+
+    /// Terminal bookkeeping shared by both paths: counters, root span,
+    /// reply.
+    fn finish(
+        &self,
+        req: FinishedRequest,
+        result: std::result::Result<Object, VmError>,
+        queued: Duration,
+        execution: Duration,
+        batch_size: usize,
+    ) {
+        let latency = req.submitted.elapsed();
+        if req.owns_root {
+            nimble_obs::record_root(
+                req.ctx,
+                "engine.request",
+                ObsCat::Engine,
+                req.submitted_ns,
+                nimble_obs::now_ns(),
+                if result.is_ok() { 0 } else { 1 },
+            );
+        }
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .latency_ns
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        self.counters
+            .queue_ns
+            .fetch_add(queued.as_nanos() as u64, Ordering::Relaxed);
+        self.counters
+            .max_latency_ns
+            .fetch_max(latency.as_nanos() as u64, Ordering::Relaxed);
+        // A dropped Ticket just means the caller stopped listening.
+        let _ = req.reply.send(Ok(Completion {
+            result,
+            latency,
+            queued,
+            execution,
+            worker: self.worker_idx,
+            batch_size,
+        }));
+    }
+}
+
+/// The slice of a [`Request`] that survives to terminal bookkeeping
+/// (arguments are consumed by execution or dropped before the reply).
+struct FinishedRequest {
+    reply: Sender<std::result::Result<Completion, EngineError>>,
+    submitted: Instant,
+    ctx: SpanContext,
+    owns_root: bool,
+    submitted_ns: u64,
 }
 
 #[cfg(test)]
@@ -1029,5 +1393,281 @@ mod tests {
         // Every request runs the same single-kernel program.
         assert_eq!(report.kernel_invocations, 32);
         assert!(report.instructions >= 32);
+    }
+
+    // ---- dynamic batching ------------------------------------------------
+
+    use nimble_tensor::kernels;
+    use nimble_vm::BatchConfig;
+
+    /// `main(x: [Any]) = x + x` plus the padded batched entry
+    /// `main_b4(x: [Any, 4]) = x + x`. Elementwise, so batched rows are
+    /// trivially bitwise-identical to unbatched vectors.
+    fn batchable_vm() -> Arc<VirtualMachine> {
+        let mut module = Module::new();
+        let mut fb = FunctionBuilder::new("main");
+        let x = fb.param("x", TensorType::with_any(&[None], DType::F32));
+        let y = fb.call("add", vec![x.clone(), x], Attrs::new());
+        module.add_function("main", fb.finish(y));
+        let mut fb = FunctionBuilder::new("main_b4");
+        let x = fb.param("x", TensorType::with_any(&[None, Some(4)], DType::F32));
+        let y = fb.call("add", vec![x.clone(), x], Attrs::new());
+        module.add_function("main_b4", fb.finish(y));
+        let (exe, _) = compile(&module, &CompileOptions::default()).expect("compile");
+        Arc::new(VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).expect("vm"))
+    }
+
+    fn vector_plan(config: BatchConfig) -> Arc<BatchPlan> {
+        Arc::new(BatchPlan {
+            function: "main".to_string(),
+            config,
+            key: Arc::new(|args: &[Object]| {
+                let dims = args.first()?.tensor_shape().ok()?;
+                (dims.len() == 1 && dims[0] > 0).then_some(dims[0])
+            }),
+            gather: Arc::new(|members, keys, bucket| {
+                let mut data = vec![0f32; members.len() * bucket];
+                for (i, (args, &k)) in members.iter().zip(keys).enumerate() {
+                    let t = args[0].wait_tensor()?;
+                    data[i * bucket..i * bucket + k].copy_from_slice(t.as_f32()?);
+                }
+                let batched = nimble_tensor::Tensor::from_vec_f32(data, &[members.len(), bucket])?;
+                Ok(vec![Object::tensor(batched)])
+            }),
+            scatter: Arc::new(|out, keys, _bucket| {
+                let t = out.wait_tensor()?;
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &k)| {
+                        let row = kernels::slice_axis(&t, 0, i, i + 1)?;
+                        let trimmed = kernels::slice_axis(&row, 1, 0, k)?;
+                        Ok(Object::tensor(trimmed.reshaped(&[k])?))
+                    })
+                    .collect()
+            }),
+        })
+    }
+
+    fn vec_arg(data: Vec<f32>) -> Vec<Object> {
+        let n = data.len();
+        vec![Object::tensor(Tensor::from_vec_f32(data, &[n]).unwrap())]
+    }
+
+    /// Serializes engine construction against the `NIMBLE_BATCH` env-var
+    /// test below (`batching_disabled` is read at construction time).
+    fn env_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        &LOCK
+    }
+
+    #[test]
+    fn batched_outputs_bitwise_match_and_are_counted() {
+        let vm = batchable_vm();
+        let plan = vector_plan(BatchConfig {
+            buckets: vec![4],
+            min_batch: 2,
+            max_batch: 8,
+            max_wait: Duration::from_millis(20),
+        });
+        let engine = {
+            let _g = env_lock().lock().unwrap();
+            Engine::with_plan(
+                Arc::clone(&vm),
+                EngineConfig {
+                    workers: 1,
+                    queue_capacity: 16,
+                    max_batch: 8,
+                },
+                Some(plan),
+            )
+            .unwrap()
+        };
+        // Pause so the whole wave is queued before the single worker
+        // drains it — the drain then forms one padded batch.
+        engine.pause_and_wait();
+        let inputs: Vec<Vec<f32>> = vec![
+            vec![1.5, -2.25],
+            vec![0.1, 0.2, 0.3, 0.4],
+            vec![7.0, 8.5, -0.5],
+            vec![std::f32::consts::PI],
+        ];
+        let tickets: Vec<Ticket> = inputs
+            .iter()
+            .map(|v| engine.submit("main", vec_arg(v.clone())))
+            .collect();
+        engine.resume();
+        for (v, t) in inputs.iter().zip(tickets) {
+            let out = t.wait().unwrap();
+            let got = out.result.unwrap().wait_tensor().unwrap();
+            let got = got.as_f32().unwrap();
+            assert_eq!(got.len(), v.len());
+            for (g, x) in got.iter().zip(v) {
+                // Bitwise, not approximate: batching must not perturb
+                // results at all.
+                assert_eq!(g.to_bits(), (x + x).to_bits());
+            }
+            assert!(out.batch_size >= 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 4);
+        assert!(stats.batches_formed >= 1, "no batch formed");
+        assert!(stats.batched_requests >= 2);
+        // Units: every batched member pads to the bucket edge.
+        assert_eq!(
+            stats.padded_units + stats.used_units,
+            4 * stats.batched_requests
+        );
+        assert!(stats.pad_waste_ratio() >= 0.0 && stats.pad_waste_ratio() < 1.0);
+        assert_eq!(engine.last_formed_bucket(), Some(4));
+    }
+
+    #[test]
+    fn nimble_batch_off_restores_unbatched_path() {
+        let vm = batchable_vm();
+        let plan = vector_plan(BatchConfig::default());
+        let engine = {
+            let _g = env_lock().lock().unwrap();
+            std::env::set_var("NIMBLE_BATCH", "off");
+            let e = Engine::with_plan(Arc::clone(&vm), EngineConfig::with_workers(1), Some(plan));
+            std::env::remove_var("NIMBLE_BATCH");
+            e.unwrap()
+        };
+        assert!(engine.plan().is_none());
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|_| engine.submit("main", vec_arg(vec![1.0, 2.0])))
+            .collect();
+        for t in tickets {
+            let done = t.wait().unwrap();
+            assert!(done.result.is_ok());
+            assert_eq!(done.batch_size, 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 6);
+        assert_eq!(stats.batched_requests, 0);
+        assert_eq!(stats.batches_formed, 0);
+        assert_eq!(engine.last_formed_bucket(), None);
+    }
+
+    #[test]
+    fn expired_request_never_joins_a_forming_batch() {
+        let vm = batchable_vm();
+        let plan = vector_plan(BatchConfig {
+            buckets: vec![4],
+            min_batch: 2,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+        });
+        let engine = {
+            let _g = env_lock().lock().unwrap();
+            Engine::with_plan(
+                Arc::clone(&vm),
+                EngineConfig {
+                    workers: 1,
+                    queue_capacity: 16,
+                    max_batch: 8,
+                },
+                Some(plan),
+            )
+            .unwrap()
+        };
+        engine.pause_and_wait();
+        // The expired request sits between two live ones: the deadline
+        // check at pull-into-forming-batch time must drop it before it
+        // can claim a batch slot or pad-inflate the gather.
+        let a = engine.submit("main", vec_arg(vec![1.0, 2.0]));
+        let dead = engine.submit_with_deadline(
+            "main",
+            vec_arg(vec![3.0]),
+            Instant::now() - Duration::from_millis(1),
+        );
+        let b = engine.submit("main", vec_arg(vec![4.0, 5.0, 6.0]));
+        engine.resume();
+        assert_eq!(dead.wait().unwrap_err(), EngineError::Expired);
+        let got_a = a.wait().unwrap();
+        let got_b = b.wait().unwrap();
+        assert!(got_a.result.is_ok() && got_b.result.is_ok());
+        let stats = engine.stats();
+        assert_eq!(stats.expired, 1);
+        assert_eq!(stats.completed, 2);
+        // The expired request contributed nothing to batch accounting.
+        assert_eq!(stats.batched_requests, 2);
+        assert_eq!(stats.used_units, 5);
+        assert_eq!(stats.padded_units, 3);
+    }
+
+    #[test]
+    fn batched_path_errors_fall_back_to_unbatched() {
+        let vm = batchable_vm();
+        // Bucket 8 has no compiled `main_b8` entry: the batched run fails
+        // and every member must still complete on the unbatched path.
+        let plan = vector_plan(BatchConfig {
+            buckets: vec![8],
+            min_batch: 2,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+        });
+        let engine = {
+            let _g = env_lock().lock().unwrap();
+            Engine::with_plan(
+                Arc::clone(&vm),
+                EngineConfig {
+                    workers: 1,
+                    queue_capacity: 16,
+                    max_batch: 8,
+                },
+                Some(plan),
+            )
+            .unwrap()
+        };
+        engine.pause_and_wait();
+        let tickets: Vec<Ticket> = (0..4)
+            .map(|i| engine.submit("main", vec_arg(vec![i as f32; 2])))
+            .collect();
+        engine.resume();
+        for (i, t) in tickets.into_iter().enumerate() {
+            let done = t.wait().unwrap();
+            let out = done.result.unwrap().wait_tensor().unwrap();
+            assert_eq!(out.as_f32().unwrap(), &[2.0 * i as f32; 2]);
+            assert_eq!(done.batch_size, 1);
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.completed, 4);
+        // The failed batch never counts as formed.
+        assert_eq!(stats.batches_formed, 0);
+        assert_eq!(stats.batched_requests, 0);
+    }
+
+    #[test]
+    fn undersized_group_runs_unbatched() {
+        let vm = batchable_vm();
+        let plan = vector_plan(BatchConfig {
+            buckets: vec![4],
+            min_batch: 3,
+            max_batch: 8,
+            max_wait: Duration::ZERO,
+        });
+        let engine = {
+            let _g = env_lock().lock().unwrap();
+            Engine::with_plan(
+                Arc::clone(&vm),
+                EngineConfig {
+                    workers: 1,
+                    queue_capacity: 16,
+                    max_batch: 8,
+                },
+                Some(plan),
+            )
+            .unwrap()
+        };
+        // A lone request can never meet min_batch = 3 with max_wait = 0:
+        // it must run unbatched rather than stall.
+        let t = engine.submit("main", vec_arg(vec![2.5, -1.0]));
+        let done = t.wait().unwrap();
+        assert_eq!(done.batch_size, 1);
+        let got = done.result.unwrap().wait_tensor().unwrap();
+        assert_eq!(got.as_f32().unwrap(), &[5.0, -2.0]);
+        let stats = engine.stats();
+        assert_eq!(stats.batches_formed, 0);
+        assert_eq!(stats.batched_requests, 0);
     }
 }

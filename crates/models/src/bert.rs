@@ -289,6 +289,220 @@ impl BertModel {
         m
     }
 
+    /// [`BertModel::module`] plus a batched entry point `main_b{L}` for
+    /// every bucket edge (see [`nimble_vm::batch`]).
+    ///
+    /// `main_bL(tokens, positions, mask)` flattens the whole padded
+    /// batch: `tokens`/`positions` are `Tensor[(Any,), i64]` of length
+    /// `b·L` (pad id/position 0), and `mask: Tensor[(Any, L, L)]` holds
+    /// one `[L, L]` additive attention mask per `(request, head)` pair —
+    /// `-0.0` on real key columns (adding `-0.0` is a bitwise no-op) and
+    /// `-inf` on padded ones (`exp(-inf) = +0.0` drops out of the
+    /// softmax). The mask add is the only structural difference from the
+    /// unbatched graph, which keeps each request's rows bitwise-identical
+    /// to its own unbatched run.
+    pub fn module_batched(&self, edges: &[usize]) -> Module {
+        let mut m = self.module_with(None);
+        for &edge in edges {
+            self.add_batched_entry(&mut m, edge);
+        }
+        m
+    }
+
+    fn add_batched_entry(&self, m: &mut Module, bucket: usize) {
+        assert!(bucket >= 1, "bucket edges start at 1");
+        let tokens = Var::fresh(
+            "tokens",
+            Type::Tensor(TensorType::with_any(&[None], DType::I64)),
+        );
+        let positions = Var::fresh(
+            "positions",
+            Type::Tensor(TensorType::with_any(&[None], DType::I64)),
+        );
+        let mask = Var::fresh(
+            "mask",
+            Type::Tensor(TensorType::with_any(
+                &[None, Some(bucket as u64), Some(bucket as u64)],
+                DType::F32,
+            )),
+        );
+        let mut x = Expr::call_op(
+            "add",
+            vec![
+                Expr::call_op(
+                    "take",
+                    vec![Expr::constant(self.embed.clone()), tokens.to_expr()],
+                    Attrs::new(),
+                ),
+                Expr::call_op(
+                    "take",
+                    vec![Expr::constant(self.pos_embed.clone()), positions.to_expr()],
+                    Attrs::new(),
+                ),
+            ],
+            Attrs::new(),
+        );
+        for l in 0..self.config.layers {
+            x = self.layer_ir_batched(l, x, mask.to_expr(), bucket);
+        }
+        m.add_function(
+            &nimble_vm::batch::entry_name("main", bucket),
+            Function::new(vec![tokens, positions, mask], x, Type::Unknown),
+        );
+    }
+
+    /// Batched attention + FFN block over `x: Tensor[(b·L, H)]`: identical
+    /// to [`BertModel::layer_ir`] except heads are split per request
+    /// (`[b·heads, L, ·]` batch dims) and the padded-key mask is added to
+    /// the scaled scores before the softmax.
+    fn layer_ir_batched(&self, l: usize, x: Expr, mask: Expr, bucket: usize) -> Expr {
+        let cfg = &self.config;
+        let p = &self.layers[l];
+        let heads = cfg.heads as i64;
+        let dh = cfg.head_dim() as i64;
+        let h = cfg.hidden as i64;
+        let lb = bucket as i64;
+        let dense = |input: Expr, w: &Tensor, b: &Tensor| {
+            Expr::call_op(
+                "dense",
+                vec![input, Expr::constant(w.clone()), Expr::constant(b.clone())],
+                Attrs::new(),
+            )
+        };
+        let reshape = |input: Expr, shape: Vec<i64>| {
+            Expr::call_op(
+                "reshape",
+                vec![input],
+                Attrs::new().with("newshape", AttrValue::IntVec(shape)),
+            )
+        };
+        let transpose = |input: Expr, perm: Vec<i64>| {
+            Expr::call_op(
+                "transpose",
+                vec![input],
+                Attrs::new().with("perm", AttrValue::IntVec(perm)),
+            )
+        };
+
+        let q = dense(x.clone(), &p.wq, &p.bq);
+        let k = dense(x.clone(), &p.wk, &p.bk);
+        let v = dense(x.clone(), &p.wv, &p.bv);
+        // [bL, H] -> [b, heads, L, dh] -> [b·heads, L, dh] (queries /
+        // values) and [b·heads, dh, L] (keys).
+        let split_qv = |t: Expr| {
+            reshape(
+                transpose(reshape(t, vec![-1, lb, heads, dh]), vec![0, 2, 1, 3]),
+                vec![-1, lb, dh],
+            )
+        };
+        let qh = split_qv(q);
+        let vh = split_qv(v);
+        let kh = reshape(
+            transpose(reshape(k, vec![-1, lb, heads, dh]), vec![0, 2, 3, 1]),
+            vec![-1, dh, lb],
+        );
+        let scale = Expr::constant(Tensor::scalar_f32(1.0 / (dh as f32).sqrt()));
+        let scores = Expr::call_op(
+            "mul",
+            vec![
+                Expr::call_op("batch_matmul", vec![qh, kh], Attrs::new()),
+                scale,
+            ],
+            Attrs::new(),
+        );
+        let masked = Expr::call_op("add", vec![scores, mask], Attrs::new());
+        let probs = Expr::call_op("softmax", vec![masked], Attrs::new());
+        let ctx = Expr::call_op("batch_matmul", vec![probs, vh], Attrs::new());
+        let merged = reshape(
+            transpose(reshape(ctx, vec![-1, heads, lb, dh]), vec![0, 2, 1, 3]),
+            vec![-1, h],
+        );
+        let attn = dense(merged, &p.wo, &p.bo);
+        let x1 = Expr::call_op(
+            "layer_norm",
+            vec![
+                Expr::call_op("add", vec![x, attn], Attrs::new()),
+                Expr::constant(p.ln1.0.clone()),
+                Expr::constant(p.ln1.1.clone()),
+            ],
+            Attrs::new().with("eps", AttrValue::Float(1e-5)),
+        );
+        let ffn = dense(
+            Expr::call_op("gelu", vec![dense(x1.clone(), &p.w1, &p.b1)], Attrs::new()),
+            &p.w2,
+            &p.b2,
+        );
+        Expr::call_op(
+            "layer_norm",
+            vec![
+                Expr::call_op("add", vec![x1, ffn], Attrs::new()),
+                Expr::constant(p.ln2.0.clone()),
+                Expr::constant(p.ln2.1.clone()),
+            ],
+            Attrs::new().with("eps", AttrValue::Float(1e-5)),
+        )
+    }
+
+    /// The dynamic-batching plan pairing [`BertModel::module_batched`]'s
+    /// entry points with host-side gather/scatter. The shape key is the
+    /// token count; empty sequences run unbatched.
+    pub fn batch_plan(&self, config: nimble_vm::BatchConfig) -> nimble_vm::BatchPlan {
+        let heads = self.config.heads;
+        nimble_vm::BatchPlan {
+            function: "main".to_string(),
+            config,
+            key: std::sync::Arc::new(|args| match args {
+                [tokens, _positions] => {
+                    let dims = tokens.tensor_shape().ok()?;
+                    (dims.len() == 1 && dims[0] > 0).then(|| dims[0])
+                }
+                _ => None,
+            }),
+            gather: std::sync::Arc::new(move |members, keys, bucket| {
+                let b = members.len();
+                let mut tok = vec![0i64; b * bucket];
+                let mut pos = vec![0i64; b * bucket];
+                let mut mask = vec![f32::NEG_INFINITY; b * heads * bucket * bucket];
+                for (i, args) in members.iter().enumerate() {
+                    let t = args[0].wait_tensor()?;
+                    let p = args[1].wait_tensor()?;
+                    let s = keys[i];
+                    tok[i * bucket..i * bucket + s].copy_from_slice(t.as_i64()?);
+                    pos[i * bucket..i * bucket + s].copy_from_slice(p.as_i64()?);
+                    // One [L, L] mask per head: -0.0 on real key columns
+                    // (a bitwise no-op under addition), -inf on padded
+                    // ones. Query rows past `s` are garbage by design —
+                    // scatter never reads them.
+                    for hd in 0..heads {
+                        let base = (i * heads + hd) * bucket * bucket;
+                        for q in 0..bucket {
+                            let row = base + q * bucket;
+                            mask[row..row + s].fill(-0.0);
+                        }
+                    }
+                }
+                Ok(vec![
+                    nimble_vm::Object::tensor(Tensor::from_vec_i64(tok, &[b * bucket])?),
+                    nimble_vm::Object::tensor(Tensor::from_vec_i64(pos, &[b * bucket])?),
+                    nimble_vm::Object::tensor(Tensor::from_vec_f32(
+                        mask,
+                        &[b * heads, bucket, bucket],
+                    )?),
+                ])
+            }),
+            scatter: std::sync::Arc::new(|result, keys, bucket| {
+                let out = result.wait_tensor()?;
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        let rows = kernels::slice_axis(&out, 0, i * bucket, i * bucket + s)?;
+                        Ok(nimble_vm::Object::tensor(rows))
+                    })
+                    .collect()
+            }),
+        }
+    }
+
     /// Reference forward pass with plain kernels.
     ///
     /// # Panics
@@ -436,6 +650,50 @@ mod tests {
             .wait_tensor()
             .unwrap();
         assert_eq!(out.dims(), &[5, 8]);
+    }
+
+    #[test]
+    fn batched_entry_bitwise_matches_unbatched() {
+        let model = BertModel::new(tiny());
+        let (exe, _) = compile(&model.module_batched(&[8]), &CompileOptions::default()).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let plan = model.batch_plan(nimble_vm::BatchConfig {
+            buckets: vec![8],
+            ..nimble_vm::BatchConfig::default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(23);
+        let lens = [3usize, 8, 5];
+        let members: Vec<Vec<Object>> = lens
+            .iter()
+            .map(|&l| {
+                let (tok, pos) = model.inputs(&model.random_tokens(&mut rng, l));
+                vec![Object::tensor(tok), Object::tensor(pos)]
+            })
+            .collect();
+        let keys: Vec<usize> = members
+            .iter()
+            .map(|m| (plan.key)(m).expect("key"))
+            .collect();
+        assert_eq!(keys, lens);
+        let batched = (plan.gather)(&members, &keys, 8).unwrap();
+        let out = vm.run(&plan.entry(8), batched).unwrap();
+        let scattered = (plan.scatter)(&out, &keys, 8).unwrap();
+        for ((member, obj), &len) in members.iter().zip(&scattered).zip(&lens) {
+            let got = obj.wait_tensor().unwrap();
+            let want = vm
+                .run("main", member.clone())
+                .unwrap()
+                .wait_tensor()
+                .unwrap();
+            assert_eq!(got.dims(), want.dims(), "len {len}");
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "len {len}: batched output not bitwise equal"
+                );
+            }
+        }
     }
 
     #[test]

@@ -166,6 +166,159 @@ impl LstmModel {
         m
     }
 
+    /// [`LstmModel::module`] plus a batched entry point `main_b{L}` for
+    /// every bucket edge in `edges` (see [`nimble_vm::batch`]).
+    ///
+    /// `main_bL(x, h0_0, c0_0, …)` takes the whole padded batch as one
+    /// tensor `x: Tensor[(Any, L·input)]` — row `i` is request `i`'s
+    /// tokens concatenated and right-padded with zeros — plus host-fed
+    /// zero initial states `Tensor[(Any, H)]` per layer (in-graph
+    /// constants cannot carry a dynamic batch dim). The body unrolls `L`
+    /// steps of the same cell the recursive `step` uses and returns a
+    /// tuple of the top layer's hidden state after every step, so the
+    /// scatter side can pick element `len_i − 1` for each request. Row
+    /// trajectories are independent (every op is row-local), which is
+    /// what makes the batched rows bitwise-identical to unbatched runs.
+    pub fn module_batched(&self, edges: &[usize]) -> Module {
+        let mut m = self.module();
+        for &edge in edges {
+            self.add_batched_entry(&mut m, edge);
+        }
+        m
+    }
+
+    fn add_batched_entry(&self, m: &mut Module, steps: usize) {
+        assert!(steps >= 1, "bucket edges start at 1");
+        let n = self.config.layers;
+        let batch_state = Type::Tensor(TensorType::with_any(
+            &[None, Some(self.config.hidden as u64)],
+            DType::F32,
+        ));
+        let x = Var::fresh(
+            "x",
+            Type::Tensor(TensorType::with_any(
+                &[None, Some((steps * self.config.input) as u64)],
+                DType::F32,
+            )),
+        );
+        let mut params = vec![x.clone()];
+        for l in 0..n {
+            params.push(Var::fresh(&format!("h{l}"), batch_state.clone()));
+            params.push(Var::fresh(&format!("c{l}"), batch_state.clone()));
+        }
+
+        let mut bindings: Vec<(Var, Expr)> = Vec::new();
+        let split_var = Var::fresh("xs", Type::Unknown);
+        bindings.push((
+            split_var.clone(),
+            Expr::call_op(
+                "split",
+                vec![x.to_expr()],
+                Attrs::new()
+                    .with("parts", AttrValue::Int(steps as i64))
+                    .with("axis", AttrValue::Int(1)),
+            ),
+        ));
+        // states[l] = (h, c) expressions, starting at the parameters.
+        let mut states: Vec<(Expr, Expr)> = (0..n)
+            .map(|l| (params[1 + 2 * l].to_expr(), params[2 + 2 * l].to_expr()))
+            .collect();
+        let mut step_hs: Vec<Expr> = Vec::with_capacity(steps);
+        for t in 0..steps {
+            let mut layer_input = Expr::tuple_get(split_var.to_expr(), t);
+            for (l, state) in states.iter_mut().enumerate() {
+                let (h_var, c_var, binds) =
+                    self.cell_bindings(l, layer_input, state.0.clone(), state.1.clone());
+                bindings.extend(binds);
+                layer_input = h_var.to_expr();
+                *state = (h_var.to_expr(), c_var.to_expr());
+            }
+            step_hs.push(states[n - 1].0.clone());
+        }
+        let mut body = Expr::tuple(step_hs);
+        for (v, e) in bindings.into_iter().rev() {
+            body = Expr::let_(v, e, body);
+        }
+        m.add_function(
+            &nimble_vm::batch::entry_name("main", steps),
+            Function::new(params, body, Type::Unknown),
+        );
+    }
+
+    /// The dynamic-batching plan pairing [`LstmModel::module_batched`]'s
+    /// entry points with host-side gather/scatter. The shape key is the
+    /// token-list length; empty lists run unbatched.
+    pub fn batch_plan(&self, config: nimble_vm::BatchConfig) -> nimble_vm::BatchPlan {
+        use crate::data::{CONS_TAG, NIL_TAG};
+        let input = self.config.input;
+        let hidden = self.config.hidden;
+        let layers = self.config.layers;
+        let list_len = |o: &nimble_vm::Object| -> Option<usize> {
+            let mut len = 0usize;
+            let mut cur = o.clone();
+            loop {
+                let adt = cur.as_adt().ok()?;
+                match adt.tag {
+                    NIL_TAG => return Some(len),
+                    CONS_TAG => {
+                        len += 1;
+                        cur = adt.fields[1].clone();
+                    }
+                    _ => return None,
+                }
+            }
+        };
+        nimble_vm::BatchPlan {
+            function: "main".to_string(),
+            config,
+            key: std::sync::Arc::new(move |args| match args {
+                [xs] => list_len(xs).filter(|&l| l > 0),
+                _ => None,
+            }),
+            gather: std::sync::Arc::new(move |members, keys, bucket| {
+                let b = members.len();
+                let mut x = vec![0f32; b * bucket * input];
+                for (i, args) in members.iter().enumerate() {
+                    let mut cur = args[0].clone();
+                    let mut t = 0usize;
+                    while let Ok(adt) = cur.as_adt() {
+                        if adt.tag != CONS_TAG {
+                            break;
+                        }
+                        let tok = adt.fields[0].wait_tensor()?;
+                        let row = tok.as_f32()?;
+                        let at = i * bucket * input + t * input;
+                        x[at..at + input].copy_from_slice(row);
+                        t += 1;
+                        cur = adt.fields[1].clone();
+                    }
+                    debug_assert_eq!(t, keys[i]);
+                }
+                let mut out = vec![nimble_vm::Object::tensor(Tensor::from_vec_f32(
+                    x,
+                    &[b, bucket * input],
+                )?)];
+                for _ in 0..layers {
+                    let zero = Tensor::zeros(DType::F32, &[b, hidden]);
+                    out.push(nimble_vm::Object::tensor(zero.clone()));
+                    out.push(nimble_vm::Object::tensor(zero));
+                }
+                Ok(out)
+            }),
+            scatter: std::sync::Arc::new(move |result, keys, _bucket| {
+                let steps = result.as_adt()?;
+                keys.iter()
+                    .enumerate()
+                    .map(|(i, &s)| {
+                        let h = steps.fields[s - 1].wait_tensor()?;
+                        let row = kernels::slice_axis(&h, 0, i, i + 1)?;
+                        Ok(nimble_vm::Object::tensor(row))
+                    })
+                    .collect()
+            }),
+        }
+    }
+
     /// Cell as explicit bindings, returning the new (h, c) variables.
     fn cell_bindings(
         &self,
@@ -393,6 +546,55 @@ mod tests {
         for (a, b) in out.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
             assert!((a - b).abs() < 1e-4);
         }
+    }
+
+    #[test]
+    fn batched_entry_bitwise_matches_unbatched() {
+        let model = LstmModel::new(LstmConfig {
+            layers: 2,
+            ..tiny()
+        });
+        let module = model.module_batched(&[4]);
+        let (exe, _) = compile(&module, &CompileOptions::default()).unwrap();
+        let vm = VirtualMachine::new(exe, Arc::new(DeviceSet::cpu_only())).unwrap();
+        let plan = model.batch_plan(nimble_vm::BatchConfig {
+            buckets: vec![4],
+            ..nimble_vm::BatchConfig::default()
+        });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let lens = [2usize, 4, 1];
+        let members: Vec<Vec<nimble_vm::Object>> = lens
+            .iter()
+            .map(|&l| vec![list_object(&model.random_tokens(&mut rng, l))])
+            .collect();
+        let keys: Vec<usize> = members
+            .iter()
+            .map(|m| (plan.key)(m).expect("key"))
+            .collect();
+        assert_eq!(keys, lens);
+        assert_eq!(plan.bucket_of(&members[0]), Some(4));
+        let batched = (plan.gather)(&members, &keys, 4).unwrap();
+        let out = vm.run(&plan.entry(4), batched).unwrap();
+        let scattered = (plan.scatter)(&out, &keys, 4).unwrap();
+        for (member, obj) in members.iter().zip(&scattered) {
+            let got = obj.wait_tensor().unwrap();
+            let want = vm
+                .run("main", member.clone())
+                .unwrap()
+                .wait_tensor()
+                .unwrap();
+            assert_eq!(got.dims(), want.dims());
+            for (a, b) in got.as_f32().unwrap().iter().zip(want.as_f32().unwrap()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "batched output not bitwise equal");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_list_key_is_none() {
+        let model = LstmModel::new(tiny());
+        let plan = model.batch_plan(nimble_vm::BatchConfig::default());
+        assert_eq!((plan.key)(&[list_object(&[])]), None);
     }
 
     #[test]

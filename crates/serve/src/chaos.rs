@@ -59,6 +59,11 @@ pub struct ChaosModel {
     /// Generate one request's arguments; dynamic-shape pathology lives
     /// here (e.g. drawing a different batch/sequence size per request).
     pub request: RequestFn,
+    /// Dynamic-batching plan given to every replica of this model; the
+    /// module builder must then emit the matching `main_b{bucket}`
+    /// entries. `None` serves unbatched. Shared across hot-swap versions
+    /// (gather/scatter depend only on the architecture, not the weights).
+    pub batch: Option<Arc<nimble_vm::BatchPlan>>,
 }
 
 /// Argument generator for one request, drawing from the harness's seeded
@@ -189,8 +194,8 @@ impl std::fmt::Display for ChaosReport {
     }
 }
 
-/// The five fault-injection episode kinds.
-const KINDS: [&str; 5] = ["burst", "kill", "storm", "hot_swap", "scale"];
+/// The six fault-injection episode kinds.
+const KINDS: [&str; 6] = ["burst", "kill", "storm", "hot_swap", "scale", "kill_batch"];
 
 /// Seeded fault-injection driver over a private serving stack. See the
 /// module docs for the invariants it continuously asserts.
@@ -287,7 +292,8 @@ impl ChaosHarness {
                 1 => self.episode_kill(model),
                 2 => self.episode_storm(model),
                 3 => self.episode_hot_swap(model),
-                _ => self.episode_scale(model),
+                4 => self.episode_scale(model),
+                _ => self.episode_kill_batch(model),
             }
             self.check_quiesced();
         }
@@ -311,7 +317,13 @@ impl ChaosHarness {
         let module = (self.models[model].module)(v);
         let name = self.models[model].name.clone();
         self.registry
-            .register(&name, &format!("v{v}"), &module, &CompileOptions::default())
+            .register_with_batch(
+                &name,
+                &format!("v{v}"),
+                &module,
+                &CompileOptions::default(),
+                self.models[model].batch.clone(),
+            )
             .unwrap_or_else(|e| panic!("register {name}@v{v}: {e}"));
         self.packs[model] = self
             .registry
@@ -385,6 +397,27 @@ impl ChaosHarness {
     /// requests must resolve by requeue onto survivors — the burst stays
     /// within one survivor's capacity, so no requeue can shed.
     fn episode_kill(&mut self, model: usize) {
+        self.kill_episode(model, "kill");
+    }
+
+    /// Replica kill while the victim's queue holds would-be batch
+    /// members: same orphan contract as `episode_kill`, but against a
+    /// model whose replicas batch, so the orphans are members of forming
+    /// batches. Survivors re-admit them (and may batch them again);
+    /// `lost` must stay 0. Without any batching model in the set this
+    /// degrades to a plain kill (still a valid, deterministic episode).
+    fn episode_kill_batch(&mut self, model: usize) {
+        let model = if self.models[model].batch.is_some() {
+            model
+        } else {
+            (0..self.models.len())
+                .find(|&i| self.models[i].batch.is_some())
+                .unwrap_or(model)
+        };
+        self.kill_episode(model, "kill_batch");
+    }
+
+    fn kill_episode(&mut self, model: usize, label: &str) {
         let shards = self.shards(model);
         if shards.len() < 2 {
             // A prior scale-down may have left one replica; grow back so
@@ -412,7 +445,7 @@ impl ChaosHarness {
             .requeued += orphans;
         self.push_event(
             model,
-            format!("kill replica={victim} orphans={orphans} accepted={accepted}"),
+            format!("{label} replica={victim} orphans={orphans} accepted={accepted}"),
         );
     }
 
@@ -506,6 +539,14 @@ impl ChaosHarness {
                 m.accepted,
                 m.completed + m.failed + m.expired,
                 "{name}: accounting leak\n{}",
+                self.transcript()
+            );
+            // Batch-mode accounting: every terminal wait() recorded its
+            // batch size exactly once, whether it ran batched or solo.
+            assert_eq!(
+                m.batched + m.unbatched,
+                m.completed + m.failed,
+                "{name}: batch-size accounting leak\n{}",
                 self.transcript()
             );
             for (label, got, want) in [

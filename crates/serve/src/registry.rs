@@ -24,7 +24,7 @@ use nimble_device::DeviceSet;
 use nimble_ir::printer::print_module;
 use nimble_ir::Module;
 use nimble_tensor::prepack;
-use nimble_vm::{Executable, VirtualMachine};
+use nimble_vm::{BatchPlan, Executable, VirtualMachine};
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::{Arc, RwLock};
@@ -258,8 +258,28 @@ impl ModelRegistry {
         module: &Module,
         opts: &CompileOptions,
     ) -> Result<RegisterReport, ServeError> {
+        self.register_with_batch(name, version, module, opts, None)
+    }
+
+    /// Like [`ModelRegistry::register`], with a dynamic-batching plan:
+    /// every replica of this model coalesces same-bucket requests into
+    /// padded batched executions (the module must carry the matching
+    /// `main_b{bucket}` entry points — see `nimble_vm::batch::entry_name`).
+    /// `None` serves unbatched, as does `NIMBLE_BATCH=off`.
+    ///
+    /// # Errors
+    /// Propagates compile and load failures; the previous registration
+    /// (if any) stays live on error.
+    pub fn register_with_batch(
+        &self,
+        name: &str,
+        version: &str,
+        module: &Module,
+        opts: &CompileOptions,
+        plan: Option<Arc<BatchPlan>>,
+    ) -> Result<RegisterReport, ServeError> {
         let (exe, from_cache) = self.compile_or_load(name, version, module, opts)?;
-        let replaced = self.install(name, version, exe)?;
+        let replaced = self.install(name, version, exe, plan)?;
         Ok(RegisterReport {
             id: format!("{name}@{version}"),
             from_cache,
@@ -279,7 +299,7 @@ impl ModelRegistry {
         version: &str,
         exe: Executable,
     ) -> Result<RegisterReport, ServeError> {
-        let replaced = self.install(name, version, exe)?;
+        let replaced = self.install(name, version, exe, None)?;
         Ok(RegisterReport {
             id: format!("{name}@{version}"),
             from_cache: false,
@@ -332,6 +352,7 @@ impl ModelRegistry {
         name: &str,
         version: &str,
         exe: Executable,
+        plan: Option<Arc<BatchPlan>>,
     ) -> Result<Option<String>, ServeError> {
         // Loading an artifact skips `compile`'s prepack pass; make the
         // pre-packed state identical on both paths before taking the map
@@ -343,10 +364,11 @@ impl ModelRegistry {
                 .map_err(|e| ServeError::Compile(e.to_string()))?,
         );
         let shards = Arc::new(
-            ShardSet::new(
+            ShardSet::with_plan(
                 Arc::clone(&vm),
                 self.config.engine.clone(),
                 self.config.shards.clone(),
+                plan,
             )
             .map_err(|e| ServeError::Compile(e.to_string()))?,
         );

@@ -64,6 +64,71 @@ pub struct RouterConfig {
     /// Deadline applied to requests submitted without one; `None` means
     /// such requests never expire.
     pub default_deadline: Option<Duration>,
+    /// Cadence of the background autoscaler thread, which calls
+    /// [`crate::shard::ShardSet::autoscale_tick`] on every live model.
+    /// `None` (the default) spawns no thread — ticks stay caller-driven,
+    /// which is what deterministic harnesses want. Scale decisions land
+    /// in the shard lifecycle counters (`nimble_shard_events_total`).
+    pub autoscale_interval: Option<Duration>,
+}
+
+/// Background autoscaler: ticks every live model's replica set on a fixed
+/// cadence. Holds only a weak registry reference, so it never keeps
+/// models alive; stops (and joins) when dropped with the router.
+struct AutoscaleDriver {
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl AutoscaleDriver {
+    fn spawn(registry: &Arc<ModelRegistry>, interval: Duration) -> AutoscaleDriver {
+        let stop = Arc::new(AtomicBool::new(false));
+        let registry = Arc::downgrade(registry);
+        let flag = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("nimble-autoscale".to_string())
+            .spawn(move || {
+                // Wake at a fraction of the interval so a stop request is
+                // honored promptly even with a long cadence.
+                let nap = interval
+                    .min(Duration::from_millis(50))
+                    .max(Duration::from_millis(1));
+                let mut next = Instant::now() + interval;
+                while !flag.load(Ordering::Acquire) {
+                    if Instant::now() < next {
+                        std::thread::sleep(nap);
+                        continue;
+                    }
+                    next = Instant::now() + interval;
+                    let Some(registry) = registry.upgrade() else {
+                        return;
+                    };
+                    for (name, _) in registry.list() {
+                        if let Some(entry) = registry.get(&name) {
+                            entry.shards().autoscale_tick();
+                        }
+                    }
+                }
+            })
+            .expect("spawn autoscaler thread");
+        AutoscaleDriver {
+            stop,
+            handle: Some(handle),
+        }
+    }
+
+    fn stop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for AutoscaleDriver {
+    fn drop(&mut self) {
+        self.stop();
+    }
 }
 
 /// Handle to one admitted request; resolves to a [`Completion`] or a
@@ -105,6 +170,7 @@ impl ServeTicket {
                 let ok = completion.result.is_ok();
                 self.telemetry.record_queue(completion.queued);
                 self.telemetry.record_completed(completion.latency, ok);
+                self.telemetry.record_batch_size(completion.batch_size);
                 (Ok(completion), if ok { 0 } else { 1 })
             }
             Err(EngineError::Expired) => {
@@ -139,6 +205,9 @@ pub struct Router {
     /// Keeps this router's Prometheus collector registered with
     /// `nimble_obs::export`; dropping the router retires it.
     _collector: CollectorHandle,
+    /// Background autoscaler (when `autoscale_interval` is set); stopped
+    /// and joined on shutdown/drop.
+    autoscaler: std::sync::Mutex<Option<AutoscaleDriver>>,
 }
 
 impl std::fmt::Debug for Router {
@@ -166,12 +235,16 @@ impl Router {
                 }
             })
         };
+        let autoscaler = config
+            .autoscale_interval
+            .map(|i| AutoscaleDriver::spawn(&registry, i));
         Router {
             registry,
             telemetry,
             config,
             draining: AtomicBool::new(false),
             _collector: collector,
+            autoscaler: std::sync::Mutex::new(autoscaler),
         }
     }
 
@@ -294,6 +367,11 @@ impl Router {
     /// [`ServeTicket`]s resolve normally. Idempotent.
     pub fn shutdown(&self) {
         self.draining.store(true, Ordering::Release);
+        // Stop (and join) the autoscaler before draining, so no scale
+        // decision races the drain.
+        if let Some(mut driver) = self.autoscaler.lock().unwrap().take() {
+            driver.stop();
+        }
         self.registry.shutdown();
     }
 }
@@ -490,6 +568,42 @@ fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &
         );
     }
 
+    buf.header(
+        "nimble_batch_requests_total",
+        "Completed requests by serving mode (batched = rode in a batch of >1)",
+        "counter",
+    );
+    for (model, m) in &snap.models {
+        for (mode, v) in [("batched", m.batched), ("unbatched", m.unbatched)] {
+            buf.sample_u64(
+                "nimble_batch_requests_total",
+                &[("model", model), ("mode", mode)],
+                v,
+            );
+        }
+    }
+    buf.header(
+        "nimble_batch_size",
+        "Batch size each completed request was served at (1 = unbatched)",
+        "summary",
+    );
+    for (model, m) in &snap.models {
+        let h = &m.batch_size;
+        for (q, label) in [(0.5, "0.5"), (0.9, "0.9"), (0.99, "0.99")] {
+            buf.sample_u64(
+                "nimble_batch_size",
+                &[("model", model), ("quantile", label)],
+                h.quantile(q).as_nanos() as u64,
+            );
+        }
+        buf.sample_u64(
+            "nimble_batch_size_sum",
+            &[("model", model)],
+            h.sum().as_nanos() as u64,
+        );
+        buf.sample_u64("nimble_batch_size_count", &[("model", model)], h.count());
+    }
+
     // Engine queue/exec split (summed across replicas), per-replica rows,
     // and device-pool memory come straight from the live entries (they
     // have no history once a model is unloaded).
@@ -596,6 +710,30 @@ fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &
             "nimble_engine_exec_seconds_total",
             &[("model", model)],
             es.total_execution_ns as f64 / 1e9,
+        );
+    }
+    buf.header(
+        "nimble_batches_formed_total",
+        "Padded batches executed (summed across replicas)",
+        "counter",
+    );
+    for (model, es, _, _) in &rows {
+        buf.sample_u64(
+            "nimble_batches_formed_total",
+            &[("model", model)],
+            es.batches_formed,
+        );
+    }
+    buf.header(
+        "nimble_batch_pad_waste_ratio",
+        "Fraction of gathered batch units that were padding",
+        "gauge",
+    );
+    for (model, es, _, _) in &rows {
+        buf.sample_f64(
+            "nimble_batch_pad_waste_ratio",
+            &[("model", model)],
+            es.pad_waste_ratio(),
         );
     }
     for (name, help, kind, pick) in [
@@ -748,6 +886,52 @@ mod tests {
         assert_eq!(m.rejected_queue_full, shed);
         assert_eq!(m.accepted, m.terminal());
         assert_eq!(m.submitted(), 100);
+    }
+
+    #[test]
+    fn autoscale_cadence_thread_scales_under_pressure() {
+        let reg = Arc::new(ModelRegistry::new(RegistryConfig {
+            engine: EngineConfig {
+                workers: 1,
+                queue_capacity: 32,
+                max_batch: 2,
+            },
+            ..RegistryConfig::default()
+        }));
+        reg.register("m", "v1", &add_k_module(1.0), &CompileOptions::default())
+            .unwrap();
+        let router = Router::new(
+            Arc::clone(&reg),
+            RouterConfig {
+                autoscale_interval: Some(Duration::from_millis(5)),
+                ..RouterConfig::default()
+            },
+        );
+        let entry = reg.get("m").unwrap();
+        // Park the single replica and build a backlog past queue_high:
+        // the cadence thread (no manual ticks anywhere) must scale up.
+        entry.shards().pause_all();
+        let tickets: Vec<_> = (0..8)
+            .map(|_| router.submit("m", arg(0.0)).unwrap())
+            .collect();
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while entry.shards().len() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(
+            entry.shards().len() >= 2,
+            "autoscaler cadence thread never scaled up"
+        );
+        // The decision is visible in the lifecycle event log (and thus
+        // the nimble_shard_events_total exposition).
+        let (added, _, _) = entry.shards().stats().event_counts();
+        assert!(added >= 2);
+        entry.shards().resume_all();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        // Shutdown joins the thread; further ticks cannot race the drain.
+        router.shutdown();
     }
 
     #[test]

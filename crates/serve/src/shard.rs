@@ -29,7 +29,7 @@
 //! checkable at any quiesce point (the `shard_props` property test does).
 
 use nimble_core::{Completion, Engine, EngineConfig, EngineError, EngineStats};
-use nimble_vm::{ArenaStats, Object, ProfileReport, VirtualMachine};
+use nimble_vm::{ArenaStats, BatchPlan, Object, ProfileReport, VirtualMachine};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -222,6 +222,8 @@ pub struct ShardSet {
     vm: Arc<VirtualMachine>,
     engine_config: EngineConfig,
     config: ShardConfig,
+    /// Batch plan handed to every replica (None = unbatched serving).
+    plan: Option<Arc<BatchPlan>>,
     replicas: RwLock<Vec<Arc<Replica>>>,
     next_id: AtomicU64,
     /// splitmix64 state for the P2C draws (seeded, hence replayable when
@@ -260,12 +262,28 @@ impl ShardSet {
         engine_config: EngineConfig,
         config: ShardConfig,
     ) -> nimble_core::Result<ShardSet> {
+        ShardSet::with_plan(vm, engine_config, config, None)
+    }
+
+    /// Like [`ShardSet::new`], but every replica batches same-bucket
+    /// requests per `plan` (each replica batches its own queue; the plan
+    /// itself is shared, immutable).
+    ///
+    /// # Errors
+    /// Propagates engine-spawn failures.
+    pub fn with_plan(
+        vm: Arc<VirtualMachine>,
+        engine_config: EngineConfig,
+        config: ShardConfig,
+        plan: Option<Arc<BatchPlan>>,
+    ) -> nimble_core::Result<ShardSet> {
         let initial = config.replicas.max(1);
         let set = ShardSet {
             vm,
             engine_config,
             rng: Mutex::new(config.seed),
             config,
+            plan,
             replicas: RwLock::new(Vec::new()),
             next_id: AtomicU64::new(0),
             events: Mutex::new(Vec::new()),
@@ -286,9 +304,10 @@ impl ShardSet {
 
     fn spawn_replica(&self) -> nimble_core::Result<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let engine = Arc::new(Engine::new(
+        let engine = Arc::new(Engine::with_plan(
             Arc::clone(&self.vm),
             self.engine_config.clone(),
+            self.plan.clone(),
         )?);
         engine.set_replica_label(id);
         let replica = Arc::new(Replica {
@@ -450,9 +469,16 @@ impl ShardSet {
         if live.is_empty() {
             return Err(EngineError::Closed);
         }
+        // Shape-affinity hint: the bucket this request would batch into,
+        // if the set batches this function at all.
+        let bucket = self
+            .plan
+            .as_ref()
+            .filter(|p| p.function == function)
+            .and_then(|p| p.bucket_of(args));
         // A dead pick retries; bound by the snapshot size.
         for _ in 0..=live.len() {
-            let (first, second) = self.pick_two(&live);
+            let (first, second) = self.pick_two(&live, bucket);
             match self.try_replica(&first, function, args, deadline) {
                 Ok(t) => return Ok((t, first.id)),
                 Err(EngineError::Busy) => {
@@ -471,9 +497,16 @@ impl ShardSet {
         Err(EngineError::Closed)
     }
 
-    /// Power-of-two-choices: the shallower of two RNG-sampled distinct
-    /// replicas first (ties toward the lower id), the other as fallback.
-    fn pick_two(&self, live: &[Arc<Replica>]) -> (Arc<Replica>, Option<Arc<Replica>>) {
+    /// Power-of-two-choices with a shape-affinity tie-break: the
+    /// shallower of two RNG-sampled distinct replicas first; at equal
+    /// depth, prefer the replica whose last-formed batch bucket matches
+    /// the incoming request's bucket (its next batch pads less and forms
+    /// faster), then the lower id. The other replica stays as fallback.
+    fn pick_two(
+        &self,
+        live: &[Arc<Replica>],
+        bucket: Option<usize>,
+    ) -> (Arc<Replica>, Option<Arc<Replica>>) {
         let n = live.len();
         if n == 1 {
             return (Arc::clone(&live[0]), None);
@@ -487,8 +520,10 @@ impl ShardSet {
             }
             (Arc::clone(&live[i]), Arc::clone(&live[j]))
         };
-        let da = (a.engine.queue_depth(), a.id);
-        let db = (b.engine.queue_depth(), b.id);
+        let affinity_miss =
+            |r: &Replica| u8::from(bucket.is_none() || r.engine.last_formed_bucket() != bucket);
+        let da = (a.engine.queue_depth(), affinity_miss(&a), a.id);
+        let db = (b.engine.queue_depth(), affinity_miss(&b), b.id);
         if da <= db {
             (a, Some(b))
         } else {
@@ -633,6 +668,10 @@ impl ShardSet {
             total.total_execution_ns += s.total_execution_ns;
             total.max_latency_ns = total.max_latency_ns.max(s.max_latency_ns);
             total.batches += s.batches;
+            total.batched_requests += s.batched_requests;
+            total.batches_formed += s.batches_formed;
+            total.padded_units += s.padded_units;
+            total.used_units += s.used_units;
         }
         total
     }
@@ -925,6 +964,54 @@ mod tests {
         assert_eq!(set.len(), 1);
         let (added, retired, killed) = set.stats().event_counts();
         assert_eq!((added, retired, killed), (2, 1, 0));
+    }
+
+    #[test]
+    fn affinity_tie_break_prefers_matching_replica() {
+        use nimble_vm::BatchConfig;
+        use std::time::Duration;
+        // A plan whose key is the input's length; gather/scatter are
+        // never reached (min_batch 2, single submission).
+        let plan = Arc::new(BatchPlan {
+            function: "main".to_string(),
+            config: BatchConfig {
+                buckets: vec![2, 4],
+                min_batch: 2,
+                max_batch: 8,
+                max_wait: Duration::ZERO,
+            },
+            key: Arc::new(|args: &[Object]| {
+                let dims = args.first()?.tensor_shape().ok()?;
+                (dims.len() == 1).then(|| dims[0])
+            }),
+            gather: Arc::new(|_, _, _| Err(nimble_vm::VmError::msg("unused"))),
+            scatter: Arc::new(|_, _, _| Err(nimble_vm::VmError::msg("unused"))),
+        });
+        let set = Arc::new(
+            ShardSet::with_plan(
+                add_one_vm(),
+                EngineConfig::with_workers(1),
+                ShardConfig {
+                    replicas: 2,
+                    ..ShardConfig::default()
+                },
+                Some(plan),
+            )
+            .unwrap(),
+        );
+        set.pause_all();
+        // Seed the hint on the *higher*-id replica: at equal queue depth
+        // the plain tie-break would pick id 0, so landing on id 1 can
+        // only be the affinity hint ([2]-shaped input → bucket 2).
+        for r in set.replicas.read().unwrap().iter() {
+            if r.id == 1 {
+                r.engine.set_last_formed_bucket(2);
+            }
+        }
+        let t = set.submit("main", arg(1.0), None).unwrap();
+        assert_eq!(t.replica(), 1, "affinity hint ignored");
+        set.resume_all();
+        assert!(t.wait().result.unwrap().result.is_ok());
     }
 
     #[test]

@@ -206,6 +206,15 @@ pub struct ModelTelemetry {
     /// Queue-wait distribution (admission → worker pickup) for requests
     /// that reached a worker; `latency` covers queue + execution.
     queue: Histogram,
+    /// Requests served inside a formed batch (batch size > 1).
+    batched: AtomicU64,
+    /// Requests served on the unbatched path (no plan, no bucket match,
+    /// undersized group, or fallback).
+    unbatched: AtomicU64,
+    /// Distribution of the batch size each completed request rode in
+    /// (1 = unbatched). Log-bucketed like latency; sizes are small, so
+    /// low buckets are exact.
+    batch_size: Histogram,
     /// Last-known storage-arena counters for the model's live engine
     /// (refreshed by `Router::stats`; survives unload as history).
     arena: RwLock<ArenaStats>,
@@ -270,6 +279,17 @@ impl ModelTelemetry {
         self.queue.record(queued);
     }
 
+    /// Record which batch size a completed request was served at
+    /// (1 = unbatched).
+    pub(crate) fn record_batch_size(&self, size: usize) {
+        if size > 1 {
+            self.batched.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.unbatched.fetch_add(1, Ordering::Relaxed);
+        }
+        self.batch_size.record(Duration::from_nanos(size as u64));
+    }
+
     pub(crate) fn record_arena(&self, stats: ArenaStats) {
         *self.arena.write().unwrap() = stats;
     }
@@ -294,6 +314,9 @@ impl ModelTelemetry {
             rejected_shutdown: self.rejected_shutdown.load(Ordering::Relaxed),
             latency: self.latency.snapshot(),
             queue: self.queue.snapshot(),
+            batched: self.batched.load(Ordering::Relaxed),
+            unbatched: self.unbatched.load(Ordering::Relaxed),
+            batch_size: self.batch_size.snapshot(),
             arena: *self.arena.read().unwrap(),
             profile: *self.profile.read().unwrap(),
         }
@@ -333,6 +356,13 @@ pub struct ModelStats {
     /// Queue-wait distribution (admission → worker pickup); execution is
     /// roughly `latency - queue`.
     pub queue: HistogramSnapshot,
+    /// Completed/failed requests served inside a formed batch (size > 1).
+    pub batched: u64,
+    /// Completed/failed requests served on the unbatched path.
+    pub unbatched: u64,
+    /// Batch-size distribution across completed/failed requests (the
+    /// "ns" axis counts batch members; 1 = unbatched).
+    pub batch_size: HistogramSnapshot,
     /// Storage-arena allocation counters for the model's engine (summed
     /// over its workers): hits, misses, recycled bytes, high-water mark.
     pub arena: ArenaStats,

@@ -48,11 +48,13 @@ fn models() -> Vec<ChaosModel> {
             name: "lstmish".to_string(),
             module: Box::new(|v| dense_module(6, v)),
             request: Box::new(|rng| dense_request(6, rng)),
+            batch: None,
         },
         ChaosModel {
             name: "bertish".to_string(),
             module: Box::new(|v| dense_module(8, 100 + v)),
             request: Box::new(|rng| dense_request(8, rng)),
+            batch: None,
         },
     ]
 }

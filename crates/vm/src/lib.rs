@@ -16,6 +16,7 @@
 //!   allocations across requests.
 
 pub mod arena;
+pub mod batch;
 pub mod disasm;
 pub mod exe;
 pub mod interp;
@@ -24,6 +25,7 @@ pub mod object;
 pub mod profiler;
 
 pub use arena::{ArenaStats, StorageArena};
+pub use batch::{batching_disabled, BatchConfig, BatchPlan};
 pub use disasm::disassemble;
 pub use exe::{Executable, KernelDesc, VMFunction};
 pub use interp::{Session, VirtualMachine};
