@@ -48,11 +48,65 @@ impl From<nimble_ir::IrError> for KernelError {
 
 type KernelFn = dyn Fn(&[Tensor]) -> Result<Vec<Tensor>, KernelError> + Send + Sync;
 
+/// Where a dense-anchored kernel finds one of its GEMM operands at invoke
+/// time: a positional kernel input, or a constant folded into the kernel
+/// at compile time (fused primitive functions bake constants in).
+#[derive(Clone)]
+pub enum ArgSrc {
+    /// Positional index into the kernel's input slice.
+    Input(usize),
+    /// Compile-time constant captured by the fused closure.
+    Const(Tensor),
+}
+
+impl ArgSrc {
+    /// Resolve against a concrete input slice. `Input` past the end
+    /// resolves to `None` (the optional-bias case for plain `dense`).
+    pub fn resolve<'a>(&'a self, inputs: &'a [Tensor]) -> Option<&'a Tensor> {
+        match self {
+            ArgSrc::Input(i) => inputs.get(*i),
+            ArgSrc::Const(t) => Some(t),
+        }
+    }
+}
+
+impl fmt::Debug for ArgSrc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgSrc::Input(i) => write!(f, "Input({i})"),
+            ArgSrc::Const(t) => write!(f, "Const{:?}", t.dims()),
+        }
+    }
+}
+
+/// Shape-specialization metadata: attached to kernels whose hot loop is a
+/// single dense GEMM (the symbolic `dense` kernel and the fused
+/// dense+unary-epilogue fast path), describing where the GEMM operands
+/// live and which scalar epilogue follows. The runtime specializer uses
+/// this to build a shape-concretized replacement kernel that computes the
+/// same `gemm_packed` + [`nimble_tensor::kernels::gemm::Epilogue`]
+/// pipeline with a tuned schedule — bitwise-identical by the schedule
+/// invariance of the packed GEMM.
+#[derive(Clone, Debug)]
+pub struct DenseSpec {
+    /// Activation operand `[m.., k]`.
+    pub x: ArgSrc,
+    /// Weight operand `[n, k]` (transposed-weight dense layout).
+    pub w: ArgSrc,
+    /// Optional bias `[n]`. `Some(Input(i))` with fewer than `i + 1`
+    /// runtime inputs means "no bias on this call".
+    pub bias: Option<ArgSrc>,
+    /// Scalar epilogue chain applied after the bias add, in order.
+    pub unary: Vec<fn(f32) -> f32>,
+}
+
 /// A compiled, invocable kernel.
 #[derive(Clone)]
 pub struct Kernel {
     name: Arc<str>,
     f: Arc<KernelFn>,
+    /// Set when the kernel is a specializable dense anchor.
+    spec: Option<Arc<DenseSpec>>,
 }
 
 impl fmt::Debug for Kernel {
@@ -70,7 +124,20 @@ impl Kernel {
         Kernel {
             name: name.into(),
             f: Arc::new(f),
+            spec: None,
         }
+    }
+
+    /// Attach shape-specialization metadata (builder style).
+    fn with_spec(mut self, spec: DenseSpec) -> Kernel {
+        self.spec = Some(Arc::new(spec));
+        self
+    }
+
+    /// Shape-specialization metadata, when this kernel is a dense anchor
+    /// the runtime specializer knows how to concretize.
+    pub fn dense_spec(&self) -> Option<&Arc<DenseSpec>> {
+        self.spec.as_ref()
     }
 
     /// The kernel's diagnostic name.
@@ -123,6 +190,12 @@ impl Kernel {
                 Ok(vec![d.run(x)?])
             },
         )
+        .with_spec(DenseSpec {
+            x: ArgSrc::Input(0),
+            w: ArgSrc::Input(1),
+            bias: Some(ArgSrc::Input(2)),
+            unary: Vec::new(),
+        })
     }
 
     /// Compile a fused primitive function into a single kernel.
@@ -523,25 +596,38 @@ fn compile_unary_chain(func: &Function) -> Result<Option<Kernel>, KernelError> {
         // unary chain run inside the GEMM's write-out pass, so the output
         // is touched exactly once (no post-anchor sweep at all).
         let name = format!("fused(dense+{chain_label} epilogue)");
-        return Ok(Some(Kernel::new(&name, move |inputs| {
-            let gathered: Vec<Tensor> = arg_sources
-                .iter()
-                .map(|src| match src {
-                    Ok(i) => inputs
-                        .get(*i)
-                        .cloned()
-                        .ok_or_else(|| KernelError("missing primitive input".into())),
-                    Err(c) => Ok(c.clone()),
-                })
-                .collect::<Result<_, _>>()?;
-            let out = nimble_tensor::kernels::dense_with_epilogue(
-                &gathered[0],
-                &gathered[1],
-                gathered.get(2),
-                &fns,
-            )?;
-            Ok(vec![out])
-        })));
+        let to_src = |s: &Result<usize, Tensor>| match s {
+            Ok(i) => ArgSrc::Input(*i),
+            Err(c) => ArgSrc::Const(c.clone()),
+        };
+        let spec = DenseSpec {
+            x: to_src(&arg_sources[0]),
+            w: to_src(&arg_sources[1]),
+            bias: arg_sources.get(2).map(to_src),
+            unary: fns.clone(),
+        };
+        return Ok(Some(
+            Kernel::new(&name, move |inputs| {
+                let gathered: Vec<Tensor> = arg_sources
+                    .iter()
+                    .map(|src| match src {
+                        Ok(i) => inputs
+                            .get(*i)
+                            .cloned()
+                            .ok_or_else(|| KernelError("missing primitive input".into())),
+                        Err(c) => Ok(c.clone()),
+                    })
+                    .collect::<Result<_, _>>()?;
+                let out = nimble_tensor::kernels::dense_with_epilogue(
+                    &gathered[0],
+                    &gathered[1],
+                    gathered.get(2),
+                    &fns,
+                )?;
+                Ok(vec![out])
+            })
+            .with_spec(spec),
+        ));
     }
     let exec = def.execute;
     let name = format!("fused({anchor_name}+{chain_label} inplace)");

@@ -25,7 +25,7 @@ pub mod shape_func;
 pub mod symbolic;
 pub mod tuner;
 
-pub use kernel::{Kernel, KernelError};
+pub use kernel::{ArgSrc, DenseSpec, Kernel, KernelError};
 pub use select::{select_schedule, DenseImpl, ScheduleChoice, SelectingDense};
 pub use shape_func::ShapeFuncKernel;
 pub use symbolic::{dense_symbolic, dense_symbolic_packed, DispatchLevel, SymbolicDense};

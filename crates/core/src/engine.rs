@@ -216,7 +216,17 @@ struct WorkerCtrl {
     /// Shape bucket of the most recently formed batch ([`NO_BUCKET`] when
     /// none yet) — the shard layer's shape-affinity admission hint.
     last_bucket: AtomicU64,
+    /// Ring of recently admitted request shape keys (stored as `key + 1`;
+    /// 0 = empty slot) — the shard layer's specialization-warmth hint:
+    /// among equally loaded replicas, one that recently ran a shape the
+    /// model's specialization cache holds is preferred for it.
+    warm_shapes: [AtomicU64; WARM_RING],
+    /// Next ring slot to overwrite.
+    warm_cursor: AtomicUsize,
 }
+
+/// Slots in the recently-admitted-shape ring.
+const WARM_RING: usize = 8;
 
 impl Default for WorkerCtrl {
     fn default() -> WorkerCtrl {
@@ -227,6 +237,8 @@ impl Default for WorkerCtrl {
             aborted: AtomicBool::new(false),
             label: AtomicU64::new(0),
             last_bucket: AtomicU64::new(NO_BUCKET),
+            warm_shapes: std::array::from_fn(|_| AtomicU64::new(0)),
+            warm_cursor: AtomicUsize::new(0),
         }
     }
 }
@@ -438,6 +450,27 @@ impl Engine {
         self.ctrl
             .last_bucket
             .store(bucket as u64, Ordering::Relaxed);
+    }
+
+    /// Note that a request with shape key `key` was admitted to this
+    /// replica (called by the shard layer on admission; lossy by design —
+    /// a ring of the last few shapes, not a history).
+    pub fn note_warm_shape(&self, key: u64) {
+        if self.has_warm_shape(key) {
+            return;
+        }
+        let slot =
+            self.ctrl.warm_cursor.fetch_add(1, Ordering::Relaxed) % self.ctrl.warm_shapes.len();
+        self.ctrl.warm_shapes[slot].store(key.wrapping_add(1), Ordering::Relaxed);
+    }
+
+    /// Whether `key` is in this replica's recently admitted shape ring.
+    pub fn has_warm_shape(&self, key: u64) -> bool {
+        let tagged = key.wrapping_add(1);
+        self.ctrl
+            .warm_shapes
+            .iter()
+            .any(|s| s.load(Ordering::Relaxed) == tagged)
     }
 
     /// A clone of the queue sender, or `None` after shutdown. Cloning

@@ -11,6 +11,9 @@
 //!   data structures** (input 300 / hidden 150);
 //! * [`bert`] — BERT encoder over a variable-length token sequence:
 //!   **dynamic shapes**;
+//! * [`mlp`] — row-dynamic dense/ReLU stack: the minimal dynamic-shape
+//!   workload, used by the shape-specialization tier's benchmarks and
+//!   differential tests;
 //! * [`cv`] — static computer-vision graphs (ResNet/MobileNet/VGG/
 //!   SqueezeNet style) for the memory-planning footprint study
 //!   (Section 6.3);
@@ -21,8 +24,10 @@ pub mod bert;
 pub mod cv;
 pub mod data;
 pub mod lstm;
+pub mod mlp;
 pub mod tree_lstm;
 
 pub use bert::{BertConfig, BertModel};
 pub use lstm::{LstmConfig, LstmModel};
+pub use mlp::{MlpConfig, MlpModel};
 pub use tree_lstm::{TreeLstmConfig, TreeLstmModel};

@@ -1,0 +1,161 @@
+//! Row-dynamic MLP: a dense/ReLU stack over `x: Tensor[(Any, IN)]`.
+//!
+//! The minimal *dynamic shape* workload for the shape-specialization
+//! tier: every request carries a concrete row count for the `Any`
+//! dimension, each layer is one dense anchor (symbolic or fused
+//! dense+relu after fusion), and a Zipfian mix of row counts gives the
+//! hot-shape cache something to specialize. BERT exercises the same
+//! machinery with far more surrounding ops; this model isolates the
+//! dense anchors so specialization effects are measurable.
+
+use nimble_ir::attrs::Attrs;
+use nimble_ir::expr::{Expr, Function};
+use nimble_ir::types::{TensorType, Type};
+use nimble_ir::{Module, Var};
+use nimble_tensor::{DType, Tensor};
+use rand::Rng;
+use rand::SeedableRng;
+
+/// MLP configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MlpConfig {
+    /// Input feature width.
+    pub input: usize,
+    /// Hidden width of every inner layer.
+    pub hidden: usize,
+    /// Number of hidden (dense+relu) layers.
+    pub layers: usize,
+    /// Output width of the final (activation-free) dense.
+    pub classes: usize,
+    /// Weight-initialization seed.
+    pub seed: u64,
+}
+
+impl Default for MlpConfig {
+    fn default() -> MlpConfig {
+        MlpConfig {
+            input: 64,
+            hidden: 128,
+            layers: 2,
+            classes: 16,
+            seed: 42,
+        }
+    }
+}
+
+/// An initialized MLP: `layers` dense+relu blocks and a final dense.
+#[derive(Debug, Clone)]
+pub struct MlpModel {
+    /// Configuration.
+    pub config: MlpConfig,
+    /// `(weight [out, in], bias [out])` per layer, final layer last.
+    pub weights: Vec<(Tensor, Tensor)>,
+}
+
+impl MlpModel {
+    /// Initialize with seeded uniform weights.
+    pub fn new(config: MlpConfig) -> MlpModel {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut mk = |r: usize, c: usize| {
+            let scale = 1.0 / (c as f32).sqrt();
+            (
+                Tensor::rand_f32(&mut rng, &[r, c], scale),
+                Tensor::rand_f32(&mut rng, &[r, 1], scale)
+                    .reshaped(&[r])
+                    .expect("bias reshape"),
+            )
+        };
+        let mut weights = Vec::with_capacity(config.layers + 1);
+        let mut width = config.input;
+        for _ in 0..config.layers {
+            weights.push(mk(config.hidden, width));
+            width = config.hidden;
+        }
+        weights.push(mk(config.classes, width));
+        MlpModel { config, weights }
+    }
+
+    /// Build the IR module: `main(x: Tensor[(Any, IN)]) -> Tensor[(Any, C)]`.
+    pub fn module(&self) -> Module {
+        let x = Var::fresh(
+            "x",
+            Type::Tensor(TensorType::with_any(
+                &[None, Some(self.config.input as u64)],
+                DType::F32,
+            )),
+        );
+        let mut cur = x.to_expr();
+        for (i, (w, b)) in self.weights.iter().enumerate() {
+            cur = Expr::call_op(
+                "dense",
+                vec![cur, Expr::constant(w.clone()), Expr::constant(b.clone())],
+                Attrs::new(),
+            );
+            if i + 1 < self.weights.len() {
+                cur = Expr::call_op("relu", vec![cur], Attrs::new());
+            }
+        }
+        let mut m = Module::new();
+        m.add_function("main", Function::new(vec![x], cur, Type::Unknown));
+        m
+    }
+
+    /// A random `[rows, IN]` input.
+    pub fn random_input(&self, rng: &mut impl Rng, rows: usize) -> Tensor {
+        Tensor::rand_f32(rng, &[rows, self.config.input], 1.0)
+    }
+
+    /// Pure scalar reference (naive loops, no blocking): for allclose
+    /// sanity checks, not bitwise comparisons.
+    pub fn reference(&self, x: &Tensor) -> Tensor {
+        let mut rows: Vec<Vec<f32>> = {
+            let data = x.as_f32().expect("f32 input");
+            data.chunks(self.config.input)
+                .map(<[f32]>::to_vec)
+                .collect()
+        };
+        for (i, (w, b)) in self.weights.iter().enumerate() {
+            let (n, k) = (w.dims()[0], w.dims()[1]);
+            let wd = w.as_f32().expect("f32 weight");
+            let bd = b.as_f32().expect("f32 bias");
+            rows = rows
+                .iter()
+                .map(|row| {
+                    (0..n)
+                        .map(|j| {
+                            let mut acc = 0.0f32;
+                            for c in 0..k {
+                                acc += row[c] * wd[j * k + c];
+                            }
+                            let v = acc + bd[j];
+                            if i + 1 < self.weights.len() {
+                                v.max(0.0)
+                            } else {
+                                v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+        }
+        let m = rows.len();
+        let flat: Vec<f32> = rows.into_iter().flatten().collect();
+        Tensor::from_vec_f32(flat, &[m, self.config.classes]).expect("reference output")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_builds_and_reference_shapes() {
+        let model = MlpModel::new(MlpConfig::default());
+        let module = model.module();
+        assert!(module.functions().any(|(n, _)| n.0 == "main"));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let x = model.random_input(&mut rng, 5);
+        let y = model.reference(&x);
+        assert_eq!(y.dims(), &[5, 16]);
+    }
+}

@@ -78,6 +78,8 @@ pub enum Category {
     Device = 7,
     /// Chaos-harness episodes (fault injection and quiesce checks).
     Chaos = 8,
+    /// Shape-specialization subsystem (observe/tune/install lifecycle).
+    Specialize = 9,
 }
 
 impl Category {
@@ -91,6 +93,7 @@ impl Category {
             6 => Category::Pool,
             7 => Category::Device,
             8 => Category::Chaos,
+            9 => Category::Specialize,
             _ => Category::Other,
         }
     }
@@ -107,6 +110,7 @@ impl Category {
             Category::Pool => "pool",
             Category::Device => "device",
             Category::Chaos => "chaos",
+            Category::Specialize => "specialize",
         }
     }
 }

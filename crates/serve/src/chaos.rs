@@ -39,6 +39,7 @@ use nimble_core::{CompileOptions, EngineConfig};
 use nimble_device::{DeviceId, DeviceSet};
 use nimble_ir::Module;
 use nimble_obs::Category;
+use nimble_specialize::{ModelSpecializer, SpecializeConfig};
 use nimble_tensor::prepack;
 use nimble_vm::Object;
 use rand::rngs::StdRng;
@@ -194,8 +195,16 @@ impl std::fmt::Display for ChaosReport {
     }
 }
 
-/// The six fault-injection episode kinds.
-const KINDS: [&str; 6] = ["burst", "kill", "storm", "hot_swap", "scale", "kill_batch"];
+/// The seven fault-injection episode kinds.
+const KINDS: [&str; 7] = [
+    "burst",
+    "kill",
+    "storm",
+    "hot_swap",
+    "scale",
+    "kill_batch",
+    "specialize",
+];
 
 /// Seeded fault-injection driver over a private serving stack. See the
 /// module docs for the invariants it continuously asserts.
@@ -243,6 +252,11 @@ impl ChaosHarness {
             engine: config.engine.clone(),
             shards: config.shards.clone(),
             devices: Arc::clone(&devices),
+            // The specialize episode attaches (and fully tears down) its
+            // own specializer with explicit quiesce fences; a registry-
+            // owned one would tune at wall-clock-dependent times and
+            // break transcript replay.
+            specialize: None,
         }));
         let router = Router::new(Arc::clone(&registry), RouterConfig::default());
         let mut harness = ChaosHarness {
@@ -293,7 +307,8 @@ impl ChaosHarness {
                 2 => self.episode_storm(model),
                 3 => self.episode_hot_swap(model),
                 4 => self.episode_scale(model),
-                _ => self.episode_kill_batch(model),
+                5 => self.episode_kill_batch(model),
+                _ => self.episode_specialize(model),
             }
             self.check_quiesced();
         }
@@ -513,6 +528,97 @@ impl ChaosHarness {
         self.push_event(
             model,
             format!("scale backlog={n} decisions=[{}]", rendered.join(",")),
+        );
+    }
+
+    /// Specialize churn: attach a low-threshold specializer to the
+    /// model's live VM, drive seeded traffic until hot shapes tune and
+    /// install (quiescing the tuner so its outcomes are settled off the
+    /// request path), dispatch through the installed kernels, force a
+    /// full eviction, then hot-swap mid-traffic and tear the specializer
+    /// down. Books must balance, tune outcomes must account exactly once
+    /// (`installs + rejected == tunes`), and every specialized prepack
+    /// layout must be released by episode end — the post-episode quiesce
+    /// check then sees exactly the live models' base panels. The event
+    /// line logs only structurally deterministic values: batch formation
+    /// makes raw hit/tune counts timing-dependent for batched models.
+    fn episode_specialize(&mut self, model: usize) {
+        let name = self.models[model].name.clone();
+        let entry = self
+            .registry
+            .get(&name)
+            .unwrap_or_else(|| panic!("model {name} vanished"));
+        let spec = ModelSpecializer::attach(
+            entry.vm(),
+            SpecializeConfig {
+                hit_threshold: 2,
+                max_trials: 4,
+                repeats: 1,
+                ..SpecializeConfig::default()
+            },
+        );
+        drop(entry);
+        let n = self.config.burst.min(self.config.engine.queue_capacity);
+        // Warm phase: every executed request is observed; hot shapes
+        // cross the threshold and enqueue background tunes.
+        let tickets = self.submit_n(model, n, None);
+        let warm_accepted = tickets.len();
+        self.wait_all(model, tickets);
+        if let Some(spec) = &spec {
+            spec.quiesce();
+            let s = spec.stats();
+            assert_eq!(
+                s.installs + s.rejected,
+                s.tunes,
+                "{name}: tune outcomes leaked\n{}",
+                self.transcript()
+            );
+            // Hot phase: the same mix now dispatches through whatever
+            // installed (bitwise-verified) kernels the tuner produced.
+            let tickets = self.submit_n(model, n, None);
+            self.wait_all(model, tickets);
+            // Eviction: dropping every tracked shape must release the
+            // installed kernels' extra prepack layouts with them.
+            spec.evict_all();
+            let s = spec.stats();
+            assert_eq!(
+                s.cache_len,
+                0,
+                "{name}: evict_all left entries\n{}",
+                self.transcript()
+            );
+            assert_eq!(
+                s.extra_pack_entries,
+                0,
+                "{name}: eviction stranded specialized panels\n{}",
+                self.transcript()
+            );
+        }
+        // Hot-swap mid-traffic: requests are in flight when the
+        // specializer is torn down and the next version swapped in.
+        // Shutdown precedes the swap — the same order the registry's own
+        // retire path uses — so no late tune can re-create panels after
+        // the outgoing version's buffers are released.
+        let tickets = self.submit_n(model, n, None);
+        if let Some(spec) = &spec {
+            spec.shutdown();
+            assert_eq!(
+                spec.stats().extra_pack_entries,
+                0,
+                "{name}: shutdown stranded specialized panels\n{}",
+                self.transcript()
+            );
+        }
+        self.register_version(model);
+        let swap_in_flight = tickets.len();
+        self.wait_all(model, tickets);
+        let v = self.versions[model] - 1;
+        self.push_event(
+            model,
+            format!(
+                "specialize attached={} warm={warm_accepted} swap to=v{v} in_flight={swap_in_flight}",
+                spec.is_some()
+            ),
         );
     }
 

@@ -18,6 +18,16 @@
 //! * [`telemetry`] — lock-free log-bucketed latency [`Histogram`]s
 //!   (p50/p90/p99 from snapshots) and per-model outcome counters,
 //!   exported as a [`ServeStats`] snapshot.
+//!
+//! Orthogonally, every registered model gets a
+//! [`nimble_specialize::ModelSpecializer`] (unless disabled by
+//! [`RegistryConfig::specialize`] or `NIMBLE_SPECIALIZE=off`): a
+//! hot-shape cache that observes the concrete values requests bind to
+//! `Any` dims, tunes shape-concretized kernels off the request path, and
+//! installs them behind a bitwise-identity gate. The replica picker's
+//! tie-break prefers replicas recently warm for a request's concrete
+//! shape, and the router exports the specializer's counters as
+//! `nimble_specialize_*` families.
 
 pub mod chaos;
 pub mod registry;
@@ -26,11 +36,14 @@ pub mod shard;
 pub mod telemetry;
 
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosHarness, ChaosModel, ChaosReport};
+pub use nimble_specialize::{
+    ModelSpecializer, SpecializeConfig, SpecializeStats, TuneHistSnapshot,
+};
 pub use registry::{ModelEntry, ModelRegistry, RegisterReport, RegistryConfig};
 pub use router::{Rejected, Router, RouterConfig, ServeTicket};
 pub use shard::{
     AutoscalerConfig, ReplicaStats, ScaleDecision, ShardConfig, ShardEvent, ShardOutcome, ShardSet,
-    ShardStats, ShardTicket,
+    ShardStats, ShardTicket, WarmthProbe,
 };
 pub use telemetry::{
     Histogram, HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry,

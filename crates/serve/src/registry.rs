@@ -23,6 +23,7 @@ use nimble_core::{compile, CompileOptions, Engine, EngineConfig};
 use nimble_device::DeviceSet;
 use nimble_ir::printer::print_module;
 use nimble_ir::Module;
+use nimble_specialize::{ModelSpecializer, SpecializeConfig};
 use nimble_tensor::prepack;
 use nimble_vm::{BatchPlan, Executable, VirtualMachine};
 use std::collections::HashMap;
@@ -43,6 +44,10 @@ pub struct RegistryConfig {
     pub shards: ShardConfig,
     /// Device set shared by all models' VMs.
     pub devices: Arc<DeviceSet>,
+    /// Shape-specialization knobs given to every model; `None` disables
+    /// the subsystem, as does `NIMBLE_SPECIALIZE=off` at registration
+    /// time. The default attaches a specializer with default budgets.
+    pub specialize: Option<SpecializeConfig>,
 }
 
 impl Default for RegistryConfig {
@@ -52,6 +57,7 @@ impl Default for RegistryConfig {
             engine: EngineConfig::default(),
             shards: ShardConfig::default(),
             devices: Arc::new(DeviceSet::cpu_only()),
+            specialize: Some(SpecializeConfig::default()),
         }
     }
 }
@@ -65,6 +71,9 @@ pub struct ModelEntry {
     /// Buffer ids of the pre-packed weight constants, for release on
     /// unload.
     weight_buffers: Vec<usize>,
+    /// Shape specializer hooked into this model's VM, when enabled and
+    /// the program has dense anchors to specialize.
+    spec: Option<Arc<ModelSpecializer>>,
 }
 
 impl ModelEntry {
@@ -101,6 +110,12 @@ impl ModelEntry {
     /// The loaded program.
     pub fn vm(&self) -> &Arc<VirtualMachine> {
         &self.vm
+    }
+
+    /// The shape specializer attached to this model's VM, if the
+    /// subsystem is enabled and the program has dense anchors.
+    pub fn specializer(&self) -> Option<&Arc<ModelSpecializer>> {
+        self.spec.as_ref()
     }
 }
 
@@ -372,12 +387,25 @@ impl ModelRegistry {
             )
             .map_err(|e| ServeError::Compile(e.to_string()))?,
         );
+        // Attach the shape specializer (no-op when disabled by config or
+        // env, or when the program has no dense anchors) and let the
+        // replica picker consult it for shape-warm admission.
+        let spec = self
+            .config
+            .specialize
+            .as_ref()
+            .and_then(|cfg| ModelSpecializer::attach(&vm, cfg.clone()));
+        if let Some(s) = &spec {
+            let probe = Arc::clone(s);
+            shards.set_warmth_probe(Arc::new(move |rows| probe.is_warm(rows)));
+        }
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             version: version.to_string(),
             shards,
             vm,
             weight_buffers,
+            spec,
         });
         let old = self.models.write().unwrap().insert(name.to_string(), entry);
         // Outside the lock: drain the displaced version so its accepted
@@ -392,6 +420,12 @@ impl ModelRegistry {
     /// unload/hot-swap returns memory to the pre-load baseline.
     fn retire(entry: &Arc<ModelEntry>) -> String {
         entry.shards.shutdown();
+        // Tear down the specializer first: it joins the tuning thread and
+        // releases every specialized prepack layout, so the buffer-wide
+        // release below returns the cache to its pre-load state.
+        if let Some(spec) = &entry.spec {
+            spec.shutdown();
+        }
         prepack::release_buffers(&entry.weight_buffers);
         entry.version.clone()
     }

@@ -23,6 +23,7 @@ use nimble_core::{Completion, EngineError};
 use nimble_device::DeviceId;
 use nimble_obs::export::{register_collector, CollectorHandle, PromBuf};
 use nimble_obs::{Category as ObsCat, SpanContext};
+use nimble_specialize::SpecializeStats;
 use nimble_vm::Object;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -772,6 +773,88 @@ fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &
         for (model, _, cpu, gpu) in &rows {
             buf.sample_u64(name, &[("model", model), ("device", "cpu")], pick(cpu));
             buf.sample_u64(name, &[("model", model), ("device", "gpu")], pick(gpu));
+        }
+    }
+
+    // Shape-specialization counters, cache size, and tune-time histogram
+    // from each live model's specializer (models serving without one —
+    // disabled, or no dense anchors — emit nothing).
+    let mut spec_rows = Vec::new();
+    for (name, _) in registry.list() {
+        if let Some(entry) = registry.get(&name) {
+            if let Some(spec) = entry.specializer() {
+                spec_rows.push((name, spec.stats()));
+            }
+        }
+    }
+    if !spec_rows.is_empty() {
+        for (metric, help, pick) in [
+            (
+                "nimble_specialize_hits_total",
+                "Dispatches served by an installed specialized kernel",
+                (|s: &SpecializeStats| s.hits) as fn(&SpecializeStats) -> u64,
+            ),
+            (
+                "nimble_specialize_misses_total",
+                "Dispatches on specializable kernels that ran the symbolic fallback",
+                |s| s.misses,
+            ),
+            (
+                "nimble_specialize_installs_total",
+                "Specialized kernels installed after passing the bitwise probe",
+                |s| s.installs,
+            ),
+            (
+                "nimble_specialize_evictions_total",
+                "Hot-shape cache entries evicted (LRU or teardown)",
+                |s| s.evictions,
+            ),
+        ] {
+            buf.header(metric, help, "counter");
+            for (model, s) in &spec_rows {
+                buf.sample_u64(metric, &[("model", model)], pick(s));
+            }
+        }
+        buf.header(
+            "nimble_specialize_cache_size",
+            "Shapes currently tracked by the hot-shape cache",
+            "gauge",
+        );
+        for (model, s) in &spec_rows {
+            buf.sample_u64(
+                "nimble_specialize_cache_size",
+                &[("model", model)],
+                s.cache_len as u64,
+            );
+        }
+        buf.header(
+            "nimble_specialize_tune_seconds",
+            "Background tune duration (search + bitwise probe)",
+            "histogram",
+        );
+        for (model, s) in &spec_rows {
+            for (le, count) in &s.tune_hist.cumulative {
+                let le = if le.is_infinite() {
+                    "+Inf".to_string()
+                } else {
+                    format!("{le}")
+                };
+                buf.sample_u64(
+                    "nimble_specialize_tune_seconds_bucket",
+                    &[("model", model), ("le", &le)],
+                    *count,
+                );
+            }
+            buf.sample_f64(
+                "nimble_specialize_tune_seconds_sum",
+                &[("model", model)],
+                s.tune_hist.sum_seconds,
+            );
+            buf.sample_u64(
+                "nimble_specialize_tune_seconds_count",
+                &[("model", model)],
+                s.tune_hist.count,
+            );
         }
     }
 }

@@ -216,6 +216,12 @@ struct ScalerState {
 /// before resolving as an explicit failure.
 const MAX_REQUEUES: u32 = 4;
 
+/// Shared shape-warmth oracle: `probe(rows)` answers whether the model's
+/// specializer holds an installed (Ready) kernel for requests with that
+/// concrete leading-dimension product. Installed by the registry when the
+/// specialization subsystem is enabled.
+pub type WarmthProbe = Arc<dyn Fn(usize) -> bool + Send + Sync>;
+
 /// N engine replicas over one shared loaded program, behind
 /// power-of-two-choices admission.
 pub struct ShardSet {
@@ -233,6 +239,9 @@ pub struct ShardSet {
     accepted: AtomicU64,
     requeued: AtomicU64,
     scaler: Mutex<ScalerState>,
+    /// Optional shape-warmth oracle (see [`WarmthProbe`]); `None` keeps
+    /// admission byte-identical to the pre-specialization picker.
+    warmth: RwLock<Option<WarmthProbe>>,
 }
 
 impl std::fmt::Debug for ShardSet {
@@ -242,6 +251,17 @@ impl std::fmt::Debug for ShardSet {
             .field("accepted", &self.accepted.load(Ordering::Relaxed))
             .finish()
     }
+}
+
+/// Concrete leading-dimension product ("rows") of the first tensor
+/// argument — the same shape key the specializer observes on dispatch.
+/// `None` when the first argument is not a tensor or is rank 0.
+fn rows_key(args: &[Object]) -> Option<usize> {
+    let dims = args.first()?.tensor_shape().ok()?;
+    if dims.is_empty() {
+        return None;
+    }
+    Some(dims[..dims.len() - 1].iter().product())
 }
 
 fn splitmix64(state: &mut u64) -> u64 {
@@ -290,6 +310,7 @@ impl ShardSet {
             accepted: AtomicU64::new(0),
             requeued: AtomicU64::new(0),
             scaler: Mutex::new(ScalerState::default()),
+            warmth: RwLock::new(None),
         };
         for _ in 0..initial {
             set.spawn_replica()?;
@@ -300,6 +321,13 @@ impl ShardSet {
     /// The shared loaded program.
     pub fn vm(&self) -> &Arc<VirtualMachine> {
         &self.vm
+    }
+
+    /// Install the shape-warmth oracle the replica picker consults
+    /// (registry wiring, at model install time). Admission reads the
+    /// probe per request, so installing after traffic starts is safe.
+    pub fn set_warmth_probe(&self, probe: WarmthProbe) {
+        *self.warmth.write().unwrap() = Some(probe);
     }
 
     fn spawn_replica(&self) -> nimble_core::Result<u64> {
@@ -476,17 +504,39 @@ impl ShardSet {
             .as_ref()
             .filter(|p| p.function == function)
             .and_then(|p| p.bucket_of(args));
+        // Shape-warmth hint: `key` is the request's concrete shape key
+        // (noted on the admitting replica), `warm` is set only when the
+        // model's specializer holds an installed kernel for that shape —
+        // then equal-depth ties prefer replicas that served it recently
+        // (their worker arenas are sized for it).
+        let (key, warm) = {
+            let probe = self.warmth.read().unwrap();
+            match (probe.as_ref(), rows_key(args)) {
+                (Some(p), Some(rows)) => (Some(rows as u64), p(rows).then_some(rows as u64)),
+                _ => (None, None),
+            }
+        };
         // A dead pick retries; bound by the snapshot size.
         for _ in 0..=live.len() {
-            let (first, second) = self.pick_two(&live, bucket);
+            let (first, second) = self.pick_two(&live, bucket, warm);
             match self.try_replica(&first, function, args, deadline) {
-                Ok(t) => return Ok((t, first.id)),
+                Ok(t) => {
+                    if let Some(k) = key {
+                        first.engine.note_warm_shape(k);
+                    }
+                    return Ok((t, first.id));
+                }
                 Err(EngineError::Busy) => {
                     let Some(second) = second else {
                         return Err(EngineError::Busy);
                     };
                     match self.try_replica(&second, function, args, deadline) {
-                        Ok(t) => return Ok((t, second.id)),
+                        Ok(t) => {
+                            if let Some(k) = key {
+                                second.engine.note_warm_shape(k);
+                            }
+                            return Ok((t, second.id));
+                        }
                         Err(EngineError::Busy) => return Err(EngineError::Busy),
                         Err(_) => continue,
                     }
@@ -497,15 +547,18 @@ impl ShardSet {
         Err(EngineError::Closed)
     }
 
-    /// Power-of-two-choices with a shape-affinity tie-break: the
-    /// shallower of two RNG-sampled distinct replicas first; at equal
-    /// depth, prefer the replica whose last-formed batch bucket matches
-    /// the incoming request's bucket (its next batch pads less and forms
-    /// faster), then the lower id. The other replica stays as fallback.
+    /// Power-of-two-choices with shape-aware tie-breaks: the shallower of
+    /// two RNG-sampled distinct replicas first; at equal depth, prefer
+    /// the replica whose last-formed batch bucket matches the incoming
+    /// request's bucket (its next batch pads less and forms faster),
+    /// then — when the specializer holds an installed kernel for the
+    /// request's concrete shape — the replica that recently served that
+    /// shape, then the lower id. The other replica stays as fallback.
     fn pick_two(
         &self,
         live: &[Arc<Replica>],
         bucket: Option<usize>,
+        warm: Option<u64>,
     ) -> (Arc<Replica>, Option<Arc<Replica>>) {
         let n = live.len();
         if n == 1 {
@@ -522,8 +575,19 @@ impl ShardSet {
         };
         let affinity_miss =
             |r: &Replica| u8::from(bucket.is_none() || r.engine.last_formed_bucket() != bucket);
-        let da = (a.engine.queue_depth(), affinity_miss(&a), a.id);
-        let db = (b.engine.queue_depth(), affinity_miss(&b), b.id);
+        let warm_miss = |r: &Replica| u8::from(warm.is_none_or(|k| !r.engine.has_warm_shape(k)));
+        let da = (
+            a.engine.queue_depth(),
+            affinity_miss(&a),
+            warm_miss(&a),
+            a.id,
+        );
+        let db = (
+            b.engine.queue_depth(),
+            affinity_miss(&b),
+            warm_miss(&b),
+            b.id,
+        );
         if da <= db {
             (a, Some(b))
         } else {
@@ -1010,6 +1074,42 @@ mod tests {
         }
         let t = set.submit("main", arg(1.0), None).unwrap();
         assert_eq!(t.replica(), 1, "affinity hint ignored");
+        set.resume_all();
+        assert!(t.wait().result.unwrap().result.is_ok());
+    }
+
+    #[test]
+    fn warmth_tie_break_prefers_shape_warm_replica() {
+        let set = set_with(2, EngineConfig::with_workers(1));
+        // The probe says "rows=1 has an installed specialized kernel"
+        // (rank-1 [2] inputs key to a leading-dim product of 1).
+        set.set_warmth_probe(Arc::new(|rows| rows == 1));
+        set.pause_all();
+        // Mark the *higher*-id replica as having recently served the
+        // shape: at equal queue depth and no batch plan the plain
+        // tie-break would pick id 0, so landing on id 1 can only be the
+        // warmth hint.
+        for r in set.replicas.read().unwrap().iter() {
+            if r.id == 1 {
+                r.engine.note_warm_shape(1);
+            }
+        }
+        let t = set.submit("main", arg(1.0), None).unwrap();
+        assert_eq!(t.replica(), 1, "warmth hint ignored");
+        set.resume_all();
+        assert!(t.wait().result.unwrap().result.is_ok());
+        // A cold shape (probe says not installed) falls back to the plain
+        // lower-id tie-break even though the key was noted on replica 1.
+        let set = set_with(2, EngineConfig::with_workers(1));
+        set.set_warmth_probe(Arc::new(|_| false));
+        set.pause_all();
+        for r in set.replicas.read().unwrap().iter() {
+            if r.id == 1 {
+                r.engine.note_warm_shape(1);
+            }
+        }
+        let t = set.submit("main", arg(2.0), None).unwrap();
+        assert_eq!(t.replica(), 0, "cold shape must not steer admission");
         set.resume_all();
         assert!(t.wait().result.unwrap().result.is_ok());
     }

@@ -11,7 +11,7 @@ use nimble_ir::attrs::Attrs;
 use nimble_ir::builder::FunctionBuilder;
 use nimble_ir::types::TensorType;
 use nimble_ir::Module;
-use nimble_serve::{ModelRegistry, RegistryConfig};
+use nimble_serve::{ModelRegistry, RegistryConfig, SpecializeConfig};
 use nimble_tensor::{prepack, DType, Tensor};
 use nimble_vm::Object;
 use rand::SeedableRng;
@@ -119,4 +119,47 @@ fn unload_releases_own_packs_and_spares_others() {
     // Full shutdown returns the cache to its starting size.
     reg.shutdown();
     assert_eq!(prepack::cache_len(), baseline);
+
+    // --- Specialized variants ------------------------------------------
+    // With an aggressive specialize threshold, hot-shape traffic installs
+    // shape-concretized kernels whose extra prepacked layouts grow the
+    // cache beyond the model's own weight packs; unload must unwind those
+    // too, all the way back to the starting size.
+    let reg = ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig::with_workers(1),
+        specialize: Some(SpecializeConfig {
+            hit_threshold: 2,
+            max_trials: 4,
+            repeats: 1,
+            ..SpecializeConfig::default()
+        }),
+        ..RegistryConfig::default()
+    });
+    reg.register("c", "v1", &dense_chain(2, 8, 5), &opts)
+        .unwrap();
+    let with_model = prepack::cache_len();
+    for _ in 0..3 {
+        serve_one(&reg, "c", 8);
+    }
+    let spec = reg
+        .get("c")
+        .unwrap()
+        .specializer()
+        .expect("specializer attached to a dense model")
+        .clone();
+    spec.quiesce();
+    serve_one(&reg, "c", 8);
+    let s = spec.stats();
+    assert_eq!(
+        prepack::cache_len() - with_model,
+        s.extra_pack_entries,
+        "cache growth must equal the specializer's accounted extra layouts: {s:?}"
+    );
+    reg.unload("c").unwrap();
+    assert_eq!(
+        prepack::cache_len(),
+        baseline,
+        "unload must release the specialized variants' packs too"
+    );
+    reg.shutdown();
 }

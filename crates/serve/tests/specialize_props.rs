@@ -1,0 +1,149 @@
+//! Satellite property test: a serving stack with shape specialization
+//! enabled is *observationally identical* to a symbolic-only stack.
+//!
+//! For arbitrary row-count streams (hot repeats, one-off colds, any
+//! interleaving) driven through two registries built from the same
+//! seeded MLP — A with `specialize: None`, B with an aggressive
+//! threshold and a tiny capacity so the LRU churns mid-tune — every
+//! response must be bitwise identical, the tune ledger must never leak
+//! an outcome, eviction must never strand a live kernel or a prepacked
+//! layout, and unloading B must return the process-wide prepack cache
+//! to its pre-registration size.
+//!
+//! The prepack cache is process-global, so this binary holds a single
+//! property and each case unwinds completely before returning.
+
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_models::{MlpConfig, MlpModel};
+use nimble_serve::{ModelRegistry, RegistryConfig, SpecializeConfig};
+use nimble_tensor::{prepack, Tensor};
+use nimble_vm::Object;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn registry(specialize: Option<SpecializeConfig>) -> ModelRegistry {
+    ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig::with_workers(1),
+        specialize,
+        ..RegistryConfig::default()
+    })
+}
+
+/// Run one request through a registry's engine, returning the output
+/// bits (bitwise, not allclose: the contract is exact identity).
+fn run_bits(reg: &ModelRegistry, x: &Tensor) -> Vec<u32> {
+    let entry = reg.get("m").expect("model registered");
+    let done = entry
+        .engine()
+        .run("main", vec![Object::tensor(x.clone())])
+        .expect("engine alive");
+    done.result
+        .expect("run ok")
+        .wait_tensor()
+        .expect("tensor")
+        .as_f32()
+        .expect("f32")
+        .iter()
+        .map(|v| v.to_bits())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn specializing_stack_is_bitwise_identical_to_symbolic(
+        rows in proptest::collection::vec(1usize..9, 8..24),
+        quiesce_at in 2usize..8,
+        case_seed in 0u64..1000,
+    ) {
+        let baseline = prepack::cache_len();
+        let model = MlpModel::new(MlpConfig {
+            input: 8,
+            hidden: 8,
+            layers: 1,
+            classes: 4,
+            seed: 99,
+        });
+        let opts = CompileOptions::default();
+
+        let reg_a = registry(None);
+        reg_a.register("m", "v1", &model.module(), &opts).unwrap();
+        // Tiny capacity + threshold 1: with up to 8 distinct row counts
+        // in the stream the LRU churns continuously, including entries
+        // whose tune jobs are still in flight.
+        let reg_b = registry(Some(SpecializeConfig {
+            hit_threshold: 1,
+            capacity: 2,
+            max_trials: 2,
+            repeats: 1,
+            ..SpecializeConfig::default()
+        }));
+        reg_b.register("m", "v1", &model.module(), &opts).unwrap();
+        let spec = Arc::clone(
+            reg_b
+                .get("m")
+                .unwrap()
+                .specializer()
+                .expect("specializer attached to a dense model"),
+        );
+
+        let mut rng = StdRng::seed_from_u64(case_seed);
+        let mut seen: Vec<usize> = Vec::new();
+        for (i, &m) in rows.iter().enumerate() {
+            let x = model.random_input(&mut rng, m);
+            prop_assert_eq!(
+                run_bits(&reg_a, &x),
+                run_bits(&reg_b, &x),
+                "divergence at request {} (rows={})", i, m
+            );
+            if !seen.contains(&m) {
+                seen.push(m);
+            }
+            // Drain the tuner mid-stream once: installs land, then the
+            // stream keeps mutating the cache on top of them.
+            if i == quiesce_at {
+                spec.quiesce();
+            }
+        }
+        spec.quiesce();
+
+        // Ledger: every enqueued tune resolves to install or reject
+        // unless its entry was evicted mid-tune (those resolve to
+        // nothing but must not leak layouts either).
+        let s = spec.stats();
+        prop_assert!(
+            s.installs + s.rejected <= s.tunes,
+            "tune outcome ledger overflowed: {:?}", s
+        );
+        prop_assert!(s.cache_len <= 2, "capacity cap violated: {:?}", s);
+        prop_assert!(
+            s.extra_pack_entries <= s.installed,
+            "eviction stranded prepacked layouts: {:?}", s
+        );
+
+        // No stranded kernels: every shape the stream touched still
+        // answers bitwise-identically after the churn settled.
+        for &m in &seen {
+            let x = model.random_input(&mut rng, m);
+            prop_assert_eq!(
+                run_bits(&reg_a, &x),
+                run_bits(&reg_b, &x),
+                "divergence after settle (rows={})", m
+            );
+        }
+
+        // Unloading the specializing stack unwinds everything: its own
+        // weight packs and every specialized variant.
+        reg_b.unload("m").unwrap();
+        reg_b.shutdown();
+        reg_a.shutdown();
+        prop_assert_eq!(
+            prepack::cache_len(),
+            baseline,
+            "prepack cache drifted across the case"
+        );
+    }
+}

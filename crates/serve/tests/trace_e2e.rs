@@ -12,7 +12,7 @@ use nimble_ir::builder::FunctionBuilder;
 use nimble_ir::types::TensorType;
 use nimble_ir::Module;
 use nimble_obs::{Category, SpanRecord, TraceMode};
-use nimble_serve::{ModelRegistry, RegistryConfig, Router, RouterConfig};
+use nimble_serve::{ModelRegistry, RegistryConfig, Router, RouterConfig, SpecializeConfig};
 use nimble_tensor::{DType, Tensor};
 use nimble_vm::Object;
 use std::collections::HashMap;
@@ -23,6 +23,20 @@ fn add_k_module(k: f32) -> Module {
     let x = fb.param("x", TensorType::new(&[2], DType::F32));
     let c = fb.constant(Tensor::from_vec_f32(vec![k, k], &[2]).unwrap());
     let y = fb.call("add", vec![x, c], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    m
+}
+
+/// `main(x: [?, 8])`: one dense anchor, so the specializer attaches.
+fn dense_module() -> Module {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(8)], DType::F32));
+    let w = fb.constant(
+        Tensor::from_vec_f32((0..64).map(|i| i as f32 * 0.01).collect(), &[8, 8]).unwrap(),
+    );
+    let h = fb.call("dense", vec![x, w], Attrs::new());
+    let y = fb.call("tanh", vec![h], Attrs::new());
     let mut m = Module::new();
     m.add_function("main", fb.finish(y));
     m
@@ -170,6 +184,96 @@ fn traced_request_yields_connected_span_tree() {
             "missing from exposition: {needle}\n{prom}"
         );
     }
+
+    // --- Shape specialization: spans and metric families ---------------
+    // A dense model on its own registry with an aggressive threshold: the
+    // hot shape tunes in the background, and the router's exposition
+    // carries the nimble_specialize_* families with the specializer's
+    // exact counters.
+    let reg2 = Arc::new(ModelRegistry::new(RegistryConfig {
+        specialize: Some(SpecializeConfig {
+            hit_threshold: 2,
+            max_trials: 4,
+            repeats: 1,
+            ..SpecializeConfig::default()
+        }),
+        ..RegistryConfig::default()
+    }));
+    reg2.register("densey", "v1", &dense_module(), &CompileOptions::default())
+        .unwrap();
+    let router2 = Router::new(Arc::clone(&reg2), RouterConfig::default());
+    let x = || vec![Object::tensor(Tensor::ones_f32(&[3, 8]))];
+    for _ in 0..3 {
+        router2.submit("densey", x()).unwrap().wait().unwrap();
+    }
+    let entry = reg2.get("densey").unwrap();
+    let spec = Arc::clone(entry.specializer().expect("specializer attached"));
+    spec.quiesce();
+    for _ in 0..2 {
+        router2.submit("densey", x()).unwrap().wait().unwrap();
+    }
+    let s = spec.stats();
+    assert!(s.tunes >= 1, "hot shape never tuned: {s:?}");
+    assert_eq!(s.installs + s.rejected, s.tunes, "tune outcome leak: {s:?}");
+
+    let spans = nimble_obs::snapshot();
+    assert!(
+        spans
+            .iter()
+            .any(|sp| sp.name == "specialize.observe" && sp.cat == Category::Specialize),
+        "no specialize.observe span recorded"
+    );
+    assert!(
+        spans
+            .iter()
+            .any(|sp| sp.name == "specialize.tune" && sp.cat == Category::Specialize),
+        "no specialize.tune span recorded"
+    );
+    if s.installs > 0 {
+        assert!(
+            spans.iter().any(|sp| sp.name == "specialize.install"),
+            "install happened but no specialize.install span"
+        );
+    }
+
+    let prom = router2.prometheus();
+    for needle in [
+        format!(
+            "nimble_specialize_hits_total{{model=\"densey\"}} {}",
+            s.hits
+        ),
+        format!(
+            "nimble_specialize_misses_total{{model=\"densey\"}} {}",
+            s.misses
+        ),
+        format!(
+            "nimble_specialize_installs_total{{model=\"densey\"}} {}",
+            s.installs
+        ),
+        format!(
+            "nimble_specialize_evictions_total{{model=\"densey\"}} {}",
+            s.evictions
+        ),
+        format!(
+            "nimble_specialize_cache_size{{model=\"densey\"}} {}",
+            s.cache_len
+        ),
+        format!(
+            "nimble_specialize_tune_seconds_count{{model=\"densey\"}} {}",
+            s.tune_hist.count
+        ),
+    ] {
+        assert!(
+            prom.contains(&needle),
+            "missing from exposition: {needle}\n{prom}"
+        );
+    }
+    assert!(
+        prom.contains("nimble_specialize_tune_seconds_bucket{model=\"densey\",le=\"+Inf\"}"),
+        "histogram +Inf bucket missing\n{prom}"
+    );
+    drop(router2);
+    reg2.shutdown();
 
     // Dropping the router retires its collector from future scrapes.
     drop(router);

@@ -31,7 +31,7 @@
 //! applied in the single write-out pass, so fused `dense → activation`
 //! chains touch the output exactly once.
 
-use crate::pool::{parallel_chunks_mut, ExecProfile};
+use crate::pool::{parallel_chunks_mut, parallel_for, ExecProfile};
 
 /// Microkernel register-tile rows.
 pub const MR: usize = 8;
@@ -374,6 +374,117 @@ pub fn gemm_packed(
     );
 }
 
+/// Short-`m` driver: padding-free rows, `NR`-column panels split across
+/// the pool.
+///
+/// [`gemm_packed`] is built for tall outputs: it parallelizes over
+/// `tile_m` row strips and always computes full `MR x NR` register
+/// tiles, so an `m = 1` dispatch (a single request through a
+/// row-dynamic model) runs on one core *and* spends `MR - 1` of every
+/// `MR` accumulator lanes on zero-padding rows. This driver computes
+/// exactly `m` rows — A is read in place, never packed or padded — and
+/// parallelizes over the packed-B column panels instead, so short-row
+/// shapes neither waste lanes nor serialize.
+///
+/// Each output element is still reduced in strictly increasing `k`
+/// order with a single accumulator per element (the Server loop mirrors
+/// `micro_server`'s lane order, the Edge loop `micro_edge`'s `mul_add`
+/// chain), so outputs are bitwise identical to [`gemm_packed`] under
+/// any schedule. The shape specializer exploits exactly this: it races
+/// the two drivers on the observed shape and installs the faster one
+/// behind its bitwise install gate.
+pub fn gemm_packed_cols(
+    profile: ExecProfile,
+    a: &[f32],
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    sched: super::matmul::MatmulSchedule,
+    ep: &Epilogue,
+) {
+    let (n, k) = (pb.n(), pb.k());
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(out.len(), m * n);
+    assert_eq!(
+        sched.tile_k.max(1),
+        pb.tile_k(),
+        "gemm_packed_cols: schedule tile_k must match the packed layout"
+    );
+    if m == 0 || n == 0 {
+        return;
+    }
+    let k_blocks = pb.k_blocks();
+    let edge = matches!(profile, ExecProfile::Edge);
+    let _s = nimble_obs::span_full("gemm.compute", nimble_obs::Category::Pool, (m * n) as u64);
+
+    struct SendPtr(*mut f32);
+    unsafe impl Send for SendPtr {}
+    unsafe impl Sync for SendPtr {}
+    impl SendPtr {
+        fn get(&self) -> *mut f32 {
+            self.0
+        }
+    }
+    let base = SendPtr(out.as_mut_ptr());
+    // One work item per NR-column panel; flop estimate 2k per element.
+    parallel_for(
+        profile,
+        pb.n_panels(),
+        2 * k.max(1) * m * NR,
+        move |p0, p1| {
+            let _mk =
+                nimble_obs::span_full("gemm.microkernel", nimble_obs::Category::Pool, p0 as u64);
+            for jp_idx in p0..p1 {
+                let j0 = jp_idx * NR;
+                let cols = NR.min(n - j0);
+                for i in 0..m {
+                    let arow = &a[i * k..(i + 1) * k];
+                    let mut acc = [0.0f32; NR];
+                    if edge {
+                        // Per-element in-order mul_add chain, matching
+                        // micro_edge's reduction order.
+                        for (c, slot) in acc.iter_mut().enumerate() {
+                            let mut s = 0.0f32;
+                            for block in 0..k_blocks {
+                                let k0 = pb.block_k0(block);
+                                let bp = pb.panel(block, jp_idx);
+                                for (kk, av) in arow[k0..k0 + pb.block_kc(block)].iter().enumerate()
+                                {
+                                    s = av.mul_add(bp[kk * NR + c], s);
+                                }
+                            }
+                            *slot = s;
+                        }
+                    } else {
+                        // NR independent acc += a*b lanes per k step,
+                        // matching micro_server's reduction order.
+                        for block in 0..k_blocks {
+                            let k0 = pb.block_k0(block);
+                            let bp = pb.panel(block, jp_idx);
+                            for (kk, bvals) in bp.chunks_exact(NR).enumerate() {
+                                let av = arow[k0 + kk];
+                                for c in 0..NR {
+                                    acc[c] += av * bvals[c];
+                                }
+                            }
+                        }
+                    }
+                    // SAFETY: panel index ranges from parallel_for are
+                    // disjoint, so each `[j0, j0+cols)` column window is
+                    // written by exactly one task, and `out` outlives the
+                    // call because parallel_for blocks until every chunk
+                    // completes.
+                    let orow =
+                        unsafe { std::slice::from_raw_parts_mut(base.get().add(i * n + j0), cols) };
+                    for (c, o) in orow.iter_mut().enumerate() {
+                        *o = ep.apply(j0 + c, acc[c]);
+                    }
+                }
+            }
+        },
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -422,6 +533,46 @@ mod tests {
                 );
                 for (g, w) in out.iter().zip(want.iter()) {
                     assert!((g - w).abs() < 1e-4, "m={m} n={n} k={k} tk={tk}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cols_driver_bitwise_matches_rows_driver() {
+        for &(m, n, k) in &[
+            (1, 1, 1),
+            (1, 513, 512),
+            (3, 65, 7),
+            (16, 512, 129),
+            (24, 8, 8),
+        ] {
+            let a = seq(m * k, 0.25);
+            let bt = seq(n * k, 0.5);
+            let bias = seq(n, 0.1);
+            for &tk in &[1usize, 64, 256] {
+                let pb = PackedB::pack_bt(&bt, n, k, tk);
+                let sched = MatmulSchedule {
+                    tile_m: 32,
+                    tile_n: 64,
+                    tile_k: tk,
+                };
+                for profile in [ExecProfile::Server, ExecProfile::Edge] {
+                    let ep = Epilogue {
+                        bias: Some(&bias),
+                        unary: &[|v| if v > 0.0 { v } else { 0.0 }],
+                    };
+                    let mut rows = vec![0.0f32; m * n];
+                    gemm_packed(profile, &a, &pb, m, &mut rows, sched, &ep);
+                    let mut cols = vec![0.0f32; m * n];
+                    gemm_packed_cols(profile, &a, &pb, m, &mut cols, sched, &ep);
+                    for (i, (r, c)) in rows.iter().zip(&cols).enumerate() {
+                        assert_eq!(
+                            r.to_bits(),
+                            c.to_bits(),
+                            "m={m} n={n} k={k} tk={tk} {profile:?} elem {i}: {r} vs {c}"
+                        );
+                    }
                 }
             }
         }

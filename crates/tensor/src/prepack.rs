@@ -130,6 +130,35 @@ pub fn release_buffers(buffer_ids: &[usize]) -> usize {
     before - w.len()
 }
 
+/// Evict exactly the cache entries matching `(buffer, n, k, tile_k)`
+/// keys, leaving other layouts of the same buffers alone. Returns the
+/// number of entries removed.
+///
+/// This is the shape-specialization unwind path: a specialized kernel
+/// packs its weight at a *tuned* `tile_k`, adding a second cache entry
+/// next to the base-schedule pack. Evicting or unloading the specialized
+/// variant must release only that extra layout — the base pack stays
+/// shared with the symbolic fallback, which [`release_buffers`] evicts on
+/// model unload as before.
+pub fn release_entries(keys: &[(usize, usize, usize, usize)]) -> usize {
+    if keys.is_empty() {
+        return 0;
+    }
+    let keys: std::collections::HashSet<PackKey> = keys
+        .iter()
+        .map(|&(buffer, n, k, tile_k)| PackKey {
+            buffer,
+            n,
+            k,
+            tile_k: tile_k.max(1),
+        })
+        .collect();
+    let mut w = cache().write().unwrap();
+    let before = w.len();
+    w.retain(|key, _| !keys.contains(key));
+    before - w.len()
+}
+
 /// Number of cached packs (test/diagnostic hook).
 pub fn cache_len() -> usize {
     cache().read().unwrap().len()
@@ -211,6 +240,24 @@ mod tests {
         let pa3 = get_or_pack(&a, 4, 5, 16).unwrap();
         assert_eq!(pa3.panel(0, 0)[0], pa.panel(0, 0)[0]);
         release_buffers(&[a.buffer_id(), b.buffer_id()]);
+    }
+
+    #[test]
+    fn release_entries_evicts_single_layouts() {
+        let w = Tensor::from_vec_f32((0..24).map(|i| i as f32).collect(), &[4, 6]).unwrap();
+        let base = get_or_pack(&w, 4, 6, 16).unwrap();
+        let spec = get_or_pack(&w, 4, 6, 2).unwrap();
+        assert!(!Arc::ptr_eq(&base, &spec));
+        let len = cache_len();
+        // Releasing the tuned layout leaves the base layout cached.
+        assert_eq!(release_entries(&[(w.buffer_id(), 4, 6, 2)]), 1);
+        assert_eq!(cache_len(), len - 1);
+        let base2 = get_or_pack(&w, 4, 6, 16).unwrap();
+        assert!(Arc::ptr_eq(&base, &base2), "base layout must survive");
+        // Unknown keys and empty input are no-ops.
+        assert_eq!(release_entries(&[(usize::MAX, 1, 1, 1)]), 0);
+        assert_eq!(release_entries(&[]), 0);
+        release_buffers(&[w.buffer_id()]);
     }
 
     #[test]

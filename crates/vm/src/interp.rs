@@ -32,6 +32,26 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+/// A dispatch-time kernel interceptor: consulted on the synchronous CPU
+/// path of `InvokePacked` (never for shape functions) with the resolved
+/// input tensors, it may hand back a replacement [`Kernel`] to run in
+/// place of the loaded one.
+///
+/// This is the seam the shape-specialization layer plugs into: the hook
+/// observes the concrete values of the `Any` dims and, once a shape is
+/// hot and a tuned kernel is installed, returns the shape-concretized
+/// variant. The returned kernel is an owned clone (two `Arc`s), so an
+/// in-flight request keeps its kernel alive even if the hook evicts the
+/// entry mid-invoke — eviction can never strand a running request.
+///
+/// Contract: the replacement must produce bitwise-identical outputs to
+/// the original kernel for the given inputs (the VM does not re-verify).
+pub trait DispatchHook: Send + Sync {
+    /// Return a replacement kernel for this invocation, or `None` to run
+    /// the loaded kernel unchanged.
+    fn intercept(&self, kernel_idx: u32, inputs: &[Tensor]) -> Option<Kernel>;
+}
+
 /// Trace category for an instruction's profiler bucket.
 fn obs_cat(category: Category) -> ObsCat {
     match category {
@@ -130,7 +150,6 @@ impl Session {
 }
 
 /// A loaded executable plus devices: ready to run from any thread.
-#[derive(Debug)]
 pub struct VirtualMachine {
     exe: Arc<Executable>,
     kernels: Vec<Kernel>,
@@ -147,6 +166,21 @@ pub struct VirtualMachine {
     /// comparisons, constructor tags) — these fire once per instruction on
     /// hot paths and would otherwise heap-allocate each time.
     small_ints: Vec<Object>,
+    /// Optional dispatch-time kernel interceptor (shape specialization).
+    hook: std::sync::RwLock<Option<Arc<dyn DispatchHook>>>,
+    /// Fast-path gate for `hook`: checked with one relaxed load per
+    /// `InvokePacked` so unhooked VMs pay nothing.
+    hook_active: AtomicBool,
+}
+
+impl std::fmt::Debug for VirtualMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("VirtualMachine")
+            .field("kernels", &self.kernels.len())
+            .field("constants", &self.constants.len())
+            .field("hooked", &self.hook_active.load(Ordering::Relaxed))
+            .finish()
+    }
 }
 
 impl VirtualMachine {
@@ -201,7 +235,30 @@ impl VirtualMachine {
             small_ints: (0..16)
                 .map(|v| Object::tensor(Tensor::scalar_i64(v)))
                 .collect(),
+            hook: std::sync::RwLock::new(None),
+            hook_active: AtomicBool::new(false),
         })
+    }
+
+    /// Install (or clear) the dispatch-time kernel interceptor. Takes
+    /// `&self`: the hook slot is the VM's one late-bound extension point,
+    /// so a shared VM can gain or lose its specializer without reloading.
+    pub fn set_dispatch_hook(&self, hook: Option<Arc<dyn DispatchHook>>) {
+        let active = hook.is_some();
+        *self.hook.write().unwrap() = hook;
+        self.hook_active.store(active, Ordering::Release);
+    }
+
+    /// The instantiated kernel table (index-aligned with
+    /// `executable().kernels`) — the specializer scans this at attach time
+    /// for dense anchors.
+    pub fn kernels(&self) -> &[Kernel] {
+        &self.kernels
+    }
+
+    /// Whether `idx` names a shape function (never specialized).
+    pub fn kernel_is_shape_func(&self, idx: usize) -> bool {
+        self.kernel_is_shape_func.get(idx).copied().unwrap_or(false)
     }
 
     /// Enable/disable timing collection and reset the aggregated profile.
@@ -678,6 +735,22 @@ impl VirtualMachine {
                 .iter()
                 .map(|&r| regs[r as usize].wait_tensor())
                 .collect::<Result<_>>()?;
+            // Shape-specialization seam: with a hook installed, compute
+            // kernels may be swapped for a shape-concretized variant now
+            // that the concrete input shapes are known. The clone returned
+            // by the hook pins the specialized kernel for the duration of
+            // this invoke, so concurrent eviction cannot strand us.
+            let specialized: Option<Kernel> =
+                if !is_shape_func && self.hook_active.load(Ordering::Acquire) {
+                    self.hook
+                        .read()
+                        .unwrap()
+                        .as_ref()
+                        .and_then(|h| h.intercept(kernel_idx, &inputs))
+                } else {
+                    None
+                };
+            let kernel = specialized.as_ref().unwrap_or(kernel);
             let outputs = kernel
                 .invoke(&inputs)
                 .map_err(|e| VmError::msg(format!("{}: {e}", kernel.name())))?;

@@ -28,7 +28,7 @@ pub use arena::{ArenaStats, StorageArena};
 pub use batch::{batching_disabled, BatchConfig, BatchPlan};
 pub use disasm::disassemble;
 pub use exe::{Executable, KernelDesc, VMFunction};
-pub use interp::{Session, VirtualMachine};
+pub use interp::{DispatchHook, Session, VirtualMachine};
 pub use isa::{Instruction, RegId};
 pub use object::{Object, StorageHandle};
 pub use profiler::{ProfileReport, Profiler, SharedProfiler};
