@@ -96,8 +96,9 @@ pub struct DenseSpec {
     /// Optional bias `[n]`. `Some(Input(i))` with fewer than `i + 1`
     /// runtime inputs means "no bias on this call".
     pub bias: Option<ArgSrc>,
-    /// Scalar epilogue chain applied after the bias add, in order.
-    pub unary: Vec<fn(f32) -> f32>,
+    /// Epilogue chain applied after the bias add, in order; vectorizable
+    /// ops run through the active SIMD backend's vecmath kernels.
+    pub unary: Vec<nimble_tensor::UnaryOp>,
 }
 
 /// A compiled, invocable kernel.
@@ -255,8 +256,15 @@ impl Kernel {
                     _ => return None,
                 })
             }
+            /// Per-element evaluation. Unary transcendentals go through
+            /// [`nimble_simd::vecmath::unary_scalar_lane`] so a value that
+            /// flows through this fused evaluator gets bit-identical
+            /// treatment to one flowing through the standalone elementwise
+            /// kernels under the same active SIMD backend — fusion
+            /// grouping never changes output bits.
             #[inline]
-            fn apply(self, a: f32, b: f32) -> f32 {
+            fn apply(self, isa: nimble_simd::Isa, a: f32, b: f32) -> f32 {
+                use nimble_simd::vecmath::{unary_scalar_lane, UnaryOp};
                 match self {
                     EwOp::Add => a + b,
                     EwOp::Sub => a - b,
@@ -264,12 +272,10 @@ impl Kernel {
                     EwOp::Div => a / b,
                     EwOp::Maximum => a.max(b),
                     EwOp::Minimum => a.min(b),
-                    EwOp::Tanh => a.tanh(),
-                    EwOp::Sigmoid => 1.0 / (1.0 + (-a).exp()),
-                    EwOp::Relu => a.max(0.0),
-                    EwOp::Gelu => {
-                        0.5 * a * (1.0 + (0.797_884_6 * (a + 0.044_715 * a * a * a)).tanh())
-                    }
+                    EwOp::Tanh => unary_scalar_lane(isa, UnaryOp::Tanh, a),
+                    EwOp::Sigmoid => unary_scalar_lane(isa, UnaryOp::Sigmoid, a),
+                    EwOp::Relu => unary_scalar_lane(isa, UnaryOp::Relu, a),
+                    EwOp::Gelu => unary_scalar_lane(isa, UnaryOp::Gelu, a),
                     EwOp::Neg => -a,
                     EwOp::Sqrt => a.sqrt(),
                 }
@@ -426,6 +432,7 @@ impl Kernel {
                         }
                         bufs.push(pair);
                     }
+                    let isa = nimble_simd::active();
                     let mut vals = [0.0f32; 32];
                     for (i, o) in out.iter_mut().enumerate() {
                         for (si, step) in steps.iter().enumerate() {
@@ -440,7 +447,7 @@ impl Kernel {
                             };
                             let a = fetch(&bufs[si][0]);
                             let b = if arity == 2 { fetch(&bufs[si][1]) } else { 0.0 };
-                            vals[si] = op.apply(a, b);
+                            vals[si] = op.apply(isa, a, b);
                         }
                         *o = vals[steps.len() - 1];
                     }
@@ -523,16 +530,9 @@ pub fn eval_flat_body(
 }
 
 /// Unary elementwise f32 ops that can be applied in place.
-fn unary_inplace(name: &str) -> Option<fn(f32) -> f32> {
-    Some(match name {
-        "tanh" => f32::tanh,
-        "sigmoid" => |x: f32| 1.0 / (1.0 + (-x).exp()),
-        "relu" => |x: f32| x.max(0.0),
-        "sqrt" => f32::sqrt,
-        "neg" => |x: f32| -x,
-        "gelu" => |x: f32| 0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh()),
-        _ => return None,
-    })
+fn unary_inplace(name: &str) -> Option<nimble_tensor::UnaryOp> {
+    // `exp` is deliberately excluded: the IR has no bare-exp elementwise op.
+    nimble_tensor::UnaryOp::from_name(name)
 }
 
 /// Fast path: `anchor(args…)` followed only by unary elementwise members
@@ -558,7 +558,7 @@ fn compile_unary_chain(func: &Function) -> Result<Option<Kernel>, KernelError> {
         return Ok(None);
     }
     // Members after the first must be unary-inplace on the previous value.
-    let mut fns: Vec<fn(f32) -> f32> = Vec::new();
+    let mut fns: Vec<nimble_tensor::UnaryOp> = Vec::new();
     for (i, (name, args, _)) in members.iter().enumerate().skip(1) {
         let Some(f) = unary_inplace(name) else {
             return Ok(None);
@@ -647,15 +647,10 @@ fn compile_unary_chain(func: &Function) -> Result<Option<Kernel>, KernelError> {
             .into_iter()
             .next()
             .ok_or_else(|| KernelError("anchor produced no output".into()))?;
-        // One in-place sweep applying the whole unary chain per element.
+        // One in-place sweep applying the whole unary chain, vectorized on
+        // the active backend through the shared epilogue-row primitive.
         let buf = out.as_f32_mut()?;
-        for v in buf.iter_mut() {
-            let mut x = *v;
-            for f in &fns {
-                x = f(x);
-            }
-            *v = x;
-        }
+        nimble_simd::vecmath::epilogue_row(nimble_simd::active(), buf, None, &fns);
         Ok(vec![out])
     })))
 }

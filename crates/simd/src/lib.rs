@@ -1,0 +1,633 @@
+//! Portable SIMD abstraction for nimble's CPU kernels.
+//!
+//! The crate has three layers:
+//!
+//! * [`Isa`] — the instruction sets nimble can target, with runtime
+//!   detection ([`detect_best`]), a process-wide selection ([`active`])
+//!   that honours the `NIMBLE_SIMD=scalar|sse2|avx2|neon` environment
+//!   override, and a [`force`] hook for benches and differential tests.
+//! * [`SimdF32`] — a lane-width-generic `f32` vector trait with
+//!   `core::arch` backends (SSE2 / AVX2+FMA on x86-64, NEON on aarch64)
+//!   plus an always-available scalar implementation. Kernels are written
+//!   once, generically, and monomorphized per backend behind
+//!   `#[target_feature]` entry points.
+//! * [`vecmath`] — vectorized transcendentals (`exp`/`tanh`/`sigmoid`/
+//!   `gelu`), the fused-epilogue row primitive shared by the GEMM
+//!   write-out and elementwise dispatch, and `softmax`/`layer_norm`
+//!   row kernels. Each function documents its maximum ULP distance from
+//!   the scalar reference; the scalar backend *is* the reference
+//!   (bit-for-bit identical to the pre-SIMD kernels).
+//!
+//! # Safety model
+//!
+//! Every [`SimdF32`] method is `unsafe fn`: calling one is only sound
+//! when the backing instruction set is actually available. The crate
+//! upholds this by construction — vector code is reached exclusively
+//! through per-ISA `#[target_feature]` wrapper functions, which are
+//! selected by matching on an [`Isa`] value that has been validated
+//! against runtime detection ([`Isa::is_available`]). Generic kernels
+//! are `#[inline(always)]` so the intrinsics they expand to are compiled
+//! inside the feature-enabled wrapper.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod vecmath;
+
+#[cfg(target_arch = "aarch64")]
+pub mod neon;
+#[cfg(target_arch = "x86_64")]
+pub mod x86;
+
+/// Widest lane count any backend exposes (AVX2's 8). Sizes the shared
+/// masked-tail scratch buffers.
+pub const MAX_LANES: usize = 8;
+
+/// An instruction set nimble's kernels can dispatch on.
+///
+/// All variants exist on every architecture (so `NIMBLE_SIMD=neon` parses
+/// on x86 and is then rejected by [`Isa::is_available`]); only the ones
+/// the current CPU supports are ever selected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Isa {
+    /// Plain scalar Rust — the reference semantics, always available.
+    Scalar,
+    /// x86-64 SSE2: 4 lanes, no FMA.
+    Sse2,
+    /// x86-64 AVX2 + FMA: 8 lanes.
+    Avx2,
+    /// aarch64 NEON: 4 lanes, FMA.
+    Neon,
+}
+
+impl Isa {
+    /// Stable lowercase name (matches the `NIMBLE_SIMD` values).
+    pub fn label(self) -> &'static str {
+        match self {
+            Isa::Scalar => "scalar",
+            Isa::Sse2 => "sse2",
+            Isa::Avx2 => "avx2",
+            Isa::Neon => "neon",
+        }
+    }
+
+    /// Parse a `NIMBLE_SIMD` value.
+    pub fn parse(s: &str) -> Option<Isa> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" | "off" => Some(Isa::Scalar),
+            "sse2" => Some(Isa::Sse2),
+            "avx2" => Some(Isa::Avx2),
+            "neon" => Some(Isa::Neon),
+            _ => None,
+        }
+    }
+
+    /// `f32` lanes per vector register on this ISA.
+    pub fn lanes(self) -> usize {
+        match self {
+            Isa::Scalar => 1,
+            Isa::Sse2 | Isa::Neon => 4,
+            Isa::Avx2 => 8,
+        }
+    }
+
+    /// Whether this ISA has a fused multiply-add (`a*b+c` in one
+    /// rounding). Scalar counts: `f32::mul_add` is a correctly rounded
+    /// fused op on every platform we run on.
+    pub fn has_fma(self) -> bool {
+        !matches!(self, Isa::Sse2)
+    }
+
+    /// Whether the current CPU can execute this ISA.
+    pub fn is_available(self) -> bool {
+        match self {
+            Isa::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            Isa::Sse2 => true, // x86-64 baseline
+            #[cfg(target_arch = "x86_64")]
+            Isa::Avx2 => {
+                std::arch::is_x86_feature_detected!("avx2")
+                    && std::arch::is_x86_feature_detected!("fma")
+            }
+            #[cfg(target_arch = "aarch64")]
+            Isa::Neon => true, // aarch64 baseline
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+}
+
+impl std::fmt::Display for Isa {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The best ISA the current CPU supports.
+pub fn detect_best() -> Isa {
+    if Isa::Avx2.is_available() {
+        Isa::Avx2
+    } else if Isa::Neon.is_available() {
+        Isa::Neon
+    } else if Isa::Sse2.is_available() {
+        Isa::Sse2
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Every ISA the current CPU supports, scalar first, best last.
+pub fn available() -> Vec<Isa> {
+    [Isa::Scalar, Isa::Sse2, Isa::Neon, Isa::Avx2]
+        .into_iter()
+        .filter(|i| i.is_available())
+        .collect()
+}
+
+// 0 = uninitialized; otherwise Isa discriminant + 1.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+fn isa_to_code(isa: Isa) -> usize {
+    match isa {
+        Isa::Scalar => 1,
+        Isa::Sse2 => 2,
+        Isa::Avx2 => 3,
+        Isa::Neon => 4,
+    }
+}
+
+fn code_to_isa(code: usize) -> Option<Isa> {
+    match code {
+        1 => Some(Isa::Scalar),
+        2 => Some(Isa::Sse2),
+        3 => Some(Isa::Avx2),
+        4 => Some(Isa::Neon),
+        _ => None,
+    }
+}
+
+fn init_from_env() -> Isa {
+    let detected = detect_best();
+    match std::env::var("NIMBLE_SIMD") {
+        Ok(v) if !v.is_empty() => match Isa::parse(&v) {
+            Some(isa) if isa.is_available() => isa,
+            Some(isa) => {
+                eprintln!(
+                    "nimble-simd: NIMBLE_SIMD={} not available on this CPU; using {}",
+                    isa.label(),
+                    detected.label()
+                );
+                detected
+            }
+            None => {
+                eprintln!(
+                    "nimble-simd: unrecognized NIMBLE_SIMD={v:?} (expected \
+                     scalar|sse2|avx2|neon); using {}",
+                    detected.label()
+                );
+                detected
+            }
+        },
+        _ => detected,
+    }
+}
+
+/// The process-wide active ISA.
+///
+/// Resolved once on first call: the `NIMBLE_SIMD` environment override if
+/// set and available, otherwise the best detected ISA. Subsequent calls
+/// return the cached value (unless [`force`] re-pins it).
+pub fn active() -> Isa {
+    if let Some(isa) = code_to_isa(ACTIVE.load(Ordering::Relaxed)) {
+        return isa;
+    }
+    let isa = init_from_env();
+    // Racing first calls agree (env + detection are stable), so a plain
+    // store is fine.
+    ACTIVE.store(isa_to_code(isa), Ordering::Relaxed);
+    isa
+}
+
+/// Pin the process-wide ISA, overriding env/detection. Returns `false`
+/// (and changes nothing) if the CPU can't execute `isa`.
+///
+/// Intended for benches and single-test differential harnesses; regular
+/// tests should prefer the `*_with_isa` kernel entry points, which don't
+/// touch global state.
+pub fn force(isa: Isa) -> bool {
+    if !isa.is_available() {
+        return false;
+    }
+    ACTIVE.store(isa_to_code(isa), Ordering::Relaxed);
+    true
+}
+
+/// Lane-width-generic `f32` vector.
+///
+/// # Safety
+///
+/// Every method requires the implementing backend's instruction set to be
+/// available on the executing CPU. Call only from `#[target_feature]`
+/// functions (or after checking [`Isa::is_available`]); mark generic
+/// kernels `#[inline(always)]` so intrinsics compile under the caller's
+/// enabled features.
+// The trait-level Safety section above is the contract for every method;
+// per-method repetition would only drown the semantic docs.
+#[allow(clippy::missing_safety_doc)]
+pub trait SimdF32: Copy {
+    /// Lanes per vector.
+    const LANES: usize;
+    /// Whether [`SimdF32::mul_add`] is a single correctly rounded fused
+    /// operation. When `false` it is a `mul` followed by an `add` (two
+    /// roundings).
+    const HAS_FMA: bool;
+    /// The [`Isa`] this backend belongs to.
+    const ISA: Isa;
+
+    /// All lanes = `v`.
+    unsafe fn splat(v: f32) -> Self;
+    /// All lanes = `+0.0`.
+    unsafe fn zero() -> Self {
+        Self::splat(0.0)
+    }
+    /// Load `LANES` values from the head of `src` (`src.len() >= LANES`).
+    unsafe fn load(src: &[f32]) -> Self;
+    /// Store `LANES` values to the head of `dst` (`dst.len() >= LANES`).
+    unsafe fn store(self, dst: &mut [f32]);
+
+    unsafe fn add(self, o: Self) -> Self;
+    unsafe fn sub(self, o: Self) -> Self;
+    unsafe fn mul(self, o: Self) -> Self;
+    unsafe fn div(self, o: Self) -> Self;
+    /// Lane-wise min with x86 semantics: `min(a, b)` returns `b` when
+    /// either operand is NaN or both are ±0.
+    unsafe fn min(self, o: Self) -> Self;
+    /// Lane-wise max, same operand-order semantics as [`SimdF32::min`].
+    unsafe fn max(self, o: Self) -> Self;
+    /// `self * b + c`; fused iff [`SimdF32::HAS_FMA`].
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self;
+    /// Lane-wise IEEE square root (exactly rounded on every backend).
+    unsafe fn sqrt(self) -> Self;
+
+    /// Bitwise ops (masks are all-ones / all-zeros lanes of `Self`).
+    unsafe fn and(self, o: Self) -> Self;
+    unsafe fn or(self, o: Self) -> Self;
+    unsafe fn xor(self, o: Self) -> Self;
+
+    /// Lane mask, all-ones where `self < o` (ordered: false on NaN).
+    unsafe fn lt(self, o: Self) -> Self;
+    /// Lane mask, all-ones where `self > o` (ordered: false on NaN).
+    unsafe fn gt(self, o: Self) -> Self;
+    /// Lane mask, all-ones where `self != o` (unordered: true on NaN —
+    /// so `x.ne(x)` detects NaN lanes).
+    unsafe fn ne(self, o: Self) -> Self;
+    /// Per lane: `mask ? a : b` (mask lanes must be all-ones/all-zeros).
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self;
+
+    /// Round to nearest integer, ties to even. Defined for |x| < 2^31.
+    unsafe fn round(self) -> Self;
+    /// `2^n` for integer-valued lanes `n` in `[-126, 127]` (exponent-bit
+    /// construction; no table).
+    unsafe fn pow2i(self) -> Self;
+
+    /// Horizontal sum in a fixed binary-tree order:
+    /// `((l0+l2)+(l1+l3))` for 4 lanes, low-half+high-half first for 8.
+    unsafe fn reduce_add(self) -> f32;
+    /// Horizontal max (same tree shape as [`SimdF32::reduce_add`]).
+    unsafe fn reduce_max(self) -> f32;
+
+    /// `|self|` (clears the sign bit).
+    #[inline(always)]
+    unsafe fn abs(self) -> Self {
+        self.and(Self::splat(f32::from_bits(0x7fff_ffff)))
+    }
+    /// `-self` (flips the sign bit; exact for zeros and NaN payloads).
+    #[inline(always)]
+    unsafe fn neg(self) -> Self {
+        self.xor(Self::splat(-0.0))
+    }
+
+    /// Masked tail load: the first `src.len()` lanes from `src`
+    /// (`src.len() <= LANES`), remaining lanes `+0.0`.
+    ///
+    /// This and [`SimdF32::store_tail`] are *the* remainder-handling
+    /// primitives — every kernel's ragged tail routes through them, so
+    /// there is exactly one tail implementation to test.
+    #[inline(always)]
+    unsafe fn load_tail(src: &[f32]) -> Self {
+        debug_assert!(src.len() <= Self::LANES);
+        let mut buf = [0.0f32; MAX_LANES];
+        buf[..src.len()].copy_from_slice(src);
+        Self::load(&buf[..Self::LANES.max(src.len())])
+    }
+
+    /// Masked tail store: the first `dst.len()` lanes into `dst`
+    /// (`dst.len() <= LANES`); higher lanes are dropped.
+    #[inline(always)]
+    unsafe fn store_tail(self, dst: &mut [f32]) {
+        debug_assert!(dst.len() <= Self::LANES);
+        let mut buf = [0.0f32; MAX_LANES];
+        self.store(&mut buf[..Self::LANES]);
+        let n = dst.len();
+        dst.copy_from_slice(&buf[..n]);
+    }
+
+    /// Lane mask with all-ones in lanes `< n`, zeros above.
+    #[inline(always)]
+    unsafe fn tail_mask(n: usize) -> Self {
+        debug_assert!(n <= Self::LANES);
+        let mut buf = [0.0f32; MAX_LANES];
+        for slot in buf.iter_mut().take(n) {
+            *slot = f32::from_bits(u32::MAX);
+        }
+        Self::load(&buf[..Self::LANES])
+    }
+}
+
+/// Scalar backend: one lane, reference semantics, always available.
+///
+/// `min`/`max`/`select` reproduce the x86 vector semantics exactly so a
+/// kernel monomorphized over [`ScalarF32`] computes the same function as
+/// its vector twins (this is what the differential harness leans on).
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarF32(pub f32);
+
+impl SimdF32 for ScalarF32 {
+    const LANES: usize = 1;
+    const HAS_FMA: bool = true;
+    const ISA: Isa = Isa::Scalar;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        ScalarF32(v)
+    }
+    #[inline(always)]
+    unsafe fn load(src: &[f32]) -> Self {
+        ScalarF32(src[0])
+    }
+    #[inline(always)]
+    unsafe fn store(self, dst: &mut [f32]) {
+        dst[0] = self.0;
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        ScalarF32(self.0 + o.0)
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        ScalarF32(self.0 - o.0)
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        ScalarF32(self.0 * o.0)
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        ScalarF32(self.0 / o.0)
+    }
+    #[inline(always)]
+    unsafe fn min(self, o: Self) -> Self {
+        // x86 minps: returns the second operand on NaN or signed-zero ties.
+        ScalarF32(if self.0 < o.0 { self.0 } else { o.0 })
+    }
+    #[inline(always)]
+    unsafe fn max(self, o: Self) -> Self {
+        ScalarF32(if self.0 > o.0 { self.0 } else { o.0 })
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        ScalarF32(self.0.mul_add(b.0, c.0))
+    }
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        ScalarF32(self.0.sqrt())
+    }
+    #[inline(always)]
+    unsafe fn and(self, o: Self) -> Self {
+        ScalarF32(f32::from_bits(self.0.to_bits() & o.0.to_bits()))
+    }
+    #[inline(always)]
+    unsafe fn or(self, o: Self) -> Self {
+        ScalarF32(f32::from_bits(self.0.to_bits() | o.0.to_bits()))
+    }
+    #[inline(always)]
+    unsafe fn xor(self, o: Self) -> Self {
+        ScalarF32(f32::from_bits(self.0.to_bits() ^ o.0.to_bits()))
+    }
+    #[inline(always)]
+    unsafe fn lt(self, o: Self) -> Self {
+        ScalarF32(f32::from_bits(if self.0 < o.0 { u32::MAX } else { 0 }))
+    }
+    #[inline(always)]
+    unsafe fn gt(self, o: Self) -> Self {
+        ScalarF32(f32::from_bits(if self.0 > o.0 { u32::MAX } else { 0 }))
+    }
+    #[inline(always)]
+    unsafe fn ne(self, o: Self) -> Self {
+        // Unordered-or-unequal: true when either operand is NaN.
+        let ne = self.0 != o.0 || self.0.is_nan() || o.0.is_nan();
+        ScalarF32(f32::from_bits(if ne { u32::MAX } else { 0 }))
+    }
+    #[inline(always)]
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self {
+        let m = mask.0.to_bits();
+        ScalarF32(f32::from_bits((m & a.0.to_bits()) | (!m & b.0.to_bits())))
+    }
+    #[inline(always)]
+    unsafe fn round(self) -> Self {
+        ScalarF32(self.0.round_ties_even())
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        let n = self.0 as i32;
+        ScalarF32(f32::from_bits(((n + 127) as u32) << 23))
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(self) -> f32 {
+        self.0
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(self) -> f32 {
+        self.0
+    }
+}
+
+/// Scalar mirror of one *SSE2* lane: identical to [`ScalarF32`] except
+/// [`SimdF32::mul_add`] is two roundings (`mul` then `add`), exactly like
+/// a backend without a fused multiply-add. Lane-exact scalar evaluation
+/// ([`vecmath::unary_scalar_lane`]) uses this to reproduce the SSE2
+/// vecmath kernels bit-for-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct ScalarNoFmaF32(pub f32);
+
+impl SimdF32 for ScalarNoFmaF32 {
+    const LANES: usize = 1;
+    const HAS_FMA: bool = false;
+    const ISA: Isa = Isa::Sse2;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        ScalarNoFmaF32(v)
+    }
+    #[inline(always)]
+    unsafe fn load(src: &[f32]) -> Self {
+        ScalarNoFmaF32(src[0])
+    }
+    #[inline(always)]
+    unsafe fn store(self, dst: &mut [f32]) {
+        dst[0] = self.0;
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        ScalarNoFmaF32(self.0 + o.0)
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        ScalarNoFmaF32(self.0 - o.0)
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        ScalarNoFmaF32(self.0 * o.0)
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        ScalarNoFmaF32(self.0 / o.0)
+    }
+    #[inline(always)]
+    unsafe fn min(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).min(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn max(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).max(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        // Deliberately unfused: two roundings, like SSE2's mul+add pair.
+        ScalarNoFmaF32(self.0 * b.0 + c.0)
+    }
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        ScalarNoFmaF32(self.0.sqrt())
+    }
+    #[inline(always)]
+    unsafe fn and(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).and(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn or(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).or(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn xor(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).xor(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn lt(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).lt(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn gt(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).gt(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn ne(self, o: Self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).ne(ScalarF32(o.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self {
+        ScalarNoFmaF32(SimdF32::select(ScalarF32(mask.0), ScalarF32(a.0), ScalarF32(b.0)).0)
+    }
+    #[inline(always)]
+    unsafe fn round(self) -> Self {
+        ScalarNoFmaF32(self.0.round_ties_even())
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        ScalarNoFmaF32(ScalarF32(self.0).pow2i().0)
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(self) -> f32 {
+        self.0
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(self) -> f32 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_includes_scalar_and_baseline() {
+        let avail = available();
+        assert!(avail.contains(&Isa::Scalar));
+        #[cfg(target_arch = "x86_64")]
+        assert!(avail.contains(&Isa::Sse2));
+        #[cfg(target_arch = "aarch64")]
+        assert!(avail.contains(&Isa::Neon));
+        assert!(avail.contains(&detect_best()));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for isa in [Isa::Scalar, Isa::Sse2, Isa::Avx2, Isa::Neon] {
+            assert_eq!(Isa::parse(isa.label()), Some(isa));
+            assert_eq!(Isa::parse(&isa.label().to_uppercase()), Some(isa));
+        }
+        assert_eq!(Isa::parse("avx512"), None);
+    }
+
+    #[test]
+    fn force_rejects_unavailable() {
+        #[cfg(target_arch = "x86_64")]
+        assert!(!force(Isa::Neon));
+        #[cfg(target_arch = "aarch64")]
+        assert!(!force(Isa::Avx2));
+        // Never unpin from a failed force.
+        assert!(active().is_available());
+    }
+
+    #[test]
+    fn scalar_tail_primitives() {
+        unsafe {
+            let v = ScalarF32::load_tail(&[]);
+            assert_eq!(v.0.to_bits(), 0);
+            let v = ScalarF32::load_tail(&[3.5]);
+            assert_eq!(v.0, 3.5);
+            let mut out = [0.0f32; 1];
+            v.store_tail(&mut out);
+            assert_eq!(out[0], 3.5);
+            v.store_tail(&mut []);
+        }
+    }
+
+    #[test]
+    fn scalar_min_max_match_x86_semantics() {
+        unsafe {
+            // NaN in either slot -> second operand.
+            let nan = f32::NAN;
+            assert_eq!(ScalarF32(nan).max(ScalarF32(0.0)).0, 0.0);
+            assert_eq!(
+                ScalarF32(0.0).max(ScalarF32(nan)).0.to_bits(),
+                nan.to_bits()
+            );
+            // Signed-zero tie -> second operand.
+            assert_eq!(
+                ScalarF32(-0.0).max(ScalarF32(0.0)).0.to_bits(),
+                0.0f32.to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn scalar_pow2i_spans_exponent_range() {
+        unsafe {
+            assert_eq!(ScalarF32(0.0).pow2i().0, 1.0);
+            assert_eq!(ScalarF32(10.0).pow2i().0, 1024.0);
+            assert_eq!(ScalarF32(-126.0).pow2i().0, f32::MIN_POSITIVE);
+            assert_eq!(ScalarF32(127.0).pow2i().0, 2.0f32.powi(127));
+        }
+    }
+}

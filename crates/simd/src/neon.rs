@@ -1,0 +1,142 @@
+//! aarch64 NEON backend: 4 × f32, fused `mul_add`.
+//!
+//! NEON is baseline on aarch64, so no `#[target_feature]` gating is
+//! needed; the methods stay `unsafe` to satisfy the trait contract.
+//!
+//! `min`/`max` deliberately use compare+select rather than
+//! `vminq`/`vmaxq` so NaN and signed-zero behaviour matches the x86
+//! `minps`/`maxps` semantics the scalar reference mirrors (NEON min/max
+//! propagate NaN; x86 returns the second operand).
+
+use crate::{Isa, SimdF32};
+use core::arch::aarch64::*;
+
+/// NEON vector: 4 × f32.
+#[derive(Clone, Copy)]
+pub struct F32x4n(pub float32x4_t);
+
+impl SimdF32 for F32x4n {
+    const LANES: usize = 4;
+    const HAS_FMA: bool = true;
+    const ISA: Isa = Isa::Neon;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        F32x4n(vdupq_n_f32(v))
+    }
+    #[inline(always)]
+    unsafe fn load(src: &[f32]) -> Self {
+        debug_assert!(src.len() >= 4);
+        F32x4n(vld1q_f32(src.as_ptr()))
+    }
+    #[inline(always)]
+    unsafe fn store(self, dst: &mut [f32]) {
+        debug_assert!(dst.len() >= 4);
+        vst1q_f32(dst.as_mut_ptr(), self.0)
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F32x4n(vaddq_f32(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F32x4n(vsubq_f32(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F32x4n(vmulq_f32(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        F32x4n(vdivq_f32(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn min(self, o: Self) -> Self {
+        // x86 semantics: self < o ? self : o (NaN / ±0 tie -> o).
+        Self::select(self.lt(o), self, o)
+    }
+    #[inline(always)]
+    unsafe fn max(self, o: Self) -> Self {
+        Self::select(self.gt(o), self, o)
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        // vfmaq(c, a, b) = c + a*b, single rounding.
+        F32x4n(vfmaq_f32(c.0, self.0, b.0))
+    }
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        F32x4n(vsqrtq_f32(self.0))
+    }
+    #[inline(always)]
+    unsafe fn and(self, o: Self) -> Self {
+        F32x4n(vreinterpretq_f32_u32(vandq_u32(
+            vreinterpretq_u32_f32(self.0),
+            vreinterpretq_u32_f32(o.0),
+        )))
+    }
+    #[inline(always)]
+    unsafe fn or(self, o: Self) -> Self {
+        F32x4n(vreinterpretq_f32_u32(vorrq_u32(
+            vreinterpretq_u32_f32(self.0),
+            vreinterpretq_u32_f32(o.0),
+        )))
+    }
+    #[inline(always)]
+    unsafe fn xor(self, o: Self) -> Self {
+        F32x4n(vreinterpretq_f32_u32(veorq_u32(
+            vreinterpretq_u32_f32(self.0),
+            vreinterpretq_u32_f32(o.0),
+        )))
+    }
+    #[inline(always)]
+    unsafe fn lt(self, o: Self) -> Self {
+        F32x4n(vreinterpretq_f32_u32(vcltq_f32(self.0, o.0)))
+    }
+    #[inline(always)]
+    unsafe fn gt(self, o: Self) -> Self {
+        F32x4n(vreinterpretq_f32_u32(vcgtq_f32(self.0, o.0)))
+    }
+    #[inline(always)]
+    unsafe fn ne(self, o: Self) -> Self {
+        // not(equal): unordered-or-unequal, true on NaN operands.
+        F32x4n(vreinterpretq_f32_u32(vmvnq_u32(vceqq_f32(self.0, o.0))))
+    }
+    #[inline(always)]
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self {
+        F32x4n(vbslq_f32(vreinterpretq_u32_f32(mask.0), a.0, b.0))
+    }
+    #[inline(always)]
+    unsafe fn round(self) -> Self {
+        F32x4n(vrndnq_f32(self.0))
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        let n = vcvtnq_s32_f32(self.0);
+        let e = vshlq_n_s32::<23>(vaddq_s32(n, vdupq_n_s32(127)));
+        F32x4n(vreinterpretq_f32_s32(e))
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(self) -> f32 {
+        // Same fixed tree as the SSE2 backend: (l0+l2) + (l1+l3).
+        let l0 = vgetq_lane_f32::<0>(self.0);
+        let l1 = vgetq_lane_f32::<1>(self.0);
+        let l2 = vgetq_lane_f32::<2>(self.0);
+        let l3 = vgetq_lane_f32::<3>(self.0);
+        (l0 + l2) + (l1 + l3)
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(self) -> f32 {
+        let l0 = vgetq_lane_f32::<0>(self.0);
+        let l1 = vgetq_lane_f32::<1>(self.0);
+        let l2 = vgetq_lane_f32::<2>(self.0);
+        let l3 = vgetq_lane_f32::<3>(self.0);
+        let a = if l0 > l2 { l0 } else { l2 };
+        let b = if l1 > l3 { l1 } else { l3 };
+        if a > b {
+            a
+        } else {
+            b
+        }
+    }
+}

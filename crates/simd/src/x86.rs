@@ -1,0 +1,235 @@
+//! x86-64 backends: SSE2 (4 lanes, no FMA) and AVX2+FMA (8 lanes).
+//!
+//! All methods are `#[inline(always)]` so the intrinsics are compiled
+//! inside whatever `#[target_feature]` wrapper monomorphizes the kernel
+//! (see the crate-level safety model).
+
+use crate::{Isa, SimdF32};
+use core::arch::x86_64::*;
+
+/// SSE2 vector: 4 × f32, baseline on x86-64, `mul_add` is unfused.
+#[derive(Clone, Copy)]
+pub struct F32x4(pub __m128);
+
+impl SimdF32 for F32x4 {
+    const LANES: usize = 4;
+    const HAS_FMA: bool = false;
+    const ISA: Isa = Isa::Sse2;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        F32x4(_mm_set1_ps(v))
+    }
+    #[inline(always)]
+    unsafe fn load(src: &[f32]) -> Self {
+        debug_assert!(src.len() >= 4);
+        F32x4(_mm_loadu_ps(src.as_ptr()))
+    }
+    #[inline(always)]
+    unsafe fn store(self, dst: &mut [f32]) {
+        debug_assert!(dst.len() >= 4);
+        _mm_storeu_ps(dst.as_mut_ptr(), self.0)
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F32x4(_mm_add_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F32x4(_mm_sub_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F32x4(_mm_mul_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        F32x4(_mm_div_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn min(self, o: Self) -> Self {
+        F32x4(_mm_min_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn max(self, o: Self) -> Self {
+        F32x4(_mm_max_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        // No FMA at this ISA level: two roundings, by contract.
+        F32x4(_mm_add_ps(_mm_mul_ps(self.0, b.0), c.0))
+    }
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        F32x4(_mm_sqrt_ps(self.0))
+    }
+    #[inline(always)]
+    unsafe fn and(self, o: Self) -> Self {
+        F32x4(_mm_and_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn or(self, o: Self) -> Self {
+        F32x4(_mm_or_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn xor(self, o: Self) -> Self {
+        F32x4(_mm_xor_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn lt(self, o: Self) -> Self {
+        F32x4(_mm_cmplt_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn gt(self, o: Self) -> Self {
+        F32x4(_mm_cmpgt_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn ne(self, o: Self) -> Self {
+        // CMPNEQPS is unordered-or-unequal: true on NaN operands.
+        F32x4(_mm_cmpneq_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self {
+        F32x4(_mm_or_ps(
+            _mm_and_ps(mask.0, a.0),
+            _mm_andnot_ps(mask.0, b.0),
+        ))
+    }
+    #[inline(always)]
+    unsafe fn round(self) -> Self {
+        // SSE2 has no ROUNDPS; CVTPS2DQ rounds to nearest-even under the
+        // default MXCSR, which is all we need for |x| < 2^31.
+        F32x4(_mm_cvtepi32_ps(_mm_cvtps_epi32(self.0)))
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        let n = _mm_cvtps_epi32(self.0);
+        let e = _mm_slli_epi32::<23>(_mm_add_epi32(n, _mm_set1_epi32(127)));
+        F32x4(_mm_castsi128_ps(e))
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(self) -> f32 {
+        // Fixed tree: (l0+l2) + (l1+l3).
+        let hi = _mm_movehl_ps(self.0, self.0);
+        let s = _mm_add_ps(self.0, hi);
+        let s1 = _mm_shuffle_ps::<0b01>(s, s);
+        _mm_cvtss_f32(_mm_add_ss(s, s1))
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(self) -> f32 {
+        let hi = _mm_movehl_ps(self.0, self.0);
+        let s = _mm_max_ps(self.0, hi);
+        let s1 = _mm_shuffle_ps::<0b01>(s, s);
+        _mm_cvtss_f32(_mm_max_ss(s, s1))
+    }
+}
+
+/// AVX2+FMA vector: 8 × f32, fused `mul_add`.
+#[derive(Clone, Copy)]
+pub struct F32x8(pub __m256);
+
+impl SimdF32 for F32x8 {
+    const LANES: usize = 8;
+    const HAS_FMA: bool = true;
+    const ISA: Isa = Isa::Avx2;
+
+    #[inline(always)]
+    unsafe fn splat(v: f32) -> Self {
+        F32x8(_mm256_set1_ps(v))
+    }
+    #[inline(always)]
+    unsafe fn load(src: &[f32]) -> Self {
+        debug_assert!(src.len() >= 8);
+        F32x8(_mm256_loadu_ps(src.as_ptr()))
+    }
+    #[inline(always)]
+    unsafe fn store(self, dst: &mut [f32]) {
+        debug_assert!(dst.len() >= 8);
+        _mm256_storeu_ps(dst.as_mut_ptr(), self.0)
+    }
+    #[inline(always)]
+    unsafe fn add(self, o: Self) -> Self {
+        F32x8(_mm256_add_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn sub(self, o: Self) -> Self {
+        F32x8(_mm256_sub_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul(self, o: Self) -> Self {
+        F32x8(_mm256_mul_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn div(self, o: Self) -> Self {
+        F32x8(_mm256_div_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn min(self, o: Self) -> Self {
+        F32x8(_mm256_min_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn max(self, o: Self) -> Self {
+        F32x8(_mm256_max_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn mul_add(self, b: Self, c: Self) -> Self {
+        F32x8(_mm256_fmadd_ps(self.0, b.0, c.0))
+    }
+    #[inline(always)]
+    unsafe fn sqrt(self) -> Self {
+        F32x8(_mm256_sqrt_ps(self.0))
+    }
+    #[inline(always)]
+    unsafe fn and(self, o: Self) -> Self {
+        F32x8(_mm256_and_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn or(self, o: Self) -> Self {
+        F32x8(_mm256_or_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn xor(self, o: Self) -> Self {
+        F32x8(_mm256_xor_ps(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn lt(self, o: Self) -> Self {
+        F32x8(_mm256_cmp_ps::<_CMP_LT_OQ>(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn gt(self, o: Self) -> Self {
+        F32x8(_mm256_cmp_ps::<_CMP_GT_OQ>(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn ne(self, o: Self) -> Self {
+        F32x8(_mm256_cmp_ps::<_CMP_NEQ_UQ>(self.0, o.0))
+    }
+    #[inline(always)]
+    unsafe fn select(mask: Self, a: Self, b: Self) -> Self {
+        F32x8(_mm256_blendv_ps(b.0, a.0, mask.0))
+    }
+    #[inline(always)]
+    unsafe fn round(self) -> Self {
+        F32x8(_mm256_round_ps::<
+            { _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC },
+        >(self.0))
+    }
+    #[inline(always)]
+    unsafe fn pow2i(self) -> Self {
+        let n = _mm256_cvtps_epi32(self.0);
+        let e = _mm256_slli_epi32::<23>(_mm256_add_epi32(n, _mm256_set1_epi32(127)));
+        F32x8(_mm256_castsi256_ps(e))
+    }
+    #[inline(always)]
+    unsafe fn reduce_add(self) -> f32 {
+        // Low half + high half first, then the 4-lane tree.
+        let lo = _mm256_castps256_ps128(self.0);
+        let hi = _mm256_extractf128_ps::<1>(self.0);
+        F32x4(_mm_add_ps(lo, hi)).reduce_add()
+    }
+    #[inline(always)]
+    unsafe fn reduce_max(self) -> f32 {
+        let lo = _mm256_castps256_ps128(self.0);
+        let hi = _mm256_extractf128_ps::<1>(self.0);
+        F32x4(_mm_max_ps(lo, hi)).reduce_max()
+    }
+}

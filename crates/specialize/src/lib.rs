@@ -622,11 +622,15 @@ impl ModelSpecializer {
             let fallback = slot.fallback.clone();
             let pb = Arc::clone(&pb);
             let weight_id = w.buffer_id();
+            // The driver race and the installed kernel both inherit the
+            // process-wide active SIMD backend; record it in the name so
+            // traces show which ISA the winning measurement ran under.
             let name = format!(
-                "{}@m={}[{sched:?}{}]",
+                "{}@m={}[{sched:?}{},{}]",
                 slot.fallback.name(),
                 job.m,
-                if use_cols { ",cols" } else { "" }
+                if use_cols { ",cols" } else { "" },
+                nimble_simd::active().label()
             );
             Kernel::new(&name, move |inputs: &[Tensor]| {
                 // Guards re-derive everything from the live inputs; any

@@ -204,17 +204,25 @@ pub fn logical_not(a: &Tensor) -> Result<Tensor> {
     Tensor::new(Data::Bool(v.iter().map(|&b| !b).collect()), a.dims())
 }
 
-fn unary_f32(op: &str, a: &Tensor, f: impl Fn(f32) -> f32) -> Result<Tensor> {
+/// Apply a unary op over an f32 tensor through the shared
+/// [`vecmath`](nimble_simd::vecmath) row primitive: vectorized on the
+/// active SIMD backend, the original scalar formulas under
+/// `NIMBLE_SIMD=scalar`.
+fn unary_f32(name: &str, a: &Tensor, op: nimble_simd::vecmath::UnaryOp) -> Result<Tensor> {
     match a.data() {
-        Data::F32(v) => Tensor::new(Data::F32(v.iter().map(|&x| f(x)).collect()), a.dims()),
-        other => Err(TensorError::dtype(op, crate::DType::F32, other.dtype())),
+        Data::F32(v) => {
+            let mut out = v.clone();
+            nimble_simd::vecmath::unary_slice(nimble_simd::active(), op, &mut out);
+            Tensor::new(Data::F32(out), a.dims())
+        }
+        other => Err(TensorError::dtype(name, crate::DType::F32, other.dtype())),
     }
 }
 
 /// Elementwise negation.
 pub fn neg(a: &Tensor) -> Result<Tensor> {
     match a.data() {
-        Data::F32(v) => Tensor::new(Data::F32(v.iter().map(|&x| -x).collect()), a.dims()),
+        Data::F32(_) => unary_f32("neg", a, nimble_simd::vecmath::UnaryOp::Neg),
         Data::I64(v) => Tensor::new(Data::I64(v.iter().map(|&x| -x).collect()), a.dims()),
         Data::I32(v) => Tensor::new(Data::I32(v.iter().map(|&x| -x).collect()), a.dims()),
         other => Err(TensorError::dtype("neg", crate::DType::F32, other.dtype())),
@@ -223,30 +231,28 @@ pub fn neg(a: &Tensor) -> Result<Tensor> {
 
 /// Elementwise square root (f32).
 pub fn sqrt(a: &Tensor) -> Result<Tensor> {
-    unary_f32("sqrt", a, f32::sqrt)
+    unary_f32("sqrt", a, nimble_simd::vecmath::UnaryOp::Sqrt)
 }
 
 /// Elementwise hyperbolic tangent (f32).
 pub fn tanh(a: &Tensor) -> Result<Tensor> {
-    unary_f32("tanh", a, f32::tanh)
+    unary_f32("tanh", a, nimble_simd::vecmath::UnaryOp::Tanh)
 }
 
 /// Elementwise logistic sigmoid (f32).
 pub fn sigmoid(a: &Tensor) -> Result<Tensor> {
-    unary_f32("sigmoid", a, |x| 1.0 / (1.0 + (-x).exp()))
+    unary_f32("sigmoid", a, nimble_simd::vecmath::UnaryOp::Sigmoid)
 }
 
 /// Elementwise rectified linear unit (f32).
 pub fn relu(a: &Tensor) -> Result<Tensor> {
-    unary_f32("relu", a, |x| x.max(0.0))
+    unary_f32("relu", a, nimble_simd::vecmath::UnaryOp::Relu)
 }
 
 /// Elementwise GELU activation using the tanh approximation (f32), as used
 /// in BERT's feed-forward blocks.
 pub fn gelu(a: &Tensor) -> Result<Tensor> {
-    unary_f32("gelu", a, |x| {
-        0.5 * x * (1.0 + (0.797_884_6 * (x + 0.044_715 * x * x * x)).tanh())
-    })
+    unary_f32("gelu", a, nimble_simd::vecmath::UnaryOp::Gelu)
 }
 
 /// Ternary select: `out[i] = if cond[i] { a[i] } else { b[i] }`, with `cond`

@@ -13,25 +13,39 @@
 //! * **A packing**: each `tile_m` strip of A is repacked on the fly into
 //!   `MR`-row panels (k-major, same `tile_k` blocking), so the microkernel
 //!   reads both operands as contiguous streams.
-//! * **Microkernel**: an `MR×NR = 8×8` register accumulator tile. The Server
-//!   variant keeps 64 independent `acc += a*b` lanes (the shape LLVM
-//!   auto-vectorizes); the Edge variant is a strictly in-order `mul_add`
-//!   dependence chain modelling a low-power core (see DESIGN.md's platform
-//!   substitution).
+//! * **Microkernel**: an `MR×NR = 8×8` register accumulator tile,
+//!   width-generic over [`nimble_simd::SimdF32`] and monomorphized per ISA
+//!   behind `#[target_feature]` wrappers (AVX2+FMA / SSE2 / NEON, with the
+//!   original scalar loops as the always-available fallback). The Server
+//!   variant keeps 64 independent `acc += a*b` lanes (explicit mul-then-add,
+//!   never FMA — fusing would change the rounding); the Edge variant is a
+//!   strictly in-order `mul_add` dependence chain modelling a low-power
+//!   core, vectorized only on backends with a true fused multiply-add
+//!   (`f32::mul_add` and hardware FMA are both correctly rounded, so the
+//!   scalar and vector Edge kernels agree bitwise; SSE2 has no FMA and
+//!   takes the scalar Edge path).
 //!
-//! **Determinism across schedules**: the accumulator tile stays
-//! register-resident across *all* `tile_k` blocks — the block loop is inside
-//! the per-tile region, not outside it — so each output element is reduced
-//! in strictly increasing `k` order no matter the schedule. Every
-//! `MatmulSchedule` therefore produces bitwise-identical results for a given
-//! profile, which is what lets the tuner explore tile configs freely and the
-//! pre-pack cache share packed weights across residue variants.
+//! **Determinism across schedules *and* backends**: the accumulator tile
+//! stays register-resident across *all* `tile_k` blocks — the block loop is
+//! inside the per-tile region, not outside it — so each output element is
+//! reduced in strictly increasing `k` order no matter the schedule. SIMD
+//! lanes map across the `NR` output columns, never across `k`, so each
+//! element keeps its own accumulator chain and every backend produces
+//! bitwise-identical results. This is what lets the tuner explore tile
+//! configs freely, the pre-pack cache share packed weights across residue
+//! variants, and `NIMBLE_SIMD` switch ISAs without changing a single bit of
+//! GEMM output.
 //!
 //! The epilogue (bias add + any fused trailing unary elementwise chain) is
-//! applied in the single write-out pass, so fused `dense → activation`
+//! applied in the single write-out pass through
+//! [`nimble_simd::vecmath::epilogue_row`] — the same shared masked-tail row
+//! primitive the elementwise kernels use — so fused `dense → activation`
 //! chains touch the output exactly once.
 
 use crate::pool::{parallel_chunks_mut, parallel_for, ExecProfile};
+use nimble_simd::{vecmath, Isa, SimdF32};
+
+pub use nimble_simd::vecmath::UnaryOp;
 
 /// Microkernel register-tile rows.
 pub const MR: usize = 8;
@@ -44,8 +58,10 @@ pub const NR: usize = 8;
 pub struct Epilogue<'a> {
     /// Per-output-column bias (`[n]`), added before the unary chain.
     pub bias: Option<&'a [f32]>,
-    /// Unary ops applied in order after the bias add.
-    pub unary: &'a [fn(f32) -> f32],
+    /// Unary ops applied in order after the bias add. Vectorizable ops ride
+    /// the active ISA's vecmath kernels; [`UnaryOp::Custom`] chains fall
+    /// back to the scalar reference path.
+    pub unary: &'a [UnaryOp],
 }
 
 impl Epilogue<'_> {
@@ -54,18 +70,6 @@ impl Epilogue<'_> {
         bias: None,
         unary: &[],
     };
-
-    #[inline]
-    fn apply(&self, col: usize, v: f32) -> f32 {
-        let mut v = match self.bias {
-            Some(b) => v + b[col],
-            None => v,
-        };
-        for f in self.unary {
-            v = f(v);
-        }
-        v
-    }
 }
 
 /// The right-hand side of a GEMM repacked into microkernel panels.
@@ -265,11 +269,297 @@ fn micro_edge(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
     }
 }
 
-/// Write an accumulator tile into `out`, applying the epilogue, masking the
-/// ragged row/column tails.
+/// Width-generic Server microkernel: `S::LANES` of the `NR` accumulator
+/// columns per vector register. Per output element this performs exactly
+/// [`micro_server`]'s mul-then-add in ascending-`k` order (never FMA), so
+/// results are bitwise identical to the scalar kernel on every backend.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+unsafe fn micro_server_v<S: SimdF32>(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    let nch = NR / S::LANES;
+    let mut vacc = [[S::zero(); NR]; MR];
+    for r in 0..MR {
+        for c in 0..nch {
+            vacc[r][c] = S::load(&acc[r][c * S::LANES..]);
+        }
+    }
+    // SAFETY: callers pass `ap` of `MR * kc` and `bp` of `NR * kc`
+    // (`pack_a_strip` / `PackedB::panel` layouts); unchecked access keeps
+    // bounds checks out of the innermost loop.
+    for kk in 0..kc {
+        let bbase = bp.as_ptr().add(kk * NR);
+        let abase = ap.as_ptr().add(kk * MR);
+        let mut vb = [S::zero(); NR];
+        for c in 0..nch {
+            vb[c] = S::load(core::slice::from_raw_parts(
+                bbase.add(c * S::LANES),
+                S::LANES,
+            ));
+        }
+        for r in 0..MR {
+            let a = S::splat(*abase.add(r));
+            for c in 0..nch {
+                vacc[r][c] = vacc[r][c].add(a.mul(vb[c]));
+            }
+        }
+    }
+    for r in 0..MR {
+        for c in 0..nch {
+            vacc[r][c].store(&mut acc[r][c * S::LANES..]);
+        }
+    }
+}
+
+/// Width-generic Edge microkernel: the same ascending-`k` fused `mul_add`
+/// chain per element as [`micro_edge`]. Only selected on backends with a
+/// true FMA (`S::HAS_FMA`), where hardware FMA and `f32::mul_add` are both
+/// correctly rounded and therefore bitwise identical.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+unsafe fn micro_edge_v<S: SimdF32>(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    debug_assert!(S::HAS_FMA);
+    let nch = NR / S::LANES;
+    let mut vacc = [[S::zero(); NR]; MR];
+    for r in 0..MR {
+        for c in 0..nch {
+            vacc[r][c] = S::load(&acc[r][c * S::LANES..]);
+        }
+    }
+    // SAFETY: same layout contract as `micro_server_v`.
+    for kk in 0..kc {
+        let bbase = bp.as_ptr().add(kk * NR);
+        let abase = ap.as_ptr().add(kk * MR);
+        let mut vb = [S::zero(); NR];
+        for c in 0..nch {
+            vb[c] = S::load(core::slice::from_raw_parts(
+                bbase.add(c * S::LANES),
+                S::LANES,
+            ));
+        }
+        for r in 0..MR {
+            let a = S::splat(*abase.add(r));
+            for c in 0..nch {
+                vacc[r][c] = a.mul_add(vb[c], vacc[r][c]);
+            }
+        }
+    }
+    for r in 0..MR {
+        for c in 0..nch {
+            vacc[r][c].store(&mut acc[r][c * S::LANES..]);
+        }
+    }
+}
+
+/// Per-`tile_k`-block microkernel signature: `(ap, bp, kc, acc)`.
+type MicroFn = unsafe fn(&[f32], &[f32], usize, &mut [[f32; NR]; MR]);
+
+/// Cols-driver per-(row, panel) kernel signature: `(arow, pb, jp_idx, acc)`.
+type ColsFn = unsafe fn(&[f32], &PackedB, usize, &mut [f32; NR]);
+
+// Scalar cols kernels (extracted verbatim from the original driver loops).
+unsafe fn cols_server_scalar(arow: &[f32], pb: &PackedB, jp_idx: usize, acc: &mut [f32; NR]) {
+    // NR independent acc += a*b lanes per k step, matching micro_server's
+    // reduction order.
+    for block in 0..pb.k_blocks() {
+        let k0 = pb.block_k0(block);
+        let bp = pb.panel(block, jp_idx);
+        for (kk, bvals) in bp.chunks_exact(NR).enumerate() {
+            let av = arow[k0 + kk];
+            for c in 0..NR {
+                acc[c] += av * bvals[c];
+            }
+        }
+    }
+}
+
+unsafe fn cols_edge_scalar(arow: &[f32], pb: &PackedB, jp_idx: usize, acc: &mut [f32; NR]) {
+    // Per-element in-order mul_add chain, matching micro_edge's reduction
+    // order.
+    for (c, slot) in acc.iter_mut().enumerate() {
+        let mut s = *slot;
+        for block in 0..pb.k_blocks() {
+            let k0 = pb.block_k0(block);
+            let bp = pb.panel(block, jp_idx);
+            for (kk, av) in arow[k0..k0 + pb.block_kc(block)].iter().enumerate() {
+                s = av.mul_add(bp[kk * NR + c], s);
+            }
+        }
+        *slot = s;
+    }
+}
+
+/// Width-generic cols-driver Server kernel: same lane order as
+/// [`cols_server_scalar`] (mul-then-add, ascending `k`), vectorized across
+/// the `NR` panel columns — bitwise identical on every backend.
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+unsafe fn cols_server_v<S: SimdF32>(
+    arow: &[f32],
+    pb: &PackedB,
+    jp_idx: usize,
+    acc: &mut [f32; NR],
+) {
+    let nch = NR / S::LANES;
+    let mut vacc = [S::zero(); NR];
+    for c in 0..nch {
+        vacc[c] = S::load(&acc[c * S::LANES..]);
+    }
+    for block in 0..pb.k_blocks() {
+        let k0 = pb.block_k0(block);
+        let bp = pb.panel(block, jp_idx);
+        // SAFETY: `arow` spans the full `k` range of the packed layout.
+        for (kk, bvals) in bp.chunks_exact(NR).enumerate() {
+            let av = S::splat(*arow.get_unchecked(k0 + kk));
+            for c in 0..nch {
+                vacc[c] = vacc[c].add(av.mul(S::load(&bvals[c * S::LANES..])));
+            }
+        }
+    }
+    for c in 0..nch {
+        vacc[c].store(&mut acc[c * S::LANES..]);
+    }
+}
+
+/// Width-generic cols-driver Edge kernel: [`cols_edge_scalar`]'s fused
+/// `mul_add` chain per element; FMA backends only (see [`select_micro`]).
+#[inline(always)]
+#[allow(clippy::needless_range_loop)]
+unsafe fn cols_edge_v<S: SimdF32>(arow: &[f32], pb: &PackedB, jp_idx: usize, acc: &mut [f32; NR]) {
+    debug_assert!(S::HAS_FMA);
+    let nch = NR / S::LANES;
+    let mut vacc = [S::zero(); NR];
+    for c in 0..nch {
+        vacc[c] = S::load(&acc[c * S::LANES..]);
+    }
+    for block in 0..pb.k_blocks() {
+        let k0 = pb.block_k0(block);
+        let bp = pb.panel(block, jp_idx);
+        // SAFETY: `arow` spans the full `k` range of the packed layout.
+        for (kk, bvals) in bp.chunks_exact(NR).enumerate() {
+            let av = S::splat(*arow.get_unchecked(k0 + kk));
+            for c in 0..nch {
+                vacc[c] = av.mul_add(S::load(&bvals[c * S::LANES..]), vacc[c]);
+            }
+        }
+    }
+    for c in 0..nch {
+        vacc[c].store(&mut acc[c * S::LANES..]);
+    }
+}
+
+/// Pick the cols-driver kernel for an (ISA, profile) pair; same FMA gating
+/// as [`select_micro`].
+fn select_cols(isa: Isa, edge: bool) -> ColsFn {
+    match (isa, edge) {
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Sse2, false) => micro_x86::cols_server_sse2,
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Avx2, false) => micro_x86::cols_server_avx2,
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Avx2, true) => micro_x86::cols_edge_avx2,
+        #[cfg(target_arch = "aarch64")]
+        (Isa::Neon, false) => micro_neon::cols_server_neon,
+        #[cfg(target_arch = "aarch64")]
+        (Isa::Neon, true) => micro_neon::cols_edge_neon,
+        (_, false) => cols_server_scalar,
+        (_, true) => cols_edge_scalar,
+    }
+}
+
+// Scalar micros behind the shared signature (trivially safe bodies).
+unsafe fn micro_server_scalar(ap: &[f32], bp: &[f32], _kc: usize, acc: &mut [[f32; NR]; MR]) {
+    micro_server(ap, bp, acc)
+}
+unsafe fn micro_edge_scalar(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+    micro_edge(ap, bp, kc, acc)
+}
+
+#[cfg(target_arch = "x86_64")]
+mod micro_x86 {
+    use super::*;
+    use nimble_simd::x86::{F32x4, F32x8};
+
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn server_sse2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        micro_server_v::<F32x4>(ap, bp, kc, acc)
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn server_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        micro_server_v::<F32x8>(ap, bp, kc, acc)
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn edge_avx2(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        micro_edge_v::<F32x8>(ap, bp, kc, acc)
+    }
+    #[target_feature(enable = "sse2")]
+    pub unsafe fn cols_server_sse2(arow: &[f32], pb: &PackedB, jp: usize, acc: &mut [f32; NR]) {
+        cols_server_v::<F32x4>(arow, pb, jp, acc)
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn cols_server_avx2(arow: &[f32], pb: &PackedB, jp: usize, acc: &mut [f32; NR]) {
+        cols_server_v::<F32x8>(arow, pb, jp, acc)
+    }
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn cols_edge_avx2(arow: &[f32], pb: &PackedB, jp: usize, acc: &mut [f32; NR]) {
+        cols_edge_v::<F32x8>(arow, pb, jp, acc)
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod micro_neon {
+    use super::*;
+    use nimble_simd::neon::F32x4n;
+
+    pub unsafe fn server_neon(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        micro_server_v::<F32x4n>(ap, bp, kc, acc)
+    }
+    pub unsafe fn edge_neon(ap: &[f32], bp: &[f32], kc: usize, acc: &mut [[f32; NR]; MR]) {
+        micro_edge_v::<F32x4n>(ap, bp, kc, acc)
+    }
+    pub unsafe fn cols_server_neon(arow: &[f32], pb: &PackedB, jp: usize, acc: &mut [f32; NR]) {
+        cols_server_v::<F32x4n>(arow, pb, jp, acc)
+    }
+    pub unsafe fn cols_edge_neon(arow: &[f32], pb: &PackedB, jp: usize, acc: &mut [f32; NR]) {
+        cols_edge_v::<F32x4n>(arow, pb, jp, acc)
+    }
+}
+
+/// Pick the block microkernel for an (ISA, profile) pair. The Edge profile
+/// needs a true fused multiply-add to match `f32::mul_add` bitwise, so
+/// SSE2 (no FMA) falls back to the scalar Edge chain.
+fn select_micro(isa: Isa, edge: bool) -> MicroFn {
+    match (isa, edge) {
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Sse2, false) => micro_x86::server_sse2,
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Avx2, false) => micro_x86::server_avx2,
+        #[cfg(target_arch = "x86_64")]
+        (Isa::Avx2, true) => micro_x86::edge_avx2,
+        #[cfg(target_arch = "aarch64")]
+        (Isa::Neon, false) => micro_neon::server_neon,
+        #[cfg(target_arch = "aarch64")]
+        (Isa::Neon, true) => micro_neon::edge_neon,
+        (_, false) => micro_server_scalar,
+        (_, true) => micro_edge_scalar,
+    }
+}
+
+/// Validate a caller-supplied ISA against the CPU (scalar fallback).
+fn sanitize_isa(isa: Isa) -> Isa {
+    if isa.is_available() {
+        isa
+    } else {
+        Isa::Scalar
+    }
+}
+
+/// Write an accumulator tile into `out`, applying the epilogue through the
+/// shared [`vecmath::epilogue_row`] primitive, masking the ragged
+/// row/column tails.
 #[inline]
 #[allow(clippy::too_many_arguments)]
 fn write_tile(
+    isa: Isa,
     acc: &[[f32; NR]; MR],
     out: &mut [f32],
     n: usize,
@@ -281,9 +571,9 @@ fn write_tile(
 ) {
     for r in 0..rows {
         let orow = &mut out[(row0 + r) * n + col0..(row0 + r) * n + col0 + cols];
-        for (c, o) in orow.iter_mut().enumerate() {
-            *o = ep.apply(col0 + c, acc[r][c]);
-        }
+        orow.copy_from_slice(&acc[r][..cols]);
+        let bias = ep.bias.map(|b| &b[col0..col0 + cols]);
+        vecmath::epilogue_row(isa, orow, bias, ep.unary);
     }
 }
 
@@ -305,6 +595,24 @@ pub fn gemm_packed(
     sched: super::matmul::MatmulSchedule,
     ep: &Epilogue,
 ) {
+    gemm_packed_with_isa(nimble_simd::active(), profile, a, pb, m, out, sched, ep)
+}
+
+/// [`gemm_packed`] pinned to an explicit ISA (bitwise identical on every
+/// backend). Test/bench entry point — avoids the process-global ISA state
+/// so parallel tests can exercise backends independently.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_with_isa(
+    isa: Isa,
+    profile: ExecProfile,
+    a: &[f32],
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    sched: super::matmul::MatmulSchedule,
+    ep: &Epilogue,
+) {
+    let isa = sanitize_isa(isa);
     let (n, k) = (pb.n(), pb.k());
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(out.len(), m * n);
@@ -321,6 +629,7 @@ pub fn gemm_packed(
     let tile_k = pb.tile_k();
     let k_blocks = pb.k_blocks();
     let edge = matches!(profile, ExecProfile::Edge);
+    let micro = select_micro(isa, edge);
     let _s = nimble_obs::span_full("gemm.compute", nimble_obs::Category::Pool, (m * n) as u64);
     // One chunk per tile_m output strip; flop estimate 2k per element.
     parallel_chunks_mut(
@@ -358,13 +667,11 @@ pub fn gemm_packed(
                             let kc = pb.block_kc(block);
                             let ap = &apack[block * a_block_stride + ip_idx * MR * kc..][..MR * kc];
                             let bp = pb.panel(block, jp_idx);
-                            if edge {
-                                micro_edge(ap, bp, kc, &mut acc);
-                            } else {
-                                micro_server(ap, bp, &mut acc);
-                            }
+                            // SAFETY: `micro` was selected for an ISA that
+                            // `sanitize_isa` verified is available.
+                            unsafe { micro(ap, bp, kc, &mut acc) };
                         }
-                        write_tile(&acc, out_strip, n, r0, j0, rcount, cols, ep);
+                        write_tile(isa, &acc, out_strip, n, r0, j0, rcount, cols, ep);
                     }
                     jp_idx += 1;
                     j0 += NR;
@@ -402,6 +709,23 @@ pub fn gemm_packed_cols(
     sched: super::matmul::MatmulSchedule,
     ep: &Epilogue,
 ) {
+    gemm_packed_cols_with_isa(nimble_simd::active(), profile, a, pb, m, out, sched, ep)
+}
+
+/// [`gemm_packed_cols`] pinned to an explicit ISA; see
+/// [`gemm_packed_with_isa`].
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_packed_cols_with_isa(
+    isa: Isa,
+    profile: ExecProfile,
+    a: &[f32],
+    pb: &PackedB,
+    m: usize,
+    out: &mut [f32],
+    sched: super::matmul::MatmulSchedule,
+    ep: &Epilogue,
+) {
+    let isa = sanitize_isa(isa);
     let (n, k) = (pb.n(), pb.k());
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(out.len(), m * n);
@@ -413,8 +737,8 @@ pub fn gemm_packed_cols(
     if m == 0 || n == 0 {
         return;
     }
-    let k_blocks = pb.k_blocks();
     let edge = matches!(profile, ExecProfile::Edge);
+    let cols_fn = select_cols(isa, edge);
     let _s = nimble_obs::span_full("gemm.compute", nimble_obs::Category::Pool, (m * n) as u64);
 
     struct SendPtr(*mut f32);
@@ -440,35 +764,9 @@ pub fn gemm_packed_cols(
                 for i in 0..m {
                     let arow = &a[i * k..(i + 1) * k];
                     let mut acc = [0.0f32; NR];
-                    if edge {
-                        // Per-element in-order mul_add chain, matching
-                        // micro_edge's reduction order.
-                        for (c, slot) in acc.iter_mut().enumerate() {
-                            let mut s = 0.0f32;
-                            for block in 0..k_blocks {
-                                let k0 = pb.block_k0(block);
-                                let bp = pb.panel(block, jp_idx);
-                                for (kk, av) in arow[k0..k0 + pb.block_kc(block)].iter().enumerate()
-                                {
-                                    s = av.mul_add(bp[kk * NR + c], s);
-                                }
-                            }
-                            *slot = s;
-                        }
-                    } else {
-                        // NR independent acc += a*b lanes per k step,
-                        // matching micro_server's reduction order.
-                        for block in 0..k_blocks {
-                            let k0 = pb.block_k0(block);
-                            let bp = pb.panel(block, jp_idx);
-                            for (kk, bvals) in bp.chunks_exact(NR).enumerate() {
-                                let av = arow[k0 + kk];
-                                for c in 0..NR {
-                                    acc[c] += av * bvals[c];
-                                }
-                            }
-                        }
-                    }
+                    // SAFETY: `cols_fn` was selected for an ISA that
+                    // `sanitize_isa` verified is available.
+                    unsafe { cols_fn(arow, pb, jp_idx, &mut acc) };
                     // SAFETY: panel index ranges from parallel_for are
                     // disjoint, so each `[j0, j0+cols)` column window is
                     // written by exactly one task, and `out` outlives the
@@ -476,9 +774,9 @@ pub fn gemm_packed_cols(
                     // completes.
                     let orow =
                         unsafe { std::slice::from_raw_parts_mut(base.get().add(i * n + j0), cols) };
-                    for (c, o) in orow.iter_mut().enumerate() {
-                        *o = ep.apply(j0 + c, acc[c]);
-                    }
+                    orow.copy_from_slice(&acc[..cols]);
+                    let bias = ep.bias.map(|b| &b[j0..j0 + cols]);
+                    vecmath::epilogue_row(isa, orow, bias, ep.unary);
                 }
             }
         },
@@ -560,7 +858,7 @@ mod tests {
                 for profile in [ExecProfile::Server, ExecProfile::Edge] {
                     let ep = Epilogue {
                         bias: Some(&bias),
-                        unary: &[|v| if v > 0.0 { v } else { 0.0 }],
+                        unary: &[UnaryOp::Relu],
                     };
                     let mut rows = vec![0.0f32; m * n];
                     gemm_packed(profile, &a, &pb, m, &mut rows, sched, &ep);
@@ -587,7 +885,7 @@ mod tests {
         let mut out = vec![7.0f32; m * n];
         let ep = Epilogue {
             bias: Some(&bias),
-            unary: &[|v| v + 1.0],
+            unary: &[UnaryOp::Custom(|v| v + 1.0)],
         };
         gemm_packed(
             ExecProfile::Server,

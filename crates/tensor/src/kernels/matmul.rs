@@ -18,7 +18,7 @@
 //! variants; `nimble-codegen` reuses the same packed panels when it builds
 //! residue-specialized symbolic kernels.
 
-use super::gemm::{gemm_packed, Epilogue, PackedB};
+use super::gemm::{gemm_packed, Epilogue, PackedB, UnaryOp};
 use crate::pool::{default_profile, ExecProfile};
 use crate::{Result, Tensor, TensorError};
 
@@ -108,7 +108,7 @@ pub fn dense_with_epilogue(
     x: &Tensor,
     weight: &Tensor,
     bias: Option<&Tensor>,
-    unary: &[fn(f32) -> f32],
+    unary: &[UnaryOp],
 ) -> Result<Tensor> {
     if weight.rank() != 2 {
         return Err(TensorError::invalid("dense: weight must be rank 2"));
@@ -296,7 +296,7 @@ mod tests {
         fn act(v: f32) -> f32 {
             v.tanh()
         }
-        let fused = dense_with_epilogue(&x, &w, Some(&b), &[act]).unwrap();
+        let fused = dense_with_epilogue(&x, &w, Some(&b), &[UnaryOp::Custom(act)]).unwrap();
         let plain = dense(&x, &w, Some(&b)).unwrap();
         let want: Vec<f32> = plain.as_f32().unwrap().iter().map(|&v| act(v)).collect();
         // Bitwise: the epilogue applies the same fn to the same dense bits.

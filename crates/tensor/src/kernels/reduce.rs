@@ -91,6 +91,10 @@ pub fn argmax(a: &Tensor, axis: usize) -> Result<Tensor> {
 }
 
 /// Numerically-stable softmax along the last axis.
+///
+/// Each row strip runs through [`nimble_simd::vecmath::softmax_strip`]:
+/// vectorized max / exp / normalize passes on the active SIMD backend, the
+/// original scalar sweep under `NIMBLE_SIMD=scalar`.
 pub fn softmax(a: &Tensor) -> Result<Tensor> {
     if a.rank() == 0 {
         return Err(TensorError::invalid("softmax on scalar"));
@@ -98,20 +102,12 @@ pub fn softmax(a: &Tensor) -> Result<Tensor> {
     let last = a.rank() - 1;
     let (outer, len, _) = axis_split(a.dims(), last)?;
     let v = a.as_f32()?;
+    let isa = nimble_simd::active();
     let mut out = vec![0.0f32; v.len()];
     for o in 0..outer {
         let strip = &v[o * len..(o + 1) * len];
         let ostrip = &mut out[o * len..(o + 1) * len];
-        let m = strip.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-        let mut denom = 0.0;
-        for (dst, &x) in ostrip.iter_mut().zip(strip.iter()) {
-            let e = (x - m).exp();
-            *dst = e;
-            denom += e;
-        }
-        for dst in ostrip.iter_mut() {
-            *dst /= denom;
-        }
+        nimble_simd::vecmath::softmax_strip(isa, strip, ostrip);
     }
     Tensor::from_vec_f32(out, a.dims())
 }
@@ -138,16 +134,12 @@ pub fn layer_norm(a: &Tensor, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result
     let g = gamma.as_f32()?;
     let b = beta.as_f32()?;
     let outer = v.len() / len;
+    let isa = nimble_simd::active();
     let mut out = vec![0.0f32; v.len()];
     for o in 0..outer {
         let strip = &v[o * len..(o + 1) * len];
-        let mean: f32 = strip.iter().sum::<f32>() / len as f32;
-        let var: f32 = strip.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / len as f32;
-        let inv = 1.0 / (var + eps).sqrt();
         let ostrip = &mut out[o * len..(o + 1) * len];
-        for i in 0..len {
-            ostrip[i] = (strip[i] - mean) * inv * g[i] + b[i];
-        }
+        nimble_simd::vecmath::layer_norm_strip(isa, strip, g, b, eps, ostrip);
     }
     Tensor::from_vec_f32(out, a.dims())
 }

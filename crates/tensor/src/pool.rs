@@ -68,6 +68,14 @@ impl ExecProfile {
             ExecProfile::Edge => "edge",
         }
     }
+
+    /// The SIMD instruction set kernels run under for this profile — the
+    /// process-wide active ISA (runtime-detected, `NIMBLE_SIMD`-overridable).
+    /// Both profiles share it; the method exists so profile-driven code has
+    /// one place to ask.
+    pub fn isa(self) -> nimble_simd::Isa {
+        nimble_simd::active()
+    }
 }
 
 /// Process-wide default profile, switchable by the benchmark harness.

@@ -3,7 +3,9 @@
 //! every schedule, and both execution profiles — including the degenerate
 //! shapes (`1×1×1`, `k = 0`) where blocking logic is most likely to slip.
 
-use nimble_tensor::kernels::gemm::{gemm_packed, Epilogue, PackedB};
+use nimble_tensor::kernels::gemm::{
+    gemm_packed, gemm_packed_cols_with_isa, gemm_packed_with_isa, Epilogue, PackedB, UnaryOp,
+};
 use nimble_tensor::kernels::MatmulSchedule;
 use nimble_tensor::ExecProfile;
 use proptest::prelude::*;
@@ -123,6 +125,128 @@ proptest! {
     }
 }
 
+/// Run both GEMM drivers under an explicit ISA and return the output bits.
+#[allow(clippy::too_many_arguments)]
+fn run_both_drivers(
+    isa: nimble_simd::Isa,
+    profile: ExecProfile,
+    a: &[f32],
+    pb: &PackedB,
+    m: usize,
+    n: usize,
+    sched: MatmulSchedule,
+    ep: &Epilogue,
+) -> (Vec<u32>, Vec<u32>) {
+    let mut rows = vec![f32::NAN; m * n];
+    gemm_packed_with_isa(isa, profile, a, pb, m, &mut rows, sched, ep);
+    let mut cols = vec![f32::NAN; m * n];
+    gemm_packed_cols_with_isa(isa, profile, a, pb, m, &mut cols, sched, ep);
+    (
+        rows.iter().map(|v| v.to_bits()).collect(),
+        cols.iter().map(|v| v.to_bits()).collect(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The SIMD backend never changes a bit: for every ragged shape,
+    /// reduction blocking, and profile, every available backend (plus
+    /// forced-scalar) produces outputs bitwise identical to the scalar
+    /// microkernel — in both the rows driver and the cols driver.
+    #[test]
+    fn backends_bitwise_identical_both_drivers(
+        m in 0usize..26,
+        n in 1usize..35,
+        k in 0usize..40,
+        tile_k in 1usize..48,
+        edge in 0usize..2,
+        with_bias in 0usize..2,
+    ) {
+        let profile = if edge == 1 { ExecProfile::Edge } else { ExecProfile::Server };
+        let with_bias = with_bias == 1;
+        let sched = MatmulSchedule { tile_m: 16, tile_n: 16, tile_k }.sanitized();
+        let a = fill(m * k, 11);
+        let bt = fill(n * k, 23);
+        let bias = fill(n, 5);
+        let ep = Epilogue {
+            bias: with_bias.then_some(bias.as_slice()),
+            unary: &[UnaryOp::Relu],
+        };
+        let pb = PackedB::pack_bt(&bt, n, k, sched.tile_k);
+        let (base_rows, base_cols) =
+            run_both_drivers(nimble_simd::Isa::Scalar, profile, &a, &pb, m, n, sched, &ep);
+        // Rows and cols drivers agree with each other on the scalar path...
+        prop_assert_eq!(&base_rows, &base_cols);
+        // ...and every available vector backend reproduces those exact bits.
+        for isa in nimble_simd::available() {
+            let (rows, cols) = run_both_drivers(isa, profile, &a, &pb, m, n, sched, &ep);
+            prop_assert_eq!(&rows, &base_rows, "rows driver diverged on {}", isa);
+            prop_assert_eq!(&cols, &base_cols, "cols driver diverged on {}", isa);
+        }
+    }
+}
+
+/// Masked-tail regression: shapes engineered so every backend must take
+/// partial-register paths — `n` not a multiple of any lane count, `m`
+/// smaller than the `MR` register tile, and `k == 0` (epilogue-only).
+#[test]
+fn masked_tail_shapes_bitwise_on_every_backend() {
+    // (m, n, k): n % 4 != 0 and n % 8 != 0 exercise SSE2/NEON and AVX2
+    // tails; m < MR exercises row masking; k == 0 the epilogue-only path.
+    for &(m, n, k) in &[(1, 1, 3), (3, 5, 7), (7, 13, 9), (2, 9, 0), (5, 23, 1)] {
+        let sched = MatmulSchedule {
+            tile_m: 8,
+            tile_n: 8,
+            tile_k: 4,
+        }
+        .sanitized();
+        let a = fill(m * k, 41);
+        let bt = fill(n * k, 43);
+        let bias = fill(n, 47);
+        for profile in [ExecProfile::Server, ExecProfile::Edge] {
+            let ep = Epilogue {
+                bias: Some(&bias),
+                unary: &[UnaryOp::Tanh],
+            };
+            let pb = PackedB::pack_bt(&bt, n, k, sched.tile_k);
+            let (base_rows, base_cols) =
+                run_both_drivers(nimble_simd::Isa::Scalar, profile, &a, &pb, m, n, sched, &ep);
+            for isa in nimble_simd::available() {
+                let (rows, cols) = run_both_drivers(isa, profile, &a, &pb, m, n, sched, &ep);
+                // The GEMM accumulation is bitwise-pinned across backends;
+                // the tanh epilogue rides the vecmath ULP contract, so
+                // compare under it rather than bitwise.
+                for (i, (&g, &w)) in rows.iter().zip(&base_rows).enumerate() {
+                    assert!(
+                        nimble_simd::vecmath::within_contract(
+                            UnaryOp::Tanh,
+                            f32::from_bits(g),
+                            f32::from_bits(w)
+                        ),
+                        "{profile:?} {isa} rows {m}x{n}x{k} elem {i}"
+                    );
+                }
+                for (i, (&g, &w)) in cols.iter().zip(&base_cols).enumerate() {
+                    assert!(
+                        nimble_simd::vecmath::within_contract(
+                            UnaryOp::Tanh,
+                            f32::from_bits(g),
+                            f32::from_bits(w)
+                        ),
+                        "{profile:?} {isa} cols {m}x{n}x{k} elem {i}"
+                    );
+                }
+                // And rows/cols must agree bitwise under the *same* backend.
+                let (rows2, cols2) = run_both_drivers(isa, profile, &a, &pb, m, n, sched, &ep);
+                assert_eq!(rows, rows2, "{profile:?} {isa} rows nondeterministic");
+                assert_eq!(cols, cols2, "{profile:?} {isa} cols nondeterministic");
+                assert_eq!(rows, cols, "{profile:?} {isa} rows/cols diverge");
+            }
+        }
+    }
+}
+
 #[test]
 fn one_by_one_by_one_both_profiles() {
     for profile in [ExecProfile::Server, ExecProfile::Edge] {
@@ -140,7 +264,7 @@ fn k_zero_yields_epilogue_of_zero_both_profiles() {
         let bias = [1.0f32, -2.0, 0.5];
         let ep = Epilogue {
             bias: Some(&bias),
-            unary: &[|v| v * 2.0],
+            unary: &[UnaryOp::Custom(|v| v * 2.0)],
         };
         let mut out = vec![f32::NAN; 2 * 3];
         gemm_packed(profile, &[], &pb, 2, &mut out, sched, &ep);
