@@ -1,0 +1,249 @@
+//! Debug-endpoint smoke (`--smoke` runs in CI): boot a full serving
+//! stack with the flight recorder in tail mode and an SLO watchdog, put
+//! a [`nimble_serve::DebugServer`] in front of it, then fetch every
+//! route over real TCP and validate the payloads with in-repo parsers:
+//!
+//! * `/metrics` — must expose the serve/exemplar/SLO/flight families,
+//!   and **every** exemplar trace id in the exposition must resolve via
+//!   `/traces/<id>` (the tail-latency debugging loop the flight recorder
+//!   exists for);
+//! * `/traces` — valid JSON index; every listed id resolves to a parsed
+//!   Chrome trace whose events all carry the expected keys;
+//! * `/events` — one valid JSON object per line, with the lifecycle
+//!   kinds this run provably produced (hot-swap, chaos episode);
+//! * `/status` — the ServeStats table with the slowest-retained-trace
+//!   column;
+//! * unknown paths and unknown trace ids — 404.
+
+use nimble_bench::harness::Effort;
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_device::DeviceSet;
+use nimble_models::data::list_object;
+use nimble_models::{LstmConfig, LstmModel};
+use nimble_obs::json::JsonValue;
+use nimble_obs::TraceMode;
+use nimble_serve::{DebugServer, ModelRegistry, RegistryConfig, Router, RouterConfig, SloConfig};
+use std::collections::BTreeSet;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn lstm_module(seed: u64) -> nimble_ir::Module {
+    LstmModel::new(LstmConfig {
+        input: 32,
+        hidden: 32,
+        layers: 1,
+        seed,
+    })
+    .module()
+}
+
+fn request(len: usize) -> Vec<nimble_vm::Object> {
+    let model = LstmModel::new(LstmConfig {
+        input: 32,
+        hidden: 32,
+        layers: 1,
+        seed: 42,
+    });
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(len as u64);
+    vec![list_object(&model.random_tokens(&mut rng, len))]
+}
+
+/// One blocking HTTP GET; returns (status, body).
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    let mut s = TcpStream::connect(addr).expect("connect debug endpoint");
+    write!(s, "GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").expect("send request");
+    let mut raw = String::new();
+    s.read_to_string(&mut raw).expect("read response");
+    let code: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|c| c.parse().ok())
+        .unwrap_or(0);
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (code, body)
+}
+
+/// Every `trace_id="N"` value in an OpenMetrics exposition.
+fn exemplar_ids(metrics: &str) -> BTreeSet<u64> {
+    let mut ids = BTreeSet::new();
+    for part in metrics.split("trace_id=\"").skip(1) {
+        if let Some(end) = part.find('"') {
+            if let Ok(id) = part[..end].parse::<u64>() {
+                ids.insert(id);
+            }
+        }
+    }
+    ids
+}
+
+fn main() {
+    let effort = Effort::from_args();
+    let full = effort == Effort::full();
+    println!(
+        "debug_endpoint: live debug routes over a tail-mode stack ({} effort)",
+        if full { "full" } else { "smoke" }
+    );
+
+    nimble_obs::set_mode(TraceMode::Tail);
+    nimble_obs::reset();
+    nimble_obs::events::reset_events();
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig {
+            workers: 2,
+            queue_capacity: 8,
+            max_batch: 4,
+        },
+        devices: Arc::new(DeviceSet::with_gpu_lanes(2, Duration::from_micros(20))),
+        ..RegistryConfig::default()
+    }));
+    let opts = CompileOptions::gpu();
+    registry
+        .register("lstm", "v1", &lstm_module(42), &opts)
+        .expect("register lstm");
+    let router = Arc::new(Router::new(
+        Arc::clone(&registry),
+        RouterConfig {
+            slo: Some(SloConfig {
+                interval: Duration::from_millis(5),
+                fast_window: 2,
+                slow_window: 4,
+                ..SloConfig::default()
+            }),
+            ..RouterConfig::default()
+        },
+    ));
+    let server = DebugServer::spawn(Arc::clone(&router), "127.0.0.1:0").expect("bind debug server");
+    let addr = server.addr();
+    println!("  listening on {addr}");
+
+    // --- Traffic that provably retains traces and stamps exemplars ---
+    // Steady successes first, then a chaos-scoped batch (retained by
+    // definition, independent of the rolling-quantile warmup).
+    let steady = if full { 128 } else { 32 };
+    for i in 0..steady {
+        router
+            .run("lstm", request(4 + i % 5))
+            .expect("steady request");
+    }
+    {
+        let _chaos = nimble_obs::flight::episode_scope();
+        for i in 0..4 {
+            router
+                .run("lstm", request(6 + i))
+                .expect("chaos-scoped request");
+        }
+    }
+    // A hot-swap lands a lifecycle event in /events.
+    registry
+        .register("lstm", "v2", &lstm_module(43), &opts)
+        .expect("hot-swap lstm");
+    // Give the SLO watchdog a few ticks so nimble_slo_* gauges exist.
+    let slo_deadline = Instant::now() + Duration::from_secs(5);
+    while router.slo_state().is_none_or(|s| s.is_empty()) {
+        assert!(Instant::now() < slo_deadline, "SLO watchdog never ticked");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // --- /metrics ---
+    let (code, metrics) = get(addr, "/metrics");
+    assert_eq!(code, 200, "/metrics status");
+    for family in [
+        "nimble_serve_requests_total",
+        "nimble_serve_latency_hist_seconds_bucket",
+        "nimble_serve_queue_hist_seconds_bucket",
+        "nimble_obs_dropped_spans_total",
+        "nimble_obs_flight_retained_total",
+        "nimble_slo_burn_rate",
+        "nimble_slo_alert",
+    ] {
+        assert!(metrics.contains(family), "/metrics missing {family}");
+    }
+    let ids = exemplar_ids(&metrics);
+    assert!(
+        !ids.is_empty(),
+        "no exemplars in /metrics despite retained traces"
+    );
+    for id in &ids {
+        let (code, body) = get(addr, &format!("/traces/{id}"));
+        assert_eq!(code, 200, "exemplar trace {id} did not resolve");
+        nimble_obs::json::parse(&body).expect("exemplar trace JSON");
+    }
+    println!(
+        "  /metrics: all families present, {} exemplar ids resolve",
+        ids.len()
+    );
+
+    // --- /traces + /traces/<id> ---
+    let (code, index) = get(addr, "/traces");
+    assert_eq!(code, 200, "/traces status");
+    let doc = nimble_obs::json::parse(&index).expect("/traces JSON");
+    let traces = doc.as_arr().expect("traces array");
+    assert!(!traces.is_empty(), "no retained traces listed");
+    for t in traces {
+        let id = t
+            .get("trace")
+            .and_then(JsonValue::as_u64)
+            .expect("trace id");
+        t.get("model").and_then(JsonValue::as_str).expect("model");
+        t.get("reasons")
+            .and_then(JsonValue::as_str)
+            .expect("reasons");
+        let (code, body) = get(addr, &format!("/traces/{id}"));
+        assert_eq!(code, 200, "listed trace {id} did not resolve");
+        let chrome = nimble_obs::json::parse(&body).expect("chrome trace JSON");
+        let events = chrome
+            .get("traceEvents")
+            .and_then(JsonValue::as_arr)
+            .expect("traceEvents");
+        for ev in events {
+            ev.get("name")
+                .and_then(JsonValue::as_str)
+                .expect("event name");
+            ev.get("ts").and_then(JsonValue::as_f64).expect("event ts");
+        }
+    }
+    println!(
+        "  /traces: {} retained traces, all resolve + parse",
+        traces.len()
+    );
+
+    // --- /events ---
+    let (code, events) = get(addr, "/events");
+    assert_eq!(code, 200, "/events status");
+    let mut kinds = BTreeSet::new();
+    for line in events.lines().filter(|l| !l.is_empty()) {
+        let ev = nimble_obs::json::parse(line).expect("event line JSON");
+        let kind = ev.get("kind").and_then(JsonValue::as_str).expect("kind");
+        ev.get("ts_ns").and_then(JsonValue::as_u64).expect("ts_ns");
+        kinds.insert(kind.to_string());
+    }
+    for kind in ["model_installed", "hot_swap", "replica_added"] {
+        assert!(kinds.contains(kind), "/events missing a {kind} event");
+    }
+    println!("  /events: {} kinds seen: {kinds:?}", kinds.len());
+
+    // --- /status ---
+    let (code, status) = get(addr, "/status");
+    assert_eq!(code, 200, "/status status");
+    assert!(status.contains("lstm"), "/status missing the model row");
+    assert!(
+        status.contains("slowest trace"),
+        "/status missing the slowest-trace column"
+    );
+
+    // --- 404s ---
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/traces/18446744073709551615").0, 404);
+    println!("  /status + 404 routes OK");
+
+    drop(server);
+    router.shutdown();
+    nimble_obs::set_mode(TraceMode::Off);
+    println!("debug_endpoint: all checks passed");
+}

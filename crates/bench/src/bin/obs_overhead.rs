@@ -3,205 +3,42 @@
 //! Gate A — disabled-tracing overhead: the obs hot path with
 //! `NIMBLE_TRACE=off` is a single relaxed atomic load per instrumentation
 //! site. A true obs-free binary does not exist in this workspace (the
-//! instrumentation is compiled in), so the gate interleaves paired
-//! off-mode throughput rounds over the BERT engine workload and requires
-//! their medians to agree within 3% — the bound the ISSUE sets for the
-//! disabled path, demonstrated as "indistinguishable from baseline at the
-//! 3% level". The enabled (`all`) mode is measured and reported alongside
-//! for the record, but not gated: recording cost is workload-dependent.
+//! instrumentation is compiled in), so the gate runs paired off-mode
+//! throughput rounds over the BERT engine workload and requires the
+//! median of the per-pair deltas to stay within 3% — the bound the ISSUE
+//! sets for the disabled path, demonstrated as "indistinguishable from
+//! baseline at the 3% level". The enabled (`all`) mode is measured and
+//! reported alongside for the record, but not gated: recording cost is
+//! workload-dependent.
 //!
 //! Gate B — trace completeness: with tracing on, every request must
-//! surface in the Chrome export. The exported JSON is parsed with a small
-//! hand-written validator (no serde in this workspace), and the gate
-//! requires ≥1 span per request plus exactly one `engine.request` root
-//! per request.
+//! surface in the Chrome export. The exported JSON is parsed with the
+//! in-repo strict parser (`nimble_obs::json`, no serde in this
+//! workspace), and the gate requires ≥1 span per request plus exactly one
+//! `engine.request` root per request — with zero dropped spans
+//! (`nimble_obs_dropped_spans_total` must read 0).
+//!
+//! Gate C — flight-recorder steady-state overhead: `NIMBLE_TRACE=tail`
+//! captures every request's spans into per-request buffers and discards
+//! them at the completion verdict when nothing is interesting. That
+//! always-on path must stay within 3% of `NIMBLE_TRACE=off` (same
+//! paired-delta protocol as gate A), and must drop zero spans while
+//! doing it. Measured through the full serve stack (registry + router),
+//! because the router's terminal accounting is where buffers are
+//! reclaimed — a bare engine loop never finishes a flight buffer and
+//! measures safety-valve churn instead of steady state.
 
 use nimble_bench::harness::Effort;
 use nimble_bench::workload::mrpc_lengths;
 use nimble_core::{compile, CompileOptions, Engine, EngineConfig};
 use nimble_device::DeviceSet;
 use nimble_models::{BertConfig, BertModel};
+use nimble_obs::json::JsonValue;
 use nimble_obs::TraceMode;
 use nimble_vm::{Object, VirtualMachine};
 use rand::SeedableRng;
 use std::sync::Arc;
 use std::time::Instant;
-
-// ---------------------------------------------------------------------------
-// Minimal JSON validator (syntax check + traceEvents element count)
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-    /// Elements seen in the array value of the top-level "traceEvents" key.
-    trace_events: usize,
-}
-
-impl<'a> JsonParser<'a> {
-    fn new(s: &'a str) -> JsonParser<'a> {
-        JsonParser {
-            bytes: s.as_bytes(),
-            pos: 0,
-            trace_events: 0,
-        }
-    }
-
-    fn err(&self, what: &str) -> String {
-        format!("invalid JSON at byte {}: {what}", self.pos)
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, c: u8) -> Result<(), String> {
-        if self.peek() == Some(c) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", c as char)))
-        }
-    }
-
-    fn parse_string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(c @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
-                            out.push(c as char);
-                            self.pos += 1;
-                        }
-                        Some(b'u') => {
-                            self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(c) if c.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => return Err(self.err("bad \\u escape")),
-                                }
-                            }
-                        }
-                        _ => return Err(self.err("bad escape")),
-                    }
-                }
-                Some(c) if c >= 0x20 => {
-                    out.push(c as char);
-                    self.pos += 1;
-                }
-                _ => return Err(self.err("unterminated string")),
-            }
-        }
-    }
-
-    fn parse_number(&mut self) -> Result<(), String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(
-            self.peek(),
-            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
-        ) {
-            self.pos += 1;
-        }
-        if self.pos == start {
-            return Err(self.err("expected number"));
-        }
-        Ok(())
-    }
-
-    fn parse_literal(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{lit}'")))
-        }
-    }
-
-    /// Parse any value; when `count_into_trace_events` is set, this value
-    /// must be an array and its element count is recorded.
-    fn parse_value(&mut self, count_trace_events: bool) -> Result<(), String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'{') => {
-                self.pos += 1;
-                self.skip_ws();
-                if self.peek() == Some(b'}') {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.parse_string()?;
-                    self.skip_ws();
-                    self.expect(b':')?;
-                    self.parse_value(key == "traceEvents")?;
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(self.err("expected ',' or '}'")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                self.pos += 1;
-                self.skip_ws();
-                if self.peek() == Some(b']') {
-                    self.pos += 1;
-                    return Ok(());
-                }
-                loop {
-                    self.parse_value(false)?;
-                    if count_trace_events {
-                        self.trace_events += 1;
-                    }
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(());
-                        }
-                        _ => return Err(self.err("expected ',' or ']'")),
-                    }
-                }
-            }
-            Some(b'"') => self.parse_string().map(|_| ()),
-            Some(b't') => self.parse_literal("true"),
-            Some(b'f') => self.parse_literal("false"),
-            Some(b'n') => self.parse_literal("null"),
-            _ => self.parse_number(),
-        }
-    }
-
-    /// Validate the whole document; returns the traceEvents element count.
-    fn validate(mut self) -> Result<usize, String> {
-        self.parse_value(false)?;
-        self.skip_ws();
-        if self.pos != self.bytes.len() {
-            return Err(self.err("trailing garbage"));
-        }
-        Ok(self.trace_events)
-    }
-}
 
 // ---------------------------------------------------------------------------
 // Workload
@@ -260,9 +97,130 @@ fn throughput(bench: &Bench, n: usize) -> f64 {
     n as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Full serve stack over the same BERT model: buffers begin at router
+/// admission and are reclaimed at the terminal-accounting verdict, which
+/// is the steady state gate C measures.
+struct ServeBench {
+    router: Arc<nimble_serve::Router>,
+    requests: Vec<Vec<Object>>,
+}
+
+fn bert_serve(effort: Effort) -> ServeBench {
+    let model = BertModel::new(BertConfig {
+        layers: 2,
+        hidden: 64,
+        heads: 4,
+        ffn: 256,
+        vocab: 500,
+        max_pos: 128,
+        seed: 42,
+    });
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let requests: Vec<Vec<Object>> = mrpc_lengths(effort.samples, 5)
+        .iter()
+        .map(|&len| {
+            let (tok, pos) = model.inputs(&model.random_tokens(&mut rng, len));
+            vec![Object::tensor(tok), Object::tensor(pos)]
+        })
+        .collect();
+    let registry = Arc::new(nimble_serve::ModelRegistry::new(
+        nimble_serve::RegistryConfig {
+            engine: EngineConfig {
+                workers: 2,
+                queue_capacity: 256,
+                max_batch: 4,
+            },
+            devices: Arc::new(DeviceSet::with_gpu_lanes(2, std::time::Duration::ZERO)),
+            ..nimble_serve::RegistryConfig::default()
+        },
+    ));
+    registry
+        .register("bert", "v1", &model.module(), &CompileOptions::gpu())
+        .expect("register bert");
+    let router = Arc::new(nimble_serve::Router::new(
+        registry,
+        nimble_serve::RouterConfig::default(),
+    ));
+    ServeBench { router, requests }
+}
+
+/// Requests/sec through the router, windowed under the admission queue.
+fn serve_throughput(bench: &ServeBench, n: usize) -> f64 {
+    let start = Instant::now();
+    let mut done = 0usize;
+    while done < n {
+        let window = (n - done).min(128);
+        let tickets: Vec<_> = (0..window)
+            .map(|i| {
+                bench
+                    .router
+                    .submit(
+                        "bert",
+                        bench.requests[(done + i) % bench.requests.len()].clone(),
+                    )
+                    .expect("admit")
+            })
+            .collect();
+        for t in tickets {
+            t.wait().expect("request").result.expect("request run");
+        }
+        done += window;
+    }
+    n as f64 / start.elapsed().as_secs_f64()
+}
+
 fn median(samples: &mut [f64]) -> f64 {
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
     samples[samples.len() / 2]
+}
+
+/// Paired-delta overhead of `candidate` vs `baseline` mode: each round
+/// runs the two modes back to back and yields one relative delta; the
+/// gate statistic is the *median of the per-pair deltas*. Pairing at
+/// round scale cancels machine drift that aggregate per-mode medians do
+/// not — on a shared single-core box the clock frequency and neighbor
+/// load wander by more than the 3% bound over a multi-round window, but
+/// stay put across one adjacent pair, and the median discards rounds a
+/// noise burst split down the middle. Best of 3 attempts; panics when the
+/// median delta never lands under 3%. `round` runs one throughput round
+/// under the currently set trace mode.
+fn paired_gate(
+    name: &str,
+    rounds: usize,
+    baseline: TraceMode,
+    candidate: TraceMode,
+    mut round: impl FnMut() -> f64,
+    mut settle: impl FnMut(),
+) {
+    let mut last_delta = 0.0;
+    for attempt in 1..=3 {
+        let mut deltas = Vec::new();
+        for _ in 0..rounds {
+            // A short unmeasured burst after each mode switch keeps
+            // switch-boundary cold costs (first-touch buffer allocation,
+            // branch predictors retraining on the new mode) out of the
+            // timed leg; they are per-switch artifacts, not steady state.
+            nimble_obs::set_mode(baseline);
+            settle();
+            let b = round();
+            nimble_obs::set_mode(candidate);
+            settle();
+            let c = round();
+            deltas.push((b - c) / b);
+        }
+        last_delta = median(&mut deltas).abs();
+        println!(
+            "  gate {name} attempt {attempt}: median paired delta {:.2}% over {rounds} pairs",
+            last_delta * 100.0
+        );
+        if last_delta < 0.03 {
+            return;
+        }
+    }
+    panic!(
+        "gate {name} overhead gate failed: {:.2}% >= 3%",
+        last_delta * 100.0
+    );
 }
 
 fn main() {
@@ -279,35 +237,49 @@ fn main() {
     nimble_obs::set_mode(TraceMode::Off);
     throughput(&bench, per_round);
 
-    // Gate A: paired off-mode rounds, medians within 3% (best of 3
-    // attempts — single-core CI machines are noisy).
-    let rounds = if full { 9 } else { 5 };
-    let mut passed = false;
-    let mut last_delta = 0.0;
-    for attempt in 1..=3 {
-        let mut base = Vec::new();
-        let mut disabled = Vec::new();
-        for _ in 0..rounds {
-            base.push(throughput(&bench, per_round));
-            disabled.push(throughput(&bench, per_round));
-        }
-        let b = median(&mut base);
-        let d = median(&mut disabled);
-        last_delta = (b - d).abs() / b;
-        println!(
-            "  gate A attempt {attempt}: baseline {b:.1} req/s, obs-disabled {d:.1} req/s, delta {:.2}%",
-            last_delta * 100.0
-        );
-        if last_delta < 0.03 {
-            passed = true;
-            break;
-        }
-    }
-    assert!(
-        passed,
-        "tracing-disabled overhead gate failed: {:.2}% >= 3%",
-        last_delta * 100.0
+    // Gate A: paired off-mode rounds, median paired delta within 3%
+    // (best of 3 attempts — single-core CI machines are noisy). Leg
+    // length trades off two noise sources: legs must be long enough that
+    // scheduler hiccups don't dominate a single leg, yet short enough
+    // that machine drift stays flat across one pair. ~0.25s legs with a
+    // few dozen pairs is the empirical sweet spot on a shared box.
+    let (leg, rounds) = if full { (224, 31) } else { (96, 11) };
+    paired_gate(
+        "A (off vs off)",
+        rounds,
+        TraceMode::Off,
+        TraceMode::Off,
+        || throughput(&bench, leg),
+        || {
+            throughput(&bench, 16);
+        },
     );
+
+    // Gate C: the always-on flight recorder (tail mode) vs off, same
+    // protocol, through the serve stack. Every request allocates a
+    // per-request buffer at admission, records its spans, and the
+    // terminal-accounting verdict discards them in steady state — that
+    // round trip is what must stay under 3%.
+    let serve = bert_serve(effort);
+    nimble_obs::set_mode(TraceMode::Off);
+    serve_throughput(&serve, per_round); // warm the serve stack
+    nimble_obs::reset();
+    paired_gate(
+        "C (tail vs off)",
+        rounds,
+        TraceMode::Off,
+        TraceMode::Tail,
+        || serve_throughput(&serve, leg),
+        || {
+            serve_throughput(&serve, 16);
+        },
+    );
+    assert_eq!(
+        nimble_obs::dropped_spans_total(),
+        0,
+        "flight recorder dropped spans during gate C"
+    );
+    serve.router.shutdown();
 
     // Informational: recording cost with every trace sampled.
     nimble_obs::set_mode(TraceMode::All);
@@ -329,24 +301,31 @@ fn main() {
         t.wait().expect("request").result.expect("request run");
     }
     let json = nimble_obs::export::chrome_trace();
-    let events = JsonParser::new(&json)
-        .validate()
-        .expect("chrome trace JSON");
-    let roots = json.matches("\"name\":\"engine.request\"").count();
+    let doc = nimble_obs::json::parse(&json).expect("chrome trace JSON");
+    let events = doc
+        .get("traceEvents")
+        .and_then(JsonValue::as_arr)
+        .expect("traceEvents array");
+    let roots = events
+        .iter()
+        .filter(|e| e.get("name").and_then(JsonValue::as_str) == Some("engine.request"))
+        .count();
     println!(
-        "  gate B: {events} events for {k} requests, {roots} engine.request roots, {} bytes",
+        "  gate B: {} events for {k} requests, {roots} engine.request roots, {} bytes",
+        events.len(),
         json.len()
     );
     assert!(
-        events >= k,
-        "trace completeness gate failed: {events} events < {k} requests"
+        events.len() >= k,
+        "trace completeness gate failed: {} events < {k} requests",
+        events.len()
     );
     assert_eq!(
         roots, k,
         "expected exactly one engine.request root per request"
     );
     assert_eq!(
-        nimble_obs::dropped_spans(),
+        nimble_obs::dropped_spans_total(),
         0,
         "spans dropped during gate B"
     );

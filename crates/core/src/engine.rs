@@ -1050,9 +1050,18 @@ impl Worker<'_> {
         self.counters.batches_formed.fetch_add(1, Ordering::Relaxed);
         let used: u64 = keys.iter().map(|&k| k as u64).sum();
         self.counters.used_units.fetch_add(used, Ordering::Relaxed);
+        let padded = (bucket * size) as u64 - used;
         self.counters
             .padded_units
-            .fetch_add((bucket * size) as u64 - used, Ordering::Relaxed);
+            .fetch_add(padded, Ordering::Relaxed);
+        // A batch that is mostly padding is a tail-latency suspect (its
+        // members paid for shape units nobody used): pin every member's
+        // flight buffer so the traces survive tail-based retention.
+        if padded.saturating_mul(2) > (bucket * size) as u64 {
+            for (p, _) in &group {
+                nimble_obs::flight::pin(p.req.ctx, nimble_obs::flight::PIN_PAD_BATCH);
+            }
+        }
         // The batch ran once: its execution wall time is added once, not
         // per member, so utilization counters track real device time.
         self.counters

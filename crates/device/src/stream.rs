@@ -8,11 +8,19 @@
 
 use crossbeam::channel::{unbounded, Sender};
 use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 type Job = Box<dyn FnOnce() + Send>;
+
+/// Queue items: kernels join the outstanding count waiters block on;
+/// flush barriers run on the stream thread but are invisible to
+/// [`GpuStream::synchronize`] waiters.
+enum Item {
+    Kernel(Job),
+    Flush,
+}
 
 #[derive(Debug, Default)]
 struct Outstanding {
@@ -22,9 +30,13 @@ struct Outstanding {
 
 /// Handle to the stream worker.
 pub struct GpuStream {
-    sender: Sender<Job>,
+    sender: Sender<Item>,
     outstanding: Arc<Outstanding>,
     launches: AtomicU64,
+    /// A sampled-context kernel ran since the last synchronize barrier,
+    /// so the stream thread may hold staged flight-recorder spans (see
+    /// [`GpuStream::synchronize`]).
+    traced_dirty: Arc<AtomicBool>,
     worker: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -49,13 +61,22 @@ impl GpuStream {
     /// of host load, which is what concurrency experiments on a small host
     /// need to expose request overlap.
     pub fn spawn_with_latency(latency: Duration) -> GpuStream {
-        let (sender, receiver) = unbounded::<Job>();
+        let (sender, receiver) = unbounded::<Item>();
         let outstanding = Arc::new(Outstanding::default());
         let o2 = Arc::clone(&outstanding);
         let worker = std::thread::Builder::new()
             .name("nimble-sim-gpu".into())
             .spawn(move || {
-                for job in receiver.iter() {
+                for item in receiver.iter() {
+                    let job = match item {
+                        Item::Kernel(job) => job,
+                        Item::Flush => {
+                            // Barrier: publish staged spans; never counted,
+                            // so it must not touch `outstanding`.
+                            nimble_obs::flush_staged();
+                            continue;
+                        }
+                    };
                     job();
                     if latency > Duration::ZERO {
                         // Device-occupancy sleep happens before the job
@@ -74,6 +95,7 @@ impl GpuStream {
             sender,
             outstanding,
             launches: AtomicU64::new(0),
+            traced_dirty: Arc::new(AtomicBool::new(false)),
             worker: Some(worker),
         }
     }
@@ -81,16 +103,29 @@ impl GpuStream {
     /// Enqueue a kernel job; returns immediately. The launcher's trace
     /// context rides along so the device-side execution span parents under
     /// the launching kernel span despite running on the stream thread.
+    ///
+    /// The context is installed *sticky* ([`nimble_obs::set_current`])
+    /// rather than through an `enter` guard: a stream thread runs long
+    /// same-trace kernel bursts, and a guard would flush the thread's
+    /// staged flight-recorder spans on every job. Publication is instead
+    /// guaranteed by [`GpuStream::synchronize`], which runs a
+    /// [`nimble_obs::flush_staged`] barrier through the queue — behind
+    /// every launched kernel — before any waiter proceeds.
     pub fn launch(&self, job: impl FnOnce() + Send + 'static) {
         self.launches.fetch_add(1, Ordering::Relaxed);
         {
             let mut c = self.outstanding.count.lock();
             *c += 1;
         }
-        let ctx = nimble_obs::current();
-        let job: Job = if ctx.is_sampled() {
+        let job: Job = if nimble_obs::enabled() {
+            // Installed even when unsampled: it clears a stale sticky
+            // context a previous traced job left on the stream thread.
+            let ctx = nimble_obs::current();
+            if ctx.is_sampled() {
+                self.traced_dirty.store(true, Ordering::Release);
+            }
             Box::new(move || {
-                let _g = nimble_obs::enter(ctx);
+                nimble_obs::set_current(ctx);
                 let _s = nimble_obs::span_cat("gpu.kernel", nimble_obs::Category::Device);
                 job();
             })
@@ -98,11 +133,27 @@ impl GpuStream {
             Box::new(job)
         };
         // The send itself is the (real) launch overhead.
-        self.sender.send(job).expect("GPU stream thread terminated");
+        self.sender
+            .send(Item::Kernel(job))
+            .expect("GPU stream thread terminated");
     }
 
-    /// Block until every enqueued job has retired.
+    /// Block until every enqueued kernel job has retired.
     pub fn synchronize(&self) {
+        // Sticky-context flush barrier: queue a job that publishes the
+        // stream thread's staged flight-recorder spans. FIFO order puts it
+        // behind every launched kernel; it does NOT join the wait set —
+        // the waiter needs the kernels, not the publication, and blocking
+        // on it would add a wake round trip per request. Publication
+        // completes concurrently with the waiter's own post-sync
+        // bookkeeping; retained-trace collection is deferred to read time
+        // (`nimble-obs` pending ring), which is what makes the
+        // fire-and-forget safe. `traced_dirty` skips the send entirely
+        // when no traced kernel ran since the last barrier, so untraced
+        // steady state never wakes an idle stream thread.
+        if self.traced_dirty.swap(false, Ordering::AcqRel) {
+            let _ = self.sender.send(Item::Flush);
+        }
         let mut c = self.outstanding.count.lock();
         while *c > 0 {
             self.outstanding.cond.wait(&mut c);
@@ -126,7 +177,7 @@ impl Drop for GpuStream {
     fn drop(&mut self) {
         // Close the channel, then join the worker so jobs never outlive the
         // stream (C-DTOR: teardown is infallible and bounded by the queue).
-        let (dummy, _) = unbounded::<Job>();
+        let (dummy, _) = unbounded::<Item>();
         let real = std::mem::replace(&mut self.sender, dummy);
         drop(real);
         if let Some(w) = self.worker.take() {

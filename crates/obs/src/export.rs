@@ -10,12 +10,20 @@
 use std::fmt::Write as _;
 use std::sync::{Arc, Mutex, OnceLock, Weak};
 
-use crate::{dropped_spans, mode, recorded_spans, snapshot, TraceMode};
+use crate::{
+    dropped_spans, dropped_spans_total, flight, mode, recorded_spans, snapshot, SpanRecord,
+    TraceMode,
+};
 
 // ---------------------------------------------------------------------------
 // Chrome trace events
 
-fn escape_json(s: &str, out: &mut String) {
+/// Append `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Every dynamic string the obs stack embeds in
+/// JSON — interned span names, model names, event fields — goes through
+/// here; interned names in particular carry kernel identifiers like
+/// `main_b{bucket}` and arbitrary user strings.
+pub(crate) fn escape_json(s: &str, out: &mut String) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -40,6 +48,15 @@ fn escape_json(s: &str, out: &mut String) {
 pub fn chrome_trace() -> String {
     let mut spans = snapshot();
     spans.sort_by_key(|s| (s.start_ns, s.id));
+    chrome_trace_for(&spans, dropped_spans())
+}
+
+/// Render an explicit span list as a Chrome trace-event JSON document —
+/// the shared builder behind [`chrome_trace`] and the flight recorder's
+/// per-retained-trace export. All names go through JSON escaping, so
+/// interned dynamic names with quotes/backslashes/control characters
+/// stay valid JSON.
+pub fn chrome_trace_for(spans: &[SpanRecord], dropped: u64) -> String {
     let mut out = String::with_capacity(64 + spans.len() * 160);
     out.push_str("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
     for (i, s) in spans.iter().enumerate() {
@@ -67,11 +84,7 @@ pub fn chrome_trace() -> String {
             s.arg
         );
     }
-    let _ = write!(
-        out,
-        "],\"otherData\":{{\"droppedSpans\":{}}}}}",
-        dropped_spans()
-    );
+    let _ = write!(out, "],\"otherData\":{{\"droppedSpans\":{dropped}}}}}");
     out
 }
 
@@ -141,6 +154,29 @@ impl PromBuf {
         }
     }
 
+    /// Emit one integer sample line with an OpenMetrics exemplar suffix:
+    /// `name{labels} value # {exemplar_labels} exemplar_value`. Used by
+    /// histogram buckets to link a bucket to the trace id of its most
+    /// recent retained flight-recorder sample.
+    pub fn sample_with_exemplar(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        value: u64,
+        exemplar_labels: &[(&str, &str)],
+        exemplar_value: f64,
+    ) {
+        self.out.push_str(name);
+        self.write_labels(labels);
+        let _ = write!(self.out, " {value} # ");
+        self.write_labels(exemplar_labels);
+        if exemplar_value.is_finite() {
+            let _ = writeln!(self.out, " {exemplar_value}");
+        } else {
+            let _ = writeln!(self.out, " NaN");
+        }
+    }
+
     /// Finished exposition text.
     pub fn finish(self) -> String {
         self.out
@@ -189,16 +225,61 @@ pub fn prometheus() -> String {
     );
     buf.sample_u64("nimble_obs_spans_dropped_total", &[], dropped_spans());
     buf.header(
+        "nimble_obs_dropped_spans_total",
+        "Spans dropped anywhere (thread-ring overflow + flight request-buffer overflow) since last reset",
+        "counter",
+    );
+    buf.sample_u64("nimble_obs_dropped_spans_total", &[], dropped_spans_total());
+    buf.header(
         "nimble_obs_trace_mode",
-        "Tracing mode (0=off, 1=all, N=sampled 1-in-N)",
+        "Tracing mode (0=off, 1=all, 2=tail, N=sampled 1-in-N; see nimble_obs_tail_multiplier)",
         "gauge",
     );
     let mode_val = match mode() {
         TraceMode::Off => 0,
         TraceMode::All => 1,
+        TraceMode::Tail => 2,
         TraceMode::Sampled(n) => n,
     };
     buf.sample_u64("nimble_obs_trace_mode", &[], mode_val);
+    if mode() == TraceMode::Tail {
+        buf.header(
+            "nimble_obs_tail_multiplier",
+            "Rolling-p99 multiplier of the tail retention threshold",
+            "gauge",
+        );
+        buf.sample_f64("nimble_obs_tail_multiplier", &[], flight::tail_multiplier());
+    }
+    buf.header(
+        "nimble_obs_flight_retained_total",
+        "Traces retained by the flight recorder since last reset",
+        "counter",
+    );
+    buf.sample_u64(
+        "nimble_obs_flight_retained_total",
+        &[],
+        flight::retained_total(),
+    );
+    buf.header(
+        "nimble_obs_flight_active_buffers",
+        "In-flight per-request span buffers currently registered",
+        "gauge",
+    );
+    buf.sample_u64(
+        "nimble_obs_flight_active_buffers",
+        &[],
+        flight::active_buffers() as u64,
+    );
+    buf.header(
+        "nimble_obs_events_total",
+        "Structured lifecycle events emitted since last reset",
+        "counter",
+    );
+    buf.sample_u64(
+        "nimble_obs_events_total",
+        &[],
+        crate::events::events_total(),
+    );
 
     let live: Vec<Arc<Collector>> = {
         let mut reg = collectors().lock().unwrap();
@@ -240,6 +321,41 @@ mod tests {
         assert!(json.contains("droppedSpans"));
         set_mode(TraceMode::Off);
         reset();
+    }
+
+    #[test]
+    fn chrome_trace_escapes_adversarial_interned_names() {
+        let _l = lock();
+        set_mode(TraceMode::All);
+        crate::reset();
+        // Kernel-style and hostile dynamic names: braces, quotes,
+        // backslashes, raw control bytes, non-ASCII.
+        let names = [
+            "main_b{bucket}",
+            "gemm \"8x8\" \\packed\\",
+            "ctl\u{1}\u{1f} tab\t nl\n cr\r",
+            "unicode é😀 end",
+        ];
+        let ctx = start_trace();
+        {
+            let _g = enter(ctx);
+            for n in names {
+                drop(span_full(crate::intern(n), Category::Kernel, 1));
+            }
+        }
+        let json = chrome_trace();
+        let v = crate::json::parse(&json).expect("chrome export must be valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        for n in names {
+            assert!(
+                events
+                    .iter()
+                    .any(|e| e.get("name").unwrap().as_str() == Some(n)),
+                "name {n:?} did not round-trip"
+            );
+        }
+        set_mode(TraceMode::Off);
+        crate::reset();
     }
 
     #[test]

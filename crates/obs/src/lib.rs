@@ -21,15 +21,24 @@
 //!   inherits the decision through the thread-local [`SpanContext`]
 //!   (explicitly carried across queues/threads with [`current`] +
 //!   [`enter`]).
-//! * **Sampling switch**: `NIMBLE_TRACE=off|sampled:<N>|all` (also
-//!   settable programmatically with [`set_mode`]). The disabled fast path
-//!   of every instrumentation site is a single relaxed atomic load — no
-//!   clock read, no TLS access, no allocation.
+//! * **Sampling switch**: `NIMBLE_TRACE=off|sampled:<N>|all|tail[:mult]`
+//!   (also settable programmatically with [`set_mode`]). The disabled
+//!   fast path of every instrumentation site is a single relaxed atomic
+//!   load — no clock read, no TLS access, no allocation.
+//! * **Tail mode** ([`TraceMode::Tail`]) inverts the sampling decision:
+//!   every request records into a bounded per-request buffer (module
+//!   [`flight`]) and the keep/drop verdict is rendered at request
+//!   *completion* — retain p99 outliers, sheds, requeues, chaos-episode
+//!   and specialize-triggering requests; drop the steady state. See the
+//!   [`flight`] module docs for the verdict table.
 //!
 //! Span names must be `&'static str` so records stay plain words; dynamic
 //! names (kernel names, model names) are interned once with [`intern`].
 
+pub mod events;
 pub mod export;
+pub mod flight;
+pub mod json;
 
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -53,6 +62,11 @@ pub enum TraceMode {
     Sampled(u64),
     /// Record every trace.
     All,
+    /// Flight-recorder mode: capture every trace into a per-request
+    /// buffer and decide keep/drop at completion (see [`flight`]). The
+    /// rolling-quantile multiplier is set separately with
+    /// [`flight::set_tail_multiplier`].
+    Tail,
 }
 
 /// Coarse span categories, mirrored into the Chrome export's `cat` field
@@ -153,6 +167,9 @@ impl SpanContext {
 const MODE_UNINIT: u64 = u64::MAX;
 const MODE_OFF: u64 = 0;
 const MODE_ALL: u64 = 1;
+/// Tail-based flight-recorder mode (distinct from any sampled-1-in-N
+/// value a caller could plausibly configure).
+const MODE_TAIL: u64 = u64::MAX - 1;
 
 static MODE: AtomicU64 = AtomicU64::new(MODE_UNINIT);
 static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
@@ -168,15 +185,28 @@ fn parse_env_mode() -> u64 {
             match v.as_str() {
                 "" | "off" | "0" | "false" | "none" => MODE_OFF,
                 "all" | "on" | "1" | "true" => MODE_ALL,
-                _ => match v
-                    .strip_prefix("sampled:")
-                    .and_then(|n| n.parse::<u64>().ok())
-                {
-                    Some(0) => MODE_OFF,
-                    Some(1) => MODE_ALL,
-                    Some(n) => n,
-                    None => MODE_OFF,
-                },
+                "tail" => MODE_TAIL,
+                _ => {
+                    if let Some(mult) = v.strip_prefix("tail:") {
+                        match mult.parse::<f64>() {
+                            Ok(m) if m.is_finite() && m > 0.0 => {
+                                flight::set_tail_multiplier(m);
+                                MODE_TAIL
+                            }
+                            _ => MODE_TAIL,
+                        }
+                    } else {
+                        match v
+                            .strip_prefix("sampled:")
+                            .and_then(|n| n.parse::<u64>().ok())
+                        {
+                            Some(0) => MODE_OFF,
+                            Some(1) => MODE_ALL,
+                            Some(n) => n,
+                            None => MODE_OFF,
+                        }
+                    }
+                }
             }
         }
         Err(_) => MODE_OFF,
@@ -209,9 +239,12 @@ pub fn set_mode(mode: TraceMode) {
     let v = match mode {
         TraceMode::Off => MODE_OFF,
         TraceMode::All => MODE_ALL,
+        TraceMode::Tail => MODE_TAIL,
         TraceMode::Sampled(n) => match n {
             0 => MODE_OFF,
             1 => MODE_ALL,
+            // Reserved words can't be expressed as a sampling ratio.
+            n if n >= MODE_TAIL => MODE_TAIL - 1,
             n => n,
         },
     };
@@ -223,7 +256,67 @@ pub fn mode() -> TraceMode {
     match mode_raw() {
         MODE_OFF => TraceMode::Off,
         MODE_ALL => TraceMode::All,
+        MODE_TAIL => TraceMode::Tail,
         n => TraceMode::Sampled(n),
+    }
+}
+
+/// Span granularity. `Ops` (the default) records spans around units of
+/// real work — kernels, shape functions, allocations, device copies —
+/// while skipping register-bookkeeping VM instructions whose execution
+/// time (~100-250ns) is comparable to the cost of the span itself.
+/// `Instr` records every VM instruction; use it when stepping through a
+/// single request, not in steady-state serving.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceDetail {
+    Ops,
+    Instr,
+}
+
+const DETAIL_UNINIT: u64 = 0;
+const DETAIL_OPS: u64 = 1;
+const DETAIL_INSTR: u64 = 2;
+
+static DETAIL: AtomicU64 = AtomicU64::new(DETAIL_UNINIT);
+
+fn detail_raw() -> u64 {
+    let d = DETAIL.load(Ordering::Relaxed);
+    if d != DETAIL_UNINIT {
+        return d;
+    }
+    let parsed = match std::env::var("NIMBLE_TRACE_DETAIL") {
+        Ok(v) => match v.to_ascii_lowercase().as_str() {
+            "instr" | "instructions" | "full" => DETAIL_INSTR,
+            _ => DETAIL_OPS,
+        },
+        Err(_) => DETAIL_OPS,
+    };
+    DETAIL.store(parsed, Ordering::Relaxed);
+    parsed
+}
+
+/// Whether instruction-level spans are requested (see [`TraceDetail`]).
+/// Instrumentation sites cache this per scope, not per span.
+#[inline]
+pub fn detail_instr() -> bool {
+    detail_raw() == DETAIL_INSTR
+}
+
+/// Override the span granularity (tests and debugging; production uses
+/// the `NIMBLE_TRACE_DETAIL` environment variable).
+pub fn set_detail(detail: TraceDetail) {
+    let v = match detail {
+        TraceDetail::Ops => DETAIL_OPS,
+        TraceDetail::Instr => DETAIL_INSTR,
+    };
+    DETAIL.store(v, Ordering::Relaxed);
+}
+
+/// The current span granularity.
+pub fn detail() -> TraceDetail {
+    match detail_raw() {
+        DETAIL_INSTR => TraceDetail::Instr,
+        _ => TraceDetail::Ops,
     }
 }
 
@@ -232,15 +325,95 @@ fn epoch() -> &'static Instant {
     EPOCH.get_or_init(Instant::now)
 }
 
+/// Calibrated raw-TSC clock. `clock_gettime` through the vDSO costs
+/// ~30ns; two calls per span across hundreds of spans per request is the
+/// single largest term in the tracing overhead budget, so span timestamps
+/// read the TSC directly (~7ns) and convert with a fixed-point
+/// nanoseconds-per-tick factor measured once against `Instant` at first
+/// use. Falls back to `Instant` off x86_64 or when calibration fails.
+#[cfg(target_arch = "x86_64")]
+#[inline]
+fn rdtsc() -> u64 {
+    // SAFETY: RDTSC is unprivileged baseline x86_64.
+    unsafe { core::arch::x86_64::_rdtsc() }
+}
+
+/// TSC calibration: ns-per-tick in 2^24 fixed point, and the tick base of
+/// the trace epoch. `TSC_MULT == 0` means uncalibrated (first call does a
+/// one-time spin) and `u64::MAX` means the TSC is unusable (fall back to
+/// `Instant`). Plain atomics rather than a `OnceLock`: `now_ns` runs
+/// twice per span, and the fast path must be two relaxed loads plus the
+/// multiply.
+#[cfg(target_arch = "x86_64")]
+static TSC_MULT: AtomicU64 = AtomicU64::new(0);
+#[cfg(target_arch = "x86_64")]
+static TSC_BASE: AtomicU64 = AtomicU64::new(0);
+
+#[cfg(target_arch = "x86_64")]
+#[cold]
+fn tsc_calibrate() -> u64 {
+    // One-time ~2ms spin against the OS clock; 2ms bounds the frequency
+    // error near the vDSO clock resolution (~10ppm), far below what span
+    // durations can resolve.
+    let t0 = Instant::now();
+    let c0 = rdtsc();
+    while t0.elapsed() < std::time::Duration::from_millis(2) {
+        std::hint::spin_loop();
+    }
+    let dt = t0.elapsed().as_nanos();
+    let dc = rdtsc().wrapping_sub(c0) as u128;
+    let mult = (dt << 24).checked_div(dc).unwrap_or(0);
+    let mult = if mult == 0 || mult >= u64::MAX as u128 {
+        u64::MAX
+    } else {
+        mult as u64
+    };
+    TSC_BASE.store(c0, Ordering::Relaxed);
+    // Publish the multiplier last; racing threads may calibrate twice,
+    // converging on one base/mult pair (store order is base-then-mult and
+    // readers tolerate a torn pair only as a transiently skewed epoch).
+    TSC_MULT.store(mult, Ordering::Release);
+    mult
+}
+
 /// Nanoseconds since the process trace epoch (first obs use). All span
 /// timestamps share this clock.
 #[inline]
 pub fn now_ns() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        let mut mult = TSC_MULT.load(Ordering::Relaxed);
+        if mult == 0 {
+            mult = tsc_calibrate();
+        }
+        if mult != u64::MAX {
+            let d = rdtsc().wrapping_sub(TSC_BASE.load(Ordering::Relaxed));
+            return ((d as u128 * mult as u128) >> 24) as u64;
+        }
+    }
     epoch().elapsed().as_nanos() as u64
 }
 
+/// Span ids per block a thread claims from the global counter at a time.
+/// Ids stay process-unique (the counter is monotone, never reset); the
+/// hot path is a thread-local increment instead of a shared `fetch_add`
+/// per span.
+const SPAN_ID_BLOCK: u64 = 256;
+
 fn next_span_id() -> u64 {
-    NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed)
+    thread_local! {
+        static BLOCK: Cell<(u64, u64)> = const { Cell::new((0, 0)) };
+    }
+    BLOCK.with(|b| {
+        let (next, end) = b.get();
+        if next < end {
+            b.set((next + 1, end));
+            return next;
+        }
+        let start = NEXT_SPAN_ID.fetch_add(SPAN_ID_BLOCK, Ordering::Relaxed);
+        b.set((start + 1, start + SPAN_ID_BLOCK));
+        start
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -332,27 +505,11 @@ impl ThreadBuf {
         if self.gen.load(Ordering::Acquire) != g {
             return;
         }
+        // SAFETY of the decode: generation unchanged across the read, so
+        // every slot below `n` holds a fully published record whose name
+        // words came from a `&'static str` (literal or interned leak).
         for rec in raw {
-            // SAFETY: generation unchanged across the read, so every slot
-            // below `n` holds a fully published record whose name words
-            // came from a `&'static str` (literal or interned leak).
-            let name: &'static str = unsafe {
-                std::str::from_utf8_unchecked(std::slice::from_raw_parts(
-                    rec[5] as *const u8,
-                    rec[6] as usize,
-                ))
-            };
-            out.push(SpanRecord {
-                id: rec[0],
-                parent: rec[1],
-                trace: rec[2],
-                start_ns: rec[3],
-                dur_ns: rec[4],
-                name,
-                cat: Category::from_u8((rec[7] >> 56) as u8),
-                arg: rec[7] & ((1u64 << 56) - 1),
-                tid: self.tid,
-            });
+            out.push(decode_record(rec, self.tid));
         }
     }
 }
@@ -389,20 +546,56 @@ fn push_record(
     start_ns: u64,
     end_ns: u64,
     arg: u64,
+    staged: bool,
 ) {
     let meta = ((cat as u64) << 56) | (arg & ((1u64 << 56) - 1));
-    with_local_buf(|buf| {
-        buf.push([
-            id,
-            parent,
-            trace,
-            start_ns,
-            end_ns.saturating_sub(start_ns),
-            name.as_ptr() as u64,
-            name.len() as u64,
-            meta,
-        ]);
-    });
+    let rec = [
+        id,
+        parent,
+        trace,
+        start_ns,
+        end_ns.saturating_sub(start_ns),
+        name.as_ptr() as u64,
+        name.len() as u64,
+        meta,
+    ];
+    // Tail mode routes spans to their request's flight buffer; traces
+    // without one (bare roots, already-finished requests) fall through to
+    // the thread rings so they still record somewhere. A record pushed
+    // while the thread is *inside* the trace's span stack may be staged
+    // thread-locally (the stack-unwind hooks flush it); anything else —
+    // bare roots, cross-thread `record_under`/`record_root` intervals —
+    // publishes immediately, because no unwind on this thread follows.
+    if mode_raw() == MODE_TAIL && flight::try_push(trace, rec, staged) {
+        return;
+    }
+    with_local_buf(|buf| buf.push(rec));
+}
+
+/// Decode one raw record into a [`SpanRecord`].
+///
+/// # Safety contract (internal)
+/// The name words must have been produced by [`push_record`] from a
+/// `&'static str` (literal or [`intern`] leak) — callers only hand this
+/// fully published records.
+pub(crate) fn decode_record(rec: [u64; WORDS], tid: u64) -> SpanRecord {
+    let name: &'static str = unsafe {
+        std::str::from_utf8_unchecked(std::slice::from_raw_parts(
+            rec[5] as *const u8,
+            rec[6] as usize,
+        ))
+    };
+    SpanRecord {
+        id: rec[0],
+        parent: rec[1],
+        trace: rec[2],
+        start_ns: rec[3],
+        dur_ns: rec[4],
+        name,
+        cat: Category::from_u8((rec[7] >> 56) as u8),
+        arg: rec[7] & ((1u64 << 56) - 1),
+        tid,
+    }
 }
 
 /// Decode every span recorded since the last [`reset`], across all
@@ -442,10 +635,18 @@ pub fn recorded_spans() -> u64 {
         .sum()
 }
 
+/// Spans dropped anywhere since the last [`reset`]: thread-ring overflow
+/// plus flight-recorder request-buffer overflow. This is the
+/// `nimble_obs_dropped_spans_total` exposition value.
+pub fn dropped_spans_total() -> u64 {
+    dropped_spans() + flight::flight_dropped()
+}
+
 /// Discard all recorded spans (bumps the generation; thread buffers clear
-/// lazily on their next record).
+/// lazily on their next record) and clear all flight-recorder state.
 pub fn reset() {
     GENERATION.fetch_add(1, Ordering::AcqRel);
+    flight::reset();
 }
 
 // ---------------------------------------------------------------------------
@@ -472,6 +673,16 @@ pub fn start_trace() -> SpanContext {
             trace: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
             span: next_span_id(),
         },
+        MODE_TAIL => {
+            // Flight-recorder mode: every request records; the keep/drop
+            // decision waits for the terminal verdict (`flight::finish`).
+            let trace = NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed);
+            flight::begin(trace);
+            SpanContext {
+                trace,
+                span: next_span_id(),
+            }
+        }
         n => {
             if SAMPLE_COUNTER
                 .fetch_add(1, Ordering::Relaxed)
@@ -501,7 +712,13 @@ pub struct ContextGuard {
 impl Drop for ContextGuard {
     fn drop(&mut self) {
         if self.active {
-            CURRENT.with(|c| c.set(self.prev));
+            let cur = CURRENT.with(|c| c.replace(self.prev));
+            // Leaving an adopted trace (a worker finishing a request):
+            // publish any staged flight-recorder spans before the request
+            // can reach its terminal verdict on another thread.
+            if mode_raw() == MODE_TAIL && cur.is_sampled() && cur.trace != self.prev.trace {
+                flight::flush_thread(cur.trace);
+            }
         }
     }
 }
@@ -518,6 +735,29 @@ pub fn enter(ctx: SpanContext) -> ContextGuard {
     }
     let prev = CURRENT.with(|c| c.replace(ctx));
     ContextGuard { prev, active: true }
+}
+
+/// Overwrite the calling thread's context with no restore guard — for
+/// executor threads (device-lane workers) that process a FIFO of jobs,
+/// each carrying its own context, and have no frame to unwind to. Sticky
+/// contexts let consecutive same-trace jobs skip the per-job
+/// flush-and-restore an [`enter`] guard would pay; the executor must pair
+/// this with a [`flush_staged`] barrier its completion-waiters run behind
+/// (see `GpuStream::synchronize`), since no guard drop will publish the
+/// thread's staged spans.
+pub fn set_current(ctx: SpanContext) {
+    CURRENT.with(|c| c.set(ctx));
+}
+
+/// Publish the calling thread's staged flight-recorder spans, whatever
+/// trace they belong to. The completion-barrier half of the sticky-
+/// context protocol (see [`set_current`]): run this on the executor
+/// thread after the jobs whose spans must be visible, before their
+/// completion is signalled.
+pub fn flush_staged() {
+    if mode_raw() == MODE_TAIL {
+        flight::flush_thread_any();
+    }
 }
 
 /// A live span: measures creation-to-drop and records itself into the
@@ -572,6 +812,10 @@ impl Drop for Span {
     fn drop(&mut self) {
         if self.active {
             let end = now_ns();
+            // Staged iff the restored context still belongs to this trace
+            // (a parent span or entered guard remains on this thread, and
+            // its own unwind will flush); a bare root restoring to no
+            // context publishes immediately instead.
             push_record(
                 self.trace,
                 self.id,
@@ -581,6 +825,7 @@ impl Drop for Span {
                 self.start_ns,
                 end,
                 self.arg,
+                self.prev.trace == self.trace,
             );
             CURRENT.with(|c| c.set(self.prev));
         }
@@ -605,17 +850,23 @@ pub fn span_full(name: &'static str, cat: Category, arg: u64) -> Span {
     if !enabled() {
         return Span::INERT;
     }
-    let parent = CURRENT.with(|c| c.get());
-    if !parent.is_sampled() {
-        return Span::INERT;
-    }
-    let id = next_span_id();
-    CURRENT.with(|c| {
+    // One TLS access for the read-check-update: this path runs for every
+    // span of every request in tail/all mode.
+    let (parent, id) = CURRENT.with(|c| {
+        let parent = c.get();
+        if !parent.is_sampled() {
+            return (parent, 0);
+        }
+        let id = next_span_id();
         c.set(SpanContext {
             trace: parent.trace,
             span: id,
-        })
+        });
+        (parent, id)
     });
+    if id == 0 {
+        return Span::INERT;
+    }
     Span {
         active: true,
         trace: parent.trace,
@@ -627,6 +878,19 @@ pub fn span_full(name: &'static str, cat: Category, arg: u64) -> Span {
         arg,
         prev: parent,
     }
+}
+
+/// [`span_full`] gated on [`TraceDetail::Instr`]: inert at the default
+/// `Ops` granularity. For fine-grained sub-phase spans (kernel packing
+/// loops, per-instruction VM steps) whose individual durations sit near
+/// the cost of the span itself — recorded only when someone is actively
+/// stepping through a request with `NIMBLE_TRACE_DETAIL=instr`.
+#[inline]
+pub fn span_detail(name: &'static str, cat: Category, arg: u64) -> Span {
+    if !detail_instr() {
+        return Span::INERT;
+    }
+    span_full(name, cat, arg)
 }
 
 /// Like [`span_full`], but when the thread has *no* context at all, make
@@ -674,6 +938,7 @@ pub fn record_under(
         return 0;
     }
     let id = next_span_id();
+    let staged = CURRENT.with(|c| c.get()).trace == parent.trace;
     push_record(
         parent.trace,
         id,
@@ -683,6 +948,7 @@ pub fn record_under(
         start_ns,
         end_ns,
         arg,
+        staged,
     );
     id
 }
@@ -707,7 +973,10 @@ pub fn record_root(
     if !enabled() || !ctx.is_sampled() {
         return;
     }
-    push_record(ctx.trace, ctx.span, 0, name, cat, start_ns, end_ns, arg);
+    let staged = CURRENT.with(|c| c.get()).trace == ctx.trace;
+    push_record(
+        ctx.trace, ctx.span, 0, name, cat, start_ns, end_ns, arg, staged,
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -842,6 +1111,122 @@ mod tests {
         assert_eq!(w.parent, ctx.span);
         assert_eq!(w.arg, 3);
         set_mode(TraceMode::Off);
+    }
+
+    #[test]
+    fn tail_mode_retains_by_verdict() {
+        let _l = lock();
+        set_mode(TraceMode::Tail);
+        flight::set_tail_multiplier(4.0);
+        reset();
+        assert_eq!(mode(), TraceMode::Tail);
+
+        // Non-Completed outcome retains regardless of latency or warmup.
+        let ctx = start_trace();
+        assert!(ctx.is_sampled());
+        {
+            let _g = enter(ctx);
+            drop(span_cat("work", Category::Engine));
+        }
+        record_root(ctx, "req", Category::Serve, 0, 1000, 1);
+        let v = flight::finish(ctx, "m", 1000, false).expect("failed request retained");
+        assert!(v.reasons.contains("outcome"), "reasons: {}", v.reasons);
+        assert_eq!(v.trace, ctx.trace);
+
+        // Steady-state fast request: dropped, leaves no buffer behind.
+        let ctx2 = start_trace();
+        {
+            let _g = enter(ctx2);
+            drop(span("work"));
+        }
+        assert!(flight::finish(ctx2, "m", 1000, true).is_none());
+        assert_eq!(flight::active_buffers(), 0);
+
+        // The retained trace exports as valid Chrome JSON with both the
+        // root and the child span.
+        let json = flight::chrome_json(v.trace).expect("retained trace addressable");
+        let parsed = json::parse(&json).expect("per-trace export is valid JSON");
+        let events = parsed.get("traceEvents").unwrap().as_arr().unwrap();
+        for name in ["req", "work"] {
+            assert!(events
+                .iter()
+                .any(|e| e.get("name").unwrap().as_str() == Some(name)));
+        }
+        assert_eq!(flight::slowest_retained("m"), Some((v.trace, 1000)));
+        assert!(flight::retained_traces().iter().any(|t| t.trace == v.trace));
+
+        set_mode(TraceMode::Off);
+        reset();
+    }
+
+    #[test]
+    fn tail_mode_rolling_quantile_flags_slow_requests() {
+        let _l = lock();
+        set_mode(TraceMode::Tail);
+        flight::set_tail_multiplier(4.0);
+        reset();
+        // Warm the window: steady ~1µs completions are never retained.
+        for _ in 0..100 {
+            let ctx = start_trace();
+            assert!(
+                flight::finish(ctx, "roll", 1_000, true).is_none(),
+                "steady request retained during warmup"
+            );
+        }
+        // p99 upper bound is 1024ns → threshold 4096ns; a 1ms outlier
+        // crosses it.
+        let ctx = start_trace();
+        let v = flight::finish(ctx, "roll", 1_000_000, true).expect("outlier retained");
+        assert_eq!(v.reasons, "slow");
+        // ... and a fresh steady request after it is still dropped.
+        let ctx = start_trace();
+        assert!(flight::finish(ctx, "roll", 1_000, true).is_none());
+        set_mode(TraceMode::Off);
+        reset();
+    }
+
+    #[test]
+    fn tail_mode_pins_and_episodes_retain() {
+        let _l = lock();
+        set_mode(TraceMode::Tail);
+        reset();
+        let ctx = start_trace();
+        flight::pin(ctx, flight::PIN_SPECIALIZE | flight::PIN_REQUEUED);
+        let v = flight::finish(ctx, "p", 10, true).expect("pinned request retained");
+        assert!(v.reasons.contains("specialize"));
+        assert!(v.reasons.contains("requeued"));
+
+        {
+            let _ep = flight::episode_scope();
+            let ctx = start_trace();
+            let v = flight::finish(ctx, "p", 10, true).expect("chaos-episode request retained");
+            assert_eq!(v.reasons, "chaos");
+        }
+        let ctx = start_trace();
+        assert!(flight::finish(ctx, "p", 10, true).is_none());
+
+        // Shed path: no latency sample, reason verbatim.
+        let ctx = start_trace();
+        let v = flight::finish_shed(ctx, "p", "shed_queue_full").expect("shed retained");
+        assert_eq!(v.reasons, "shed_queue_full");
+        set_mode(TraceMode::Off);
+        reset();
+    }
+
+    #[test]
+    fn tail_mode_env_parsing() {
+        // The multiplier is process-global state; hold the mode lock.
+        let _l = lock();
+        // Parse logic only (the env var itself is read once, lazily).
+        assert!("tail:2.5"
+            .strip_prefix("tail:")
+            .unwrap()
+            .parse::<f64>()
+            .is_ok());
+        flight::set_tail_multiplier(2.5);
+        assert_eq!(flight::tail_multiplier(), 2.5);
+        flight::set_tail_multiplier(f64::NAN);
+        assert_eq!(flight::tail_multiplier(), flight::DEFAULT_TAIL_MULT);
     }
 
     #[test]

@@ -301,6 +301,22 @@ impl ChaosHarness {
             let model = self.rng.gen_range(0..self.models.len());
             let _span =
                 nimble_obs::span_full(KINDS[kind], Category::Chaos, u64::from(self.episode));
+            // While an episode is open, every request the harness drives
+            // finishes inside a chaos scope and is retained by the flight
+            // recorder. Events go to the global log only — never into the
+            // ChaosReport, which stays byte-identical per seed.
+            let _chaos = nimble_obs::flight::episode_scope();
+            nimble_obs::events::emit(
+                "chaos_episode",
+                &self.models[model].name,
+                &[
+                    ("kind", nimble_obs::events::FieldVal::Str(KINDS[kind])),
+                    (
+                        "episode",
+                        nimble_obs::events::FieldVal::U64(u64::from(self.episode)),
+                    ),
+                ],
+            );
             match kind {
                 0 => self.episode_burst(model),
                 1 => self.episode_kill(model),

@@ -30,12 +30,15 @@
 //! `nimble_specialize_*` families.
 
 pub mod chaos;
+pub mod debug;
 pub mod registry;
 pub mod router;
 pub mod shard;
+pub mod slo;
 pub mod telemetry;
 
 pub use chaos::{ChaosConfig, ChaosCounts, ChaosHarness, ChaosModel, ChaosReport};
+pub use debug::DebugServer;
 pub use nimble_specialize::{
     ModelSpecializer, SpecializeConfig, SpecializeStats, TuneHistSnapshot,
 };
@@ -45,6 +48,7 @@ pub use shard::{
     AutoscalerConfig, ReplicaStats, ScaleDecision, ShardConfig, ShardEvent, ShardOutcome, ShardSet,
     ShardStats, ShardTicket, WarmthProbe,
 };
+pub use slo::{BurnRateTracker, SloConfig, SloState, SloWatchdog, Transition};
 pub use telemetry::{
     Histogram, HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry,
 };

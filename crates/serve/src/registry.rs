@@ -396,9 +396,11 @@ impl ModelRegistry {
             .as_ref()
             .and_then(|cfg| ModelSpecializer::attach(&vm, cfg.clone()));
         if let Some(s) = &spec {
+            s.set_label(name);
             let probe = Arc::clone(s);
             shards.set_warmth_probe(Arc::new(move |rows| probe.is_warm(rows)));
         }
+        shards.set_label(name);
         let entry = Arc::new(ModelEntry {
             name: name.to_string(),
             version: version.to_string(),
@@ -410,7 +412,23 @@ impl ModelRegistry {
         let old = self.models.write().unwrap().insert(name.to_string(), entry);
         // Outside the lock: drain the displaced version so its accepted
         // requests complete, then release its packed weights.
-        Ok(old.map(|e| Self::retire(&e)))
+        let displaced = old.map(|e| Self::retire(&e));
+        match &displaced {
+            Some(prev) => nimble_obs::events::emit(
+                "hot_swap",
+                name,
+                &[
+                    ("version", nimble_obs::events::FieldVal::Str(version)),
+                    ("displaced", nimble_obs::events::FieldVal::Str(prev)),
+                ],
+            ),
+            None => nimble_obs::events::emit(
+                "model_installed",
+                name,
+                &[("version", nimble_obs::events::FieldVal::Str(version))],
+            ),
+        }
+        Ok(displaced)
     }
 
     /// Drain an entry's replica set (which also trims each replica's
@@ -443,7 +461,12 @@ impl ModelRegistry {
             .unwrap()
             .remove(name)
             .ok_or_else(|| ServeError::UnknownModel(name.to_string()))?;
-        Self::retire(&entry);
+        let version = Self::retire(&entry);
+        nimble_obs::events::emit(
+            "model_unloaded",
+            name,
+            &[("version", nimble_obs::events::FieldVal::Str(&version))],
+        );
         Ok(())
     }
 

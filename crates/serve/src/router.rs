@@ -18,7 +18,9 @@
 //! invariant the router tests and the `serve_mix` smoke gate assert.
 
 use crate::registry::ModelRegistry;
-use crate::telemetry::{HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry};
+use crate::telemetry::{
+    HistogramSnapshot, ModelStats, ModelTelemetry, ServeStats, Telemetry, EXEMPLAR_LE_NS,
+};
 use nimble_core::{Completion, EngineError};
 use nimble_device::DeviceId;
 use nimble_obs::export::{register_collector, CollectorHandle, PromBuf};
@@ -71,6 +73,10 @@ pub struct RouterConfig {
     /// which is what deterministic harnesses want. Scale decisions land
     /// in the shard lifecycle counters (`nimble_shard_events_total`).
     pub autoscale_interval: Option<Duration>,
+    /// When set, spawns the [`crate::slo::SloWatchdog`] thread computing
+    /// multi-window burn rates from this router's telemetry. `None` (the
+    /// default) spawns no thread.
+    pub slo: Option<crate::slo::SloConfig>,
 }
 
 /// Background autoscaler: ticks every live model's replica set on a fixed
@@ -166,9 +172,11 @@ impl ServeTicket {
     pub fn wait(self) -> Result<Completion, Rejected> {
         let outcome = self.ticket.wait();
         self.telemetry.record_requeued(u64::from(outcome.requeues));
-        let (result, outcome) = match outcome.result {
+        let mut queued_ns: Option<u64> = None;
+        let (result, outcome_code) = match outcome.result {
             Ok(completion) => {
                 let ok = completion.result.is_ok();
+                queued_ns = Some(completion.queued.as_nanos().min(u128::from(u64::MAX)) as u64);
                 self.telemetry.record_queue(completion.queued);
                 self.telemetry.record_completed(completion.latency, ok);
                 self.telemetry.record_batch_size(completion.batch_size);
@@ -184,14 +192,27 @@ impl ServeTicket {
             }
         };
         if self.ctx.is_sampled() {
+            let end_ns = nimble_obs::now_ns();
+            // The root span must land before the flight verdict so a
+            // retained trace includes it.
             nimble_obs::record_root(
                 self.ctx,
                 self.root_name,
                 ObsCat::Serve,
                 self.admitted_ns,
-                nimble_obs::now_ns(),
-                outcome,
+                end_ns,
+                outcome_code,
             );
+            if outcome.requeues > 0 {
+                nimble_obs::flight::pin(self.ctx, nimble_obs::flight::PIN_REQUEUED);
+            }
+            let latency_ns = end_ns.saturating_sub(self.admitted_ns);
+            if let Some(verdict) =
+                nimble_obs::flight::finish(self.ctx, &self.model, latency_ns, outcome_code == 0)
+            {
+                self.telemetry
+                    .record_exemplar(latency_ns, queued_ns, verdict.trace);
+            }
         }
         result
     }
@@ -209,6 +230,9 @@ pub struct Router {
     /// Background autoscaler (when `autoscale_interval` is set); stopped
     /// and joined on shutdown/drop.
     autoscaler: std::sync::Mutex<Option<AutoscaleDriver>>,
+    /// SLO burn-rate watchdog (when `config.slo` is set); stopped and
+    /// joined on shutdown/drop.
+    slo: std::sync::Mutex<Option<crate::slo::SloWatchdog>>,
 }
 
 impl std::fmt::Debug for Router {
@@ -239,6 +263,10 @@ impl Router {
         let autoscaler = config
             .autoscale_interval
             .map(|i| AutoscaleDriver::spawn(&registry, i));
+        let slo = config
+            .slo
+            .clone()
+            .map(|c| crate::slo::SloWatchdog::spawn(&telemetry, c));
         Router {
             registry,
             telemetry,
@@ -246,7 +274,14 @@ impl Router {
             draining: AtomicBool::new(false),
             _collector: collector,
             autoscaler: std::sync::Mutex::new(autoscaler),
+            slo: std::sync::Mutex::new(slo),
         }
+    }
+
+    /// The latest per-model SLO watchdog state, when the watchdog is
+    /// running (`config.slo` set); `None` otherwise.
+    pub fn slo_state(&self) -> Option<BTreeMap<String, crate::slo::SloState>> {
+        self.slo.lock().unwrap().as_ref().map(|w| w.state())
     }
 
     /// The registry this router dispatches into.
@@ -328,6 +363,7 @@ impl Router {
             Err(EngineError::Busy) => {
                 telemetry.record_rejected_queue_full();
                 rejected(4);
+                nimble_obs::flight::finish_shed(ctx, model, "shed_queue_full");
                 Err(Rejected::QueueFull)
             }
             // The entry's engine drained between `get` and admission
@@ -335,6 +371,7 @@ impl Router {
             Err(_) => {
                 telemetry.record_rejected_unloaded();
                 rejected(4);
+                nimble_obs::flight::finish_shed(ctx, model, "shed_unloaded");
                 Err(Rejected::Unloaded)
             }
         }
@@ -373,6 +410,9 @@ impl Router {
         if let Some(mut driver) = self.autoscaler.lock().unwrap().take() {
             driver.stop();
         }
+        if let Some(mut watchdog) = self.slo.lock().unwrap().take() {
+            watchdog.stop();
+        }
         self.registry.shutdown();
     }
 }
@@ -406,6 +446,55 @@ fn prom_summary(
                 &[("model", model), ("quantile", label)],
                 h.quantile(q).as_secs_f64(),
             );
+        }
+        buf.sample_f64(
+            &format!("{name}_sum"),
+            &[("model", model)],
+            h.sum().as_secs_f64(),
+        );
+        buf.sample_u64(&format!("{name}_count"), &[("model", model)], h.count());
+    }
+}
+
+/// Emit one cumulative-bucket histogram family per model over the coarse
+/// [`EXEMPLAR_LE_NS`] ladder, attaching each bucket's retained-trace
+/// exemplar (OpenMetrics `# {trace_id="..."} value` syntax) when one has
+/// been captured. Bucket counts come from [`HistogramSnapshot::count_le`],
+/// so they are bucket-granular, monotone non-decreasing in `le`, and the
+/// `+Inf` bucket equals the sample count.
+fn prom_exemplar_hist(
+    buf: &mut PromBuf,
+    name: &str,
+    help: &str,
+    models: &BTreeMap<String, ModelStats>,
+    pick: impl Fn(&ModelStats) -> (&HistogramSnapshot, &[(u64, u64); 8]),
+) {
+    buf.header(name, help, "histogram");
+    let bucket = format!("{name}_bucket");
+    for (model, m) in models {
+        let (h, exemplars) = pick(m);
+        for (i, &le_ns) in EXEMPLAR_LE_NS.iter().enumerate() {
+            let last = i == EXEMPLAR_LE_NS.len() - 1;
+            let le_label = if last {
+                "+Inf".to_string()
+            } else {
+                format!("{}", le_ns as f64 / 1e9)
+            };
+            let count = if last { h.count() } else { h.count_le(le_ns) };
+            let labels = [("model", model.as_str()), ("le", le_label.as_str())];
+            let (trace, value_ns) = exemplars[i];
+            if trace != 0 {
+                let trace_id = trace.to_string();
+                buf.sample_with_exemplar(
+                    &bucket,
+                    &labels,
+                    count,
+                    &[("trace_id", &trace_id)],
+                    value_ns as f64 / 1e9,
+                );
+            } else {
+                buf.sample_u64(&bucket, &labels, count);
+            }
         }
         buf.sample_f64(
             &format!("{name}_sum"),
@@ -462,6 +551,20 @@ fn collect_serve_metrics(telemetry: &Telemetry, registry: &ModelRegistry, buf: &
         "Queue wait from admission to worker pickup",
         &snap.models,
         |m| &m.queue,
+    );
+    prom_exemplar_hist(
+        buf,
+        "nimble_serve_latency_hist_seconds",
+        "End-to-end latency ladder with flight-recorder exemplars",
+        &snap.models,
+        |m| (&m.latency, &m.latency_exemplars),
+    );
+    prom_exemplar_hist(
+        buf,
+        "nimble_serve_queue_hist_seconds",
+        "Queue-wait ladder with flight-recorder exemplars",
+        &snap.models,
+        |m| (&m.queue, &m.queue_exemplars),
     );
 
     buf.header(

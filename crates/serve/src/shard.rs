@@ -29,7 +29,9 @@
 //! checkable at any quiesce point (the `shard_props` property test does).
 
 use nimble_core::{Completion, Engine, EngineConfig, EngineError, EngineStats};
+use nimble_obs::events::{emit, FieldVal};
 use nimble_vm::{ArenaStats, BatchPlan, Object, ProfileReport, VirtualMachine};
+use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
@@ -242,6 +244,13 @@ pub struct ShardSet {
     /// Optional shape-warmth oracle (see [`WarmthProbe`]); `None` keeps
     /// admission byte-identical to the pre-specialization picker.
     warmth: RwLock<Option<WarmthProbe>>,
+    /// Model name for structured lifecycle events (set by the registry at
+    /// install; empty until then).
+    label: RwLock<String>,
+    /// Concrete shape keys ever admitted — a request carrying a key not
+    /// in this set is this set's first sight of the shape and gets its
+    /// flight-recorder buffer pinned ([`nimble_obs::flight::PIN_NEW_SHAPE`]).
+    seen_shapes: Mutex<BTreeSet<u64>>,
 }
 
 impl std::fmt::Debug for ShardSet {
@@ -311,6 +320,8 @@ impl ShardSet {
             requeued: AtomicU64::new(0),
             scaler: Mutex::new(ScalerState::default()),
             warmth: RwLock::new(None),
+            label: RwLock::new(String::new()),
+            seen_shapes: Mutex::new(BTreeSet::new()),
         };
         for _ in 0..initial {
             set.spawn_replica()?;
@@ -328,6 +339,18 @@ impl ShardSet {
     /// probe per request, so installing after traffic starts is safe.
     pub fn set_warmth_probe(&self, probe: WarmthProbe) {
         *self.warmth.write().unwrap() = Some(probe);
+    }
+
+    /// Name this set's structured lifecycle events with its model
+    /// (registry wiring, at install).
+    pub fn set_label(&self, model: &str) {
+        model.clone_into(&mut self.label.write().unwrap());
+    }
+
+    /// Emit one structured lifecycle event tagged with this set's model.
+    fn emit_event(&self, kind: &str, fields: &[(&str, FieldVal)]) {
+        let label = self.label.read().unwrap();
+        emit(kind, &label, fields);
     }
 
     fn spawn_replica(&self) -> nimble_core::Result<u64> {
@@ -348,6 +371,7 @@ impl ShardSet {
             .lock()
             .unwrap()
             .push(ShardEvent::Added { replica: id });
+        self.emit_event("replica_added", &[("replica", FieldVal::U64(id))]);
         Ok(id)
     }
 
@@ -370,10 +394,18 @@ impl ShardSet {
             return false;
         };
         replica.engine.shutdown();
+        let accepted = replica.accepted.load(Ordering::Relaxed);
         self.events.lock().unwrap().push(ShardEvent::Retired {
             replica: id,
-            accepted: replica.accepted.load(Ordering::Relaxed),
+            accepted,
         });
+        self.emit_event(
+            "replica_retired",
+            &[
+                ("replica", FieldVal::U64(id)),
+                ("accepted", FieldVal::U64(accepted)),
+            ],
+        );
         true
     }
 
@@ -387,10 +419,18 @@ impl ShardSet {
             return false;
         };
         replica.engine.kill();
+        let accepted = replica.accepted.load(Ordering::Relaxed);
         self.events.lock().unwrap().push(ShardEvent::Killed {
             replica: id,
-            accepted: replica.accepted.load(Ordering::Relaxed),
+            accepted,
         });
+        self.emit_event(
+            "replica_killed",
+            &[
+                ("replica", FieldVal::U64(id)),
+                ("accepted", FieldVal::U64(accepted)),
+            ],
+        );
         true
     }
 
@@ -473,6 +513,14 @@ impl ShardSet {
     ) -> Result<ShardTicket, EngineError> {
         let (ticket, replica) = self.admit(function, &args, deadline)?;
         self.accepted.fetch_add(1, Ordering::Relaxed);
+        // First sight of a concrete shape key is always interesting: pin
+        // the admitting request's flight buffer so the trace that
+        // exercised the new shape is retained regardless of its latency.
+        if let Some(rows) = rows_key(&args) {
+            if self.seen_shapes.lock().unwrap().insert(rows as u64) {
+                nimble_obs::flight::pin(nimble_obs::current(), nimble_obs::flight::PIN_NEW_SHAPE);
+            }
+        }
         Ok(ShardTicket {
             set: Arc::clone(self),
             ticket,
@@ -674,6 +722,14 @@ impl ShardSet {
             st.has_event = true;
             st.last_event_tick = st.tick;
             st.window_events += 1;
+            drop(st);
+            self.emit_event(
+                "autoscale",
+                &[
+                    ("decision", FieldVal::Str("up")),
+                    ("replica", FieldVal::U64(id)),
+                ],
+            );
             return Some(ScaleDecision::Up(id));
         }
         if st.idle_streak >= cfg.idle_ticks && n > self.config.min_replicas {
@@ -689,6 +745,14 @@ impl ShardSet {
             st.has_event = true;
             st.last_event_tick = st.tick;
             st.window_events += 1;
+            drop(st);
+            self.emit_event(
+                "autoscale",
+                &[
+                    ("decision", FieldVal::Str("down")),
+                    ("replica", FieldVal::U64(victim)),
+                ],
+            );
             return Some(ScaleDecision::Down(victim));
         }
         None

@@ -50,6 +50,55 @@ fn bucket_floor(idx: usize) -> u64 {
     (SUB + sub) << (major - 1)
 }
 
+/// Coarse latency ladder (ns) used for the OpenMetrics bucket exposition
+/// and its exemplars: 1ms, 5ms, 10ms, 50ms, 100ms, 500ms, 1s, +Inf.
+pub const EXEMPLAR_LE_NS: [u64; 8] = [
+    1_000_000,
+    5_000_000,
+    10_000_000,
+    50_000_000,
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    u64::MAX,
+];
+
+/// Per-bucket exemplar cells: the trace id and value of the most recent
+/// *retained* flight-recorder sample landing in each ladder bucket.
+/// Lock-free (two relaxed stores per record); a torn read across the two
+/// cells can at worst pair a trace id with a neighbouring sample's value,
+/// which is harmless for debugging exemplars.
+#[derive(Debug, Default)]
+pub struct ExemplarSet {
+    traces: [AtomicU64; 8],
+    values: [AtomicU64; 8],
+}
+
+impl ExemplarSet {
+    /// Record a retained sample's trace id into its ladder bucket.
+    pub fn record(&self, ns: u64, trace: u64) {
+        let idx = EXEMPLAR_LE_NS
+            .iter()
+            .position(|&le| ns <= le)
+            .unwrap_or(EXEMPLAR_LE_NS.len() - 1);
+        self.values[idx].store(ns, Ordering::Relaxed);
+        self.traces[idx].store(trace, Ordering::Relaxed);
+    }
+
+    /// Copy the cells: `(trace, value_ns)` per ladder bucket (trace 0 =
+    /// no exemplar yet).
+    pub fn snapshot(&self) -> [(u64, u64); 8] {
+        let mut out = [(0u64, 0u64); 8];
+        for (i, cell) in out.iter_mut().enumerate() {
+            *cell = (
+                self.traces[i].load(Ordering::Relaxed),
+                self.values[i].load(Ordering::Relaxed),
+            );
+        }
+        out
+    }
+}
+
 /// A fixed-size, lock-free, log-bucketed latency histogram.
 #[derive(Debug)]
 pub struct Histogram {
@@ -161,6 +210,16 @@ impl HistogramSnapshot {
         self.max()
     }
 
+    /// Samples recorded at or below `ns` nanoseconds, to log-bucket
+    /// resolution: the whole bucket containing `ns` is included, so the
+    /// answer can overcount by at most one sub-bucket's width (~25%).
+    /// Used for the OpenMetrics bucket exposition and the SLO watchdog's
+    /// good-request count; both tolerate bucket-granular precision.
+    pub fn count_le(&self, ns: u64) -> u64 {
+        let cutoff = bucket_index(ns);
+        self.buckets.iter().take(cutoff + 1).sum()
+    }
+
     /// Median latency.
     pub fn p50(&self) -> Duration {
         self.quantile(0.5)
@@ -215,6 +274,11 @@ pub struct ModelTelemetry {
     /// (1 = unbatched). Log-bucketed like latency; sizes are small, so
     /// low buckets are exact.
     batch_size: Histogram,
+    /// Exemplars: trace ids of the most recent *retained* flight-recorder
+    /// sample per end-to-end-latency ladder bucket.
+    latency_exemplars: ExemplarSet,
+    /// Exemplars for the queue-wait ladder.
+    queue_exemplars: ExemplarSet,
     /// Last-known storage-arena counters for the model's live engine
     /// (refreshed by `Router::stats`; survives unload as history).
     arena: RwLock<ArenaStats>,
@@ -290,6 +354,15 @@ impl ModelTelemetry {
         self.batch_size.record(Duration::from_nanos(size as u64));
     }
 
+    /// Stamp the trace id of a freshly *retained* flight-recorder trace
+    /// into the latency (and, when known, queue-wait) exemplar cells.
+    pub(crate) fn record_exemplar(&self, latency_ns: u64, queue_ns: Option<u64>, trace: u64) {
+        self.latency_exemplars.record(latency_ns, trace);
+        if let Some(q) = queue_ns {
+            self.queue_exemplars.record(q, trace);
+        }
+    }
+
     pub(crate) fn record_arena(&self, stats: ArenaStats) {
         *self.arena.write().unwrap() = stats;
     }
@@ -317,6 +390,9 @@ impl ModelTelemetry {
             batched: self.batched.load(Ordering::Relaxed),
             unbatched: self.unbatched.load(Ordering::Relaxed),
             batch_size: self.batch_size.snapshot(),
+            latency_exemplars: self.latency_exemplars.snapshot(),
+            queue_exemplars: self.queue_exemplars.snapshot(),
+            slowest_trace: None,
             arena: *self.arena.read().unwrap(),
             profile: *self.profile.read().unwrap(),
         }
@@ -363,6 +439,15 @@ pub struct ModelStats {
     /// Batch-size distribution across completed/failed requests (the
     /// "ns" axis counts batch members; 1 = unbatched).
     pub batch_size: HistogramSnapshot,
+    /// `(trace, value_ns)` exemplars per [`EXEMPLAR_LE_NS`] bucket of
+    /// end-to-end latency (trace 0 = none).
+    pub latency_exemplars: [(u64, u64); 8],
+    /// `(trace, value_ns)` exemplars per [`EXEMPLAR_LE_NS`] bucket of
+    /// queue wait.
+    pub queue_exemplars: [(u64, u64); 8],
+    /// Slowest retained flight-recorder trace for this model:
+    /// `(trace id, latency ns)`; `None` when nothing is retained.
+    pub slowest_trace: Option<(u64, u64)>,
     /// Storage-arena allocation counters for the model's engine (summed
     /// over its workers): hits, misses, recycled bytes, high-water mark.
     pub arena: ArenaStats,
@@ -418,7 +503,7 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7}",
+            "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8} {:>8} {:>8} {:>8} {:>8} {:>7} {:>18}",
             "model",
             "accepted",
             "done",
@@ -429,12 +514,19 @@ impl std::fmt::Display for ServeStats {
             "p90 ms",
             "p99 ms",
             "max ms",
-            "arena%"
+            "arena%",
+            "slowest trace"
         )?;
         for (name, m) in &self.models {
+            // Slowest retained flight-recorder trace: "<id>@<ms>ms" jumps
+            // straight to `/traces/<id>` on the debug endpoint.
+            let slowest = match m.slowest_trace {
+                Some((trace, ns)) => format!("{trace}@{:.1}ms", ns as f64 / 1e6),
+                None => "-".to_string(),
+            };
             writeln!(
                 f,
-                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.1}",
+                "{:<12} {:>9} {:>9} {:>7} {:>7} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>8.2} {:>7.1} {:>18}",
                 name,
                 m.accepted,
                 m.completed + m.failed,
@@ -446,6 +538,7 @@ impl std::fmt::Display for ServeStats {
                 ms(m.latency.p99()),
                 ms(m.latency.max()),
                 m.arena.hit_rate() * 100.0,
+                slowest,
             )?;
             if m.profile.instructions > 0 {
                 write!(f, "{:<12}   top ops:", "")?;
@@ -486,7 +579,9 @@ impl Telemetry {
         )
     }
 
-    /// Snapshot every model's counters.
+    /// Snapshot every model's counters, joining in each model's slowest
+    /// retained flight-recorder trace so the stats table can point at a
+    /// `/traces/<id>` export.
     pub fn snapshot(&self) -> ServeStats {
         ServeStats {
             models: self
@@ -494,7 +589,11 @@ impl Telemetry {
                 .read()
                 .unwrap()
                 .iter()
-                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .map(|(k, v)| {
+                    let mut stats = v.snapshot();
+                    stats.slowest_trace = nimble_obs::flight::slowest_retained(k);
+                    (k.clone(), stats)
+                })
                 .collect(),
         }
     }
@@ -601,6 +700,51 @@ mod tests {
         let text = format!("{snap}");
         assert!(text.contains("a") && text.contains("b"));
         assert!(text.contains("arena%"));
+    }
+
+    #[test]
+    fn count_le_tracks_ladder_buckets() {
+        let h = Histogram::new();
+        for _ in 0..90 {
+            h.record(Duration::from_millis(1));
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_millis(100));
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count_le(u64::MAX), 100);
+        assert_eq!(s.count_le(10_000_000), 90);
+        assert_eq!(s.count_le(0), 0);
+    }
+
+    #[test]
+    fn exemplar_cells_hold_most_recent_trace() {
+        let e = ExemplarSet::default();
+        e.record(2_000_000, 42); // 5ms bucket
+        e.record(3_000_000, 43); // same bucket, overwrites
+        e.record(999_000_000_000, 7); // +Inf bucket
+        let snap = e.snapshot();
+        assert_eq!(snap[1], (43, 3_000_000));
+        assert_eq!(snap[7], (7, 999_000_000_000));
+        assert_eq!(snap[0], (0, 0));
+    }
+
+    #[test]
+    fn display_includes_slowest_trace_column() {
+        let mut stats = ServeStats::default();
+        let m = ModelStats {
+            slowest_trace: Some((123, 5_000_000)),
+            ..ModelStats::default()
+        };
+        stats.models.insert("m".into(), m);
+        stats.models.insert("n".into(), ModelStats::default());
+        let text = format!("{stats}");
+        assert!(text.contains("slowest trace"));
+        assert!(text.contains("123@5.0ms"));
+        assert!(
+            text.contains(" -"),
+            "models with no retained trace print '-'"
+        );
     }
 
     #[test]

@@ -1,0 +1,223 @@
+//! Deterministic tail-capture end-to-end test for the flight recorder.
+//!
+//! A single-worker serving stack runs in `NIMBLE_TRACE=tail` mode while
+//! the test injects three classes of tail events between stretches of
+//! steady fast traffic:
+//!
+//! * **slow** — requests whose compute is orders of magnitude above the
+//!   steady workload, so their latency provably exceeds the rolling-p99
+//!   threshold (injections are spaced with steady traffic so the rolling
+//!   window never adapts to them);
+//! * **outcome** — requests whose deadline expires while queued behind a
+//!   slow request (single worker makes the ordering deterministic);
+//! * **chaos** — requests finishing inside a [`nimble_obs::flight::episode_scope`].
+//!
+//! The flight recorder must retain ≥95% of the injected tail events,
+//! retain **no** fast steady-state request, and every exemplar trace id
+//! stamped into the Prometheus exposition must resolve to a retained
+//! trace.
+//!
+//! Everything lives in one `#[test]` because the obs recorder is
+//! process-global; integration tests get their own process, so no other
+//! suite can interleave.
+
+use nimble_core::{CompileOptions, EngineConfig};
+use nimble_ir::attrs::Attrs;
+use nimble_ir::builder::FunctionBuilder;
+use nimble_ir::types::TensorType;
+use nimble_ir::Module;
+use nimble_obs::TraceMode;
+use nimble_serve::{ModelRegistry, RegistryConfig, Rejected, Router, RouterConfig};
+use nimble_tensor::{DType, Tensor};
+use nimble_vm::Object;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// `main(x: [?, 64])`: dense + tanh, so latency scales with the row count.
+fn dense_dynamic_module() -> Module {
+    let mut fb = FunctionBuilder::new("main");
+    let x = fb.param("x", TensorType::with_any(&[None, Some(64)], DType::F32));
+    let w = fb.constant(
+        Tensor::from_vec_f32(
+            (0..64 * 64).map(|i| (i % 97) as f32 * 1e-3).collect(),
+            &[64, 64],
+        )
+        .unwrap(),
+    );
+    let h = fb.call("dense", vec![x, w], Attrs::new());
+    let y = fb.call("tanh", vec![h], Attrs::new());
+    let mut m = Module::new();
+    m.add_function("main", fb.finish(y));
+    m
+}
+
+fn rows_request(rows: usize) -> Vec<Object> {
+    vec![Object::tensor(Tensor::ones_f32(&[rows, 64]))]
+}
+
+/// Rows for the steady workload (sub-millisecond per request).
+const STEADY_ROWS: usize = 2;
+/// Rows for an injected latency outlier (tens of milliseconds: far above
+/// any plausible steady p99 × multiplier on a noisy machine, while its
+/// span count still fits the bounded per-request buffer).
+const SLOW_ROWS: usize = 2048;
+/// Latency floor (ns) above which a retained trace is attributed to an
+/// injected slow request rather than a scheduler hiccup.
+const SLOW_FLOOR_NS: u64 = 10_000_000;
+
+/// Retained trace ids for the single test model.
+fn retained_ids() -> BTreeSet<u64> {
+    nimble_obs::flight::retained_traces()
+        .iter()
+        .map(|t| t.trace)
+        .collect()
+}
+
+#[test]
+fn tail_events_are_retained_and_steady_state_is_not() {
+    nimble_obs::set_mode(TraceMode::Tail);
+    nimble_obs::reset();
+    nimble_obs::flight::set_tail_multiplier(2.0);
+
+    let registry = Arc::new(ModelRegistry::new(RegistryConfig {
+        engine: EngineConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 1,
+        },
+        specialize: None,
+        ..RegistryConfig::default()
+    }));
+    registry
+        .register(
+            "tailed",
+            "v1",
+            &dense_dynamic_module(),
+            &CompileOptions::default(),
+        )
+        .unwrap();
+    let router = Router::new(Arc::clone(&registry), RouterConfig::default());
+
+    // --- Warm-up: fill the rolling window past WARMUP so the quantile
+    // trigger is armed. The very first request is retained by policy
+    // (first sight of the shape bucket), which is itself asserted.
+    for _ in 0..128 {
+        router.run("tailed", rows_request(STEADY_ROWS)).unwrap();
+    }
+    let after_warm = retained_ids();
+    assert!(
+        nimble_obs::flight::retained_traces()
+            .iter()
+            .any(|t| t.reasons.contains("new_shape")),
+        "first sight of the steady shape bucket was not retained"
+    );
+
+    // --- Steady state: no fast request may be retained. A retain in this
+    // phase is only legitimate if the recorder judged it slow (a real
+    // scheduler hiccup is not a *fast* request).
+    for _ in 0..256 {
+        router.run("tailed", rows_request(STEADY_ROWS)).unwrap();
+    }
+    for t in nimble_obs::flight::retained_traces() {
+        if !after_warm.contains(&t.trace) {
+            assert!(
+                t.reasons.contains("slow"),
+                "steady-state fast request retained: trace {} reasons {:?} latency {}ns",
+                t.trace,
+                t.reasons,
+                t.latency_ns
+            );
+        }
+    }
+
+    // --- Slow injections: each outlier is followed by enough steady
+    // traffic that the rolling window (512 samples) never holds more slow
+    // samples than its p99 rank tolerates, so every injection stays above
+    // threshold.
+    let slow_injected = 12usize;
+    for _ in 0..slow_injected {
+        router.run("tailed", rows_request(SLOW_ROWS)).unwrap();
+        for _ in 0..128 {
+            router.run("tailed", rows_request(STEADY_ROWS)).unwrap();
+        }
+    }
+    let slow_retained = nimble_obs::flight::retained_traces()
+        .iter()
+        .filter(|t| t.latency_ns >= SLOW_FLOOR_NS)
+        .count();
+
+    // --- Outcome injections: park short-deadline requests behind one
+    // slow request on the single worker; their deadlines expire in queue.
+    let expired_injected = 4usize;
+    let slow_ticket = router
+        .submit_with_deadline("tailed", rows_request(SLOW_ROWS), None)
+        .unwrap();
+    let doomed: Vec<_> = (0..expired_injected)
+        .map(|_| {
+            router
+                .submit_with_deadline(
+                    "tailed",
+                    rows_request(STEADY_ROWS),
+                    Some(Instant::now() + Duration::from_millis(2)),
+                )
+                .unwrap()
+        })
+        .collect();
+    slow_ticket.wait().unwrap();
+    for t in doomed {
+        assert_eq!(t.wait().unwrap_err(), Rejected::Expired);
+    }
+    let outcome_retained = nimble_obs::flight::retained_traces()
+        .iter()
+        .filter(|t| t.reasons.contains("outcome"))
+        .count();
+
+    // --- Chaos injections: requests finishing inside an episode scope.
+    let chaos_injected = 4usize;
+    {
+        let _episode = nimble_obs::flight::episode_scope();
+        for _ in 0..chaos_injected {
+            router.run("tailed", rows_request(STEADY_ROWS)).unwrap();
+        }
+    }
+    let chaos_retained = nimble_obs::flight::retained_traces()
+        .iter()
+        .filter(|t| t.reasons.contains("chaos"))
+        .count();
+
+    // --- ≥95% of all injected tail events retained.
+    let injected = slow_injected + expired_injected + chaos_injected;
+    let retained = slow_retained.min(slow_injected)
+        + outcome_retained.min(expired_injected)
+        + chaos_retained.min(chaos_injected);
+    assert!(
+        retained * 100 >= injected * 95,
+        "tail capture below 95%: {retained}/{injected} \
+         (slow {slow_retained}/{slow_injected}, outcome {outcome_retained}/{expired_injected}, \
+         chaos {chaos_retained}/{chaos_injected})"
+    );
+
+    // --- Every exemplar trace id in the exposition resolves.
+    let prom = router.prometheus();
+    let mut exemplars = 0usize;
+    for part in prom.split("trace_id=\"").skip(1) {
+        let id: u64 = part[..part.find('"').unwrap()].parse().unwrap();
+        exemplars += 1;
+        assert!(
+            nimble_obs::flight::retained_trace(id).is_some(),
+            "exemplar trace {id} does not resolve to a retained trace"
+        );
+    }
+    assert!(exemplars > 0, "no exemplars stamped into the exposition");
+
+    // --- The always-on capture dropped nothing.
+    assert_eq!(
+        nimble_obs::dropped_spans_total(),
+        0,
+        "flight recorder dropped spans"
+    );
+
+    router.shutdown();
+    nimble_obs::set_mode(TraceMode::Off);
+}

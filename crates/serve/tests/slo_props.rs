@@ -1,0 +1,171 @@
+//! Property tests for the SLO burn-rate tracker: the windowed burn rates
+//! against a scalar reference over the full observation history, the
+//! hysteresis state machine against a mirrored reference, and the
+//! no-traffic invariants.
+//!
+//! * **Windows exact**: `burn(window)` must equal the scalar reference
+//!   computed directly from the cumulative counters — same deltas, same
+//!   clamping, same `None` conditions (insufficient samples, idle
+//!   window). The tracker's internal ring truncation must never change a
+//!   window's value, because every window only looks back from the
+//!   newest sample.
+//! * **Hysteresis never flaps**: transitions strictly alternate
+//!   Alert/Clear starting with Alert, an Alert fires only when *both*
+//!   windows show burn ≥ the alert threshold, and a Clear only when
+//!   neither window shows burn ≥ the clear threshold.
+//! * **No traffic never alerts**: a tracker fed any number of idle ticks
+//!   (cumulative counters frozen) never alerts — an empty histogram
+//!   cannot produce a burn rate.
+
+use nimble_serve::{BurnRateTracker, SloConfig, Transition};
+use proptest::prelude::*;
+
+/// Scalar reference for one window's burn rate over the full cumulative
+/// history (`samples[i]` = counters after tick `i`).
+fn ref_burn(samples: &[(u64, u64)], window: usize, objective: f64) -> Option<f64> {
+    let n = samples.len();
+    if n < window + 1 {
+        return None;
+    }
+    let (good_then, total_then) = samples[n - 1 - window];
+    let (good_now, total_now) = samples[n - 1];
+    let total = total_now.saturating_sub(total_then);
+    if total == 0 {
+        return None;
+    }
+    let good = good_now.saturating_sub(good_then).min(total);
+    Some((total - good) as f64 / total as f64 / (1.0 - objective.clamp(0.0, 1.0 - 1e-9)))
+}
+
+/// Arbitrary tracker shapes: small windows so alerts are reachable within
+/// a test sequence, thresholds with a real hysteresis band.
+fn arb_config() -> impl Strategy<Value = SloConfig> {
+    (
+        prop_oneof![Just(0.9f64), Just(0.99), Just(0.999)],
+        1usize..5,
+        0usize..20,
+        1.0f64..10.0,
+        0.0f64..1.0,
+    )
+        .prop_map(
+            |(objective, fast, slow_extra, alert, clear_frac)| SloConfig {
+                objective,
+                fast_window: fast,
+                slow_window: fast + slow_extra,
+                alert_burn: alert,
+                clear_burn: alert * clear_frac,
+                ..SloConfig::default()
+            },
+        )
+}
+
+/// Per-tick `(good, bad)` increments: mostly healthy traffic with bad
+/// bursts and idle ticks mixed in, so sequences cross the alert and clear
+/// thresholds repeatedly.
+fn arb_ticks() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (1u64..50, Just(0u64)), // healthy
+            (1u64..50, Just(0u64)), // healthy (weighted up)
+            (0u64..20, 1u64..30),   // degraded burst
+            Just((0u64, 0u64)),     // idle tick
+        ],
+        1..120,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn windows_match_scalar_reference(config in arb_config(), ticks in arb_ticks()) {
+        let mut tracker = BurnRateTracker::new(&config);
+        let fast = config.fast_window.max(1);
+        let slow = config.slow_window.max(fast);
+        let mut history: Vec<(u64, u64)> = Vec::new();
+        let (mut good, mut total) = (0u64, 0u64);
+        for &(g, b) in &ticks {
+            good += g;
+            total += g + b;
+            tracker.observe(good, total);
+            history.push((good, total));
+            prop_assert_eq!(
+                tracker.fast_burn(),
+                ref_burn(&history, fast, config.objective),
+                "fast window diverged after {} ticks", history.len()
+            );
+            prop_assert_eq!(
+                tracker.slow_burn(),
+                ref_burn(&history, slow, config.objective),
+                "slow window diverged after {} ticks", history.len()
+            );
+        }
+    }
+
+    #[test]
+    fn hysteresis_never_flaps(config in arb_config(), ticks in arb_ticks()) {
+        let mut tracker = BurnRateTracker::new(&config);
+        let fast = config.fast_window.max(1);
+        let slow = config.slow_window.max(fast);
+        let clear_burn = config.clear_burn.min(config.alert_burn);
+        let mut history: Vec<(u64, u64)> = Vec::new();
+        let (mut good, mut total) = (0u64, 0u64);
+        let mut transitions: Vec<Transition> = Vec::new();
+        let mut was_alerting = false;
+        for &(g, b) in &ticks {
+            good += g;
+            total += g + b;
+            let transition = tracker.observe(good, total);
+            history.push((good, total));
+            let f = ref_burn(&history, fast, config.objective);
+            let s = ref_burn(&history, slow, config.objective);
+            match transition {
+                Some(Transition::Alert) => {
+                    prop_assert!(!was_alerting, "Alert while already alerting");
+                    prop_assert!(
+                        f.is_some_and(|f| f >= config.alert_burn)
+                            && s.is_some_and(|s| s >= config.alert_burn),
+                        "Alert without both windows burning: fast {f:?} slow {s:?}"
+                    );
+                }
+                Some(Transition::Clear) => {
+                    prop_assert!(was_alerting, "Clear while not alerting");
+                    prop_assert!(
+                        f.is_none_or(|f| f < clear_burn) && s.is_none_or(|s| s < clear_burn),
+                        "Clear with a window still burning: fast {f:?} slow {s:?}"
+                    );
+                }
+                None => {}
+            }
+            if let Some(t) = transition {
+                transitions.push(t);
+                was_alerting = tracker.alerting();
+            }
+            prop_assert_eq!(tracker.alerting(), was_alerting);
+        }
+        // Strict alternation starting with Alert: the tracker can never
+        // flap within one hysteresis state.
+        for (i, t) in transitions.iter().enumerate() {
+            let expected = if i % 2 == 0 { Transition::Alert } else { Transition::Clear };
+            prop_assert_eq!(*t, expected, "transition {} out of order: {:?}", i, &transitions);
+        }
+    }
+
+    #[test]
+    fn idle_tracker_never_alerts(
+        config in arb_config(),
+        start in (0u64..1000, 0u64..1000),
+        idle_ticks in 1usize..200,
+    ) {
+        let (g, extra) = start;
+        let (good, total) = (g, g + extra);
+        let mut tracker = BurnRateTracker::new(&config);
+        for _ in 0..idle_ticks {
+            let transition = tracker.observe(good, total);
+            prop_assert_eq!(transition, None, "idle tick produced a transition");
+            prop_assert!(!tracker.alerting(), "idle tracker alerting");
+            prop_assert_eq!(tracker.fast_burn(), None);
+            prop_assert_eq!(tracker.slow_burn(), None);
+        }
+    }
+}

@@ -266,6 +266,9 @@ pub struct ModelSpecializer {
     /// drops (rather than tunes) any still-queued jobs, so no prepack
     /// entry can be created after teardown started releasing them.
     closed: AtomicBool,
+    /// Model name for structured install/reject/evict events (set by the
+    /// serving layer; empty until then).
+    label: RwLock<String>,
 }
 
 impl std::fmt::Debug for ModelSpecializer {
@@ -329,6 +332,7 @@ impl ModelSpecializer {
             pending: Mutex::new(0),
             idle: Condvar::new(),
             closed: AtomicBool::new(false),
+            label: RwLock::new(String::new()),
         });
         let weak = Arc::downgrade(&this);
         let handle = std::thread::Builder::new()
@@ -338,6 +342,18 @@ impl ModelSpecializer {
         *this.worker.lock().unwrap() = Some(handle);
         vm.set_dispatch_hook(Some(Arc::clone(&this) as Arc<dyn DispatchHook>));
         Some(this)
+    }
+
+    /// Name this specializer's structured events with its model (serving
+    /// layer wiring, at install).
+    pub fn set_label(&self, model: &str) {
+        model.clone_into(&mut self.label.write().unwrap());
+    }
+
+    /// Emit one structured event tagged with this specializer's model.
+    fn emit_event(&self, kind: &str, fields: &[(&str, nimble_obs::events::FieldVal)]) {
+        let label = self.label.read().unwrap();
+        nimble_obs::events::emit(kind, &label, fields);
     }
 
     /// Whether the cache currently holds an installed kernel for row
@@ -418,6 +434,16 @@ impl ModelSpecializer {
         if let Some(e) = entries.remove(&victim) {
             self.release_entry_pack(&e);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.emit_event(
+                "specialize_evict",
+                &[
+                    (
+                        "kernel",
+                        nimble_obs::events::FieldVal::U64(u64::from(victim.0)),
+                    ),
+                    ("rows", nimble_obs::events::FieldVal::U64(victim.1 as u64)),
+                ],
+            );
         }
     }
 
@@ -486,6 +512,16 @@ impl ModelSpecializer {
                         *self.pack_refs.lock().unwrap().entry(key).or_insert(0) += 1;
                     }
                     self.installs.fetch_add(1, Ordering::Relaxed);
+                    self.emit_event(
+                        "specialize_install",
+                        &[
+                            (
+                                "kernel",
+                                nimble_obs::events::FieldVal::U64(u64::from(job.kernel_idx)),
+                            ),
+                            ("rows", nimble_obs::events::FieldVal::U64(job.m as u64)),
+                        ],
+                    );
                     // An eviction + re-observation can race a second tune
                     // for the same shape: overwriting a previous install
                     // must release its pack reference, or the layout
@@ -500,6 +536,16 @@ impl ModelSpecializer {
                 }
                 (Some(entry), None) => {
                     self.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.emit_event(
+                        "specialize_reject",
+                        &[
+                            (
+                                "kernel",
+                                nimble_obs::events::FieldVal::U64(u64::from(job.kernel_idx)),
+                            ),
+                            ("rows", nimble_obs::events::FieldVal::U64(job.m as u64)),
+                        ],
+                    );
                     let old =
                         std::mem::replace(&mut *entry.state.write().unwrap(), EntryState::Rejected);
                     if let EntryState::Ready(old) = old {
@@ -797,6 +843,10 @@ impl DispatchHook for ModelSpecializer {
                     inputs: inputs.to_vec(),
                     ctx: nimble_obs::current(),
                 };
+                // The request that crossed the hit threshold is what a
+                // tail-debugging session wants to see: pin its flight
+                // buffer so the trace is retained.
+                nimble_obs::flight::pin(job.ctx, nimble_obs::flight::PIN_SPECIALIZE);
                 let tx = self.tx.lock().unwrap();
                 if let Some(tx) = tx.as_ref() {
                     *self.pending.lock().unwrap() += 1;

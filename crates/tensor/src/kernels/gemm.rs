@@ -116,7 +116,7 @@ impl PackedB {
     /// convention: `out[m,n] = Σ_k a[m,k] · bt[n,k]`).
     pub fn pack_bt(bt: &[f32], n: usize, k: usize, tile_k: usize) -> PackedB {
         assert_eq!(bt.len(), n * k, "pack_bt: bt must be [n, k]");
-        let _s = nimble_obs::span_full("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
+        let _s = nimble_obs::span_detail("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
         let mut p = Self::with_layout(n, k, tile_k);
         for block in 0..p.k_blocks() {
             let (k0, kc) = (p.block_k0(block), p.block_kc(block));
@@ -140,7 +140,7 @@ impl PackedB {
     /// `out[m,n] = Σ_k a[m,k] · b[k,n]`).
     pub fn pack_kn(b: &[f32], k: usize, n: usize, tile_k: usize) -> PackedB {
         assert_eq!(b.len(), k * n, "pack_kn: b must be [k, n]");
-        let _s = nimble_obs::span_full("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
+        let _s = nimble_obs::span_detail("gemm.pack_b", nimble_obs::Category::Pool, (n * k) as u64);
         let mut p = Self::with_layout(n, k, tile_k);
         for block in 0..p.k_blocks() {
             let (k0, kc) = (p.block_k0(block), p.block_kc(block));
@@ -642,12 +642,18 @@ pub fn gemm_packed_with_isa(
             let rows = out_strip.len() / n;
             let mut apack = Vec::new();
             {
-                let _p =
-                    nimble_obs::span_full("gemm.pack_a", nimble_obs::Category::Pool, strip as u64);
+                let _p = nimble_obs::span_detail(
+                    "gemm.pack_a",
+                    nimble_obs::Category::Pool,
+                    strip as u64,
+                );
                 pack_a_strip(a, k, row0, rows, tile_k, &mut apack);
             }
-            let _mk =
-                nimble_obs::span_full("gemm.microkernel", nimble_obs::Category::Pool, strip as u64);
+            let _mk = nimble_obs::span_detail(
+                "gemm.microkernel",
+                nimble_obs::Category::Pool,
+                strip as u64,
+            );
             let m_panels = rows.div_ceil(MR);
             let a_block_stride = m_panels * MR * tile_k;
             for jc in (0..n).step_by(tile_n) {
@@ -757,7 +763,7 @@ pub fn gemm_packed_cols_with_isa(
         2 * k.max(1) * m * NR,
         move |p0, p1| {
             let _mk =
-                nimble_obs::span_full("gemm.microkernel", nimble_obs::Category::Pool, p0 as u64);
+                nimble_obs::span_detail("gemm.microkernel", nimble_obs::Category::Pool, p0 as u64);
             for jp_idx in p0..p1 {
                 let j0 = jp_idx * NR;
                 let cols = NR.min(n - j0);

@@ -441,6 +441,15 @@ impl VirtualMachine {
         let mut pc: i64 = 0;
         let timing = session.profiler.enabled();
         let traced = session.traced;
+        // At the default `Ops` detail, flat spans cover only instructions
+        // that can block or move data (device copies, tensor reshapes);
+        // register bookkeeping and arena fast-path allocations run in the
+        // same ~100-600ns a span costs, so recording them inflates
+        // interpreter overhead for little diagnostic value — slow-path
+        // allocations surface through the pool's own chunk spans.
+        // `NIMBLE_TRACE_DETAIL=instr` restores every-instruction spans
+        // for single-request debugging.
+        let instr_detail = traced && nimble_obs::detail_instr();
         loop {
             let inst = func
                 .code
@@ -456,11 +465,14 @@ impl VirtualMachine {
                     | Instruction::InvokeClosure { .. }
                     | Instruction::InvokePacked { .. }
             );
-            let span_t0 = if traced && !is_call {
-                nimble_obs::now_ns()
-            } else {
-                0
-            };
+            let flat_traced = traced
+                && !is_call
+                && (instr_detail
+                    || matches!(
+                        inst,
+                        Instruction::DeviceCopy { .. } | Instruction::ReshapeTensor { .. }
+                    ));
+            let span_t0 = if flat_traced { nimble_obs::now_ns() } else { 0 };
             let mut span_arg = 0u64;
             let mut category = Category::Other;
             let mut next_pc = pc + 1;
@@ -679,7 +691,7 @@ impl VirtualMachine {
                 }
             }
 
-            if traced && !is_call {
+            if flat_traced {
                 nimble_obs::record_current(
                     opcode_name(inst.opcode()),
                     obs_cat(category),

@@ -1,0 +1,107 @@
+//! Span-granularity gating: at the default `Ops` detail the interpreter
+//! records flat spans only for blocking / data-moving instructions, while
+//! `TraceDetail::Instr` restores every-instruction spans.
+//!
+//! Trace mode and detail are process-global, so this file holds exactly
+//! one `#[test]` — a second test in the same binary would race on them.
+
+use nimble_device::DeviceSet;
+use nimble_ir::attrs::Attrs;
+use nimble_tensor::{DType, Tensor};
+use nimble_vm::exe::{Executable, KernelDesc, VMFunction};
+use nimble_vm::isa::Instruction;
+use nimble_vm::object::Object;
+use nimble_vm::VirtualMachine;
+use std::sync::Arc;
+
+/// main(a, b) = a + b through explicit AllocStorage/AllocTensor, so the
+/// program executes both register-bookkeeping instructions (gated) and a
+/// kernel invocation (always spanned).
+fn add_program() -> Executable {
+    Executable {
+        functions: vec![VMFunction {
+            name: "main".into(),
+            num_params: 2,
+            num_regs: 5,
+            code: vec![
+                Instruction::AllocStorage {
+                    size: 40,
+                    alignment: 64,
+                    device: 0,
+                    dst: 2,
+                },
+                Instruction::AllocTensor {
+                    storage: 2,
+                    offset: 0,
+                    shape: vec![10],
+                    dtype: DType::F32,
+                    dst: 3,
+                },
+                Instruction::InvokePacked {
+                    kernel: 0,
+                    args: vec![0, 1, 3],
+                    num_outputs: 1,
+                    device: 0,
+                },
+                Instruction::Ret { result: 3 },
+            ],
+        }],
+        constants: vec![],
+        const_devices: vec![],
+        kernels: vec![KernelDesc::Op {
+            name: "add".into(),
+            attrs: Attrs::new(),
+            symbolic: false,
+        }],
+    }
+}
+
+fn run_once(vm: &VirtualMachine) {
+    let a = Object::tensor(Tensor::from_vec_f32(vec![1.0; 10], &[10]).unwrap());
+    let b = Object::tensor(Tensor::from_vec_f32(vec![2.0; 10], &[10]).unwrap());
+    vm.run("main", vec![a, b]).expect("add program runs");
+}
+
+fn names_recorded(vm: &VirtualMachine) -> Vec<&'static str> {
+    nimble_obs::reset();
+    run_once(vm);
+    nimble_obs::snapshot().into_iter().map(|s| s.name).collect()
+}
+
+#[test]
+fn ops_detail_skips_bookkeeping_instr_detail_restores_it() {
+    let vm = VirtualMachine::new(add_program(), Arc::new(DeviceSet::cpu_only())).expect("vm");
+    nimble_obs::set_mode(nimble_obs::TraceMode::All);
+
+    nimble_obs::set_detail(nimble_obs::TraceDetail::Ops);
+    let ops = names_recorded(&vm);
+    assert!(
+        !ops.iter()
+            .any(|n| *n == "AllocStorage" || *n == "AllocTensor"),
+        "Ops detail must not record register-bookkeeping spans, got {ops:?}"
+    );
+    assert!(
+        ops.contains(&"add"),
+        "kernel span must be recorded at every detail, got {ops:?}"
+    );
+
+    nimble_obs::set_detail(nimble_obs::TraceDetail::Instr);
+    let instr = names_recorded(&vm);
+    for want in ["AllocStorage", "AllocTensor", "add"] {
+        assert!(
+            instr.contains(&want),
+            "Instr detail must record {want}, got {instr:?}"
+        );
+    }
+    assert!(
+        instr.len() > ops.len(),
+        "Instr detail must record strictly more spans ({} vs {})",
+        instr.len(),
+        ops.len()
+    );
+
+    // Restore process defaults for any later in-process harness.
+    nimble_obs::set_detail(nimble_obs::TraceDetail::Ops);
+    nimble_obs::set_mode(nimble_obs::TraceMode::Off);
+    nimble_obs::reset();
+}
